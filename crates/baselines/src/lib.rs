@@ -1,0 +1,56 @@
+//! Comparator systems for the paper's evaluation (§6).
+//!
+//! Every figure compares Rumble against other ways of running the same
+//! query. This crate implements each comparator against the same
+//! `sparklite` substrate and the same generated datasets:
+//!
+//! * [`rawspark`] — the "Spark (Java)" baseline: queries hand-coded
+//!   directly against the RDD API, the physical plan written by the
+//!   programmer (Figure 2's style).
+//! * [`sparksql`] — the "Spark SQL" baseline: `read.json` with schema
+//!   inference, then a SQL string over the DataFrame (Figure 3's style).
+//! * [`pyspark`] — the PySpark stand-in: the raw-Spark plans, but every
+//!   user closure pays a per-record serialize/reparse round trip, modeling
+//!   Python pickling + interpreter overhead (see DESIGN.md).
+//! * [`naive`] — single-threaded, fully materializing JSONiq engines with
+//!   memory budgets: the Zorba and Xidel stand-ins of Figure 12.
+//! * [`handtuned`] — the §6.3 "experienced programmer" program: byte-level
+//!   scanning, no JSON DOM, no engine.
+
+pub mod handtuned;
+pub mod naive;
+pub mod pyspark;
+pub mod rawspark;
+pub mod sparksql;
+
+/// The three benchmark queries of §6.1 on the confusion dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfusionQuery {
+    /// `guess = target` selection; systems report the matching count.
+    Filter,
+    /// Group by `(country, target)` with counts; systems report all groups.
+    Group,
+    /// Filter + three-key sort + take 10 (Figure 3 / Figure 4).
+    Sort,
+}
+
+/// A uniform result so every system's output can be cross-checked.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    Count(u64),
+    /// `(country, target) → count`, sorted for comparability.
+    Groups(Vec<(String, String, u64)>),
+    /// The top rows' `sample` ids, in order.
+    TopSamples(Vec<String>),
+}
+
+impl QueryOutput {
+    /// Normalizes group order so systems with different output orders
+    /// compare equal.
+    pub fn normalized(mut self) -> QueryOutput {
+        if let QueryOutput::Groups(g) = &mut self {
+            g.sort();
+        }
+        self
+    }
+}

@@ -1,0 +1,114 @@
+//! The PySpark stand-in.
+//!
+//! PySpark executes the same parallel plans as Spark, but every record
+//! crossing into a Python lambda is pickled, shipped to a Python worker,
+//! and unpickled — a constant per-record tax. We model that tax by
+//! round-tripping each record through JSON text (serialize + reparse)
+//! at *every* UDF boundary, which reproduces PySpark's constant-factor
+//! slowdown with the same plan shape (see the substitution table in
+//! DESIGN.md).
+
+use crate::{ConfusionQuery, QueryOutput};
+use jsonlite::Value;
+use sparklite::rdd::{task_bail, Rdd};
+use sparklite::{Result, SparkliteContext};
+use std::cmp::Reverse;
+use std::sync::Arc;
+
+/// The "Python boundary": serialize + parse, the pickling tax.
+fn py_roundtrip(v: &Value) -> Value {
+    let text = v.to_string();
+    match jsonlite::parse_value(&text) {
+        Ok(v) => v,
+        Err(e) => task_bail(e),
+    }
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a str {
+    v.get(name).and_then(|f| f.as_str()).unwrap_or("")
+}
+
+fn parsed(sc: &SparkliteContext, path: &str) -> Result<Rdd<Arc<Value>>> {
+    // `json.loads` runs in Python: parse, then pay the boundary once more
+    // handing the object back to the plan.
+    Ok(sc.text_file(path)?.map(|line| match jsonlite::parse_value(&line) {
+        Ok(v) => Arc::new(py_roundtrip(&v)),
+        Err(e) => task_bail(e),
+    }))
+}
+
+/// Runs one of the benchmark queries with per-record Python overhead.
+pub fn run(sc: &SparkliteContext, path: &str, query: ConfusionQuery) -> Result<QueryOutput> {
+    let rdd = parsed(sc, path)?;
+    match query {
+        ConfusionQuery::Filter => {
+            let n = rdd
+                .filter(|v| {
+                    let v = py_roundtrip(v); // the lambda runs in Python
+                    field(&v, "guess") == field(&v, "target")
+                })
+                .count()?;
+            Ok(QueryOutput::Count(n))
+        }
+        ConfusionQuery::Group => {
+            let pairs = rdd.map(|v| {
+                let v = py_roundtrip(&v);
+                ((field(&v, "country").to_string(), field(&v, "target").to_string()), 1u64)
+            });
+            let counts =
+                pairs.reduce_by_key(|a, b| a + b, sc.conf().default_parallelism).collect()?;
+            Ok(QueryOutput::Groups(counts.into_iter().map(|((c, t), n)| (c, t, n)).collect()))
+        }
+        ConfusionQuery::Sort => {
+            let sorted = rdd
+                .filter(|v| {
+                    let v = py_roundtrip(v);
+                    field(&v, "guess") == field(&v, "target")
+                })
+                .sort_by(
+                    |v| {
+                        let v = py_roundtrip(v);
+                        (
+                            field(&v, "target").to_string(),
+                            Reverse(field(&v, "country").to_string()),
+                            Reverse(field(&v, "date").to_string()),
+                        )
+                    },
+                    true,
+                    sc.conf().default_parallelism,
+                );
+            let top = sorted.take(10)?;
+            Ok(QueryOutput::TopSamples(
+                top.iter().map(|v| field(v, "sample").to_string()).collect(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rawspark;
+    use sparklite::SparkliteConf;
+
+    #[test]
+    fn same_answers_as_raw_spark_just_slower() {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let mut text = String::new();
+        for i in 0..60 {
+            let t = ["French", "Danish"][i % 2];
+            let g = if i % 3 == 0 { t } else { "German" };
+            text.push_str(&format!(
+                "{{\"guess\": \"{g}\", \"target\": \"{t}\", \"country\": \"AU\", \
+                 \"sample\": \"s{i:03}\", \"date\": \"2013-09-{:02}\"}}\n",
+                (i % 28) + 1
+            ));
+        }
+        sc.hdfs().put_text("/p.json", &text).unwrap();
+        for q in [ConfusionQuery::Filter, ConfusionQuery::Group, ConfusionQuery::Sort] {
+            let a = run(&sc, "hdfs:///p.json", q).unwrap().normalized();
+            let b = rawspark::run(&sc, "hdfs:///p.json", q).unwrap().normalized();
+            assert_eq!(a, b, "mismatch on {q:?}");
+        }
+    }
+}

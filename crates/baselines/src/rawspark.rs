@@ -1,0 +1,125 @@
+//! The raw Spark baseline: the three confusion queries hand-coded against
+//! the RDD API, exactly the style of the paper's Figure 2 — the programmer
+//! writes the physical plan (map, filter, reduceByKey, sortBy) and
+//! manipulates host-language values (`jsonlite::Value`, our "Java
+//! objects").
+
+use crate::{ConfusionQuery, QueryOutput};
+use jsonlite::Value;
+use sparklite::rdd::{task_bail, Rdd};
+use sparklite::{Result, SparkliteContext};
+use std::cmp::Reverse;
+use std::sync::Arc;
+
+/// Parses a JSON Lines file into host objects — the `map(json.loads)`
+/// step.
+pub fn parsed(sc: &SparkliteContext, path: &str) -> Result<Rdd<Arc<Value>>> {
+    Ok(sc.text_file(path)?.map(|line| match jsonlite::parse_value(&line) {
+        Ok(v) => Arc::new(v),
+        Err(e) => task_bail(e),
+    }))
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a str {
+    v.get(name).and_then(|f| f.as_str()).unwrap_or("")
+}
+
+/// Runs one of the benchmark queries end to end.
+pub fn run(sc: &SparkliteContext, path: &str, query: ConfusionQuery) -> Result<QueryOutput> {
+    let rdd = parsed(sc, path)?;
+    match query {
+        ConfusionQuery::Filter => {
+            let n = rdd.filter(|v| field(v, "guess") == field(v, "target")).count()?;
+            Ok(QueryOutput::Count(n))
+        }
+        ConfusionQuery::Group => {
+            // map → ((country, target), 1) → reduceByKey (Figure 2).
+            let pairs = rdd.map(|v| {
+                ((field(&v, "country").to_string(), field(&v, "target").to_string()), 1u64)
+            });
+            let counts =
+                pairs.reduce_by_key(|a, b| a + b, sc.conf().default_parallelism).collect()?;
+            Ok(QueryOutput::Groups(
+                counts.into_iter().map(|((c, t), n)| (c, t, n)).collect::<Vec<_>>(),
+            ))
+        }
+        ConfusionQuery::Sort => {
+            let sorted = rdd.filter(|v| field(v, "guess") == field(v, "target")).sort_by(
+                |v| {
+                    (
+                        field(v, "target").to_string(),
+                        Reverse(field(v, "country").to_string()),
+                        Reverse(field(v, "date").to_string()),
+                    )
+                },
+                true,
+                sc.conf().default_parallelism,
+            );
+            let top = sorted.take(10)?;
+            Ok(QueryOutput::TopSamples(
+                top.iter().map(|v| field(v, "sample").to_string()).collect(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklite::SparkliteConf;
+
+    fn setup() -> SparkliteContext {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let text = rumble_datagen_stub();
+        sc.hdfs().put_text("/conf.json", &text).unwrap();
+        sc
+    }
+
+    // A tiny inline dataset (the real generator lives in rumble-datagen;
+    // baselines avoids the dependency to keep the graph acyclic for tests).
+    fn rumble_datagen_stub() -> String {
+        let mut s = String::new();
+        for i in 0..60 {
+            let t = ["French", "Danish", "German"][i % 3];
+            let g = if i % 2 == 0 { t } else { "Swedish" };
+            let c = ["AU", "US"][i % 2];
+            s.push_str(&format!(
+                "{{\"guess\": \"{g}\", \"target\": \"{t}\", \"country\": \"{c}\", \
+                 \"sample\": \"s{i:03}\", \"date\": \"2013-08-{:02}\"}}\n",
+                (i % 28) + 1
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn filter_counts_matches() {
+        let sc = setup();
+        let out = run(&sc, "hdfs:///conf.json", ConfusionQuery::Filter).unwrap();
+        assert_eq!(out, QueryOutput::Count(30));
+    }
+
+    #[test]
+    fn group_counts_everything() {
+        let sc = setup();
+        let QueryOutput::Groups(g) =
+            run(&sc, "hdfs:///conf.json", ConfusionQuery::Group).unwrap().normalized()
+        else {
+            panic!()
+        };
+        let total: u64 = g.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 60);
+        assert!(g.len() > 2);
+    }
+
+    #[test]
+    fn sort_returns_ordered_top10() {
+        let sc = setup();
+        let QueryOutput::TopSamples(top) =
+            run(&sc, "hdfs:///conf.json", ConfusionQuery::Sort).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(top.len(), 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! The Spark SQL baseline: `read.json` (schema inference pass included,
+//! which is exactly why Rumble wins the filter query in §6.2) followed by
+//! a SQL string over the DataFrame — the style of the paper's Figure 3.
+
+use crate::{ConfusionQuery, QueryOutput};
+use sparklite::sql::{read_json, SqlContext};
+use sparklite::{Result, SparkliteContext, SparkliteError};
+
+/// Runs one of the benchmark queries end to end (inference + SQL).
+pub fn run(sc: &SparkliteContext, path: &str, query: ConfusionQuery) -> Result<QueryOutput> {
+    let df = read_json(sc, path)?;
+    let mut sql = SqlContext::new();
+    sql.register("dataset", df);
+    match query {
+        ConfusionQuery::Filter => {
+            let out = sql.sql("SELECT * FROM dataset WHERE guess = target")?;
+            Ok(QueryOutput::Count(out.count()?))
+        }
+        ConfusionQuery::Group => {
+            let out = sql.sql(
+                "SELECT country, target, COUNT(*) AS cnt FROM dataset GROUP BY country, target",
+            )?;
+            let rows = out.collect_rows()?;
+            let mut groups = Vec::with_capacity(rows.len());
+            for r in rows {
+                let c = r[0].as_str().unwrap_or("").to_string();
+                let t = r[1].as_str().unwrap_or("").to_string();
+                let n = r[2]
+                    .as_i64()
+                    .ok_or_else(|| SparkliteError::Schema("COUNT must be an integer".into()))?;
+                groups.push((c, t, n as u64));
+            }
+            Ok(QueryOutput::Groups(groups))
+        }
+        ConfusionQuery::Sort => {
+            let out = sql.sql(
+                "SELECT * FROM dataset WHERE guess = target \
+                 ORDER BY target ASC, country DESC, date DESC LIMIT 10",
+            )?;
+            let idx = out.schema().resolve("sample")?;
+            let rows = out.collect_rows()?;
+            Ok(QueryOutput::TopSamples(
+                rows.iter().map(|r| r[idx].as_str().unwrap_or("").to_string()).collect(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rawspark;
+    use sparklite::SparkliteConf;
+
+    #[test]
+    fn agrees_with_raw_spark_on_all_queries() {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let mut text = String::new();
+        for i in 0..80 {
+            let t = ["French", "Danish", "German", "Thai"][i % 4];
+            let g = if i % 3 == 0 { t } else { "Swedish" };
+            let c = ["AU", "US", "DE"][i % 3];
+            text.push_str(&format!(
+                "{{\"guess\": \"{g}\", \"target\": \"{t}\", \"country\": \"{c}\", \
+                 \"sample\": \"s{i:03}\", \"date\": \"2014-01-{:02}\"}}\n",
+                (i % 28) + 1
+            ));
+        }
+        sc.hdfs().put_text("/c.json", &text).unwrap();
+        for q in [ConfusionQuery::Filter, ConfusionQuery::Group, ConfusionQuery::Sort] {
+            let a = run(&sc, "hdfs:///c.json", q).unwrap().normalized();
+            let b = rawspark::run(&sc, "hdfs:///c.json", q).unwrap().normalized();
+            assert_eq!(a, b, "mismatch on {q:?}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablations of the engine's design choices (DESIGN.md §3):
+//!
+//! * the §4.7 `COUNT` detection — `count($o)` after a group-by vs forcing
+//!   materialization of the group's items;
+//! * unused-column pruning — returning only the key vs also shipping the
+//!   whole group;
+//! * the three-column native key encoding — grouping on a computed
+//!   heterogeneous key vs a pre-stringified one (what a SQL engine would
+//!   force the user to do);
+//! * filter placement — a `where` the optimizer can push below the sort vs
+//!   a count-gated one it cannot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumble_core::Rumble;
+use rumble_datagen::{confusion, put_dataset, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+const OBJECTS: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let sc = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+    put_dataset(&sc, "hdfs:///confusion.json", &confusion::generate(OBJECTS, DEFAULT_SEED))
+        .expect("dataset fits");
+    let rumble = Rumble::new(sc);
+
+    let run = |q: &str| {
+        let prepared = rumble.compile(q).expect("query compiles");
+        move || prepared.collect().expect("query runs").len()
+    };
+
+    // --- §4.7 COUNT detection ---------------------------------------------
+    let mut g = c.benchmark_group("ablation/group-count");
+    g.sample_size(10);
+    g.bench_function("count-optimized", {
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       group by $t := $i.target
+                       return { t: $t, n: count($i) }"#);
+        move |b| b.iter(&f)
+    });
+    g.bench_function("materialized", {
+        // `[$o]` forces NonGroupingUsage::Materialize: the whole group is
+        // collected and shipped even though only its size is used.
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       group by $t := $i.target
+                       return { t: $t, n: size([ $i ]) }"#);
+        move |b| b.iter(&f)
+    });
+    g.finish();
+
+    // --- unused-column pruning ---------------------------------------------
+    let mut g = c.benchmark_group("ablation/group-pruning");
+    g.sample_size(10);
+    g.bench_function("unused-dropped", {
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       group by $t := $i.target
+                       return $t"#);
+        move |b| b.iter(&f)
+    });
+    g.bench_function("group-shipped", {
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       group by $t := $i.target
+                       return ($t, count(distinct-values(for $x in $i return $x.sample)) gt 0)"#);
+        move |b| b.iter(&f)
+    });
+    g.finish();
+
+    // --- heterogeneous keys vs pre-stringified keys --------------------------
+    let mut g = c.benchmark_group("ablation/key-encoding");
+    g.sample_size(10);
+    g.bench_function("native-three-column", {
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       group by $c := ($i.country[], $i.country, "USA")[1], $t := $i.target
+                       return count($i)"#);
+        move |b| b.iter(&f)
+    });
+    g.bench_function("stringified-key", {
+        // What a schema-bound engine forces: build a composite string key.
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       group by $k := (($i.country[], $i.country, "USA")[1] || "/" || $i.target)
+                       return count($i)"#);
+        move |b| b.iter(&f)
+    });
+    g.finish();
+
+    // --- filter placement vs the optimizer ----------------------------------
+    let mut g = c.benchmark_group("ablation/filter-pushdown");
+    g.sample_size(10);
+    g.bench_function("pushable-where", {
+        // The where precedes the sort: only matches get sorted.
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       where $i.guess = $i.target
+                       order by $i.target
+                       return $i.sample"#);
+        move |b| b.iter(&f)
+    });
+    g.bench_function("post-sort-where", {
+        // The where is count-gated, so it must run after the sort.
+        let f = run(r#"for $i in json-file("hdfs:///confusion.json")
+                       order by $i.target
+                       count $c
+                       where $i.guess = $i.target
+                       return $i.sample"#);
+        move |b| b.iter(&f)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 11 (Criterion form): local measurements of the filter, group and
+//! sort queries for Rumble, raw Spark, Spark SQL and PySpark.
+//!
+//! Criterion gives statistically solid per-query numbers at a reduced
+//! scale; the `harness fig11` binary produces the full-size table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rumble_baselines::ConfusionQuery;
+use rumble_bench::systems::{run_confusion, System};
+use rumble_datagen::{confusion, put_dataset, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+const OBJECTS: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let sc = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+    put_dataset(&sc, "hdfs:///confusion.json", &confusion::generate(OBJECTS, DEFAULT_SEED))
+        .expect("dataset fits");
+
+    for query in [ConfusionQuery::Filter, ConfusionQuery::Group, ConfusionQuery::Sort] {
+        let mut group = c.benchmark_group(format!("fig11/{query:?}"));
+        group.sample_size(10);
+        for system in System::spark_based() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(system.name()),
+                &system,
+                |b, &system| {
+                    b.iter(|| {
+                        run_confusion(system, &sc, "hdfs:///confusion.json", query)
+                            .expect("query runs")
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 12 (Criterion form): Rumble vs the single-threaded JSONiq
+//! engines (Zorba-like, Xidel-like) as the input grows. The time cliffs of
+//! the naive engines appear as super-linear growth; the OOM cliffs are
+//! exercised by `harness fig12` at larger scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rumble_baselines::ConfusionQuery;
+use rumble_bench::systems::{run_confusion, System};
+use rumble_datagen::{confusion, put_dataset, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+fn bench(c: &mut Criterion) {
+    for objects in [5_000usize, 20_000] {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+        put_dataset(&sc, "hdfs:///confusion.json", &confusion::generate(objects, DEFAULT_SEED))
+            .expect("dataset fits");
+        let mut group = c.benchmark_group(format!("fig12/group-query/{objects}"));
+        group.sample_size(10);
+        for system in System::jsoniq_engines() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(system.name()),
+                &system,
+                |b, &system| {
+                    b.iter(|| {
+                        run_confusion(system, &sc, "hdfs:///confusion.json", ConfusionQuery::Group)
+                            .expect("query runs")
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

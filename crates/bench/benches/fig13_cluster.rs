@@ -1,0 +1,40 @@
+//! Figure 13 (Criterion form): the "cluster" configuration — all available
+//! cores, higher parallelism, larger input than fig11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rumble_baselines::ConfusionQuery;
+use rumble_bench::systems::{run_confusion, System};
+use rumble_datagen::{confusion, put_dataset, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+const OBJECTS: usize = 40_000;
+
+fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let sc = SparkliteContext::new(
+        SparkliteConf::default().with_executors(cores).with_default_parallelism(cores * 2),
+    );
+    put_dataset(&sc, "hdfs:///confusion20x.json", &confusion::generate(OBJECTS, DEFAULT_SEED))
+        .expect("dataset fits");
+
+    for query in [ConfusionQuery::Filter, ConfusionQuery::Group, ConfusionQuery::Sort] {
+        let mut group = c.benchmark_group(format!("fig13/{query:?}"));
+        group.sample_size(10);
+        for system in System::spark_based() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(system.name()),
+                &system,
+                |b, &system| {
+                    b.iter(|| {
+                        run_confusion(system, &sc, "hdfs:///confusion20x.json", query)
+                            .expect("query runs")
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 14 (Criterion form): the Reddit filter query at increasing
+//! executor counts — runtime should drop near-linearly with cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rumble_bench::systems::run_reddit_filter;
+use rumble_datagen::{put_dataset, reddit, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+const OBJECTS: usize = 50_000;
+
+fn bench(c: &mut Criterion) {
+    let text = reddit::generate(OBJECTS, DEFAULT_SEED);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut group = c.benchmark_group("fig14/reddit-filter");
+    group.sample_size(10);
+    for executors in [1usize, 2, 4, 8] {
+        if executors > cores * 2 {
+            continue;
+        }
+        let sc = SparkliteContext::new(
+            SparkliteConf::default()
+                .with_executors(executors)
+                .with_default_parallelism((executors * 2).max(4)),
+        );
+        put_dataset(&sc, "hdfs:///reddit.json", &text).expect("dataset fits");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{executors}-executors")),
+            &sc,
+            |b, sc| b.iter(|| run_reddit_filter(sc, "hdfs:///reddit.json").expect("query runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

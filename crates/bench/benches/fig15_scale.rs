@@ -1,0 +1,33 @@
+//! Figure 15 (Criterion form): the Reddit filter query over replicated
+//! datasets — runtime should grow linearly with input size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rumble_bench::systems::run_reddit_filter;
+use rumble_datagen::{put_dataset, reddit, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+const BASE_OBJECTS: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let base = reddit::generate(BASE_OBJECTS, DEFAULT_SEED);
+    let mut group = c.benchmark_group("fig15/reddit-filter-scale");
+    group.sample_size(10);
+    for factor in [1usize, 2, 4, 8] {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_block_size(1 << 20));
+        let mut text = String::with_capacity(base.len() * factor);
+        for _ in 0..factor {
+            text.push_str(&base);
+        }
+        put_dataset(&sc, "hdfs:///reddit.json", &text).expect("dataset fits");
+        group.throughput(Throughput::Elements((BASE_OBJECTS * factor) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}-objects", BASE_OBJECTS * factor)),
+            &sc,
+            |b, sc| b.iter(|| run_reddit_filter(sc, "hdfs:///reddit.json").expect("query runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the substrates (not a paper figure): JSON parsing
+//! into items, the item codec, and the core sparklite primitives. These
+//! bound what the end-to-end numbers can possibly be and make regressions
+//! attributable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rumble_core::item::{decode_items, encode_items, item_from_json};
+use rumble_datagen::{confusion, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+fn bench(c: &mut Criterion) {
+    let text = confusion::generate(5_000, DEFAULT_SEED);
+    let lines: Vec<&str> = text.lines().collect();
+
+    // JSON Lines → items (the §5.7 hot loop).
+    let mut g = c.benchmark_group("substrate/json-parse");
+    g.throughput(Throughput::Elements(lines.len() as u64));
+    g.bench_function("items", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for l in &lines {
+                n += item_from_json(l).expect("valid line").is_atomic() as usize;
+            }
+            n
+        })
+    });
+    g.finish();
+
+    // The binary item codec (DataFrame Bin columns, §4.3).
+    let items: Vec<_> = lines.iter().map(|l| item_from_json(l).expect("valid")).collect();
+    let encoded: Vec<Vec<u8>> =
+        items.iter().map(|i| encode_items(std::slice::from_ref(i))).collect();
+    let mut g = c.benchmark_group("substrate/item-codec");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            items
+                .iter()
+                .map(|i| encode_items(std::slice::from_ref(i)).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| encoded.iter().map(|e| decode_items(e).expect("valid").len()).sum::<usize>())
+    });
+    g.finish();
+
+    // Raw sparklite primitives.
+    let sc = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+    let data: Vec<i64> = (0..200_000).collect();
+    let mut g = c.benchmark_group("substrate/sparklite");
+    g.sample_size(10);
+    g.bench_function("map-filter-count", |b| {
+        b.iter(|| {
+            sc.parallelize(data.clone(), 16)
+                .map(|x| x * 3)
+                .filter(|x| x % 7 == 0)
+                .count()
+                .expect("job runs")
+        })
+    });
+    g.bench_function("reduce-by-key", |b| {
+        b.iter(|| {
+            sc.parallelize(data.clone(), 16)
+                .map(|x| (x % 100, 1u64))
+                .reduce_by_key(|a, b| a + b, 8)
+                .collect()
+                .expect("job runs")
+                .len()
+        })
+    });
+    g.bench_function("sort", |b| {
+        b.iter(|| {
+            sc.parallelize(data.clone(), 16)
+                .sort_by(|x| std::cmp::Reverse(*x), true, 8)
+                .take(10)
+                .expect("job runs")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! The evaluation harness: regenerates every figure of the paper at a
+//! configurable scale.
+//!
+//! ```text
+//! harness [figure] [--scale N] [--tries N]
+//!
+//!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned
+//!   --scale   object-count multiplier (default 1 → laptop-sized runs)
+//!   --tries   timed repetitions per measurement (default 3)
+//! ```
+
+use rumble_bench::figures;
+use std::time::Duration;
+
+struct Args {
+    figure: String,
+    scale: usize,
+    tries: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { figure: "all".to_string(), scale: 1, tries: 3 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+            }
+            "--tries" => {
+                args.tries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tries needs a positive integer"));
+            }
+            "--help" | "-h" => {
+                println!("usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned] [--scale N] [--tries N]");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => args.figure = other.to_string(),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let s = args.scale;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let run_fig = |name: &str| args.figure == "all" || args.figure == name;
+    let mut ran = false;
+
+    if run_fig("fig11") {
+        ran = true;
+        println!("{}", figures::fig11(200_000 * s, 4, args.tries).report);
+    }
+    if run_fig("fig12") {
+        ran = true;
+        let sizes: Vec<usize> =
+            [50_000, 100_000, 200_000, 400_000, 800_000].iter().map(|n| n * s).collect();
+        println!("{}", figures::fig12(&sizes, Duration::from_secs(600)).report);
+    }
+    if run_fig("fig13") {
+        ran = true;
+        println!("{}", figures::fig13(400_000 * s, (cores * 4).max(16), args.tries).report);
+    }
+    if run_fig("fig14") {
+        ran = true;
+        let counts = [1usize, 2, 4, 8, 16, 32];
+        let (_, report) = figures::fig14(300_000 * s, &counts, args.tries);
+        println!("{report}");
+    }
+    if run_fig("fig15") {
+        ran = true;
+        let (_, report) = figures::fig15(100_000 * s, &[1, 2, 4, 8], cores);
+        println!("{report}");
+    }
+    if run_fig("handtuned") {
+        ran = true;
+        println!("{}", figures::handtuned_comparison(200_000 * s).report);
+    }
+    if !ran {
+        die(&format!("unknown figure '{}'", args.figure));
+    }
+}

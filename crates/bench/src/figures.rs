@@ -1,0 +1,326 @@
+//! Figure drivers: each function regenerates one figure of the paper's
+//! evaluation at a configurable scale and returns a rendered report plus
+//! the raw measurements (for EXPERIMENTS.md and the tests).
+
+use crate::systems::{run_confusion, run_reddit_filter, System};
+use crate::{fmt_duration, render_table, time};
+use rumble_baselines::ConfusionQuery;
+use rumble_datagen::{confusion, put_dataset, reddit, DEFAULT_SEED};
+use sparklite::{SparkliteConf, SparkliteContext};
+use std::time::Duration;
+
+pub const QUERIES: [ConfusionQuery; 3] =
+    [ConfusionQuery::Filter, ConfusionQuery::Group, ConfusionQuery::Sort];
+
+/// One measurement cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    Time(Duration),
+    Failed(String),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Time(d) => fmt_duration(*d),
+            Cell::Failed(msg) => {
+                if msg.contains("out of memory") {
+                    "OOM".to_string()
+                } else {
+                    "FAIL".to_string()
+                }
+            }
+        }
+    }
+
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            Cell::Time(d) => Some(d.as_secs_f64()),
+            Cell::Failed(_) => None,
+        }
+    }
+}
+
+/// A measured figure: rows of labelled cells plus the rendered report.
+pub struct FigureReport {
+    pub rows: Vec<(String, Vec<Cell>)>,
+    pub report: String,
+}
+
+fn measure_systems(
+    sc: &SparkliteContext,
+    path: &str,
+    systems: &[System],
+    tries: usize,
+) -> Vec<(String, Vec<Cell>)> {
+    let mut rows = Vec::new();
+    for &system in systems {
+        let mut cells = Vec::new();
+        for query in QUERIES {
+            // Warm once (outside timing) to factor out lazy init, then
+            // average over `tries`.
+            let mut total = Duration::ZERO;
+            let mut failure: Option<String> = None;
+            for _ in 0..tries.max(1) {
+                let (r, d) = time(|| run_confusion(system, sc, path, query));
+                match r {
+                    Ok(_) => total += d,
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            cells.push(match failure {
+                Some(e) => Cell::Failed(e),
+                None => Cell::Time(total / tries.max(1) as u32),
+            });
+        }
+        rows.push((system.name().to_string(), cells));
+    }
+    rows
+}
+
+fn render_rows(title: &str, rows: &[(String, Vec<Cell>)]) -> String {
+    let rendered: Vec<(String, Vec<String>)> = rows
+        .iter()
+        .map(|(l, cells)| (l.clone(), cells.iter().map(Cell::render).collect()))
+        .collect();
+    render_table(title, &["filter", "group", "sort"], &rendered)
+}
+
+/// **Figure 11** — local measurements: Rumble vs Spark vs Spark SQL vs
+/// PySpark, three queries on the confusion dataset.
+pub fn fig11(objects: usize, executors: usize, tries: usize) -> FigureReport {
+    let sc = SparkliteContext::new(SparkliteConf::default().with_executors(executors));
+    put_dataset(&sc, "hdfs:///confusion.json", &confusion::generate(objects, DEFAULT_SEED))
+        .expect("dataset fits in the simulated HDFS");
+    let rows = measure_systems(&sc, "hdfs:///confusion.json", &System::spark_based(), tries);
+    let report = format!(
+        "{}\npaper (16M objects, laptop): Rumble wins filter (no schema inference); \
+         group/sort sit between Spark/Spark SQL and PySpark; PySpark always slowest.\n",
+        render_rows(&format!("Fig. 11 — local, {objects} objects, {executors} cores"), &rows)
+    );
+    FigureReport { rows, report }
+}
+
+/// **Figure 12** — Rumble vs single-threaded JSONiq engines over growing
+/// input sizes; naive engines hit time/memory cliffs.
+pub fn fig12(sizes: &[usize], timeout: Duration) -> FigureReport {
+    let mut rows = Vec::new();
+    let mut dead: Vec<bool> = vec![false; System::jsoniq_engines().len()];
+    for &n in sizes {
+        let sc = SparkliteContext::new(SparkliteConf::default());
+        put_dataset(&sc, "hdfs:///confusion.json", &confusion::generate(n, DEFAULT_SEED))
+            .expect("dataset fits");
+        for (si, &system) in System::jsoniq_engines().iter().enumerate() {
+            let mut cells = Vec::new();
+            for query in QUERIES {
+                if dead[si] {
+                    // Past its cliff: the paper stopped measuring too.
+                    cells.push(Cell::Failed("capped".into()));
+                    continue;
+                }
+                let (r, d) = time(|| run_confusion(system, &sc, "hdfs:///confusion.json", query));
+                match r {
+                    Ok(_) if d <= timeout => cells.push(Cell::Time(d)),
+                    Ok(_) => {
+                        cells.push(Cell::Failed("timeout".into()));
+                        dead[si] = true;
+                    }
+                    Err(e) => {
+                        cells.push(Cell::Failed(e));
+                        dead[si] = true;
+                    }
+                }
+            }
+            rows.push((format!("{n} × {}", system.name()), cells));
+        }
+    }
+    let report = format!(
+        "{}\npaper: Zorba OOMs past 4M objects on group/sort; Xidel dies earlier; \
+         Rumble handles the full 16M.\n",
+        render_rows("Fig. 12 — JSONiq engines vs input size", &rows)
+    );
+    FigureReport { rows, report }
+}
+
+/// **Figure 13** — "cluster" measurements: the same four systems with more
+/// executor cores and a larger (20×-style) dataset.
+pub fn fig13(objects: usize, executors: usize, tries: usize) -> FigureReport {
+    let sc = SparkliteContext::new(
+        SparkliteConf::default().with_executors(executors).with_default_parallelism(executors * 2),
+    );
+    put_dataset(&sc, "hdfs:///confusion20x.json", &confusion::generate(objects, DEFAULT_SEED))
+        .expect("dataset fits");
+    let rows = measure_systems(&sc, "hdfs:///confusion20x.json", &System::spark_based(), tries);
+    let report = format!(
+        "{}\npaper (320M objects, 9 nodes): JSONiq fastest on filter, on par with raw \
+         Spark for sort, ~2x slower on group; always faster than PySpark.\n",
+        render_rows(&format!("Fig. 13 — cluster, {objects} objects, {executors} cores"), &rows)
+    );
+    FigureReport { rows, report }
+}
+
+/// One Fig. 14 measurement point.
+#[derive(Debug, Clone)]
+pub struct SpeedupPoint {
+    pub executors: usize,
+    /// Measured wall-clock runtime. On a host with fewer physical cores
+    /// than executors this flattens out (threads time-share), so the
+    /// modeled runtime below is the comparable series.
+    pub runtime: Duration,
+    /// Total busy time across all executor cores (the paper's "aggregated
+    /// runtime over the cluster").
+    pub aggregated: Duration,
+    /// `aggregated / executors`: the runtime a host with that many
+    /// physical cores would see for this embarrassingly parallel scan.
+    pub modeled: Duration,
+}
+
+/// **Figure 14** — speedup: the Reddit filter query for 1..=32 executors;
+/// reports runtime and aggregated core time (which must grow by no more
+/// than ~2× end to end).
+pub fn fig14(objects: usize, executor_counts: &[usize], tries: usize) -> (Vec<SpeedupPoint>, String) {
+    let text = reddit::generate(objects, DEFAULT_SEED);
+    let mut points = Vec::new();
+    for &e in executor_counts {
+        let sc = SparkliteContext::new(
+            SparkliteConf::default().with_executors(e).with_default_parallelism((e * 2).max(4)),
+        );
+        put_dataset(&sc, "hdfs:///reddit.json", &text).expect("dataset fits");
+        // Warm-up run, then measured runs.
+        run_reddit_filter(&sc, "hdfs:///reddit.json").expect("query runs");
+        let mut total = Duration::ZERO;
+        let busy_before = sc.metrics().task_busy_us;
+        for _ in 0..tries.max(1) {
+            let (r, d) = time(|| run_reddit_filter(&sc, "hdfs:///reddit.json"));
+            r.expect("query runs");
+            total += d;
+        }
+        let busy = sc.metrics().task_busy_us - busy_before;
+        let aggregated = Duration::from_micros(busy / tries.max(1) as u64);
+        points.push(SpeedupPoint {
+            executors: e,
+            runtime: total / tries.max(1) as u32,
+            aggregated,
+            modeled: aggregated / e as u32,
+        });
+    }
+    let rows: Vec<(String, Vec<String>)> = points
+        .iter()
+        .map(|p| {
+            (
+                format!("{} executors", p.executors),
+                vec![
+                    fmt_duration(p.runtime),
+                    fmt_duration(p.aggregated),
+                    fmt_duration(p.modeled),
+                ],
+            )
+        })
+        .collect();
+    let physical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let report = format!(
+        "{}\nhost has {physical} physical core(s): wall runtime flattens once executors \
+         exceed cores; `modeled` (= aggregated / executors) is the multicore projection.\n\
+         paper (30GB Reddit, 9 nodes): near-linear speedup 1→32 executors; aggregated \
+         core time rises by no more than ~2x.\n",
+        render_table(
+            &format!("Fig. 14 — speedup, Reddit filter, {objects} objects"),
+            &["runtime", "aggregated", "modeled"],
+            &rows
+        )
+    );
+    (points, report)
+}
+
+/// One Fig. 15 measurement point.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    pub objects: usize,
+    pub runtime: Duration,
+}
+
+/// **Figure 15** — scaling with input size: the Reddit filter query over
+/// replicated datasets; runtime must stay linear in input size.
+pub fn fig15(base_objects: usize, factors: &[usize], executors: usize) -> (Vec<ScalePoint>, String) {
+    let base = reddit::generate(base_objects, DEFAULT_SEED);
+    let mut points = Vec::new();
+    for &f in factors {
+        let sc = SparkliteContext::new(
+            SparkliteConf::default().with_executors(executors).with_block_size(1 << 20),
+        );
+        // Replication, like the paper's ×400 duplication of the dump.
+        let mut text = String::with_capacity(base.len() * f);
+        for _ in 0..f {
+            text.push_str(&base);
+        }
+        put_dataset(&sc, "hdfs:///reddit.json", &text).expect("dataset fits");
+        run_reddit_filter(&sc, "hdfs:///reddit.json").expect("warm-up runs");
+        let (r, d) = time(|| run_reddit_filter(&sc, "hdfs:///reddit.json"));
+        r.expect("query runs");
+        points.push(ScalePoint { objects: base_objects * f, runtime: d });
+    }
+    let rows: Vec<(String, Vec<String>)> = points
+        .iter()
+        .map(|p| (format!("{:>10} objects", p.objects), vec![fmt_duration(p.runtime)]))
+        .collect();
+    let report = format!(
+        "{}\npaper (up to 21.6B objects / 12TB on S3): runtime is linear in input size.\n",
+        render_table("Fig. 15 — scale-up, Reddit filter", &["runtime"], &rows)
+    );
+    (points, report)
+}
+
+/// **§6.3 prose** — the hand-tuned low-level program vs the engines.
+pub fn handtuned_comparison(objects: usize) -> FigureReport {
+    let sc = SparkliteContext::new(SparkliteConf::default());
+    put_dataset(&sc, "hdfs:///confusion.json", &confusion::generate(objects, DEFAULT_SEED))
+        .expect("dataset fits");
+    let rows = measure_systems(
+        &sc,
+        "hdfs:///confusion.json",
+        &[System::Rumble, System::ZorbaLike, System::HandTuned],
+        1,
+    );
+    let report = format!(
+        "{}\npaper: ad-hoc low-level code beats every generic engine by a constant factor \
+         (36s filter / 44s group on half the cores for 16M objects).\n",
+        render_rows(&format!("§6.3 — hand-tuned comparison, {objects} objects"), &rows)
+    );
+    FigureReport { rows, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_smoke() {
+        let r = fig11(400, 2, 1);
+        assert_eq!(r.rows.len(), 4);
+        assert!(r.rows.iter().all(|(_, cells)| cells.iter().all(|c| c.seconds().is_some())));
+        assert!(r.report.contains("Fig. 11"));
+    }
+
+    #[test]
+    fn fig12_smoke_records_cliffs() {
+        let r = fig12(&[200, 400], Duration::from_secs(30));
+        assert_eq!(r.rows.len(), 6);
+    }
+
+    #[test]
+    fn fig14_smoke() {
+        let (points, report) = fig14(2_000, &[1, 2], 1);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.aggregated >= Duration::ZERO));
+        assert!(report.contains("speedup"));
+    }
+
+    #[test]
+    fn fig15_smoke_is_monotone() {
+        let (points, _) = fig15(1_000, &[1, 4], 2);
+        assert!(points[1].runtime >= points[0].runtime / 2, "larger input not faster");
+    }
+}

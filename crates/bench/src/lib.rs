@@ -1,0 +1,79 @@
+//! The benchmark harness: one driver per table/figure of the paper's
+//! evaluation (see the experiment index in DESIGN.md).
+//!
+//! The drivers run every system on the *same* generated dataset, verify
+//! that all answers agree, and report wall-clock timings side by side with
+//! the numbers the paper reports for its (much larger) hardware — the
+//! point of comparison is the *shape* (who wins, by roughly what factor,
+//! where the cliffs are), not the absolute values.
+
+pub mod figures;
+pub mod systems;
+
+use std::time::{Duration, Instant};
+
+/// Times one closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Renders a table of `(row label, column values)` with a header.
+pub fn render_table(title: &str, header: &[&str], rows: &[(String, Vec<String>)]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let mut label_w = 0usize;
+    for (label, cells) in rows {
+        label_w = label_w.max(label.len());
+        for (i, c) in cells.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = format!("== {title} ==\n");
+    out.push_str(&format!("{:label_w$}", ""));
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!("  {h:>w$}"));
+    }
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(&format!("{label:label_w$}"));
+        for (c, w) in cells.iter().zip(&widths) {
+            out.push_str(&format!("  {c:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let t = render_table(
+            "demo",
+            &["a", "b"],
+            &[("row1".into(), vec!["1".into(), "2".into()])],
+        );
+        assert!(t.contains("demo") && t.contains("row1"));
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.50s");
+        assert!(fmt_duration(Duration::from_micros(2500)).ends_with("ms"));
+    }
+}

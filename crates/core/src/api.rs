@@ -1,0 +1,224 @@
+//! The public engine facade: configure a cluster, register data, run
+//! JSONiq.
+
+use crate::compiler::{compile_query, CompiledProgram};
+use crate::error::Result;
+use crate::item::{seq, Item};
+use crate::runtime::{CollectionSource, DynamicContext, EngineCtx};
+use sparklite::{SparkliteConf, SparkliteContext};
+use std::sync::Arc;
+
+/// The Rumble engine: a JSONiq processor on top of a sparklite cluster.
+///
+/// ```
+/// use rumble_core::Rumble;
+///
+/// let rumble = Rumble::default_local();
+/// let out = rumble.run("1 + 1").unwrap();
+/// assert_eq!(out[0].as_i64(), Some(2));
+/// ```
+pub struct Rumble {
+    engine: Arc<EngineCtx>,
+}
+
+impl Rumble {
+    /// Wraps an existing sparklite context.
+    pub fn new(sc: SparkliteContext) -> Rumble {
+        Rumble { engine: EngineCtx::new(sc) }
+    }
+
+    /// A fresh engine with the given configuration.
+    pub fn with_conf(conf: SparkliteConf) -> Rumble {
+        Rumble::new(SparkliteContext::new(conf))
+    }
+
+    /// A fresh engine with default local configuration.
+    pub fn default_local() -> Rumble {
+        Rumble::new(SparkliteContext::default_local())
+    }
+
+    /// The underlying cluster handle (for metrics, storage, tuning).
+    pub fn sparklite(&self) -> &SparkliteContext {
+        &self.engine.sc
+    }
+
+    /// Writes a text file into the simulated HDFS so `json-file("hdfs://…")`
+    /// can read it.
+    pub fn hdfs_put(&self, path: &str, text: &str) -> Result<()> {
+        self.engine.sc.hdfs().put_text(path, text)?;
+        Ok(())
+    }
+
+    /// Registers a named collection backed by a JSON Lines file.
+    pub fn register_collection_path(&self, name: impl Into<String>, path: impl Into<String>) {
+        self.engine
+            .collections
+            .write()
+            .insert(name.into(), CollectionSource::Path(path.into()));
+    }
+
+    /// Registers a named collection from driver-local items.
+    pub fn register_collection_items(&self, name: impl Into<String>, items: Vec<Item>) {
+        self.engine
+            .collections
+            .write()
+            .insert(name.into(), CollectionSource::Items(Arc::new(items)));
+    }
+
+    /// Sets the maximum number of items the local API materializes from a
+    /// distributed result (§5.5). Results beyond the cap are truncated and
+    /// [`Rumble::was_truncated`] starts returning true.
+    pub fn set_materialization_cap(&self, cap: usize) {
+        self.engine
+            .materialization_cap
+            .store(cap.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether any materialization hit the cap since the engine started —
+    /// the "warning" of §5.5.
+    pub fn was_truncated(&self) -> bool {
+        self.engine.truncated.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Parses, checks and compiles a query for (repeated) execution.
+    pub fn compile(&self, query: &str) -> Result<PreparedQuery> {
+        let program = compile_query(query)?;
+        Ok(PreparedQuery { engine: Arc::clone(&self.engine), program })
+    }
+
+    /// Compiles and runs a query, collecting the full result sequence.
+    pub fn run(&self, query: &str) -> Result<Vec<Item>> {
+        self.compile(query)?.collect()
+    }
+
+    /// Compiles and runs, keeping at most `n` items (the shell's behaviour,
+    /// §5.4: collected up to a configurable maximum).
+    pub fn run_take(&self, query: &str, n: usize) -> Result<Vec<Item>> {
+        self.compile(query)?.take(n)
+    }
+}
+
+/// A compiled, executable query.
+pub struct PreparedQuery {
+    engine: Arc<EngineCtx>,
+    program: CompiledProgram,
+}
+
+impl PreparedQuery {
+    /// Builds the root dynamic context, evaluating prolog globals in
+    /// declaration order (later globals may use earlier ones).
+    fn root_ctx(&self) -> Result<DynamicContext> {
+        let mut ctx = DynamicContext::root(Arc::clone(&self.engine));
+        for (name, init) in &self.program.globals {
+            let value = init.materialize(&ctx)?;
+            ctx = ctx.bind(Arc::clone(name), seq(value));
+        }
+        Ok(ctx)
+    }
+
+    /// Whether the result is produced as an RDD (fully parallel pipeline).
+    pub fn is_distributed(&self) -> Result<bool> {
+        let ctx = self.root_ctx()?;
+        Ok(self.program.body.is_rdd(&ctx))
+    }
+
+    /// Runs and materializes the whole result sequence on the driver.
+    pub fn collect(&self) -> Result<Vec<Item>> {
+        let ctx = self.root_ctx()?;
+        self.program.body.materialize(&ctx)
+    }
+
+    /// Runs and keeps at most `n` items.
+    pub fn take(&self, n: usize) -> Result<Vec<Item>> {
+        let ctx = self.root_ctx()?;
+        if self.program.body.is_rdd(&ctx) {
+            return Ok(self.program.body.rdd(&ctx)?.take(n)?);
+        }
+        let mut out = Vec::with_capacity(n.min(1024));
+        let mut cursor = self.program.body.open(&ctx)?;
+        while out.len() < n {
+            match cursor.next() {
+                None => break,
+                Some(r) => out.push(r?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Counts result items without materializing them on the driver.
+    pub fn count(&self) -> Result<u64> {
+        let ctx = self.root_ctx()?;
+        if self.program.body.is_rdd(&ctx) {
+            return Ok(self.program.body.rdd(&ctx)?.count()?);
+        }
+        let mut n = 0u64;
+        let cursor = self.program.body.open(&ctx)?;
+        for r in cursor {
+            r?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Writes the result as JSON Lines. Distributed pipelines write in
+    /// parallel, one output block per partition, without materializing on
+    /// the driver (§5.4: "Rumble can directly write the results back to
+    /// HDFS … in parallel"). Returns the number of items written.
+    pub fn write_json_lines(&self, path: &str) -> Result<u64> {
+        let ctx = self.root_ctx()?;
+        if self.program.body.is_rdd(&ctx) {
+            let rdd = self.program.body.rdd(&ctx)?;
+            let lines = rdd.map(|item| item.serialize());
+            let n = lines.count()?;
+            lines.save_as_text_file(path)?;
+            return Ok(n);
+        }
+        let items = self.program.body.materialize(&ctx)?;
+        let mut text = String::new();
+        for i in &items {
+            text.push_str(&i.serialize());
+            text.push('\n');
+        }
+        let (scheme, key) = sparklite::storage::resolve_scheme(path);
+        match scheme {
+            sparklite::storage::PathScheme::SimHdfs => {
+                self.engine.sc.hdfs().put_text(key, &text)?;
+            }
+            sparklite::storage::PathScheme::LocalFs => {
+                std::fs::write(key, text).map_err(sparklite::SparkliteError::from)?;
+            }
+        }
+        Ok(items.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_queries() {
+        let r = Rumble::default_local();
+        assert_eq!(r.run("1 + 2 * 3").unwrap(), vec![Item::Integer(7)]);
+        assert_eq!(r.run("\"a\" || \"b\"").unwrap(), vec![Item::str("ab")]);
+        assert_eq!(r.run("(1 to 4)[$$ mod 2 eq 0]").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn globals_bind_in_order() {
+        let r = Rumble::default_local();
+        let out = r
+            .run("declare variable $a := 2; declare variable $b := $a * 10; $b + $a")
+            .unwrap();
+        assert_eq!(out, vec![Item::Integer(22)]);
+    }
+
+    #[test]
+    fn prepared_queries_are_reusable() {
+        let r = Rumble::default_local();
+        let q = r.compile("sum(1 to 10)").unwrap();
+        assert_eq!(q.collect().unwrap(), vec![Item::Integer(55)]);
+        assert_eq!(q.collect().unwrap(), vec![Item::Integer(55)]);
+        assert_eq!(q.count().unwrap(), 1);
+    }
+}

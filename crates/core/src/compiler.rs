@@ -1,0 +1,778 @@
+//! Code generation (§5.4): converts the checked AST into the tree of
+//! runtime iterators, including the FLWOR clause chain and the group-by
+//! consumption analysis of §4.7 (count-only and unused non-grouping
+//! variables).
+
+use crate::error::{codes, Result, RumbleError};
+use crate::flwor::clauses::{
+    CountClauseIter, ForClauseIter, GroupByClauseIter, GroupKeySpec, LetClauseIter,
+    NonGroupingUsage, OrderByClauseIter, OrderSpecIter, WhereClauseIter,
+};
+use crate::flwor::{ClauseRef, FlworIter};
+use crate::item::{Dec, Item};
+use crate::runtime::exprs::*;
+use crate::runtime::functions::{Builtin, BuiltinCallIter, CompiledFunction, UserCallIter};
+use crate::runtime::ExprRef;
+use crate::semantics::{check_program, free_variables};
+use crate::syntax::ast;
+use crate::syntax::parse_program;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// A compiled program: global variable initializers (in declaration order)
+/// plus the main expression.
+pub struct CompiledProgram {
+    pub globals: Vec<(Arc<str>, ExprRef)>,
+    pub body: ExprRef,
+}
+
+/// Parses, checks and compiles a query.
+pub fn compile_query(src: &str) -> Result<CompiledProgram> {
+    let program = parse_program(src)?;
+    check_program(&program)?;
+    compile_program(&program)
+}
+
+/// Compiles a checked AST.
+pub fn compile_program(p: &ast::Program) -> Result<CompiledProgram> {
+    let mut c = Compiler { functions: HashMap::new() };
+    // Pass 1: a slot per declared function, so bodies can call forward and
+    // recursively.
+    for d in &p.decls {
+        if let ast::Decl::Function { name, params, .. } = d {
+            c.functions.insert((name.clone(), params.len()), Arc::new(OnceLock::new()));
+        }
+    }
+    // Pass 2: compile bodies and globals.
+    let mut globals = Vec::new();
+    for d in &p.decls {
+        match d {
+            ast::Decl::Variable { name, expr } => {
+                globals.push((Arc::<str>::from(name.as_str()), c.expr(expr)?));
+            }
+            ast::Decl::Function { name, params, body } => {
+                let compiled = CompiledFunction {
+                    params: params.iter().map(|p| Arc::<str>::from(p.as_str())).collect(),
+                    body: c.expr(body)?,
+                };
+                let slot = c.functions.get(&(name.clone(), params.len())).expect("slot created");
+                slot.set(compiled)
+                    .ok()
+                    .expect("each function is compiled exactly once");
+            }
+        }
+    }
+    let body = c.expr(&p.body)?;
+    Ok(CompiledProgram { globals, body })
+}
+
+struct Compiler {
+    functions: HashMap<(String, usize), Arc<OnceLock<CompiledFunction>>>,
+}
+
+impl Compiler {
+    fn expr(&self, e: &ast::Expr) -> Result<ExprRef> {
+        Ok(match e {
+            ast::Expr::Literal(lit) => Arc::new(LiteralIter(literal_item(lit)?)),
+            ast::Expr::Empty => Arc::new(EmptySeqIter),
+            ast::Expr::VarRef(name) => Arc::new(VarRefIter(Arc::from(name.as_str()))),
+            ast::Expr::ContextItem => Arc::new(ContextItemIter),
+            ast::Expr::Sequence(items) => {
+                Arc::new(CommaIter(items.iter().map(|i| self.expr(i)).collect::<Result<_>>()?))
+            }
+            ast::Expr::Or(a, b) => Arc::new(OrIter(self.expr(a)?, self.expr(b)?)),
+            ast::Expr::And(a, b) => Arc::new(AndIter(self.expr(a)?, self.expr(b)?)),
+            ast::Expr::Not(a) => Arc::new(NotIter(self.expr(a)?)),
+            ast::Expr::Compare(a, op, b) => {
+                Arc::new(CompareIter { left: self.expr(a)?, op: *op, right: self.expr(b)? })
+            }
+            ast::Expr::Arith(a, op, b) => {
+                Arc::new(ArithIter { left: self.expr(a)?, op: *op, right: self.expr(b)? })
+            }
+            ast::Expr::UnaryMinus(a) => Arc::new(UnaryMinusIter(self.expr(a)?)),
+            ast::Expr::StringConcat(a, b) => {
+                Arc::new(StringConcatIter(self.expr(a)?, self.expr(b)?))
+            }
+            ast::Expr::Range(a, b) => Arc::new(RangeIter(self.expr(a)?, self.expr(b)?)),
+            ast::Expr::If { cond, then, els } => Arc::new(IfIter {
+                cond: self.expr(cond)?,
+                then: self.expr(then)?,
+                els: self.expr(els)?,
+            }),
+            ast::Expr::Switch { input, cases, default } => Arc::new(SwitchIter {
+                input: self.expr(input)?,
+                cases: cases
+                    .iter()
+                    .map(|(values, result)| {
+                        Ok((
+                            values.iter().map(|v| self.expr(v)).collect::<Result<_>>()?,
+                            self.expr(result)?,
+                        ))
+                    })
+                    .collect::<Result<_>>()?,
+                default: self.expr(default)?,
+            }),
+            ast::Expr::TryCatch { body, codes, handler } => Arc::new(TryCatchIter {
+                body: self.expr(body)?,
+                codes: codes.clone(),
+                handler: self.expr(handler)?,
+            }),
+            ast::Expr::Quantified { every, bindings, satisfies } => Arc::new(QuantifiedIter {
+                every: *every,
+                bindings: bindings
+                    .iter()
+                    .map(|(v, src)| Ok((Arc::<str>::from(v.as_str()), self.expr(src)?)))
+                    .collect::<Result<_>>()?,
+                satisfies: self.expr(satisfies)?,
+            }),
+            ast::Expr::SimpleMap(a, b) => {
+                Arc::new(SimpleMapIter { left: self.expr(a)?, right: self.expr(b)? })
+            }
+            ast::Expr::InstanceOf(a, st) => Arc::new(InstanceOfIter(self.expr(a)?, st.clone())),
+            ast::Expr::TreatAs(a, st) => Arc::new(TreatAsIter(self.expr(a)?, st.clone())),
+            ast::Expr::CastAs(a, t, opt) => {
+                Arc::new(CastAsIter { child: self.expr(a)?, target: *t, optional: *opt })
+            }
+            ast::Expr::CastableAs(a, t, opt) => {
+                Arc::new(CastableAsIter { child: self.expr(a)?, target: *t, optional: *opt })
+            }
+            ast::Expr::ObjectConstructor(pairs) => Arc::new(ObjectConstructorIter {
+                pairs: pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        Ok((
+                            match k {
+                                ast::ObjectKey::Name(n) => KeySpec::Static(Arc::from(n.as_str())),
+                                ast::ObjectKey::Expr(e) => KeySpec::Computed(self.expr(e)?),
+                            },
+                            self.expr(v)?,
+                        ))
+                    })
+                    .collect::<Result<_>>()?,
+            }),
+            ast::Expr::ArrayConstructor(inner) => Arc::new(ArrayConstructorIter(
+                inner.as_deref().map(|i| self.expr(i)).transpose()?,
+            )),
+            ast::Expr::Postfix(base, ops) => {
+                let mut cur = self.expr(base)?;
+                for op in ops {
+                    cur = match op {
+                        ast::PostfixOp::Lookup(ast::LookupKey::Name(n)) => {
+                            Arc::new(ObjectLookupIter {
+                                target: cur,
+                                key: KeySpec::Static(Arc::from(n.as_str())),
+                            })
+                        }
+                        ast::PostfixOp::Lookup(ast::LookupKey::Expr(e)) => {
+                            Arc::new(ObjectLookupIter {
+                                target: cur,
+                                key: KeySpec::Computed(self.expr(e)?),
+                            })
+                        }
+                        ast::PostfixOp::ArrayUnbox => Arc::new(ArrayUnboxIter(cur)),
+                        ast::PostfixOp::ArrayLookup(e) => {
+                            Arc::new(ArrayLookupIter { target: cur, index: self.expr(e)? })
+                        }
+                        ast::PostfixOp::Predicate(e) => {
+                            Arc::new(PredicateIter { target: cur, predicate: self.expr(e)? })
+                        }
+                    };
+                }
+                cur
+            }
+            ast::Expr::FunctionCall { name, args } => self.function_call(name, args)?,
+            ast::Expr::Flwor(f) => self.flwor(f)?,
+        })
+    }
+
+    fn function_call(&self, name: &str, args: &[ast::Expr]) -> Result<ExprRef> {
+        let compiled: Vec<ExprRef> = args.iter().map(|a| self.expr(a)).collect::<Result<_>>()?;
+        // Input functions get dedicated source iterators (§5.7).
+        match (name, compiled.len()) {
+            ("json-file", 1) | ("json-file", 2) => {
+                let mut it = compiled.into_iter();
+                return Ok(Arc::new(JsonFileIter { path: it.next().expect("arity"), partitions: it.next() }));
+            }
+            ("parallelize", 1) | ("parallelize", 2) => {
+                let mut it = compiled.into_iter();
+                return Ok(Arc::new(ParallelizeIter {
+                    child: it.next().expect("arity"),
+                    partitions: it.next(),
+                }));
+            }
+            ("collection", 1) => {
+                let mut it = compiled.into_iter();
+                return Ok(Arc::new(CollectionIter { name: it.next().expect("arity") }));
+            }
+            _ => {}
+        }
+        if let Some(builtin) = Builtin::lookup(name, compiled.len()) {
+            return Ok(Arc::new(BuiltinCallIter { builtin, args: compiled }));
+        }
+        if let Some(slot) = self.functions.get(&(name.to_string(), compiled.len())) {
+            return Ok(Arc::new(UserCallIter {
+                name: name.to_string(),
+                slot: Arc::clone(slot),
+                args: compiled,
+            }));
+        }
+        Err(RumbleError::static_err(
+            codes::UNDEFINED_FUNCTION,
+            format!("unknown function {name}#{}", compiled.len()),
+        ))
+    }
+
+    /// The FLWOR variables an expression reads, relative to the clause
+    /// chain compiled so far — the UDF footprint for DataFrame mode.
+    fn flwor_uses(expr: &ast::Expr, chain: Option<&ClauseRef>) -> Vec<Arc<str>> {
+        let Some(chain) = chain else { return Vec::new() };
+        let free = free_variables(expr);
+        chain
+            .out_vars()
+            .iter()
+            .filter(|v| free.contains(v.as_ref()))
+            .cloned()
+            .collect()
+    }
+
+    fn flwor(&self, f: &ast::FlworExpr) -> Result<ExprRef> {
+        // Clauses and the return expression are cloned because the §4.7
+        // count-only analysis may rewrite `count($x)` into `$x` downstream
+        // of a group-by.
+        let mut clauses: Vec<ast::Clause> = f.clauses.clone();
+        let mut ret: ast::Expr = (*f.return_expr).clone();
+        let mut chain: Option<ClauseRef> = None;
+
+        let mut i = 0;
+        while i < clauses.len() {
+            let clause = clauses[i].clone();
+            match clause {
+                ast::Clause::For(bindings) => {
+                    for b in bindings {
+                        let uses = Self::flwor_uses(&b.expr, chain.as_ref());
+                        chain = Some(Arc::new(ForClauseIter::new(
+                            chain.take(),
+                            Arc::from(b.var.as_str()),
+                            b.positional.as_deref().map(Arc::from),
+                            b.allowing_empty,
+                            self.expr(&b.expr)?,
+                            uses,
+                        )));
+                    }
+                }
+                ast::Clause::Let(bindings) => {
+                    for (var, expr) in bindings {
+                        let uses = Self::flwor_uses(&expr, chain.as_ref());
+                        chain = Some(Arc::new(LetClauseIter::new(
+                            chain.take(),
+                            Arc::from(var.as_str()),
+                            self.expr(&expr)?,
+                            uses,
+                        )));
+                    }
+                }
+                ast::Clause::Where(pred) => {
+                    let parent = chain.take().expect("parser guarantees an initial clause");
+                    let uses = Self::flwor_uses(&pred, Some(&parent));
+                    chain = Some(Arc::new(WhereClauseIter {
+                        parent,
+                        predicate: self.expr(&pred)?,
+                        uses,
+                    }));
+                }
+                ast::Clause::Count(var) => {
+                    let parent = chain.take().expect("parser guarantees an initial clause");
+                    chain = Some(Arc::new(CountClauseIter::new(parent, Arc::from(var.as_str()))));
+                }
+                ast::Clause::OrderBy(specs) => {
+                    let parent = chain.take().expect("parser guarantees an initial clause");
+                    let compiled = specs
+                        .iter()
+                        .map(|s| {
+                            Ok(OrderSpecIter {
+                                expr: self.expr(&s.expr)?,
+                                uses: Self::flwor_uses(&s.expr, Some(&parent)),
+                                descending: s.descending,
+                                empty_greatest: s.empty_greatest.unwrap_or(false),
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    chain = Some(Arc::new(OrderByClauseIter { parent, specs: compiled }));
+                }
+                ast::Clause::GroupBy(specs) => {
+                    let parent = chain.take().expect("parser guarantees an initial clause");
+                    let key_vars: Vec<&str> = specs.iter().map(|s| s.var.as_str()).collect();
+                    // §4.7 consumption analysis of every non-grouping
+                    // variable against the *rest* of the FLWOR.
+                    let mut nongrouping = Vec::new();
+                    for v in parent.out_vars() {
+                        if key_vars.contains(&v.as_ref()) {
+                            continue;
+                        }
+                        let usage = analyze_usage(v, &clauses[i + 1..], &ret);
+                        if usage == NonGroupingUsage::CountOnly {
+                            for c in clauses[i + 1..].iter_mut() {
+                                rewrite_clause_counts(c, v);
+                            }
+                            ret = rewrite_counts(&ret, v);
+                        }
+                        nongrouping.push((Arc::clone(v), usage));
+                    }
+                    let keys = specs
+                        .iter()
+                        .map(|s| {
+                            Ok(GroupKeySpec {
+                                var: Arc::from(s.var.as_str()),
+                                expr: s.expr.as_ref().map(|e| self.expr(e)).transpose()?,
+                                uses: match &s.expr {
+                                    Some(e) => Self::flwor_uses(e, Some(&parent)),
+                                    None => vec![Arc::from(s.var.as_str())],
+                                },
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    chain = Some(Arc::new(GroupByClauseIter::new(parent, keys, nongrouping)));
+                }
+            }
+            i += 1;
+        }
+
+        let last = chain.expect("parser guarantees at least one clause");
+        let return_uses = Self::flwor_uses(&ret, Some(&last));
+        Ok(Arc::new(FlworIter::new(last, self.expr(&ret)?, return_uses)))
+    }
+}
+
+fn literal_item(lit: &ast::Literal) -> Result<Item> {
+    Ok(match lit {
+        ast::Literal::Null => Item::Null,
+        ast::Literal::Boolean(b) => Item::Boolean(*b),
+        ast::Literal::Integer(v) => Item::Integer(*v),
+        ast::Literal::Decimal(raw) => Item::Decimal(raw.parse::<Dec>().map_err(|()| {
+            RumbleError::syntax(format!("decimal literal out of range: {raw}"), None)
+        })?),
+        ast::Literal::Double(v) => Item::Double(*v),
+        ast::Literal::Str(s) => Item::str(s),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// §4.7 consumption analysis
+// ---------------------------------------------------------------------------
+
+/// Decides how a non-grouping variable is consumed downstream of its
+/// group-by: never (`Unused`, no column is created), only ever as
+/// `count($v)` (`CountOnly`, a native COUNT/SUM replaces materialization),
+/// or for real (`Materialize`).
+fn analyze_usage(var: &str, rest: &[ast::Clause], ret: &ast::Expr) -> NonGroupingUsage {
+    struct UsageState {
+        refs: usize,
+        counted: usize,
+        rebound: bool,
+    }
+    fn visit(e: &ast::Expr, var: &str, st: &mut UsageState) {
+        usage_walk(e, var, &mut st.refs, &mut st.counted);
+        st.rebound |= rebinds(e, var);
+    }
+    let mut st = UsageState { refs: 0, counted: 0, rebound: false };
+    for c in rest {
+        match c {
+            ast::Clause::For(bindings) => {
+                for b in bindings {
+                    visit(&b.expr, var, &mut st);
+                    st.rebound |= b.var == var || b.positional.as_deref() == Some(var);
+                }
+            }
+            ast::Clause::Let(bindings) => {
+                for (v, e) in bindings {
+                    visit(e, var, &mut st);
+                    st.rebound |= v == var;
+                }
+            }
+            ast::Clause::Where(e) => visit(e, var, &mut st),
+            ast::Clause::GroupBy(specs) => {
+                for s in specs {
+                    if let Some(e) = &s.expr {
+                        visit(e, var, &mut st);
+                    } else if s.var == var {
+                        st.refs += 1;
+                    }
+                    st.rebound |= s.var == var;
+                }
+            }
+            ast::Clause::OrderBy(specs) => {
+                specs.iter().for_each(|s| visit(&s.expr, var, &mut st))
+            }
+            ast::Clause::Count(v) => st.rebound |= v == var,
+        }
+    }
+    visit(ret, var, &mut st);
+    let UsageState { refs, counted, rebound } = st;
+    if rebound {
+        // A later clause (or nested scope) rebinds the name: rewriting
+        // would be unsound, so keep the full materialization.
+        return if refs + counted > 0 { NonGroupingUsage::Materialize } else { NonGroupingUsage::Unused };
+    }
+    if refs > 0 {
+        NonGroupingUsage::Materialize
+    } else if counted > 0 {
+        NonGroupingUsage::CountOnly
+    } else {
+        NonGroupingUsage::Unused
+    }
+}
+
+/// Counts plain references vs. `count($var)` wrappers.
+fn usage_walk(e: &ast::Expr, var: &str, refs: &mut usize, counted: &mut usize) {
+    if let ast::Expr::FunctionCall { name, args } = e {
+        if name == "count" && args.len() == 1
+            && matches!(&args[0], ast::Expr::VarRef(v) if v == var) {
+                *counted += 1;
+                return;
+            }
+    }
+    if let ast::Expr::VarRef(v) = e {
+        if v == var {
+            *refs += 1;
+        }
+        return;
+    }
+    for_each_child(e, &mut |child| usage_walk(child, var, refs, counted));
+}
+
+/// Does any binding construct inside `e` (re)bind `var`?
+fn rebinds(e: &ast::Expr, var: &str) -> bool {
+    let mut found = false;
+    match e {
+        ast::Expr::Flwor(f) => {
+            for c in &f.clauses {
+                match c {
+                    ast::Clause::For(bs) => {
+                        found |= bs
+                            .iter()
+                            .any(|b| b.var == var || b.positional.as_deref() == Some(var));
+                    }
+                    ast::Clause::Let(bs) => found |= bs.iter().any(|(v, _)| v == var),
+                    ast::Clause::GroupBy(specs) => found |= specs.iter().any(|s| s.var == var),
+                    ast::Clause::Count(v) => found |= v == var,
+                    _ => {}
+                }
+            }
+        }
+        ast::Expr::Quantified { bindings, .. } => {
+            found |= bindings.iter().any(|(v, _)| v == var);
+        }
+        _ => {}
+    }
+    if found {
+        return true;
+    }
+    let mut any = false;
+    for_each_child(e, &mut |child| any |= rebinds(child, var));
+    any
+}
+
+/// Rewrites every `count($var)` into `$var` (whose binding becomes the
+/// precomputed count).
+fn rewrite_counts(e: &ast::Expr, var: &str) -> ast::Expr {
+    if let ast::Expr::FunctionCall { name, args } = e {
+        if name == "count" && args.len() == 1
+            && matches!(&args[0], ast::Expr::VarRef(v) if v == var) {
+                return ast::Expr::VarRef(var.to_string());
+            }
+    }
+    map_children(e, &|child| rewrite_counts(child, var))
+}
+
+fn rewrite_clause_counts(c: &mut ast::Clause, var: &str) {
+    match c {
+        ast::Clause::For(bs) => {
+            for b in bs {
+                b.expr = rewrite_counts(&b.expr, var);
+            }
+        }
+        ast::Clause::Let(bs) => {
+            for (_, e) in bs {
+                *e = rewrite_counts(e, var);
+            }
+        }
+        ast::Clause::Where(e) => *e = rewrite_counts(e, var),
+        ast::Clause::GroupBy(specs) => {
+            for s in specs {
+                if let Some(e) = &s.expr {
+                    s.expr = Some(rewrite_counts(e, var));
+                }
+            }
+        }
+        ast::Clause::OrderBy(specs) => {
+            for s in specs {
+                s.expr = rewrite_counts(&s.expr, var);
+            }
+        }
+        ast::Clause::Count(_) => {}
+    }
+}
+
+/// Applies `f` to every direct child expression.
+fn for_each_child(e: &ast::Expr, f: &mut dyn FnMut(&ast::Expr)) {
+    use ast::Expr::*;
+    match e {
+        Literal(_) | Empty | VarRef(_) | ContextItem => {}
+        Sequence(items) => items.iter().for_each(&mut *f),
+        Or(a, b) | And(a, b) | StringConcat(a, b) | Range(a, b) | SimpleMap(a, b) => {
+            f(a);
+            f(b);
+        }
+        Compare(a, _, b) | Arith(a, _, b) => {
+            f(a);
+            f(b);
+        }
+        Not(a) | UnaryMinus(a) | InstanceOf(a, _) | TreatAs(a, _) | CastableAs(a, _, _)
+        | CastAs(a, _, _) => f(a),
+        If { cond, then, els } => {
+            f(cond);
+            f(then);
+            f(els);
+        }
+        Switch { input, cases, default } => {
+            f(input);
+            for (values, result) in cases {
+                values.iter().for_each(&mut *f);
+                f(result);
+            }
+            f(default);
+        }
+        TryCatch { body, handler, .. } => {
+            f(body);
+            f(handler);
+        }
+        Postfix(base, ops) => {
+            f(base);
+            for op in ops {
+                match op {
+                    ast::PostfixOp::Predicate(p) => f(p),
+                    ast::PostfixOp::Lookup(ast::LookupKey::Expr(k)) => f(k),
+                    ast::PostfixOp::ArrayLookup(i) => f(i),
+                    _ => {}
+                }
+            }
+        }
+        ObjectConstructor(pairs) => {
+            for (k, v) in pairs {
+                if let ast::ObjectKey::Expr(ke) = k {
+                    f(ke);
+                }
+                f(v);
+            }
+        }
+        ArrayConstructor(inner) => {
+            if let Some(i) = inner {
+                f(i);
+            }
+        }
+        Quantified { bindings, satisfies, .. } => {
+            bindings.iter().for_each(|(_, src)| f(src));
+            f(satisfies);
+        }
+        FunctionCall { args, .. } => args.iter().for_each(&mut *f),
+        Flwor(fl) => {
+            for c in &fl.clauses {
+                match c {
+                    ast::Clause::For(bs) => bs.iter().for_each(|b| f(&b.expr)),
+                    ast::Clause::Let(bs) => bs.iter().for_each(|(_, e)| f(e)),
+                    ast::Clause::Where(e) => f(e),
+                    ast::Clause::GroupBy(specs) => {
+                        specs.iter().filter_map(|s| s.expr.as_ref()).for_each(&mut *f)
+                    }
+                    ast::Clause::OrderBy(specs) => specs.iter().for_each(|s| f(&s.expr)),
+                    ast::Clause::Count(_) => {}
+                }
+            }
+            f(&fl.return_expr);
+        }
+    }
+}
+
+/// Rebuilds an expression with every direct child mapped through `f`.
+fn map_children(e: &ast::Expr, f: &dyn Fn(&ast::Expr) -> ast::Expr) -> ast::Expr {
+    use ast::Expr::*;
+    let b = |e: &ast::Expr| Box::new(f(e));
+    match e {
+        Literal(_) | Empty | VarRef(_) | ContextItem => e.clone(),
+        Sequence(items) => Sequence(items.iter().map(f).collect()),
+        Or(x, y) => Or(b(x), b(y)),
+        And(x, y) => And(b(x), b(y)),
+        StringConcat(x, y) => StringConcat(b(x), b(y)),
+        Range(x, y) => Range(b(x), b(y)),
+        SimpleMap(x, y) => SimpleMap(b(x), b(y)),
+        Compare(x, op, y) => Compare(b(x), *op, b(y)),
+        Arith(x, op, y) => Arith(b(x), *op, b(y)),
+        Not(x) => Not(b(x)),
+        UnaryMinus(x) => UnaryMinus(b(x)),
+        InstanceOf(x, t) => InstanceOf(b(x), t.clone()),
+        TreatAs(x, t) => TreatAs(b(x), t.clone()),
+        CastableAs(x, t, o) => CastableAs(b(x), *t, *o),
+        CastAs(x, t, o) => CastAs(b(x), *t, *o),
+        If { cond, then, els } => If { cond: b(cond), then: b(then), els: b(els) },
+        Switch { input, cases, default } => Switch {
+            input: b(input),
+            cases: cases
+                .iter()
+                .map(|(values, result)| (values.iter().map(f).collect(), f(result)))
+                .collect(),
+            default: b(default),
+        },
+        TryCatch { body, codes, handler } => {
+            TryCatch { body: b(body), codes: codes.clone(), handler: b(handler) }
+        }
+        Postfix(base, ops) => Postfix(
+            b(base),
+            ops.iter()
+                .map(|op| match op {
+                    ast::PostfixOp::Predicate(p) => ast::PostfixOp::Predicate(f(p)),
+                    ast::PostfixOp::Lookup(ast::LookupKey::Expr(k)) => {
+                        ast::PostfixOp::Lookup(ast::LookupKey::Expr(Box::new(f(k))))
+                    }
+                    ast::PostfixOp::ArrayLookup(i) => ast::PostfixOp::ArrayLookup(f(i)),
+                    other => other.clone(),
+                })
+                .collect(),
+        ),
+        ObjectConstructor(pairs) => ObjectConstructor(
+            pairs
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        match k {
+                            ast::ObjectKey::Expr(ke) => ast::ObjectKey::Expr(f(ke)),
+                            other => other.clone(),
+                        },
+                        f(v),
+                    )
+                })
+                .collect(),
+        ),
+        ArrayConstructor(inner) => ArrayConstructor(inner.as_deref().map(|i| Box::new(f(i)))),
+        Quantified { every, bindings, satisfies } => Quantified {
+            every: *every,
+            bindings: bindings.iter().map(|(v, src)| (v.clone(), f(src))).collect(),
+            satisfies: b(satisfies),
+        },
+        FunctionCall { name, args } => {
+            FunctionCall { name: name.clone(), args: args.iter().map(f).collect() }
+        }
+        Flwor(fl) => Flwor(ast::FlworExpr {
+            clauses: fl
+                .clauses
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    rewrite_clause_with(&mut c, f);
+                    c
+                })
+                .collect(),
+            return_expr: b(&fl.return_expr),
+        }),
+    }
+}
+
+fn rewrite_clause_with(c: &mut ast::Clause, f: &dyn Fn(&ast::Expr) -> ast::Expr) {
+    match c {
+        ast::Clause::For(bs) => bs.iter_mut().for_each(|b| b.expr = f(&b.expr)),
+        ast::Clause::Let(bs) => bs.iter_mut().for_each(|(_, e)| *e = f(e)),
+        ast::Clause::Where(e) => *e = f(e),
+        ast::Clause::GroupBy(specs) => specs.iter_mut().for_each(|s| {
+            if let Some(e) = &s.expr {
+                s.expr = Some(f(e));
+            }
+        }),
+        ast::Clause::OrderBy(specs) => specs.iter_mut().for_each(|s| s.expr = f(&s.expr)),
+        ast::Clause::Count(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_flwor(src: &str) -> ast::FlworExpr {
+        let p = parse_program(src).unwrap();
+        match p.body {
+            ast::Expr::Flwor(f) => f,
+            other => panic!("expected FLWOR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_analysis_detects_count_only() {
+        let f = parse_flwor(
+            "for $o in (1,2) group by $k := $o return { k: $k, n: count($o) }",
+        );
+        let usage = analyze_usage("o", &[], &f.return_expr);
+        assert_eq!(usage, NonGroupingUsage::CountOnly);
+    }
+
+    #[test]
+    fn usage_analysis_detects_materialize_and_unused() {
+        let f = parse_flwor("for $o in (1,2) let $x := 1 group by $k := $o return [$x]");
+        assert_eq!(analyze_usage("x", &[], &f.return_expr), NonGroupingUsage::Materialize);
+        assert_eq!(analyze_usage("y", &[], &f.return_expr), NonGroupingUsage::Unused);
+        // count($x) mixed with a plain reference still materializes.
+        let f2 = parse_flwor(
+            "for $o in (1,2) group by $k := $o return [count($o), $o]",
+        );
+        assert_eq!(analyze_usage("o", &[], &f2.return_expr), NonGroupingUsage::Materialize);
+    }
+
+    #[test]
+    fn usage_analysis_is_shadowing_safe() {
+        // The count($o) in the return refers to a *rebound* $o.
+        let f = parse_flwor(
+            "for $o in (1,2) group by $k := $o \
+             return (for $o in (9,9,9) return count($o))",
+        );
+        let usage = analyze_usage("o", &[], &f.return_expr);
+        assert_eq!(usage, NonGroupingUsage::Materialize, "rebinding blocks the rewrite");
+    }
+
+    #[test]
+    fn count_rewrite() {
+        let f = parse_flwor("for $o in (1,2) group by $k := $o return count($o) + 1");
+        let rewritten = rewrite_counts(&f.return_expr, "o");
+        let free = free_variables(&rewritten);
+        assert!(free.contains("o"));
+        // No count() call survives on $o.
+        let mut counted = 0;
+        let mut refs = 0;
+        usage_walk(&rewritten, "o", &mut refs, &mut counted);
+        assert_eq!(counted, 0);
+        assert_eq!(refs, 1);
+    }
+
+    #[test]
+    fn compiles_paper_queries() {
+        for q in [
+            r#"for $i in json-file("hdfs:///d.json")
+               where $i.guess = $i.target
+               order by $i.target ascending, $i.country descending
+               count $c
+               where $c ge 10
+               return $i"#,
+            r#"for $o in json-file("hdfs:///d.json")
+               group by $c := ($o.country[], $o.country, "USA")[1], $t := $o.target
+               return { country: $c, target: $t, count: count($o) }"#,
+            r#"declare function local:fact($n) {
+                 if ($n le 1) then 1 else $n * local:fact($n - 1)
+               };
+               local:fact(5)"#,
+        ] {
+            compile_query(q).unwrap_or_else(|e| panic!("failed to compile {q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn static_errors_surface_from_compile_query() {
+        assert!(compile_query("$undefined").is_err());
+        assert!(compile_query("nope(1)").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! JSONiq error model: static errors (caught before execution), dynamic
+//! errors, and type errors, each carrying the W3C/JSONiq error code the
+//! specification assigns.
+
+use std::fmt;
+
+/// When an error was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPhase {
+    /// Lexing/parsing failures.
+    Syntax,
+    /// Static analysis: unknown variables/functions, invalid types.
+    Static,
+    /// Runtime: type mismatches, arithmetic failures, user errors.
+    Dynamic,
+}
+
+/// A JSONiq error with its specification code (e.g. `XPST0008` for an
+/// undefined variable).
+#[derive(Debug, Clone)]
+pub struct RumbleError {
+    pub phase: ErrorPhase,
+    /// The spec error code, e.g. `XPST0008`, `XPTY0004`, `FOAR0001`.
+    pub code: &'static str,
+    pub message: String,
+    /// 1-based line/column in the query text, when known.
+    pub position: Option<(usize, usize)>,
+}
+
+impl RumbleError {
+    pub fn syntax(message: impl Into<String>, position: Option<(usize, usize)>) -> Self {
+        RumbleError { phase: ErrorPhase::Syntax, code: "XPST0003", message: message.into(), position }
+    }
+
+    pub fn static_err(code: &'static str, message: impl Into<String>) -> Self {
+        RumbleError { phase: ErrorPhase::Static, code, message: message.into(), position: None }
+    }
+
+    pub fn dynamic(code: &'static str, message: impl Into<String>) -> Self {
+        RumbleError { phase: ErrorPhase::Dynamic, code, message: message.into(), position: None }
+    }
+
+    /// `XPTY0004`: a value had the wrong type for the operation.
+    pub fn type_err(message: impl Into<String>) -> Self {
+        Self::dynamic(codes::TYPE_MISMATCH, message)
+    }
+
+    pub fn at(mut self, line: usize, column: usize) -> Self {
+        if self.position.is_none() {
+            self.position = Some((line, column));
+        }
+        self
+    }
+}
+
+impl fmt::Display for RumbleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            ErrorPhase::Syntax => "syntax error",
+            ErrorPhase::Static => "static error",
+            ErrorPhase::Dynamic => "dynamic error",
+        };
+        write!(f, "[{}] {phase}: {}", self.code, self.message)?;
+        if let Some((l, c)) = self.position {
+            write!(f, " (line {l}, column {c})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RumbleError {}
+
+impl From<sparklite::SparkliteError> for RumbleError {
+    fn from(e: sparklite::SparkliteError) -> Self {
+        RumbleError::dynamic(codes::CLUSTER, e.to_string())
+    }
+}
+
+/// The error codes this engine raises.
+pub mod codes {
+    /// Undefined variable reference.
+    pub const UNDEFINED_VARIABLE: &str = "XPST0008";
+    /// Unknown function or wrong arity.
+    pub const UNDEFINED_FUNCTION: &str = "XPST0017";
+    /// General syntax error.
+    pub const SYNTAX: &str = "XPST0003";
+    /// Type mismatch in an operation.
+    pub const TYPE_MISMATCH: &str = "XPTY0004";
+    /// A sequence of more than one item where one was required.
+    pub const SEQUENCE_TOO_LONG: &str = "XPTY0004";
+    /// Arithmetic overflow / division by zero.
+    pub const DIV_BY_ZERO: &str = "FOAR0001";
+    pub const NUMERIC_OVERFLOW: &str = "FOAR0002";
+    /// Invalid value for a cast.
+    pub const INVALID_CAST: &str = "FORG0001";
+    /// `fn:zero-or-one` / `fn:exactly-one` cardinality violations.
+    pub const CARDINALITY_ZERO_OR_ONE: &str = "FORG0003";
+    pub const CARDINALITY_ONE_OR_MORE: &str = "FORG0004";
+    pub const CARDINALITY_EXACTLY_ONE: &str = "FORG0005";
+    /// Sort keys of incompatible types in an order-by clause.
+    pub const INCOMPATIBLE_SORT_KEYS: &str = "XPTY0004";
+    /// `fn:error` / user-raised.
+    pub const USER_ERROR: &str = "FOER0000";
+    /// Failures bubbling up from the cluster substrate.
+    pub const CLUSTER: &str = "RBML0001";
+    /// Input data could not be parsed as JSON.
+    pub const BAD_INPUT: &str = "RBML0002";
+    /// Feature recognized but not implemented by this engine.
+    pub const UNSUPPORTED: &str = "RBML0003";
+    /// `treat as` violation.
+    pub const TREAT: &str = "XPDY0050";
+}
+
+pub type Result<T> = std::result::Result<T, RumbleError>;

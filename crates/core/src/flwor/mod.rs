@@ -1,0 +1,281 @@
+//! FLWOR expressions: tuple streams with two physical forms.
+//!
+//! Each clause (except `return`) is a [`ClauseIterator`] producing a tuple
+//! stream (§4.2). A tuple maps variable names to *materialized* sequences
+//! of items. Every clause offers:
+//!
+//! * a **local pull API** ([`ClauseIterator::tuples`]), and
+//! * a **DataFrame API** ([`ClauseIterator::frame`]) where the tuple stream
+//!   is a DataFrame with one serialized-sequence (`Bin`) column per
+//!   in-scope variable (§4.3). `frame` returns `None` when the stream
+//!   cannot be distributed (e.g. the FLWOR starts from a local `let`),
+//!   in which case the whole expression falls back to local execution —
+//!   exactly the seamless switching of §5.8.
+//!
+//! The `return` clause lives in [`FlworIter`], which is an ordinary
+//! expression iterator: in DataFrame mode it maps the frame back to an
+//! `Rdd<Item>` with a flatMap (§4.10).
+
+pub mod clauses;
+
+use crate::error::Result;
+use crate::item::{decode_items, encode_items, Item, Sequence};
+use crate::runtime::{cursor_of, DynamicContext, ExprIterator, ExprRef, ItemCursor};
+use sparklite::dataframe::{DataFrame, Schema, Value};
+use sparklite::rdd::{task_bail, Rdd};
+use std::sync::Arc;
+
+/// One tuple of a tuple stream: variable name → materialized sequence.
+#[derive(Clone, Debug, Default)]
+pub struct Tuple {
+    bindings: Vec<(Arc<str>, Sequence)>,
+}
+
+impl Tuple {
+    pub fn new() -> Tuple {
+        Tuple::default()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Sequence> {
+        self.bindings.iter().rev().find(|(n, _)| n.as_ref() == name).map(|(_, s)| s)
+    }
+
+    /// A copy with one binding added (replacing any previous binding of the
+    /// same name — variable redeclaration, §4.5).
+    pub fn extended(&self, name: Arc<str>, value: Sequence) -> Tuple {
+        let mut bindings: Vec<(Arc<str>, Sequence)> = self
+            .bindings
+            .iter()
+            .filter(|(n, _)| n.as_ref() != name.as_ref())
+            .cloned()
+            .collect();
+        bindings.push((name, value));
+        Tuple { bindings }
+    }
+
+    /// Binds every tuple variable into a dynamic context — the tuple's
+    /// contribution to the context nested expressions see (§4.2).
+    pub fn bind_into(&self, ctx: &DynamicContext) -> DynamicContext {
+        ctx.bind_many(self.bindings.clone())
+    }
+
+    pub fn vars(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.bindings.iter().map(|(n, _)| n)
+    }
+}
+
+/// A cursor over a tuple stream.
+pub type TupleCursor = Box<dyn Iterator<Item = Result<Tuple>> + Send>;
+
+/// The DataFrame form of a tuple stream: one `Bin` column per variable,
+/// holding the codec-serialized sequence bound to it.
+pub struct TupleFrame {
+    pub df: DataFrame,
+    /// The in-scope variables, in column order.
+    pub vars: Vec<Arc<str>>,
+}
+
+/// A FLWOR clause.
+pub trait ClauseIterator: Send + Sync {
+    /// Variables in scope after this clause.
+    fn out_vars(&self) -> &[Arc<str>];
+
+    /// Local tuple-at-a-time evaluation (§5.5).
+    fn tuples(&self, ctx: &DynamicContext) -> Result<TupleCursor>;
+
+    /// DataFrame evaluation (§4.4–§4.9); `None` if this pipeline cannot be
+    /// distributed.
+    fn frame(&self, ctx: &DynamicContext) -> Result<Option<TupleFrame>>;
+
+    /// Whether `var` is statically known to be bound to exactly one item in
+    /// every tuple (a `for` or `count` binding). Lets `count($var)` after a
+    /// group-by become a plain row COUNT (§4.7).
+    fn is_unit_var(&self, _var: &str) -> bool {
+        false
+    }
+}
+
+pub type ClauseRef = Arc<dyn ClauseIterator>;
+
+// ---------------------------------------------------------------------------
+// Row ↔ context bridging used by every DataFrame-mode UDF
+// ---------------------------------------------------------------------------
+
+/// Decodes the `uses` columns of a row into variable bindings on top of
+/// `base` (which must already be executor-flagged).
+pub(crate) fn ctx_from_row(
+    base: &DynamicContext,
+    schema: &Schema,
+    row: &[Value],
+    uses: &[Arc<str>],
+) -> DynamicContext {
+    let mut bindings = Vec::with_capacity(uses.len());
+    for var in uses {
+        let Some(idx) = schema.index_of(var) else { continue };
+        let Value::Bin(bytes) = &row[idx] else { continue };
+        match decode_items(bytes) {
+            Ok(items) => bindings.push((Arc::clone(var), Arc::new(items))),
+            Err(e) => task_bail(e),
+        }
+    }
+    base.bind_many(bindings)
+}
+
+/// Serializes a sequence into a `Bin` cell.
+pub(crate) fn bin_of(items: &[Item]) -> Value {
+    Value::Bin(Arc::from(encode_items(items).into_boxed_slice()))
+}
+
+// ---------------------------------------------------------------------------
+// The FLWOR expression itself
+// ---------------------------------------------------------------------------
+
+/// A complete FLWOR expression: the clause chain plus the return expression.
+pub struct FlworIter {
+    pub last: ClauseRef,
+    pub return_expr: ExprRef,
+    /// Free FLWOR variables of the return expression.
+    pub return_uses: Vec<Arc<str>>,
+    /// Memo of the last `frame()` probe, keyed by context identity.
+    /// `is_rdd` and `rdd` are both asked per evaluation; without the memo an
+    /// order-by frame would run its cache/type-discovery jobs twice.
+    frame_memo: parking_lot::Mutex<Option<(usize, Option<TupleFrame>)>>,
+}
+
+impl FlworIter {
+    pub fn new(last: ClauseRef, return_expr: ExprRef, return_uses: Vec<Arc<str>>) -> FlworIter {
+        FlworIter { last, return_expr, return_uses, frame_memo: parking_lot::Mutex::new(None) }
+    }
+
+    fn frame_for(&self, ctx: &DynamicContext) -> Result<Option<TupleFrame>> {
+        let mut memo = self.frame_memo.lock();
+        if let Some((id, cached)) = memo.as_ref() {
+            if *id == ctx.id() {
+                return Ok(cached.as_ref().map(|f| TupleFrame {
+                    df: f.df.clone(),
+                    vars: f.vars.clone(),
+                }));
+            }
+        }
+        let frame = self.last.frame(ctx)?;
+        *memo = Some((
+            ctx.id(),
+            frame.as_ref().map(|f| TupleFrame { df: f.df.clone(), vars: f.vars.clone() }),
+        ));
+        Ok(frame)
+    }
+}
+
+impl ExprIterator for FlworIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        if self.is_rdd(ctx) {
+            return Ok(cursor_of(self.materialize(ctx)?));
+        }
+        let return_expr = Arc::clone(&self.return_expr);
+        let ctx = ctx.clone();
+        let tuples = self.last.tuples(&ctx)?;
+        Ok(Box::new(ReturnCursor { tuples, return_expr, ctx, inner: None, failed: false }))
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        !ctx.in_executor() && matches!(self.frame_for(ctx), Ok(Some(_)))
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let frame = self.frame_for(ctx)?.ok_or_else(|| {
+            crate::error::RumbleError::dynamic(
+                crate::error::codes::CLUSTER,
+                "FLWOR tuple stream has no DataFrame form",
+            )
+        })?;
+        // §4.10: the return clause maps each row of the DataFrame to the
+        // items produced by the return expression — one flatMap back to an
+        // RDD of items.
+        let rows = frame.df.to_rdd()?;
+        let schema = Arc::clone(frame.df.schema());
+        let uses: Arc<Vec<Arc<str>>> = Arc::new(self.return_uses.clone());
+        let return_expr = Arc::clone(&self.return_expr);
+        let base = ctx.enter_executor();
+        Ok(rows.flat_map(move |row| {
+            let child = ctx_from_row(&base, &schema, &row, &uses);
+            match return_expr.materialize(&child) {
+                Ok(items) => items,
+                Err(e) => task_bail(e),
+            }
+        }))
+    }
+}
+
+/// Local return: one cursor of items per tuple, streamed.
+struct ReturnCursor {
+    tuples: TupleCursor,
+    return_expr: ExprRef,
+    ctx: DynamicContext,
+    inner: Option<ItemCursor>,
+    failed: bool,
+}
+
+impl Iterator for ReturnCursor {
+    type Item = Result<Item>;
+
+    fn next(&mut self) -> Option<Result<Item>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(inner) = &mut self.inner {
+                match inner.next() {
+                    Some(Ok(i)) => return Some(Ok(i)),
+                    Some(Err(e)) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                    None => self.inner = None,
+                }
+            }
+            match self.tuples.next() {
+                None => return None,
+                Some(Err(e)) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(tuple)) => {
+                    let child = tuple.bind_into(&self.ctx);
+                    match self.return_expr.open(&child) {
+                        Ok(c) => self.inner = Some(c),
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::seq;
+
+    #[test]
+    fn tuple_extension_and_shadowing() {
+        let t = Tuple::new()
+            .extended(Arc::from("x"), seq(vec![Item::Integer(1)]))
+            .extended(Arc::from("y"), seq(vec![Item::Integer(2)]));
+        assert_eq!(t.get("x").unwrap()[0], Item::Integer(1));
+        let t2 = t.extended(Arc::from("x"), seq(vec![Item::Integer(9)]));
+        assert_eq!(t2.get("x").unwrap()[0], Item::Integer(9));
+        assert_eq!(t2.vars().count(), 2, "redeclaration replaces, not duplicates");
+        assert_eq!(t.get("x").unwrap()[0], Item::Integer(1), "original untouched");
+    }
+
+    #[test]
+    fn bin_roundtrip() {
+        let items = vec![Item::Integer(1), Item::str("x")];
+        let v = bin_of(&items);
+        let Value::Bin(b) = v else { panic!() };
+        assert_eq!(decode_items(&b).unwrap(), items);
+    }
+}

@@ -1,0 +1,282 @@
+//! A compact binary codec for items and item sequences.
+//!
+//! This is the stand-in for Spark's Kryo/Java serialization: when FLWOR
+//! tuple streams become DataFrames, every variable's sequence of items is
+//! serialized into a binary column (§4.3), and this codec defines that
+//! encoding. It is also what shuffle byte-accounting measures.
+//!
+//! Layout: one tag byte per item, then a type-specific payload.
+//! Variable-length integers use LEB128; strings are length-prefixed UTF-8.
+
+use super::{Dec, Item, Object};
+use crate::error::{codes, Result, RumbleError};
+use std::sync::Arc;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_DEC: u8 = 4;
+const TAG_DBL: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_ARR: u8 = 7;
+const TAG_OBJ: u8 = 8;
+
+fn write_varu(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_vari(out: &mut Vec<u8>, v: i64) {
+    write_varu(out, zigzag(v));
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varu(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the encoding of one item.
+pub fn encode_item(item: &Item, out: &mut Vec<u8>) {
+    match item {
+        Item::Null => out.push(TAG_NULL),
+        Item::Boolean(false) => out.push(TAG_FALSE),
+        Item::Boolean(true) => out.push(TAG_TRUE),
+        Item::Integer(v) => {
+            out.push(TAG_INT);
+            write_vari(out, *v);
+        }
+        Item::Decimal(d) => {
+            out.push(TAG_DEC);
+            // Mantissa as two 64-bit halves plus the scale.
+            let m = d.mantissa();
+            out.extend_from_slice(&m.to_le_bytes());
+            write_varu(out, d.scale() as u64);
+        }
+        Item::Double(v) => {
+            out.push(TAG_DBL);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Item::Str(s) => {
+            out.push(TAG_STR);
+            write_str(out, s);
+        }
+        Item::Array(items) => {
+            out.push(TAG_ARR);
+            write_varu(out, items.len() as u64);
+            for i in items.iter() {
+                encode_item(i, out);
+            }
+        }
+        Item::Object(o) => {
+            out.push(TAG_OBJ);
+            write_varu(out, o.len() as u64);
+            for (k, v) in o.pairs() {
+                write_str(out, k);
+                encode_item(v, out);
+            }
+        }
+    }
+}
+
+/// Encodes a sequence of items: a count followed by the items.
+pub fn encode_items(items: &[Item]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * items.len() + 4);
+    write_varu(&mut out, items.len() as u64);
+    for i in items {
+        encode_item(i, &mut out);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn corrupt(&self) -> RumbleError {
+        RumbleError::dynamic(codes::BAD_INPUT, format!("corrupt item encoding at byte {}", self.pos))
+    }
+
+    fn byte(&mut self) -> Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.corrupt())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.corrupt())?;
+        if end > self.buf.len() {
+            return Err(self.corrupt());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varu(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = self.byte()?;
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(self.corrupt());
+            }
+        }
+    }
+
+    fn str(&mut self) -> Result<Arc<str>> {
+        let len = self.varu()? as usize;
+        let bytes = self.bytes(len)?;
+        std::str::from_utf8(bytes).map(Arc::from).map_err(|_| self.corrupt())
+    }
+
+    fn item(&mut self) -> Result<Item> {
+        Ok(match self.byte()? {
+            TAG_NULL => Item::Null,
+            TAG_FALSE => Item::Boolean(false),
+            TAG_TRUE => Item::Boolean(true),
+            TAG_INT => Item::Integer(unzigzag(self.varu()?)),
+            TAG_DEC => {
+                let m = i128::from_le_bytes(self.bytes(16)?.try_into().expect("16 bytes"));
+                let scale = self.varu()? as u32;
+                Item::Decimal(Dec::new(m, scale))
+            }
+            TAG_DBL => {
+                Item::Double(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+            }
+            TAG_STR => Item::Str(self.str()?),
+            TAG_ARR => {
+                let n = self.varu()? as usize;
+                if n > self.buf.len() - self.pos.min(self.buf.len()) {
+                    return Err(self.corrupt());
+                }
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    items.push(self.item()?);
+                }
+                Item::Array(Arc::new(items))
+            }
+            TAG_OBJ => {
+                let n = self.varu()? as usize;
+                if n > self.buf.len() - self.pos.min(self.buf.len()) {
+                    return Err(self.corrupt());
+                }
+                let mut pairs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let k = self.str()?;
+                    pairs.push((k, self.item()?));
+                }
+                Item::Object(Arc::new(Object::new(pairs)))
+            }
+            _ => return Err(self.corrupt()),
+        })
+    }
+}
+
+/// Decodes one item from the front of `buf`.
+pub fn decode_item(buf: &[u8]) -> Result<Item> {
+    let mut r = Reader { buf, pos: 0 };
+    r.item()
+}
+
+/// Decodes a sequence encoded with [`encode_items`].
+pub fn decode_items(buf: &[u8]) -> Result<Vec<Item>> {
+    let mut r = Reader { buf, pos: 0 };
+    let n = r.varu()? as usize;
+    if n > buf.len() {
+        return Err(r.corrupt());
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.item()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::item_from_json;
+
+    #[test]
+    fn roundtrip_every_kind() {
+        let items = vec![
+            Item::Null,
+            Item::Boolean(true),
+            Item::Boolean(false),
+            Item::Integer(0),
+            Item::Integer(-1),
+            Item::Integer(i64::MAX),
+            Item::Integer(i64::MIN),
+            Item::Decimal("123.456".parse().unwrap()),
+            Item::Decimal("-0.000001".parse().unwrap()),
+            Item::Double(2.718281828),
+            Item::Double(f64::NEG_INFINITY),
+            Item::str(""),
+            Item::str("héllo — 😀"),
+            Item::array(vec![Item::Integer(1), Item::str("x"), Item::array(vec![])]),
+            item_from_json(r#"{"a": {"b": [1, 2.5, null]}, "c": true}"#).unwrap(),
+        ];
+        let enc = encode_items(&items);
+        let back = decode_items(&enc).unwrap();
+        assert_eq!(back.len(), items.len());
+        for (a, b) in items.iter().zip(&back) {
+            assert_eq!(a, b);
+            // Decimal scale survives, not just numeric value.
+            assert_eq!(a.type_name(), b.type_name());
+        }
+    }
+
+    #[test]
+    fn nan_roundtrips() {
+        let enc = encode_items(&[Item::Double(f64::NAN)]);
+        let back = decode_items(&enc).unwrap();
+        assert!(back[0].as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let enc = encode_items(&[]);
+        assert_eq!(decode_items(&enc).unwrap(), Vec::<Item>::new());
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error_not_a_panic() {
+        assert!(decode_items(&[]).is_err());
+        assert!(decode_items(&[200]).is_err());
+        assert!(decode_item(&[TAG_STR, 10, b'a']).is_err());
+        assert!(decode_item(&[TAG_ARR, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F]).is_err());
+        let mut good = encode_items(&[Item::str("hello")]);
+        good.truncate(good.len() - 2);
+        assert!(decode_items(&good).is_err());
+    }
+
+    #[test]
+    fn varint_zigzag() {
+        for v in [0i64, 1, -1, 63, -64, 300, -300, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! JSON ↔ item bridging: a [`jsonlite::JsonSink`] that builds items
+//! directly — no intermediate DOM, the JSONiter trick of §5.7 — plus item
+//! serialization back to JSON text.
+
+use super::{Dec, Item, Object};
+use crate::error::{codes, Result, RumbleError};
+use jsonlite::{JsonError, JsonWriter};
+use std::sync::Arc;
+
+/// Streaming builder: receives parser events and assembles the item tree
+/// bottom-up on an explicit stack.
+#[derive(Default)]
+pub struct ItemBuilder {
+    stack: Vec<Frame>,
+    pending_keys: Vec<Arc<str>>,
+    result: Option<Item>,
+}
+
+enum Frame {
+    Array(Vec<Item>),
+    Object(Vec<(Arc<str>, Item)>),
+}
+
+impl ItemBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The completed item; only valid after a successful parse.
+    pub fn finish(self) -> Option<Item> {
+        self.result
+    }
+
+    fn emit(&mut self, item: Item) -> jsonlite::Result<()> {
+        match self.stack.last_mut() {
+            None => self.result = Some(item),
+            Some(Frame::Array(items)) => items.push(item),
+            Some(Frame::Object(pairs)) => {
+                let k = self.pending_keys.pop().expect("key precedes value");
+                pairs.push((k, item));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl jsonlite::JsonSink for ItemBuilder {
+    fn null(&mut self) -> jsonlite::Result<()> {
+        self.emit(Item::Null)
+    }
+    fn boolean(&mut self, v: bool) -> jsonlite::Result<()> {
+        self.emit(Item::Boolean(v))
+    }
+    fn integer(&mut self, v: i64) -> jsonlite::Result<()> {
+        self.emit(Item::Integer(v))
+    }
+    fn decimal(&mut self, raw: &str) -> jsonlite::Result<()> {
+        let d: Dec = raw.parse().map_err(|_| JsonError::sink(format!("bad decimal {raw}")))?;
+        self.emit(Item::Decimal(d))
+    }
+    fn double(&mut self, v: f64) -> jsonlite::Result<()> {
+        self.emit(Item::Double(v))
+    }
+    fn string(&mut self, v: &str) -> jsonlite::Result<()> {
+        self.emit(Item::str(v))
+    }
+    fn begin_object(&mut self) -> jsonlite::Result<()> {
+        self.stack.push(Frame::Object(Vec::new()));
+        Ok(())
+    }
+    fn key(&mut self, k: &str) -> jsonlite::Result<()> {
+        self.pending_keys.push(Arc::from(k));
+        Ok(())
+    }
+    fn end_object(&mut self) -> jsonlite::Result<()> {
+        let Some(Frame::Object(pairs)) = self.stack.pop() else {
+            unreachable!("events are well-bracketed")
+        };
+        self.emit(Item::Object(Arc::new(Object::new(pairs))))
+    }
+    fn begin_array(&mut self) -> jsonlite::Result<()> {
+        self.stack.push(Frame::Array(Vec::new()));
+        Ok(())
+    }
+    fn end_array(&mut self) -> jsonlite::Result<()> {
+        let Some(Frame::Array(items)) = self.stack.pop() else {
+            unreachable!("events are well-bracketed")
+        };
+        self.emit(Item::Array(Arc::new(items)))
+    }
+}
+
+/// Parses one JSON document into an item.
+pub fn item_from_json(text: &str) -> Result<Item> {
+    let mut b = ItemBuilder::new();
+    jsonlite::parse(text, &mut b)
+        .map_err(|e| RumbleError::dynamic(codes::BAD_INPUT, format!("malformed JSON: {e}")))?;
+    Ok(b.finish().expect("a successful parse yields a value"))
+}
+
+/// Parses every line of a JSON Lines document.
+pub fn items_from_json_lines(text: &str) -> Result<Vec<Item>> {
+    let mut out = Vec::new();
+    for (line_no, line) in jsonlite::JsonLines::new(text) {
+        let item = item_from_json(line).map_err(|mut e| {
+            e.message = format!("line {line_no}: {}", e.message);
+            e
+        })?;
+        out.push(item);
+    }
+    Ok(out)
+}
+
+/// Writes one item into a [`JsonWriter`].
+pub fn write_item(item: &Item, w: &mut JsonWriter) {
+    match item {
+        Item::Null => w.null(),
+        Item::Boolean(b) => w.boolean(*b),
+        Item::Integer(v) => w.integer(*v),
+        Item::Decimal(d) => w.raw_number(&d.to_string()),
+        Item::Double(v) => w.double(*v),
+        Item::Str(s) => w.string(s),
+        Item::Array(items) => {
+            w.begin_array();
+            for i in items.iter() {
+                write_item(i, w);
+            }
+            w.end_array();
+        }
+        Item::Object(o) => {
+            w.begin_object();
+            for (k, v) in o.pairs() {
+                w.key(k);
+                write_item(v, w);
+            }
+            w.end_object();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_items_with_number_taxonomy() {
+        let item = item_from_json(r#"{"a": [1, 2.5, 3e1], "b": null, "c": "x"}"#).unwrap();
+        let o = item.as_object().unwrap();
+        let a = o.get("a").unwrap().as_array().unwrap();
+        assert!(matches!(a[0], Item::Integer(1)));
+        assert!(matches!(a[1], Item::Decimal(_)));
+        assert!(matches!(a[2], Item::Double(_)));
+        assert!(o.get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let text = r#"{"guess":"French","n":3,"deep":{"xs":[1,2.25,true,null]}}"#;
+        let item = item_from_json(text).unwrap();
+        let back = item_from_json(&item.serialize()).unwrap();
+        assert_eq!(item, back);
+    }
+
+    #[test]
+    fn json_lines() {
+        let items = items_from_json_lines("{\"a\":1}\n\n{\"a\":2}\n").unwrap();
+        assert_eq!(items.len(), 2);
+        let err = items_from_json_lines("{\"a\":1}\nnot json\n").unwrap_err();
+        assert!(err.message.contains("line 2"));
+    }
+
+    #[test]
+    fn malformed_is_bad_input() {
+        let e = item_from_json("{").unwrap_err();
+        assert_eq!(e.code, codes::BAD_INPUT);
+    }
+}

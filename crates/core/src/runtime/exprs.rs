@@ -1,0 +1,1187 @@
+//! Expression runtime iterators: one type per expression family, each
+//! offering the local pull API and — for the per-item expressions of §4.1.2
+//! and the input functions of §5.7 — the RDD API.
+
+use super::types::{cast_item, seq_matches, type_to_string};
+use super::{
+    cursor_empty, cursor_of, cursor_one, eval_ebv, eval_one, eval_opt, CollectionSource,
+    DynamicContext, ExprIterator, ExprRef, ItemCursor,
+};
+use crate::error::{codes, Result, RumbleError};
+use crate::item::{
+    atomic_equal, effective_boolean_value, exactly_one, item_add, item_div, item_idiv, item_mod,
+    item_mul, item_neg, item_sub, seq, value_compare, Item,
+};
+use crate::syntax::ast::{ArithOp, AtomicType, CompOp, SequenceType};
+use sparklite::rdd::{task_bail, Rdd};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Cursor plumbing
+// ---------------------------------------------------------------------------
+
+/// A lazy flat-map over a cursor: for the n-th outer item (1-based), `f`
+/// produces an inner cursor whose items are streamed out. The workhorse of
+/// lookups, predicates and simple-map.
+pub struct FlatMapCursor {
+    outer: ItemCursor,
+    f: Box<dyn FnMut(Item, i64) -> Result<ItemCursor> + Send>,
+    inner: Option<ItemCursor>,
+    pos: i64,
+    failed: bool,
+}
+
+impl FlatMapCursor {
+    #[allow(clippy::new_ret_no_self)] // constructor returns the boxed cursor form
+    pub fn new(
+        outer: ItemCursor,
+        f: impl FnMut(Item, i64) -> Result<ItemCursor> + Send + 'static,
+    ) -> ItemCursor {
+        Box::new(FlatMapCursor { outer, f: Box::new(f), inner: None, pos: 0, failed: false })
+    }
+}
+
+impl Iterator for FlatMapCursor {
+    type Item = Result<Item>;
+
+    fn next(&mut self) -> Option<Result<Item>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(inner) = &mut self.inner {
+                match inner.next() {
+                    Some(Ok(i)) => return Some(Ok(i)),
+                    Some(Err(e)) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                    None => self.inner = None,
+                }
+            }
+            match self.outer.next() {
+                None => return None,
+                Some(Err(e)) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(item)) => {
+                    self.pos += 1;
+                    match (self.f)(item, self.pos) {
+                        Ok(c) => self.inner = Some(c),
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaves
+// ---------------------------------------------------------------------------
+
+/// A constant item.
+pub struct LiteralIter(pub Item);
+
+impl ExprIterator for LiteralIter {
+    fn open(&self, _ctx: &DynamicContext) -> Result<ItemCursor> {
+        Ok(cursor_one(self.0.clone()))
+    }
+}
+
+/// `()`
+pub struct EmptySeqIter;
+
+impl ExprIterator for EmptySeqIter {
+    fn open(&self, _ctx: &DynamicContext) -> Result<ItemCursor> {
+        Ok(cursor_empty())
+    }
+}
+
+/// `$name`
+pub struct VarRefIter(pub Arc<str>);
+
+impl ExprIterator for VarRefIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        Ok(Box::new(SeqCursor { seq: self.resolve(ctx)?, i: 0 }))
+    }
+
+    fn materialize(&self, ctx: &DynamicContext) -> Result<Vec<Item>> {
+        Ok(self.resolve(ctx)?.to_vec())
+    }
+}
+
+impl VarRefIter {
+    fn resolve(&self, ctx: &DynamicContext) -> Result<crate::item::Sequence> {
+        ctx.lookup(&self.0).ok_or_else(|| {
+            RumbleError::dynamic(
+                codes::UNDEFINED_VARIABLE,
+                format!("variable ${} is not bound", self.0),
+            )
+        })
+    }
+}
+
+/// Cursor over a shared sequence without copying the backing vector.
+struct SeqCursor {
+    seq: crate::item::Sequence,
+    i: usize,
+}
+
+impl Iterator for SeqCursor {
+    type Item = Result<Item>;
+    fn next(&mut self) -> Option<Result<Item>> {
+        let item = self.seq.get(self.i)?.clone();
+        self.i += 1;
+        Some(Ok(item))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.seq.len() - self.i;
+        (n, Some(n))
+    }
+}
+
+/// `$$`
+pub struct ContextItemIter;
+
+impl ExprIterator for ContextItemIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        match ctx.context_item() {
+            Some((item, _)) => Ok(cursor_one(item)),
+            None => Err(RumbleError::dynamic(
+                codes::UNDEFINED_VARIABLE,
+                "context item ($$) is not bound here",
+            )),
+        }
+    }
+}
+
+/// The comma operator. Supports the RDD API when *all* children do (a
+/// union of distributed inputs).
+pub struct CommaIter(pub Vec<ExprRef>);
+
+impl ExprIterator for CommaIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let mut cursors = Vec::with_capacity(self.0.len());
+        for c in &self.0 {
+            cursors.push(c.open(ctx)?);
+        }
+        Ok(Box::new(cursors.into_iter().flatten()))
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        !self.0.is_empty() && self.0.iter().all(|c| c.is_rdd(ctx))
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let mut it = self.0.iter();
+        let first = it.next().expect("checked non-empty").rdd(ctx)?;
+        it.try_fold(first, |acc, c| Ok(acc.union(&c.rdd(ctx)?)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Logic and control flow
+// ---------------------------------------------------------------------------
+
+pub struct AndIter(pub ExprRef, pub ExprRef);
+
+impl ExprIterator for AndIter {
+    fn ebv(&self, ctx: &DynamicContext) -> Result<bool> {
+        Ok(eval_ebv(&self.0, ctx)? && eval_ebv(&self.1, ctx)?)
+    }
+
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        Ok(cursor_one(Item::Boolean(self.ebv(ctx)?)))
+    }
+}
+
+pub struct OrIter(pub ExprRef, pub ExprRef);
+
+impl ExprIterator for OrIter {
+    fn ebv(&self, ctx: &DynamicContext) -> Result<bool> {
+        Ok(eval_ebv(&self.0, ctx)? || eval_ebv(&self.1, ctx)?)
+    }
+
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        Ok(cursor_one(Item::Boolean(self.ebv(ctx)?)))
+    }
+}
+
+pub struct NotIter(pub ExprRef);
+
+impl ExprIterator for NotIter {
+    fn ebv(&self, ctx: &DynamicContext) -> Result<bool> {
+        Ok(!eval_ebv(&self.0, ctx)?)
+    }
+
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        Ok(cursor_one(Item::Boolean(self.ebv(ctx)?)))
+    }
+}
+
+pub struct IfIter {
+    pub cond: ExprRef,
+    pub then: ExprRef,
+    pub els: ExprRef,
+}
+
+impl ExprIterator for IfIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        if eval_ebv(&self.cond, ctx)? {
+            self.then.open(ctx)
+        } else {
+            self.els.open(ctx)
+        }
+    }
+}
+
+pub struct SwitchIter {
+    pub input: ExprRef,
+    pub cases: Vec<(Vec<ExprRef>, ExprRef)>,
+    pub default: ExprRef,
+}
+
+impl ExprIterator for SwitchIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let subject = eval_opt(&self.input, ctx, "switch input")?;
+        if let Some(s) = &subject {
+            if !s.is_atomic() {
+                return Err(RumbleError::type_err("switch input must be atomic or empty"));
+            }
+        }
+        for (values, result) in &self.cases {
+            for v in values {
+                let candidate = eval_opt(v, ctx, "switch case")?;
+                let matches = match (&subject, &candidate) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => atomic_equal(a, b),
+                    _ => false,
+                };
+                if matches {
+                    return result.open(ctx);
+                }
+            }
+        }
+        self.default.open(ctx)
+    }
+}
+
+/// `try { … } catch … { … }` — listed as future work in the paper (§8),
+/// implemented here.
+pub struct TryCatchIter {
+    pub body: ExprRef,
+    /// Error codes to catch; empty = `catch *`.
+    pub codes: Vec<String>,
+    pub handler: ExprRef,
+}
+
+impl ExprIterator for TryCatchIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        // Errors must be caught even if raised lazily, so the body is
+        // materialized eagerly inside the try scope.
+        match self.body.materialize(ctx) {
+            Ok(items) => Ok(cursor_of(items)),
+            Err(e) => {
+                if self.codes.is_empty() || self.codes.iter().any(|c| c == e.code) {
+                    self.handler.open(ctx)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison, arithmetic, concatenation, ranges
+// ---------------------------------------------------------------------------
+
+pub struct CompareIter {
+    pub left: ExprRef,
+    pub op: CompOp,
+    pub right: ExprRef,
+}
+
+fn apply_value_op(a: &Item, op: CompOp, b: &Item) -> Result<bool> {
+    use CompOp::*;
+    match op {
+        ValueEq | GenEq => Ok(atomic_equal(a, b)),
+        ValueNe | GenNe => Ok(!atomic_equal(a, b)),
+        _ => {
+            // NaN orders with nothing under value-comparison semantics.
+            if crate::item::is_nan(a) || crate::item::is_nan(b) {
+                return Ok(false);
+            }
+            let o = value_compare(a, b)?;
+            Ok(match op {
+                ValueLt | GenLt => o == Ordering::Less,
+                ValueLe | GenLe => o != Ordering::Greater,
+                ValueGt | GenGt => o == Ordering::Greater,
+                ValueGe | GenGe => o != Ordering::Less,
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+impl CompareIter {
+    /// `None` means the (value-)comparison result is the empty sequence.
+    fn compute(&self, ctx: &DynamicContext) -> Result<Option<bool>> {
+        if self.op.is_general() {
+            let left = self.left.materialize(ctx)?;
+            let right = self.right.materialize(ctx)?;
+            for a in &left {
+                for b in &right {
+                    if apply_value_op(a, self.op, b)? {
+                        return Ok(Some(true));
+                    }
+                }
+            }
+            Ok(Some(false))
+        } else {
+            // materialize() has allocation-free fast paths on the common
+            // navigation iterators, unlike cursor-based eval_opt.
+            let left = self.left.materialize(ctx)?;
+            let right = self.right.materialize(ctx)?;
+            if left.len() > 1 || right.len() > 1 {
+                return Err(RumbleError::dynamic(
+                    codes::SEQUENCE_TOO_LONG,
+                    "comparison: more than one item",
+                ));
+            }
+            let (Some(a), Some(b)) = (left.first(), right.first()) else {
+                return Ok(None);
+            };
+            let (a, b) = (a.clone(), b.clone());
+            if !a.is_atomic() || !b.is_atomic() {
+                return Err(RumbleError::type_err(format!(
+                    "value comparisons need atomics, got {} and {}",
+                    a.type_name(),
+                    b.type_name()
+                )));
+            }
+            Ok(Some(apply_value_op(&a, self.op, &b)?))
+        }
+    }
+}
+
+impl ExprIterator for CompareIter {
+    fn ebv(&self, ctx: &DynamicContext) -> Result<bool> {
+        Ok(self.compute(ctx)?.unwrap_or(false))
+    }
+
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        match self.compute(ctx)? {
+            Some(b) => Ok(cursor_one(Item::Boolean(b))),
+            None => Ok(cursor_empty()),
+        }
+    }
+}
+
+
+pub struct ArithIter {
+    pub left: ExprRef,
+    pub op: ArithOp,
+    pub right: ExprRef,
+}
+
+impl ExprIterator for ArithIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let (Some(a), Some(b)) = (
+            eval_opt(&self.left, ctx, "arithmetic")?,
+            eval_opt(&self.right, ctx, "arithmetic")?,
+        ) else {
+            return Ok(cursor_empty());
+        };
+        let r = match self.op {
+            ArithOp::Add => item_add(&a, &b)?,
+            ArithOp::Sub => item_sub(&a, &b)?,
+            ArithOp::Mul => item_mul(&a, &b)?,
+            ArithOp::Div => item_div(&a, &b)?,
+            ArithOp::IDiv => item_idiv(&a, &b)?,
+            ArithOp::Mod => item_mod(&a, &b)?,
+        };
+        Ok(cursor_one(r))
+    }
+}
+
+pub struct UnaryMinusIter(pub ExprRef);
+
+impl ExprIterator for UnaryMinusIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        match eval_opt(&self.0, ctx, "unary minus")? {
+            None => Ok(cursor_empty()),
+            Some(v) => Ok(cursor_one(item_neg(&v)?)),
+        }
+    }
+}
+
+pub struct StringConcatIter(pub ExprRef, pub ExprRef);
+
+impl ExprIterator for StringConcatIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let mut out = String::new();
+        for side in [&self.0, &self.1] {
+            if let Some(item) = eval_opt(side, ctx, "||")? {
+                out.push_str(&item.string_value()?);
+            }
+        }
+        Ok(cursor_one(Item::str(out)))
+    }
+}
+
+pub struct RangeIter(pub ExprRef, pub ExprRef);
+
+impl ExprIterator for RangeIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let (Some(from), Some(to)) =
+            (eval_opt(&self.0, ctx, "range")?, eval_opt(&self.1, ctx, "range")?)
+        else {
+            return Ok(cursor_empty());
+        };
+        let (Some(from), Some(to)) = (from.as_i64(), to.as_i64()) else {
+            return Err(RumbleError::type_err("range bounds must be integers"));
+        };
+        if from > to {
+            return Ok(cursor_empty());
+        }
+        Ok(Box::new((from..=to).map(|v| Ok(Item::Integer(v)))))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantified expressions
+// ---------------------------------------------------------------------------
+
+pub struct QuantifiedIter {
+    pub every: bool,
+    pub bindings: Vec<(Arc<str>, ExprRef)>,
+    pub satisfies: ExprRef,
+}
+
+impl QuantifiedIter {
+    fn solve(&self, depth: usize, ctx: &DynamicContext) -> Result<bool> {
+        if depth == self.bindings.len() {
+            return eval_ebv(&self.satisfies, ctx);
+        }
+        let (name, expr) = &self.bindings[depth];
+        let mut cursor = expr.open(ctx)?;
+        while let Some(item) = cursor.next().transpose()? {
+            let child = ctx.bind(Arc::clone(name), seq(vec![item]));
+            let inner = self.solve(depth + 1, &child)?;
+            if inner != self.every {
+                // `some` short-circuits on true, `every` on false.
+                return Ok(!self.every);
+            }
+        }
+        Ok(self.every)
+    }
+}
+
+impl ExprIterator for QuantifiedIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        Ok(cursor_one(Item::Boolean(self.solve(0, ctx)?)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+pub enum KeySpec {
+    Static(Arc<str>),
+    Computed(ExprRef),
+}
+
+pub struct ObjectConstructorIter {
+    pub pairs: Vec<(KeySpec, ExprRef)>,
+}
+
+impl ExprIterator for ObjectConstructorIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let mut members = Vec::with_capacity(self.pairs.len());
+        for (key, value) in &self.pairs {
+            let k: Arc<str> = match key {
+                KeySpec::Static(s) => Arc::clone(s),
+                KeySpec::Computed(e) => {
+                    let item = eval_one(e, ctx, "object key")?;
+                    Arc::from(item.string_value()?.as_str())
+                }
+            };
+            let vs = value.materialize(ctx)?;
+            let v = match vs.len() {
+                // JSONiq: a pair whose value is the empty sequence gets null.
+                0 => Item::Null,
+                1 => vs.into_iter().next().expect("len checked"),
+                n => {
+                    return Err(RumbleError::type_err(format!(
+                        "value of field \"{k}\" is a sequence of {n} items; wrap it in an array"
+                    )))
+                }
+            };
+            members.push((k, v));
+        }
+        Ok(cursor_one(Item::object(members)))
+    }
+}
+
+pub struct ArrayConstructorIter(pub Option<ExprRef>);
+
+impl ExprIterator for ArrayConstructorIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let items = match &self.0 {
+            None => Vec::new(),
+            Some(e) => e.materialize(ctx)?,
+        };
+        Ok(cursor_one(Item::array(items)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Navigation (the flatMap family of §4.1.2 / §5.6)
+// ---------------------------------------------------------------------------
+
+/// `expr.key` — object lookup, mapped over the input sequence. Non-objects
+/// and absent keys contribute nothing.
+pub struct ObjectLookupIter {
+    pub target: ExprRef,
+    pub key: KeySpec,
+}
+
+fn lookup_in(item: &Item, key: &str) -> Option<Item> {
+    item.as_object().and_then(|o| o.get(key).cloned())
+}
+
+impl ObjectLookupIter {
+    fn resolve_key(&self, ctx: &DynamicContext) -> Result<Arc<str>> {
+        Ok(match &self.key {
+            KeySpec::Static(s) => Arc::clone(s),
+            KeySpec::Computed(e) => {
+                let item = eval_one(e, ctx, "lookup key")?;
+                Arc::from(item.string_value()?.as_str())
+            }
+        })
+    }
+}
+
+impl ExprIterator for ObjectLookupIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let key = self.resolve_key(ctx)?;
+        let outer = self.target.open(ctx)?;
+        Ok(FlatMapCursor::new(outer, move |item, _| {
+            Ok(match lookup_in(&item, &key) {
+                Some(v) => cursor_one(v),
+                None => cursor_empty(),
+            })
+        }))
+    }
+
+    fn materialize(&self, ctx: &DynamicContext) -> Result<Vec<Item>> {
+        if self.is_rdd(ctx) {
+            return super::collect_rdd_capped(self.rdd(ctx)?, ctx);
+        }
+        // Hot path inside per-row UDFs: no boxed cursor chain.
+        let key = self.resolve_key(ctx)?;
+        let input = self.target.materialize(ctx)?;
+        Ok(input.iter().filter_map(|i| lookup_in(i, &key)).collect())
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        self.target.is_rdd(ctx)
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let key = self.resolve_key(ctx)?;
+        // The lookup ships to the cluster as a flatMap closure (§5.6).
+        Ok(self.target.rdd(ctx)?.flat_map(move |item| lookup_in(&item, &key)))
+    }
+}
+
+/// `expr[]` — array unboxing.
+pub struct ArrayUnboxIter(pub ExprRef);
+
+fn unbox(item: Item) -> Vec<Item> {
+    match item {
+        Item::Array(a) => a.to_vec(),
+        _ => Vec::new(),
+    }
+}
+
+impl ExprIterator for ArrayUnboxIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let outer = self.0.open(ctx)?;
+        Ok(FlatMapCursor::new(outer, |item, _| Ok(cursor_of(unbox(item)))))
+    }
+
+    fn materialize(&self, ctx: &DynamicContext) -> Result<Vec<Item>> {
+        if self.is_rdd(ctx) {
+            return super::collect_rdd_capped(self.rdd(ctx)?, ctx);
+        }
+        Ok(self.0.materialize(ctx)?.into_iter().flat_map(unbox).collect())
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        self.0.is_rdd(ctx)
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        Ok(self.0.rdd(ctx)?.flat_map(unbox))
+    }
+}
+
+/// `expr[[i]]` — array member lookup (1-based).
+pub struct ArrayLookupIter {
+    pub target: ExprRef,
+    pub index: ExprRef,
+}
+
+impl ExprIterator for ArrayLookupIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let idx = eval_one(&self.index, ctx, "array lookup")?;
+        let Some(idx) = idx.as_i64() else {
+            return Err(RumbleError::type_err("array lookup index must be an integer"));
+        };
+        let outer = self.target.open(ctx)?;
+        Ok(FlatMapCursor::new(outer, move |item, _| {
+            Ok(match item.as_array().and_then(|a| a.get((idx - 1).max(0) as usize)) {
+                Some(v) if idx >= 1 => cursor_one(v.clone()),
+                _ => cursor_empty(),
+            })
+        }))
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        self.target.is_rdd(ctx)
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let idx = eval_one(&self.index, ctx, "array lookup")?;
+        let Some(idx) = idx.as_i64() else {
+            return Err(RumbleError::type_err("array lookup index must be an integer"));
+        };
+        Ok(self.target.rdd(ctx)?.flat_map(move |item| {
+            match item.as_array().and_then(|a| a.get((idx - 1).max(0) as usize)) {
+                Some(v) if idx >= 1 => vec![v.clone()],
+                _ => vec![],
+            }
+        }))
+    }
+}
+
+/// `expr[predicate]` — filtering (boolean result, `$$` bound to the
+/// candidate) or positional selection (numeric result).
+pub struct PredicateIter {
+    pub target: ExprRef,
+    pub predicate: ExprRef,
+}
+
+/// Evaluates a predicate for one item: `Ok(true)` keeps it. A numeric
+/// predicate value selects by position.
+fn predicate_keeps(
+    predicate: &ExprRef,
+    ctx: &DynamicContext,
+    item: &Item,
+    pos: i64,
+    allow_positional: bool,
+) -> Result<bool> {
+    let child = ctx.with_context_item(item.clone(), pos);
+    let values = predicate.materialize(&child)?;
+    if let [one] = values.as_slice() {
+        if one.is_numeric() {
+            if !allow_positional {
+                return Err(RumbleError::dynamic(
+                    codes::UNSUPPORTED,
+                    "positional predicates are not supported on distributed sequences; \
+                     materialize first",
+                ));
+            }
+            return Ok(one.as_f64() == Some(pos as f64));
+        }
+    }
+    effective_boolean_value(&values)
+}
+
+impl ExprIterator for PredicateIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let predicate = Arc::clone(&self.predicate);
+        let ctx = ctx.clone();
+        let outer = self.target.open(&ctx)?;
+        Ok(FlatMapCursor::new(outer, move |item, pos| {
+            Ok(if predicate_keeps(&predicate, &ctx, &item, pos, true)? {
+                cursor_one(item)
+            } else {
+                cursor_empty()
+            })
+        }))
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        self.target.is_rdd(ctx)
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        // The predicate iterator travels in the closure and is evaluated
+        // through its local API inside the executors (§5.6).
+        let predicate = Arc::clone(&self.predicate);
+        let exec_ctx = ctx.enter_executor();
+        Ok(self.target.rdd(ctx)?.filter(move |item| {
+            match predicate_keeps(&predicate, &exec_ctx, item, 1, false) {
+                Ok(keep) => keep,
+                Err(e) => task_bail(e),
+            }
+        }))
+    }
+}
+
+/// `left ! right` — evaluates `right` once per item of `left`, with `$$`
+/// bound (context positions are only meaningful on the local path).
+pub struct SimpleMapIter {
+    pub left: ExprRef,
+    pub right: ExprRef,
+}
+
+impl ExprIterator for SimpleMapIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let right = Arc::clone(&self.right);
+        let ctx = ctx.clone();
+        let outer = self.left.open(&ctx)?;
+        Ok(FlatMapCursor::new(outer, move |item, pos| {
+            let child = ctx.with_context_item(item, pos);
+            Ok(cursor_of(right.materialize(&child)?))
+        }))
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        self.left.is_rdd(ctx)
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let right = Arc::clone(&self.right);
+        let exec_ctx = ctx.enter_executor();
+        Ok(self.left.rdd(ctx)?.flat_map(move |item| {
+            let child = exec_ctx.with_context_item(item, 1);
+            match right.materialize(&child) {
+                Ok(items) => items,
+                Err(e) => task_bail(e),
+            }
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+pub struct InstanceOfIter(pub ExprRef, pub SequenceType);
+
+impl ExprIterator for InstanceOfIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let items = self.0.materialize(ctx)?;
+        Ok(cursor_one(Item::Boolean(seq_matches(&items, &self.1))))
+    }
+}
+
+pub struct TreatAsIter(pub ExprRef, pub SequenceType);
+
+impl ExprIterator for TreatAsIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let items = self.0.materialize(ctx)?;
+        if seq_matches(&items, &self.1) {
+            Ok(cursor_of(items))
+        } else {
+            Err(RumbleError::dynamic(
+                codes::TREAT,
+                format!("value does not match treat-as type {}", type_to_string(&self.1)),
+            ))
+        }
+    }
+}
+
+pub struct CastAsIter {
+    pub child: ExprRef,
+    pub target: AtomicType,
+    pub optional: bool,
+}
+
+impl ExprIterator for CastAsIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        match eval_opt(&self.child, ctx, "cast")? {
+            None => {
+                if self.optional {
+                    Ok(cursor_empty())
+                } else {
+                    Err(RumbleError::type_err(format!(
+                        "cannot cast the empty sequence to {} (did you mean {}?)",
+                        self.target.name(),
+                        format_args!("{}?", self.target.name())
+                    )))
+                }
+            }
+            Some(item) => Ok(cursor_one(cast_item(&item, self.target)?)),
+        }
+    }
+}
+
+pub struct CastableAsIter {
+    pub child: ExprRef,
+    pub target: AtomicType,
+    pub optional: bool,
+}
+
+impl ExprIterator for CastableAsIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        let r = match eval_opt(&self.child, ctx, "castable") {
+            Err(_) => false, // more than one item: not castable
+            Ok(None) => self.optional,
+            Ok(Some(item)) => cast_item(&item, self.target).is_ok(),
+        };
+        Ok(cursor_one(Item::Boolean(r)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input functions (§5.7): the RDD sources
+// ---------------------------------------------------------------------------
+
+/// `json-file(path[, partitions])`: a JSON Lines file on the storage layer
+/// as a (distributed) sequence of items.
+pub struct JsonFileIter {
+    pub path: ExprRef,
+    /// Accepted for API compatibility; partitioning follows storage blocks.
+    pub partitions: Option<ExprRef>,
+}
+
+impl JsonFileIter {
+    fn resolve_path(&self, ctx: &DynamicContext) -> Result<String> {
+        let item = eval_one(&self.path, ctx, "json-file path")?;
+        item.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| RumbleError::type_err("json-file expects a string path"))
+    }
+
+    fn lines_rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let path = self.resolve_path(ctx)?;
+        let lines = ctx.engine().sc.text_file(&path)?;
+        // Streamed straight into items by the event-driven parser (§5.7):
+        // no intermediate JSON tree.
+        Ok(lines.map(|line| match crate::item::item_from_json(&line) {
+            Ok(i) => i,
+            Err(e) => task_bail(e),
+        }))
+    }
+}
+
+impl ExprIterator for JsonFileIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        if self.is_rdd(ctx) {
+            return Ok(cursor_of(self.materialize(ctx)?));
+        }
+        // Inside an executor: sequential read through the storage layer.
+        let path = self.resolve_path(ctx)?;
+        let (scheme, key) = sparklite::storage::resolve_scheme(&path);
+        let text = match scheme {
+            sparklite::storage::PathScheme::SimHdfs => ctx.engine().sc.hdfs().read_to_string(key)?,
+            sparklite::storage::PathScheme::LocalFs => std::fs::read_to_string(key)
+                .map_err(|e| RumbleError::dynamic(codes::BAD_INPUT, format!("{key}: {e}")))?,
+        };
+        Ok(cursor_of(crate::item::items_from_json_lines(&text)?))
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        !ctx.in_executor()
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let _ = &self.partitions; // partition hint: storage blocks decide
+        self.lines_rdd(ctx)
+    }
+}
+
+/// `parallelize(expr[, partitions])`: lifts a local sequence onto the
+/// cluster, triggering Spark-enabled behaviour downstream.
+pub struct ParallelizeIter {
+    pub child: ExprRef,
+    pub partitions: Option<ExprRef>,
+}
+
+impl ExprIterator for ParallelizeIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        self.child.open(ctx)
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        !ctx.in_executor()
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let items = self.child.materialize(ctx)?;
+        let parts = match &self.partitions {
+            None => ctx.engine().sc.conf().default_parallelism,
+            Some(p) => {
+                let v = eval_one(p, ctx, "parallelize partitions")?;
+                v.as_i64()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| RumbleError::type_err("partition count must be a positive integer"))?
+                    as usize
+            }
+        };
+        Ok(ctx.engine().sc.parallelize(items, parts))
+    }
+}
+
+/// `collection(name)`: a named collection registered on the engine.
+pub struct CollectionIter {
+    pub name: ExprRef,
+}
+
+impl CollectionIter {
+    fn source(&self, ctx: &DynamicContext) -> Result<CollectionSource> {
+        let name = eval_one(&self.name, ctx, "collection name")?;
+        let name = name
+            .as_str()
+            .ok_or_else(|| RumbleError::type_err("collection expects a string name"))?;
+        ctx.engine().collections.read().get(name).cloned().ok_or_else(|| {
+            RumbleError::dynamic(codes::BAD_INPUT, format!("unknown collection \"{name}\""))
+        })
+    }
+}
+
+impl ExprIterator for CollectionIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        match self.source(ctx)? {
+            CollectionSource::Items(items) => Ok(cursor_of(items.to_vec())),
+            CollectionSource::Path(path) => {
+                let inner = JsonFileIter {
+                    path: Arc::new(LiteralIter(Item::str(path))),
+                    partitions: None,
+                };
+                if self.is_rdd(ctx) {
+                    Ok(cursor_of(ExprIterator::materialize(&inner, ctx)?))
+                } else {
+                    inner.open(ctx)
+                }
+            }
+        }
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        !ctx.in_executor()
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        match self.source(ctx)? {
+            CollectionSource::Items(items) => {
+                let parts = ctx.engine().sc.conf().default_parallelism;
+                Ok(ctx.engine().sc.parallelize(items.to_vec(), parts))
+            }
+            CollectionSource::Path(path) => {
+                let inner =
+                    JsonFileIter { path: Arc::new(LiteralIter(Item::str(path))), partitions: None };
+                inner.rdd(ctx)
+            }
+        }
+    }
+}
+
+/// Materializes and asserts a single item — used by tests and call sites
+/// needing strict cardinality.
+pub fn materialize_one(e: &ExprRef, ctx: &DynamicContext, what: &str) -> Result<Item> {
+    let items = e.materialize(ctx)?;
+    exactly_one(&items, what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::EngineCtx;
+    use sparklite::{SparkliteConf, SparkliteContext};
+
+    fn ctx() -> DynamicContext {
+        DynamicContext::root(EngineCtx::new(SparkliteContext::new(
+            SparkliteConf::default().with_executors(2),
+        )))
+    }
+
+    fn lit(i: Item) -> ExprRef {
+        Arc::new(LiteralIter(i))
+    }
+
+    fn items(e: &ExprRef, ctx: &DynamicContext) -> Vec<Item> {
+        e.materialize(ctx).unwrap()
+    }
+
+    #[test]
+    fn comma_and_range() {
+        let c = ctx();
+        let e: ExprRef = Arc::new(CommaIter(vec![
+            lit(Item::Integer(1)),
+            Arc::new(EmptySeqIter),
+            lit(Item::Integer(2)),
+        ]));
+        assert_eq!(items(&e, &c), vec![Item::Integer(1), Item::Integer(2)]);
+
+        let r: ExprRef = Arc::new(RangeIter(lit(Item::Integer(2)), lit(Item::Integer(5))));
+        assert_eq!(items(&r, &c).len(), 4);
+        let r: ExprRef = Arc::new(RangeIter(lit(Item::Integer(5)), lit(Item::Integer(2))));
+        assert!(items(&r, &c).is_empty());
+    }
+
+    #[test]
+    fn predicates_filter_and_select_positionally() {
+        let c = ctx();
+        let data: ExprRef = Arc::new(CommaIter(
+            (1..=5).map(|i| lit(Item::Integer(i))).collect(),
+        ));
+        // [$$ ge 3]
+        let pred: ExprRef = Arc::new(CompareIter {
+            left: Arc::new(ContextItemIter),
+            op: CompOp::ValueGe,
+            right: lit(Item::Integer(3)),
+        });
+        let filtered: ExprRef =
+            Arc::new(PredicateIter { target: Arc::clone(&data), predicate: pred });
+        assert_eq!(items(&filtered, &c).len(), 3);
+
+        // [2] — positional
+        let positional: ExprRef =
+            Arc::new(PredicateIter { target: data, predicate: lit(Item::Integer(2)) });
+        assert_eq!(items(&positional, &c), vec![Item::Integer(2)]);
+    }
+
+    #[test]
+    fn navigation_over_rdd_and_locally_agree() {
+        let c = ctx();
+        let rows: Vec<Item> = (0..100)
+            .map(|i| {
+                Item::object_from(vec![
+                    ("n", Item::Integer(i)),
+                    ("tags", Item::array(vec![Item::str(format!("t{}", i % 3))])),
+                ])
+            })
+            .collect();
+        let local: ExprRef = Arc::new(CommaIter(rows.iter().cloned().map(lit).collect()));
+        let distributed: ExprRef = Arc::new(ParallelizeIter {
+            child: Arc::new(CommaIter(rows.iter().cloned().map(lit).collect())),
+            partitions: None,
+        });
+        assert!(distributed.is_rdd(&c));
+        assert!(!local.is_rdd(&c));
+
+        for target in [local, distributed] {
+            let looked: ExprRef = Arc::new(ObjectLookupIter {
+                target: Arc::new(ArrayUnboxIter(Arc::new(ObjectLookupIter {
+                    target: Arc::clone(&target),
+                    key: KeySpec::Static(Arc::from("tags")),
+                }))),
+                key: KeySpec::Static(Arc::from("missing")),
+            });
+            assert!(items(&looked, &c).is_empty());
+
+            let ns: ExprRef = Arc::new(ObjectLookupIter {
+                target,
+                key: KeySpec::Static(Arc::from("n")),
+            });
+            let got = items(&ns, &c);
+            assert_eq!(got.len(), 100);
+            assert_eq!(got[7], Item::Integer(7));
+        }
+    }
+
+    #[test]
+    fn rdd_predicate_with_closure() {
+        let c = ctx();
+        let rows: Vec<Item> =
+            (0..50).map(|i| Item::object_from(vec![("v", Item::Integer(i))])).collect();
+        let source: ExprRef = Arc::new(ParallelizeIter {
+            child: Arc::new(CommaIter(rows.into_iter().map(lit).collect())),
+            partitions: None,
+        });
+        // source[$$.v ge 40]
+        let pred: ExprRef = Arc::new(CompareIter {
+            left: Arc::new(ObjectLookupIter {
+                target: Arc::new(ContextItemIter),
+                key: KeySpec::Static(Arc::from("v")),
+            }),
+            op: CompOp::ValueGe,
+            right: lit(Item::Integer(40)),
+        });
+        let filtered: ExprRef = Arc::new(PredicateIter { target: source, predicate: pred });
+        assert!(filtered.is_rdd(&c));
+        let got = filtered.rdd(&c).unwrap().collect().unwrap();
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn try_catch_catches_matching_codes() {
+        let c = ctx();
+        let failing: ExprRef = Arc::new(ArithIter {
+            left: lit(Item::Integer(1)),
+            op: ArithOp::Div,
+            right: lit(Item::Integer(0)),
+        });
+        let caught: ExprRef = Arc::new(TryCatchIter {
+            body: Arc::clone(&failing),
+            codes: vec![],
+            handler: lit(Item::str("rescued")),
+        });
+        assert_eq!(items(&caught, &c), vec![Item::str("rescued")]);
+
+        let wrong_code: ExprRef = Arc::new(TryCatchIter {
+            body: failing,
+            codes: vec!["XPTY0004".to_string()],
+            handler: lit(Item::str("nope")),
+        });
+        assert!(wrong_code.materialize(&c).is_err());
+    }
+
+    #[test]
+    fn object_constructor_cardinality() {
+        let c = ctx();
+        // Empty value → null member.
+        let o: ExprRef = Arc::new(ObjectConstructorIter {
+            pairs: vec![(KeySpec::Static(Arc::from("a")), Arc::new(EmptySeqIter) as ExprRef)],
+        });
+        let built = items(&o, &c);
+        assert_eq!(built[0].as_object().unwrap().get("a"), Some(&Item::Null));
+
+        // Two-item value → error.
+        let bad: ExprRef = Arc::new(ObjectConstructorIter {
+            pairs: vec![(
+                KeySpec::Static(Arc::from("a")),
+                Arc::new(CommaIter(vec![lit(Item::Integer(1)), lit(Item::Integer(2))])) as ExprRef,
+            )],
+        });
+        assert!(bad.materialize(&c).is_err());
+    }
+
+    #[test]
+    fn quantified_short_circuits() {
+        let c = ctx();
+        let source: ExprRef =
+            Arc::new(CommaIter((1..=4).map(|i| lit(Item::Integer(i))).collect()));
+        let var: Arc<str> = Arc::from("x");
+        let gt3: ExprRef = Arc::new(CompareIter {
+            left: Arc::new(VarRefIter(Arc::clone(&var))),
+            op: CompOp::ValueGt,
+            right: lit(Item::Integer(3)),
+        });
+        let some: ExprRef = Arc::new(QuantifiedIter {
+            every: false,
+            bindings: vec![(Arc::clone(&var), Arc::clone(&source))],
+            satisfies: Arc::clone(&gt3),
+        });
+        assert_eq!(items(&some, &c), vec![Item::Boolean(true)]);
+        let every: ExprRef = Arc::new(QuantifiedIter {
+            every: true,
+            bindings: vec![(var, source)],
+            satisfies: gt3,
+        });
+        assert_eq!(items(&every, &c), vec![Item::Boolean(false)]);
+    }
+}

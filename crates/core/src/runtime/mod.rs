@@ -1,0 +1,333 @@
+//! The runtime-iterator layer (§5.4–§5.6).
+//!
+//! Expressions compile to trees of [`ExprIterator`]s. Every iterator offers
+//! a **local pull API** ([`ExprIterator::open`], yielding a cursor over the
+//! result sequence) and, when it can, an **RDD API**
+//! ([`ExprIterator::is_rdd`] / [`ExprIterator::rdd`]) producing the same
+//! sequence as a distributed `Rdd<Item>`. Consumers probe `is_rdd` first
+//! and fall back to the local API — the seamless switching of §5.5/§5.6.
+//!
+//! Inside executor closures the RDD API is unavailable (Spark jobs do not
+//! nest); the [`DynamicContext`] carries an `in_executor` flag that turns
+//! `is_rdd` off everywhere below.
+
+pub mod exprs;
+pub mod functions;
+pub mod types;
+
+use crate::error::{codes, Result, RumbleError};
+use crate::item::{Item, Sequence};
+use parking_lot::RwLock;
+use sparklite::rdd::Rdd;
+use sparklite::SparkliteContext;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cursor over a sequence of items; errors surface in-stream.
+pub type ItemCursor = Box<dyn Iterator<Item = Result<Item>> + Send>;
+
+/// Shorthand for building a cursor from materialized items.
+pub fn cursor_of(items: Vec<Item>) -> ItemCursor {
+    Box::new(items.into_iter().map(Ok))
+}
+
+/// A cursor with exactly one item.
+pub fn cursor_one(item: Item) -> ItemCursor {
+    Box::new(std::iter::once(Ok(item)))
+}
+
+/// The empty cursor.
+pub fn cursor_empty() -> ItemCursor {
+    Box::new(std::iter::empty())
+}
+
+/// A cursor that yields a single error.
+pub fn cursor_err(e: RumbleError) -> ItemCursor {
+    Box::new(std::iter::once(Err(e)))
+}
+
+/// Where a named collection (the `collection()` function) gets its data.
+#[derive(Clone)]
+pub enum CollectionSource {
+    /// A JSON Lines file on the storage layer.
+    Path(String),
+    /// Driver-local items.
+    Items(Arc<Vec<Item>>),
+}
+
+/// Engine-wide state shared by every dynamic context: the cluster handle,
+/// named collections, and materialization limits.
+pub struct EngineCtx {
+    pub sc: SparkliteContext,
+    pub collections: RwLock<HashMap<String, CollectionSource>>,
+    /// Maximum number of items the local API materializes from an RDD
+    /// (§5.5 describes a configurable cap with a warning; we truncate and
+    /// record that we did).
+    pub materialization_cap: std::sync::atomic::AtomicUsize,
+    /// Set when a materialization hit the cap, so callers can warn.
+    pub truncated: std::sync::atomic::AtomicBool,
+}
+
+impl EngineCtx {
+    pub fn new(sc: SparkliteContext) -> Arc<EngineCtx> {
+        Arc::new(EngineCtx {
+            sc,
+            collections: RwLock::new(HashMap::new()),
+            materialization_cap: std::sync::atomic::AtomicUsize::new(10_000_000),
+            truncated: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+}
+
+struct CtxInner {
+    parent: Option<DynamicContext>,
+    bindings: Vec<(Arc<str>, Sequence)>,
+    /// `$$` and its 1-based position, when bound.
+    context_item: Option<(Item, i64)>,
+    in_executor: bool,
+    engine: Arc<EngineCtx>,
+    /// Process-unique id (memoization key; never reused, unlike pointers).
+    uid: usize,
+}
+
+fn next_ctx_uid() -> usize {
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The dynamic context: chained variable bindings plus the context item —
+/// cheap to clone and ship into closures (contexts chain, per §5.3, rather
+/// than copying bindings).
+#[derive(Clone)]
+pub struct DynamicContext {
+    inner: Arc<CtxInner>,
+}
+
+impl DynamicContext {
+    pub fn root(engine: Arc<EngineCtx>) -> DynamicContext {
+        DynamicContext {
+            inner: Arc::new(CtxInner {
+                parent: None,
+                bindings: Vec::new(),
+                context_item: None,
+                in_executor: false,
+                engine,
+                uid: next_ctx_uid(),
+            }),
+        }
+    }
+
+    pub fn engine(&self) -> &Arc<EngineCtx> {
+        &self.inner.engine
+    }
+
+    pub fn in_executor(&self) -> bool {
+        self.inner.in_executor
+    }
+
+    /// A child context with additional variable bindings.
+    pub fn bind_many(&self, bindings: Vec<(Arc<str>, Sequence)>) -> DynamicContext {
+        DynamicContext {
+            inner: Arc::new(CtxInner {
+                parent: Some(self.clone()),
+                bindings,
+                context_item: self.inner.context_item.clone(),
+                in_executor: self.inner.in_executor,
+                engine: Arc::clone(&self.inner.engine),
+                uid: next_ctx_uid(),
+            }),
+        }
+    }
+
+    pub fn bind(&self, name: Arc<str>, value: Sequence) -> DynamicContext {
+        self.bind_many(vec![(name, value)])
+    }
+
+    /// A child context with `$$` bound to `item` at 1-based `position`.
+    pub fn with_context_item(&self, item: Item, position: i64) -> DynamicContext {
+        DynamicContext {
+            inner: Arc::new(CtxInner {
+                parent: Some(self.clone()),
+                bindings: Vec::new(),
+                context_item: Some((item, position)),
+                in_executor: self.inner.in_executor,
+                engine: Arc::clone(&self.inner.engine),
+                uid: next_ctx_uid(),
+            }),
+        }
+    }
+
+    /// A copy flagged as running inside an executor closure: the RDD API is
+    /// disabled below this context (jobs do not nest, §5.6).
+    pub fn enter_executor(&self) -> DynamicContext {
+        if self.inner.in_executor {
+            return self.clone();
+        }
+        DynamicContext {
+            inner: Arc::new(CtxInner {
+                parent: Some(self.clone()),
+                bindings: Vec::new(),
+                context_item: self.inner.context_item.clone(),
+                in_executor: true,
+                engine: Arc::clone(&self.inner.engine),
+                uid: next_ctx_uid(),
+            }),
+        }
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<Sequence> {
+        let mut cur = Some(self);
+        while let Some(ctx) = cur {
+            if let Some((_, v)) = ctx.inner.bindings.iter().rev().find(|(n, _)| n.as_ref() == name)
+            {
+                return Some(Arc::clone(v));
+            }
+            cur = ctx.inner.parent.as_ref();
+        }
+        None
+    }
+
+    pub fn context_item(&self) -> Option<(Item, i64)> {
+        self.inner.context_item.clone()
+    }
+
+    /// A stable, never-reused identity for this exact context instance
+    /// (used to memoize per-evaluation state like FLWOR frames).
+    pub fn id(&self) -> usize {
+        self.inner.uid
+    }
+}
+
+/// A compiled expression: the runtime-iterator tree node.
+pub trait ExprIterator: Send + Sync {
+    /// Local pull API: a fresh cursor over the result sequence, evaluated
+    /// in `ctx`. May be called many times with different contexts (§5.5).
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor>;
+
+    /// Whether this expression can deliver its result as an RDD in `ctx`.
+    fn is_rdd(&self, _ctx: &DynamicContext) -> bool {
+        false
+    }
+
+    /// The RDD API (only valid when [`is_rdd`] returned true).
+    ///
+    /// [`is_rdd`]: ExprIterator::is_rdd
+    fn rdd(&self, _ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        Err(RumbleError::dynamic(codes::CLUSTER, "expression has no RDD form"))
+    }
+
+    /// Effective boolean value of the result, computed from at most two
+    /// items. Hot-path predicates (comparisons, logic) override this to
+    /// avoid building a cursor per evaluation.
+    fn ebv(&self, ctx: &DynamicContext) -> Result<bool> {
+        let mut cur = self.open(ctx)?;
+        let first = match cur.next() {
+            None => return Ok(false),
+            Some(r) => r?,
+        };
+        if cur.next().is_some() {
+            return Err(RumbleError::type_err(
+                "effective boolean value of a sequence of more than one item",
+            ));
+        }
+        crate::item::effective_boolean_value(std::slice::from_ref(&first))
+    }
+
+    /// Materializes the full result. RDD-backed results are collected with
+    /// the engine's materialization cap (§5.5).
+    fn materialize(&self, ctx: &DynamicContext) -> Result<Vec<Item>> {
+        if self.is_rdd(ctx) {
+            collect_rdd_capped(self.rdd(ctx)?, ctx)
+        } else {
+            self.open(ctx)?.collect()
+        }
+    }
+}
+
+/// Reference-counted iterator node.
+pub type ExprRef = Arc<dyn ExprIterator>;
+
+/// Collects an RDD-backed result with the engine's materialization cap —
+/// shared by the trait default and by iterators overriding `materialize`.
+pub fn collect_rdd_capped(rdd: Rdd<Item>, ctx: &DynamicContext) -> Result<Vec<Item>> {
+    let engine = ctx.engine();
+    let cap = engine.materialization_cap.load(std::sync::atomic::Ordering::Relaxed);
+    let mut items = rdd.take(cap + 1)?;
+    if items.len() > cap {
+        engine.truncated.store(true, std::sync::atomic::Ordering::Relaxed);
+        items.truncate(cap);
+    }
+    Ok(items)
+}
+
+/// Evaluates to at most one item, erroring on longer sequences.
+pub fn eval_opt(e: &ExprRef, ctx: &DynamicContext, what: &str) -> Result<Option<Item>> {
+    let mut cur = e.open(ctx)?;
+    let first = match cur.next() {
+        None => return Ok(None),
+        Some(r) => r?,
+    };
+    if cur.next().is_some() {
+        return Err(RumbleError::dynamic(
+            codes::SEQUENCE_TOO_LONG,
+            format!("{what}: more than one item"),
+        ));
+    }
+    Ok(Some(first))
+}
+
+/// Evaluates to exactly one item.
+pub fn eval_one(e: &ExprRef, ctx: &DynamicContext, what: &str) -> Result<Item> {
+    eval_opt(e, ctx, what)?.ok_or_else(|| {
+        RumbleError::dynamic(codes::TYPE_MISMATCH, format!("{what}: empty sequence"))
+    })
+}
+
+/// Effective boolean value of an expression (never materializes more than
+/// two items; comparisons and logic compute it directly).
+pub fn eval_ebv(e: &ExprRef, ctx: &DynamicContext) -> Result<bool> {
+    e.ebv(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::seq;
+    use sparklite::{SparkliteConf, SparkliteContext};
+
+    fn engine() -> Arc<EngineCtx> {
+        EngineCtx::new(SparkliteContext::new(SparkliteConf::default().with_executors(2)))
+    }
+
+    #[test]
+    fn context_chaining_and_shadowing() {
+        let root = DynamicContext::root(engine());
+        let a: Arc<str> = Arc::from("a");
+        let c1 = root.bind(Arc::clone(&a), seq(vec![Item::Integer(1)]));
+        let c2 = c1.bind(Arc::clone(&a), seq(vec![Item::Integer(2)]));
+        assert_eq!(c1.lookup("a").unwrap()[0], Item::Integer(1));
+        assert_eq!(c2.lookup("a").unwrap()[0], Item::Integer(2));
+        assert!(root.lookup("a").is_none());
+        // The parent context is untouched by child bindings.
+        assert_eq!(c1.lookup("a").unwrap()[0], Item::Integer(1));
+    }
+
+    #[test]
+    fn context_item_propagates_to_children() {
+        let root = DynamicContext::root(engine());
+        let with = root.with_context_item(Item::Integer(9), 3);
+        let child = with.bind(Arc::from("x"), seq(vec![]));
+        assert_eq!(child.context_item().unwrap(), (Item::Integer(9), 3));
+        assert!(root.context_item().is_none());
+    }
+
+    #[test]
+    fn executor_flag_is_sticky() {
+        let root = DynamicContext::root(engine());
+        assert!(!root.in_executor());
+        let exec = root.enter_executor();
+        assert!(exec.in_executor());
+        let child = exec.bind(Arc::from("x"), seq(vec![]));
+        assert!(child.in_executor());
+    }
+}

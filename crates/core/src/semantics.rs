@@ -1,0 +1,456 @@
+//! Static analysis (§5.3): scope checking against chained static contexts,
+//! function resolution, and the free-variable computation the DataFrame
+//! UDF footprints (and the optimizer's column pruning) rely on.
+
+use crate::error::{codes, Result, RumbleError};
+use crate::runtime::functions::Builtin;
+use crate::syntax::ast::*;
+use std::collections::{BTreeSet, HashSet};
+
+/// Names with dedicated source iterators (not in the builtin registry).
+pub fn is_source_function(name: &str, arity: usize) -> bool {
+    matches!(
+        (name, arity),
+        ("json-file", 1) | ("json-file", 2) | ("parallelize", 1) | ("parallelize", 2) | ("collection", 1)
+    )
+}
+
+/// The static context: variables in scope, declared functions, and whether
+/// `$$` is bound. Cheap to clone when entering a nested scope.
+#[derive(Clone)]
+struct StaticCtx<'a> {
+    vars: HashSet<&'a str>,
+    functions: &'a HashSet<(String, usize)>,
+    has_context_item: bool,
+}
+
+/// Checks a whole program; returns the first static error found.
+pub fn check_program(p: &Program) -> Result<()> {
+    let mut functions: HashSet<(String, usize)> = HashSet::new();
+    for d in &p.decls {
+        if let Decl::Function { name, params, .. } = d {
+            if !functions.insert((name.clone(), params.len())) {
+                return Err(RumbleError::static_err(
+                    codes::UNDEFINED_FUNCTION,
+                    format!("duplicate declaration of function {name}#{}", params.len()),
+                ));
+            }
+        }
+    }
+    let mut globals: HashSet<&str> = HashSet::new();
+    for d in &p.decls {
+        match d {
+            Decl::Variable { name, expr } => {
+                // A global may reference previously declared globals only.
+                let ctx = StaticCtx {
+                    vars: globals.clone(),
+                    functions: &functions,
+                    has_context_item: false,
+                };
+                check_expr(expr, &ctx)?;
+                globals.insert(name);
+            }
+            Decl::Function { params, body, .. } => {
+                // Function bodies see parameters and *previously declared*
+                // globals — but since we check function bodies after
+                // collecting signatures, allow all globals for simplicity
+                // (forward variable references from functions are rare but
+                // harmless: the runtime binds globals before any call).
+                let mut vars: HashSet<&str> = globals.clone();
+                vars.extend(params.iter().map(|s| s.as_str()));
+                let ctx = StaticCtx { vars, functions: &functions, has_context_item: false };
+                check_expr(body, &ctx)?;
+            }
+        }
+    }
+    let ctx = StaticCtx { vars: globals, functions: &functions, has_context_item: false };
+    check_expr(&p.body, &ctx)
+}
+
+fn check_expr(e: &Expr, ctx: &StaticCtx) -> Result<()> {
+    match e {
+        Expr::Literal(_) | Expr::Empty => Ok(()),
+        Expr::VarRef(name) => {
+            if ctx.vars.contains(name.as_str()) {
+                Ok(())
+            } else {
+                Err(RumbleError::static_err(
+                    codes::UNDEFINED_VARIABLE,
+                    format!("undefined variable ${name}"),
+                ))
+            }
+        }
+        Expr::ContextItem => {
+            if ctx.has_context_item {
+                Ok(())
+            } else {
+                Err(RumbleError::static_err(
+                    codes::UNDEFINED_VARIABLE,
+                    "context item ($$) is not defined in this scope",
+                ))
+            }
+        }
+        Expr::Sequence(items) => items.iter().try_for_each(|i| check_expr(i, ctx)),
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::StringConcat(a, b) | Expr::Range(a, b) => {
+            check_expr(a, ctx)?;
+            check_expr(b, ctx)
+        }
+        Expr::Compare(a, _, b) | Expr::Arith(a, _, b) => {
+            check_expr(a, ctx)?;
+            check_expr(b, ctx)
+        }
+        Expr::Not(a) | Expr::UnaryMinus(a) => check_expr(a, ctx),
+        Expr::InstanceOf(a, _) | Expr::TreatAs(a, _) => check_expr(a, ctx),
+        Expr::CastableAs(a, _, _) | Expr::CastAs(a, _, _) => check_expr(a, ctx),
+        Expr::If { cond, then, els } => {
+            check_expr(cond, ctx)?;
+            check_expr(then, ctx)?;
+            check_expr(els, ctx)
+        }
+        Expr::Switch { input, cases, default } => {
+            check_expr(input, ctx)?;
+            for (values, result) in cases {
+                values.iter().try_for_each(|v| check_expr(v, ctx))?;
+                check_expr(result, ctx)?;
+            }
+            check_expr(default, ctx)
+        }
+        Expr::TryCatch { body, handler, .. } => {
+            check_expr(body, ctx)?;
+            check_expr(handler, ctx)
+        }
+        Expr::SimpleMap(a, b) => {
+            check_expr(a, ctx)?;
+            let mut inner = ctx.clone();
+            inner.has_context_item = true;
+            check_expr(b, &inner)
+        }
+        Expr::Postfix(base, ops) => {
+            check_expr(base, ctx)?;
+            for op in ops {
+                match op {
+                    PostfixOp::Predicate(p) => {
+                        let mut inner = ctx.clone();
+                        inner.has_context_item = true;
+                        check_expr(p, &inner)?;
+                    }
+                    PostfixOp::Lookup(LookupKey::Expr(k)) => check_expr(k, ctx)?,
+                    PostfixOp::Lookup(LookupKey::Name(_)) | PostfixOp::ArrayUnbox => {}
+                    PostfixOp::ArrayLookup(i) => check_expr(i, ctx)?,
+                }
+            }
+            Ok(())
+        }
+        Expr::ObjectConstructor(pairs) => {
+            for (k, v) in pairs {
+                if let ObjectKey::Expr(ke) = k {
+                    check_expr(ke, ctx)?;
+                }
+                check_expr(v, ctx)?;
+            }
+            Ok(())
+        }
+        Expr::ArrayConstructor(inner) => {
+            inner.as_deref().map(|i| check_expr(i, ctx)).unwrap_or(Ok(()))
+        }
+        Expr::Quantified { bindings, satisfies, .. } => {
+            let mut inner = ctx.clone();
+            for (var, src) in bindings {
+                check_expr(src, &inner)?;
+                inner.vars.insert(var.as_str());
+            }
+            check_expr(satisfies, &inner)
+        }
+        Expr::FunctionCall { name, args } => {
+            args.iter().try_for_each(|a| check_expr(a, ctx))?;
+            let arity = args.len();
+            if is_source_function(name, arity)
+                || Builtin::lookup(name, arity).is_some()
+                || ctx.functions.contains(&(name.clone(), arity))
+            {
+                Ok(())
+            } else if Builtin::is_known_name(name)
+                || is_source_function(name, 1)
+                || is_source_function(name, 2)
+            {
+                Err(RumbleError::static_err(
+                    codes::UNDEFINED_FUNCTION,
+                    format!("function {name} exists but not with {arity} argument(s)"),
+                ))
+            } else {
+                Err(RumbleError::static_err(
+                    codes::UNDEFINED_FUNCTION,
+                    format!("unknown function {name}#{arity}"),
+                ))
+            }
+        }
+        Expr::Flwor(f) => check_flwor(f, ctx),
+    }
+}
+
+fn check_flwor(f: &FlworExpr, ctx: &StaticCtx) -> Result<()> {
+    let mut scope = ctx.clone();
+    for clause in &f.clauses {
+        match clause {
+            Clause::For(bindings) => {
+                for b in bindings {
+                    check_expr(&b.expr, &scope)?;
+                    scope.vars.insert(b.var.as_str());
+                    if let Some(p) = &b.positional {
+                        scope.vars.insert(p.as_str());
+                    }
+                }
+            }
+            Clause::Let(bindings) => {
+                for (var, expr) in bindings {
+                    check_expr(expr, &scope)?;
+                    scope.vars.insert(var.as_str());
+                }
+            }
+            Clause::Where(e) => check_expr(e, &scope)?,
+            Clause::GroupBy(specs) => {
+                for s in specs {
+                    match &s.expr {
+                        Some(e) => {
+                            check_expr(e, &scope)?;
+                        }
+                        None => {
+                            if !scope.vars.contains(s.var.as_str()) {
+                                return Err(RumbleError::static_err(
+                                    codes::UNDEFINED_VARIABLE,
+                                    format!("grouping variable ${} is not in scope", s.var),
+                                ));
+                            }
+                        }
+                    }
+                    scope.vars.insert(s.var.as_str());
+                }
+            }
+            Clause::OrderBy(specs) => {
+                for s in specs {
+                    check_expr(&s.expr, &scope)?;
+                }
+            }
+            Clause::Count(var) => {
+                scope.vars.insert(var.as_str());
+            }
+        }
+    }
+    check_expr(&f.return_expr, &scope)
+}
+
+/// Free variables of an expression: referenced but not bound within it.
+pub fn free_variables(e: &Expr) -> BTreeSet<String> {
+    let mut acc = BTreeSet::new();
+    collect_free(e, &mut HashSet::new(), &mut acc);
+    acc
+}
+
+fn collect_free(e: &Expr, bound: &mut HashSet<String>, acc: &mut BTreeSet<String>) {
+    match e {
+        Expr::Literal(_) | Expr::Empty | Expr::ContextItem => {}
+        Expr::VarRef(name) => {
+            if !bound.contains(name) {
+                acc.insert(name.clone());
+            }
+        }
+        Expr::Sequence(items) => items.iter().for_each(|i| collect_free(i, bound, acc)),
+        Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::StringConcat(a, b)
+        | Expr::Range(a, b)
+        | Expr::SimpleMap(a, b) => {
+            collect_free(a, bound, acc);
+            collect_free(b, bound, acc);
+        }
+        Expr::Compare(a, _, b) | Expr::Arith(a, _, b) => {
+            collect_free(a, bound, acc);
+            collect_free(b, bound, acc);
+        }
+        Expr::Not(a)
+        | Expr::UnaryMinus(a)
+        | Expr::InstanceOf(a, _)
+        | Expr::TreatAs(a, _)
+        | Expr::CastableAs(a, _, _)
+        | Expr::CastAs(a, _, _) => collect_free(a, bound, acc),
+        Expr::If { cond, then, els } => {
+            collect_free(cond, bound, acc);
+            collect_free(then, bound, acc);
+            collect_free(els, bound, acc);
+        }
+        Expr::Switch { input, cases, default } => {
+            collect_free(input, bound, acc);
+            for (values, result) in cases {
+                values.iter().for_each(|v| collect_free(v, bound, acc));
+                collect_free(result, bound, acc);
+            }
+            collect_free(default, bound, acc);
+        }
+        Expr::TryCatch { body, handler, .. } => {
+            collect_free(body, bound, acc);
+            collect_free(handler, bound, acc);
+        }
+        Expr::Postfix(base, ops) => {
+            collect_free(base, bound, acc);
+            for op in ops {
+                match op {
+                    PostfixOp::Predicate(p) => collect_free(p, bound, acc),
+                    PostfixOp::Lookup(LookupKey::Expr(k)) => collect_free(k, bound, acc),
+                    PostfixOp::ArrayLookup(i) => collect_free(i, bound, acc),
+                    _ => {}
+                }
+            }
+        }
+        Expr::ObjectConstructor(pairs) => {
+            for (k, v) in pairs {
+                if let ObjectKey::Expr(ke) = k {
+                    collect_free(ke, bound, acc);
+                }
+                collect_free(v, bound, acc);
+            }
+        }
+        Expr::ArrayConstructor(inner) => {
+            if let Some(i) = inner {
+                collect_free(i, bound, acc);
+            }
+        }
+        Expr::Quantified { bindings, satisfies, .. } => {
+            let mut newly: Vec<String> = Vec::new();
+            for (var, src) in bindings {
+                collect_free(src, bound, acc);
+                if bound.insert(var.clone()) {
+                    newly.push(var.clone());
+                }
+            }
+            collect_free(satisfies, bound, acc);
+            for v in newly {
+                bound.remove(&v);
+            }
+        }
+        Expr::FunctionCall { args, .. } => args.iter().for_each(|a| collect_free(a, bound, acc)),
+        Expr::Flwor(f) => {
+            let mut newly: Vec<String> = Vec::new();
+            let shadow = |var: &String, bound: &mut HashSet<String>, newly: &mut Vec<String>| {
+                if bound.insert(var.clone()) {
+                    newly.push(var.clone());
+                }
+            };
+            for clause in &f.clauses {
+                match clause {
+                    Clause::For(bindings) => {
+                        for b in bindings {
+                            collect_free(&b.expr, bound, acc);
+                            shadow(&b.var, bound, &mut newly);
+                            if let Some(p) = &b.positional {
+                                shadow(p, bound, &mut newly);
+                            }
+                        }
+                    }
+                    Clause::Let(bindings) => {
+                        for (var, expr) in bindings {
+                            collect_free(expr, bound, acc);
+                            shadow(var, bound, &mut newly);
+                        }
+                    }
+                    Clause::Where(e) => collect_free(e, bound, acc),
+                    Clause::GroupBy(specs) => {
+                        for s in specs {
+                            if let Some(e) = &s.expr {
+                                collect_free(e, bound, acc);
+                            } else if !bound.contains(&s.var) {
+                                acc.insert(s.var.clone());
+                            }
+                            shadow(&s.var, bound, &mut newly);
+                        }
+                    }
+                    Clause::OrderBy(specs) => {
+                        for s in specs {
+                            collect_free(&s.expr, bound, acc);
+                        }
+                    }
+                    Clause::Count(var) => shadow(var, bound, &mut newly),
+                }
+            }
+            collect_free(&f.return_expr, bound, acc);
+            for v in newly {
+                bound.remove(&v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::parse_program;
+
+    fn check(src: &str) -> Result<()> {
+        check_program(&parse_program(src).expect("parses"))
+    }
+
+    #[test]
+    fn undefined_variables_are_static_errors() {
+        assert!(check("$nope").is_err());
+        assert!(check("for $x in (1,2) return $y").is_err());
+        assert!(check("for $x in (1,2) return $x").is_ok());
+        assert!(check("let $a := 1 return $a + $b").is_err());
+    }
+
+    #[test]
+    fn flwor_scoping() {
+        assert!(check("for $x in (1,2) let $y := $x * 2 where $y gt 2 return $y").is_ok());
+        // count var enters scope.
+        assert!(check("for $x in (1,2) count $c return $c").is_ok());
+        // group-by key by expression enters scope.
+        assert!(check("for $x in (1,2) group by $k := $x mod 2 return $k").is_ok());
+        // bare grouping variable must already exist.
+        assert!(check("for $x in (1,2) group by $nope return 1").is_err());
+        // positional var.
+        assert!(check("for $x at $i in (5,6) return $i").is_ok());
+    }
+
+    #[test]
+    fn context_item_scope() {
+        assert!(check("$$").is_err());
+        assert!(check("(1,2)[$$ gt 1]").is_ok());
+        assert!(check("(1,2) ! ($$ * 2)").is_ok());
+        // $$ does not leak out of the predicate.
+        assert!(check("(1,2)[$$ gt 1] + $$").is_err());
+    }
+
+    #[test]
+    fn function_resolution() {
+        assert!(check("count((1,2))").is_ok());
+        assert!(check("count(1,2)").is_err()); // wrong arity
+        assert!(check("mystery(1)").is_err());
+        assert!(check("json-file(\"x\")").is_ok());
+        assert!(check("declare function local:f($a) { $a + 1 }; local:f(1)").is_ok());
+        assert!(check("declare function local:f($a) { $a + 1 }; local:f(1, 2)").is_err());
+        assert!(check("declare function local:f($a) { $b }; local:f(1)").is_err());
+        // Recursion is fine statically.
+        assert!(check(
+            "declare function local:f($a) { if ($a le 0) then 0 else local:f($a - 1) }; local:f(3)"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn quantified_scoping() {
+        assert!(check("some $x in (1,2) satisfies $x gt 1").is_ok());
+        assert!(check("some $x in (1,2) satisfies $y gt 1").is_err());
+        assert!(check("(some $x in (1,2) satisfies $x gt 1) and $x").is_err());
+    }
+
+    #[test]
+    fn free_variable_computation() {
+        let p = parse_program("$a + count($b) + (for $c in $d return $c)").unwrap();
+        let free = free_variables(&p.body);
+        assert_eq!(
+            free.into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string(), "d".to_string()]
+        );
+        let p = parse_program("for $x in (1,2) return $x + $y").unwrap();
+        let free = free_variables(&p.body);
+        assert_eq!(free.into_iter().collect::<Vec<_>>(), vec!["y".to_string()]);
+    }
+}

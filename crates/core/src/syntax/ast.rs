@@ -1,0 +1,248 @@
+//! The abstract syntax tree the parser produces and the compiler consumes
+//! (the "tree of expressions and clauses" of §5.3).
+
+/// A complete program: prolog declarations plus the main expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub decls: Vec<Decl>,
+    pub body: Expr,
+}
+
+/// Prolog declarations. User-defined functions are listed as future work
+/// in the paper (§8); this engine implements them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    Variable { name: String, expr: Expr },
+    Function { name: String, params: Vec<String>, body: Expr },
+}
+
+/// Comparison operators: value comparisons operate on single atomics,
+/// general comparisons are existential over sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompOp {
+    ValueEq,
+    ValueNe,
+    ValueLt,
+    ValueLe,
+    ValueGt,
+    ValueGe,
+    GenEq,
+    GenNe,
+    GenLt,
+    GenLe,
+    GenGt,
+    GenGe,
+}
+
+impl CompOp {
+    pub fn is_general(&self) -> bool {
+        matches!(
+            self,
+            CompOp::GenEq | CompOp::GenNe | CompOp::GenLt | CompOp::GenLe | CompOp::GenGt | CompOp::GenGe
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+}
+
+/// Occurrence indicator of a sequence type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    One,      // T
+    Optional, // T?
+    Star,     // T*
+    Plus,     // T+
+}
+
+/// Item types usable in `instance of` / `treat as`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemTypeAst {
+    AnyItem,  // item
+    JsonItem, // json-item (object | array | atomic)
+    Object,
+    Array,
+    Atomic(AtomicType),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicType {
+    AnyAtomic, // atomic
+    String,
+    Integer,
+    Decimal,
+    Double,
+    Boolean,
+    Null,
+}
+
+impl AtomicType {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AtomicType::AnyAtomic => "atomic",
+            AtomicType::String => "string",
+            AtomicType::Integer => "integer",
+            AtomicType::Decimal => "decimal",
+            AtomicType::Double => "double",
+            AtomicType::Boolean => "boolean",
+            AtomicType::Null => "null",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceType {
+    /// `None` encodes `empty-sequence()`.
+    pub item: Option<ItemTypeAst>,
+    pub occurrence: Occurrence,
+}
+
+/// FLWOR `for` binding: `for $x allowing empty? at $i? in Expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBinding {
+    pub var: String,
+    pub allowing_empty: bool,
+    pub positional: Option<String>,
+    pub expr: Expr,
+}
+
+/// FLWOR `group by` key: `$k := Expr` or a bare `$k` (grouping by an
+/// already-bound variable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    pub var: String,
+    pub expr: Option<Expr>,
+}
+
+/// FLWOR `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    pub expr: Expr,
+    pub descending: bool,
+    /// `empty greatest` / `empty least`; `None` means the default (least).
+    pub empty_greatest: Option<bool>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    For(Vec<ForBinding>),
+    Let(Vec<(String, Expr)>),
+    Where(Expr),
+    GroupBy(Vec<GroupSpec>),
+    OrderBy(Vec<OrderSpec>),
+    Count(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlworExpr {
+    pub clauses: Vec<Clause>,
+    pub return_expr: Box<Expr>,
+}
+
+/// Postfix operations: predicates, lookups, unboxing, in application order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PostfixOp {
+    /// `[ Expr ]` — positional when the predicate value is a number,
+    /// filtering otherwise.
+    Predicate(Expr),
+    /// `.key`, `."key"`, `.$var`, `.(Expr)`
+    Lookup(LookupKey),
+    /// `[[ Expr ]]`
+    ArrayLookup(Expr),
+    /// `[]`
+    ArrayUnbox,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum LookupKey {
+    Name(String),
+    Expr(Box<Expr>),
+}
+
+/// Literals carry their exact lexical class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Null,
+    Boolean(bool),
+    Integer(i64),
+    Decimal(String),
+    Double(f64),
+    Str(String),
+}
+
+/// Object-constructor keys: a bare name is a string constant; anything
+/// else is computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectKey {
+    Name(String),
+    Expr(Expr),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Comma operator: sequence concatenation.
+    Sequence(Vec<Expr>),
+    Flwor(FlworExpr),
+    Quantified {
+        every: bool,
+        bindings: Vec<(String, Expr)>,
+        satisfies: Box<Expr>,
+    },
+    Switch {
+        input: Box<Expr>,
+        cases: Vec<(Vec<Expr>, Expr)>,
+        default: Box<Expr>,
+    },
+    If {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
+    TryCatch {
+        body: Box<Expr>,
+        /// Error codes to catch; empty means `catch *`.
+        codes: Vec<String>,
+        handler: Box<Expr>,
+    },
+    Or(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Compare(Box<Expr>, CompOp, Box<Expr>),
+    StringConcat(Box<Expr>, Box<Expr>),
+    Range(Box<Expr>, Box<Expr>),
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    UnaryMinus(Box<Expr>),
+    InstanceOf(Box<Expr>, SequenceType),
+    TreatAs(Box<Expr>, SequenceType),
+    CastableAs(Box<Expr>, AtomicType, bool),
+    CastAs(Box<Expr>, AtomicType, bool),
+    /// `a ! b`: evaluate b once per item of a, with `$$` bound.
+    SimpleMap(Box<Expr>, Box<Expr>),
+    Postfix(Box<Expr>, Vec<PostfixOp>),
+    Literal(Literal),
+    VarRef(String),
+    ContextItem,
+    ObjectConstructor(Vec<(ObjectKey, Expr)>),
+    ArrayConstructor(Option<Box<Expr>>),
+    FunctionCall { name: String, args: Vec<Expr> },
+    /// `()` — the empty sequence.
+    Empty,
+}
+
+impl Expr {
+    /// Convenience: wraps in a postfix expression only when there are ops.
+    pub fn with_postfix(self, ops: Vec<PostfixOp>) -> Expr {
+        if ops.is_empty() {
+            self
+        } else {
+            Expr::Postfix(Box::new(self), ops)
+        }
+    }
+}

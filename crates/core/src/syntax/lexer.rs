@@ -1,0 +1,503 @@
+//! The JSONiq lexer.
+//!
+//! JSONiq keywords are *contextual* — `for`, `where`, `group` are perfectly
+//! valid object keys — so the lexer emits plain names and the parser
+//! decides what is a keyword where. Names are letters, digits, `-` and `_`
+//! after a leading letter/underscore (`.` is excluded: it is the object
+//! lookup operator, so `$x.guess` is a lookup), optionally
+//! qualified with a single `:` (`local:fact`).
+
+use crate::error::{Result, RumbleError};
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A name (identifier or contextual keyword), possibly `ns:local`.
+    Name(String),
+    /// `$name`
+    Var(String),
+    /// `$$`
+    ContextItem,
+    Str(String),
+    Integer(i64),
+    /// Kept as text: decimals must not lose precision at lex time.
+    Decimal(String),
+    Double(f64),
+    // Punctuation.
+    LBrace,      // {
+    RBrace,      // }
+    LBracket,    // [
+    RBracket,    // ]
+    LLBracket,   // [[
+    RRBracket,   // ]]
+    LParen,      // (
+    RParen,      // )
+    Comma,       // ,
+    Colon,       // :
+    Semicolon,   // ;
+    Dot,         // .
+    Bang,        // !
+    ConcatOp,    // ||
+    Pipe,        // |
+    Assign,      // :=
+    Eq,          // =
+    Ne,          // !=
+    Lt,          // <
+    Le,          // <=
+    Gt,          // >
+    Ge,          // >=
+    Plus,        // +
+    Minus,       // -
+    Star,        // *
+    Slash,       // / (not used by JSONiq core, reserved)
+    Question,    // ?
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub column: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, msg: impl Into<String>) -> RumbleError {
+        RumbleError::syntax(msg.into(), Some((self.line, self.pos - self.line_start + 1)))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                // Comment `(: ... :)`, nesting allowed.
+                Some(b'(') if self.peek2() == Some(b':') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'('), Some(b':')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(b':'), Some(b')')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err("unterminated comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn name(&mut self) -> String {
+        let start = self.pos;
+        while self.peek().is_some_and(is_name_char) {
+            self.bump();
+        }
+        // Qualified name: `ns:local` with no spaces.
+        if self.peek() == Some(b':')
+            && self.peek2().is_some_and(is_name_start)
+        {
+            self.bump();
+            while self.peek().is_some_and(is_name_char) {
+                self.bump();
+            }
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn string_lit(&mut self) -> Result<String> {
+        // Opening quote already consumed.
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or_else(|| self.err("bad \\u escape"))?;
+                            v = v * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                        }
+                        out.push(
+                            char::from_u32(v).ok_or_else(|| self.err("bad \\u code point"))?,
+                        );
+                    }
+                    _ => return Err(self.err("bad string escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let start = self.pos - 1;
+                    let ch = self.src[start..].chars().next().expect("valid UTF-8");
+                    for _ in 1..ch.len_utf8() {
+                        self.bump();
+                    }
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_decimal = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+            is_decimal = true;
+            self.bump();
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let mut is_double = false;
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            // Only a double if an exponent actually follows.
+            let save = (self.pos, self.line, self.line_start);
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                is_double = true;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                (self.pos, self.line, self.line_start) = save;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_double {
+            Ok(TokenKind::Double(text.parse().map_err(|_| self.err("bad double literal"))?))
+        } else if is_decimal {
+            Ok(TokenKind::Decimal(text.to_string()))
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(TokenKind::Integer(v)),
+                Err(_) => Ok(TokenKind::Decimal(text.to_string())),
+            }
+        }
+    }
+}
+
+/// Tokenizes a query.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, line_start: 0 };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let (line, column) = (lx.line, lx.pos - lx.line_start + 1);
+        let Some(b) = lx.peek() else { break };
+        let kind = match b {
+            b'"' => {
+                lx.bump();
+                TokenKind::Str(lx.string_lit()?)
+            }
+            b'0'..=b'9' => lx.number()?,
+            // `.5` style decimals are not in the JSONiq grammar; `.` is a
+            // lookup. Numbers must start with a digit.
+            b'$' => {
+                lx.bump();
+                if lx.peek() == Some(b'$') {
+                    lx.bump();
+                    TokenKind::ContextItem
+                } else if lx.peek().is_some_and(is_name_start) {
+                    TokenKind::Var(lx.name())
+                } else {
+                    return Err(lx.err("expected variable name after '$'"));
+                }
+            }
+            c if is_name_start(c) => TokenKind::Name(lx.name()),
+            b'{' => {
+                lx.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                lx.bump();
+                TokenKind::RBrace
+            }
+            b'[' => {
+                lx.bump();
+                if lx.peek() == Some(b'[') {
+                    lx.bump();
+                    TokenKind::LLBracket
+                } else {
+                    TokenKind::LBracket
+                }
+            }
+            b']' => {
+                lx.bump();
+                if lx.peek() == Some(b']') {
+                    lx.bump();
+                    TokenKind::RRBracket
+                } else {
+                    TokenKind::RBracket
+                }
+            }
+            b'(' => {
+                lx.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                lx.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                lx.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                lx.bump();
+                TokenKind::Semicolon
+            }
+            b':' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    TokenKind::Assign
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            b'.' => {
+                lx.bump();
+                TokenKind::Dot
+            }
+            b'!' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'|' => {
+                lx.bump();
+                if lx.peek() == Some(b'|') {
+                    lx.bump();
+                    TokenKind::ConcatOp
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'=' => {
+                lx.bump();
+                TokenKind::Eq
+            }
+            b'<' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'+' => {
+                lx.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                lx.bump();
+                TokenKind::Minus
+            }
+            b'*' => {
+                lx.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                lx.bump();
+                TokenKind::Slash
+            }
+            b'?' => {
+                lx.bump();
+                TokenKind::Question
+            }
+            other => {
+                return Err(lx.err(format!("unexpected character '{}'", other as char)));
+            }
+        };
+        out.push(Token { kind, line, column });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"for $x in json-file("f.json") return $x.guess"#),
+            vec![
+                Name("for".into()),
+                Var("x".into()),
+                Name("in".into()),
+                Name("json-file".into()),
+                LParen,
+                Str("f.json".into()),
+                RParen,
+                Name("return".into()),
+                Var("x".into()),
+                Dot,
+                Name("guess".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("42 3.14 1e3 2.5E-2"), vec![
+            Integer(42),
+            Decimal("3.14".into()),
+            Double(1000.0),
+            Double(0.025),
+        ]);
+        // Integer too big for i64 lexes as a decimal.
+        assert_eq!(kinds("99999999999999999999"), vec![Decimal("99999999999999999999".into())]);
+        // `1.` is integer + dot (lookup), not a decimal.
+        assert_eq!(kinds("1.foo"), vec![Integer(1), Dot, Name("foo".into())]);
+    }
+
+    #[test]
+    fn variables_and_context_item() {
+        use TokenKind::*;
+        assert_eq!(kinds("$person $$ $$.cid"), vec![
+            Var("person".into()),
+            ContextItem,
+            ContextItem,
+            Dot,
+            Name("cid".into()),
+        ]);
+        assert!(tokenize("$ 1").is_err());
+    }
+
+    #[test]
+    fn array_lookup_brackets() {
+        use TokenKind::*;
+        assert_eq!(kinds("$a[[1]]"), vec![Var("a".into()), LLBracket, Integer(1), RRBracket]);
+        assert_eq!(kinds("$a[]"), vec![Var("a".into()), LBracket, RBracket]);
+        assert_eq!(kinds("[ [1] ]"), vec![LBracket, LBracket, Integer(1), RBracket, RBracket]);
+    }
+
+    #[test]
+    fn comments_nest() {
+        assert_eq!(kinds("1 (: outer (: inner :) still :) 2"), vec![
+            TokenKind::Integer(1),
+            TokenKind::Integer(2)
+        ]);
+        assert!(tokenize("(: unterminated").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\n\t\"x\" é é""#),
+            vec![TokenKind::Str("a\n\t\"x\" é é".into())]
+        );
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("= != < <= > >= || := ! ,"), vec![
+            Eq, Ne, Lt, Le, Gt, Ge, ConcatOp, Assign, Bang, Comma
+        ]);
+    }
+
+    #[test]
+    fn names_with_dashes_and_qualified() {
+        use TokenKind::*;
+        assert_eq!(kinds("json-file local:fact distinct-values"), vec![
+            Name("json-file".into()),
+            Name("local:fact".into()),
+            Name("distinct-values".into()),
+        ]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("for\n  $x").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+}

@@ -1,0 +1,11 @@
+//! The JSONiq front end: lexer, abstract syntax tree, and a hand-written
+//! recursive-descent parser (the stand-in for the paper's ANTLR-generated
+//! parser, §5.2).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse_program;

@@ -1,0 +1,1010 @@
+//! Recursive-descent JSONiq parser.
+//!
+//! JSONiq keywords are contextual, so every keyword match is by token text
+//! with lookahead where the grammar needs it (`for $…` starts a FLWOR,
+//! `for(…)` would be a function call).
+
+use super::ast::*;
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::error::{Result, RumbleError};
+
+/// Parses a complete program (prolog + main expression).
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut decls = Vec::new();
+    while p.at_keyword("declare") {
+        decls.push(p.declaration()?);
+    }
+    let body = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err_here("unexpected trailing content after expression"));
+    }
+    Ok(Program { decls, body })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    // ---- token helpers ----
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + off).map(|t| &t.kind)
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> RumbleError {
+        let pos = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| (t.line, t.column));
+        RumbleError::syntax(msg.into(), pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Is the current token the contextual keyword `kw`?
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Name(n)) if n == kw)
+    }
+
+    fn at_keyword_at(&self, off: usize, kw: &str) -> bool {
+        matches!(self.peek_at(off), Some(TokenKind::Name(n)) if n == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected '{kw}', found {:?}", self.peek())))
+        }
+    }
+
+    fn var_name(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(TokenKind::Var(v)) => Ok(v),
+            other => Err(self.err_here(format!("expected a $variable, found {other:?}"))),
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(TokenKind::Name(n)) => Ok(n),
+            other => Err(self.err_here(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    // ---- prolog ----
+
+    fn declaration(&mut self) -> Result<Decl> {
+        self.expect_keyword("declare")?;
+        if self.eat_keyword("variable") {
+            let name = self.var_name()?;
+            self.expect(TokenKind::Assign, "':='")?;
+            let expr = self.expr_single()?;
+            self.expect(TokenKind::Semicolon, "';'")?;
+            Ok(Decl::Variable { name, expr })
+        } else if self.eat_keyword("function") {
+            let name = self.name()?;
+            self.expect(TokenKind::LParen, "'('")?;
+            let mut params = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    params.push(self.var_name()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen, "')'")?;
+            }
+            self.expect(TokenKind::LBrace, "'{'")?;
+            let body = self.expr()?;
+            self.expect(TokenKind::RBrace, "'}'")?;
+            self.expect(TokenKind::Semicolon, "';'")?;
+            Ok(Decl::Function { name, params, body })
+        } else {
+            Err(self.err_here("expected 'variable' or 'function' after 'declare'"))
+        }
+    }
+
+    // ---- expressions ----
+
+    /// Expr := ExprSingle ("," ExprSingle)*
+    fn expr(&mut self) -> Result<Expr> {
+        let first = self.expr_single()?;
+        if self.peek() != Some(&TokenKind::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.expr_single()?);
+        }
+        Ok(Expr::Sequence(items))
+    }
+
+    fn expr_single(&mut self) -> Result<Expr> {
+        // Dispatch on contextual keywords with lookahead.
+        if (self.at_keyword("for") || self.at_keyword("let"))
+            && matches!(self.peek_at(1), Some(TokenKind::Var(_)))
+        {
+            return self.flwor();
+        }
+        if (self.at_keyword("some") || self.at_keyword("every"))
+            && matches!(self.peek_at(1), Some(TokenKind::Var(_)))
+        {
+            return self.quantified();
+        }
+        if self.at_keyword("if") && self.peek_at(1) == Some(&TokenKind::LParen) {
+            return self.if_expr();
+        }
+        if self.at_keyword("switch") && self.peek_at(1) == Some(&TokenKind::LParen) {
+            return self.switch_expr();
+        }
+        if self.at_keyword("try") && self.peek_at(1) == Some(&TokenKind::LBrace) {
+            return self.try_catch();
+        }
+        self.or_expr()
+    }
+
+    fn flwor(&mut self) -> Result<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.at_keyword("for") && matches!(self.peek_at(1), Some(TokenKind::Var(_))) {
+                self.pos += 1;
+                let mut bindings = Vec::new();
+                loop {
+                    let var = self.var_name()?;
+                    let allowing_empty = if self.at_keyword("allowing") {
+                        self.pos += 1;
+                        self.expect_keyword("empty")?;
+                        true
+                    } else {
+                        false
+                    };
+                    let positional = if self.eat_keyword("at") {
+                        Some(self.var_name()?)
+                    } else {
+                        None
+                    };
+                    self.expect_keyword("in")?;
+                    let expr = self.expr_single()?;
+                    bindings.push(ForBinding { var, allowing_empty, positional, expr });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                    // A comma inside a for clause continues the bindings.
+                }
+                clauses.push(Clause::For(bindings));
+            } else if self.at_keyword("let") && matches!(self.peek_at(1), Some(TokenKind::Var(_)))
+            {
+                self.pos += 1;
+                let mut bindings = Vec::new();
+                loop {
+                    let var = self.var_name()?;
+                    self.expect(TokenKind::Assign, "':='")?;
+                    let expr = self.expr_single()?;
+                    bindings.push((var, expr));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                clauses.push(Clause::Let(bindings));
+            } else if self.at_keyword("where") {
+                self.pos += 1;
+                clauses.push(Clause::Where(self.expr_single()?));
+            } else if self.at_keyword("group") && self.at_keyword_at(1, "by") {
+                self.pos += 2;
+                let mut specs = Vec::new();
+                loop {
+                    let var = self.var_name()?;
+                    let expr = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr_single()?)
+                    } else {
+                        None
+                    };
+                    specs.push(GroupSpec { var, expr });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                clauses.push(Clause::GroupBy(specs));
+            } else if self.at_keyword("order") && self.at_keyword_at(1, "by") {
+                self.pos += 2;
+                let mut specs = Vec::new();
+                loop {
+                    let expr = self.expr_single()?;
+                    let descending = if self.eat_keyword("descending") {
+                        true
+                    } else {
+                        self.eat_keyword("ascending");
+                        false
+                    };
+                    let empty_greatest = if self.eat_keyword("empty") {
+                        if self.eat_keyword("greatest") {
+                            Some(true)
+                        } else {
+                            self.expect_keyword("least")?;
+                            Some(false)
+                        }
+                    } else {
+                        None
+                    };
+                    specs.push(OrderSpec { expr, descending, empty_greatest });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                clauses.push(Clause::OrderBy(specs));
+            } else if self.at_keyword("count") && matches!(self.peek_at(1), Some(TokenKind::Var(_)))
+            {
+                self.pos += 1;
+                clauses.push(Clause::Count(self.var_name()?));
+            } else if self.at_keyword("return") {
+                self.pos += 1;
+                let return_expr = Box::new(self.expr_single()?);
+                if clauses.is_empty() {
+                    return Err(self.err_here("FLWOR expression needs at least one clause"));
+                }
+                return Ok(Expr::Flwor(FlworExpr { clauses, return_expr }));
+            } else {
+                return Err(self.err_here(format!(
+                    "expected a FLWOR clause or 'return', found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+    }
+
+    fn quantified(&mut self) -> Result<Expr> {
+        let every = self.name()? == "every";
+        let mut bindings = Vec::new();
+        loop {
+            let var = self.var_name()?;
+            self.expect_keyword("in")?;
+            let expr = self.expr_single()?;
+            bindings.push((var, expr));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_keyword("satisfies")?;
+        let satisfies = Box::new(self.expr_single()?);
+        Ok(Expr::Quantified { every, bindings, satisfies })
+    }
+
+    fn if_expr(&mut self) -> Result<Expr> {
+        self.expect_keyword("if")?;
+        self.expect(TokenKind::LParen, "'('")?;
+        let cond = Box::new(self.expr()?);
+        self.expect(TokenKind::RParen, "')'")?;
+        self.expect_keyword("then")?;
+        let then = Box::new(self.expr_single()?);
+        self.expect_keyword("else")?;
+        let els = Box::new(self.expr_single()?);
+        Ok(Expr::If { cond, then, els })
+    }
+
+    fn switch_expr(&mut self) -> Result<Expr> {
+        self.expect_keyword("switch")?;
+        self.expect(TokenKind::LParen, "'('")?;
+        let input = Box::new(self.expr()?);
+        self.expect(TokenKind::RParen, "')'")?;
+        let mut cases = Vec::new();
+        while self.at_keyword("case") {
+            let mut values = Vec::new();
+            while self.eat_keyword("case") {
+                values.push(self.expr_single()?);
+            }
+            self.expect_keyword("return")?;
+            let result = self.expr_single()?;
+            cases.push((values, result));
+        }
+        if cases.is_empty() {
+            return Err(self.err_here("switch needs at least one case"));
+        }
+        self.expect_keyword("default")?;
+        self.expect_keyword("return")?;
+        let default = Box::new(self.expr_single()?);
+        Ok(Expr::Switch { input, cases, default })
+    }
+
+    fn try_catch(&mut self) -> Result<Expr> {
+        self.expect_keyword("try")?;
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let body = Box::new(self.expr()?);
+        self.expect(TokenKind::RBrace, "'}'")?;
+        self.expect_keyword("catch")?;
+        let mut codes = Vec::new();
+        if !self.eat(&TokenKind::Star) {
+            loop {
+                codes.push(self.name()?);
+                if !self.eat(&TokenKind::Pipe) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let handler = Box::new(self.expr()?);
+        self.expect(TokenKind::RBrace, "'}'")?;
+        Ok(Expr::TryCatch { body, codes, handler })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.at_keyword("or") {
+            self.pos += 1;
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.at_keyword("and") {
+            self.pos += 1;
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        // JSONiq has a `not` unary keyword (unlike XQuery). `not(...)`
+        // must still parse as the function call for compatibility — both
+        // have identical semantics, so treating the keyword form uniformly
+        // is fine.
+        if self.at_keyword("not") && self.peek_at(1) != Some(&TokenKind::LParen) {
+            self.pos += 1;
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison_expr()
+        }
+    }
+
+    fn comparison_expr(&mut self) -> Result<Expr> {
+        let left = self.string_concat_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => Some(CompOp::GenEq),
+            Some(TokenKind::Ne) => Some(CompOp::GenNe),
+            Some(TokenKind::Lt) => Some(CompOp::GenLt),
+            Some(TokenKind::Le) => Some(CompOp::GenLe),
+            Some(TokenKind::Gt) => Some(CompOp::GenGt),
+            Some(TokenKind::Ge) => Some(CompOp::GenGe),
+            Some(TokenKind::Name(n)) => match n.as_str() {
+                "eq" => Some(CompOp::ValueEq),
+                "ne" => Some(CompOp::ValueNe),
+                "lt" => Some(CompOp::ValueLt),
+                "le" => Some(CompOp::ValueLe),
+                "gt" => Some(CompOp::ValueGt),
+                "ge" => Some(CompOp::ValueGe),
+                _ => None,
+            },
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.string_concat_expr()?;
+                Ok(Expr::Compare(Box::new(left), op, Box::new(right)))
+            }
+        }
+    }
+
+    fn string_concat_expr(&mut self) -> Result<Expr> {
+        let mut left = self.range_expr()?;
+        while self.eat(&TokenKind::ConcatOp) {
+            let right = self.range_expr()?;
+            left = Expr::StringConcat(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn range_expr(&mut self) -> Result<Expr> {
+        let left = self.additive_expr()?;
+        if self.at_keyword("to") {
+            self.pos += 1;
+            let right = self.additive_expr()?;
+            Ok(Expr::Range(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => ArithOp::Add,
+                Some(TokenKind::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative_expr()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr> {
+        let mut left = self.instance_of_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => ArithOp::Mul,
+                Some(TokenKind::Name(n)) if n == "div" => ArithOp::Div,
+                Some(TokenKind::Name(n)) if n == "idiv" => ArithOp::IDiv,
+                Some(TokenKind::Name(n)) if n == "mod" => ArithOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.instance_of_expr()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn instance_of_expr(&mut self) -> Result<Expr> {
+        let left = self.treat_expr()?;
+        if self.at_keyword("instance") && self.at_keyword_at(1, "of") {
+            self.pos += 2;
+            let st = self.sequence_type()?;
+            Ok(Expr::InstanceOf(Box::new(left), st))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn treat_expr(&mut self) -> Result<Expr> {
+        let left = self.castable_expr()?;
+        if self.at_keyword("treat") && self.at_keyword_at(1, "as") {
+            self.pos += 2;
+            let st = self.sequence_type()?;
+            Ok(Expr::TreatAs(Box::new(left), st))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn castable_expr(&mut self) -> Result<Expr> {
+        let left = self.cast_expr()?;
+        if self.at_keyword("castable") && self.at_keyword_at(1, "as") {
+            self.pos += 2;
+            let (t, opt) = self.atomic_type()?;
+            Ok(Expr::CastableAs(Box::new(left), t, opt))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn cast_expr(&mut self) -> Result<Expr> {
+        let left = self.unary_expr()?;
+        if self.at_keyword("cast") && self.at_keyword_at(1, "as") {
+            self.pos += 2;
+            let (t, opt) = self.atomic_type()?;
+            Ok(Expr::CastAs(Box::new(left), t, opt))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let mut negate = false;
+        loop {
+            if self.eat(&TokenKind::Minus) {
+                negate = !negate;
+            } else if self.eat(&TokenKind::Plus) {
+                // unary plus: no-op
+            } else {
+                break;
+            }
+        }
+        let inner = self.simple_map_expr()?;
+        Ok(if negate { Expr::UnaryMinus(Box::new(inner)) } else { inner })
+    }
+
+    fn simple_map_expr(&mut self) -> Result<Expr> {
+        let mut left = self.postfix_expr()?;
+        while self.eat(&TokenKind::Bang) {
+            let right = self.postfix_expr()?;
+            left = Expr::SimpleMap(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let base = self.primary_expr()?;
+        let mut ops = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::Dot) => {
+                    self.pos += 1;
+                    let key = match self.bump() {
+                        Some(TokenKind::Name(n)) => LookupKey::Name(n),
+                        Some(TokenKind::Str(s)) => LookupKey::Name(s),
+                        Some(TokenKind::Var(v)) => LookupKey::Expr(Box::new(Expr::VarRef(v))),
+                        Some(TokenKind::LParen) => {
+                            let e = self.expr()?;
+                            self.expect(TokenKind::RParen, "')'")?;
+                            LookupKey::Expr(Box::new(e))
+                        }
+                        other => {
+                            return Err(self.err_here(format!(
+                                "expected a key after '.', found {other:?}"
+                            )))
+                        }
+                    };
+                    ops.push(PostfixOp::Lookup(key));
+                }
+                Some(TokenKind::LBracket) => {
+                    self.pos += 1;
+                    if self.eat(&TokenKind::RBracket) {
+                        ops.push(PostfixOp::ArrayUnbox);
+                    } else {
+                        let e = self.expr()?;
+                        self.expect(TokenKind::RBracket, "']'")?;
+                        ops.push(PostfixOp::Predicate(e));
+                    }
+                }
+                Some(TokenKind::LLBracket) => {
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RRBracket, "']]'")?;
+                    ops.push(PostfixOp::ArrayLookup(e));
+                }
+                _ => break,
+            }
+        }
+        Ok(base.with_postfix(ops))
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(TokenKind::Integer(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Integer(v)))
+            }
+            Some(TokenKind::Decimal(raw)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Decimal(raw)))
+            }
+            Some(TokenKind::Double(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Double(v)))
+            }
+            Some(TokenKind::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(TokenKind::Var(v)) => {
+                self.pos += 1;
+                Ok(Expr::VarRef(v))
+            }
+            Some(TokenKind::ContextItem) => {
+                self.pos += 1;
+                Ok(Expr::ContextItem)
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                if self.eat(&TokenKind::RParen) {
+                    return Ok(Expr::Empty);
+                }
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(TokenKind::LBracket) => {
+                self.pos += 1;
+                if self.eat(&TokenKind::RBracket) {
+                    return Ok(Expr::ArrayConstructor(None));
+                }
+                let e = self.expr()?;
+                self.expect(TokenKind::RBracket, "']'")?;
+                Ok(Expr::ArrayConstructor(Some(Box::new(e))))
+            }
+            Some(TokenKind::LBrace) => self.object_constructor(),
+            Some(TokenKind::Name(n)) => {
+                match n.as_str() {
+                    "true" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Literal::Boolean(true)));
+                    }
+                    "false" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Literal::Boolean(false)));
+                    }
+                    "null" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Literal::Null));
+                    }
+                    _ => {}
+                }
+                if self.peek_at(1) == Some(&TokenKind::LParen) {
+                    self.pos += 2;
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr_single()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::RParen, "')'")?;
+                    }
+                    Ok(Expr::FunctionCall { name: n, args })
+                } else {
+                    Err(self.err_here(format!(
+                        "unexpected name '{n}' — a bare name is not an expression"
+                    )))
+                }
+            }
+            other => Err(self.err_here(format!("expected an expression, found {other:?}"))),
+        }
+    }
+
+    fn object_constructor(&mut self) -> Result<Expr> {
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut pairs = Vec::new();
+        if self.eat(&TokenKind::RBrace) {
+            return Ok(Expr::ObjectConstructor(pairs));
+        }
+        loop {
+            // NCName / string shortcuts when directly followed by ':'.
+            let key = match (self.peek().cloned(), self.peek_at(1)) {
+                (Some(TokenKind::Name(n)), Some(TokenKind::Colon)) => {
+                    self.pos += 2;
+                    ObjectKey::Name(n)
+                }
+                (Some(TokenKind::Str(s)), Some(TokenKind::Colon)) => {
+                    self.pos += 2;
+                    ObjectKey::Name(s)
+                }
+                _ => {
+                    let e = self.expr_single()?;
+                    self.expect(TokenKind::Colon, "':'")?;
+                    ObjectKey::Expr(e)
+                }
+            };
+            let value = self.expr_single()?;
+            pairs.push((key, value));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RBrace, "'}'")?;
+        Ok(Expr::ObjectConstructor(pairs))
+    }
+
+    // ---- types ----
+
+    fn sequence_type(&mut self) -> Result<SequenceType> {
+        if self.at_keyword("empty-sequence") {
+            self.pos += 1;
+            self.expect(TokenKind::LParen, "'('")?;
+            self.expect(TokenKind::RParen, "')'")?;
+            return Ok(SequenceType { item: None, occurrence: Occurrence::One });
+        }
+        let item = self.item_type()?;
+        let occurrence = match self.peek() {
+            Some(TokenKind::Question) => {
+                self.pos += 1;
+                Occurrence::Optional
+            }
+            Some(TokenKind::Star) => {
+                self.pos += 1;
+                Occurrence::Star
+            }
+            Some(TokenKind::Plus) => {
+                self.pos += 1;
+                Occurrence::Plus
+            }
+            _ => Occurrence::One,
+        };
+        Ok(SequenceType { item: Some(item), occurrence })
+    }
+
+    fn item_type(&mut self) -> Result<ItemTypeAst> {
+        let n = self.name()?;
+        // Optional XQuery-style parentheses: `item()`, `object()`.
+        if self.peek() == Some(&TokenKind::LParen) && self.peek_at(1) == Some(&TokenKind::RParen)
+        {
+            self.pos += 2;
+        }
+        Ok(match n.as_str() {
+            "item" => ItemTypeAst::AnyItem,
+            "json-item" => ItemTypeAst::JsonItem,
+            "object" => ItemTypeAst::Object,
+            "array" => ItemTypeAst::Array,
+            "atomic" => ItemTypeAst::Atomic(AtomicType::AnyAtomic),
+            "string" => ItemTypeAst::Atomic(AtomicType::String),
+            "integer" => ItemTypeAst::Atomic(AtomicType::Integer),
+            "decimal" => ItemTypeAst::Atomic(AtomicType::Decimal),
+            "double" => ItemTypeAst::Atomic(AtomicType::Double),
+            "boolean" => ItemTypeAst::Atomic(AtomicType::Boolean),
+            "null" => ItemTypeAst::Atomic(AtomicType::Null),
+            other => return Err(self.err_here(format!("unknown type '{other}'"))),
+        })
+    }
+
+    fn atomic_type(&mut self) -> Result<(AtomicType, bool)> {
+        let t = match self.item_type()? {
+            ItemTypeAst::Atomic(t) => t,
+            other => {
+                return Err(self.err_here(format!("cast target must be atomic, got {other:?}")))
+            }
+        };
+        let optional = self.eat(&TokenKind::Question);
+        Ok((t, optional))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        parse_program(src).unwrap_or_else(|e| panic!("parse of {src:?} failed: {e}"))
+    }
+
+    fn body(src: &str) -> Expr {
+        parse(src).body
+    }
+
+    #[test]
+    fn literals_and_sequences() {
+        assert_eq!(body("42"), Expr::Literal(Literal::Integer(42)));
+        assert_eq!(body("()"), Expr::Empty);
+        assert!(matches!(body("(1, 2, 3)"), Expr::Sequence(v) if v.len() == 3));
+        assert_eq!(body("\"hi\""), Expr::Literal(Literal::Str("hi".into())));
+        assert_eq!(body("3.14"), Expr::Literal(Literal::Decimal("3.14".into())));
+        assert_eq!(body("true"), Expr::Literal(Literal::Boolean(true)));
+        assert_eq!(body("null"), Expr::Literal(Literal::Null));
+    }
+
+    #[test]
+    fn paper_figure_4_query_parses() {
+        let p = parse(
+            r#"for $i in json-file("hdfs:///dataset.json")
+               where $i.guess = $i.target
+               order by $i.target ascending,
+                        $i.country descending,
+                        $i.date descending
+               count $c
+               where $c ge 10
+               return $i"#,
+        );
+        let Expr::Flwor(f) = p.body else { panic!("expected FLWOR") };
+        assert_eq!(f.clauses.len(), 5);
+        assert!(matches!(&f.clauses[0], Clause::For(b) if b.len() == 1));
+        assert!(matches!(&f.clauses[1], Clause::Where(_)));
+        let Clause::OrderBy(specs) = &f.clauses[2] else { panic!() };
+        assert_eq!(specs.len(), 3);
+        assert!(!specs[0].descending);
+        assert!(specs[1].descending);
+        assert!(matches!(&f.clauses[3], Clause::Count(c) if c == "c"));
+    }
+
+    #[test]
+    fn paper_figure_7_query_parses() {
+        let p = parse(
+            r#"for $o in json-file("hdfs:///dataset.json")
+               group by $c := ($o.country[], $o.country, "USA")[1],
+                        $t := $o.target
+               return {
+                 country: $c,
+                 target: $t,
+                 count: count($o)
+               }"#,
+        );
+        let Expr::Flwor(f) = p.body else { panic!() };
+        let Clause::GroupBy(specs) = &f.clauses[1] else { panic!() };
+        assert_eq!(specs.len(), 2);
+        assert!(specs[0].expr.is_some());
+        let Expr::ObjectConstructor(pairs) = f.return_expr.as_ref() else { panic!() };
+        assert_eq!(pairs.len(), 3);
+        assert!(matches!(&pairs[0].0, ObjectKey::Name(n) if n == "country"));
+    }
+
+    #[test]
+    fn group_by_key_expression_shape() {
+        // ($o.country[], $o.country, "USA")[1] — sequence, unbox, predicate.
+        let e = body(r#"($o.country[], $o.country, "USA")[1]"#);
+        let Expr::Postfix(base, ops) = e else { panic!("expected postfix") };
+        assert!(matches!(*base, Expr::Sequence(_)));
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(&ops[0], PostfixOp::Predicate(Expr::Literal(Literal::Integer(1)))));
+    }
+
+    #[test]
+    fn navigation_chain() {
+        let e = body(r#"json-file("input.json").foo[].bar[$$.foobar eq "a"]"#);
+        let Expr::Postfix(base, ops) = e else { panic!() };
+        assert!(matches!(*base, Expr::FunctionCall { .. }));
+        assert!(matches!(ops[0], PostfixOp::Lookup(LookupKey::Name(ref n)) if n == "foo"));
+        assert!(matches!(ops[1], PostfixOp::ArrayUnbox));
+        assert!(matches!(ops[2], PostfixOp::Lookup(LookupKey::Name(ref n)) if n == "bar"));
+        assert!(matches!(ops[3], PostfixOp::Predicate(_)));
+    }
+
+    #[test]
+    fn array_lookup_and_quoted_keys() {
+        let e = body(r#"$a[[1+1]]."strange key""#);
+        let Expr::Postfix(_, ops) = e else { panic!() };
+        assert!(matches!(ops[0], PostfixOp::ArrayLookup(_)));
+        assert!(matches!(ops[1], PostfixOp::Lookup(LookupKey::Name(ref n)) if n == "strange key"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 eq 7 → Compare(Arith(1, +, Arith(2, *, 3)), eq, 7)
+        let e = body("1 + 2 * 3 eq 7");
+        let Expr::Compare(l, CompOp::ValueEq, _) = e else { panic!() };
+        let Expr::Arith(_, ArithOp::Add, r) = *l else { panic!() };
+        assert!(matches!(*r, Expr::Arith(_, ArithOp::Mul, _)));
+
+        // or binds looser than and.
+        let e = body("true and false or true");
+        assert!(matches!(e, Expr::Or(_, _)));
+
+        // to binds looser than +.
+        let e = body("1 to 2 + 3");
+        assert!(matches!(e, Expr::Range(_, _)));
+
+        // || binds looser than to? No: concat is above range. "a" || "b"
+        let e = body(r#""a" || "b" || "c""#);
+        assert!(matches!(e, Expr::StringConcat(_, _)));
+    }
+
+    #[test]
+    fn control_flow_expressions() {
+        assert!(matches!(body("if (1) then 2 else 3"), Expr::If { .. }));
+        let e = body(
+            r#"switch ($x) case "a" case "b" return 1 case "c" return 2 default return 0"#,
+        );
+        let Expr::Switch { cases, .. } = e else { panic!() };
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].0.len(), 2);
+
+        let e = body(r#"try { 1 div 0 } catch * { "oops" }"#);
+        assert!(matches!(e, Expr::TryCatch { ref codes, .. } if codes.is_empty()));
+        let e = body(r#"try { 1 } catch FOAR0001 | XPTY0004 { 2 }"#);
+        assert!(matches!(e, Expr::TryCatch { ref codes, .. } if codes.len() == 2));
+    }
+
+    #[test]
+    fn quantified_expressions() {
+        let e = body("some $x in (1, 2, 3) satisfies $x gt 2");
+        assert!(matches!(e, Expr::Quantified { every: false, .. }));
+        let e = body("every $o in $orders, $i in $o.items satisfies $i.pid gt 0");
+        let Expr::Quantified { every: true, bindings, .. } = e else { panic!() };
+        assert_eq!(bindings.len(), 2);
+    }
+
+    #[test]
+    fn types_and_casts() {
+        assert!(matches!(body("$x instance of integer+"), Expr::InstanceOf(_, _)));
+        assert!(matches!(body("$x instance of empty-sequence()"), Expr::InstanceOf(_, st) if st.item.is_none()));
+        assert!(matches!(body("$x cast as integer"), Expr::CastAs(_, AtomicType::Integer, false)));
+        assert!(matches!(body("$x castable as double?"), Expr::CastableAs(_, AtomicType::Double, true)));
+        assert!(matches!(body("$x treat as item()*"), Expr::TreatAs(_, _)));
+        assert!(parse_program("$x cast as object").is_err());
+    }
+
+    #[test]
+    fn prolog_declarations() {
+        let p = parse(
+            r#"declare variable $threshold := 10;
+               declare function local:double($x) { $x * 2 };
+               local:double($threshold)"#,
+        );
+        assert_eq!(p.decls.len(), 2);
+        assert!(matches!(&p.decls[0], Decl::Variable { name, .. } if name == "threshold"));
+        assert!(
+            matches!(&p.decls[1], Decl::Function { name, params, .. } if name == "local:double" && params.len() == 1)
+        );
+    }
+
+    #[test]
+    fn simple_map_and_not() {
+        assert!(matches!(body("(1, 2) ! ($$ * 2)"), Expr::SimpleMap(_, _)));
+        assert!(matches!(body("not true"), Expr::Not(_)));
+        // `not(...)` still parses (as a function call).
+        assert!(matches!(body("not(true)"), Expr::FunctionCall { .. }));
+    }
+
+    #[test]
+    fn multiple_for_bindings_and_positional() {
+        let p = parse("for $x at $i in (1,2), $y in (3,4) return [$i, $x, $y]");
+        let Expr::Flwor(f) = p.body else { panic!() };
+        let Clause::For(bs) = &f.clauses[0] else { panic!() };
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].positional.as_deref(), Some("i"));
+    }
+
+    #[test]
+    fn errors_are_syntax_errors_with_positions() {
+        for bad in [
+            "for $x in",
+            "1 +",
+            "{ \"a\" 1 }",
+            "if (1) then 2",
+            "$x[",
+            "for $x in (1) where",
+            "try { 1 }",
+            "%%%",
+        ] {
+            let e = parse_program(bad).unwrap_err();
+            assert_eq!(e.code, "XPST0003", "expected syntax error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn figure_8_complex_query_parses() {
+        parse(
+            r#"{
+              "items-ordered-on-busy-days" : [
+                for $order in collection("orders")
+                let $customer := collection("customers")[$$.cid eq $order.customer]
+                where $order.from eq "USA"
+                where every $item in $order.items[]
+                      satisfies some $product in collection("products")
+                                satisfies $product.pid eq $item.pid
+                group by $date := $order.date
+                let $number-of-orders := count($order)
+                order by $number-of-orders
+                count $position
+                return {
+                  "date": $date,
+                  "rank": $position,
+                  "items": [
+                    distinct-values(
+                      for $item in $order.items[]
+                      for $product in collection("products")
+                      where $product.pid eq $item.pid
+                      return { "name": $product.name, "id": $product.id }
+                    )
+                  ]
+                }
+              ]
+            }"#,
+        );
+    }
+}

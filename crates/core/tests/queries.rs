@@ -1,0 +1,491 @@
+//! End-to-end query tests: the paper's queries, executed both on the local
+//! pull path and the distributed RDD/DataFrame path, must agree.
+
+use rumble_core::item::Item;
+use rumble_core::Rumble;
+use sparklite::{SparkliteConf, SparkliteContext};
+
+fn engine() -> Rumble {
+    Rumble::new(SparkliteContext::new(
+        SparkliteConf::default().with_executors(4).with_block_size(2048),
+    ))
+}
+
+/// The confusion-dataset sample used throughout (paper Figure 1 shape).
+fn confusion_lines(n: usize) -> String {
+    let langs = ["French", "German", "Danish", "Swedish", "Norwegian"];
+    let countries = ["AU", "US", "DE", "CH", "FR"];
+    let mut out = String::new();
+    for i in 0..n {
+        let target = langs[i % langs.len()];
+        let guess = langs[(i * 7 + i / 3) % langs.len()];
+        let country = countries[(i / langs.len()) % countries.len()];
+        out.push_str(&format!(
+            "{{\"guess\": \"{guess}\", \"target\": \"{target}\", \"country\": \"{country}\", \
+             \"choices\": [\"{target}\", \"{guess}\"], \"sample\": \"s{i:05}\", \
+             \"date\": \"2013-08-{:02}\"}}\n",
+            (i % 28) + 1
+        ));
+    }
+    out
+}
+
+#[test]
+fn figure_4_filter_sort_count_query() {
+    let r = engine();
+    r.hdfs_put("/dataset.json", &confusion_lines(500)).unwrap();
+    let q = r
+        .compile(
+            r#"for $i in json-file("hdfs:///dataset.json")
+               where $i.guess = $i.target
+               order by $i.target ascending,
+                        $i.country descending,
+                        $i.date descending
+               count $c
+               where $c le 10
+               return $i"#,
+        )
+        .unwrap();
+    assert!(q.is_distributed().unwrap(), "json-file pipelines run on the cluster");
+    let items = q.collect().unwrap();
+    assert_eq!(items.len(), 10);
+    // Sorted ascending by target; all rows have guess == target.
+    let mut last_target = String::new();
+    for i in &items {
+        let o = i.as_object().unwrap();
+        let guess = o.get("guess").unwrap().as_str().unwrap();
+        let target = o.get("target").unwrap().as_str().unwrap();
+        assert_eq!(guess, target);
+        assert!(target >= last_target.as_str());
+        last_target = target.to_string();
+    }
+}
+
+#[test]
+fn figure_7_grouping_query_with_count_optimization() {
+    let r = engine();
+    r.hdfs_put("/dataset.json", &confusion_lines(400)).unwrap();
+    let q = r
+        .compile(
+            r#"for $o in json-file("hdfs:///dataset.json")
+               group by $c := ($o.country[], $o.country, "USA")[1],
+                        $t := $o.target
+               return { country: $c, target: $t, count: count($o) }"#,
+        )
+        .unwrap();
+    assert!(q.is_distributed().unwrap());
+    let items = q.collect().unwrap();
+    // 5 countries × 5 targets = 25 groups, 400/25 = 16 each.
+    assert_eq!(items.len(), 25);
+    let total: i64 =
+        items.iter().map(|i| i.as_object().unwrap().get("count").unwrap().as_i64().unwrap()).sum();
+    assert_eq!(total, 400);
+}
+
+#[test]
+fn local_and_distributed_agree_on_all_three_queries() {
+    let r = engine();
+    let text = confusion_lines(300);
+    r.hdfs_put("/d.json", &text).unwrap();
+    // `parallelize` of a literal parse is the distributed source; a `let`
+    // binding first forces the local path (§4.5).
+    let queries = [
+        // filter
+        (
+            r#"for $i in json-file("hdfs:///d.json") where $i.guess = $i.target return $i.sample"#,
+            r#"let $all := json-file("hdfs:///d.json")
+               for $i in $all where $i.guess = $i.target return $i.sample"#,
+        ),
+        // group
+        (
+            r#"for $i in json-file("hdfs:///d.json") group by $c := $i.country
+               order by $c ascending
+               return { c: $c, n: count($i) }"#,
+            r#"let $all := json-file("hdfs:///d.json")
+               for $i in $all group by $c := $i.country
+               order by $c ascending
+               return { c: $c, n: count($i) }"#,
+        ),
+        // sort
+        (
+            r#"for $i in json-file("hdfs:///d.json")
+               order by $i.target descending, $i.sample ascending
+               return $i.sample"#,
+            r#"let $all := json-file("hdfs:///d.json")
+               for $i in $all
+               order by $i.target descending, $i.sample ascending
+               return $i.sample"#,
+        ),
+    ];
+    for (dist_q, local_q) in queries {
+        let dist = r.compile(dist_q).unwrap();
+        let local = r.compile(local_q).unwrap();
+        assert!(dist.is_distributed().unwrap(), "expected distributed: {dist_q}");
+        assert!(!local.is_distributed().unwrap(), "expected local: {local_q}");
+        let a = dist.collect().unwrap();
+        let b = local.collect().unwrap();
+        assert_eq!(a, b, "result mismatch for:\n{dist_q}");
+    }
+}
+
+#[test]
+fn heterogeneous_grouping_like_section_4_7() {
+    // The §4.7 example: keys of mixed types group without error.
+    let r = engine();
+    let q = r
+        .run(
+            r#"for $i in parallelize((
+                 {"key": "foo", "value": "anything"},
+                 {"key": 1, "value": "anything"},
+                 {"key": 1, "value": "anything"},
+                 {"key": "foo", "value": "anything"},
+                 {"key": true, "value": "anything"}
+               ))
+               group by $key := $i.key
+               return { "key": $key, "count": count($i) }"#,
+        )
+        .unwrap();
+    assert_eq!(q.len(), 3);
+    let mut counts: Vec<i64> =
+        q.iter().map(|i| i.as_object().unwrap().get("count").unwrap().as_i64().unwrap()).collect();
+    counts.sort();
+    assert_eq!(counts, vec![1, 2, 2]);
+}
+
+#[test]
+fn figure_5_messy_data_keeps_types() {
+    // The heterogeneous dataset of Figure 5: JSONiq preserves the original
+    // types (unlike the DataFrame collapse of Figure 6).
+    let r = engine();
+    r.hdfs_put(
+        "/messy.json",
+        "{\"foo\": \"1\", \"bar\":2, \"foobar\": true}\n\
+         {\"foo\": \"2\", \"bar\":[4], \"foobar\": \"false\"}\n\
+         {\"foo\": \"3\", \"bar\":\"6\"}\n",
+    )
+    .unwrap();
+    let types = r
+        .run(r#"for $o in json-file("hdfs:///messy.json") return $o.bar instance of array"#)
+        .unwrap();
+    assert_eq!(
+        types,
+        vec![Item::Boolean(false), Item::Boolean(true), Item::Boolean(false)]
+    );
+    // The defaulting idiom of Figure 7 works on messy fields.
+    let coalesced = r
+        .run(r#"for $o in json-file("hdfs:///messy.json")
+                return ($o.bar[], $o.bar, "none")[1]"#)
+        .unwrap();
+    assert_eq!(coalesced.len(), 3);
+    assert_eq!(coalesced[1], Item::Integer(4));
+}
+
+#[test]
+fn sort_with_incompatible_types_errors() {
+    let r = engine();
+    let err = r
+        .run(
+            r#"for $i in parallelize(({"k": 1}, {"k": "a"}))
+               order by $i.k
+               return $i"#,
+        )
+        .unwrap_err();
+    assert!(err.message.contains("incompatible"), "got: {err}");
+    // Null and empty are compatible with anything.
+    let ok = r
+        .run(
+            r#"for $i in parallelize(({"k": 2}, {"k": null}, {}, {"k": 1}))
+               order by $i.k
+               return [ $i.k ]"#,
+        )
+        .unwrap();
+    // empty < null < 1 < 2.
+    assert_eq!(ok[0], Item::array(vec![]));
+    assert_eq!(ok[1], Item::array(vec![Item::Null]));
+    assert_eq!(ok[2], Item::array(vec![Item::Integer(1)]));
+}
+
+#[test]
+fn empty_greatest_modifier() {
+    let r = engine();
+    let out = r
+        .run(
+            r#"for $i in parallelize(({"k": 2}, {}, {"k": 1}))
+               order by $i.k empty greatest
+               return [ $i.k ]"#,
+        )
+        .unwrap();
+    assert_eq!(out[0], Item::array(vec![Item::Integer(1)]));
+    assert_eq!(out[2], Item::array(vec![]));
+}
+
+#[test]
+fn figure_8_style_query_with_collections() {
+    let r = engine();
+    r.register_collection_items(
+        "orders",
+        rumble_core::item::items_from_json_lines(
+            "{\"customer\": 1, \"from\": \"USA\", \"date\": \"d1\", \"items\": [{\"pid\": 10}]}\n\
+             {\"customer\": 2, \"from\": \"USA\", \"date\": \"d1\", \"items\": [{\"pid\": 11}]}\n\
+             {\"customer\": 1, \"from\": \"FR\",  \"date\": \"d2\", \"items\": [{\"pid\": 10}]}\n\
+             {\"customer\": 2, \"from\": \"USA\", \"date\": \"d2\", \"items\": [{\"pid\": 99}]}\n\
+             {\"customer\": 3, \"from\": \"USA\", \"date\": \"d2\", \"items\": [{\"pid\": 10}]}\n",
+        )
+        .unwrap(),
+    );
+    r.register_collection_items(
+        "products",
+        rumble_core::item::items_from_json_lines(
+            "{\"pid\": 10, \"name\": \"keyboard\"}\n{\"pid\": 11, \"name\": \"mouse\"}\n",
+        )
+        .unwrap(),
+    );
+    let out = r
+        .run(
+            r#"for $order in collection("orders")
+               where $order.from eq "USA"
+               where every $item in $order.items[]
+                     satisfies some $product in collection("products")
+                               satisfies $product.pid eq $item.pid
+               group by $date := $order.date
+               let $n := count($order)
+               order by $n descending
+               count $rank
+               return { "date": $date, "rank": $rank, "n": $n }"#,
+        )
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    let first = out[0].as_object().unwrap();
+    assert_eq!(first.get("date").unwrap().as_str(), Some("d1"));
+    assert_eq!(first.get("n").unwrap().as_i64(), Some(2));
+    assert_eq!(first.get("rank").unwrap().as_i64(), Some(1));
+}
+
+#[test]
+fn nested_flwor_inside_closures_runs_locally() {
+    // A FLWOR in a predicate evaluated inside executors must fall back to
+    // the local API (§5.6: jobs do not nest).
+    let r = engine();
+    r.hdfs_put("/nums.json", &(0..100).map(|i| format!("{{\"v\": {i}}}\n")).collect::<String>())
+        .unwrap();
+    let out = r
+        .run(
+            r#"for $x in json-file("hdfs:///nums.json")
+               where $x.v lt (for $k in (1, 2, 3) return $k * 2)[3]
+               return $x.v"#,
+        )
+        .unwrap();
+    assert_eq!(out.len(), 6); // v < 6
+}
+
+#[test]
+fn user_defined_functions_distributed() {
+    let r = engine();
+    r.hdfs_put("/n.json", &(0..50).map(|i| format!("{{\"v\": {i}}}\n")).collect::<String>())
+        .unwrap();
+    let out = r
+        .run(
+            r#"declare function local:square($x) { $x * $x };
+               for $i in json-file("hdfs:///n.json")
+               where local:square($i.v) gt 2000
+               return $i.v"#,
+        )
+        .unwrap();
+    // v² > 2000 → v ≥ 45.
+    assert_eq!(out.len(), 5);
+}
+
+#[test]
+fn try_catch_and_error_codes() {
+    let r = engine();
+    assert_eq!(
+        r.run(r#"try { 1 div 0 } catch * { "rescued" }"#).unwrap(),
+        vec![Item::str("rescued")]
+    );
+    assert_eq!(
+        r.run(r#"try { 1 div 0 } catch FOAR0001 { "code matched" }"#).unwrap(),
+        vec![Item::str("code matched")]
+    );
+    let e = r.run(r#"try { 1 div 0 } catch XYZ0000 { "no" }"#).unwrap_err();
+    assert_eq!(e.code, "FOAR0001");
+}
+
+#[test]
+fn positional_for_variables() {
+    // Listed as unsupported in the paper (§4.4) — implemented here.
+    let r = engine();
+    let out = r
+        .run(r#"for $x at $i in ("a", "b", "c") return { pos: $i, val: $x }"#)
+        .unwrap();
+    assert_eq!(out[2].as_object().unwrap().get("pos").unwrap().as_i64(), Some(3));
+    // Positional on a distributed initial for.
+    let out = r
+        .run(r#"for $x at $i in parallelize(10 to 19) where $i le 3 return $x"#)
+        .unwrap();
+    assert_eq!(out, vec![Item::Integer(10), Item::Integer(11), Item::Integer(12)]);
+}
+
+#[test]
+fn allowing_empty() {
+    let r = engine();
+    let out = r
+        .run(r#"for $x allowing empty in () return count($x)"#)
+        .unwrap();
+    assert_eq!(out, vec![Item::Integer(0)]);
+}
+
+#[test]
+fn write_back_to_hdfs_in_parallel() {
+    let r = engine();
+    r.hdfs_put("/in.json", &confusion_lines(200)).unwrap();
+    let q = r
+        .compile(
+            r#"for $i in json-file("hdfs:///in.json")
+               where $i.guess = $i.target
+               return { s: $i.sample }"#,
+        )
+        .unwrap();
+    let n = q.write_json_lines("hdfs:///out.json").unwrap();
+    assert!(n > 0);
+    // The output has one block per partition (parallel write).
+    assert!(r.sparklite().hdfs().num_blocks("/out.json").unwrap() > 1);
+    let back = r.run(r#"count(json-file("hdfs:///out.json"))"#).unwrap();
+    assert_eq!(back, vec![Item::Integer(n as i64)]);
+}
+
+#[test]
+fn take_limits_work_on_distributed_results() {
+    let r = engine();
+    r.hdfs_put("/big.json", &confusion_lines(1000)).unwrap();
+    let q = r.compile(r#"for $i in json-file("hdfs:///big.json") return $i.sample"#).unwrap();
+    let ten = q.take(10).unwrap();
+    assert_eq!(ten.len(), 10);
+    assert_eq!(q.count().unwrap(), 1000);
+}
+
+#[test]
+fn dynamic_errors_carry_codes() {
+    let r = engine();
+    assert_eq!(r.run("1 div 0").unwrap_err().code, "FOAR0001");
+    assert_eq!(r.run("1 + \"a\"").unwrap_err().code, "XPTY0004");
+    assert_eq!(r.run("$x").unwrap_err().code, "XPST0008");
+    assert_eq!(r.run("frobnicate(1)").unwrap_err().code, "XPST0017");
+    assert_eq!(r.run("for $x in").unwrap_err().code, "XPST0003");
+}
+
+#[test]
+fn distributed_error_in_closure_surfaces() {
+    let r = engine();
+    r.hdfs_put("/e.json", "{\"v\": 1}\n{\"v\": 0}\n{\"v\": 2}\n").unwrap();
+    let e = r
+        .run(r#"for $i in json-file("hdfs:///e.json") where 10 div $i.v gt 1 return $i"#)
+        .unwrap_err();
+    assert!(e.message.contains("division by zero"), "got: {e}");
+}
+
+#[test]
+fn count_clause_numbers_globally_across_partitions() {
+    let r = engine();
+    r.hdfs_put("/c.json", &(0..97).map(|i| format!("{{\"v\": {i}}}\n")).collect::<String>())
+        .unwrap();
+    let out = r
+        .run(
+            r#"for $i in json-file("hdfs:///c.json")
+               count $c
+               return $c - $i.v"#,
+        )
+        .unwrap();
+    // Counting follows input order: c = v + 1 everywhere.
+    assert_eq!(out.len(), 97);
+    assert!(out.iter().all(|d| d.as_i64() == Some(1)));
+}
+
+#[test]
+fn group_by_after_count_and_where() {
+    let r = engine();
+    r.hdfs_put("/g.json", &confusion_lines(100)).unwrap();
+    let out = r
+        .run(
+            r#"for $i in json-file("hdfs:///g.json")
+               count $c
+               where $c le 50
+               group by $t := $i.target
+               order by $t
+               return { t: $t, n: count($i) }"#,
+        )
+        .unwrap();
+    let total: i64 =
+        out.iter().map(|i| i.as_object().unwrap().get("n").unwrap().as_i64().unwrap()).sum();
+    assert_eq!(total, 50);
+}
+
+#[test]
+fn unused_nongrouping_variables_are_dropped() {
+    // for $i … group by $t := $i.target return $t — $i is unused after
+    // grouping, so no SEQUENCE column should be materialized. We can't see
+    // the plan from here, but the query must run and be correct.
+    let r = engine();
+    r.hdfs_put("/u.json", &confusion_lines(50)).unwrap();
+    let mut out = r
+        .run(r#"for $i in json-file("hdfs:///u.json") group by $t := $i.target return $t"#)
+        .unwrap();
+    out.sort_by_key(|i| i.as_str().unwrap().to_string());
+    assert_eq!(out.len(), 5);
+}
+
+#[test]
+fn materialization_cap_truncates_with_warning() {
+    let r = engine();
+    r.hdfs_put("/cap.json", &(0..500).map(|i| format!("{{\"v\": {i}}}\n")).collect::<String>())
+        .unwrap();
+    r.set_materialization_cap(100);
+    assert!(!r.was_truncated());
+    let out = r.run(r#"for $i in json-file("hdfs:///cap.json") return $i.v"#).unwrap();
+    assert_eq!(out.len(), 100, "collection is truncated at the cap");
+    assert!(r.was_truncated(), "the §5.5 warning flag is raised");
+    // Aggregations run as cluster actions and are NOT affected by the cap.
+    let n = r.run(r#"count(json-file("hdfs:///cap.json"))"#).unwrap();
+    assert_eq!(n[0].as_i64(), Some(500));
+}
+
+#[test]
+fn local_file_roundtrip() {
+    // json-file and write_json_lines on the local filesystem (not SimHDFS).
+    let dir = std::env::temp_dir().join(format!("rumble-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.json");
+    std::fs::write(&input, "{\"v\": 1}\n{\"v\": 2}\n{\"v\": 3}\n").unwrap();
+    let r = engine();
+    let q = r
+        .compile(&format!(
+            "for $i in json-file(\"{}\") where $i.v ge 2 return $i",
+            input.display()
+        ))
+        .unwrap();
+    let out_path = dir.join("out.json");
+    let n = q.write_json_lines(out_path.to_str().unwrap()).unwrap();
+    assert_eq!(n, 2);
+    let back = std::fs::read_to_string(&out_path).unwrap();
+    assert_eq!(back.lines().count(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn collection_backed_by_hdfs_path_is_distributed() {
+    let r = engine();
+    r.hdfs_put("/col2.json", &confusion_lines(300)).unwrap();
+    r.register_collection_path("games", "hdfs:///col2.json");
+    let q = r
+        .compile(r#"for $g in collection("games") where $g.guess = $g.target return $g.sample"#)
+        .unwrap();
+    assert!(q.is_distributed().unwrap());
+    assert!(q.count().unwrap() > 0);
+}
+
+#[test]
+fn parallelize_partition_argument() {
+    let r = engine();
+    let q = r.compile("count(parallelize(1 to 1000, 7))").unwrap();
+    assert_eq!(q.collect().unwrap()[0].as_i64(), Some(1000));
+    assert!(r.run("parallelize((1,2), 0)").is_err(), "partitions must be positive");
+}

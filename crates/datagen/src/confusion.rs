@@ -1,0 +1,139 @@
+//! The Great-Language-Game "confusion" dataset stand-in (paper Figure 1).
+//!
+//! Each object records one guess in the language game:
+//! `{guess, target, country, choices, sample, date}`. The real dataset has
+//! ~16 M objects; this generator reproduces the properties the paper's
+//! three queries exercise:
+//!
+//! * **filter** (`guess = target`): roughly half of all guesses are right
+//!   (the real-game accuracy is ≈70%; we use 50% so the filter output is
+//!   large enough to stress downstream operators);
+//! * **group** (`country, target`): a Zipf-ish language popularity and a
+//!   long-tailed country distribution, so group sizes are skewed;
+//! * **sort** (`target, country, date`): dates span years with many
+//!   duplicates, exercising multi-key comparisons.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// The language pool (the real game has 78; the queries only need "many").
+pub const LANGUAGES: &[&str] = &[
+    "French", "German", "Danish", "Swedish", "Norwegian", "Dutch", "Italian", "Spanish",
+    "Portuguese", "Polish", "Czech", "Slovak", "Hungarian", "Romanian", "Bulgarian", "Greek",
+    "Turkish", "Arabic", "Hebrew", "Hindi", "Bengali", "Tamil", "Thai", "Vietnamese", "Khmer",
+    "Mandarin", "Cantonese", "Japanese", "Korean", "Finnish", "Estonian", "Latvian", "Lithuanian",
+    "Russian", "Ukrainian", "Serbian", "Croatian", "Albanian", "Macedonian", "Slovenian",
+];
+
+/// Country codes with a long-tailed popularity.
+pub const COUNTRIES: &[&str] = &[
+    "US", "AU", "GB", "DE", "CA", "NL", "SE", "FR", "NZ", "CH", "NO", "DK", "FI", "BR", "PL",
+    "ES", "IT", "RU", "JP", "IN", "MX", "AR", "CL", "ZA", "SG",
+];
+
+/// Picks an index with a Zipf-ish (1/(k+1)) weight over `n` choices.
+fn zipfish(rng: &mut StdRng, n: usize) -> usize {
+    // Inverse-CDF sampling over harmonic weights, approximated by
+    // exponentiating a uniform draw — cheap and skewed enough.
+    let u: f64 = rng.gen::<f64>();
+    let idx = ((n as f64 + 1.0).powf(u) - 1.0) as usize;
+    idx.min(n - 1)
+}
+
+/// Appends one confusion object to `out`.
+pub fn write_object(out: &mut String, rng: &mut StdRng) {
+    let target = LANGUAGES[zipfish(rng, LANGUAGES.len())];
+    // 50% correct guesses; wrong guesses cluster on similar languages.
+    let guess = if rng.gen_bool(0.5) {
+        target
+    } else {
+        LANGUAGES[rng.gen_range(0..LANGUAGES.len())]
+    };
+    let country = COUNTRIES[zipfish(rng, COUNTRIES.len())];
+    // Four choices, always containing the target.
+    let mut choices = vec![target];
+    while choices.len() < 4 {
+        let c = LANGUAGES[rng.gen_range(0..LANGUAGES.len())];
+        if !choices.contains(&c) {
+            choices.push(c);
+        }
+    }
+    // Deterministic shuffle of the four entries.
+    for i in (1..choices.len()).rev() {
+        choices.swap(i, rng.gen_range(0..=i));
+    }
+    let sample: u64 = rng.gen();
+    let year = 2013 + rng.gen_range(0..3);
+    let month = rng.gen_range(1..=12);
+    let day = rng.gen_range(1..=28);
+    writeln!(
+        out,
+        "{{\"guess\": \"{guess}\", \"target\": \"{target}\", \"country\": \"{country}\", \
+         \"choices\": [\"{}\", \"{}\", \"{}\", \"{}\"], \
+         \"sample\": \"{sample:016x}\", \"date\": \"{year}-{month:02}-{day:02}\"}}",
+        choices[0], choices[1], choices[2], choices[3]
+    )
+    .expect("writing to String cannot fail");
+}
+
+/// Generates `n` objects as JSON Lines text.
+pub fn generate(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(n * 190);
+    for _ in 0..n {
+        write_object(&mut out, &mut rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_have_the_figure_1_shape() {
+        let text = generate(200, 1);
+        for (_, line) in jsonlite::JsonLines::new(&text) {
+            let v = jsonlite::parse_value(line).unwrap();
+            for field in ["guess", "target", "country", "sample", "date"] {
+                assert!(v.get(field).unwrap().as_str().is_some(), "missing {field}");
+            }
+            let choices = v.get("choices").unwrap().as_array().unwrap();
+            assert_eq!(choices.len(), 4);
+            let target = v.get("target").unwrap().as_str().unwrap();
+            assert!(choices.iter().any(|c| c.as_str() == Some(target)));
+        }
+    }
+
+    #[test]
+    fn filter_selectivity_is_near_half() {
+        let text = generate(4000, 2);
+        let mut correct = 0;
+        let mut total = 0;
+        for (_, line) in jsonlite::JsonLines::new(&text) {
+            let v = jsonlite::parse_value(line).unwrap();
+            if v.get("guess") == v.get("target") {
+                correct += 1;
+            }
+            total += 1;
+        }
+        let ratio = correct as f64 / total as f64;
+        // 50% plus accidental correct random guesses.
+        assert!(ratio > 0.45 && ratio < 0.62, "selectivity {ratio}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let text = generate(5000, 3);
+        let mut counts = std::collections::HashMap::new();
+        for (_, line) in jsonlite::JsonLines::new(&text) {
+            let v = jsonlite::parse_value(line).unwrap();
+            *counts.entry(v.get("target").unwrap().as_str().unwrap().to_string()).or_insert(0u32) +=
+                1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let min = counts.values().min().copied().unwrap_or(0);
+        assert!(max > 4 * min.max(1), "expected a skewed distribution, got {min}..{max}");
+    }
+}

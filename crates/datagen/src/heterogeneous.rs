@@ -1,0 +1,123 @@
+//! The "messy data" generator: a scaled-up version of the paper's Figure 5
+//! dataset, where ~95% of values have the expected type and the remainder
+//! are absent, null, differently typed, or wrapped in arrays — the data
+//! cleaning scenario of §3.4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Appends one messy record.
+///
+/// The nominal schema is `{id: int, name: string, value: number,
+/// tags: [string], nested: {k: v}}`, but every field independently
+/// degrades with 5% probability.
+pub fn write_object(out: &mut String, rng: &mut StdRng, id: usize) {
+    out.push('{');
+    write!(out, "\"id\": ").expect("write");
+    match rng.gen_range(0..100) {
+        0..=1 => write!(out, "\"{id}\""), // stringly-typed id
+        2 => write!(out, "null"),
+        _ => write!(out, "{id}"),
+    }
+    .expect("write");
+
+    if rng.gen_range(0..100) >= 3 {
+        // name present (97%)
+        match rng.gen_range(0..100) {
+            0..=1 => write!(out, ", \"name\": [\"n{id}\"]"), // wrapped in array
+            _ => write!(out, ", \"name\": \"n{id}\""),
+        }
+        .expect("write");
+    }
+
+    write!(out, ", \"value\": ").expect("write");
+    match rng.gen_range(0..100) {
+        0..=2 => write!(out, "\"{}\"", rng.gen_range(0..1000)), // number as string
+        3..=4 => write!(out, "null"),
+        5..=49 => write!(out, "{}", rng.gen_range(0..1000)),
+        _ => write!(out, "{}.{:02}", rng.gen_range(0..1000), rng.gen_range(0..100)),
+    }
+    .expect("write");
+
+    match rng.gen_range(0..100) {
+        // tags: usually an array of strings, sometimes a bare string,
+        // sometimes absent.
+        0..=4 => write!(out, ", \"tags\": \"t{}\"", rng.gen_range(0..10)).expect("write"),
+        5..=9 => {}
+        _ => {
+            let n = rng.gen_range(0..4);
+            write!(out, ", \"tags\": [").expect("write");
+            for i in 0..n {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "\"t{}\"", rng.gen_range(0..10)).expect("write");
+            }
+            out.push(']');
+        }
+    }
+
+    if rng.gen_bool(0.8) {
+        write!(
+            out,
+            ", \"nested\": {{\"k\": {}, \"flag\": {}}}",
+            rng.gen_range(0..100),
+            rng.gen_bool(0.5)
+        )
+        .expect("write");
+    }
+    out.push_str("}\n");
+}
+
+/// Generates `n` messy records as JSON Lines text.
+pub fn generate(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(n * 120);
+    for id in 0..n {
+        write_object(&mut out, &mut rng, id);
+    }
+    out
+}
+
+/// The paper's exact Figure 5 dataset, for tests and examples.
+pub fn figure_5() -> &'static str {
+    "{\"foo\": \"1\", \"bar\":2, \"foobar\": true}\n\
+     {\"foo\": \"2\", \"bar\":[4], \"foobar\": \"false\"}\n\
+     {\"foo\": \"3\", \"bar\":\"6\"}\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_values_are_clean_some_are_not() {
+        let text = generate(2000, 1);
+        let mut int_ids = 0;
+        let mut other_ids = 0;
+        let mut tag_kinds = std::collections::HashSet::new();
+        for (_, line) in jsonlite::JsonLines::new(&text) {
+            let v = jsonlite::parse_value(line).unwrap();
+            match v.get("id") {
+                Some(jsonlite::Value::Int(_)) => int_ids += 1,
+                _ => other_ids += 1,
+            }
+            match v.get("tags") {
+                Some(jsonlite::Value::Array(_)) => {
+                    tag_kinds.insert("array");
+                }
+                Some(jsonlite::Value::Str(_)) => {
+                    tag_kinds.insert("string");
+                }
+                None => {
+                    tag_kinds.insert("absent");
+                }
+                _ => {}
+            }
+        }
+        assert!(int_ids > other_ids * 10, "ids are mostly clean");
+        assert!(other_ids > 0, "but not perfectly clean");
+        assert_eq!(tag_kinds.len(), 3, "tags appear in all three shapes");
+    }
+}

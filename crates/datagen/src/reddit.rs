@@ -1,0 +1,120 @@
+//! A Reddit-comments stand-in (the paper's semi-structured dataset,
+//! §6.1/§6.6): realistic comment objects with heterogeneous and missing
+//! fields, used by the speedup (Fig. 14) and scale (Fig. 15) experiments.
+//!
+//! The Fig. 14/15 workload is a *highly selective* filter; here the rare
+//! needle is a body containing the token `"xenon"` (≈0.1% of comments),
+//! so the query reads everything and keeps almost nothing — the same I/O
+//! versus-output profile as the paper's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+pub const SUBREDDITS: &[&str] = &[
+    "askreddit", "programming", "science", "worldnews", "gaming", "movies", "music", "books",
+    "history", "space", "datasets", "rust", "linux", "cooking", "fitness",
+];
+
+const WORDS: &[&str] = &[
+    "the", "a", "and", "to", "of", "i", "you", "that", "it", "this", "is", "was", "for", "on",
+    "they", "with", "have", "but", "not", "are", "think", "people", "time", "good", "really",
+    "data", "game", "post", "comment", "thread", "edit", "thanks", "agree", "wrong", "right",
+    "probably", "actually", "never", "always", "years", "world", "work", "great", "point",
+];
+
+/// The needle token used by the benchmark filter; ~1 in 1000 comments.
+pub const NEEDLE: &str = "xenon";
+/// The approximate fraction of comments containing [`NEEDLE`].
+pub const NEEDLE_RATE: f64 = 0.001;
+
+/// Appends one comment object. Matches the real dump's shape: author,
+/// subreddit, body, score, created_utc, plus fields that appeared in later
+/// years only (schema drift: `gilded` missing before "2010", `edited`
+/// sometimes a boolean, sometimes a timestamp — the messiness of §3.4).
+pub fn write_object(out: &mut String, rng: &mut StdRng) {
+    let author = format!("user_{:05}", rng.gen_range(0..50_000));
+    let subreddit = SUBREDDITS[rng.gen_range(0..SUBREDDITS.len())];
+    let nwords = rng.gen_range(3..40);
+    let mut body = String::new();
+    for w in 0..nwords {
+        if w > 0 {
+            body.push(' ');
+        }
+        body.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    if rng.gen_bool(NEEDLE_RATE) {
+        body.push(' ');
+        body.push_str(NEEDLE);
+    }
+    let score: i64 = (rng.gen_range(0.0f64..1.0).powi(3) * 500.0) as i64 - rng.gen_range(0..5);
+    let created: u64 = 1_199_145_600 + rng.gen_range(0..220_000_000); // 2008..2015
+    write!(
+        out,
+        "{{\"author\": \"{author}\", \"subreddit\": \"{subreddit}\", \"body\": \"{body}\", \
+         \"score\": {score}, \"created_utc\": {created}",
+    )
+    .expect("writing to String cannot fail");
+    // Schema drift / messiness.
+    if created > 1_262_304_000 {
+        // gilded appears from 2010 on.
+        write!(out, ", \"gilded\": {}", rng.gen_range(0..2)).expect("write");
+    }
+    match rng.gen_range(0..3) {
+        0 => out.push_str(", \"edited\": false"),
+        1 => {
+            write!(out, ", \"edited\": {}", created + 3600).expect("write");
+        }
+        _ => {} // absent
+    }
+    if rng.gen_bool(0.3) {
+        write!(out, ", \"controversiality\": {}", rng.gen_range(0..2)).expect("write");
+    }
+    out.push_str("}\n");
+}
+
+/// Generates `n` comments as JSON Lines text.
+pub fn generate(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(n * 220);
+    for _ in 0..n {
+        write_object(&mut out, &mut rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_have_core_fields_and_drifting_extras() {
+        let text = generate(500, 1);
+        let mut has_edited_bool = false;
+        let mut has_edited_ts = false;
+        let mut missing_gilded = false;
+        for (_, line) in jsonlite::JsonLines::new(&text) {
+            let v = jsonlite::parse_value(line).unwrap();
+            assert!(v.get("author").unwrap().as_str().is_some());
+            assert!(v.get("body").unwrap().as_str().is_some());
+            assert!(v.get("score").unwrap().as_i64().is_some());
+            match v.get("edited") {
+                Some(jsonlite::Value::Bool(_)) => has_edited_bool = true,
+                Some(jsonlite::Value::Int(_)) => has_edited_ts = true,
+                _ => {}
+            }
+            if v.get("gilded").is_none() {
+                missing_gilded = true;
+            }
+        }
+        assert!(has_edited_bool && has_edited_ts, "edited should be heterogeneous");
+        assert!(missing_gilded, "gilded should sometimes be absent");
+    }
+
+    #[test]
+    fn needle_rate_is_low_but_nonzero() {
+        let text = generate(50_000, 2);
+        let hits = text.matches(NEEDLE).count();
+        assert!(hits > 10 && hits < 200, "needle hits: {hits}");
+    }
+}

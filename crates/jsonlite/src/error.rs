@@ -1,0 +1,96 @@
+//! Parse errors with precise source positions.
+
+use std::fmt;
+
+/// The category of a JSON parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Input ended while a value, string, or structure was still open.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the expected token.
+    UnexpectedByte(u8),
+    /// A malformed literal (`true`/`false`/`null` misspelled).
+    BadLiteral,
+    /// A number token that does not follow the JSON grammar.
+    BadNumber,
+    /// An integer too large for `i64` (callers may re-parse the raw text).
+    IntegerOverflow,
+    /// A malformed `\` escape or `\u` sequence inside a string.
+    BadEscape,
+    /// A control character (< 0x20) appeared unescaped inside a string.
+    BadControlChar,
+    /// Invalid UTF-8 in the input.
+    BadUtf8,
+    /// Object/array nesting exceeded the configured limit.
+    TooDeep,
+    /// Content followed the first complete value.
+    TrailingContent,
+    /// A custom error raised by a [`crate::JsonSink`] implementation.
+    Sink,
+}
+
+/// A JSON parse error, carrying the byte offset and a 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub kind: JsonErrorKind,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes) within the line.
+    pub column: usize,
+    /// Optional message, used for sink-raised errors.
+    pub message: Option<String>,
+}
+
+impl JsonError {
+    /// Builds an error at the given offset; line/column are filled in by the
+    /// parser, which tracks newlines.
+    pub(crate) fn at(kind: JsonErrorKind, offset: usize, line: usize, column: usize) -> Self {
+        JsonError { kind, offset, line, column, message: None }
+    }
+
+    /// Creates a sink error with a caller-provided message. Position fields
+    /// are patched by the parser before propagating.
+    pub fn sink(message: impl Into<String>) -> Self {
+        JsonError {
+            kind: JsonErrorKind::Sink,
+            offset: 0,
+            line: 0,
+            column: 0,
+            message: Some(message.into()),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            JsonErrorKind::UnexpectedEof => "unexpected end of input".to_string(),
+            JsonErrorKind::UnexpectedByte(b) => {
+                if b.is_ascii_graphic() {
+                    format!("unexpected character '{}'", b as char)
+                } else {
+                    format!("unexpected byte 0x{b:02x}")
+                }
+            }
+            JsonErrorKind::BadLiteral => "malformed literal".to_string(),
+            JsonErrorKind::BadNumber => "malformed number".to_string(),
+            JsonErrorKind::IntegerOverflow => "integer does not fit in 64 bits".to_string(),
+            JsonErrorKind::BadEscape => "malformed string escape".to_string(),
+            JsonErrorKind::BadControlChar => "unescaped control character in string".to_string(),
+            JsonErrorKind::BadUtf8 => "invalid UTF-8".to_string(),
+            JsonErrorKind::TooDeep => "nesting too deep".to_string(),
+            JsonErrorKind::TrailingContent => "trailing content after value".to_string(),
+            JsonErrorKind::Sink => {
+                self.message.clone().unwrap_or_else(|| "sink error".to_string())
+            }
+        };
+        write!(f, "JSON parse error at line {}, column {}: {what}", self.line, self.column)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, JsonError>;

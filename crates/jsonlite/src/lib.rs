@@ -1,0 +1,34 @@
+//! `jsonlite` — a streaming JSON parser and serializer.
+//!
+//! This crate plays the role that the JSONiter parser plays in the Rumble
+//! paper (§5.7): a CPU-efficient, streaming parser that lets the engine
+//! build its native items *directly*, with no intermediate DOM. Consumers
+//! implement [`JsonSink`] and receive a flat stream of structural events;
+//! [`Value`] is a convenience DOM built on top of the same parser for
+//! callers (tests, schema inference) that do want a tree.
+//!
+//! Number events follow the JSONiq lexical mapping: a JSON number without
+//! fraction or exponent is an **integer**, with a fraction but no exponent a
+//! **decimal** (delivered as its raw text so consumers keep full precision),
+//! and with an exponent a **double**.
+//!
+//! # Example
+//!
+//! ```
+//! use jsonlite::parse_value;
+//! let v = parse_value(r#"{"a": [1, 2.5, 3e2], "b": null}"#).unwrap();
+//! assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+//! assert!(v.get("b").unwrap().is_null());
+//! ```
+
+mod error;
+mod lines;
+mod parse;
+mod ser;
+mod value;
+
+pub use error::{JsonError, JsonErrorKind, Result};
+pub use lines::JsonLines;
+pub use parse::{parse, parse_with_limits, JsonSink, ParseLimits};
+pub use ser::{format_f64, write_escaped_str, JsonWriter};
+pub use value::{parse_value, Value};

@@ -1,0 +1,62 @@
+//! JSON Lines support: iterate over the documents in a `\n`-separated text,
+//! keeping track of line numbers for error reporting.
+
+/// An iterator over the non-empty lines of a JSON Lines document. Each item
+/// is `(line_number, line_text)` with 1-based line numbers; blank lines are
+/// skipped, as the JSON Lines convention allows trailing newlines.
+pub struct JsonLines<'a> {
+    rest: &'a str,
+    line_no: usize,
+}
+
+impl<'a> JsonLines<'a> {
+    pub fn new(text: &'a str) -> Self {
+        JsonLines { rest: text, line_no: 0 }
+    }
+}
+
+impl<'a> Iterator for JsonLines<'a> {
+    type Item = (usize, &'a str);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.rest.is_empty() {
+                return None;
+            }
+            self.line_no += 1;
+            let (line, rest) = match self.rest.find('\n') {
+                Some(i) => (&self.rest[..i], &self.rest[i + 1..]),
+                None => (self.rest, ""),
+            };
+            self.rest = rest;
+            let trimmed = line.trim_end_matches('\r');
+            if !trimmed.trim().is_empty() {
+                return Some((self.line_no, trimmed));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_numbers_lines() {
+        let text = "{\"a\":1}\n\n{\"a\":2}\r\n{\"a\":3}";
+        let lines: Vec<_> = JsonLines::new(text).collect();
+        assert_eq!(lines, vec![(1, "{\"a\":1}"), (3, "{\"a\":2}"), (4, "{\"a\":3}")]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(JsonLines::new("").count(), 0);
+        assert_eq!(JsonLines::new("\n\n").count(), 0);
+    }
+
+    #[test]
+    fn whitespace_only_lines_skipped() {
+        let lines: Vec<_> = JsonLines::new("  \n1\n   \t\n2").collect();
+        assert_eq!(lines, vec![(2, "1"), (4, "2")]);
+    }
+}

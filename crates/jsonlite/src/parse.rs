@@ -1,0 +1,599 @@
+//! The streaming, event-driven JSON parser.
+//!
+//! The parser walks the input once, byte by byte, and calls into a
+//! [`JsonSink`]. There is no token vector and no DOM: a sink that builds
+//! engine-native values (like `rumble-core`'s item builder) pays only for
+//! the values it constructs, which is what makes JSON parsing CPU-bound
+//! rather than allocation-bound (the paper's §5.7 observation).
+
+use crate::error::{JsonError, JsonErrorKind, Result};
+
+/// Receiver of parse events.
+///
+/// Events arrive in document order. For an object the sequence is
+/// `begin_object`, then for each member `key` followed by the member's
+/// value events, then `end_object`; arrays are analogous. Any event may
+/// abort the parse by returning an error (use [`JsonError::sink`]).
+pub trait JsonSink {
+    fn null(&mut self) -> Result<()>;
+    fn boolean(&mut self, value: bool) -> Result<()>;
+    /// A JSON number with no fraction and no exponent that fits in `i64`.
+    fn integer(&mut self, value: i64) -> Result<()>;
+    /// A JSON number with a fraction but no exponent — or an integer too
+    /// large for `i64`. Delivered as raw text so the consumer keeps full
+    /// precision.
+    fn decimal(&mut self, raw: &str) -> Result<()>;
+    /// A JSON number with an exponent.
+    fn double(&mut self, value: f64) -> Result<()>;
+    fn string(&mut self, value: &str) -> Result<()>;
+    fn begin_object(&mut self) -> Result<()>;
+    fn key(&mut self, key: &str) -> Result<()>;
+    fn end_object(&mut self) -> Result<()>;
+    fn begin_array(&mut self) -> Result<()>;
+    fn end_array(&mut self) -> Result<()>;
+}
+
+/// Hard limits applied while parsing, to keep adversarial inputs bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum object/array nesting depth.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits { max_depth: 512 }
+    }
+}
+
+/// Parses one complete JSON value from `input` into `sink`.
+///
+/// Leading and trailing ASCII whitespace is permitted; anything else after
+/// the value is a [`JsonErrorKind::TrailingContent`] error.
+pub fn parse<S: JsonSink>(input: &str, sink: &mut S) -> Result<()> {
+    parse_with_limits(input, sink, ParseLimits::default())
+}
+
+/// [`parse`] with explicit [`ParseLimits`].
+pub fn parse_with_limits<S: JsonSink>(input: &str, sink: &mut S, limits: ParseLimits) -> Result<()> {
+    let mut p = Parser { bytes: input.as_bytes(), input, pos: 0, limits, scratch: String::new() };
+    p.skip_ws();
+    p.value(sink, 0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err(JsonErrorKind::TrailingContent));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    limits: ParseLimits,
+    scratch: String,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: JsonErrorKind) -> JsonError {
+        self.err_at(kind, self.pos)
+    }
+
+    /// Builds an error, computing line/column by scanning the prefix once.
+    /// This is cold: the happy path never pays for position tracking.
+    fn err_at(&self, kind: JsonErrorKind, offset: usize) -> JsonError {
+        let offset = offset.min(self.bytes.len());
+        let mut line = 1usize;
+        let mut line_start = 0usize;
+        for (i, &b) in self.bytes[..offset].iter().enumerate() {
+            if b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        JsonError::at(kind, offset, line, offset - line_start + 1)
+    }
+
+    fn patch_sink_err(&self, mut e: JsonError, offset: usize) -> JsonError {
+        if e.kind == JsonErrorKind::Sink && e.offset == 0 && e.line == 0 {
+            let pos = self.err_at(JsonErrorKind::Sink, offset);
+            e.offset = pos.offset;
+            e.line = pos.line;
+            e.column = pos.column;
+        }
+        e
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value<S: JsonSink>(&mut self, sink: &mut S, depth: usize) -> Result<()> {
+        if depth > self.limits.max_depth {
+            return Err(self.err(JsonErrorKind::TooDeep));
+        }
+        let start = self.pos;
+        match self.peek() {
+            None => Err(self.err(JsonErrorKind::UnexpectedEof)),
+            Some(b'{') => self.object(sink, depth),
+            Some(b'[') => self.array(sink, depth),
+            Some(b'"') => {
+                // Borrow the scratch buffer around the call so the sink sees
+                // either a slice of the input (fast path) or the unescaped text.
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let r = self
+                    .string_token(&mut scratch)
+                    .and_then(|s| sink.string(s).map_err(|e| self.patch_sink_err(e, start)));
+                self.scratch = scratch;
+                r
+            }
+            Some(b't') => {
+                self.literal(b"true")?;
+                sink.boolean(true).map_err(|e| self.patch_sink_err(e, start))
+            }
+            Some(b'f') => {
+                self.literal(b"false")?;
+                sink.boolean(false).map_err(|e| self.patch_sink_err(e, start))
+            }
+            Some(b'n') => {
+                self.literal(b"null")?;
+                sink.null().map_err(|e| self.patch_sink_err(e, start))
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(sink),
+            Some(b) => Err(self.err(JsonErrorKind::UnexpectedByte(b))),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(JsonErrorKind::BadLiteral))
+        }
+    }
+
+    fn object<S: JsonSink>(&mut self, sink: &mut S, depth: usize) -> Result<()> {
+        let start = self.pos;
+        self.pos += 1; // consume '{'
+        sink.begin_object().map_err(|e| self.patch_sink_err(e, start))?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return sink.end_object().map_err(|e| self.patch_sink_err(e, start));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err(match self.peek() {
+                    Some(b) => JsonErrorKind::UnexpectedByte(b),
+                    None => JsonErrorKind::UnexpectedEof,
+                }));
+            }
+            let key_start = self.pos;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let r = self
+                .string_token(&mut scratch)
+                .and_then(|k| sink.key(k).map_err(|e| self.patch_sink_err(e, key_start)));
+            self.scratch = scratch;
+            r?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b':') => self.pos += 1,
+                Some(b) => return Err(self.err(JsonErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+            }
+            self.skip_ws();
+            self.value(sink, depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return sink.end_object().map_err(|e| self.patch_sink_err(e, start));
+                }
+                Some(b) => return Err(self.err(JsonErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn array<S: JsonSink>(&mut self, sink: &mut S, depth: usize) -> Result<()> {
+        let start = self.pos;
+        self.pos += 1; // consume '['
+        sink.begin_array().map_err(|e| self.patch_sink_err(e, start))?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return sink.end_array().map_err(|e| self.patch_sink_err(e, start));
+        }
+        loop {
+            self.skip_ws();
+            self.value(sink, depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return sink.end_array().map_err(|e| self.patch_sink_err(e, start));
+                }
+                Some(b) => return Err(self.err(JsonErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    /// Parses a string token (the cursor is on the opening quote). Returns a
+    /// slice of the input when the string has no escapes, otherwise the
+    /// unescaped content accumulated in `scratch`.
+    fn string_token<'s>(&mut self, scratch: &'s mut String) -> Result<&'s str>
+    where
+        'a: 's,
+    {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let content_start = self.pos;
+        // Fast path: scan for the closing quote with no escapes in between.
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    let s = &self.input[content_start..self.pos];
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => break, // slow path below
+                Some(&b) if b < 0x20 => return Err(self.err(JsonErrorKind::BadControlChar)),
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Slow path: copy the clean prefix, then unescape the rest.
+        scratch.clear();
+        scratch.push_str(&self.input[content_start..self.pos]);
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err(JsonErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(scratch.as_str());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.unescape_into(scratch)?;
+                }
+                Some(&b) if b < 0x20 => return Err(self.err(JsonErrorKind::BadControlChar)),
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar.
+                    let rest = &self.input[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty by construction");
+                    scratch.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// The cursor is just past a backslash; decodes one escape into `out`.
+    fn unescape_into(&mut self, out: &mut String) -> Result<()> {
+        let b = self.bytes.get(self.pos).copied().ok_or_else(|| self.err(JsonErrorKind::UnexpectedEof))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a following \uXXXX low surrogate.
+                    if self.bytes.get(self.pos) == Some(&b'\\')
+                        && self.bytes.get(self.pos + 1) == Some(&b'u')
+                    {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.err(JsonErrorKind::BadEscape));
+                        }
+                        let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(c).ok_or_else(|| self.err(JsonErrorKind::BadEscape))?
+                    } else {
+                        return Err(self.err(JsonErrorKind::BadEscape));
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    // Lone low surrogate.
+                    return Err(self.err(JsonErrorKind::BadEscape));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err(JsonErrorKind::BadEscape))?
+                };
+                out.push(ch);
+            }
+            _ => return Err(self.err_at(JsonErrorKind::BadEscape, self.pos - 1)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bytes.get(self.pos).copied().ok_or_else(|| self.err(JsonErrorKind::UnexpectedEof))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err(self.err(JsonErrorKind::BadEscape)),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number<S: JsonSink>(&mut self, sink: &mut S) -> Result<()> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: either a single 0 or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(JsonErrorKind::BadNumber)),
+        }
+        let mut has_frac = false;
+        if self.peek() == Some(b'.') {
+            has_frac = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(JsonErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let mut has_exp = false;
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            has_exp = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(JsonErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let raw = &self.input[start..self.pos];
+        let r = if has_exp {
+            let v: f64 = raw.parse().map_err(|_| self.err_at(JsonErrorKind::BadNumber, start))?;
+            sink.double(v)
+        } else if has_frac {
+            sink.decimal(raw)
+        } else {
+            match raw.parse::<i64>() {
+                Ok(v) => sink.integer(v),
+                // Too large for i64: hand the raw digits over as a decimal so
+                // no precision is silently lost.
+                Err(_) => sink.decimal(raw),
+            }
+        };
+        r.map_err(|e| self.patch_sink_err(e, start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records events as compact strings for assertions.
+    #[derive(Default)]
+    struct Trace(Vec<String>);
+
+    impl JsonSink for Trace {
+        fn null(&mut self) -> Result<()> {
+            self.0.push("null".into());
+            Ok(())
+        }
+        fn boolean(&mut self, v: bool) -> Result<()> {
+            self.0.push(format!("bool:{v}"));
+            Ok(())
+        }
+        fn integer(&mut self, v: i64) -> Result<()> {
+            self.0.push(format!("int:{v}"));
+            Ok(())
+        }
+        fn decimal(&mut self, raw: &str) -> Result<()> {
+            self.0.push(format!("dec:{raw}"));
+            Ok(())
+        }
+        fn double(&mut self, v: f64) -> Result<()> {
+            self.0.push(format!("dbl:{v}"));
+            Ok(())
+        }
+        fn string(&mut self, v: &str) -> Result<()> {
+            self.0.push(format!("str:{v}"));
+            Ok(())
+        }
+        fn begin_object(&mut self) -> Result<()> {
+            self.0.push("{".into());
+            Ok(())
+        }
+        fn key(&mut self, k: &str) -> Result<()> {
+            self.0.push(format!("key:{k}"));
+            Ok(())
+        }
+        fn end_object(&mut self) -> Result<()> {
+            self.0.push("}".into());
+            Ok(())
+        }
+        fn begin_array(&mut self) -> Result<()> {
+            self.0.push("[".into());
+            Ok(())
+        }
+        fn end_array(&mut self) -> Result<()> {
+            self.0.push("]".into());
+            Ok(())
+        }
+    }
+
+    fn trace(input: &str) -> Result<Vec<String>> {
+        let mut t = Trace::default();
+        parse(input, &mut t)?;
+        Ok(t.0)
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(trace("null").unwrap(), ["null"]);
+        assert_eq!(trace("true").unwrap(), ["bool:true"]);
+        assert_eq!(trace("false").unwrap(), ["bool:false"]);
+        assert_eq!(trace("42").unwrap(), ["int:42"]);
+        assert_eq!(trace("-7").unwrap(), ["int:-7"]);
+        assert_eq!(trace("0").unwrap(), ["int:0"]);
+        assert_eq!(trace("3.25").unwrap(), ["dec:3.25"]);
+        assert_eq!(trace("-0.5").unwrap(), ["dec:-0.5"]);
+        assert_eq!(trace("3e2").unwrap(), ["dbl:300"]);
+        assert_eq!(trace("2.5E-1").unwrap(), ["dbl:0.25"]);
+        assert_eq!(trace(r#""hi""#).unwrap(), ["str:hi"]);
+    }
+
+    #[test]
+    fn big_integer_becomes_decimal() {
+        assert_eq!(trace("123456789012345678901").unwrap(), ["dec:123456789012345678901"]);
+        assert_eq!(trace("9223372036854775807").unwrap(), ["int:9223372036854775807"]);
+        assert_eq!(trace("9223372036854775808").unwrap(), ["dec:9223372036854775808"]);
+    }
+
+    #[test]
+    fn structures() {
+        assert_eq!(
+            trace(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap(),
+            ["{", "key:a", "[", "int:1", "{", "key:b", "null", "}", "]", "key:c", "str:x", "}"]
+        );
+        assert_eq!(trace("[]").unwrap(), ["[", "]"]);
+        assert_eq!(trace("{}").unwrap(), ["{", "}"]);
+        assert_eq!(trace(" [ 1 , 2 ] ").unwrap(), ["[", "int:1", "int:2", "]"]);
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(trace(r#""a\nb""#).unwrap(), ["str:a\nb"]);
+        assert_eq!(trace(r#""Aé""#).unwrap(), ["str:Aé"]);
+        assert_eq!(trace(r#""😀""#).unwrap(), ["str:😀"]);
+        assert_eq!(trace(r#""\\\"\/""#).unwrap(), [r#"str:\"/"#]);
+        assert_eq!(trace(r#""tab\there""#).unwrap(), ["str:tab\there"]);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(trace(r#""héllo wörld — ok""#).unwrap(), ["str:héllo wörld — ok"]);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = trace("[1, 2,\n 3,,]").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.kind, JsonErrorKind::UnexpectedByte(b','));
+
+        let e = trace("{\"a\" 1}").unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::UnexpectedByte(b'1'));
+
+        let e = trace("tru").unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::BadLiteral);
+
+        let e = trace("12.").unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::BadNumber);
+
+        let e = trace("1 2").unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TrailingContent);
+
+        let e = trace(r#""unterminated"#).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::UnexpectedEof);
+
+        let e = trace(r#""bad \q escape""#).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::BadEscape);
+
+        let e = trace(r#""lone \ud800 surrogate""#).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::BadEscape);
+    }
+
+    #[test]
+    fn leading_zeros_rejected() {
+        assert_eq!(trace("01").unwrap_err().kind, JsonErrorKind::TrailingContent);
+        assert_eq!(trace("-01").unwrap_err().kind, JsonErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep: String = "[".repeat(600) + &"]".repeat(600);
+        let e = trace(&deep).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        let ok: String = "[".repeat(100) + &"]".repeat(100);
+        assert!(trace(&ok).is_ok());
+        let mut t = Trace::default();
+        assert!(parse_with_limits(&ok, &mut t, ParseLimits { max_depth: 10 }).is_err());
+    }
+
+    #[test]
+    fn sink_errors_get_positions() {
+        struct Refuser;
+        impl JsonSink for Refuser {
+            fn null(&mut self) -> Result<()> {
+                Ok(())
+            }
+            fn boolean(&mut self, _: bool) -> Result<()> {
+                Ok(())
+            }
+            fn integer(&mut self, _: i64) -> Result<()> {
+                Err(JsonError::sink("no integers today"))
+            }
+            fn decimal(&mut self, _: &str) -> Result<()> {
+                Ok(())
+            }
+            fn double(&mut self, _: f64) -> Result<()> {
+                Ok(())
+            }
+            fn string(&mut self, _: &str) -> Result<()> {
+                Ok(())
+            }
+            fn begin_object(&mut self) -> Result<()> {
+                Ok(())
+            }
+            fn key(&mut self, _: &str) -> Result<()> {
+                Ok(())
+            }
+            fn end_object(&mut self) -> Result<()> {
+                Ok(())
+            }
+            fn begin_array(&mut self) -> Result<()> {
+                Ok(())
+            }
+            fn end_array(&mut self) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = Refuser;
+        let e = parse("\n\n  42", &mut s).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::Sink);
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("no integers today"));
+    }
+}

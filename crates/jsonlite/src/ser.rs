@@ -1,0 +1,204 @@
+//! JSON serialization helpers: string escaping, number formatting, and a
+//! small push-style writer used by the engine when materializing output
+//! back to storage.
+
+/// Appends `s` to `out` as a JSON string literal, including the quotes.
+pub fn write_escaped_str(out: &mut String, s: &str) {
+    out.push('"');
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        let esc: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            0x08 => Some("\\b"),
+            0x0C => Some("\\f"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            0x00..=0x1F => None, // generic \u00XX below
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        match esc {
+            Some(e) => out.push_str(e),
+            None => {
+                out.push_str("\\u");
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.push('0');
+                out.push('0');
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0xF) as usize] as char);
+            }
+        }
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+/// Formats a double the way JSON expects. Rust's `Display` already produces
+/// the shortest round-trip representation; non-finite values — which JSON
+/// cannot express — serialize to `null`, matching common engine behaviour.
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A minimal push-style JSON writer. Callers drive it in document order,
+/// exactly mirroring [`crate::JsonSink`] events, and it takes care of the
+/// commas and colons.
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    /// For each open container: whether a separator is needed before the
+    /// next value.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(flag) = self.needs_comma.last_mut() {
+            if *flag {
+                self.out.push(',');
+            }
+            *flag = true;
+        }
+    }
+
+    pub fn null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    pub fn boolean(&mut self, v: bool) {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub fn integer(&mut self, v: i64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a pre-rendered numeric token (used for decimals).
+    pub fn raw_number(&mut self, raw: &str) {
+        self.before_value();
+        self.out.push_str(raw);
+    }
+
+    pub fn double(&mut self, v: f64) {
+        self.before_value();
+        self.out.push_str(&format_f64(v));
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.before_value();
+        write_escaped_str(&mut self.out, s);
+    }
+
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    pub fn key(&mut self, k: &str) {
+        if let Some(flag) = self.needs_comma.last_mut() {
+            if *flag {
+                self.out.push(',');
+            }
+            // The value that follows must not add another comma.
+            *flag = false;
+        }
+        write_escaped_str(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+        if let Some(flag) = self.needs_comma.last_mut() {
+            *flag = true;
+        }
+    }
+
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+        if let Some(flag) = self.needs_comma.last_mut() {
+            *flag = true;
+        }
+    }
+
+    /// Consumes the writer and returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Read access to the text produced so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_value;
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        write_escaped_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn writer_produces_valid_json() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.integer(1);
+        w.double(2.5);
+        w.null();
+        w.end_array();
+        w.key("b");
+        w.string("x\"y");
+        w.key("c");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        let text = w.finish();
+        assert_eq!(text, r#"{"a":[1,2.5,null],"b":"x\"y","c":{}}"#);
+        parse_value(&text).unwrap();
+    }
+
+    #[test]
+    fn writer_sequences_top_level() {
+        let mut w = JsonWriter::new();
+        w.integer(1);
+        assert_eq!(w.as_str(), "1");
+    }
+
+    #[test]
+    fn non_finite_doubles() {
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+        assert_eq!(format_f64(1.5), "1.5");
+    }
+}

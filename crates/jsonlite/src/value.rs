@@ -1,0 +1,234 @@
+//! A convenience DOM built on the streaming parser.
+//!
+//! The engine never uses this — it builds its own items directly from
+//! [`crate::JsonSink`] events — but schema inference, tests, and examples
+//! want a plain tree.
+
+use crate::error::Result;
+use crate::parse::{parse, JsonSink};
+use crate::ser::{format_f64, write_escaped_str};
+use std::fmt;
+
+/// A parsed JSON value. Numbers keep the integer/decimal/double distinction
+/// that JSONiq's data model needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    /// A number with a fraction part, kept as its raw text.
+    Decimal(String),
+    Double(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Members in document order; duplicate keys keep the last value, as
+    /// most JSON processors do.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            Value::Decimal(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Serializes back to JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Decimal(raw) => f.write_str(raw),
+            Value::Double(v) => f.write_str(&format_f64(*v)),
+            Value::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                write_escaped_str(&mut out, s);
+                f.write_str(&out)
+            }
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    write_escaped_str(&mut key, k);
+                    write!(f, "{key}: {v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document into a [`Value`] tree.
+pub fn parse_value(input: &str) -> Result<Value> {
+    let mut b = Builder { stack: Vec::new(), pending_key: Vec::new(), result: None };
+    parse(input, &mut b)?;
+    Ok(b.result.expect("parser guarantees exactly one root value"))
+}
+
+enum Frame {
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+struct Builder {
+    stack: Vec<Frame>,
+    /// Keys awaiting their value, one per open object on the stack.
+    pending_key: Vec<String>,
+    result: Option<Value>,
+}
+
+impl Builder {
+    fn emit(&mut self, v: Value) {
+        match self.stack.last_mut() {
+            None => self.result = Some(v),
+            Some(Frame::Array(items)) => items.push(v),
+            Some(Frame::Object(members)) => {
+                let k = self.pending_key.pop().expect("key event precedes member value");
+                members.push((k, v));
+            }
+        }
+    }
+}
+
+impl JsonSink for Builder {
+    fn null(&mut self) -> Result<()> {
+        self.emit(Value::Null);
+        Ok(())
+    }
+    fn boolean(&mut self, v: bool) -> Result<()> {
+        self.emit(Value::Bool(v));
+        Ok(())
+    }
+    fn integer(&mut self, v: i64) -> Result<()> {
+        self.emit(Value::Int(v));
+        Ok(())
+    }
+    fn decimal(&mut self, raw: &str) -> Result<()> {
+        self.emit(Value::Decimal(raw.to_string()));
+        Ok(())
+    }
+    fn double(&mut self, v: f64) -> Result<()> {
+        self.emit(Value::Double(v));
+        Ok(())
+    }
+    fn string(&mut self, v: &str) -> Result<()> {
+        self.emit(Value::Str(v.to_string()));
+        Ok(())
+    }
+    fn begin_object(&mut self) -> Result<()> {
+        self.stack.push(Frame::Object(Vec::new()));
+        Ok(())
+    }
+    fn key(&mut self, k: &str) -> Result<()> {
+        self.pending_key.push(k.to_string());
+        Ok(())
+    }
+    fn end_object(&mut self) -> Result<()> {
+        let Some(Frame::Object(members)) = self.stack.pop() else {
+            unreachable!("parser brackets events correctly")
+        };
+        self.emit(Value::Object(members));
+        Ok(())
+    }
+    fn begin_array(&mut self) -> Result<()> {
+        self.stack.push(Frame::Array(Vec::new()));
+        Ok(())
+    }
+    fn end_array(&mut self) -> Result<()> {
+        let Some(Frame::Array(items)) = self.stack.pop() else {
+            unreachable!("parser brackets events correctly")
+        };
+        self.emit(Value::Array(items));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let v = parse_value(r#"{"a": 1, "b": [true, null, "x"], "c": 2.5}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().as_f64(), Some(2.5));
+        let text = v.to_string();
+        let v2 = parse_value(&text).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let v = parse_value(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn number_kinds_preserved() {
+        let v = parse_value("[1, 2.50, 3e0]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0], Value::Int(1));
+        assert_eq!(a[1], Value::Decimal("2.50".into()));
+        assert_eq!(a[2], Value::Double(3.0));
+    }
+
+    #[test]
+    fn display_escapes() {
+        let v = Value::Str("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(parse_value(&v.to_string()).unwrap(), v);
+    }
+}

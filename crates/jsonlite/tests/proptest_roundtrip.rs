@@ -1,0 +1,71 @@
+//! Property-based tests: any value tree serializes to text that parses back
+//! to the same tree, and the parser never panics on arbitrary input.
+
+use jsonlite::{parse_value, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON value trees of bounded depth/size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    // Doubles are excluded here: the integer/decimal/double distinction is
+    // *lexical* (presence of '.'/exponent), so e.g. Double(0.0) serializes
+    // as "0" and re-parses as Int(0). Their numeric round-trip is a separate
+    // property below.
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Decimals keep their raw text, so any grammatical token round-trips.
+        "-?(0|[1-9][0-9]{0,8})\\.[0-9]{1,6}".prop_map(Value::Decimal),
+        "[a-zA-Z0-9 _\\-\"\\\\\n\t\u{e9}\u{1F600}]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|members| {
+                // Deduplicate keys: Display keeps all members, but parsing
+                // keeps the last value per key, so duplicate keys would not
+                // round-trip structurally.
+                let mut seen = std::collections::HashSet::new();
+                let members: Vec<_> =
+                    members.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect();
+                Value::Object(members)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_then_parse_roundtrips(v in arb_value()) {
+        let text = v.to_string();
+        let back = parse_value(&text).unwrap_or_else(|e| panic!("failed on {text}: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = parse_value(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_jsonish(s in "[\\[\\]{}\",:0-9a-z\\\\ .eE+-]{0,64}") {
+        let _ = parse_value(&s);
+    }
+
+    #[test]
+    fn integers_roundtrip_exactly(v in any::<i64>()) {
+        let text = Value::Int(v).to_string();
+        prop_assert_eq!(parse_value(&text).unwrap(), Value::Int(v));
+    }
+
+    #[test]
+    fn doubles_roundtrip_exactly(v in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
+        // Doubles serialize via shortest round-trip formatting, but without
+        // an exponent they re-parse as decimals; compare numerically.
+        let text = Value::Double(v).to_string();
+        let back = parse_value(&text).unwrap();
+        prop_assert_eq!(back.as_f64().unwrap(), v);
+    }
+}

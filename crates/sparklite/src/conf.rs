@@ -1,0 +1,78 @@
+//! Engine configuration, mirroring the handful of Spark settings the paper's
+//! experiments vary (executor count, parallelism) plus the knobs our
+//! simulated storage layer adds.
+
+/// Configuration for a [`crate::SparkliteContext`].
+#[derive(Debug, Clone)]
+pub struct SparkliteConf {
+    /// Number of executor worker threads. Each worker models one executor
+    /// core; the speedup experiments (paper Fig. 14) sweep this value.
+    pub executors: usize,
+    /// Default number of partitions for `parallelize` and shuffles when the
+    /// caller does not specify one (Spark's `spark.default.parallelism`).
+    pub default_parallelism: usize,
+    /// Block size for the simulated HDFS, in bytes. Text files are split
+    /// into line-aligned blocks of roughly this size; each block becomes one
+    /// input partition (like HDFS blocks feeding Spark input splits).
+    pub block_size: usize,
+    /// Artificial latency added to each block read, in microseconds. Zero by
+    /// default; the "S3" flavour of the storage layer uses this to model
+    /// remote object-store round trips.
+    pub read_latency_us: u64,
+    /// Number of rows sampled per partition when computing range bounds for
+    /// sorts (Spark's `RangePartitioner` sketch size, simplified).
+    pub sort_sample_size: usize,
+}
+
+impl Default for SparkliteConf {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        SparkliteConf {
+            executors: cores,
+            default_parallelism: cores * 2,
+            block_size: 4 * 1024 * 1024,
+            read_latency_us: 0,
+            sort_sample_size: 64,
+        }
+    }
+}
+
+impl SparkliteConf {
+    /// Sets the executor-thread count (clamped to at least 1).
+    pub fn with_executors(mut self, n: usize) -> Self {
+        self.executors = n.max(1);
+        self
+    }
+
+    /// Sets the default partition count (clamped to at least 1).
+    pub fn with_default_parallelism(mut self, n: usize) -> Self {
+        self.default_parallelism = n.max(1);
+        self
+    }
+
+    /// Sets the simulated HDFS block size in bytes (clamped to ≥ 1 KiB).
+    pub fn with_block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes.max(1024);
+        self
+    }
+
+    /// Adds per-block read latency, modelling remote storage.
+    pub fn with_read_latency_us(mut self, us: u64) -> Self {
+        self.read_latency_us = us;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps() {
+        let c = SparkliteConf::default().with_executors(0).with_default_parallelism(0);
+        assert_eq!(c.executors, 1);
+        assert_eq!(c.default_parallelism, 1);
+        let c = SparkliteConf::default().with_block_size(1);
+        assert_eq!(c.block_size, 1024);
+    }
+}

@@ -1,0 +1,162 @@
+//! The driver: owns the executor pool, shuffle bookkeeping, storage and
+//! metrics, and hands out RDDs and DataFrames.
+
+use crate::conf::SparkliteConf;
+use crate::error::Result;
+use crate::executor::{ExecutorPool, Metrics, MetricsSnapshot, TaskContext};
+use crate::rdd::{BoxIter, ParallelCollectionRdd, Rdd, RddOp, TextFileRdd};
+use crate::storage::SimHdfs;
+use crate::Data;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Shared driver state. RDD operators hold an `Arc<Core>` so that lazily
+/// prepared stages (shuffles, sorts) can schedule jobs themselves.
+pub struct Core {
+    pub(crate) conf: SparkliteConf,
+    pub(crate) pool: ExecutorPool,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) hdfs: SimHdfs,
+}
+
+impl Core {
+    /// Runs one task per partition of `op`, mapping each partition's
+    /// iterator through `f`, and returns the per-partition results in
+    /// partition order. Prepares (materializes) shuffle dependencies first,
+    /// driver-side — sparklite's equivalent of Spark's DAG-scheduler stages.
+    #[allow(clippy::type_complexity)] // one shared callback signature, aliasing hides more than it helps
+    pub(crate) fn run_partitions<T: Data, U: Send + 'static>(
+        self: &Arc<Self>,
+        op: &Arc<dyn RddOp<T>>,
+        f: Arc<dyn Fn(BoxIter<T>, &TaskContext) -> U + Send + Sync>,
+    ) -> Result<Vec<U>> {
+        op.prepare()?;
+        self.metrics.stages.fetch_add(1, Ordering::Relaxed);
+        let tasks: Vec<_> = (0..op.num_partitions())
+            .map(|split| {
+                let op = Arc::clone(op);
+                let f = Arc::clone(&f);
+                move |tc: &TaskContext| f(op.compute(split, tc), tc)
+            })
+            .collect();
+        self.pool.run(tasks)
+    }
+}
+
+/// The user-facing entry point, analogous to `SparkContext`.
+///
+/// Cloning is cheap (it is an `Arc`); all clones share the same executor
+/// pool, simulated HDFS namespace, and metrics.
+#[derive(Clone)]
+pub struct SparkliteContext {
+    core: Arc<Core>,
+}
+
+impl SparkliteContext {
+    pub fn new(conf: SparkliteConf) -> Self {
+        let metrics = Arc::new(Metrics::default());
+        let pool = ExecutorPool::new(conf.executors, Arc::clone(&metrics));
+        let hdfs = SimHdfs::new(conf.block_size, conf.read_latency_us);
+        SparkliteContext { core: Arc::new(Core { conf, pool, metrics, hdfs }) }
+    }
+
+    /// A context with default configuration.
+    pub fn default_local() -> Self {
+        Self::new(SparkliteConf::default())
+    }
+
+    pub fn conf(&self) -> &SparkliteConf {
+        &self.core.conf
+    }
+
+    /// The number of executor worker threads.
+    pub fn executors(&self) -> usize {
+        self.core.pool.size()
+    }
+
+    /// The simulated HDFS namespace attached to this context.
+    pub fn hdfs(&self) -> &SimHdfs {
+        &self.core.hdfs
+    }
+
+    /// A point-in-time copy of the engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.core.metrics.snapshot()
+    }
+
+    #[allow(dead_code)] // exercised by in-crate tests and future callers
+    pub(crate) fn core(&self) -> &Arc<Core> {
+        &self.core
+    }
+
+    /// Distributes a local collection over `num_partitions` slices
+    /// (Spark's `parallelize`).
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, num_partitions: usize) -> Rdd<T> {
+        let op = ParallelCollectionRdd::new(data, num_partitions.max(1));
+        Rdd::new(Arc::clone(&self.core), Arc::new(op))
+    }
+
+    /// `parallelize` with the configured default parallelism.
+    pub fn parallelize_default<T: Data>(&self, data: Vec<T>) -> Rdd<T> {
+        let parts = self.core.conf.default_parallelism;
+        self.parallelize(data, parts)
+    }
+
+    /// Opens a text file as an RDD of lines, one partition per storage
+    /// block. Paths with `hdfs://`/`s3://` schemes resolve against the
+    /// simulated HDFS; everything else reads the local filesystem.
+    pub fn text_file(&self, path: &str) -> Result<Rdd<Arc<str>>> {
+        let op = TextFileRdd::open(Arc::clone(&self.core), path)?;
+        Ok(Rdd::new(Arc::clone(&self.core), Arc::new(op)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelize_collect_roundtrip() {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+        let data: Vec<i64> = (0..1000).collect();
+        let rdd = sc.parallelize(data.clone(), 7);
+        assert_eq!(rdd.num_partitions(), 7);
+        assert_eq!(rdd.collect().unwrap(), data);
+    }
+
+    #[test]
+    fn parallelize_fewer_elements_than_partitions() {
+        let sc = SparkliteContext::default_local();
+        let rdd = sc.parallelize(vec![1, 2], 8);
+        assert_eq!(rdd.collect().unwrap(), vec![1, 2]);
+        assert_eq!(rdd.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn text_file_partitions_by_block() {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_block_size(1024));
+        let text: String = (0..500).map(|i| format!("row {i}\n")).collect();
+        sc.hdfs().put_text("/d/t.txt", &text).unwrap();
+        let rdd = sc.text_file("hdfs:///d/t.txt").unwrap();
+        assert!(rdd.num_partitions() > 1);
+        let lines = rdd.collect().unwrap();
+        assert_eq!(lines.len(), 500);
+        assert_eq!(lines[0].as_ref(), "row 0");
+        assert_eq!(lines[499].as_ref(), "row 499");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let sc = SparkliteContext::default_local();
+        assert!(sc.text_file("hdfs:///nope").is_err());
+    }
+
+    #[test]
+    fn metrics_visible_from_driver() {
+        let sc = SparkliteContext::default_local();
+        sc.parallelize((0..10).collect::<Vec<i32>>(), 2).count().unwrap();
+        let m = sc.metrics();
+        assert_eq!(m.jobs, 1);
+        assert_eq!(m.tasks, 2);
+    }
+}

@@ -1,0 +1,903 @@
+//! The DataFrame logical plan, its rule-based optimizer (Catalyst-lite),
+//! and compilation onto the RDD substrate.
+
+use super::expr::{BoundExpr, Expr, KeyValue, SortDir, SortKey};
+use super::{DataType, Field, Row, Schema, Value};
+use crate::context::Core;
+use crate::error::{Result, SparkliteError};
+use crate::rdd::{FromPartitionsRdd, Rdd};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A named output expression of a projection.
+#[derive(Debug, Clone)]
+pub struct NamedExpr {
+    pub name: String,
+    pub expr: Expr,
+    pub dtype: DataType,
+}
+
+impl NamedExpr {
+    /// A column passed through unchanged.
+    pub fn passthrough(name: &str, dtype: DataType) -> NamedExpr {
+        NamedExpr { name: name.to_string(), expr: Expr::col(name), dtype }
+    }
+
+    fn is_passthrough(&self) -> bool {
+        self.expr.is_col(&self.name)
+    }
+}
+
+/// Aggregate functions for `GROUP BY`. `Count` counts rows; the column
+/// variants ignore NULLs, like their SQL counterparts.
+#[derive(Debug, Clone)]
+pub enum Agg {
+    Count,
+    CountCol(String),
+    Sum(String),
+    Avg(String),
+    Min(String),
+    Max(String),
+    /// An arbitrary representative per group — how engines recover the
+    /// original key item after grouping on an encoded key (§4.7 uses
+    /// `ARRAY_DISTINCT`; `FIRST` is the degenerate, cheaper equivalent when
+    /// every row of the group carries the same payload).
+    First(String),
+    /// Spark's `COLLECT_LIST`: materializes the group's values.
+    CollectList(String),
+}
+
+impl Agg {
+    fn input_col(&self) -> Option<&str> {
+        match self {
+            Agg::Count => None,
+            Agg::CountCol(c)
+            | Agg::Sum(c)
+            | Agg::Avg(c)
+            | Agg::Min(c)
+            | Agg::Max(c)
+            | Agg::First(c)
+            | Agg::CollectList(c) => Some(c),
+        }
+    }
+
+    fn output_dtype(&self) -> DataType {
+        match self {
+            Agg::Count | Agg::CountCol(_) => DataType::I64,
+            Agg::Avg(_) => DataType::F64,
+            Agg::CollectList(_) => DataType::List,
+            Agg::Sum(_) | Agg::Min(_) | Agg::Max(_) | Agg::First(_) => DataType::Any,
+        }
+    }
+}
+
+/// Partial aggregate state, mergeable across shuffle blocks.
+#[derive(Clone)]
+enum AggState {
+    Count(i64),
+    Sum(Option<Value>),
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    First(Option<Value>),
+    List(Vec<Value>),
+}
+
+impl AggState {
+    fn create(agg: &Agg, v: Option<&Value>) -> AggState {
+        let non_null = v.filter(|v| !v.is_null());
+        match agg {
+            Agg::Count => AggState::Count(1),
+            Agg::CountCol(_) => AggState::Count(non_null.is_some() as i64),
+            Agg::Sum(_) => AggState::Sum(non_null.cloned()),
+            Agg::Avg(_) => match non_null.and_then(|v| v.as_f64()) {
+                Some(x) => AggState::Avg { sum: x, n: 1 },
+                None => AggState::Avg { sum: 0.0, n: 0 },
+            },
+            Agg::Min(_) => AggState::Min(non_null.cloned()),
+            Agg::Max(_) => AggState::Max(non_null.cloned()),
+            Agg::First(_) => AggState::First(non_null.cloned()),
+            Agg::CollectList(_) => {
+                AggState::List(non_null.cloned().map(|v| vec![v]).unwrap_or_default())
+            }
+        }
+    }
+
+    fn merge(self, other: AggState) -> AggState {
+        use super::expr::value_cmp;
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => AggState::Count(a + b),
+            (AggState::Sum(a), AggState::Sum(b)) => AggState::Sum(match (a, b) {
+                (None, x) | (x, None) => x,
+                (Some(x), Some(y)) => Some(add_values(&x, &y)),
+            }),
+            (AggState::Avg { sum: s1, n: n1 }, AggState::Avg { sum: s2, n: n2 }) => {
+                AggState::Avg { sum: s1 + s2, n: n1 + n2 }
+            }
+            (AggState::Min(a), AggState::Min(b)) => AggState::Min(match (a, b) {
+                (None, x) | (x, None) => x,
+                (Some(x), Some(y)) => {
+                    Some(if value_cmp(&x, &y).is_le() { x } else { y })
+                }
+            }),
+            (AggState::Max(a), AggState::Max(b)) => AggState::Max(match (a, b) {
+                (None, x) | (x, None) => x,
+                (Some(x), Some(y)) => {
+                    Some(if value_cmp(&x, &y).is_ge() { x } else { y })
+                }
+            }),
+            (AggState::First(a), AggState::First(b)) => AggState::First(a.or(b)),
+            (AggState::List(mut a), AggState::List(b)) => {
+                a.extend(b);
+                AggState::List(a)
+            }
+            _ => unreachable!("aggregate states of one column always match"),
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::I64(n),
+            AggState::Sum(v) => v.unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::F64(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) | AggState::First(v) => v.unwrap_or(Value::Null),
+            AggState::List(items) => Value::List(Arc::new(items)),
+        }
+    }
+}
+
+fn add_values(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::I64(x), Value::I64(y)) => {
+            x.checked_add(*y).map(Value::I64).unwrap_or(Value::Null)
+        }
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Value::F64(x + y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// The logical plan tree. Every node caches its output schema.
+pub enum LogicalPlan {
+    FromRdd { schema: Arc<Schema>, rows: Rdd<Row> },
+    Project { input: Arc<LogicalPlan>, exprs: Vec<NamedExpr>, schema: Arc<Schema> },
+    Filter { input: Arc<LogicalPlan>, predicate: Expr },
+    /// Replaces the list column `col` with one output row per element,
+    /// renamed to `as_name` (schema otherwise unchanged). Empty/NULL lists
+    /// yield no rows — Spark's `EXPLODE`.
+    Explode { input: Arc<LogicalPlan>, col: String, as_name: String, schema: Arc<Schema> },
+    GroupBy {
+        input: Arc<LogicalPlan>,
+        keys: Vec<String>,
+        aggs: Vec<(Agg, String)>,
+        schema: Arc<Schema>,
+    },
+    OrderBy { input: Arc<LogicalPlan>, keys: Vec<(String, SortDir)> },
+    ZipWithIndex { input: Arc<LogicalPlan>, name: String, start: i64, schema: Arc<Schema> },
+    Limit { input: Arc<LogicalPlan>, n: usize },
+}
+
+impl LogicalPlan {
+    pub fn schema(&self) -> &Arc<Schema> {
+        match self {
+            LogicalPlan::FromRdd { schema, .. }
+            | LogicalPlan::Project { schema, .. }
+            | LogicalPlan::Explode { schema, .. }
+            | LogicalPlan::GroupBy { schema, .. }
+            | LogicalPlan::ZipWithIndex { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::OrderBy { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    // ---- validating constructors ----
+
+    pub fn project(input: Arc<LogicalPlan>, exprs: Vec<NamedExpr>) -> Result<LogicalPlan> {
+        if exprs.is_empty() {
+            return Err(SparkliteError::Schema("projection needs at least one column".into()));
+        }
+        let mut seen = BTreeSet::new();
+        for e in &exprs {
+            if !seen.insert(&e.name) {
+                return Err(SparkliteError::Schema(format!("duplicate output column '{}'", e.name)));
+            }
+            // Binding validates every referenced column.
+            e.expr.bind(input.schema())?;
+        }
+        let schema = Schema::new(exprs.iter().map(|e| Field::new(&e.name, e.dtype)).collect());
+        Ok(LogicalPlan::Project { input, exprs, schema })
+    }
+
+    pub fn filter(input: Arc<LogicalPlan>, predicate: Expr) -> Result<LogicalPlan> {
+        predicate.bind(input.schema())?;
+        Ok(LogicalPlan::Filter { input, predicate })
+    }
+
+    pub fn explode(
+        input: Arc<LogicalPlan>,
+        col: &str,
+        as_name: String,
+        dtype: DataType,
+    ) -> Result<LogicalPlan> {
+        let idx = input.schema().resolve(col)?;
+        let f = &input.schema().fields()[idx];
+        if !matches!(f.dtype, DataType::List | DataType::Any) {
+            return Err(SparkliteError::Schema(format!(
+                "EXPLODE needs a list column, '{col}' is {:?}",
+                f.dtype
+            )));
+        }
+        if input.schema().index_of(&as_name).is_some_and(|i| i != idx) {
+            return Err(SparkliteError::Schema(format!("output column '{as_name}' already exists")));
+        }
+        let fields = input
+            .schema()
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| if i == idx { Field::new(&as_name, dtype) } else { f.clone() })
+            .collect();
+        Ok(LogicalPlan::Explode { input, col: col.to_string(), as_name, schema: Schema::new(fields) })
+    }
+
+    pub fn group_by(
+        input: Arc<LogicalPlan>,
+        keys: Vec<String>,
+        aggs: Vec<(Agg, String)>,
+    ) -> Result<LogicalPlan> {
+        let mut fields = Vec::with_capacity(keys.len() + aggs.len());
+        for k in &keys {
+            let idx = input.schema().resolve(k)?;
+            fields.push(input.schema().fields()[idx].clone());
+        }
+        for (agg, name) in &aggs {
+            if let Some(c) = agg.input_col() {
+                input.schema().resolve(c)?;
+            }
+            fields.push(Field::new(name, agg.output_dtype()));
+        }
+        let mut seen = BTreeSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.clone()) {
+                return Err(SparkliteError::Schema(format!(
+                    "duplicate output column '{}' in GROUP BY",
+                    f.name
+                )));
+            }
+        }
+        Ok(LogicalPlan::GroupBy { input, keys, aggs, schema: Schema::new(fields) })
+    }
+
+    pub fn order_by(input: Arc<LogicalPlan>, keys: Vec<(String, SortDir)>) -> Result<LogicalPlan> {
+        for (k, _) in &keys {
+            input.schema().resolve(k)?;
+        }
+        Ok(LogicalPlan::OrderBy { input, keys })
+    }
+
+    pub fn zip_with_index(
+        input: Arc<LogicalPlan>,
+        name: String,
+        start: i64,
+    ) -> Result<LogicalPlan> {
+        if input.schema().index_of(&name).is_some() {
+            return Err(SparkliteError::Schema(format!("column '{name}' already exists")));
+        }
+        let mut fields = input.schema().fields().to_vec();
+        fields.push(Field::new(&name, DataType::I64));
+        Ok(LogicalPlan::ZipWithIndex { input, name, start, schema: Schema::new(fields) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+/// Applies the rewrite rules to a fixpoint (bounded), bottom-up:
+///
+/// 1. merge adjacent filters;
+/// 2. push filters below projections (with substitution), sorts, explodes
+///    (when the predicate does not touch the exploded column) and
+///    zip-with-index (never — indices would change);
+/// 3. fuse adjacent projections when safe (UDFs only fuse across
+///    pass-through columns);
+/// 4. prune projection columns that no ancestor reads.
+pub fn optimize(plan: Arc<LogicalPlan>) -> Arc<LogicalPlan> {
+    let mut current = plan;
+    for _ in 0..8 {
+        let (next, changed) = rewrite(&current);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    let all: BTreeSet<String> =
+        current.schema().fields().iter().map(|f| f.name.clone()).collect();
+    prune(&current, &all)
+}
+
+fn rewrite(plan: &Arc<LogicalPlan>) -> (Arc<LogicalPlan>, bool) {
+    // Rewrite children first.
+    let (plan, mut changed) = rebuild_with_children(plan);
+
+    let out = match plan.as_ref() {
+        // Rule 1: Filter ∘ Filter → Filter(AND).
+        LogicalPlan::Filter { input, predicate } => {
+            if let LogicalPlan::Filter { input: inner_in, predicate: inner_pred } = input.as_ref() {
+                changed = true;
+                Arc::new(LogicalPlan::Filter {
+                    input: Arc::clone(inner_in),
+                    predicate: Expr::and(inner_pred.clone(), predicate.clone()),
+                })
+            } else if let LogicalPlan::Project { input: proj_in, exprs, schema } = input.as_ref() {
+                // Rule 2a: push the filter below the projection by
+                // substituting projected expressions into the predicate —
+                // only when that substitution is sound: UDFs inside the
+                // predicate read columns by name at runtime, so every column
+                // they touch must pass through the projection unchanged.
+                if expr_fusable(predicate, exprs) {
+                    changed = true;
+                    let substituted = predicate.substitute(&|name| {
+                        exprs.iter().find(|e| e.name == name).map(|e| e.expr.clone())
+                    });
+                    Arc::new(LogicalPlan::Project {
+                        input: Arc::new(LogicalPlan::Filter {
+                            input: Arc::clone(proj_in),
+                            predicate: substituted,
+                        }),
+                        exprs: exprs.clone(),
+                        schema: Arc::clone(schema),
+                    })
+                } else {
+                    plan
+                }
+            } else if let LogicalPlan::OrderBy { input: sort_in, keys } = input.as_ref() {
+                // Rule 2b: filter before sorting.
+                changed = true;
+                Arc::new(LogicalPlan::OrderBy {
+                    input: Arc::new(LogicalPlan::Filter {
+                        input: Arc::clone(sort_in),
+                        predicate: predicate.clone(),
+                    }),
+                    keys: keys.clone(),
+                })
+            } else if let LogicalPlan::Explode { input: ex_in, col, as_name, schema } =
+                input.as_ref()
+            {
+                // Rule 2c: push below EXPLODE when the predicate does not
+                // read the exploded column.
+                let safe = predicate
+                    .uses()
+                    .is_some_and(|used| !used.contains(as_name));
+                if safe {
+                    changed = true;
+                    Arc::new(LogicalPlan::Explode {
+                        input: Arc::new(LogicalPlan::Filter {
+                            input: Arc::clone(ex_in),
+                            predicate: predicate.clone(),
+                        }),
+                        col: col.clone(),
+                        as_name: as_name.clone(),
+                        schema: Arc::clone(schema),
+                    })
+                } else {
+                    plan
+                }
+            } else {
+                plan
+            }
+        }
+        // Rule 3: Project ∘ Project fusion.
+        LogicalPlan::Project { input, exprs, schema } => {
+            if let LogicalPlan::Project { input: inner_in, exprs: inner, .. } = input.as_ref() {
+                let fusable = exprs.iter().all(|e| expr_fusable(&e.expr, inner));
+                if fusable {
+                    changed = true;
+                    let fused: Vec<NamedExpr> = exprs
+                        .iter()
+                        .map(|e| NamedExpr {
+                            name: e.name.clone(),
+                            expr: e.expr.substitute(&|name| {
+                                inner.iter().find(|ie| ie.name == name).map(|ie| ie.expr.clone())
+                            }),
+                            dtype: e.dtype,
+                        })
+                        .collect();
+                    Arc::new(LogicalPlan::Project {
+                        input: Arc::clone(inner_in),
+                        exprs: fused,
+                        schema: Arc::clone(schema),
+                    })
+                } else {
+                    plan
+                }
+            } else {
+                plan
+            }
+        }
+        _ => plan,
+    };
+    (out, changed)
+}
+
+/// A UDF can only fuse across a projection if every column it reads passes
+/// through that projection unchanged (the UDF looks columns up by name at
+/// runtime, so substitution cannot rewrite its body).
+fn expr_fusable(e: &Expr, inner: &[NamedExpr]) -> bool {
+    match e {
+        Expr::Udf { uses, .. } => match uses {
+            Some(cols) => cols.iter().all(|c| {
+                inner.iter().any(|ie| ie.name == *c && ie.is_passthrough())
+            }),
+            None => false,
+        },
+        Expr::Col(_) | Expr::Lit(_) => true,
+        Expr::Cmp(a, _, b) | Expr::Num(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            expr_fusable(a, inner) && expr_fusable(b, inner)
+        }
+        Expr::Not(a) | Expr::IsNull(a) => expr_fusable(a, inner),
+    }
+}
+
+fn rebuild_with_children(plan: &Arc<LogicalPlan>) -> (Arc<LogicalPlan>, bool) {
+    match plan.as_ref() {
+        LogicalPlan::FromRdd { .. } => (Arc::clone(plan), false),
+        LogicalPlan::Project { input, exprs, schema } => {
+            let (ni, ch) = rewrite(input);
+            if ch {
+                (
+                    Arc::new(LogicalPlan::Project {
+                        input: ni,
+                        exprs: exprs.clone(),
+                        schema: Arc::clone(schema),
+                    }),
+                    true,
+                )
+            } else {
+                (Arc::clone(plan), false)
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (ni, ch) = rewrite(input);
+            if ch {
+                (Arc::new(LogicalPlan::Filter { input: ni, predicate: predicate.clone() }), true)
+            } else {
+                (Arc::clone(plan), false)
+            }
+        }
+        LogicalPlan::Explode { input, col, as_name, schema } => {
+            let (ni, ch) = rewrite(input);
+            if ch {
+                (
+                    Arc::new(LogicalPlan::Explode {
+                        input: ni,
+                        col: col.clone(),
+                        as_name: as_name.clone(),
+                        schema: Arc::clone(schema),
+                    }),
+                    true,
+                )
+            } else {
+                (Arc::clone(plan), false)
+            }
+        }
+        LogicalPlan::GroupBy { input, keys, aggs, schema } => {
+            let (ni, ch) = rewrite(input);
+            if ch {
+                (
+                    Arc::new(LogicalPlan::GroupBy {
+                        input: ni,
+                        keys: keys.clone(),
+                        aggs: aggs.clone(),
+                        schema: Arc::clone(schema),
+                    }),
+                    true,
+                )
+            } else {
+                (Arc::clone(plan), false)
+            }
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let (ni, ch) = rewrite(input);
+            if ch {
+                (Arc::new(LogicalPlan::OrderBy { input: ni, keys: keys.clone() }), true)
+            } else {
+                (Arc::clone(plan), false)
+            }
+        }
+        LogicalPlan::ZipWithIndex { input, name, start, schema } => {
+            let (ni, ch) = rewrite(input);
+            if ch {
+                (
+                    Arc::new(LogicalPlan::ZipWithIndex {
+                        input: ni,
+                        name: name.clone(),
+                        start: *start,
+                        schema: Arc::clone(schema),
+                    }),
+                    true,
+                )
+            } else {
+                (Arc::clone(plan), false)
+            }
+        }
+        LogicalPlan::Limit { input, n } => {
+            let (ni, ch) = rewrite(input);
+            if ch {
+                (Arc::new(LogicalPlan::Limit { input: ni, n: *n }), true)
+            } else {
+                (Arc::clone(plan), false)
+            }
+        }
+    }
+}
+
+/// Column pruning: drops projection outputs that no ancestor requires —
+/// the "does not create the column at all" optimization of §4.7.
+fn prune(plan: &Arc<LogicalPlan>, required: &BTreeSet<String>) -> Arc<LogicalPlan> {
+    match plan.as_ref() {
+        LogicalPlan::Project { input, exprs, .. } => {
+            let kept: Vec<NamedExpr> =
+                exprs.iter().filter(|e| required.contains(&e.name)).cloned().collect();
+            let kept = if kept.is_empty() { vec![exprs[0].clone()] } else { kept };
+            let mut child_req = BTreeSet::new();
+            let mut opaque = false;
+            for e in &kept {
+                match e.expr.uses() {
+                    Some(cols) => child_req.extend(cols),
+                    None => opaque = true,
+                }
+            }
+            if opaque {
+                child_req =
+                    input.schema().fields().iter().map(|f| f.name.clone()).collect();
+            }
+            let new_input = prune(input, &child_req);
+            let schema = Schema::new(kept.iter().map(|e| Field::new(&e.name, e.dtype)).collect());
+            Arc::new(LogicalPlan::Project { input: new_input, exprs: kept, schema })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut child_req = required.clone();
+            match predicate.uses() {
+                Some(cols) => child_req.extend(cols),
+                None => {
+                    child_req.extend(input.schema().fields().iter().map(|f| f.name.clone()));
+                }
+            }
+            Arc::new(LogicalPlan::Filter {
+                input: prune(input, &child_req),
+                predicate: predicate.clone(),
+            })
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let mut child_req = required.clone();
+            child_req.extend(keys.iter().map(|(k, _)| k.clone()));
+            Arc::new(LogicalPlan::OrderBy { input: prune(input, &child_req), keys: keys.clone() })
+        }
+        LogicalPlan::Explode { input, col, as_name, schema } => {
+            let mut child_req: BTreeSet<String> =
+                required.iter().filter(|c| *c != as_name).cloned().collect();
+            child_req.insert(col.clone());
+            Arc::new(LogicalPlan::Explode {
+                input: prune(input, &child_req),
+                col: col.clone(),
+                as_name: as_name.clone(),
+                schema: Arc::clone(schema),
+            })
+        }
+        LogicalPlan::GroupBy { input, keys, aggs, schema } => {
+            let mut child_req: BTreeSet<String> = keys.iter().cloned().collect();
+            child_req.extend(aggs.iter().filter_map(|(a, _)| a.input_col().map(String::from)));
+            Arc::new(LogicalPlan::GroupBy {
+                input: prune(input, &child_req),
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                schema: Arc::clone(schema),
+            })
+        }
+        LogicalPlan::ZipWithIndex { input, name, start, schema } => {
+            let child_req: BTreeSet<String> =
+                required.iter().filter(|c| *c != name).cloned().collect();
+            let child_req = if child_req.is_empty() {
+                input.schema().fields().iter().map(|f| f.name.clone()).collect()
+            } else {
+                child_req
+            };
+            Arc::new(LogicalPlan::ZipWithIndex {
+                input: prune(input, &child_req),
+                name: name.clone(),
+                start: *start,
+                schema: Arc::clone(schema),
+            })
+        }
+        LogicalPlan::Limit { input, n } => {
+            Arc::new(LogicalPlan::Limit { input: prune(input, required), n: *n })
+        }
+        LogicalPlan::FromRdd { .. } => Arc::clone(plan),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical compilation
+// ---------------------------------------------------------------------------
+
+/// Compiles a (normally optimized) plan to an RDD of rows.
+pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
+    let num_parts = core.conf.default_parallelism;
+    match plan.as_ref() {
+        LogicalPlan::FromRdd { rows, .. } => Ok(rows.clone()),
+        LogicalPlan::Project { input, exprs, .. } => {
+            let rdd = compile(core, input)?;
+            let bound: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|e| e.expr.bind(input.schema()))
+                .collect::<Result<_>>()?;
+            Ok(rdd.map(move |row| bound.iter().map(|b| b.eval(&row)).collect::<Row>()))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let rdd = compile(core, input)?;
+            let bound = predicate.bind(input.schema())?;
+            Ok(rdd.filter(move |row| bound.eval_predicate(row)))
+        }
+        LogicalPlan::Explode { input, col, .. } => {
+            let rdd = compile(core, input)?;
+            let idx = input.schema().resolve(col)?;
+            Ok(rdd.flat_map(move |row| {
+                let items: Vec<Row> = match &row[idx] {
+                    Value::List(l) => l
+                        .iter()
+                        .map(|v| {
+                            let mut r = row.clone();
+                            r[idx] = v.clone();
+                            r
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                items
+            }))
+        }
+        LogicalPlan::GroupBy { input, keys, aggs, .. } => {
+            let rdd = compile(core, input)?;
+            let schema = input.schema();
+            let key_idx: Vec<usize> =
+                keys.iter().map(|k| schema.resolve(k)).collect::<Result<_>>()?;
+            let agg_specs: Vec<(Agg, Option<usize>)> = aggs
+                .iter()
+                .map(|(a, _)| {
+                    Ok((a.clone(), a.input_col().map(|c| schema.resolve(c)).transpose()?))
+                })
+                .collect::<Result<_>>()?;
+            let specs = Arc::new(agg_specs);
+            let specs2 = Arc::clone(&specs);
+            let paired = rdd.map(move |row| {
+                let key: Vec<KeyValue> =
+                    key_idx.iter().map(|&i| KeyValue(row[i].clone())).collect();
+                let states: Vec<AggState> = specs
+                    .iter()
+                    .map(|(a, idx)| AggState::create(a, idx.map(|i| &row[i])))
+                    .collect();
+                (key, states)
+            });
+            let merged = paired.reduce_by_key(
+                |a, b| a.into_iter().zip(b).map(|(x, y)| x.merge(y)).collect(),
+                num_parts,
+            );
+            let nkeys = keys.len();
+            let _ = specs2; // specs2 kept alive for clarity; states carry everything
+            Ok(merged.map(move |(key, states)| {
+                let mut row: Row = Vec::with_capacity(nkeys + states.len());
+                row.extend(key.into_iter().map(|k| k.0));
+                row.extend(states.into_iter().map(|s| s.finish()));
+                row
+            }))
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let rdd = compile(core, input)?;
+            let schema = input.schema();
+            let sort_spec: Vec<(usize, SortDir)> = keys
+                .iter()
+                .map(|(k, d)| Ok((schema.resolve(k)?, *d)))
+                .collect::<Result<_>>()?;
+            Ok(rdd.sort_by(
+                move |row| {
+                    sort_spec
+                        .iter()
+                        .map(|(i, d)| SortKey::new(row[*i].clone(), *d))
+                        .collect::<Vec<SortKey>>()
+                },
+                true,
+                num_parts,
+            ))
+        }
+        LogicalPlan::ZipWithIndex { input, start, .. } => {
+            let rdd = compile(core, input)?;
+            let start = *start;
+            Ok(rdd.zip_with_index().map(move |(mut row, i)| {
+                row.push(Value::I64(start + i as i64));
+                row
+            }))
+        }
+        LogicalPlan::Limit { input, n } => {
+            let rdd = compile(core, input)?;
+            let rows = rdd.take(*n)?;
+            Ok(Rdd::new(Arc::clone(core), Arc::new(FromPartitionsRdd::new(vec![rows]))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::{CmpOp, DataFrame};
+    use crate::{SparkliteConf, SparkliteContext};
+
+    fn df(ctx: &SparkliteContext) -> DataFrame {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::I64),
+            Field::new("b", DataType::I64),
+        ]);
+        let rows: Vec<Row> = (0..20).map(|i| vec![Value::I64(i), Value::I64(i * 10)]).collect();
+        DataFrame::from_rows(ctx, schema, rows, 3).unwrap()
+    }
+
+    fn count_nodes(plan: &Arc<LogicalPlan>, pred: &dyn Fn(&LogicalPlan) -> bool) -> usize {
+        let own = pred(plan) as usize;
+        own + match plan.as_ref() {
+            LogicalPlan::FromRdd { .. } => 0,
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Explode { input, .. }
+            | LogicalPlan::GroupBy { input, .. }
+            | LogicalPlan::OrderBy { input, .. }
+            | LogicalPlan::ZipWithIndex { input, .. }
+            | LogicalPlan::Limit { input, .. } => count_nodes(input, pred),
+        }
+    }
+
+    #[test]
+    fn filters_merge() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let d = df(&ctx)
+            .filter(Expr::cmp(Expr::col("a"), CmpOp::Gt, Expr::lit(Value::I64(5))))
+            .unwrap()
+            .filter(Expr::cmp(Expr::col("a"), CmpOp::Lt, Expr::lit(Value::I64(15))))
+            .unwrap();
+        let opt = optimize(Arc::clone(d.plan()));
+        assert_eq!(count_nodes(&opt, &|p| matches!(p, LogicalPlan::Filter { .. })), 1);
+        assert_eq!(d.count().unwrap(), 9);
+    }
+
+    #[test]
+    fn filter_pushes_below_sort() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let d = df(&ctx)
+            .order_by(vec![("a".into(), SortDir::desc())])
+            .unwrap()
+            .filter(Expr::cmp(Expr::col("a"), CmpOp::Lt, Expr::lit(Value::I64(3))))
+            .unwrap();
+        let opt = optimize(Arc::clone(d.plan()));
+        // The root must now be the sort, with the filter inside.
+        assert!(matches!(opt.as_ref(), LogicalPlan::OrderBy { .. }));
+        let rows = d.collect_rows().unwrap();
+        assert_eq!(
+            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            vec![2, 1, 0]
+        );
+    }
+
+    #[test]
+    fn projections_fuse() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let d = df(&ctx)
+            .with_column("c", Expr::num(Expr::col("a"), crate::dataframe::NumOp::Add, Expr::col("b")), DataType::I64)
+            .unwrap()
+            .select(vec![NamedExpr::passthrough("c", DataType::I64)])
+            .unwrap();
+        let opt = optimize(Arc::clone(d.plan()));
+        assert_eq!(count_nodes(&opt, &|p| matches!(p, LogicalPlan::Project { .. })), 1);
+        let rows = d.collect_rows().unwrap();
+        assert_eq!(rows[3][0], Value::I64(33));
+    }
+
+    #[test]
+    fn pruning_drops_unused_projected_columns() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        // Build Project(a, b, big) -> GroupBy(keys=[a], count) — `big` and
+        // `b` are never used, so pruning should remove them from the
+        // projection.
+        let base = df(&ctx);
+        let wide = base
+            .with_column(
+                "big",
+                Expr::udf("expensive", Some(vec!["b".into()]), |s, r| {
+                    let i = s.index_of("b").expect("b exists");
+                    r[i].clone()
+                }),
+                DataType::Any,
+            )
+            .unwrap();
+        let grouped = wide.group_by(&["a"], vec![(Agg::Count, "n".into())]).unwrap();
+        let opt = optimize(Arc::clone(grouped.plan()));
+        fn find_project(plan: &Arc<LogicalPlan>) -> Option<usize> {
+            match plan.as_ref() {
+                LogicalPlan::Project { exprs, .. } => Some(exprs.len()),
+                LogicalPlan::FromRdd { .. } => None,
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Explode { input, .. }
+                | LogicalPlan::GroupBy { input, .. }
+                | LogicalPlan::OrderBy { input, .. }
+                | LogicalPlan::ZipWithIndex { input, .. }
+                | LogicalPlan::Limit { input, .. } => find_project(input),
+            }
+        }
+        assert_eq!(find_project(&opt), Some(1), "only `a` should survive pruning");
+        assert_eq!(grouped.count().unwrap(), 20);
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_agree() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+        let d = df(&ctx)
+            .with_column(
+                "c",
+                Expr::num(Expr::col("a"), crate::dataframe::NumOp::Mul, Expr::lit(Value::I64(3))),
+                DataType::I64,
+            )
+            .unwrap()
+            .filter(Expr::cmp(Expr::col("c"), CmpOp::Ge, Expr::lit(Value::I64(30))))
+            .unwrap()
+            .order_by(vec![("c".into(), SortDir::desc())])
+            .unwrap();
+        // Compile without optimization.
+        let raw = compile(ctx.core(), d.plan()).unwrap().collect().unwrap();
+        let opt = d.collect_rows().unwrap();
+        assert_eq!(raw, opt);
+        assert!(!opt.is_empty());
+    }
+
+    #[test]
+    fn agg_states_cover_sql_semantics() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::new("v", DataType::I64),
+        ]);
+        let rows = vec![
+            vec![Value::I64(1), Value::I64(10)],
+            vec![Value::I64(1), Value::Null],
+            vec![Value::I64(1), Value::I64(30)],
+        ];
+        let d = DataFrame::from_rows(&ctx, schema, rows, 2).unwrap();
+        let g = d
+            .group_by(
+                &["k"],
+                vec![
+                    (Agg::Count, "cnt".into()),
+                    (Agg::CountCol("v".into()), "cntv".into()),
+                    (Agg::Sum("v".into()), "sum".into()),
+                    (Agg::Avg("v".into()), "avg".into()),
+                    (Agg::Min("v".into()), "min".into()),
+                    (Agg::Max("v".into()), "max".into()),
+                ],
+            )
+            .unwrap();
+        let rows = g.collect_rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r[1], Value::I64(3)); // COUNT(*) counts nulls
+        assert_eq!(r[2], Value::I64(2)); // COUNT(v) does not
+        assert_eq!(r[3], Value::I64(40));
+        assert_eq!(r[4], Value::F64(20.0));
+        assert_eq!(r[5], Value::I64(10));
+        assert_eq!(r[6], Value::I64(30));
+    }
+}

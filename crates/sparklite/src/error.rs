@@ -1,0 +1,48 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Failures surfaced by sparklite jobs and storage operations.
+#[derive(Debug, Clone)]
+pub enum SparkliteError {
+    /// A task panicked or raised; carries the best-effort message.
+    TaskFailed { partition: usize, message: String },
+    /// A storage path does not exist.
+    FileNotFound(String),
+    /// A storage path already exists and overwrite was not requested.
+    FileExists(String),
+    /// An I/O failure from the local filesystem layer.
+    Io(String),
+    /// A malformed SQL query or unresolvable reference.
+    Sql(String),
+    /// A DataFrame operation referenced a missing column or mismatched type.
+    Schema(String),
+    /// Input data could not be decoded (e.g. malformed JSON line).
+    Data(String),
+}
+
+impl fmt::Display for SparkliteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkliteError::TaskFailed { partition, message } => {
+                write!(f, "task for partition {partition} failed: {message}")
+            }
+            SparkliteError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            SparkliteError::FileExists(p) => write!(f, "file already exists: {p}"),
+            SparkliteError::Io(m) => write!(f, "I/O error: {m}"),
+            SparkliteError::Sql(m) => write!(f, "SQL error: {m}"),
+            SparkliteError::Schema(m) => write!(f, "schema error: {m}"),
+            SparkliteError::Data(m) => write!(f, "data error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparkliteError {}
+
+impl From<std::io::Error> for SparkliteError {
+    fn from(e: std::io::Error) -> Self {
+        SparkliteError::Io(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, SparkliteError>;

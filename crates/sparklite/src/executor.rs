@@ -1,0 +1,298 @@
+//! The executor pool and task machinery.
+//!
+//! Each worker thread models one executor core of the paper's clusters; the
+//! scale-out experiments sweep the pool size. Tasks are closures scheduled
+//! one per partition; panics inside a task are caught and surfaced as
+//! [`SparkliteError::TaskFailed`] rather than tearing the process down, the
+//! same contract a Spark driver gets from failed executors.
+
+use crate::error::{Result, SparkliteError};
+use crossbeam::channel::{unbounded, Sender};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set while a worker thread executes a task; used to run nested jobs
+    /// inline (Spark jobs do not nest — see paper §5.6).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Engine-wide counters. All counters are monotonically increasing; read a
+/// consistent view with [`Metrics::snapshot`].
+#[derive(Default)]
+pub struct Metrics {
+    pub jobs: AtomicU64,
+    pub stages: AtomicU64,
+    pub tasks: AtomicU64,
+    pub input_records: AtomicU64,
+    pub input_bytes: AtomicU64,
+    pub shuffle_records: AtomicU64,
+    pub shuffle_bytes: AtomicU64,
+    pub output_records: AtomicU64,
+    /// Total wall time spent inside tasks, in microseconds — the
+    /// "aggregated runtime over the cluster" of the paper's Fig. 14.
+    pub task_busy_us: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub jobs: u64,
+    pub stages: u64,
+    pub tasks: u64,
+    pub input_records: u64,
+    pub input_bytes: u64,
+    pub shuffle_records: u64,
+    pub shuffle_bytes: u64,
+    pub output_records: u64,
+    pub task_busy_us: u64,
+}
+
+impl Metrics {
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            stages: self.stages.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            input_records: self.input_records.load(Ordering::Relaxed),
+            input_bytes: self.input_bytes.load(Ordering::Relaxed),
+            shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            output_records: self.output_records.load(Ordering::Relaxed),
+            task_busy_us: self.task_busy_us.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn add(&self, field: MetricField, n: u64) {
+        let counter = match field {
+            MetricField::InputRecords => &self.input_records,
+            MetricField::InputBytes => &self.input_bytes,
+            MetricField::ShuffleRecords => &self.shuffle_records,
+            MetricField::ShuffleBytes => &self.shuffle_bytes,
+            MetricField::OutputRecords => &self.output_records,
+        };
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Counter selector for [`Metrics::add`].
+#[derive(Debug, Clone, Copy)]
+pub enum MetricField {
+    InputRecords,
+    InputBytes,
+    ShuffleRecords,
+    ShuffleBytes,
+    OutputRecords,
+}
+
+/// Per-task context handed to every partition computation.
+pub struct TaskContext {
+    /// The partition index this task computes.
+    pub partition: usize,
+    /// Engine metrics, shared with the driver.
+    pub metrics: Arc<Metrics>,
+}
+
+/// A fixed pool of executor worker threads fed over a crossbeam channel.
+pub struct ExecutorPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl ExecutorPool {
+    pub fn new(size: usize, metrics: Arc<Metrics>) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let mut handles = Vec::with_capacity(size);
+        for worker_id in 0..size {
+            let rx = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sparklite-exec-{worker_id}"))
+                .spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawning executor thread");
+            handles.push(handle);
+        }
+        ExecutorPool { sender: Some(sender), handles, size, metrics }
+    }
+
+    /// Number of executor worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs one task per entry of `tasks`, in parallel, and returns results
+    /// in task order. A panicking task fails the whole job (remaining tasks
+    /// may still run; their results are discarded).
+    ///
+    /// When called from inside a worker thread (a nested job), the tasks run
+    /// inline on the calling thread instead, because parking a worker on a
+    /// sub-job could exhaust the pool — the same reason Spark jobs do not
+    /// nest.
+    pub fn run<R, F>(&self, tasks: Vec<F>) -> Result<Vec<R>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&TaskContext) -> R + Send + 'static,
+    {
+        self.metrics.jobs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.tasks.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+
+        if IN_WORKER.with(|f| f.get()) {
+            // Nested job: run inline, sequentially.
+            let mut out = Vec::with_capacity(tasks.len());
+            for (partition, task) in tasks.into_iter().enumerate() {
+                let tc = TaskContext { partition, metrics: Arc::clone(&self.metrics) };
+                out.push(run_caught(task, tc, partition)?);
+            }
+            return Ok(out);
+        }
+
+        let n = tasks.len();
+        let (result_tx, result_rx) = unbounded::<(usize, Result<R>)>();
+        let sender = self.sender.as_ref().expect("pool is alive");
+        for (partition, task) in tasks.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            let metrics = Arc::clone(&self.metrics);
+            let job: Job = Box::new(move || {
+                let tc = TaskContext { partition, metrics };
+                let r = run_caught(task, tc, partition);
+                // The receiver may already have dropped after a failure;
+                // that is fine.
+                let _ = tx.send((partition, r));
+            });
+            sender.send(job).expect("executor pool is alive");
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (partition, r) = result_rx.recv().expect("all tasks report");
+            slots[partition] = Some(r?);
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+}
+
+fn run_caught<R, F>(task: F, tc: TaskContext, partition: usize) -> Result<R>
+where
+    F: FnOnce(&TaskContext) -> R,
+{
+    let metrics = Arc::clone(&tc.metrics);
+    let started = std::time::Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| task(&tc)));
+    metrics.task_busy_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+    result.map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            s.to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "task panicked".to_string()
+        };
+        SparkliteError::TaskFailed { partition, message }
+    })
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's recv() fail and exit.
+        self.sender.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> ExecutorPool {
+        ExecutorPool::new(n, Arc::new(Metrics::default()))
+    }
+
+    #[test]
+    fn runs_tasks_in_order() {
+        let p = pool(4);
+        let tasks: Vec<_> = (0..32).map(|i| move |_tc: &TaskContext| i * 2).collect();
+        let out = p.run(tasks).unwrap();
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn actually_parallel() {
+        // With 4 workers, 4 tasks that each wait for all 4 to start can only
+        // finish if they run concurrently.
+        use std::sync::Barrier;
+        let p = pool(4);
+        let barrier = Arc::new(Barrier::new(4));
+        let tasks: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                move |_tc: &TaskContext| {
+                    b.wait();
+                    1usize
+                }
+            })
+            .collect();
+        assert_eq!(p.run(tasks).unwrap().iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn panics_become_errors() {
+        let p = pool(2);
+        #[allow(clippy::type_complexity)]
+        let tasks: Vec<Box<dyn FnOnce(&TaskContext) -> usize + Send>> = vec![
+            Box::new(|_| 1),
+            Box::new(|_| panic!("boom in partition 1")),
+            Box::new(|_| 3),
+        ];
+        let err = p.run(tasks).unwrap_err();
+        match err {
+            SparkliteError::TaskFailed { partition, message } => {
+                assert_eq!(partition, 1);
+                assert!(message.contains("boom"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_jobs_run_inline() {
+        let metrics = Arc::new(Metrics::default());
+        let p = Arc::new(ExecutorPool::new(1, Arc::clone(&metrics)));
+        // A single worker: a blocking nested job would deadlock if it were
+        // scheduled on the pool.
+        let inner_pool = Arc::clone(&p);
+        let out = p
+            .run(vec![move |_tc: &TaskContext| {
+                let inner: Vec<usize> =
+                    inner_pool.run((0..3).map(|i| move |_tc: &TaskContext| i).collect()).unwrap();
+                inner.iter().sum::<usize>()
+            }])
+            .unwrap();
+        assert_eq!(out, vec![3]);
+        assert_eq!(metrics.snapshot().jobs, 2);
+    }
+
+    #[test]
+    fn metrics_count_tasks() {
+        let metrics = Arc::new(Metrics::default());
+        let p = ExecutorPool::new(2, Arc::clone(&metrics));
+        p.run((0..5).map(|_| |_tc: &TaskContext| ()).collect::<Vec<_>>()).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.jobs, 1);
+        assert_eq!(snap.tasks, 5);
+    }
+}

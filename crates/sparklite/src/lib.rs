@@ -1,0 +1,52 @@
+//! `sparklite` — a from-scratch miniature Spark.
+//!
+//! The Rumble paper maps JSONiq onto two Spark abstractions: **RDDs** (flat,
+//! lazily transformed, partitioned collections) for sequences of items, and
+//! **DataFrames** (schema-ful columnar tables driven by the Catalyst
+//! optimizer) for FLWOR tuple streams. Rust has no Spark bindings, so this
+//! crate rebuilds those abstractions natively:
+//!
+//! * [`SparkliteContext`] — the driver: holds the executor pool (each worker
+//!   thread models one executor core), the shuffle service, the storage
+//!   layer, and engine-wide metrics.
+//! * [`rdd::Rdd`] — a lazy DAG of transformations over partitioned data with
+//!   narrow and wide (shuffle) dependencies; actions (`collect`, `count`,
+//!   `take`, `reduce`, `save_as_text_file`) schedule one task per partition.
+//! * [`dataframe::DataFrame`] — a columnar table with a logical plan and a
+//!   rule-based optimizer (projection fusion, filter pushdown, column
+//!   pruning), plus the operators the FLWOR mapping needs: extended
+//!   projection with UDFs, `EXPLODE`, filter, `GROUP BY` with
+//!   `COLLECT_LIST`/`COUNT`/`FIRST`, sampled range-partitioned `ORDER BY`,
+//!   and the parallel zip-with-index trick for `count` clauses.
+//! * [`sql`] — a small SQL dialect over DataFrames and the JSON schema
+//!   inference used by the Spark-SQL baseline (`read.json`).
+//! * [`storage`] — a simulated HDFS (in-memory block store with partitioned
+//!   scans) and a local-filesystem layer.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sparklite::{SparkliteConf, SparkliteContext};
+//!
+//! let sc = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+//! let rdd = sc.parallelize((1..=100).collect::<Vec<i64>>(), 8);
+//! let sum: i64 = rdd.filter(|x| x % 2 == 0).map(|x| x * 10).reduce(|a, b| a + b).unwrap().unwrap();
+//! assert_eq!(sum, 25_500);
+//! ```
+
+pub mod conf;
+pub mod context;
+pub mod dataframe;
+pub mod error;
+pub mod executor;
+pub mod rdd;
+pub mod sql;
+pub mod storage;
+
+pub use conf::SparkliteConf;
+pub use context::SparkliteContext;
+pub use error::{Result, SparkliteError};
+
+/// Everything that flows through an RDD: cheaply cloneable, thread-safe data.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}

@@ -1,0 +1,205 @@
+//! Pair-RDD operations, available on any `Rdd<(K, V)>` with hashable keys:
+//! `reduceByKey`, `groupByKey`, `partitionBy`, `join`, `sortByKey`.
+
+use super::shuffle::ShuffledRdd;
+use super::Rdd;
+use crate::Data;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Tag used by the cogroup-style join.
+#[derive(Clone)]
+enum Side<V, W> {
+    Left(V),
+    Right(W),
+}
+
+impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
+    pub fn map_values<U: Data>(&self, f: impl Fn(V) -> U + Send + Sync + 'static) -> Rdd<(K, U)> {
+        self.map(move |(k, v)| (k, f(v)))
+    }
+
+    pub fn keys(&self) -> Rdd<K> {
+        self.map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> Rdd<V> {
+        self.map(|(_, v)| v)
+    }
+
+    /// Hash-partitions by key without combining; duplicates survive.
+    pub fn partition_by(&self, num_partitions: usize) -> Rdd<(K, V)> {
+        let op = ShuffledRdd::new(
+            Arc::clone(self.core()),
+            Arc::clone(self.op()),
+            num_partitions,
+            None,
+        );
+        Rdd::new(Arc::clone(self.core()), Arc::new(op))
+    }
+
+    /// Merges all values per key with `f`, combining map-side first.
+    pub fn reduce_by_key(
+        &self,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+        num_partitions: usize,
+    ) -> Rdd<(K, V)> {
+        let op = ShuffledRdd::new(
+            Arc::clone(self.core()),
+            Arc::clone(self.op()),
+            num_partitions,
+            Some(Arc::new(f)),
+        );
+        Rdd::new(Arc::clone(self.core()), Arc::new(op))
+    }
+
+    /// Collects all values per key into a vector. Values arrive in an
+    /// unspecified order (they cross a shuffle), like Spark's `groupByKey`.
+    pub fn group_by_key(&self, num_partitions: usize) -> Rdd<(K, Vec<V>)> {
+        let listed = self.map_values(|v| vec![v]);
+        let op = ShuffledRdd::new(
+            Arc::clone(listed.core()),
+            Arc::clone(listed.op()),
+            num_partitions,
+            Some(Arc::new(|mut a: Vec<V>, b: Vec<V>| {
+                a.extend(b);
+                a
+            })),
+        );
+        Rdd::new(Arc::clone(self.core()), Arc::new(op))
+    }
+
+    /// Counts occurrences per key.
+    pub fn count_by_key(&self, num_partitions: usize) -> Rdd<(K, u64)> {
+        self.map_values(|_| 1u64).reduce_by_key(|a, b| a + b, num_partitions)
+    }
+
+    /// Inner hash join, cogroup-style: both sides are shuffled to the same
+    /// partitioning and matched per key.
+    pub fn join<W: Data>(&self, other: &Rdd<(K, W)>, num_partitions: usize) -> Rdd<(K, (V, W))> {
+        let left = self.map_values(Side::<V, W>::Left);
+        let right = other.map_values(Side::<V, W>::Right);
+        left.union(&right).group_by_key(num_partitions).flat_map(|(k, sides)| {
+            let mut vs = Vec::new();
+            let mut ws = Vec::new();
+            for s in sides {
+                match s {
+                    Side::Left(v) => vs.push(v),
+                    Side::Right(w) => ws.push(w),
+                }
+            }
+            let mut out = Vec::with_capacity(vs.len() * ws.len());
+            for v in &vs {
+                for w in &ws {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+            out
+        })
+    }
+}
+
+impl<K: Data + Hash + Eq + Ord, V: Data> Rdd<(K, V)> {
+    /// Globally sorts by key (Spark's `sortByKey`).
+    pub fn sort_by_key(&self, ascending: bool, num_partitions: usize) -> Rdd<(K, V)> {
+        self.sort_by(|(k, _)| k.clone(), ascending, num_partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SparkliteConf, SparkliteContext};
+
+    fn sc() -> SparkliteContext {
+        SparkliteContext::new(SparkliteConf::default().with_executors(4))
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let sc = sc();
+        let data: Vec<(String, i64)> =
+            (0..1000).map(|i| (format!("k{}", i % 10), 1i64)).collect();
+        let mut out =
+            sc.parallelize(data, 8).reduce_by_key(|a, b| a + b, 4).collect().unwrap();
+        out.sort();
+        assert_eq!(out.len(), 10);
+        for (_, count) in &out {
+            assert_eq!(*count, 100);
+        }
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let sc = sc();
+        let data: Vec<(i32, i32)> = (0..100).map(|i| (i % 5, i)).collect();
+        let mut out = sc.parallelize(data, 6).group_by_key(3).collect().unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out.len(), 5);
+        for (k, vs) in &out {
+            assert_eq!(vs.len(), 20);
+            assert!(vs.iter().all(|v| v % 5 == *k));
+        }
+    }
+
+    #[test]
+    fn partition_by_keeps_duplicates_and_collocates_keys() {
+        let sc = sc();
+        let data: Vec<(i32, i32)> = vec![(1, 10), (2, 20), (1, 11), (2, 21), (1, 12)];
+        let rdd = sc.parallelize(data, 3).partition_by(2);
+        assert_eq!(rdd.num_partitions(), 2);
+        let parts = rdd.collect_partitions().unwrap();
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 5);
+        // All records of one key land in one partition.
+        for key in [1, 2] {
+            let holders: Vec<usize> = parts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.iter().any(|(k, _)| *k == key))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "key {key} spread over {holders:?}");
+        }
+    }
+
+    #[test]
+    fn sort_by_key_sorts_globally() {
+        let sc = sc();
+        let data: Vec<(i64, String)> =
+            (0..500).map(|i| ((i * 31) % 500, format!("v{i}"))).collect();
+        let out = sc.parallelize(data, 8).sort_by_key(true, 4).collect().unwrap();
+        let keys: Vec<i64> = out.iter().map(|(k, _)| *k).collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let sc = sc();
+        let left = sc.parallelize(vec![(1, "a"), (2, "b"), (2, "c"), (3, "d")], 2);
+        let right = sc.parallelize(vec![(2, 20), (3, 30), (3, 31), (4, 40)], 2);
+        let mut out = left.join(&right, 3).collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![(2, ("b", 20)), (2, ("c", 20)), (3, ("d", 30)), (3, ("d", 31))]);
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let sc = sc();
+        let data: Vec<(char, ())> = "aabbbc".chars().map(|c| (c, ())).collect();
+        let mut out = sc.parallelize(data, 2).count_by_key(2).collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![('a', 2), ('b', 3), ('c', 1)]);
+    }
+
+    #[test]
+    fn shuffle_metrics_recorded() {
+        let sc = sc();
+        let data: Vec<(i32, i32)> = (0..100).map(|i| (i % 4, i)).collect();
+        sc.parallelize(data, 4).reduce_by_key(|a, b| a + b, 2).collect().unwrap();
+        let m = sc.metrics();
+        assert!(m.shuffle_records > 0);
+        assert!(m.shuffle_bytes > 0);
+        assert!(m.stages >= 2, "map stage + reduce stage, got {}", m.stages);
+    }
+}

@@ -1,0 +1,311 @@
+//! Wide (shuffle) operators: hash-partitioned shuffles with map-side
+//! combine, sampled range-partitioned sorts, and the two-pass
+//! zip-with-index.
+//!
+//! A wide operator materializes its map side exactly once, in
+//! [`Preparable::prepare`], which the driver invokes before scheduling the
+//! consuming stage — sparklite's equivalent of Spark's DAG-scheduler stage
+//! barrier. The shuffled blocks live in memory inside the operator (a real
+//! Spark would write them to local disk and serve them over the network;
+//! the byte accounting in the metrics stands in for that traffic).
+
+use super::util::{fx_hash, ArcPartIter, FxHashMap, SplitMix64};
+use super::{BoxIter, Preparable, RddOp};
+use crate::context::Core;
+use crate::error::Result;
+use crate::executor::{MetricField, TaskContext};
+use crate::Data;
+use std::hash::Hash;
+use std::sync::{Arc, OnceLock};
+
+/// A hash-partitioned shuffle producing `num_parts` output partitions.
+///
+/// With a `merge` function the shuffle combines values per key — on the map
+/// side (within each map task) *and* on the reduce side (across map tasks),
+/// like Spark's `reduceByKey`. Without one, duplicates are preserved
+/// (`partitionBy`).
+pub struct ShuffledRdd<K: Data + Hash + Eq, C: Data> {
+    core: Arc<Core>,
+    parent: Arc<dyn RddOp<(K, C)>>,
+    num_parts: usize,
+    merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
+    /// Transposed shuffle output: `buckets[reduce_partition]` holds the
+    /// concatenated map outputs for that partition.
+    #[allow(clippy::type_complexity)] // Vec-of-buckets-of-pairs, named right here
+    buckets: OnceLock<Arc<Vec<Vec<(K, C)>>>>,
+}
+
+impl<K: Data + Hash + Eq, C: Data> ShuffledRdd<K, C> {
+    pub(crate) fn new(
+        core: Arc<Core>,
+        parent: Arc<dyn RddOp<(K, C)>>,
+        num_parts: usize,
+        merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
+    ) -> Self {
+        ShuffledRdd { core, parent, num_parts: num_parts.max(1), merge, buckets: OnceLock::new() }
+    }
+}
+
+impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
+    fn prepare(&self) -> Result<()> {
+        if self.buckets.get().is_some() {
+            return Ok(());
+        }
+        let num = self.num_parts;
+        let merge = self.merge.clone();
+        // Map stage: each task splits its partition into per-reducer blocks,
+        // combining on the fly when a merge function is present.
+        let map_outputs = self.core.run_partitions(
+            &self.parent,
+            Arc::new(move |iter: BoxIter<(K, C)>, tc: &TaskContext| {
+                let blocks: Vec<Vec<(K, C)>> = match &merge {
+                    Some(m) => {
+                        let mut maps: Vec<FxHashMap<K, C>> =
+                            (0..num).map(|_| FxHashMap::default()).collect();
+                        for (k, c) in iter {
+                            let b = (fx_hash(&k) % num as u64) as usize;
+                            match maps[b].remove(&k) {
+                                Some(old) => {
+                                    maps[b].insert(k, m(old, c));
+                                }
+                                None => {
+                                    maps[b].insert(k, c);
+                                }
+                            }
+                        }
+                        maps.into_iter().map(|m| m.into_iter().collect()).collect()
+                    }
+                    None => {
+                        let mut vecs: Vec<Vec<(K, C)>> = (0..num).map(|_| Vec::new()).collect();
+                        for (k, c) in iter {
+                            let b = (fx_hash(&k) % num as u64) as usize;
+                            vecs[b].push((k, c));
+                        }
+                        vecs
+                    }
+                };
+                let records: usize = blocks.iter().map(|b| b.len()).sum();
+                tc.metrics.add(MetricField::ShuffleRecords, records as u64);
+                tc.metrics.add(
+                    MetricField::ShuffleBytes,
+                    (records * std::mem::size_of::<(K, C)>()) as u64,
+                );
+                blocks
+            }),
+        )?;
+        // Driver-side transpose into per-reducer buckets.
+        let mut buckets: Vec<Vec<(K, C)>> = (0..num).map(|_| Vec::new()).collect();
+        for mut map_out in map_outputs {
+            for (r, block) in map_out.drain(..).enumerate() {
+                buckets[r].extend(block);
+            }
+        }
+        let _ = self.buckets.set(Arc::new(buckets));
+        Ok(())
+    }
+}
+
+impl<K: Data + Hash + Eq, C: Data> RddOp<(K, C)> for ShuffledRdd<K, C> {
+    fn num_partitions(&self) -> usize {
+        self.num_parts
+    }
+
+    fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<(K, C)> {
+        let buckets = Arc::clone(self.buckets.get().expect("prepare ran before compute"));
+        match &self.merge {
+            Some(m) => {
+                // Reduce-side merge across map tasks.
+                let mut merged: FxHashMap<K, C> = FxHashMap::default();
+                for (k, c) in buckets[split].iter().cloned() {
+                    match merged.remove(&k) {
+                        Some(old) => {
+                            merged.insert(k, m(old, c));
+                        }
+                        None => {
+                            merged.insert(k, c);
+                        }
+                    }
+                }
+                Box::new(merged.into_iter())
+            }
+            None => Box::new(ArcPartIter { data: buckets, part: split, i: 0 }),
+        }
+    }
+}
+
+/// Global sort via sampled range partitioning (Spark's `RangePartitioner`):
+/// sample keys, cut `num_parts - 1` boundaries, shuffle by range, sort each
+/// partition; partition order gives the global order.
+pub struct SortedRdd<T: Data, K: Data + Ord> {
+    core: Arc<Core>,
+    parent: Arc<dyn RddOp<T>>,
+    key_fn: Arc<dyn Fn(&T) -> K + Send + Sync>,
+    ascending: bool,
+    num_parts: usize,
+    sorted: OnceLock<Arc<Vec<Vec<T>>>>,
+}
+
+impl<T: Data, K: Data + Ord> SortedRdd<T, K> {
+    pub(crate) fn new(
+        core: Arc<Core>,
+        parent: Arc<dyn RddOp<T>>,
+        key_fn: Arc<dyn Fn(&T) -> K + Send + Sync>,
+        ascending: bool,
+        num_parts: usize,
+    ) -> Self {
+        SortedRdd { core, parent, key_fn, ascending, num_parts, sorted: OnceLock::new() }
+    }
+}
+
+impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
+    fn prepare(&self) -> Result<()> {
+        if self.sorted.get().is_some() {
+            return Ok(());
+        }
+        let sample_size = self.core.conf.sort_sample_size.max(4);
+        let key_fn = Arc::clone(&self.key_fn);
+
+        // Pass 1: reservoir-sample keys from every partition.
+        let samples = self.core.run_partitions(
+            &self.parent,
+            Arc::new(move |iter: BoxIter<T>, tc: &TaskContext| {
+                let mut rng = SplitMix64::new(0xC0FFEE ^ tc.partition as u64);
+                let mut reservoir: Vec<K> = Vec::with_capacity(sample_size);
+                for (seen, item) in iter.enumerate() {
+                    let k = key_fn(&item);
+                    if reservoir.len() < sample_size {
+                        reservoir.push(k);
+                    } else {
+                        let j = rng.next_below(seen as u64 + 1) as usize;
+                        if j < sample_size {
+                            reservoir[j] = k;
+                        }
+                    }
+                }
+                reservoir
+            }),
+        )?;
+        let mut all: Vec<K> = samples.into_iter().flatten().collect();
+        all.sort();
+        let bounds: Arc<Vec<K>> = Arc::new(if all.is_empty() || self.num_parts == 1 {
+            Vec::new()
+        } else {
+            // Pick num_parts - 1 evenly spaced cut points.
+            (1..self.num_parts)
+                .map(|i| all[(i * all.len() / self.num_parts).min(all.len() - 1)].clone())
+                .collect()
+        });
+
+        // Pass 2: range-partition every element (always by ascending key).
+        let key_fn = Arc::clone(&self.key_fn);
+        let num = self.num_parts;
+        let b = Arc::clone(&bounds);
+        let map_outputs = self.core.run_partitions(
+            &self.parent,
+            Arc::new(move |iter: BoxIter<T>, tc: &TaskContext| {
+                let mut blocks: Vec<Vec<T>> = (0..num).map(|_| Vec::new()).collect();
+                let mut records = 0u64;
+                for item in iter {
+                    let k = key_fn(&item);
+                    let idx = b.partition_point(|bound| *bound < k).min(num - 1);
+                    blocks[idx].push(item);
+                    records += 1;
+                }
+                tc.metrics.add(MetricField::ShuffleRecords, records);
+                tc.metrics
+                    .add(MetricField::ShuffleBytes, records * std::mem::size_of::<T>() as u64);
+                blocks
+            }),
+        )?;
+        let mut buckets: Vec<Vec<T>> = (0..num).map(|_| Vec::new()).collect();
+        for mut out in map_outputs {
+            for (r, block) in out.drain(..).enumerate() {
+                buckets[r].extend(block);
+            }
+        }
+
+        // Pass 3: sort each partition in parallel on the pool.
+        let key_fn = Arc::clone(&self.key_fn);
+        let ascending = self.ascending;
+        let tasks: Vec<_> = buckets
+            .into_iter()
+            .map(|mut bucket| {
+                let key_fn = Arc::clone(&key_fn);
+                move |_tc: &TaskContext| {
+                    bucket.sort_by_cached_key(|t| key_fn(t));
+                    if !ascending {
+                        bucket.reverse();
+                    }
+                    bucket
+                }
+            })
+            .collect();
+        let mut sorted = self.core.pool.run(tasks)?;
+        if !self.ascending {
+            // Descending global order: highest range first.
+            sorted.reverse();
+        }
+        let _ = self.sorted.set(Arc::new(sorted));
+        Ok(())
+    }
+}
+
+impl<T: Data, K: Data + Ord> RddOp<T> for SortedRdd<T, K> {
+    fn num_partitions(&self) -> usize {
+        self.num_parts
+    }
+    fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<T> {
+        let data = Arc::clone(self.sorted.get().expect("prepare ran before compute"));
+        Box::new(ArcPartIter { data, part: split, i: 0 })
+    }
+}
+
+/// Pairs each element with its global index. The offsets of all partitions
+/// are computed with one counting pass at prepare time — the DataFrame-side
+/// version of this trick (an incremental column without a single-threaded
+/// bottleneck) is what the paper's `count` clause uses (§4.9).
+pub struct ZipWithIndexRdd<T: Data> {
+    core: Arc<Core>,
+    parent: Arc<dyn RddOp<T>>,
+    offsets: OnceLock<Arc<Vec<u64>>>,
+}
+
+impl<T: Data> ZipWithIndexRdd<T> {
+    pub(crate) fn new(core: Arc<Core>, parent: Arc<dyn RddOp<T>>) -> Self {
+        ZipWithIndexRdd { core, parent, offsets: OnceLock::new() }
+    }
+}
+
+impl<T: Data> Preparable for ZipWithIndexRdd<T> {
+    fn prepare(&self) -> Result<()> {
+        if self.offsets.get().is_some() {
+            return Ok(());
+        }
+        let counts = self
+            .core
+            .run_partitions(&self.parent, Arc::new(|iter: BoxIter<T>, _| iter.count() as u64))?;
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut acc = 0u64;
+        for c in counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        let _ = self.offsets.set(Arc::new(offsets));
+        Ok(())
+    }
+}
+
+impl<T: Data> RddOp<(T, u64)> for ZipWithIndexRdd<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<(T, u64)> {
+        let offset = self.offsets.get().expect("prepare ran before compute")[split];
+        Box::new(
+            self.parent
+                .compute(split, tc)
+                .enumerate()
+                .map(move |(i, t)| (t, offset + i as u64)),
+        )
+    }
+}

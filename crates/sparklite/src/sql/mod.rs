@@ -1,0 +1,288 @@
+//! SQL over DataFrames: `read.json` schema inference plus a mini dialect
+//! compiled onto the DataFrame API — the Spark-SQL stand-in.
+
+mod infer;
+mod parser;
+
+pub use infer::{infer_schema, read_json, Inferred};
+pub use parser::{parse, SelectItem, SqlBinOp, SqlExpr, SqlQuery};
+
+use crate::dataframe::{Agg, CmpOp, DataFrame, DataType, Expr, NamedExpr, NumOp, SortDir, Value};
+use crate::error::{Result, SparkliteError};
+use std::collections::HashMap;
+
+fn err(msg: impl Into<String>) -> SparkliteError {
+    SparkliteError::Sql(msg.into())
+}
+
+/// A catalog of temp views, like a `SparkSession`'s.
+#[derive(Default)]
+pub struct SqlContext {
+    tables: HashMap<String, DataFrame>,
+}
+
+impl SqlContext {
+    pub fn new() -> SqlContext {
+        SqlContext::default()
+    }
+
+    /// Registers a DataFrame under a view name
+    /// (`createOrReplaceTempView`).
+    pub fn register(&mut self, name: impl Into<String>, df: DataFrame) {
+        self.tables.insert(name.into(), df);
+    }
+
+    /// Parses and executes a query against the registered views.
+    pub fn sql(&self, query: &str) -> Result<DataFrame> {
+        let q = parse(query)?;
+        let df = self
+            .tables
+            .get(&q.from)
+            .ok_or_else(|| err(format!("unknown table '{}'", q.from)))?
+            .clone();
+        compile_query(&q, df)
+    }
+}
+
+/// Converts a scalar SQL expression (no aggregates) to a DataFrame
+/// expression.
+fn to_expr(e: &SqlExpr) -> Result<Expr> {
+    Ok(match e {
+        SqlExpr::Col(c) => Expr::col(c.clone()),
+        SqlExpr::Int(n) => Expr::lit(Value::I64(*n)),
+        SqlExpr::Float(f) => Expr::lit(Value::F64(*f)),
+        SqlExpr::Str(s) => Expr::lit(Value::str(s)),
+        SqlExpr::Bool(b) => Expr::lit(Value::Bool(*b)),
+        SqlExpr::Null => Expr::lit(Value::Null),
+        SqlExpr::Not(inner) => Expr::not(to_expr(inner)?),
+        SqlExpr::IsNull { expr, negated } => {
+            let base = Expr::is_null(to_expr(expr)?);
+            if *negated {
+                Expr::not(base)
+            } else {
+                base
+            }
+        }
+        SqlExpr::Bin(a, op, b) => {
+            let (a, b) = (to_expr(a)?, to_expr(b)?);
+            match op {
+                SqlBinOp::Eq => Expr::cmp(a, CmpOp::Eq, b),
+                SqlBinOp::Ne => Expr::cmp(a, CmpOp::Ne, b),
+                SqlBinOp::Lt => Expr::cmp(a, CmpOp::Lt, b),
+                SqlBinOp::Le => Expr::cmp(a, CmpOp::Le, b),
+                SqlBinOp::Gt => Expr::cmp(a, CmpOp::Gt, b),
+                SqlBinOp::Ge => Expr::cmp(a, CmpOp::Ge, b),
+                SqlBinOp::And => Expr::and(a, b),
+                SqlBinOp::Or => Expr::or(a, b),
+                SqlBinOp::Add => Expr::num(a, NumOp::Add, b),
+                SqlBinOp::Sub => Expr::num(a, NumOp::Sub, b),
+                SqlBinOp::Mul => Expr::num(a, NumOp::Mul, b),
+                SqlBinOp::Div => Expr::num(a, NumOp::Div, b),
+                SqlBinOp::Mod => Expr::num(a, NumOp::Mod, b),
+            }
+        }
+        SqlExpr::AggCall { func, .. } => {
+            return Err(err(format!("{func} is only allowed in the SELECT list")))
+        }
+    })
+}
+
+fn item_name(item: &SelectItem, i: usize) -> String {
+    if let Some(a) = &item.alias {
+        return a.clone();
+    }
+    match &item.expr {
+        SqlExpr::Col(c) => c.clone(),
+        SqlExpr::AggCall { func, arg, star } => {
+            if *star {
+                format!("{}(*)", func.to_lowercase())
+            } else {
+                format!("{}({})", func.to_lowercase(), arg.as_deref().unwrap_or(""))
+            }
+        }
+        _ => format!("_c{i}"),
+    }
+}
+
+fn compile_query(q: &SqlQuery, df: DataFrame) -> Result<DataFrame> {
+    let mut df = df;
+    if let Some(w) = &q.where_clause {
+        df = df.filter(to_expr(w)?)?;
+    }
+
+    let has_agg = q
+        .select
+        .iter()
+        .any(|item| matches!(item.expr, SqlExpr::AggCall { .. }));
+
+    if !q.group_by.is_empty() || has_agg {
+        // Aggregation path. Every select item must be a grouping column or
+        // an aggregate.
+        let keys: Vec<&str> = q.group_by.iter().map(|s| s.as_str()).collect();
+        let mut aggs: Vec<(Agg, String)> = Vec::new();
+        let mut output: Vec<String> = Vec::new();
+        if q.select.is_empty() {
+            return Err(err("SELECT * cannot be combined with GROUP BY / aggregates"));
+        }
+        for (i, item) in q.select.iter().enumerate() {
+            let name = item_name(item, i);
+            match &item.expr {
+                SqlExpr::Col(c) => {
+                    if !q.group_by.contains(c) {
+                        return Err(err(format!(
+                            "column '{c}' must appear in GROUP BY or inside an aggregate"
+                        )));
+                    }
+                    output.push(c.clone());
+                }
+                SqlExpr::AggCall { func, arg, star } => {
+                    let agg = match (func.as_str(), arg, star) {
+                        ("COUNT", _, true) => Agg::Count,
+                        ("COUNT", Some(c), false) => Agg::CountCol(c.clone()),
+                        ("SUM", Some(c), false) => Agg::Sum(c.clone()),
+                        ("AVG", Some(c), false) => Agg::Avg(c.clone()),
+                        ("MIN", Some(c), false) => Agg::Min(c.clone()),
+                        ("MAX", Some(c), false) => Agg::Max(c.clone()),
+                        _ => return Err(err(format!("unsupported aggregate {func}"))),
+                    };
+                    aggs.push((agg, name.clone()));
+                    output.push(name);
+                }
+                other => {
+                    return Err(err(format!(
+                        "select item {other:?} is not valid with GROUP BY"
+                    )))
+                }
+            }
+        }
+        df = df.group_by(&keys, aggs)?;
+        // Reorder/project to the select-list order.
+        let exprs: Vec<NamedExpr> = output
+            .iter()
+            .map(|name| {
+                let dtype =
+                    df.schema().field(name).map(|f| f.dtype).unwrap_or(DataType::Any);
+                NamedExpr::passthrough(name, dtype)
+            })
+            .collect();
+        df = df.select(exprs)?;
+    } else if !q.select.is_empty() {
+        let exprs: Vec<NamedExpr> = q
+            .select
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let name = item_name(item, i);
+                let dtype = match &item.expr {
+                    SqlExpr::Col(c) => {
+                        df.schema().field(c).map(|f| f.dtype).unwrap_or(DataType::Any)
+                    }
+                    _ => DataType::Any,
+                };
+                Ok(NamedExpr { name, expr: to_expr(&item.expr)?, dtype })
+            })
+            .collect::<Result<_>>()?;
+        df = df.select(exprs)?;
+    }
+
+    if !q.order_by.is_empty() {
+        let keys = q
+            .order_by
+            .iter()
+            .map(|(c, asc)| (c.clone(), if *asc { SortDir::asc() } else { SortDir::desc() }))
+            .collect();
+        df = df.order_by(keys)?;
+    }
+    if let Some(n) = q.limit {
+        df = df.limit(n);
+    }
+    Ok(df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SparkliteConf, SparkliteContext};
+
+    fn setup() -> (SparkliteContext, SqlContext) {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let text = "\
+{\"guess\": \"French\", \"target\": \"French\", \"country\": \"AU\", \"date\": \"2013-08-19\"}\n\
+{\"guess\": \"German\", \"target\": \"French\", \"country\": \"US\", \"date\": \"2013-08-20\"}\n\
+{\"guess\": \"Danish\", \"target\": \"Danish\", \"country\": \"AU\", \"date\": \"2013-08-21\"}\n\
+{\"guess\": \"French\", \"target\": \"Danish\", \"country\": \"DE\", \"date\": \"2013-08-22\"}\n\
+{\"guess\": \"Danish\", \"target\": \"Danish\", \"country\": \"AU\", \"date\": \"2013-08-23\"}\n";
+        ctx.hdfs().put_text("/conf.json", text).unwrap();
+        let df = read_json(&ctx, "hdfs:///conf.json").unwrap();
+        let mut sql = SqlContext::new();
+        sql.register("dataset", df);
+        (ctx, sql)
+    }
+
+    #[test]
+    fn filter_query() {
+        let (_ctx, sql) = setup();
+        let out = sql.sql("SELECT * FROM dataset WHERE guess = target").unwrap();
+        assert_eq!(out.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn grouping_query() {
+        let (_ctx, sql) = setup();
+        let out = sql
+            .sql("SELECT country, COUNT(*) AS cnt FROM dataset GROUP BY country ORDER BY cnt DESC, country ASC")
+            .unwrap();
+        let rows = out.collect_rows().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0].as_str(), Some("AU"));
+        assert_eq!(rows[0][1], Value::I64(3));
+    }
+
+    #[test]
+    fn sort_query_like_figure_3() {
+        let (_ctx, sql) = setup();
+        let out = sql
+            .sql(
+                "SELECT * FROM dataset WHERE guess = target \
+                 ORDER BY target ASC, country DESC, date DESC LIMIT 10",
+            )
+            .unwrap();
+        let rows = out.collect_rows().unwrap();
+        assert_eq!(rows.len(), 3);
+        let target_idx = out.schema().index_of("target").unwrap();
+        let date_idx = out.schema().index_of("date").unwrap();
+        assert_eq!(rows[0][target_idx].as_str(), Some("Danish"));
+        assert_eq!(rows[0][date_idx].as_str(), Some("2013-08-23"));
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let (_ctx, sql) = setup();
+        let rows =
+            sql.sql("SELECT COUNT(*) AS n FROM dataset").unwrap().collect_rows().unwrap();
+        assert_eq!(rows, vec![vec![Value::I64(5)]]);
+    }
+
+    #[test]
+    fn projection_with_arithmetic() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        ctx.hdfs().put_text("/n.json", "{\"x\": 2}\n{\"x\": 5}\n").unwrap();
+        let mut sql = SqlContext::new();
+        sql.register("t", read_json(&ctx, "hdfs:///n.json").unwrap());
+        let rows = sql
+            .sql("SELECT x * 10 + 1 AS y FROM t ORDER BY y")
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::I64(21)], vec![Value::I64(51)]]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (_ctx, sql) = setup();
+        assert!(sql.sql("SELECT * FROM nope").is_err());
+        assert!(sql.sql("SELECT bogus FROM dataset").is_err());
+        assert!(sql.sql("SELECT country, COUNT(*) FROM dataset GROUP BY target").is_err());
+        assert!(sql.sql("SELECT guess FROM dataset GROUP BY country").is_err());
+    }
+}

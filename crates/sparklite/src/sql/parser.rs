@@ -1,0 +1,534 @@
+//! A small SQL dialect: tokenizer, AST, and recursive-descent parser.
+//!
+//! Coverage is what the Spark-SQL baseline queries of the paper need, plus
+//! a little headroom: `SELECT` lists with expressions, aliases and
+//! aggregates, `WHERE` with three-valued boolean logic, `GROUP BY`,
+//! `ORDER BY ... ASC|DESC`, and `LIMIT`.
+
+use crate::error::{Result, SparkliteError};
+
+/// SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(char),
+    /// Two-character operators: `<=`, `>=`, `<>`, `!=`.
+    Op2([char; 2]),
+}
+
+fn err(msg: impl Into<String>) -> SparkliteError {
+    SparkliteError::Sql(msg.into())
+}
+
+/// Tokenizes a SQL string. Keywords stay `Ident`s (matched
+/// case-insensitively by the parser); strings use single quotes with `''`
+/// escaping.
+pub fn tokenize(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch = input[i..].chars().next().expect("in bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| err("bad number"))?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| err("bad number"))?));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '.')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(input[start..i].to_string()));
+            }
+            '<' | '>' | '!' => {
+                let next = bytes.get(i + 1).map(|&b| b as char);
+                match (c, next) {
+                    ('<', Some('=')) => {
+                        out.push(Tok::Op2(['<', '=']));
+                        i += 2;
+                    }
+                    ('>', Some('=')) => {
+                        out.push(Tok::Op2(['>', '=']));
+                        i += 2;
+                    }
+                    ('<', Some('>')) => {
+                        out.push(Tok::Op2(['<', '>']));
+                        i += 2;
+                    }
+                    ('!', Some('=')) => {
+                        out.push(Tok::Op2(['!', '=']));
+                        i += 2;
+                    }
+                    ('!', _) => return Err(err("unexpected '!'")),
+                    _ => {
+                        out.push(Tok::Symbol(c));
+                        i += 1;
+                    }
+                }
+            }
+            '=' | '+' | '-' | '*' | '/' | '%' | '(' | ')' | ',' => {
+                out.push(Tok::Symbol(c));
+                i += 1;
+            }
+            _ => return Err(err(format!("unexpected character '{c}' in SQL"))),
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed scalar or aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Col(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Bin(Box<SqlExpr>, SqlBinOp, Box<SqlExpr>),
+    Not(Box<SqlExpr>),
+    IsNull { expr: Box<SqlExpr>, negated: bool },
+    /// `COUNT(*)`, `COUNT(col)`, `SUM(col)`, … Only allowed at the top of a
+    /// select item.
+    AggCall { func: String, arg: Option<String>, star: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: SqlExpr,
+    pub alias: Option<String>,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlQuery {
+    /// Empty means `SELECT *`.
+    pub select: Vec<SelectItem>,
+    pub from: String,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<String>,
+    /// `(column, ascending)`.
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+}
+
+pub fn parse(input: &str) -> Result<SqlQuery> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.toks.len() {
+        return Err(err(format!("trailing tokens after query: {:?}", &p.toks[p.pos..])));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(err(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn symbol(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Symbol(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<SqlQuery> {
+        self.expect_keyword("SELECT")?;
+        let select = if self.symbol('*') {
+            Vec::new()
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.symbol(',') {
+                items.push(self.select_item()?);
+            }
+            items
+        };
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+        let where_clause = if self.keyword("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.ident()?);
+            while self.symbol(',') {
+                group_by.push(self.ident()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let col = self.ident()?;
+                let asc = if self.keyword("DESC") {
+                    false
+                } else {
+                    self.keyword("ASC");
+                    true
+                };
+                order_by.push((col, asc));
+                if !self.symbol(',') {
+                    break;
+                }
+            }
+        }
+        let limit = if self.keyword("LIMIT") {
+            match self.next() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(err(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SqlQuery { select, from, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.keyword("AS") {
+            Some(self.ident()?)
+        } else if let Some(Tok::Ident(s)) = self.peek() {
+            // Bare alias — but not a clause keyword.
+            let is_kw = ["FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "AND", "OR"]
+                .iter()
+                .any(|k| s.eq_ignore_ascii_case(k));
+            if is_kw {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn expr(&mut self) -> Result<SqlExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.keyword("OR") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Bin(Box::new(left), SqlBinOp::Or, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.not_expr()?;
+        while self.keyword("AND") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Bin(Box::new(left), SqlBinOp::And, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr> {
+        if self.keyword("NOT") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<SqlExpr> {
+        let left = self.add_expr()?;
+        if self.keyword("IS") {
+            let negated = self.keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(SqlExpr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(Tok::Symbol('=')) => Some(SqlBinOp::Eq),
+            Some(Tok::Symbol('<')) => Some(SqlBinOp::Lt),
+            Some(Tok::Symbol('>')) => Some(SqlBinOp::Gt),
+            Some(Tok::Op2(['<', '='])) => Some(SqlBinOp::Le),
+            Some(Tok::Op2(['>', '='])) => Some(SqlBinOp::Ge),
+            Some(Tok::Op2(['<', '>'])) | Some(Tok::Op2(['!', '='])) => Some(SqlBinOp::Ne),
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.add_expr()?;
+                Ok(SqlExpr::Bin(Box::new(left), op, Box::new(right)))
+            }
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Symbol('+')) => SqlBinOp::Add,
+                Some(Tok::Symbol('-')) => SqlBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = SqlExpr::Bin(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Symbol('*')) => SqlBinOp::Mul,
+                Some(Tok::Symbol('/')) => SqlBinOp::Div,
+                Some(Tok::Symbol('%')) => SqlBinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = SqlExpr::Bin(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr> {
+        if self.symbol('-') {
+            let inner = self.unary_expr()?;
+            return Ok(SqlExpr::Bin(
+                Box::new(SqlExpr::Int(0)),
+                SqlBinOp::Sub,
+                Box::new(inner),
+            ));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(SqlExpr::Int(n)),
+            Some(Tok::Float(f)) => Ok(SqlExpr::Float(f)),
+            Some(Tok::Str(s)) => Ok(SqlExpr::Str(s)),
+            Some(Tok::Symbol('(')) => {
+                let e = self.expr()?;
+                if !self.symbol(')') {
+                    return Err(err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(SqlExpr::Bool(true));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(SqlExpr::Bool(false));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(SqlExpr::Null);
+                }
+                if self.symbol('(') {
+                    // Aggregate call.
+                    let func = name.to_uppercase();
+                    if !matches!(func.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") {
+                        return Err(err(format!("unknown function {name}")));
+                    }
+                    let (arg, star) = if self.symbol('*') {
+                        (None, true)
+                    } else if self.peek() == Some(&Tok::Symbol(')')) {
+                        return Err(err(format!("{func} needs an argument")));
+                    } else {
+                        (Some(self.ident()?), false)
+                    };
+                    if !self.symbol(')') {
+                        return Err(err("expected ')' after aggregate argument"));
+                    }
+                    if star && func != "COUNT" {
+                        return Err(err(format!("{func}(*) is not valid SQL")));
+                    }
+                    return Ok(SqlExpr::AggCall { func, arg, star });
+                }
+                Ok(SqlExpr::Col(name))
+            }
+            other => Err(err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_sort_query() {
+        let q = parse(
+            "SELECT * FROM dataset WHERE guess = target \
+             ORDER BY target ASC, country DESC, date DESC LIMIT 10",
+        )
+        .unwrap();
+        assert!(q.select.is_empty());
+        assert_eq!(q.from, "dataset");
+        assert!(q.where_clause.is_some());
+        assert_eq!(
+            q.order_by,
+            vec![
+                ("target".to_string(), true),
+                ("country".to_string(), false),
+                ("date".to_string(), false)
+            ]
+        );
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_grouping_query() {
+        let q = parse(
+            "SELECT country, target, COUNT(*) AS cnt FROM t GROUP BY country, target",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["country", "target"]);
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[2].alias.as_deref(), Some("cnt"));
+        assert!(matches!(
+            &q.select[2].expr,
+            SqlExpr::AggCall { func, star: true, .. } if func == "COUNT"
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse("SELECT * FROM t WHERE a + b * 2 >= 10 AND NOT c = 'x' OR d IS NOT NULL")
+            .unwrap();
+        // OR binds loosest.
+        let SqlExpr::Bin(_, SqlBinOp::Or, rhs) = q.where_clause.unwrap() else {
+            panic!("expected OR at top")
+        };
+        assert!(matches!(*rhs, SqlExpr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let q = parse("SELECT * FROM t WHERE name = 'O''Brien'").unwrap();
+        let SqlExpr::Bin(_, _, rhs) = q.where_clause.unwrap() else { panic!() };
+        assert_eq!(*rhs, SqlExpr::Str("O'Brien".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra garbage !!!").is_err());
+        assert!(parse("SELECT FOO(a) FROM t").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_arithmetic() {
+        let q = parse("SELECT a - -1 AS x FROM t").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("x"));
+    }
+}

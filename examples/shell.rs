@@ -1,0 +1,79 @@
+//! An interactive JSONiq shell (§5.4: "Rumble is also available on a
+//! shell … the output of each query is collected up to a configurable
+//! maximum and printed").
+//!
+//! ```text
+//! cargo run --release --example shell
+//! rumble> for $x in parallelize(1 to 10) where $x mod 2 eq 0 return $x * $x
+//! ```
+//!
+//! Commands: `:load <path> <file>` copies a local file into the simulated
+//! HDFS, `:quit` exits. Everything else is JSONiq.
+
+use rumble_repro::rumble::Rumble;
+use std::io::{BufRead, Write};
+
+const MAX_PRINTED: usize = 50;
+
+fn main() {
+    // The shell runs as a single long-lived application, so executors are
+    // set up once (§5.4).
+    let rumble = Rumble::default_local();
+    println!(
+        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data",
+        rumble.sparklite().executors()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("rumble> ");
+        std::io::stdout().flush().expect("stdout is writable");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix(":load ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(hdfs), Some(local)) => match std::fs::read_to_string(local) {
+                    Ok(text) => {
+                        let key = hdfs.strip_prefix("hdfs://").unwrap_or(hdfs);
+                        rumble.sparklite().hdfs().delete(key);
+                        match rumble.hdfs_put(key, &text) {
+                            Ok(()) => println!("loaded {local} -> hdfs://{key}"),
+                            Err(e) => eprintln!("load failed: {e}"),
+                        }
+                    }
+                    Err(e) => eprintln!("cannot read {local}: {e}"),
+                },
+                _ => eprintln!("usage: :load <hdfs-path> <local-file>"),
+            }
+            continue;
+        }
+        let started = std::time::Instant::now();
+        match rumble.run_take(line, MAX_PRINTED + 1) {
+            Ok(items) => {
+                let truncated = items.len() > MAX_PRINTED;
+                for item in items.iter().take(MAX_PRINTED) {
+                    println!("{item}");
+                }
+                if truncated {
+                    println!("… (output capped at {MAX_PRINTED} items)");
+                }
+                println!("-- {:.2?}", started.elapsed());
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Facade crate for the Rumble reproduction workspace.
+pub use jsonlite;
+pub use rumble_baselines as baselines;
+pub use rumble_core as rumble;
+pub use rumble_datagen as datagen;
+pub use sparklite;

@@ -1,0 +1,169 @@
+//! Integration tests spanning the whole workspace: generators → storage →
+//! engine → baselines, all on one simulated cluster.
+
+use rumble_repro::baselines::{naive, ConfusionQuery, QueryOutput};
+use rumble_repro::datagen::{confusion, heterogeneous, put_dataset, reddit, DEFAULT_SEED};
+use rumble_repro::rumble::Rumble;
+use rumble_repro::sparklite::sql::{read_json, SqlContext};
+use rumble_repro::sparklite::{SparkliteConf, SparkliteContext};
+
+fn cluster(executors: usize) -> SparkliteContext {
+    SparkliteContext::new(SparkliteConf::default().with_executors(executors))
+}
+
+#[test]
+fn rumble_and_spark_sql_agree_on_generated_data() {
+    let sc = cluster(4);
+    put_dataset(&sc, "hdfs:///c.json", &confusion::generate(2_000, DEFAULT_SEED)).unwrap();
+
+    // Rumble's grouping query.
+    let rumble = Rumble::new(sc.clone());
+    let mut via_jsoniq: Vec<(String, i64)> = rumble
+        .run(
+            r#"for $i in json-file("hdfs:///c.json")
+               group by $c := $i.country
+               return { c: $c, n: count($i) }"#,
+        )
+        .unwrap()
+        .into_iter()
+        .map(|i| {
+            let o = i.as_object().unwrap().clone();
+            (
+                o.get("c").unwrap().as_str().unwrap().to_string(),
+                o.get("n").unwrap().as_i64().unwrap(),
+            )
+        })
+        .collect();
+    via_jsoniq.sort();
+
+    // The same aggregation through schema inference + SQL.
+    let df = read_json(&sc, "hdfs:///c.json").unwrap();
+    let mut sql = SqlContext::new();
+    sql.register("t", df);
+    let mut via_sql: Vec<(String, i64)> = sql
+        .sql("SELECT country, COUNT(*) AS n FROM t GROUP BY country")
+        .unwrap()
+        .collect_rows()
+        .unwrap()
+        .into_iter()
+        .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_i64().unwrap()))
+        .collect();
+    via_sql.sort();
+
+    assert_eq!(via_jsoniq, via_sql);
+}
+
+#[test]
+fn executor_count_does_not_change_answers() {
+    let text = confusion::generate(3_000, DEFAULT_SEED);
+    let query = r#"
+        for $i in json-file("hdfs:///c.json")
+        where $i.guess = $i.target
+        group by $t := $i.target
+        order by count($i) descending, $t ascending
+        return [ $t, count($i) ]
+    "#;
+    let mut results = Vec::new();
+    for executors in [1, 2, 8] {
+        let sc = cluster(executors);
+        put_dataset(&sc, "hdfs:///c.json", &text).unwrap();
+        let out = Rumble::new(sc).run(query).unwrap();
+        results.push(out.iter().map(|i| i.serialize()).collect::<Vec<_>>());
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+    assert!(!results[0].is_empty());
+}
+
+#[test]
+fn naive_engines_match_rumble_until_they_oom() {
+    let sc = cluster(2);
+    put_dataset(&sc, "hdfs:///c.json", &confusion::generate(1_000, DEFAULT_SEED)).unwrap();
+    let rumble = Rumble::new(sc.clone());
+    let r_count = rumble
+        .run(r#"count(for $i in json-file("hdfs:///c.json") where $i.guess = $i.target return $i)"#)
+        .unwrap()[0]
+        .as_i64()
+        .unwrap() as u64;
+
+    let zorba = naive::NaiveEngine::new(naive::zorba_like(), &sc);
+    let QueryOutput::Count(z_count) =
+        zorba.run_confusion("hdfs:///c.json", ConfusionQuery::Filter).unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(r_count, z_count);
+
+    // A bigger dataset pushes the tight-budget engine over its memory cliff
+    // while Rumble keeps going — Figure 12's qualitative behaviour.
+    put_dataset(&sc, "hdfs:///big.json", &confusion::generate(60_000, DEFAULT_SEED)).unwrap();
+    let tight = naive::NaiveConfig { item_budget: 100_000, ..naive::xidel_like() };
+    let xidel = naive::NaiveEngine::new(tight, &sc);
+    let err = xidel.run_confusion("hdfs:///big.json", ConfusionQuery::Group).unwrap_err();
+    assert!(err.message.contains("out of memory"));
+    let ok = Rumble::new(sc)
+        .run(r#"count(for $i in json-file("hdfs:///big.json") group by $c := $i.country return $c)"#)
+        .unwrap();
+    assert!(ok[0].as_i64().unwrap() > 0);
+}
+
+#[test]
+fn messy_data_full_pipeline() {
+    let sc = cluster(4);
+    put_dataset(&sc, "hdfs:///messy.json", &heterogeneous::generate(3_000, DEFAULT_SEED))
+        .unwrap();
+    let rumble = Rumble::new(sc);
+    // Clean + write + re-read: the full data-independence loop.
+    let q = rumble
+        .compile(
+            r#"for $r in json-file("hdfs:///messy.json")
+               let $id := if ($r.id instance of integer) then $r.id
+                          else if ($r.id instance of string) then ($r.id cast as integer)
+                          else ()
+               where exists($id)
+               return { "id": $id }"#,
+        )
+        .unwrap();
+    let written = q.write_json_lines("hdfs:///ids.json").unwrap();
+    let back = rumble.run(r#"count(json-file("hdfs:///ids.json"))"#).unwrap();
+    assert_eq!(back[0].as_i64().unwrap() as u64, written);
+    // Every surviving id is an integer now.
+    let all_int = rumble
+        .run(r#"every $r in json-file("hdfs:///ids.json") satisfies $r.id instance of integer"#)
+        .unwrap();
+    assert_eq!(all_int[0].as_bool(), Some(true));
+}
+
+#[test]
+fn reddit_speedup_smoke() {
+    // The Fig. 14 measurement machinery end to end (tiny scale): more
+    // executors must not change the answer, and busy time is recorded.
+    let text = reddit::generate(5_000, DEFAULT_SEED);
+    let mut counts = Vec::new();
+    for executors in [1, 4] {
+        let sc = cluster(executors);
+        put_dataset(&sc, "hdfs:///r.json", &text).unwrap();
+        let rumble = Rumble::new(sc.clone());
+        let q = rumble
+            .compile(&format!(
+                r#"for $c in json-file("hdfs:///r.json")
+                   where contains($c.body, "{}")
+                   return $c"#,
+                reddit::NEEDLE
+            ))
+            .unwrap();
+        counts.push(q.count().unwrap());
+        assert!(sc.metrics().task_busy_us > 0);
+    }
+    assert_eq!(counts[0], counts[1]);
+}
+
+#[test]
+fn collections_registered_from_generators() {
+    let sc = cluster(2);
+    let rumble = Rumble::new(sc);
+    rumble.hdfs_put("/col.json", &confusion::generate(500, DEFAULT_SEED)).unwrap();
+    rumble.register_collection_path("games", "hdfs:///col.json");
+    let n = rumble.run(r#"count(collection("games"))"#).unwrap();
+    assert_eq!(n[0].as_i64(), Some(500));
+}
