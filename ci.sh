@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate: everything here runs without network access
+# (external dependencies are vendored as shims under shims/, see DESIGN.md).
+# Usage: ./ci.sh [--quick]
+#   --quick   skip the release build (debug build + tests + lints only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo build (debug, all targets)"
+cargo build --workspace --all-targets --offline
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "cargo test (workspace)"
+cargo test --workspace --offline -q
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "cargo build --release"
+  cargo build --release --offline
+fi
+
+step "OK"

@@ -23,10 +23,7 @@ fn raw_field<'a>(line: &'a str, marker: &str) -> Option<&'a str> {
 
 /// Runs one of the benchmark queries with ad-hoc low-level code.
 pub fn run(sc: &SparkliteContext, path: &str, query: ConfusionQuery) -> Result<QueryOutput> {
-    let key = path
-        .strip_prefix("hdfs://")
-        .or_else(|| path.strip_prefix("s3://"))
-        .unwrap_or(path);
+    let key = path.strip_prefix("hdfs://").or_else(|| path.strip_prefix("s3://")).unwrap_or(path);
     let text = sc.hdfs().read_to_string(key)?;
     match query {
         ConfusionQuery::Filter => {
@@ -51,9 +48,7 @@ pub fn run(sc: &SparkliteContext, path: &str, query: ConfusionQuery) -> Result<Q
                     *groups.entry((c.to_string(), t.to_string())).or_insert(0) += 1;
                 }
             }
-            Ok(QueryOutput::Groups(
-                groups.into_iter().map(|((c, t), n)| (c, t, n)).collect(),
-            ))
+            Ok(QueryOutput::Groups(groups.into_iter().map(|((c, t), n)| (c, t, n)).collect()))
         }
         ConfusionQuery::Sort => {
             let mut rows: Vec<(&str, &str, &str, &str)> = Vec::new();
@@ -73,12 +68,8 @@ pub fn run(sc: &SparkliteContext, path: &str, query: ConfusionQuery) -> Result<Q
                     rows.push((t, c, d, s));
                 }
             }
-            rows.sort_by(|a, b| {
-                a.0.cmp(b.0).then_with(|| b.1.cmp(a.1)).then_with(|| b.2.cmp(a.2))
-            });
-            Ok(QueryOutput::TopSamples(
-                rows.iter().take(10).map(|r| r.3.to_string()).collect(),
-            ))
+            rows.sort_by(|a, b| a.0.cmp(b.0).then_with(|| b.1.cmp(a.1)).then_with(|| b.2.cmp(a.2)));
+            Ok(QueryOutput::TopSamples(rows.iter().take(10).map(|r| r.3.to_string()).collect()))
         }
     }
 }

@@ -11,10 +11,8 @@
 
 use crate::{ConfusionQuery, QueryOutput};
 use rumble_core::error::{Result, RumbleError};
-use rumble_core::item::{
-    self, effective_boolean_value, group_key, value_compare, GroupKey, Item,
-};
-use rumble_core::syntax::ast::{self, CompOp, Expr};
+use rumble_core::item::{self, effective_boolean_value, group_key, value_compare, GroupKey, Item};
+use rumble_core::syntax::ast::{self, CompOp, Expr, ExprKind};
 use rumble_core::syntax::parse_program;
 use sparklite::SparkliteContext;
 use std::cell::Cell;
@@ -109,7 +107,7 @@ impl<'a> NaiveEngine<'a> {
         let mut env = Env::default();
         for d in &program.decls {
             match d {
-                ast::Decl::Variable { name, expr } => {
+                ast::Decl::Variable { name, expr, .. } => {
                     let v = self.eval(expr, &env)?;
                     env = env.bind(name, v);
                 }
@@ -161,10 +159,7 @@ impl<'a> NaiveEngine<'a> {
                 );
                 let out = self.run(&q)?;
                 Ok(QueryOutput::TopSamples(
-                    out.iter()
-                        .take(10)
-                        .map(|i| i.as_str().unwrap_or("").to_string())
-                        .collect(),
+                    out.iter().take(10).map(|i| i.as_str().unwrap_or("").to_string()).collect(),
                 ))
             }
         }
@@ -199,41 +194,41 @@ impl<'a> NaiveEngine<'a> {
     }
 
     fn eval(&self, e: &Expr, env: &Env) -> Result<Vec<Item>> {
-        let out: Vec<Item> = match e {
-            Expr::Literal(lit) => vec![literal(lit)?],
-            Expr::Empty => vec![],
-            Expr::VarRef(name) => env
+        let out: Vec<Item> = match &e.kind {
+            ExprKind::Literal(lit) => vec![literal(lit)?],
+            ExprKind::Empty => vec![],
+            ExprKind::VarRef(name) => env
                 .lookup(name)
                 .cloned()
                 .ok_or_else(|| RumbleError::dynamic("XPST0008", format!("unbound ${name}")))?,
-            Expr::ContextItem => match &env.ctx_item {
+            ExprKind::ContextItem => match &env.ctx_item {
                 Some((i, _)) => vec![i.clone()],
                 None => return Err(RumbleError::dynamic("XPST0008", "no context item")),
             },
-            Expr::Sequence(items) => {
+            ExprKind::Sequence(items) => {
                 let mut out = Vec::new();
                 for i in items {
                     out.extend(self.eval(i, env)?);
                 }
                 out
             }
-            Expr::And(a, b) => {
+            ExprKind::And(a, b) => {
                 let v = self.ebv(a, env)? && self.ebv(b, env)?;
                 vec![Item::Boolean(v)]
             }
-            Expr::Or(a, b) => {
+            ExprKind::Or(a, b) => {
                 let v = self.ebv(a, env)? || self.ebv(b, env)?;
                 vec![Item::Boolean(v)]
             }
-            Expr::Not(a) => vec![Item::Boolean(!self.ebv(a, env)?)],
-            Expr::If { cond, then, els } => {
+            ExprKind::Not(a) => vec![Item::Boolean(!self.ebv(a, env)?)],
+            ExprKind::If { cond, then, els } => {
                 if self.ebv(cond, env)? {
                     self.eval(then, env)?
                 } else {
                     self.eval(els, env)?
                 }
             }
-            Expr::Compare(a, op, b) => {
+            ExprKind::Compare(a, op, b) => {
                 let left = self.eval(a, env)?;
                 let right = self.eval(b, env)?;
                 if op.is_general() {
@@ -254,7 +249,7 @@ impl<'a> NaiveEngine<'a> {
                     }
                 }
             }
-            Expr::Arith(a, op, b) => {
+            ExprKind::Arith(a, op, b) => {
                 let (l, r) = (self.eval(a, env)?, self.eval(b, env)?);
                 match (l.first(), r.first()) {
                     (Some(x), Some(y)) => vec![match op {
@@ -268,14 +263,14 @@ impl<'a> NaiveEngine<'a> {
                     _ => vec![],
                 }
             }
-            Expr::UnaryMinus(a) => {
+            ExprKind::UnaryMinus(a) => {
                 let v = self.eval(a, env)?;
                 match v.first() {
                     Some(x) => vec![item::item_neg(x)?],
                     None => vec![],
                 }
             }
-            Expr::StringConcat(a, b) => {
+            ExprKind::StringConcat(a, b) => {
                 let mut s = String::new();
                 for side in [a, b] {
                     if let Some(i) = self.eval(side, env)?.first() {
@@ -284,16 +279,16 @@ impl<'a> NaiveEngine<'a> {
                 }
                 vec![Item::str(s)]
             }
-            Expr::Range(a, b) => {
-                match (self.eval(a, env)?.first().and_then(Item::as_i64),
-                       self.eval(b, env)?.first().and_then(Item::as_i64)) {
-                    (Some(lo), Some(hi)) if lo <= hi => {
-                        (lo..=hi).map(Item::Integer).collect()
-                    }
+            ExprKind::Range(a, b) => {
+                match (
+                    self.eval(a, env)?.first().and_then(Item::as_i64),
+                    self.eval(b, env)?.first().and_then(Item::as_i64),
+                ) {
+                    (Some(lo), Some(hi)) if lo <= hi => (lo..=hi).map(Item::Integer).collect(),
                     _ => vec![],
                 }
             }
-            Expr::ObjectConstructor(pairs) => {
+            ExprKind::ObjectConstructor(pairs) => {
                 let mut members = Vec::with_capacity(pairs.len());
                 for (k, v) in pairs {
                     let key: Arc<str> = match k {
@@ -312,25 +307,25 @@ impl<'a> NaiveEngine<'a> {
                 }
                 vec![Item::object(members)]
             }
-            Expr::ArrayConstructor(inner) => {
+            ExprKind::ArrayConstructor(inner) => {
                 let items = match inner {
                     None => vec![],
                     Some(e) => self.eval(e, env)?,
                 };
                 vec![Item::array(items)]
             }
-            Expr::Postfix(base, ops) => {
+            ExprKind::Postfix(base, ops) => {
                 let mut cur = self.eval(base, env)?;
                 for op in ops {
                     cur = self.postfix(cur, op, env)?;
                 }
                 cur
             }
-            Expr::Quantified { every, bindings, satisfies } => {
+            ExprKind::Quantified { every, bindings, satisfies } => {
                 vec![Item::Boolean(self.quantified(bindings, satisfies, *every, env)?)]
             }
-            Expr::FunctionCall { name, args } => self.call(name, args, env)?,
-            Expr::Flwor(f) => self.flwor(f, env)?,
+            ExprKind::FunctionCall { name, args } => self.call(name, args, env)?,
+            ExprKind::Flwor(f) => self.flwor(f, env)?,
             other => {
                 return Err(RumbleError::dynamic(
                     "RBML0003",
@@ -360,11 +355,9 @@ impl<'a> NaiveEngine<'a> {
                     .filter_map(|i| i.as_object().and_then(|o| o.get(&key).cloned()))
                     .collect()
             }
-            ast::PostfixOp::ArrayUnbox => input
-                .iter()
-                .filter_map(|i| i.as_array())
-                .flat_map(|a| a.iter().cloned())
-                .collect(),
+            ast::PostfixOp::ArrayUnbox => {
+                input.iter().filter_map(|i| i.as_array()).flat_map(|a| a.iter().cloned()).collect()
+            }
             ast::PostfixOp::ArrayLookup(e) => {
                 let idx = self.eval_one(e, env, "array index")?.as_i64().unwrap_or(0);
                 input
@@ -462,7 +455,9 @@ impl<'a> NaiveEngine<'a> {
             ("boolean", 1) => vec![Item::Boolean(self.ebv(&args[0], env)?)],
             ("string", 1) => {
                 let v = self.eval(&args[0], env)?;
-                vec![Item::str(v.first().map(|i| i.string_value()).transpose()?.unwrap_or_default())]
+                vec![Item::str(
+                    v.first().map(|i| i.string_value()).transpose()?.unwrap_or_default(),
+                )]
             }
             ("contains", 2) => {
                 let s = self.eval_one(&args[0], env, "contains")?.string_value()?;
@@ -539,11 +534,11 @@ impl<'a> NaiveEngine<'a> {
                     }
                 }
                 ast::Clause::Let(bindings) => {
-                    for (var, expr) in bindings {
+                    for b in bindings {
                         let mut next = Vec::with_capacity(tuples.len());
                         for t in &tuples {
-                            let v = self.eval(expr, t)?;
-                            next.push(t.bind(var, v));
+                            let v = self.eval(&b.expr, t)?;
+                            next.push(t.bind(&b.var, v));
                         }
                         tuples = next;
                     }
@@ -557,7 +552,7 @@ impl<'a> NaiveEngine<'a> {
                     }
                     tuples = next;
                 }
-                ast::Clause::Count(var) => {
+                ast::Clause::Count(var, _) => {
                     tuples = tuples
                         .into_iter()
                         .enumerate()
@@ -606,10 +601,8 @@ impl<'a> NaiveEngine<'a> {
                 };
                 key.push(group_key(&v)?);
             }
-            let values: Vec<Vec<Item>> = all_vars
-                .iter()
-                .map(|v| t.lookup(v).cloned().unwrap_or_default())
-                .collect();
+            let values: Vec<Vec<Item>> =
+                all_vars.iter().map(|v| t.lookup(v).cloned().unwrap_or_default()).collect();
             self.charge(values.iter().map(|v| v.len()).sum())?;
             if self.cfg.quadratic_group {
                 match linear.iter_mut().find(|(k, _)| *k == key) {
@@ -637,10 +630,13 @@ impl<'a> NaiveEngine<'a> {
         let groups: Vec<Group> = if self.cfg.quadratic_group {
             linear
         } else {
-            order.into_iter().map(|k| {
-                let v = by_key.remove(&k).expect("key recorded");
-                (k, v)
-            }).collect()
+            order
+                .into_iter()
+                .map(|k| {
+                    let v = by_key.remove(&k).expect("key recorded");
+                    (k, v)
+                })
+                .collect()
         };
         let mut out = Vec::with_capacity(groups.len());
         for (key, values) in groups {
@@ -719,9 +715,9 @@ fn literal(lit: &ast::Literal) -> Result<Item> {
         ast::Literal::Null => Item::Null,
         ast::Literal::Boolean(b) => Item::Boolean(*b),
         ast::Literal::Integer(v) => Item::Integer(*v),
-        ast::Literal::Decimal(raw) => Item::Decimal(
-            raw.parse().map_err(|()| RumbleError::syntax("bad decimal", None))?,
-        ),
+        ast::Literal::Decimal(raw) => {
+            Item::Decimal(raw.parse().map_err(|()| RumbleError::syntax("bad decimal", None))?)
+        }
         ast::Literal::Double(v) => Item::Double(*v),
         ast::Literal::Str(s) => Item::str(s),
     })
@@ -786,10 +782,8 @@ mod tests {
             panic!()
         };
         assert_eq!(n, 45);
-        let QueryOutput::Groups(g) = naive
-            .run_confusion("hdfs:///n.json", ConfusionQuery::Group)
-            .unwrap()
-            .normalized()
+        let QueryOutput::Groups(g) =
+            naive.run_confusion("hdfs:///n.json", ConfusionQuery::Group).unwrap().normalized()
         else {
             panic!()
         };

@@ -33,12 +33,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate/item-codec");
     g.throughput(Throughput::Elements(items.len() as u64));
     g.bench_function("encode", |b| {
-        b.iter(|| {
-            items
-                .iter()
-                .map(|i| encode_items(std::slice::from_ref(i)).len())
-                .sum::<usize>()
-        })
+        b.iter(|| items.iter().map(|i| encode_items(std::slice::from_ref(i)).len()).sum::<usize>())
     });
     g.bench_function("decode", |b| {
         b.iter(|| encoded.iter().map(|e| decode_items(e).expect("valid").len()).sum::<usize>())

@@ -181,7 +181,11 @@ pub struct SpeedupPoint {
 /// **Figure 14** — speedup: the Reddit filter query for 1..=32 executors;
 /// reports runtime and aggregated core time (which must grow by no more
 /// than ~2× end to end).
-pub fn fig14(objects: usize, executor_counts: &[usize], tries: usize) -> (Vec<SpeedupPoint>, String) {
+pub fn fig14(
+    objects: usize,
+    executor_counts: &[usize],
+    tries: usize,
+) -> (Vec<SpeedupPoint>, String) {
     let text = reddit::generate(objects, DEFAULT_SEED);
     let mut points = Vec::new();
     for &e in executor_counts {
@@ -212,11 +216,7 @@ pub fn fig14(objects: usize, executor_counts: &[usize], tries: usize) -> (Vec<Sp
         .map(|p| {
             (
                 format!("{} executors", p.executors),
-                vec![
-                    fmt_duration(p.runtime),
-                    fmt_duration(p.aggregated),
-                    fmt_duration(p.modeled),
-                ],
+                vec![fmt_duration(p.runtime), fmt_duration(p.aggregated), fmt_duration(p.modeled)],
             )
         })
         .collect();
@@ -244,7 +244,11 @@ pub struct ScalePoint {
 
 /// **Figure 15** — scaling with input size: the Reddit filter query over
 /// replicated datasets; runtime must stay linear in input size.
-pub fn fig15(base_objects: usize, factors: &[usize], executors: usize) -> (Vec<ScalePoint>, String) {
+pub fn fig15(
+    base_objects: usize,
+    factors: &[usize],
+    executors: usize,
+) -> (Vec<ScalePoint>, String) {
     let base = reddit::generate(base_objects, DEFAULT_SEED);
     let mut points = Vec::new();
     for &f in factors {

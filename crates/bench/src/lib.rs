@@ -63,11 +63,7 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let t = render_table(
-            "demo",
-            &["a", "b"],
-            &[("row1".into(), vec!["1".into(), "2".into()])],
-        );
+        let t = render_table("demo", &["a", "b"], &[("row1".into(), vec!["1".into(), "2".into()])]);
         assert!(t.contains("demo") && t.contains("row1"));
     }
 

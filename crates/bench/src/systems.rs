@@ -1,6 +1,8 @@
 //! A uniform runner over every system the paper compares.
 
-use rumble_baselines::{handtuned, naive, pyspark, rawspark, sparksql, ConfusionQuery, QueryOutput};
+use rumble_baselines::{
+    handtuned, naive, pyspark, rawspark, sparksql, ConfusionQuery, QueryOutput,
+};
 use rumble_core::Rumble;
 use sparklite::SparkliteContext;
 
@@ -43,9 +45,9 @@ impl System {
 /// The three JSONiq queries, as Rumble receives them (§6.1).
 pub fn rumble_query(path: &str, query: ConfusionQuery) -> String {
     match query {
-        ConfusionQuery::Filter => format!(
-            "for $i in json-file(\"{path}\") where $i.guess = $i.target return $i"
-        ),
+        ConfusionQuery::Filter => {
+            format!("for $i in json-file(\"{path}\") where $i.guess = $i.target return $i")
+        }
         ConfusionQuery::Group => format!(
             "for $i in json-file(\"{path}\") \
              group by $c := $i.country, $t := $i.target \

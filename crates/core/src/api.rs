@@ -5,8 +5,32 @@ use crate::compiler::{compile_query, CompiledProgram};
 use crate::error::Result;
 use crate::item::{seq, Item};
 use crate::runtime::{CollectionSource, DynamicContext, EngineCtx};
+use crate::semantics::{Diagnostic, Severity};
+use crate::syntax::ast::Span;
 use sparklite::{SparkliteConf, SparkliteContext};
 use std::sync::Arc;
+
+/// Statically analyzes a query without executing it: parses and runs every
+/// analyzer pass, returning all errors and warnings found, ordered by source
+/// position. A syntax error produces a single `XPST0003` diagnostic (the
+/// parser cannot recover), otherwise the full multi-pass report from
+/// [`crate::semantics::analyze`] is returned. An empty result means the
+/// query is clean.
+pub fn analyze(query: &str) -> Vec<Diagnostic> {
+    match crate::syntax::parse_program(query) {
+        Ok(program) => crate::semantics::analyze(&program),
+        Err(e) => {
+            let span = e.position.map(|(l, c)| Span::new(l, c)).unwrap_or(Span::UNKNOWN);
+            vec![Diagnostic {
+                code: "XPST0003",
+                severity: Severity::Error,
+                span,
+                message: e.message,
+                help: None,
+            }]
+        }
+    }
+}
 
 /// The Rumble engine: a JSONiq processor on top of a sparklite cluster.
 ///
@@ -51,10 +75,7 @@ impl Rumble {
 
     /// Registers a named collection backed by a JSON Lines file.
     pub fn register_collection_path(&self, name: impl Into<String>, path: impl Into<String>) {
-        self.engine
-            .collections
-            .write()
-            .insert(name.into(), CollectionSource::Path(path.into()));
+        self.engine.collections.write().insert(name.into(), CollectionSource::Path(path.into()));
     }
 
     /// Registers a named collection from driver-local items.
@@ -69,9 +90,7 @@ impl Rumble {
     /// distributed result (§5.5). Results beyond the cap are truncated and
     /// [`Rumble::was_truncated`] starts returning true.
     pub fn set_materialization_cap(&self, cap: usize) {
-        self.engine
-            .materialization_cap
-            .store(cap.max(1), std::sync::atomic::Ordering::Relaxed);
+        self.engine.materialization_cap.store(cap.max(1), std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Whether any materialization hit the cap since the engine started —
@@ -207,10 +226,24 @@ mod tests {
     #[test]
     fn globals_bind_in_order() {
         let r = Rumble::default_local();
-        let out = r
-            .run("declare variable $a := 2; declare variable $b := $a * 10; $b + $a")
-            .unwrap();
+        let out =
+            r.run("declare variable $a := 2; declare variable $b := $a * 10; $b + $a").unwrap();
         assert_eq!(out, vec![Item::Integer(22)]);
+    }
+
+    #[test]
+    fn analyze_reports_without_executing() {
+        // A syntax error becomes one XPST0003 diagnostic.
+        let ds = analyze("1 +");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "XPST0003");
+        // Semantic problems come back together, warnings included.
+        let ds = analyze("let $unused := 1 return $nope");
+        let codes: Vec<&str> = ds.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"XPST0008"), "got {codes:?}");
+        assert!(codes.contains(&"RBLW0001"), "got {codes:?}");
+        // Clean queries produce nothing.
+        assert!(analyze("1 + 1").is_empty());
     }
 
     #[test]

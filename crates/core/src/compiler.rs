@@ -14,7 +14,7 @@ use crate::runtime::exprs::*;
 use crate::runtime::functions::{Builtin, BuiltinCallIter, CompiledFunction, UserCallIter};
 use crate::runtime::ExprRef;
 use crate::semantics::{check_program, free_variables};
-use crate::syntax::ast;
+use crate::syntax::ast::{self, for_each_child, map_children};
 use crate::syntax::parse_program;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -47,18 +47,16 @@ pub fn compile_program(p: &ast::Program) -> Result<CompiledProgram> {
     let mut globals = Vec::new();
     for d in &p.decls {
         match d {
-            ast::Decl::Variable { name, expr } => {
+            ast::Decl::Variable { name, expr, .. } => {
                 globals.push((Arc::<str>::from(name.as_str()), c.expr(expr)?));
             }
-            ast::Decl::Function { name, params, body } => {
+            ast::Decl::Function { name, params, body, .. } => {
                 let compiled = CompiledFunction {
                     params: params.iter().map(|p| Arc::<str>::from(p.as_str())).collect(),
                     body: c.expr(body)?,
                 };
                 let slot = c.functions.get(&(name.clone(), params.len())).expect("slot created");
-                slot.set(compiled)
-                    .ok()
-                    .expect("each function is compiled exactly once");
+                slot.set(compiled).ok().expect("each function is compiled exactly once");
             }
         }
     }
@@ -72,34 +70,34 @@ struct Compiler {
 
 impl Compiler {
     fn expr(&self, e: &ast::Expr) -> Result<ExprRef> {
-        Ok(match e {
-            ast::Expr::Literal(lit) => Arc::new(LiteralIter(literal_item(lit)?)),
-            ast::Expr::Empty => Arc::new(EmptySeqIter),
-            ast::Expr::VarRef(name) => Arc::new(VarRefIter(Arc::from(name.as_str()))),
-            ast::Expr::ContextItem => Arc::new(ContextItemIter),
-            ast::Expr::Sequence(items) => {
+        Ok(match &e.kind {
+            ast::ExprKind::Literal(lit) => Arc::new(LiteralIter(literal_item(lit)?)),
+            ast::ExprKind::Empty => Arc::new(EmptySeqIter),
+            ast::ExprKind::VarRef(name) => Arc::new(VarRefIter(Arc::from(name.as_str()))),
+            ast::ExprKind::ContextItem => Arc::new(ContextItemIter),
+            ast::ExprKind::Sequence(items) => {
                 Arc::new(CommaIter(items.iter().map(|i| self.expr(i)).collect::<Result<_>>()?))
             }
-            ast::Expr::Or(a, b) => Arc::new(OrIter(self.expr(a)?, self.expr(b)?)),
-            ast::Expr::And(a, b) => Arc::new(AndIter(self.expr(a)?, self.expr(b)?)),
-            ast::Expr::Not(a) => Arc::new(NotIter(self.expr(a)?)),
-            ast::Expr::Compare(a, op, b) => {
+            ast::ExprKind::Or(a, b) => Arc::new(OrIter(self.expr(a)?, self.expr(b)?)),
+            ast::ExprKind::And(a, b) => Arc::new(AndIter(self.expr(a)?, self.expr(b)?)),
+            ast::ExprKind::Not(a) => Arc::new(NotIter(self.expr(a)?)),
+            ast::ExprKind::Compare(a, op, b) => {
                 Arc::new(CompareIter { left: self.expr(a)?, op: *op, right: self.expr(b)? })
             }
-            ast::Expr::Arith(a, op, b) => {
+            ast::ExprKind::Arith(a, op, b) => {
                 Arc::new(ArithIter { left: self.expr(a)?, op: *op, right: self.expr(b)? })
             }
-            ast::Expr::UnaryMinus(a) => Arc::new(UnaryMinusIter(self.expr(a)?)),
-            ast::Expr::StringConcat(a, b) => {
+            ast::ExprKind::UnaryMinus(a) => Arc::new(UnaryMinusIter(self.expr(a)?)),
+            ast::ExprKind::StringConcat(a, b) => {
                 Arc::new(StringConcatIter(self.expr(a)?, self.expr(b)?))
             }
-            ast::Expr::Range(a, b) => Arc::new(RangeIter(self.expr(a)?, self.expr(b)?)),
-            ast::Expr::If { cond, then, els } => Arc::new(IfIter {
+            ast::ExprKind::Range(a, b) => Arc::new(RangeIter(self.expr(a)?, self.expr(b)?)),
+            ast::ExprKind::If { cond, then, els } => Arc::new(IfIter {
                 cond: self.expr(cond)?,
                 then: self.expr(then)?,
                 els: self.expr(els)?,
             }),
-            ast::Expr::Switch { input, cases, default } => Arc::new(SwitchIter {
+            ast::ExprKind::Switch { input, cases, default } => Arc::new(SwitchIter {
                 input: self.expr(input)?,
                 cases: cases
                     .iter()
@@ -112,12 +110,12 @@ impl Compiler {
                     .collect::<Result<_>>()?,
                 default: self.expr(default)?,
             }),
-            ast::Expr::TryCatch { body, codes, handler } => Arc::new(TryCatchIter {
+            ast::ExprKind::TryCatch { body, codes, handler } => Arc::new(TryCatchIter {
                 body: self.expr(body)?,
                 codes: codes.clone(),
                 handler: self.expr(handler)?,
             }),
-            ast::Expr::Quantified { every, bindings, satisfies } => Arc::new(QuantifiedIter {
+            ast::ExprKind::Quantified { every, bindings, satisfies } => Arc::new(QuantifiedIter {
                 every: *every,
                 bindings: bindings
                     .iter()
@@ -125,18 +123,18 @@ impl Compiler {
                     .collect::<Result<_>>()?,
                 satisfies: self.expr(satisfies)?,
             }),
-            ast::Expr::SimpleMap(a, b) => {
+            ast::ExprKind::SimpleMap(a, b) => {
                 Arc::new(SimpleMapIter { left: self.expr(a)?, right: self.expr(b)? })
             }
-            ast::Expr::InstanceOf(a, st) => Arc::new(InstanceOfIter(self.expr(a)?, st.clone())),
-            ast::Expr::TreatAs(a, st) => Arc::new(TreatAsIter(self.expr(a)?, st.clone())),
-            ast::Expr::CastAs(a, t, opt) => {
+            ast::ExprKind::InstanceOf(a, st) => Arc::new(InstanceOfIter(self.expr(a)?, st.clone())),
+            ast::ExprKind::TreatAs(a, st) => Arc::new(TreatAsIter(self.expr(a)?, st.clone())),
+            ast::ExprKind::CastAs(a, t, opt) => {
                 Arc::new(CastAsIter { child: self.expr(a)?, target: *t, optional: *opt })
             }
-            ast::Expr::CastableAs(a, t, opt) => {
+            ast::ExprKind::CastableAs(a, t, opt) => {
                 Arc::new(CastableAsIter { child: self.expr(a)?, target: *t, optional: *opt })
             }
-            ast::Expr::ObjectConstructor(pairs) => Arc::new(ObjectConstructorIter {
+            ast::ExprKind::ObjectConstructor(pairs) => Arc::new(ObjectConstructorIter {
                 pairs: pairs
                     .iter()
                     .map(|(k, v)| {
@@ -150,10 +148,10 @@ impl Compiler {
                     })
                     .collect::<Result<_>>()?,
             }),
-            ast::Expr::ArrayConstructor(inner) => Arc::new(ArrayConstructorIter(
-                inner.as_deref().map(|i| self.expr(i)).transpose()?,
-            )),
-            ast::Expr::Postfix(base, ops) => {
+            ast::ExprKind::ArrayConstructor(inner) => {
+                Arc::new(ArrayConstructorIter(inner.as_deref().map(|i| self.expr(i)).transpose()?))
+            }
+            ast::ExprKind::Postfix(base, ops) => {
                 let mut cur = self.expr(base)?;
                 for op in ops {
                     cur = match op {
@@ -180,8 +178,8 @@ impl Compiler {
                 }
                 cur
             }
-            ast::Expr::FunctionCall { name, args } => self.function_call(name, args)?,
-            ast::Expr::Flwor(f) => self.flwor(f)?,
+            ast::ExprKind::FunctionCall { name, args } => self.function_call(name, args)?,
+            ast::ExprKind::Flwor(f) => self.flwor(f)?,
         })
     }
 
@@ -191,7 +189,10 @@ impl Compiler {
         match (name, compiled.len()) {
             ("json-file", 1) | ("json-file", 2) => {
                 let mut it = compiled.into_iter();
-                return Ok(Arc::new(JsonFileIter { path: it.next().expect("arity"), partitions: it.next() }));
+                return Ok(Arc::new(JsonFileIter {
+                    path: it.next().expect("arity"),
+                    partitions: it.next(),
+                }));
             }
             ("parallelize", 1) | ("parallelize", 2) => {
                 let mut it = compiled.into_iter();
@@ -227,12 +228,7 @@ impl Compiler {
     fn flwor_uses(expr: &ast::Expr, chain: Option<&ClauseRef>) -> Vec<Arc<str>> {
         let Some(chain) = chain else { return Vec::new() };
         let free = free_variables(expr);
-        chain
-            .out_vars()
-            .iter()
-            .filter(|v| free.contains(v.as_ref()))
-            .cloned()
-            .collect()
+        chain.out_vars().iter().filter(|v| free.contains(v.as_ref())).cloned().collect()
     }
 
     fn flwor(&self, f: &ast::FlworExpr) -> Result<ExprRef> {
@@ -261,12 +257,12 @@ impl Compiler {
                     }
                 }
                 ast::Clause::Let(bindings) => {
-                    for (var, expr) in bindings {
-                        let uses = Self::flwor_uses(&expr, chain.as_ref());
+                    for b in bindings {
+                        let uses = Self::flwor_uses(&b.expr, chain.as_ref());
                         chain = Some(Arc::new(LetClauseIter::new(
                             chain.take(),
-                            Arc::from(var.as_str()),
-                            self.expr(&expr)?,
+                            Arc::from(b.var.as_str()),
+                            self.expr(&b.expr)?,
                             uses,
                         )));
                     }
@@ -280,7 +276,7 @@ impl Compiler {
                         uses,
                     }));
                 }
-                ast::Clause::Count(var) => {
+                ast::Clause::Count(var, _) => {
                     let parent = chain.take().expect("parser guarantees an initial clause");
                     chain = Some(Arc::new(CountClauseIter::new(parent, Arc::from(var.as_str()))));
                 }
@@ -384,9 +380,9 @@ fn analyze_usage(var: &str, rest: &[ast::Clause], ret: &ast::Expr) -> NonGroupin
                 }
             }
             ast::Clause::Let(bindings) => {
-                for (v, e) in bindings {
-                    visit(e, var, &mut st);
-                    st.rebound |= v == var;
+                for b in bindings {
+                    visit(&b.expr, var, &mut st);
+                    st.rebound |= b.var == var;
                 }
             }
             ast::Clause::Where(e) => visit(e, var, &mut st),
@@ -400,10 +396,8 @@ fn analyze_usage(var: &str, rest: &[ast::Clause], ret: &ast::Expr) -> NonGroupin
                     st.rebound |= s.var == var;
                 }
             }
-            ast::Clause::OrderBy(specs) => {
-                specs.iter().for_each(|s| visit(&s.expr, var, &mut st))
-            }
-            ast::Clause::Count(v) => st.rebound |= v == var,
+            ast::Clause::OrderBy(specs) => specs.iter().for_each(|s| visit(&s.expr, var, &mut st)),
+            ast::Clause::Count(v, _) => st.rebound |= v == var,
         }
     }
     visit(ret, var, &mut st);
@@ -411,7 +405,11 @@ fn analyze_usage(var: &str, rest: &[ast::Clause], ret: &ast::Expr) -> NonGroupin
     if rebound {
         // A later clause (or nested scope) rebinds the name: rewriting
         // would be unsound, so keep the full materialization.
-        return if refs + counted > 0 { NonGroupingUsage::Materialize } else { NonGroupingUsage::Unused };
+        return if refs + counted > 0 {
+            NonGroupingUsage::Materialize
+        } else {
+            NonGroupingUsage::Unused
+        };
     }
     if refs > 0 {
         NonGroupingUsage::Materialize
@@ -424,14 +422,16 @@ fn analyze_usage(var: &str, rest: &[ast::Clause], ret: &ast::Expr) -> NonGroupin
 
 /// Counts plain references vs. `count($var)` wrappers.
 fn usage_walk(e: &ast::Expr, var: &str, refs: &mut usize, counted: &mut usize) {
-    if let ast::Expr::FunctionCall { name, args } = e {
-        if name == "count" && args.len() == 1
-            && matches!(&args[0], ast::Expr::VarRef(v) if v == var) {
-                *counted += 1;
-                return;
-            }
+    if let ast::ExprKind::FunctionCall { name, args } = &e.kind {
+        if name == "count"
+            && args.len() == 1
+            && matches!(&args[0].kind, ast::ExprKind::VarRef(v) if v == var)
+        {
+            *counted += 1;
+            return;
+        }
     }
-    if let ast::Expr::VarRef(v) = e {
+    if let ast::ExprKind::VarRef(v) = &e.kind {
         if v == var {
             *refs += 1;
         }
@@ -443,23 +443,22 @@ fn usage_walk(e: &ast::Expr, var: &str, refs: &mut usize, counted: &mut usize) {
 /// Does any binding construct inside `e` (re)bind `var`?
 fn rebinds(e: &ast::Expr, var: &str) -> bool {
     let mut found = false;
-    match e {
-        ast::Expr::Flwor(f) => {
+    match &e.kind {
+        ast::ExprKind::Flwor(f) => {
             for c in &f.clauses {
                 match c {
                     ast::Clause::For(bs) => {
-                        found |= bs
-                            .iter()
-                            .any(|b| b.var == var || b.positional.as_deref() == Some(var));
+                        found |=
+                            bs.iter().any(|b| b.var == var || b.positional.as_deref() == Some(var));
                     }
-                    ast::Clause::Let(bs) => found |= bs.iter().any(|(v, _)| v == var),
+                    ast::Clause::Let(bs) => found |= bs.iter().any(|b| b.var == var),
                     ast::Clause::GroupBy(specs) => found |= specs.iter().any(|s| s.var == var),
-                    ast::Clause::Count(v) => found |= v == var,
+                    ast::Clause::Count(v, _) => found |= v == var,
                     _ => {}
                 }
             }
         }
-        ast::Expr::Quantified { bindings, .. } => {
+        ast::ExprKind::Quantified { bindings, .. } => {
             found |= bindings.iter().any(|(v, _)| v == var);
         }
         _ => {}
@@ -475,11 +474,13 @@ fn rebinds(e: &ast::Expr, var: &str) -> bool {
 /// Rewrites every `count($var)` into `$var` (whose binding becomes the
 /// precomputed count).
 fn rewrite_counts(e: &ast::Expr, var: &str) -> ast::Expr {
-    if let ast::Expr::FunctionCall { name, args } = e {
-        if name == "count" && args.len() == 1
-            && matches!(&args[0], ast::Expr::VarRef(v) if v == var) {
-                return ast::Expr::VarRef(var.to_string());
-            }
+    if let ast::ExprKind::FunctionCall { name, args } = &e.kind {
+        if name == "count"
+            && args.len() == 1
+            && matches!(&args[0].kind, ast::ExprKind::VarRef(v) if v == var)
+        {
+            return ast::ExprKind::VarRef(var.to_string()).at(e.span);
+        }
     }
     map_children(e, &|child| rewrite_counts(child, var))
 }
@@ -492,8 +493,8 @@ fn rewrite_clause_counts(c: &mut ast::Clause, var: &str) {
             }
         }
         ast::Clause::Let(bs) => {
-            for (_, e) in bs {
-                *e = rewrite_counts(e, var);
+            for b in bs {
+                b.expr = rewrite_counts(&b.expr, var);
             }
         }
         ast::Clause::Where(e) => *e = rewrite_counts(e, var),
@@ -509,185 +510,7 @@ fn rewrite_clause_counts(c: &mut ast::Clause, var: &str) {
                 s.expr = rewrite_counts(&s.expr, var);
             }
         }
-        ast::Clause::Count(_) => {}
-    }
-}
-
-/// Applies `f` to every direct child expression.
-fn for_each_child(e: &ast::Expr, f: &mut dyn FnMut(&ast::Expr)) {
-    use ast::Expr::*;
-    match e {
-        Literal(_) | Empty | VarRef(_) | ContextItem => {}
-        Sequence(items) => items.iter().for_each(&mut *f),
-        Or(a, b) | And(a, b) | StringConcat(a, b) | Range(a, b) | SimpleMap(a, b) => {
-            f(a);
-            f(b);
-        }
-        Compare(a, _, b) | Arith(a, _, b) => {
-            f(a);
-            f(b);
-        }
-        Not(a) | UnaryMinus(a) | InstanceOf(a, _) | TreatAs(a, _) | CastableAs(a, _, _)
-        | CastAs(a, _, _) => f(a),
-        If { cond, then, els } => {
-            f(cond);
-            f(then);
-            f(els);
-        }
-        Switch { input, cases, default } => {
-            f(input);
-            for (values, result) in cases {
-                values.iter().for_each(&mut *f);
-                f(result);
-            }
-            f(default);
-        }
-        TryCatch { body, handler, .. } => {
-            f(body);
-            f(handler);
-        }
-        Postfix(base, ops) => {
-            f(base);
-            for op in ops {
-                match op {
-                    ast::PostfixOp::Predicate(p) => f(p),
-                    ast::PostfixOp::Lookup(ast::LookupKey::Expr(k)) => f(k),
-                    ast::PostfixOp::ArrayLookup(i) => f(i),
-                    _ => {}
-                }
-            }
-        }
-        ObjectConstructor(pairs) => {
-            for (k, v) in pairs {
-                if let ast::ObjectKey::Expr(ke) = k {
-                    f(ke);
-                }
-                f(v);
-            }
-        }
-        ArrayConstructor(inner) => {
-            if let Some(i) = inner {
-                f(i);
-            }
-        }
-        Quantified { bindings, satisfies, .. } => {
-            bindings.iter().for_each(|(_, src)| f(src));
-            f(satisfies);
-        }
-        FunctionCall { args, .. } => args.iter().for_each(&mut *f),
-        Flwor(fl) => {
-            for c in &fl.clauses {
-                match c {
-                    ast::Clause::For(bs) => bs.iter().for_each(|b| f(&b.expr)),
-                    ast::Clause::Let(bs) => bs.iter().for_each(|(_, e)| f(e)),
-                    ast::Clause::Where(e) => f(e),
-                    ast::Clause::GroupBy(specs) => {
-                        specs.iter().filter_map(|s| s.expr.as_ref()).for_each(&mut *f)
-                    }
-                    ast::Clause::OrderBy(specs) => specs.iter().for_each(|s| f(&s.expr)),
-                    ast::Clause::Count(_) => {}
-                }
-            }
-            f(&fl.return_expr);
-        }
-    }
-}
-
-/// Rebuilds an expression with every direct child mapped through `f`.
-fn map_children(e: &ast::Expr, f: &dyn Fn(&ast::Expr) -> ast::Expr) -> ast::Expr {
-    use ast::Expr::*;
-    let b = |e: &ast::Expr| Box::new(f(e));
-    match e {
-        Literal(_) | Empty | VarRef(_) | ContextItem => e.clone(),
-        Sequence(items) => Sequence(items.iter().map(f).collect()),
-        Or(x, y) => Or(b(x), b(y)),
-        And(x, y) => And(b(x), b(y)),
-        StringConcat(x, y) => StringConcat(b(x), b(y)),
-        Range(x, y) => Range(b(x), b(y)),
-        SimpleMap(x, y) => SimpleMap(b(x), b(y)),
-        Compare(x, op, y) => Compare(b(x), *op, b(y)),
-        Arith(x, op, y) => Arith(b(x), *op, b(y)),
-        Not(x) => Not(b(x)),
-        UnaryMinus(x) => UnaryMinus(b(x)),
-        InstanceOf(x, t) => InstanceOf(b(x), t.clone()),
-        TreatAs(x, t) => TreatAs(b(x), t.clone()),
-        CastableAs(x, t, o) => CastableAs(b(x), *t, *o),
-        CastAs(x, t, o) => CastAs(b(x), *t, *o),
-        If { cond, then, els } => If { cond: b(cond), then: b(then), els: b(els) },
-        Switch { input, cases, default } => Switch {
-            input: b(input),
-            cases: cases
-                .iter()
-                .map(|(values, result)| (values.iter().map(f).collect(), f(result)))
-                .collect(),
-            default: b(default),
-        },
-        TryCatch { body, codes, handler } => {
-            TryCatch { body: b(body), codes: codes.clone(), handler: b(handler) }
-        }
-        Postfix(base, ops) => Postfix(
-            b(base),
-            ops.iter()
-                .map(|op| match op {
-                    ast::PostfixOp::Predicate(p) => ast::PostfixOp::Predicate(f(p)),
-                    ast::PostfixOp::Lookup(ast::LookupKey::Expr(k)) => {
-                        ast::PostfixOp::Lookup(ast::LookupKey::Expr(Box::new(f(k))))
-                    }
-                    ast::PostfixOp::ArrayLookup(i) => ast::PostfixOp::ArrayLookup(f(i)),
-                    other => other.clone(),
-                })
-                .collect(),
-        ),
-        ObjectConstructor(pairs) => ObjectConstructor(
-            pairs
-                .iter()
-                .map(|(k, v)| {
-                    (
-                        match k {
-                            ast::ObjectKey::Expr(ke) => ast::ObjectKey::Expr(f(ke)),
-                            other => other.clone(),
-                        },
-                        f(v),
-                    )
-                })
-                .collect(),
-        ),
-        ArrayConstructor(inner) => ArrayConstructor(inner.as_deref().map(|i| Box::new(f(i)))),
-        Quantified { every, bindings, satisfies } => Quantified {
-            every: *every,
-            bindings: bindings.iter().map(|(v, src)| (v.clone(), f(src))).collect(),
-            satisfies: b(satisfies),
-        },
-        FunctionCall { name, args } => {
-            FunctionCall { name: name.clone(), args: args.iter().map(f).collect() }
-        }
-        Flwor(fl) => Flwor(ast::FlworExpr {
-            clauses: fl
-                .clauses
-                .iter()
-                .map(|c| {
-                    let mut c = c.clone();
-                    rewrite_clause_with(&mut c, f);
-                    c
-                })
-                .collect(),
-            return_expr: b(&fl.return_expr),
-        }),
-    }
-}
-
-fn rewrite_clause_with(c: &mut ast::Clause, f: &dyn Fn(&ast::Expr) -> ast::Expr) {
-    match c {
-        ast::Clause::For(bs) => bs.iter_mut().for_each(|b| b.expr = f(&b.expr)),
-        ast::Clause::Let(bs) => bs.iter_mut().for_each(|(_, e)| *e = f(e)),
-        ast::Clause::Where(e) => *e = f(e),
-        ast::Clause::GroupBy(specs) => specs.iter_mut().for_each(|s| {
-            if let Some(e) = &s.expr {
-                s.expr = Some(f(e));
-            }
-        }),
-        ast::Clause::OrderBy(specs) => specs.iter_mut().for_each(|s| s.expr = f(&s.expr)),
-        ast::Clause::Count(_) => {}
+        ast::Clause::Count(..) => {}
     }
 }
 
@@ -697,17 +520,15 @@ mod tests {
 
     fn parse_flwor(src: &str) -> ast::FlworExpr {
         let p = parse_program(src).unwrap();
-        match p.body {
-            ast::Expr::Flwor(f) => f,
+        match p.body.kind {
+            ast::ExprKind::Flwor(f) => f,
             other => panic!("expected FLWOR, got {other:?}"),
         }
     }
 
     #[test]
     fn usage_analysis_detects_count_only() {
-        let f = parse_flwor(
-            "for $o in (1,2) group by $k := $o return { k: $k, n: count($o) }",
-        );
+        let f = parse_flwor("for $o in (1,2) group by $k := $o return { k: $k, n: count($o) }");
         let usage = analyze_usage("o", &[], &f.return_expr);
         assert_eq!(usage, NonGroupingUsage::CountOnly);
     }
@@ -718,9 +539,7 @@ mod tests {
         assert_eq!(analyze_usage("x", &[], &f.return_expr), NonGroupingUsage::Materialize);
         assert_eq!(analyze_usage("y", &[], &f.return_expr), NonGroupingUsage::Unused);
         // count($x) mixed with a plain reference still materializes.
-        let f2 = parse_flwor(
-            "for $o in (1,2) group by $k := $o return [count($o), $o]",
-        );
+        let f2 = parse_flwor("for $o in (1,2) group by $k := $o return [count($o), $o]");
         assert_eq!(analyze_usage("o", &[], &f2.return_expr), NonGroupingUsage::Materialize);
     }
 

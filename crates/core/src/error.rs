@@ -29,7 +29,12 @@ pub struct RumbleError {
 
 impl RumbleError {
     pub fn syntax(message: impl Into<String>, position: Option<(usize, usize)>) -> Self {
-        RumbleError { phase: ErrorPhase::Syntax, code: "XPST0003", message: message.into(), position }
+        RumbleError {
+            phase: ErrorPhase::Syntax,
+            code: "XPST0003",
+            message: message.into(),
+            position,
+        }
     }
 
     pub fn static_err(code: &'static str, message: impl Into<String>) -> Self {

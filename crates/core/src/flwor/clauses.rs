@@ -11,8 +11,8 @@ use super::{bin_of, ctx_from_row, ClauseIterator, ClauseRef, Tuple, TupleCursor,
 use crate::error::{codes, Result, RumbleError};
 use crate::item::{decode_items, group_key, seq, Item};
 use crate::runtime::{eval_ebv, DynamicContext, ExprRef};
-use sparklite::dataframe::{DataFrame, DataType, Expr as DfExpr, Field, Schema, SortDir, Value};
 use sparklite::dataframe::{Agg, NamedExpr};
+use sparklite::dataframe::{DataFrame, DataType, Expr as DfExpr, Field, Schema, SortDir, Value};
 use sparklite::rdd::task_bail;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -207,7 +207,8 @@ impl ClauseIterator for ForClauseIter {
                 let rdd = self.expr.rdd(ctx)?;
                 let (schema, vars, rows) = match &self.positional {
                     None => {
-                        let schema = Schema::new(vec![Field::new(self.var.as_ref(), DataType::Bin)]);
+                        let schema =
+                            Schema::new(vec![Field::new(self.var.as_ref(), DataType::Bin)]);
                         let rows = rdd.map(|item| vec![bin_of(std::slice::from_ref(&item))]);
                         (schema, vec![Arc::clone(&self.var)], rows)
                     }
@@ -251,9 +252,11 @@ impl ClauseIterator for ForClauseIter {
                     },
                 );
                 let tmp = format!("__rumble_for_{}", self.var);
-                let df = df
-                    .with_column(&tmp, items_udf, DataType::List)?
-                    .explode(&tmp, self.var.as_ref(), DataType::Bin)?;
+                let df = df.with_column(&tmp, items_udf, DataType::List)?.explode(
+                    &tmp,
+                    self.var.as_ref(),
+                    DataType::Bin,
+                )?;
                 Ok(Some(TupleFrame { df, vars: self.out.clone() }))
             }
         }
@@ -274,7 +277,12 @@ pub struct LetClauseIter {
 }
 
 impl LetClauseIter {
-    pub fn new(parent: Option<ClauseRef>, var: Arc<str>, expr: ExprRef, uses: Vec<Arc<str>>) -> Self {
+    pub fn new(
+        parent: Option<ClauseRef>,
+        var: Arc<str>,
+        expr: ExprRef,
+        uses: Vec<Arc<str>>,
+    ) -> Self {
         let out = vars_plus(parent.as_ref(), std::slice::from_ref(&var));
         LetClauseIter { parent, var, expr, uses, out }
     }
@@ -368,13 +376,14 @@ impl ClauseIterator for WhereClauseIter {
         let pred = Arc::clone(&self.predicate);
         let uses = self.uses.clone();
         let uses_strings: Vec<String> = uses.iter().map(|u| u.to_string()).collect();
-        let udf = DfExpr::udf("where", Some(uses_strings), move |schema: &Schema, row: &[Value]| {
-            let child = ctx_from_row(&base, schema, row, &uses);
-            match eval_ebv(&pred, &child) {
-                Ok(b) => Value::Bool(b),
-                Err(e) => task_bail(e),
-            }
-        });
+        let udf =
+            DfExpr::udf("where", Some(uses_strings), move |schema: &Schema, row: &[Value]| {
+                let child = ctx_from_row(&base, schema, row, &uses);
+                match eval_ebv(&pred, &child) {
+                    Ok(b) => Value::Bool(b),
+                    Err(e) => task_bail(e),
+                }
+            });
         let df = f.df.filter(udf)?;
         Ok(Some(TupleFrame { df, vars: f.vars }))
     }
@@ -582,18 +591,12 @@ impl ClauseIterator for GroupByClauseIter {
         // once, then the native cells are cheap extractions.
         let all_keys_udf = {
             let base = ctx.enter_executor();
-            let specs: Vec<(Option<ExprRef>, Arc<str>)> = self
-                .keys
-                .iter()
-                .map(|s| (s.expr.clone(), Arc::clone(&s.var)))
-                .collect();
+            let specs: Vec<(Option<ExprRef>, Arc<str>)> =
+                self.keys.iter().map(|s| (s.expr.clone(), Arc::clone(&s.var))).collect();
             let mut uses: Vec<Arc<str>> = Vec::new();
             for s in &self.keys {
-                let spec_uses = if s.expr.is_some() {
-                    s.uses.clone()
-                } else {
-                    vec![Arc::clone(&s.var)]
-                };
+                let spec_uses =
+                    if s.expr.is_some() { s.uses.clone() } else { vec![Arc::clone(&s.var)] };
                 for u in spec_uses {
                     if !uses.iter().any(|x| x == &u) {
                         uses.push(u);
@@ -660,7 +663,9 @@ impl ClauseIterator for GroupByClauseIter {
                     Some(vec![var.to_string()]),
                     move |schema: &Schema, row: &[Value]| {
                         let idx = schema.index_of(&var2).expect("variable column exists");
-                        let Value::Bin(b) = &row[idx] else { task_bail("variable column must be Bin") };
+                        let Value::Bin(b) = &row[idx] else {
+                            task_bail("variable column must be Bin")
+                        };
                         match decode_items(b) {
                             Ok(items) => Value::I64(items.len() as i64),
                             Err(e) => task_bail(e),
@@ -725,7 +730,11 @@ impl ClauseIterator for GroupByClauseIter {
                     }
                 },
             );
-            exprs.push(NamedExpr { name: spec.var.to_string(), expr: rebuild, dtype: DataType::Bin });
+            exprs.push(NamedExpr {
+                name: spec.var.to_string(),
+                expr: rebuild,
+                dtype: DataType::Bin,
+            });
         }
         for (var, usage) in &self.nongrouping {
             let agg_col = format!("__agg_{var}");
@@ -751,7 +760,11 @@ impl ClauseIterator for GroupByClauseIter {
                             bin_of(&items)
                         },
                     );
-                    exprs.push(NamedExpr { name: var.to_string(), expr: merge, dtype: DataType::Bin });
+                    exprs.push(NamedExpr {
+                        name: var.to_string(),
+                        expr: merge,
+                        dtype: DataType::Bin,
+                    });
                 }
                 NonGroupingUsage::CountOnly => {
                     let count = DfExpr::udf(
@@ -763,7 +776,11 @@ impl ClauseIterator for GroupByClauseIter {
                             bin_of(&[Item::Integer(n)])
                         },
                     );
-                    exprs.push(NamedExpr { name: var.to_string(), expr: count, dtype: DataType::Bin });
+                    exprs.push(NamedExpr {
+                        name: var.to_string(),
+                        expr: count,
+                        dtype: DataType::Bin,
+                    });
                 }
             }
         }
@@ -931,11 +948,8 @@ impl ClauseIterator for OrderByClauseIter {
         // are computed by ONE UDF (one row decode), then extracted.
         let all_ord_udf = {
             let base = ctx.enter_executor();
-            let specs: Vec<(ExprRef, bool)> = self
-                .specs
-                .iter()
-                .map(|sp| (Arc::clone(&sp.expr), sp.empty_greatest))
-                .collect();
+            let specs: Vec<(ExprRef, bool)> =
+                self.specs.iter().map(|sp| (Arc::clone(&sp.expr), sp.empty_greatest)).collect();
             let mut uses: Vec<Arc<str>> = Vec::new();
             for sp in &self.specs {
                 for u in &sp.uses {

@@ -43,12 +43,8 @@ impl Tuple {
     /// A copy with one binding added (replacing any previous binding of the
     /// same name — variable redeclaration, §4.5).
     pub fn extended(&self, name: Arc<str>, value: Sequence) -> Tuple {
-        let mut bindings: Vec<(Arc<str>, Sequence)> = self
-            .bindings
-            .iter()
-            .filter(|(n, _)| n.as_ref() != name.as_ref())
-            .cloned()
-            .collect();
+        let mut bindings: Vec<(Arc<str>, Sequence)> =
+            self.bindings.iter().filter(|(n, _)| n.as_ref() != name.as_ref()).cloned().collect();
         bindings.push((name, value));
         Tuple { bindings }
     }
@@ -151,10 +147,9 @@ impl FlworIter {
         let mut memo = self.frame_memo.lock();
         if let Some((id, cached)) = memo.as_ref() {
             if *id == ctx.id() {
-                return Ok(cached.as_ref().map(|f| TupleFrame {
-                    df: f.df.clone(),
-                    vars: f.vars.clone(),
-                }));
+                return Ok(cached
+                    .as_ref()
+                    .map(|f| TupleFrame { df: f.df.clone(), vars: f.vars.clone() }));
             }
         }
         let frame = self.last.frame(ctx)?;

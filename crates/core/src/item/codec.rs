@@ -111,7 +111,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn corrupt(&self) -> RumbleError {
-        RumbleError::dynamic(codes::BAD_INPUT, format!("corrupt item encoding at byte {}", self.pos))
+        RumbleError::dynamic(
+            codes::BAD_INPUT,
+            format!("corrupt item encoding at byte {}", self.pos),
+        )
     }
 
     fn byte(&mut self) -> Result<u8> {
@@ -232,7 +235,7 @@ mod tests {
             Item::Integer(i64::MIN),
             Item::Decimal("123.456".parse().unwrap()),
             Item::Decimal("-0.000001".parse().unwrap()),
-            Item::Double(2.718281828),
+            Item::Double(std::f64::consts::E),
             Item::Double(f64::NEG_INFINITY),
             Item::str(""),
             Item::str("héllo — 😀"),

@@ -343,7 +343,7 @@ mod tests {
     fn conversions() {
         assert_eq!(d("42").to_i64_exact(), Some(42));
         assert_eq!(d("42.5").to_i64_exact(), None);
-        assert!((d("3.14").to_f64() - 3.14).abs() < 1e-12);
+        assert!((d("3.25").to_f64() - 3.25).abs() < 1e-12);
         assert_eq!(Dec::from_i64(-7).to_string(), "-7");
     }
 

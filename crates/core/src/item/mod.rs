@@ -195,7 +195,11 @@ pub fn format_double(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v.is_infinite() {
-        if v > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if v > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else if v != 0.0 && (v.abs() >= 1e21 || v.abs() < 1e-6) {
         // Scientific notation for extreme magnitudes, like XQuery/JSONiq.
         format!("{v:e}")

@@ -9,7 +9,11 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 fn type_err2(op: &str, a: &Item, b: &Item) -> RumbleError {
-    RumbleError::type_err(format!("{op} is not defined for {} and {}", a.type_name(), b.type_name()))
+    RumbleError::type_err(format!(
+        "{op} is not defined for {} and {}",
+        a.type_name(),
+        b.type_name()
+    ))
 }
 
 /// Numeric promotion order: integer → decimal → double.
@@ -26,12 +30,8 @@ fn promote(op: &str, a: &Item, b: &Item) -> Result<NumPair> {
         (Integer(x), Decimal(y)) => NumPair::Dec(Dec::from_i64(*x), *y),
         (Decimal(x), Integer(y)) => NumPair::Dec(*x, Dec::from_i64(*y)),
         (Decimal(x), Decimal(y)) => NumPair::Dec(*x, *y),
-        (Double(x), other) => {
-            NumPair::Dbl(*x, other.as_f64().ok_or_else(|| type_err2(op, a, b))?)
-        }
-        (other, Double(y)) => {
-            NumPair::Dbl(other.as_f64().ok_or_else(|| type_err2(op, a, b))?, *y)
-        }
+        (Double(x), other) => NumPair::Dbl(*x, other.as_f64().ok_or_else(|| type_err2(op, a, b))?),
+        (other, Double(y)) => NumPair::Dbl(other.as_f64().ok_or_else(|| type_err2(op, a, b))?, *y),
         _ => return Err(type_err2(op, a, b)),
     })
 }
@@ -74,10 +74,9 @@ pub fn item_mul(a: &Item, b: &Item) -> Result<Item> {
 /// `div` — integer division yields a decimal, per JSONiq.
 pub fn item_div(a: &Item, b: &Item) -> Result<Item> {
     match promote("div", a, b)? {
-        NumPair::Int(x, y) => Dec::from_i64(x)
-            .checked_div(Dec::from_i64(y))
-            .map(Item::Decimal)
-            .ok_or_else(div_zero),
+        NumPair::Int(x, y) => {
+            Dec::from_i64(x).checked_div(Dec::from_i64(y)).map(Item::Decimal).ok_or_else(div_zero)
+        }
         NumPair::Dec(x, y) => x.checked_div(y).map(Item::Decimal).ok_or_else(div_zero),
         NumPair::Dbl(x, y) => Ok(Item::Double(x / y)), // IEEE semantics: ±INF/NaN
     }
@@ -130,10 +129,9 @@ pub fn item_neg(a: &Item) -> Result<Item> {
         Item::Integer(x) => x.checked_neg().map(Item::Integer).ok_or_else(|| overflow("-")),
         Item::Decimal(d) => Ok(Item::Decimal(d.neg())),
         Item::Double(x) => Ok(Item::Double(-x)),
-        other => Err(RumbleError::type_err(format!(
-            "unary - is not defined for {}",
-            other.type_name()
-        ))),
+        other => {
+            Err(RumbleError::type_err(format!("unary - is not defined for {}", other.type_name())))
+        }
     }
 }
 
@@ -457,10 +455,7 @@ mod tests {
     #[test]
     fn group_key_item_recovery() {
         assert_eq!(group_key(&[Item::Integer(7)]).unwrap().to_item(), Some(Item::Integer(7)));
-        assert_eq!(
-            group_key(&[Item::Double(1.5)]).unwrap().to_item(),
-            Some(Item::Double(1.5))
-        );
+        assert_eq!(group_key(&[Item::Double(1.5)]).unwrap().to_item(), Some(Item::Double(1.5)));
         assert_eq!(group_key(&[]).unwrap().to_item(), None);
     }
 }

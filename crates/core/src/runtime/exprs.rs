@@ -384,7 +384,6 @@ impl ExprIterator for CompareIter {
     }
 }
 
-
 pub struct ArithIter {
     pub left: ExprRef,
     pub op: ArithOp,
@@ -393,10 +392,9 @@ pub struct ArithIter {
 
 impl ExprIterator for ArithIter {
     fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
-        let (Some(a), Some(b)) = (
-            eval_opt(&self.left, ctx, "arithmetic")?,
-            eval_opt(&self.right, ctx, "arithmetic")?,
-        ) else {
+        let (Some(a), Some(b)) =
+            (eval_opt(&self.left, ctx, "arithmetic")?, eval_opt(&self.right, ctx, "arithmetic")?)
+        else {
             return Ok(cursor_empty());
         };
         let r = match self.op {
@@ -886,7 +884,9 @@ impl ExprIterator for JsonFileIter {
         let path = self.resolve_path(ctx)?;
         let (scheme, key) = sparklite::storage::resolve_scheme(&path);
         let text = match scheme {
-            sparklite::storage::PathScheme::SimHdfs => ctx.engine().sc.hdfs().read_to_string(key)?,
+            sparklite::storage::PathScheme::SimHdfs => {
+                ctx.engine().sc.hdfs().read_to_string(key)?
+            }
             sparklite::storage::PathScheme::LocalFs => std::fs::read_to_string(key)
                 .map_err(|e| RumbleError::dynamic(codes::BAD_INPUT, format!("{key}: {e}")))?,
         };
@@ -925,10 +925,9 @@ impl ExprIterator for ParallelizeIter {
             None => ctx.engine().sc.conf().default_parallelism,
             Some(p) => {
                 let v = eval_one(p, ctx, "parallelize partitions")?;
-                v.as_i64()
-                    .filter(|n| *n > 0)
-                    .ok_or_else(|| RumbleError::type_err("partition count must be a positive integer"))?
-                    as usize
+                v.as_i64().filter(|n| *n > 0).ok_or_else(|| {
+                    RumbleError::type_err("partition count must be a positive integer")
+                })? as usize
             }
         };
         Ok(ctx.engine().sc.parallelize(items, parts))
@@ -957,10 +956,8 @@ impl ExprIterator for CollectionIter {
         match self.source(ctx)? {
             CollectionSource::Items(items) => Ok(cursor_of(items.to_vec())),
             CollectionSource::Path(path) => {
-                let inner = JsonFileIter {
-                    path: Arc::new(LiteralIter(Item::str(path))),
-                    partitions: None,
-                };
+                let inner =
+                    JsonFileIter { path: Arc::new(LiteralIter(Item::str(path))), partitions: None };
                 if self.is_rdd(ctx) {
                     Ok(cursor_of(ExprIterator::materialize(&inner, ctx)?))
                 } else {
@@ -1035,9 +1032,7 @@ mod tests {
     #[test]
     fn predicates_filter_and_select_positionally() {
         let c = ctx();
-        let data: ExprRef = Arc::new(CommaIter(
-            (1..=5).map(|i| lit(Item::Integer(i))).collect(),
-        ));
+        let data: ExprRef = Arc::new(CommaIter((1..=5).map(|i| lit(Item::Integer(i))).collect()));
         // [$$ ge 3]
         let pred: ExprRef = Arc::new(CompareIter {
             left: Arc::new(ContextItemIter),
@@ -1083,10 +1078,8 @@ mod tests {
             });
             assert!(items(&looked, &c).is_empty());
 
-            let ns: ExprRef = Arc::new(ObjectLookupIter {
-                target,
-                key: KeySpec::Static(Arc::from("n")),
-            });
+            let ns: ExprRef =
+                Arc::new(ObjectLookupIter { target, key: KeySpec::Static(Arc::from("n")) });
             let got = items(&ns, &c);
             assert_eq!(got.len(), 100);
             assert_eq!(got[7], Item::Integer(7));
@@ -1163,8 +1156,7 @@ mod tests {
     #[test]
     fn quantified_short_circuits() {
         let c = ctx();
-        let source: ExprRef =
-            Arc::new(CommaIter((1..=4).map(|i| lit(Item::Integer(i))).collect()));
+        let source: ExprRef = Arc::new(CommaIter((1..=4).map(|i| lit(Item::Integer(i))).collect()));
         let var: Arc<str> = Arc::from("x");
         let gt3: ExprRef = Arc::new(CompareIter {
             left: Arc::new(VarRefIter(Arc::clone(&var))),
@@ -1177,11 +1169,8 @@ mod tests {
             satisfies: Arc::clone(&gt3),
         });
         assert_eq!(items(&some, &c), vec![Item::Boolean(true)]);
-        let every: ExprRef = Arc::new(QuantifiedIter {
-            every: true,
-            bindings: vec![(var, source)],
-            satisfies: gt3,
-        });
+        let every: ExprRef =
+            Arc::new(QuantifiedIter { every: true, bindings: vec![(var, source)], satisfies: gt3 });
         assert_eq!(items(&every, &c), vec![Item::Boolean(false)]);
     }
 }

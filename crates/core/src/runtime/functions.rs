@@ -6,7 +6,10 @@
 //! else evaluates through the local API.
 
 use super::exprs::materialize_one;
-use super::{cursor_empty, cursor_of, cursor_one, eval_opt, DynamicContext, ExprIterator, ExprRef, ItemCursor};
+use super::{
+    cursor_empty, cursor_of, cursor_one, eval_opt, DynamicContext, ExprIterator, ExprRef,
+    ItemCursor,
+};
 use crate::error::{codes, Result, RumbleError};
 use crate::item::{
     atomic_equal, deep_equal, effective_boolean_value, group_key, item_add, value_compare,
@@ -15,6 +18,75 @@ use crate::item::{
 use std::cmp::Ordering;
 use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
+
+/// A static cardinality interval `[lo, hi]` over sequence lengths
+/// (`hi = None` means unbounded). This is the lattice the static
+/// analyzer's sequence-type inference works over; builtins describe their
+/// result cardinality through [`Builtin::result_card`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticCard {
+    pub lo: usize,
+    pub hi: Option<usize>,
+}
+
+impl StaticCard {
+    pub const fn empty() -> StaticCard {
+        StaticCard { lo: 0, hi: Some(0) }
+    }
+
+    pub const fn one() -> StaticCard {
+        StaticCard { lo: 1, hi: Some(1) }
+    }
+
+    pub const fn zero_or_one() -> StaticCard {
+        StaticCard { lo: 0, hi: Some(1) }
+    }
+
+    pub const fn one_or_more() -> StaticCard {
+        StaticCard { lo: 1, hi: None }
+    }
+
+    pub const fn any() -> StaticCard {
+        StaticCard { lo: 0, hi: None }
+    }
+
+    /// Least upper bound: either branch of a conditional may be taken.
+    pub fn join(self, other: StaticCard) -> StaticCard {
+        StaticCard {
+            lo: self.lo.min(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Sequence concatenation: lengths add.
+    pub fn concat(self, other: StaticCard) -> StaticCard {
+        StaticCard {
+            lo: self.lo.saturating_add(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            },
+        }
+    }
+
+    /// The sequence is provably `()`.
+    pub fn is_statically_empty(&self) -> bool {
+        self.hi == Some(0)
+    }
+
+    /// The sequence provably has two or more items.
+    pub fn is_statically_many(&self) -> bool {
+        self.lo >= 2
+    }
+
+    /// The sequence provably has at least one item.
+    pub fn is_statically_nonempty(&self) -> bool {
+        self.lo >= 1
+    }
+}
 
 /// The builtin functions this engine implements, with their arity ranges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,16 +205,85 @@ impl Builtin {
         Some(b)
     }
 
+    /// Static result cardinality of a call, for the analyzer's
+    /// sequence-type inference (§5.3). Conservative: `any()` when the
+    /// result depends on the input in ways the analyzer does not model.
+    pub fn result_card(&self) -> StaticCard {
+        use Builtin::*;
+        match self {
+            // Aggregates and predicates always yield exactly one item
+            // (`sum` of the empty sequence is 0, `count` is 0, …).
+            Count | Sum | Empty | Exists | DeepEqual | ExactlyOne => StaticCard::one(),
+            StringFn | StringLength | NormalizeSpace | StringJoin | Concat => StaticCard::one(),
+            Substring | SubstringBefore | SubstringAfter | UpperCase | LowerCase => {
+                StaticCard::one()
+            }
+            Contains | StartsWith | EndsWith | Replace | SerializeFn => StaticCard::one(),
+            BooleanFn | Not | Size | Number | ParseJson | JsonDoc => StaticCard::one(),
+            // Empty-preserving single-item functions.
+            Avg | Min | Max | Head | ZeroOrOne => StaticCard::zero_or_one(),
+            Abs | Ceiling | Floor | Round => StaticCard::zero_or_one(),
+            OneOrMore => StaticCard::one_or_more(),
+            // Sequence-shaped results.
+            Tail | Subsequence | Reverse | DistinctValues | IndexOf | Tokenize | Keys | Values
+            | Members => StaticCard::any(),
+            // `error` never returns, but modelling that as empty would
+            // trigger spurious downstream warnings.
+            ErrorFn => StaticCard::any(),
+        }
+    }
+
     /// Every name the registry answers to (for diagnostics).
     pub fn is_known_name(name: &str) -> bool {
         const NAMES: &[&str] = &[
-            "count", "sum", "avg", "average", "min", "max", "empty", "exists", "head", "tail",
-            "subsequence", "reverse", "distinct-values", "index-of", "string-join", "concat",
-            "zero-or-one", "one-or-more", "exactly-one", "deep-equal", "abs", "ceiling", "floor",
-            "round", "number", "string", "string-length", "substring", "substring-before",
-            "substring-after", "upper-case", "lower-case", "contains", "starts-with", "ends-with",
-            "normalize-space", "tokenize", "replace", "serialize", "boolean", "not", "keys",
-            "values", "members", "size", "parse-json", "json-doc", "error",
+            "count",
+            "sum",
+            "avg",
+            "average",
+            "min",
+            "max",
+            "empty",
+            "exists",
+            "head",
+            "tail",
+            "subsequence",
+            "reverse",
+            "distinct-values",
+            "index-of",
+            "string-join",
+            "concat",
+            "zero-or-one",
+            "one-or-more",
+            "exactly-one",
+            "deep-equal",
+            "abs",
+            "ceiling",
+            "floor",
+            "round",
+            "number",
+            "string",
+            "string-length",
+            "substring",
+            "substring-before",
+            "substring-after",
+            "upper-case",
+            "lower-case",
+            "contains",
+            "starts-with",
+            "ends-with",
+            "normalize-space",
+            "tokenize",
+            "replace",
+            "serialize",
+            "boolean",
+            "not",
+            "keys",
+            "values",
+            "members",
+            "size",
+            "parse-json",
+            "json-doc",
+            "error",
         ];
         NAMES.contains(&name)
     }
@@ -215,12 +356,10 @@ impl ExprIterator for BuiltinCallIter {
             }
             Sum => {
                 let total = if args[0].is_rdd(ctx) {
-                    args[0]
-                        .rdd(ctx)?
-                        .reduce(|a, b| match item_add(&a, &b) {
-                            Ok(v) => v,
-                            Err(e) => sparklite::rdd::task_bail(e),
-                        })?
+                    args[0].rdd(ctx)?.reduce(|a, b| match item_add(&a, &b) {
+                        Ok(v) => v,
+                        Err(e) => sparklite::rdd::task_bail(e),
+                    })?
                 } else {
                     let items = args[0].materialize(ctx)?;
                     let mut acc: Option<Item> = None;
@@ -249,20 +388,17 @@ impl ExprIterator for BuiltinCallIter {
             Min | Max => {
                 let want_min = self.builtin == Min;
                 let best = if args[0].is_rdd(ctx) {
-                    
-                    args[0].rdd(ctx)?.reduce(move |a, b| {
-                        match value_compare(&a, &b) {
-                            Ok(o) => {
-                                if (want_min && o != Ordering::Greater)
-                                    || (!want_min && o != Ordering::Less)
-                                {
-                                    a
-                                } else {
-                                    b
-                                }
+                    args[0].rdd(ctx)?.reduce(move |a, b| match value_compare(&a, &b) {
+                        Ok(o) => {
+                            if (want_min && o != Ordering::Greater)
+                                || (!want_min && o != Ordering::Less)
+                            {
+                                a
+                            } else {
+                                b
                             }
-                            Err(e) => sparklite::rdd::task_bail(e),
                         }
+                        Err(e) => sparklite::rdd::task_bail(e),
                     })?
                 } else {
                     min_max(args[0].materialize(ctx)?, want_min)?
@@ -338,12 +474,11 @@ impl ExprIterator for BuiltinCallIter {
             }
             DistinctValues => {
                 if args[0].is_rdd(ctx) {
-                    let pairs = args[0].rdd(ctx)?.map(|i| {
-                        match group_key(std::slice::from_ref(&i)) {
+                    let pairs =
+                        args[0].rdd(ctx)?.map(|i| match group_key(std::slice::from_ref(&i)) {
                             Ok(k) => (k, i),
                             Err(e) => sparklite::rdd::task_bail(e),
-                        }
-                    });
+                        });
                     let parts = ctx.engine().sc.conf().default_parallelism;
                     let distinct = pairs.reduce_by_key(|a, _| a, parts).values();
                     return Ok(cursor_of(distinct.collect()?));
@@ -353,9 +488,7 @@ impl ExprIterator for BuiltinCallIter {
                 let mut out = Vec::new();
                 for i in items {
                     if !i.is_atomic() {
-                        return Err(RumbleError::type_err(
-                            "distinct-values operates on atomics",
-                        ));
+                        return Err(RumbleError::type_err("distinct-values operates on atomics"));
                     }
                     let k = group_key(std::slice::from_ref(&i))?;
                     if seen.insert(k) {
@@ -426,8 +559,8 @@ impl ExprIterator for BuiltinCallIter {
             DeepEqual => {
                 let a = args[0].materialize(ctx)?;
                 let b = args[1].materialize(ctx)?;
-                let eq = a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|(x, y)| deep_equal(x, y));
+                let eq =
+                    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| deep_equal(x, y));
                 Ok(cursor_one(Item::Boolean(eq)))
             }
             Abs => match numeric_arg(&args[0], ctx, "abs")? {
@@ -476,11 +609,12 @@ impl ExprIterator for BuiltinCallIter {
             Number => {
                 let v = match eval_opt(&args[0], ctx, "number")? {
                     None => f64::NAN,
-                    Some(i) => match super::types::cast_item(&i, crate::syntax::ast::AtomicType::Double)
-                    {
-                        Ok(Item::Double(v)) => v,
-                        _ => f64::NAN,
-                    },
+                    Some(i) => {
+                        match super::types::cast_item(&i, crate::syntax::ast::AtomicType::Double) {
+                            Ok(Item::Double(v)) => v,
+                            _ => f64::NAN,
+                        }
+                    }
                 };
                 Ok(cursor_one(Item::Double(v)))
             }
@@ -638,7 +772,10 @@ impl ExprIterator for BuiltinCallIter {
                 None => Ok(cursor_empty()),
                 Some(i) => {
                     let a = i.as_array().ok_or_else(|| {
-                        RumbleError::type_err(format!("size expects an array, got {}", i.type_name()))
+                        RumbleError::type_err(format!(
+                            "size expects an array, got {}",
+                            i.type_name()
+                        ))
                     })?;
                     Ok(cursor_one(Item::Integer(a.len() as i64)))
                 }
@@ -761,8 +898,10 @@ mod tests {
     #[test]
     fn aggregates_over_rdd_use_actions() {
         let c = ctx();
-        let source: ExprRef =
-            Arc::new(ParallelizeIter { child: ints(&(0..100).collect::<Vec<_>>()), partitions: None });
+        let source: ExprRef = Arc::new(ParallelizeIter {
+            child: ints(&(0..100).collect::<Vec<_>>()),
+            partitions: None,
+        });
         let count = call(Builtin::Count, vec![Arc::clone(&source)]);
         assert_eq!(count.materialize(&c).unwrap(), vec![Item::Integer(100)]);
         let jobs_before = c.engine().sc.metrics().jobs;
@@ -781,8 +920,14 @@ mod tests {
             run(&call(Builtin::Reverse, vec![ints(&[1, 2])])),
             vec![Item::Integer(2), Item::Integer(1)]
         );
-        assert_eq!(run(&call(Builtin::Exists, vec![Arc::new(EmptySeqIter)])), vec![Item::Boolean(false)]);
-        assert_eq!(run(&call(Builtin::Empty, vec![Arc::new(EmptySeqIter)])), vec![Item::Boolean(true)]);
+        assert_eq!(
+            run(&call(Builtin::Exists, vec![Arc::new(EmptySeqIter)])),
+            vec![Item::Boolean(false)]
+        );
+        assert_eq!(
+            run(&call(Builtin::Empty, vec![Arc::new(EmptySeqIter)])),
+            vec![Item::Boolean(true)]
+        );
         let sub = call(
             Builtin::Subsequence,
             vec![ints(&[10, 20, 30, 40, 50]), lit(Item::Integer(2)), lit(Item::Integer(3))],
@@ -825,17 +970,17 @@ mod tests {
             vec![Item::Boolean(true)]
         );
         assert_eq!(
-            run(&call(Builtin::Substring, vec![s("hello"), lit(Item::Integer(2)), lit(Item::Integer(3))])),
+            run(&call(
+                Builtin::Substring,
+                vec![s("hello"), lit(Item::Integer(2)), lit(Item::Integer(3))]
+            )),
             vec![Item::str("ell")]
         );
         assert_eq!(
             run(&call(Builtin::Tokenize, vec![s("a b  c")])),
             vec![Item::str("a"), Item::str("b"), Item::str("c")]
         );
-        assert_eq!(
-            run(&call(Builtin::Tokenize, vec![s("a,b,c"), s(",")])).len(),
-            3
-        );
+        assert_eq!(run(&call(Builtin::Tokenize, vec![s("a,b,c"), s(",")])).len(), 3);
         assert_eq!(
             run(&call(Builtin::Replace, vec![s("banana"), s("na"), s("NA")])),
             vec![Item::str("baNANA")]
@@ -877,7 +1022,9 @@ mod tests {
     fn cardinality_checks() {
         assert!(call(Builtin::ExactlyOne, vec![ints(&[1, 2])]).materialize(&ctx()).is_err());
         assert!(call(Builtin::ZeroOrOne, vec![ints(&[1, 2])]).materialize(&ctx()).is_err());
-        assert!(call(Builtin::OneOrMore, vec![Arc::new(EmptySeqIter)]).materialize(&ctx()).is_err());
+        assert!(call(Builtin::OneOrMore, vec![Arc::new(EmptySeqIter)])
+            .materialize(&ctx())
+            .is_err());
     }
 
     #[test]
@@ -895,7 +1042,10 @@ mod tests {
             run(&call(Builtin::Round, vec![lit(Item::Decimal("2.5".parse().unwrap()))])),
             vec![Item::Integer(3)][..].to_vec()
         );
-        assert_eq!(run(&call(Builtin::Floor, vec![lit(Item::Double(2.7))])), vec![Item::Double(2.0)]);
+        assert_eq!(
+            run(&call(Builtin::Floor, vec![lit(Item::Double(2.7))])),
+            vec![Item::Double(2.0)]
+        );
         assert_eq!(run(&call(Builtin::Abs, vec![lit(Item::Integer(-5))])), vec![Item::Integer(5)]);
     }
 

@@ -31,7 +31,9 @@ pub fn seq_matches(items: &[Item], st: &SequenceType) -> bool {
     };
     match st.occurrence {
         Occurrence::One => items.len() == 1 && item_matches(&items[0], item_type),
-        Occurrence::Optional => items.len() <= 1 && items.iter().all(|i| item_matches(i, item_type)),
+        Occurrence::Optional => {
+            items.len() <= 1 && items.iter().all(|i| item_matches(i, item_type))
+        }
         Occurrence::Star => items.iter().all(|i| item_matches(i, item_type)),
         Occurrence::Plus => !items.is_empty() && items.iter().all(|i| item_matches(i, item_type)),
     }
@@ -94,7 +96,9 @@ pub fn cast_item(item: &Item, target: AtomicType) -> Result<Item> {
         },
         Integer => match item {
             Item::Integer(v) => Ok(Item::Integer(*v)),
-            Item::Decimal(d) => d.trunc_i64().map(Item::Integer).ok_or_else(|| cast_fail(item, target)),
+            Item::Decimal(d) => {
+                d.trunc_i64().map(Item::Integer).ok_or_else(|| cast_fail(item, target))
+            }
             Item::Double(v) => {
                 if v.is_finite() && (i64::MIN as f64..=i64::MAX as f64).contains(&v.trunc()) {
                     Ok(Item::Integer(v.trunc() as i64))
@@ -114,7 +118,10 @@ pub fn cast_item(item: &Item, target: AtomicType) -> Result<Item> {
             Item::Double(v) => {
                 if v.is_finite() {
                     // Route through the shortest decimal text of the double.
-                    v.to_string().parse::<Dec>().map(Item::Decimal).map_err(|_| cast_fail(item, target))
+                    v.to_string()
+                        .parse::<Dec>()
+                        .map(Item::Decimal)
+                        .map_err(|_| cast_fail(item, target))
                 } else {
                     Err(cast_fail(item, target))
                 }
@@ -178,10 +185,16 @@ mod tests {
     #[test]
     fn casts() {
         assert_eq!(cast_item(&Item::str("42"), AtomicType::Integer).unwrap(), Item::Integer(42));
-        assert_eq!(cast_item(&Item::str(" 2.5 "), AtomicType::Decimal).unwrap().type_name(), "decimal");
+        assert_eq!(
+            cast_item(&Item::str(" 2.5 "), AtomicType::Decimal).unwrap().type_name(),
+            "decimal"
+        );
         assert_eq!(cast_item(&Item::Double(2.9), AtomicType::Integer).unwrap(), Item::Integer(2));
         assert_eq!(cast_item(&Item::Boolean(true), AtomicType::Integer).unwrap(), Item::Integer(1));
-        assert_eq!(cast_item(&Item::str("true"), AtomicType::Boolean).unwrap(), Item::Boolean(true));
+        assert_eq!(
+            cast_item(&Item::str("true"), AtomicType::Boolean).unwrap(),
+            Item::Boolean(true)
+        );
         assert_eq!(cast_item(&Item::Integer(5), AtomicType::String).unwrap(), Item::str("5"));
         assert_eq!(
             cast_item(&Item::str("INF"), AtomicType::Double).unwrap().as_f64().unwrap(),

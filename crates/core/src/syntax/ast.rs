@@ -1,5 +1,47 @@
 //! The abstract syntax tree the parser produces and the compiler consumes
 //! (the "tree of expressions and clauses" of §5.3).
+//!
+//! Every expression and binding carries a [`Span`] pointing back into the
+//! query text, so the static analyzer ([`crate::semantics`]) can report
+//! diagnostics with precise source positions.
+
+use std::fmt;
+
+/// A 1-based source position (line, column) in the query text.
+///
+/// The lexer records positions per token; the parser stamps each expression
+/// with the position of its first token. `Span::UNKNOWN` (0:0) marks nodes
+/// synthesized by rewrites rather than parsed from source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub line: usize,
+    pub column: usize,
+}
+
+impl Span {
+    /// Position for synthesized nodes with no source location.
+    pub const UNKNOWN: Span = Span { line: 0, column: 0 };
+
+    pub fn new(line: usize, column: usize) -> Span {
+        Span { line, column }
+    }
+
+    /// `true` for real (parsed) positions, `false` for [`Span::UNKNOWN`].
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+
+    /// The `(line, column)` pair [`crate::error::RumbleError`] carries.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        self.is_known().then_some((self.line, self.column))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
 
 /// A complete program: prolog declarations plus the main expression.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,8 +54,8 @@ pub struct Program {
 /// in the paper (§8); this engine implements them.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Decl {
-    Variable { name: String, expr: Expr },
-    Function { name: String, params: Vec<String>, body: Expr },
+    Variable { name: String, expr: Expr, span: Span },
+    Function { name: String, params: Vec<String>, body: Expr, span: Span },
 }
 
 /// Comparison operators: value comparisons operate on single atomics,
@@ -38,7 +80,12 @@ impl CompOp {
     pub fn is_general(&self) -> bool {
         matches!(
             self,
-            CompOp::GenEq | CompOp::GenNe | CompOp::GenLt | CompOp::GenLe | CompOp::GenGt | CompOp::GenGe
+            CompOp::GenEq
+                | CompOp::GenNe
+                | CompOp::GenLt
+                | CompOp::GenLe
+                | CompOp::GenGt
+                | CompOp::GenGe
         )
     }
 }
@@ -105,20 +152,31 @@ pub struct SequenceType {
 }
 
 /// FLWOR `for` binding: `for $x allowing empty? at $i? in Expr`.
+/// `span` points at the bound `$var` token.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ForBinding {
     pub var: String,
     pub allowing_empty: bool,
     pub positional: Option<String>,
     pub expr: Expr,
+    pub span: Span,
+}
+
+/// FLWOR `let` binding: `let $var := Expr`. `span` points at `$var`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetBinding {
+    pub var: String,
+    pub expr: Expr,
+    pub span: Span,
 }
 
 /// FLWOR `group by` key: `$k := Expr` or a bare `$k` (grouping by an
-/// already-bound variable).
+/// already-bound variable). `span` points at `$k`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GroupSpec {
     pub var: String,
     pub expr: Option<Expr>,
+    pub span: Span,
 }
 
 /// FLWOR `order by` key.
@@ -133,11 +191,11 @@ pub struct OrderSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Clause {
     For(Vec<ForBinding>),
-    Let(Vec<(String, Expr)>),
+    Let(Vec<LetBinding>),
     Where(Expr),
     GroupBy(Vec<GroupSpec>),
     OrderBy(Vec<OrderSpec>),
-    Count(String),
+    Count(String, Span),
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -185,8 +243,16 @@ pub enum ObjectKey {
     Expr(Expr),
 }
 
+/// An expression node: the expression proper ([`ExprKind`]) plus the source
+/// position of its first token.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
     /// Comma operator: sequence concatenation.
     Sequence(Vec<Expr>),
     Flwor(FlworExpr),
@@ -231,9 +297,19 @@ pub enum Expr {
     ContextItem,
     ObjectConstructor(Vec<(ObjectKey, Expr)>),
     ArrayConstructor(Option<Box<Expr>>),
-    FunctionCall { name: String, args: Vec<Expr> },
+    FunctionCall {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `()` — the empty sequence.
     Empty,
+}
+
+impl ExprKind {
+    /// Stamps the kind with a source position.
+    pub fn at(self, span: Span) -> Expr {
+        Expr { kind: self, span }
+    }
 }
 
 impl Expr {
@@ -242,7 +318,194 @@ impl Expr {
         if ops.is_empty() {
             self
         } else {
-            Expr::Postfix(Box::new(self), ops)
+            let span = self.span;
+            ExprKind::Postfix(Box::new(self), ops).at(span)
         }
+    }
+}
+
+/// Applies `f` to every direct child expression of `e` (shared by the
+/// compiler's rewrites and the static analyzer's passes).
+pub fn for_each_child(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    use ExprKind::*;
+    match &e.kind {
+        Literal(_) | Empty | VarRef(_) | ContextItem => {}
+        Sequence(items) => items.iter().for_each(&mut *f),
+        Or(a, b) | And(a, b) | StringConcat(a, b) | Range(a, b) | SimpleMap(a, b) => {
+            f(a);
+            f(b);
+        }
+        Compare(a, _, b) | Arith(a, _, b) => {
+            f(a);
+            f(b);
+        }
+        Not(a)
+        | UnaryMinus(a)
+        | InstanceOf(a, _)
+        | TreatAs(a, _)
+        | CastableAs(a, _, _)
+        | CastAs(a, _, _) => f(a),
+        If { cond, then, els } => {
+            f(cond);
+            f(then);
+            f(els);
+        }
+        Switch { input, cases, default } => {
+            f(input);
+            for (values, result) in cases {
+                values.iter().for_each(&mut *f);
+                f(result);
+            }
+            f(default);
+        }
+        TryCatch { body, handler, .. } => {
+            f(body);
+            f(handler);
+        }
+        Postfix(base, ops) => {
+            f(base);
+            for op in ops {
+                match op {
+                    PostfixOp::Predicate(p) => f(p),
+                    PostfixOp::Lookup(LookupKey::Expr(k)) => f(k),
+                    PostfixOp::ArrayLookup(i) => f(i),
+                    _ => {}
+                }
+            }
+        }
+        ObjectConstructor(pairs) => {
+            for (k, v) in pairs {
+                if let ObjectKey::Expr(ke) = k {
+                    f(ke);
+                }
+                f(v);
+            }
+        }
+        ArrayConstructor(inner) => {
+            if let Some(i) = inner {
+                f(i);
+            }
+        }
+        Quantified { bindings, satisfies, .. } => {
+            bindings.iter().for_each(|(_, src)| f(src));
+            f(satisfies);
+        }
+        FunctionCall { args, .. } => args.iter().for_each(&mut *f),
+        Flwor(fl) => {
+            for c in &fl.clauses {
+                match c {
+                    Clause::For(bs) => bs.iter().for_each(|b| f(&b.expr)),
+                    Clause::Let(bs) => bs.iter().for_each(|b| f(&b.expr)),
+                    Clause::Where(e) => f(e),
+                    Clause::GroupBy(specs) => {
+                        specs.iter().filter_map(|s| s.expr.as_ref()).for_each(&mut *f)
+                    }
+                    Clause::OrderBy(specs) => specs.iter().for_each(|s| f(&s.expr)),
+                    Clause::Count(..) => {}
+                }
+            }
+            f(&fl.return_expr);
+        }
+    }
+}
+
+/// Rebuilds an expression with every direct child mapped through `f`.
+/// Spans are preserved on every rebuilt node.
+pub fn map_children(e: &Expr, f: &dyn Fn(&Expr) -> Expr) -> Expr {
+    use ExprKind::*;
+    let b = |e: &Expr| Box::new(f(e));
+    let kind = match &e.kind {
+        Literal(_) | Empty | VarRef(_) | ContextItem => e.kind.clone(),
+        Sequence(items) => Sequence(items.iter().map(f).collect()),
+        Or(x, y) => Or(b(x), b(y)),
+        And(x, y) => And(b(x), b(y)),
+        StringConcat(x, y) => StringConcat(b(x), b(y)),
+        Range(x, y) => Range(b(x), b(y)),
+        SimpleMap(x, y) => SimpleMap(b(x), b(y)),
+        Compare(x, op, y) => Compare(b(x), *op, b(y)),
+        Arith(x, op, y) => Arith(b(x), *op, b(y)),
+        Not(x) => Not(b(x)),
+        UnaryMinus(x) => UnaryMinus(b(x)),
+        InstanceOf(x, t) => InstanceOf(b(x), t.clone()),
+        TreatAs(x, t) => TreatAs(b(x), t.clone()),
+        CastableAs(x, t, o) => CastableAs(b(x), *t, *o),
+        CastAs(x, t, o) => CastAs(b(x), *t, *o),
+        If { cond, then, els } => If { cond: b(cond), then: b(then), els: b(els) },
+        Switch { input, cases, default } => Switch {
+            input: b(input),
+            cases: cases
+                .iter()
+                .map(|(values, result)| (values.iter().map(f).collect(), f(result)))
+                .collect(),
+            default: b(default),
+        },
+        TryCatch { body, codes, handler } => {
+            TryCatch { body: b(body), codes: codes.clone(), handler: b(handler) }
+        }
+        Postfix(base, ops) => Postfix(
+            b(base),
+            ops.iter()
+                .map(|op| match op {
+                    PostfixOp::Predicate(p) => PostfixOp::Predicate(f(p)),
+                    PostfixOp::Lookup(LookupKey::Expr(k)) => {
+                        PostfixOp::Lookup(LookupKey::Expr(Box::new(f(k))))
+                    }
+                    PostfixOp::ArrayLookup(i) => PostfixOp::ArrayLookup(f(i)),
+                    other => other.clone(),
+                })
+                .collect(),
+        ),
+        ObjectConstructor(pairs) => ObjectConstructor(
+            pairs
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        match k {
+                            ObjectKey::Expr(ke) => ObjectKey::Expr(f(ke)),
+                            other => other.clone(),
+                        },
+                        f(v),
+                    )
+                })
+                .collect(),
+        ),
+        ArrayConstructor(inner) => ArrayConstructor(inner.as_deref().map(|i| Box::new(f(i)))),
+        Quantified { every, bindings, satisfies } => Quantified {
+            every: *every,
+            bindings: bindings.iter().map(|(v, src)| (v.clone(), f(src))).collect(),
+            satisfies: b(satisfies),
+        },
+        FunctionCall { name, args } => {
+            FunctionCall { name: name.clone(), args: args.iter().map(f).collect() }
+        }
+        Flwor(fl) => Flwor(FlworExpr {
+            clauses: fl
+                .clauses
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    map_clause_exprs(&mut c, f);
+                    c
+                })
+                .collect(),
+            return_expr: b(&fl.return_expr),
+        }),
+    };
+    kind.at(e.span)
+}
+
+/// Maps every expression embedded in a clause through `f`, in place.
+pub fn map_clause_exprs(c: &mut Clause, f: &dyn Fn(&Expr) -> Expr) {
+    match c {
+        Clause::For(bs) => bs.iter_mut().for_each(|b| b.expr = f(&b.expr)),
+        Clause::Let(bs) => bs.iter_mut().for_each(|b| b.expr = f(&b.expr)),
+        Clause::Where(e) => *e = f(e),
+        Clause::GroupBy(specs) => specs.iter_mut().for_each(|s| {
+            if let Some(e) = &s.expr {
+                s.expr = Some(f(e));
+            }
+        }),
+        Clause::OrderBy(specs) => specs.iter_mut().for_each(|s| s.expr = f(&s.expr)),
+        Clause::Count(..) => {}
     }
 }

@@ -24,33 +24,33 @@ pub enum TokenKind {
     Decimal(String),
     Double(f64),
     // Punctuation.
-    LBrace,      // {
-    RBrace,      // }
-    LBracket,    // [
-    RBracket,    // ]
-    LLBracket,   // [[
-    RRBracket,   // ]]
-    LParen,      // (
-    RParen,      // )
-    Comma,       // ,
-    Colon,       // :
-    Semicolon,   // ;
-    Dot,         // .
-    Bang,        // !
-    ConcatOp,    // ||
-    Pipe,        // |
-    Assign,      // :=
-    Eq,          // =
-    Ne,          // !=
-    Lt,          // <
-    Le,          // <=
-    Gt,          // >
-    Ge,          // >=
-    Plus,        // +
-    Minus,       // -
-    Star,        // *
-    Slash,       // / (not used by JSONiq core, reserved)
-    Question,    // ?
+    LBrace,    // {
+    RBrace,    // }
+    LBracket,  // [
+    RBracket,  // ]
+    LLBracket, // [[
+    RRBracket, // ]]
+    LParen,    // (
+    RParen,    // )
+    Comma,     // ,
+    Colon,     // :
+    Semicolon, // ;
+    Dot,       // .
+    Bang,      // !
+    ConcatOp,  // ||
+    Pipe,      // |
+    Assign,    // :=
+    Eq,        // =
+    Ne,        // !=
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    Slash,     // / (not used by JSONiq core, reserved)
+    Question,  // ?
 }
 
 /// A token with its 1-based source position.
@@ -141,9 +141,7 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         // Qualified name: `ns:local` with no spaces.
-        if self.peek() == Some(b':')
-            && self.peek2().is_some_and(is_name_start)
-        {
+        if self.peek() == Some(b':') && self.peek2().is_some_and(is_name_start) {
             self.bump();
             while self.peek().is_some_and(is_name_char) {
                 self.bump();
@@ -177,9 +175,7 @@ impl<'a> Lexer<'a> {
                                     .to_digit(16)
                                     .ok_or_else(|| self.err("bad \\u escape"))?;
                         }
-                        out.push(
-                            char::from_u32(v).ok_or_else(|| self.err("bad \\u code point"))?,
-                        );
+                        out.push(char::from_u32(v).ok_or_else(|| self.err("bad \\u code point"))?);
                     }
                     _ => return Err(self.err("bad string escape")),
                 },
@@ -425,12 +421,10 @@ mod tests {
     #[test]
     fn numbers() {
         use TokenKind::*;
-        assert_eq!(kinds("42 3.14 1e3 2.5E-2"), vec![
-            Integer(42),
-            Decimal("3.14".into()),
-            Double(1000.0),
-            Double(0.025),
-        ]);
+        assert_eq!(
+            kinds("42 3.14 1e3 2.5E-2"),
+            vec![Integer(42), Decimal("3.14".into()), Double(1000.0), Double(0.025),]
+        );
         // Integer too big for i64 lexes as a decimal.
         assert_eq!(kinds("99999999999999999999"), vec![Decimal("99999999999999999999".into())]);
         // `1.` is integer + dot (lookup), not a decimal.
@@ -440,13 +434,10 @@ mod tests {
     #[test]
     fn variables_and_context_item() {
         use TokenKind::*;
-        assert_eq!(kinds("$person $$ $$.cid"), vec![
-            Var("person".into()),
-            ContextItem,
-            ContextItem,
-            Dot,
-            Name("cid".into()),
-        ]);
+        assert_eq!(
+            kinds("$person $$ $$.cid"),
+            vec![Var("person".into()), ContextItem, ContextItem, Dot, Name("cid".into()),]
+        );
         assert!(tokenize("$ 1").is_err());
     }
 
@@ -460,38 +451,39 @@ mod tests {
 
     #[test]
     fn comments_nest() {
-        assert_eq!(kinds("1 (: outer (: inner :) still :) 2"), vec![
-            TokenKind::Integer(1),
-            TokenKind::Integer(2)
-        ]);
+        assert_eq!(
+            kinds("1 (: outer (: inner :) still :) 2"),
+            vec![TokenKind::Integer(1), TokenKind::Integer(2)]
+        );
         assert!(tokenize("(: unterminated").is_err());
     }
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\n\t\"x\" é é""#),
-            vec![TokenKind::Str("a\n\t\"x\" é é".into())]
-        );
+        assert_eq!(kinds(r#""a\n\t\"x\" é é""#), vec![TokenKind::Str("a\n\t\"x\" é é".into())]);
         assert!(tokenize("\"unterminated").is_err());
     }
 
     #[test]
     fn operators() {
         use TokenKind::*;
-        assert_eq!(kinds("= != < <= > >= || := ! ,"), vec![
-            Eq, Ne, Lt, Le, Gt, Ge, ConcatOp, Assign, Bang, Comma
-        ]);
+        assert_eq!(
+            kinds("= != < <= > >= || := ! ,"),
+            vec![Eq, Ne, Lt, Le, Gt, Ge, ConcatOp, Assign, Bang, Comma]
+        );
     }
 
     #[test]
     fn names_with_dashes_and_qualified() {
         use TokenKind::*;
-        assert_eq!(kinds("json-file local:fact distinct-values"), vec![
-            Name("json-file".into()),
-            Name("local:fact".into()),
-            Name("distinct-values".into()),
-        ]);
+        assert_eq!(
+            kinds("json-file local:fact distinct-values"),
+            vec![
+                Name("json-file".into()),
+                Name("local:fact".into()),
+                Name("distinct-values".into()),
+            ]
+        );
     }
 
     #[test]

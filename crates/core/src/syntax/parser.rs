@@ -3,6 +3,11 @@
 //! JSONiq keywords are contextual, so every keyword match is by token text
 //! with lookahead where the grammar needs it (`for $…` starts a FLWOR,
 //! `for(…)` would be a function call).
+//!
+//! Every produced [`Expr`] is stamped with the [`Span`] of its first token;
+//! binding constructs (`for`/`let`/`group by`/`count` variables and prolog
+//! declarations) carry the span of the bound variable, which is where the
+//! static analyzer anchors unused-binding diagnostics.
 
 use super::ast::*;
 use super::lexer::{tokenize, Token, TokenKind};
@@ -39,12 +44,16 @@ impl Parser {
         self.tokens.get(self.pos + off).map(|t| &t.kind)
     }
 
-    fn err_here(&self, msg: impl Into<String>) -> RumbleError {
-        let pos = self
-            .tokens
+    /// Span of the current token (or of the last token at end of input).
+    fn span_here(&self) -> Span {
+        self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|t| (t.line, t.column));
-        RumbleError::syntax(msg.into(), pos)
+            .map(|t| Span::new(t.line, t.column))
+            .unwrap_or(Span::UNKNOWN)
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> RumbleError {
+        RumbleError::syntax(msg.into(), self.span_here().position())
     }
 
     fn bump(&mut self) -> Option<TokenKind> {
@@ -117,12 +126,14 @@ impl Parser {
     fn declaration(&mut self) -> Result<Decl> {
         self.expect_keyword("declare")?;
         if self.eat_keyword("variable") {
+            let span = self.span_here();
             let name = self.var_name()?;
             self.expect(TokenKind::Assign, "':='")?;
             let expr = self.expr_single()?;
             self.expect(TokenKind::Semicolon, "';'")?;
-            Ok(Decl::Variable { name, expr })
+            Ok(Decl::Variable { name, expr, span })
         } else if self.eat_keyword("function") {
+            let span = self.span_here();
             let name = self.name()?;
             self.expect(TokenKind::LParen, "'('")?;
             let mut params = Vec::new();
@@ -139,7 +150,7 @@ impl Parser {
             let body = self.expr()?;
             self.expect(TokenKind::RBrace, "'}'")?;
             self.expect(TokenKind::Semicolon, "';'")?;
-            Ok(Decl::Function { name, params, body })
+            Ok(Decl::Function { name, params, body, span })
         } else {
             Err(self.err_here("expected 'variable' or 'function' after 'declare'"))
         }
@@ -153,11 +164,12 @@ impl Parser {
         if self.peek() != Some(&TokenKind::Comma) {
             return Ok(first);
         }
+        let span = first.span;
         let mut items = vec![first];
         while self.eat(&TokenKind::Comma) {
             items.push(self.expr_single()?);
         }
-        Ok(Expr::Sequence(items))
+        Ok(ExprKind::Sequence(items).at(span))
     }
 
     fn expr_single(&mut self) -> Result<Expr> {
@@ -185,12 +197,14 @@ impl Parser {
     }
 
     fn flwor(&mut self) -> Result<Expr> {
+        let flwor_span = self.span_here();
         let mut clauses = Vec::new();
         loop {
             if self.at_keyword("for") && matches!(self.peek_at(1), Some(TokenKind::Var(_))) {
                 self.pos += 1;
                 let mut bindings = Vec::new();
                 loop {
+                    let span = self.span_here();
                     let var = self.var_name()?;
                     let allowing_empty = if self.at_keyword("allowing") {
                         self.pos += 1;
@@ -199,29 +213,26 @@ impl Parser {
                     } else {
                         false
                     };
-                    let positional = if self.eat_keyword("at") {
-                        Some(self.var_name()?)
-                    } else {
-                        None
-                    };
+                    let positional =
+                        if self.eat_keyword("at") { Some(self.var_name()?) } else { None };
                     self.expect_keyword("in")?;
                     let expr = self.expr_single()?;
-                    bindings.push(ForBinding { var, allowing_empty, positional, expr });
+                    bindings.push(ForBinding { var, allowing_empty, positional, expr, span });
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
                     // A comma inside a for clause continues the bindings.
                 }
                 clauses.push(Clause::For(bindings));
-            } else if self.at_keyword("let") && matches!(self.peek_at(1), Some(TokenKind::Var(_)))
-            {
+            } else if self.at_keyword("let") && matches!(self.peek_at(1), Some(TokenKind::Var(_))) {
                 self.pos += 1;
                 let mut bindings = Vec::new();
                 loop {
+                    let span = self.span_here();
                     let var = self.var_name()?;
                     self.expect(TokenKind::Assign, "':='")?;
                     let expr = self.expr_single()?;
-                    bindings.push((var, expr));
+                    bindings.push(LetBinding { var, expr, span });
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
@@ -234,13 +245,11 @@ impl Parser {
                 self.pos += 2;
                 let mut specs = Vec::new();
                 loop {
+                    let span = self.span_here();
                     let var = self.var_name()?;
-                    let expr = if self.eat(&TokenKind::Assign) {
-                        Some(self.expr_single()?)
-                    } else {
-                        None
-                    };
-                    specs.push(GroupSpec { var, expr });
+                    let expr =
+                        if self.eat(&TokenKind::Assign) { Some(self.expr_single()?) } else { None };
+                    specs.push(GroupSpec { var, expr, span });
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
@@ -276,14 +285,15 @@ impl Parser {
             } else if self.at_keyword("count") && matches!(self.peek_at(1), Some(TokenKind::Var(_)))
             {
                 self.pos += 1;
-                clauses.push(Clause::Count(self.var_name()?));
+                let span = self.span_here();
+                clauses.push(Clause::Count(self.var_name()?, span));
             } else if self.at_keyword("return") {
                 self.pos += 1;
                 let return_expr = Box::new(self.expr_single()?);
                 if clauses.is_empty() {
                     return Err(self.err_here("FLWOR expression needs at least one clause"));
                 }
-                return Ok(Expr::Flwor(FlworExpr { clauses, return_expr }));
+                return Ok(ExprKind::Flwor(FlworExpr { clauses, return_expr }).at(flwor_span));
             } else {
                 return Err(self.err_here(format!(
                     "expected a FLWOR clause or 'return', found {:?}",
@@ -294,6 +304,7 @@ impl Parser {
     }
 
     fn quantified(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         let every = self.name()? == "every";
         let mut bindings = Vec::new();
         loop {
@@ -307,10 +318,11 @@ impl Parser {
         }
         self.expect_keyword("satisfies")?;
         let satisfies = Box::new(self.expr_single()?);
-        Ok(Expr::Quantified { every, bindings, satisfies })
+        Ok(ExprKind::Quantified { every, bindings, satisfies }.at(span))
     }
 
     fn if_expr(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         self.expect_keyword("if")?;
         self.expect(TokenKind::LParen, "'('")?;
         let cond = Box::new(self.expr()?);
@@ -319,10 +331,11 @@ impl Parser {
         let then = Box::new(self.expr_single()?);
         self.expect_keyword("else")?;
         let els = Box::new(self.expr_single()?);
-        Ok(Expr::If { cond, then, els })
+        Ok(ExprKind::If { cond, then, els }.at(span))
     }
 
     fn switch_expr(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         self.expect_keyword("switch")?;
         self.expect(TokenKind::LParen, "'('")?;
         let input = Box::new(self.expr()?);
@@ -343,10 +356,11 @@ impl Parser {
         self.expect_keyword("default")?;
         self.expect_keyword("return")?;
         let default = Box::new(self.expr_single()?);
-        Ok(Expr::Switch { input, cases, default })
+        Ok(ExprKind::Switch { input, cases, default }.at(span))
     }
 
     fn try_catch(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         self.expect_keyword("try")?;
         self.expect(TokenKind::LBrace, "'{'")?;
         let body = Box::new(self.expr()?);
@@ -364,7 +378,7 @@ impl Parser {
         self.expect(TokenKind::LBrace, "'{'")?;
         let handler = Box::new(self.expr()?);
         self.expect(TokenKind::RBrace, "'}'")?;
-        Ok(Expr::TryCatch { body, codes, handler })
+        Ok(ExprKind::TryCatch { body, codes, handler }.at(span))
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
@@ -372,7 +386,8 @@ impl Parser {
         while self.at_keyword("or") {
             self.pos += 1;
             let right = self.and_expr()?;
-            left = Expr::Or(Box::new(left), Box::new(right));
+            let span = left.span;
+            left = ExprKind::Or(Box::new(left), Box::new(right)).at(span);
         }
         Ok(left)
     }
@@ -382,7 +397,8 @@ impl Parser {
         while self.at_keyword("and") {
             self.pos += 1;
             let right = self.not_expr()?;
-            left = Expr::And(Box::new(left), Box::new(right));
+            let span = left.span;
+            left = ExprKind::And(Box::new(left), Box::new(right)).at(span);
         }
         Ok(left)
     }
@@ -393,8 +409,9 @@ impl Parser {
         // have identical semantics, so treating the keyword form uniformly
         // is fine.
         if self.at_keyword("not") && self.peek_at(1) != Some(&TokenKind::LParen) {
+            let span = self.span_here();
             self.pos += 1;
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            Ok(ExprKind::Not(Box::new(self.not_expr()?)).at(span))
         } else {
             self.comparison_expr()
         }
@@ -425,7 +442,8 @@ impl Parser {
             Some(op) => {
                 self.pos += 1;
                 let right = self.string_concat_expr()?;
-                Ok(Expr::Compare(Box::new(left), op, Box::new(right)))
+                let span = left.span;
+                Ok(ExprKind::Compare(Box::new(left), op, Box::new(right)).at(span))
             }
         }
     }
@@ -434,7 +452,8 @@ impl Parser {
         let mut left = self.range_expr()?;
         while self.eat(&TokenKind::ConcatOp) {
             let right = self.range_expr()?;
-            left = Expr::StringConcat(Box::new(left), Box::new(right));
+            let span = left.span;
+            left = ExprKind::StringConcat(Box::new(left), Box::new(right)).at(span);
         }
         Ok(left)
     }
@@ -444,7 +463,8 @@ impl Parser {
         if self.at_keyword("to") {
             self.pos += 1;
             let right = self.additive_expr()?;
-            Ok(Expr::Range(Box::new(left), Box::new(right)))
+            let span = left.span;
+            Ok(ExprKind::Range(Box::new(left), Box::new(right)).at(span))
         } else {
             Ok(left)
         }
@@ -460,7 +480,8 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.multiplicative_expr()?;
-            left = Expr::Arith(Box::new(left), op, Box::new(right));
+            let span = left.span;
+            left = ExprKind::Arith(Box::new(left), op, Box::new(right)).at(span);
         }
         Ok(left)
     }
@@ -477,7 +498,8 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.instance_of_expr()?;
-            left = Expr::Arith(Box::new(left), op, Box::new(right));
+            let span = left.span;
+            left = ExprKind::Arith(Box::new(left), op, Box::new(right)).at(span);
         }
         Ok(left)
     }
@@ -487,7 +509,8 @@ impl Parser {
         if self.at_keyword("instance") && self.at_keyword_at(1, "of") {
             self.pos += 2;
             let st = self.sequence_type()?;
-            Ok(Expr::InstanceOf(Box::new(left), st))
+            let span = left.span;
+            Ok(ExprKind::InstanceOf(Box::new(left), st).at(span))
         } else {
             Ok(left)
         }
@@ -498,7 +521,8 @@ impl Parser {
         if self.at_keyword("treat") && self.at_keyword_at(1, "as") {
             self.pos += 2;
             let st = self.sequence_type()?;
-            Ok(Expr::TreatAs(Box::new(left), st))
+            let span = left.span;
+            Ok(ExprKind::TreatAs(Box::new(left), st).at(span))
         } else {
             Ok(left)
         }
@@ -509,7 +533,8 @@ impl Parser {
         if self.at_keyword("castable") && self.at_keyword_at(1, "as") {
             self.pos += 2;
             let (t, opt) = self.atomic_type()?;
-            Ok(Expr::CastableAs(Box::new(left), t, opt))
+            let span = left.span;
+            Ok(ExprKind::CastableAs(Box::new(left), t, opt).at(span))
         } else {
             Ok(left)
         }
@@ -520,13 +545,15 @@ impl Parser {
         if self.at_keyword("cast") && self.at_keyword_at(1, "as") {
             self.pos += 2;
             let (t, opt) = self.atomic_type()?;
-            Ok(Expr::CastAs(Box::new(left), t, opt))
+            let span = left.span;
+            Ok(ExprKind::CastAs(Box::new(left), t, opt).at(span))
         } else {
             Ok(left)
         }
     }
 
     fn unary_expr(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         let mut negate = false;
         loop {
             if self.eat(&TokenKind::Minus) {
@@ -538,14 +565,15 @@ impl Parser {
             }
         }
         let inner = self.simple_map_expr()?;
-        Ok(if negate { Expr::UnaryMinus(Box::new(inner)) } else { inner })
+        Ok(if negate { ExprKind::UnaryMinus(Box::new(inner)).at(span) } else { inner })
     }
 
     fn simple_map_expr(&mut self) -> Result<Expr> {
         let mut left = self.postfix_expr()?;
         while self.eat(&TokenKind::Bang) {
             let right = self.postfix_expr()?;
-            left = Expr::SimpleMap(Box::new(left), Box::new(right));
+            let span = left.span;
+            left = ExprKind::SimpleMap(Box::new(left), Box::new(right)).at(span);
         }
         Ok(left)
     }
@@ -557,19 +585,22 @@ impl Parser {
             match self.peek() {
                 Some(TokenKind::Dot) => {
                     self.pos += 1;
+                    let key_span = self.span_here();
                     let key = match self.bump() {
                         Some(TokenKind::Name(n)) => LookupKey::Name(n),
                         Some(TokenKind::Str(s)) => LookupKey::Name(s),
-                        Some(TokenKind::Var(v)) => LookupKey::Expr(Box::new(Expr::VarRef(v))),
+                        Some(TokenKind::Var(v)) => {
+                            LookupKey::Expr(Box::new(ExprKind::VarRef(v).at(key_span)))
+                        }
                         Some(TokenKind::LParen) => {
                             let e = self.expr()?;
                             self.expect(TokenKind::RParen, "')'")?;
                             LookupKey::Expr(Box::new(e))
                         }
                         other => {
-                            return Err(self.err_here(format!(
-                                "expected a key after '.', found {other:?}"
-                            )))
+                            return Err(
+                                self.err_here(format!("expected a key after '.', found {other:?}"))
+                            )
                         }
                     };
                     ops.push(PostfixOp::Lookup(key));
@@ -597,35 +628,36 @@ impl Parser {
     }
 
     fn primary_expr(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         match self.peek().cloned() {
             Some(TokenKind::Integer(v)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Literal::Integer(v)))
+                Ok(ExprKind::Literal(Literal::Integer(v)).at(span))
             }
             Some(TokenKind::Decimal(raw)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Literal::Decimal(raw)))
+                Ok(ExprKind::Literal(Literal::Decimal(raw)).at(span))
             }
             Some(TokenKind::Double(v)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Literal::Double(v)))
+                Ok(ExprKind::Literal(Literal::Double(v)).at(span))
             }
             Some(TokenKind::Str(s)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Literal::Str(s)))
+                Ok(ExprKind::Literal(Literal::Str(s)).at(span))
             }
             Some(TokenKind::Var(v)) => {
                 self.pos += 1;
-                Ok(Expr::VarRef(v))
+                Ok(ExprKind::VarRef(v).at(span))
             }
             Some(TokenKind::ContextItem) => {
                 self.pos += 1;
-                Ok(Expr::ContextItem)
+                Ok(ExprKind::ContextItem.at(span))
             }
             Some(TokenKind::LParen) => {
                 self.pos += 1;
                 if self.eat(&TokenKind::RParen) {
-                    return Ok(Expr::Empty);
+                    return Ok(ExprKind::Empty.at(span));
                 }
                 let e = self.expr()?;
                 self.expect(TokenKind::RParen, "')'")?;
@@ -634,26 +666,26 @@ impl Parser {
             Some(TokenKind::LBracket) => {
                 self.pos += 1;
                 if self.eat(&TokenKind::RBracket) {
-                    return Ok(Expr::ArrayConstructor(None));
+                    return Ok(ExprKind::ArrayConstructor(None).at(span));
                 }
                 let e = self.expr()?;
                 self.expect(TokenKind::RBracket, "']'")?;
-                Ok(Expr::ArrayConstructor(Some(Box::new(e))))
+                Ok(ExprKind::ArrayConstructor(Some(Box::new(e))).at(span))
             }
             Some(TokenKind::LBrace) => self.object_constructor(),
             Some(TokenKind::Name(n)) => {
                 match n.as_str() {
                     "true" => {
                         self.pos += 1;
-                        return Ok(Expr::Literal(Literal::Boolean(true)));
+                        return Ok(ExprKind::Literal(Literal::Boolean(true)).at(span));
                     }
                     "false" => {
                         self.pos += 1;
-                        return Ok(Expr::Literal(Literal::Boolean(false)));
+                        return Ok(ExprKind::Literal(Literal::Boolean(false)).at(span));
                     }
                     "null" => {
                         self.pos += 1;
-                        return Ok(Expr::Literal(Literal::Null));
+                        return Ok(ExprKind::Literal(Literal::Null).at(span));
                     }
                     _ => {}
                 }
@@ -669,7 +701,7 @@ impl Parser {
                         }
                         self.expect(TokenKind::RParen, "')'")?;
                     }
-                    Ok(Expr::FunctionCall { name: n, args })
+                    Ok(ExprKind::FunctionCall { name: n, args }.at(span))
                 } else {
                     Err(self.err_here(format!(
                         "unexpected name '{n}' — a bare name is not an expression"
@@ -681,10 +713,11 @@ impl Parser {
     }
 
     fn object_constructor(&mut self) -> Result<Expr> {
+        let span = self.span_here();
         self.expect(TokenKind::LBrace, "'{'")?;
         let mut pairs = Vec::new();
         if self.eat(&TokenKind::RBrace) {
-            return Ok(Expr::ObjectConstructor(pairs));
+            return Ok(ExprKind::ObjectConstructor(pairs).at(span));
         }
         loop {
             // NCName / string shortcuts when directly followed by ':'.
@@ -710,7 +743,7 @@ impl Parser {
             }
         }
         self.expect(TokenKind::RBrace, "'}'")?;
-        Ok(Expr::ObjectConstructor(pairs))
+        Ok(ExprKind::ObjectConstructor(pairs).at(span))
     }
 
     // ---- types ----
@@ -744,8 +777,7 @@ impl Parser {
     fn item_type(&mut self) -> Result<ItemTypeAst> {
         let n = self.name()?;
         // Optional XQuery-style parentheses: `item()`, `object()`.
-        if self.peek() == Some(&TokenKind::LParen) && self.peek_at(1) == Some(&TokenKind::RParen)
-        {
+        if self.peek() == Some(&TokenKind::LParen) && self.peek_at(1) == Some(&TokenKind::RParen) {
             self.pos += 2;
         }
         Ok(match n.as_str() {
@@ -784,19 +816,19 @@ mod tests {
         parse_program(src).unwrap_or_else(|e| panic!("parse of {src:?} failed: {e}"))
     }
 
-    fn body(src: &str) -> Expr {
-        parse(src).body
+    fn body(src: &str) -> ExprKind {
+        parse(src).body.kind
     }
 
     #[test]
     fn literals_and_sequences() {
-        assert_eq!(body("42"), Expr::Literal(Literal::Integer(42)));
-        assert_eq!(body("()"), Expr::Empty);
-        assert!(matches!(body("(1, 2, 3)"), Expr::Sequence(v) if v.len() == 3));
-        assert_eq!(body("\"hi\""), Expr::Literal(Literal::Str("hi".into())));
-        assert_eq!(body("3.14"), Expr::Literal(Literal::Decimal("3.14".into())));
-        assert_eq!(body("true"), Expr::Literal(Literal::Boolean(true)));
-        assert_eq!(body("null"), Expr::Literal(Literal::Null));
+        assert_eq!(body("42"), ExprKind::Literal(Literal::Integer(42)));
+        assert_eq!(body("()"), ExprKind::Empty);
+        assert!(matches!(body("(1, 2, 3)"), ExprKind::Sequence(v) if v.len() == 3));
+        assert_eq!(body("\"hi\""), ExprKind::Literal(Literal::Str("hi".into())));
+        assert_eq!(body("3.14"), ExprKind::Literal(Literal::Decimal("3.14".into())));
+        assert_eq!(body("true"), ExprKind::Literal(Literal::Boolean(true)));
+        assert_eq!(body("null"), ExprKind::Literal(Literal::Null));
     }
 
     #[test]
@@ -811,7 +843,7 @@ mod tests {
                where $c ge 10
                return $i"#,
         );
-        let Expr::Flwor(f) = p.body else { panic!("expected FLWOR") };
+        let ExprKind::Flwor(f) = p.body.kind else { panic!("expected FLWOR") };
         assert_eq!(f.clauses.len(), 5);
         assert!(matches!(&f.clauses[0], Clause::For(b) if b.len() == 1));
         assert!(matches!(&f.clauses[1], Clause::Where(_)));
@@ -819,7 +851,7 @@ mod tests {
         assert_eq!(specs.len(), 3);
         assert!(!specs[0].descending);
         assert!(specs[1].descending);
-        assert!(matches!(&f.clauses[3], Clause::Count(c) if c == "c"));
+        assert!(matches!(&f.clauses[3], Clause::Count(c, _) if c == "c"));
     }
 
     #[test]
@@ -834,11 +866,11 @@ mod tests {
                  count: count($o)
                }"#,
         );
-        let Expr::Flwor(f) = p.body else { panic!() };
+        let ExprKind::Flwor(f) = p.body.kind else { panic!() };
         let Clause::GroupBy(specs) = &f.clauses[1] else { panic!() };
         assert_eq!(specs.len(), 2);
         assert!(specs[0].expr.is_some());
-        let Expr::ObjectConstructor(pairs) = f.return_expr.as_ref() else { panic!() };
+        let ExprKind::ObjectConstructor(pairs) = &f.return_expr.kind else { panic!() };
         assert_eq!(pairs.len(), 3);
         assert!(matches!(&pairs[0].0, ObjectKey::Name(n) if n == "country"));
     }
@@ -847,17 +879,20 @@ mod tests {
     fn group_by_key_expression_shape() {
         // ($o.country[], $o.country, "USA")[1] — sequence, unbox, predicate.
         let e = body(r#"($o.country[], $o.country, "USA")[1]"#);
-        let Expr::Postfix(base, ops) = e else { panic!("expected postfix") };
-        assert!(matches!(*base, Expr::Sequence(_)));
+        let ExprKind::Postfix(base, ops) = e else { panic!("expected postfix") };
+        assert!(matches!(base.kind, ExprKind::Sequence(_)));
         assert_eq!(ops.len(), 1);
-        assert!(matches!(&ops[0], PostfixOp::Predicate(Expr::Literal(Literal::Integer(1)))));
+        assert!(matches!(
+            &ops[0],
+            PostfixOp::Predicate(p) if p.kind == ExprKind::Literal(Literal::Integer(1))
+        ));
     }
 
     #[test]
     fn navigation_chain() {
         let e = body(r#"json-file("input.json").foo[].bar[$$.foobar eq "a"]"#);
-        let Expr::Postfix(base, ops) = e else { panic!() };
-        assert!(matches!(*base, Expr::FunctionCall { .. }));
+        let ExprKind::Postfix(base, ops) = e else { panic!() };
+        assert!(matches!(base.kind, ExprKind::FunctionCall { .. }));
         assert!(matches!(ops[0], PostfixOp::Lookup(LookupKey::Name(ref n)) if n == "foo"));
         assert!(matches!(ops[1], PostfixOp::ArrayUnbox));
         assert!(matches!(ops[2], PostfixOp::Lookup(LookupKey::Name(ref n)) if n == "bar"));
@@ -867,7 +902,7 @@ mod tests {
     #[test]
     fn array_lookup_and_quoted_keys() {
         let e = body(r#"$a[[1+1]]."strange key""#);
-        let Expr::Postfix(_, ops) = e else { panic!() };
+        let ExprKind::Postfix(_, ops) = e else { panic!() };
         assert!(matches!(ops[0], PostfixOp::ArrayLookup(_)));
         assert!(matches!(ops[1], PostfixOp::Lookup(LookupKey::Name(ref n)) if n == "strange key"));
     }
@@ -876,55 +911,62 @@ mod tests {
     fn operator_precedence() {
         // 1 + 2 * 3 eq 7 → Compare(Arith(1, +, Arith(2, *, 3)), eq, 7)
         let e = body("1 + 2 * 3 eq 7");
-        let Expr::Compare(l, CompOp::ValueEq, _) = e else { panic!() };
-        let Expr::Arith(_, ArithOp::Add, r) = *l else { panic!() };
-        assert!(matches!(*r, Expr::Arith(_, ArithOp::Mul, _)));
+        let ExprKind::Compare(l, CompOp::ValueEq, _) = e else { panic!() };
+        let ExprKind::Arith(_, ArithOp::Add, r) = l.kind else { panic!() };
+        assert!(matches!(r.kind, ExprKind::Arith(_, ArithOp::Mul, _)));
 
         // or binds looser than and.
         let e = body("true and false or true");
-        assert!(matches!(e, Expr::Or(_, _)));
+        assert!(matches!(e, ExprKind::Or(_, _)));
 
         // to binds looser than +.
         let e = body("1 to 2 + 3");
-        assert!(matches!(e, Expr::Range(_, _)));
+        assert!(matches!(e, ExprKind::Range(_, _)));
 
         // || binds looser than to? No: concat is above range. "a" || "b"
         let e = body(r#""a" || "b" || "c""#);
-        assert!(matches!(e, Expr::StringConcat(_, _)));
+        assert!(matches!(e, ExprKind::StringConcat(_, _)));
     }
 
     #[test]
     fn control_flow_expressions() {
-        assert!(matches!(body("if (1) then 2 else 3"), Expr::If { .. }));
-        let e = body(
-            r#"switch ($x) case "a" case "b" return 1 case "c" return 2 default return 0"#,
-        );
-        let Expr::Switch { cases, .. } = e else { panic!() };
+        assert!(matches!(body("if (1) then 2 else 3"), ExprKind::If { .. }));
+        let e =
+            body(r#"switch ($x) case "a" case "b" return 1 case "c" return 2 default return 0"#);
+        let ExprKind::Switch { cases, .. } = e else { panic!() };
         assert_eq!(cases.len(), 2);
         assert_eq!(cases[0].0.len(), 2);
 
         let e = body(r#"try { 1 div 0 } catch * { "oops" }"#);
-        assert!(matches!(e, Expr::TryCatch { ref codes, .. } if codes.is_empty()));
+        assert!(matches!(e, ExprKind::TryCatch { ref codes, .. } if codes.is_empty()));
         let e = body(r#"try { 1 } catch FOAR0001 | XPTY0004 { 2 }"#);
-        assert!(matches!(e, Expr::TryCatch { ref codes, .. } if codes.len() == 2));
+        assert!(matches!(e, ExprKind::TryCatch { ref codes, .. } if codes.len() == 2));
     }
 
     #[test]
     fn quantified_expressions() {
         let e = body("some $x in (1, 2, 3) satisfies $x gt 2");
-        assert!(matches!(e, Expr::Quantified { every: false, .. }));
+        assert!(matches!(e, ExprKind::Quantified { every: false, .. }));
         let e = body("every $o in $orders, $i in $o.items satisfies $i.pid gt 0");
-        let Expr::Quantified { every: true, bindings, .. } = e else { panic!() };
+        let ExprKind::Quantified { every: true, bindings, .. } = e else { panic!() };
         assert_eq!(bindings.len(), 2);
     }
 
     #[test]
     fn types_and_casts() {
-        assert!(matches!(body("$x instance of integer+"), Expr::InstanceOf(_, _)));
-        assert!(matches!(body("$x instance of empty-sequence()"), Expr::InstanceOf(_, st) if st.item.is_none()));
-        assert!(matches!(body("$x cast as integer"), Expr::CastAs(_, AtomicType::Integer, false)));
-        assert!(matches!(body("$x castable as double?"), Expr::CastableAs(_, AtomicType::Double, true)));
-        assert!(matches!(body("$x treat as item()*"), Expr::TreatAs(_, _)));
+        assert!(matches!(body("$x instance of integer+"), ExprKind::InstanceOf(_, _)));
+        assert!(
+            matches!(body("$x instance of empty-sequence()"), ExprKind::InstanceOf(_, st) if st.item.is_none())
+        );
+        assert!(matches!(
+            body("$x cast as integer"),
+            ExprKind::CastAs(_, AtomicType::Integer, false)
+        ));
+        assert!(matches!(
+            body("$x castable as double?"),
+            ExprKind::CastableAs(_, AtomicType::Double, true)
+        ));
+        assert!(matches!(body("$x treat as item()*"), ExprKind::TreatAs(_, _)));
         assert!(parse_program("$x cast as object").is_err());
     }
 
@@ -944,16 +986,16 @@ mod tests {
 
     #[test]
     fn simple_map_and_not() {
-        assert!(matches!(body("(1, 2) ! ($$ * 2)"), Expr::SimpleMap(_, _)));
-        assert!(matches!(body("not true"), Expr::Not(_)));
+        assert!(matches!(body("(1, 2) ! ($$ * 2)"), ExprKind::SimpleMap(_, _)));
+        assert!(matches!(body("not true"), ExprKind::Not(_)));
         // `not(...)` still parses (as a function call).
-        assert!(matches!(body("not(true)"), Expr::FunctionCall { .. }));
+        assert!(matches!(body("not(true)"), ExprKind::FunctionCall { .. }));
     }
 
     #[test]
     fn multiple_for_bindings_and_positional() {
         let p = parse("for $x at $i in (1,2), $y in (3,4) return [$i, $x, $y]");
-        let Expr::Flwor(f) = p.body else { panic!() };
+        let ExprKind::Flwor(f) = p.body.kind else { panic!() };
         let Clause::For(bs) = &f.clauses[0] else { panic!() };
         assert_eq!(bs.len(), 2);
         assert_eq!(bs[0].positional.as_deref(), Some("i"));
@@ -974,6 +1016,18 @@ mod tests {
             let e = parse_program(bad).unwrap_err();
             assert_eq!(e.code, "XPST0003", "expected syntax error for {bad:?}");
         }
+    }
+
+    #[test]
+    fn spans_point_at_first_tokens() {
+        let p = parse("let $a := 1\nreturn $a + $missing");
+        assert_eq!(p.body.span, Span::new(1, 1));
+        let ExprKind::Flwor(f) = p.body.kind else { panic!() };
+        let Clause::Let(bs) = &f.clauses[0] else { panic!() };
+        assert_eq!(bs[0].span, Span::new(1, 5), "let binding span is the $var token");
+        let ExprKind::Arith(l, _, r) = &f.return_expr.kind else { panic!() };
+        assert_eq!(l.span, Span::new(2, 8));
+        assert_eq!(r.span, Span::new(2, 13));
     }
 
     #[test]

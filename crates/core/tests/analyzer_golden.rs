@@ -1,0 +1,150 @@
+//! Golden tests for the static analyzer: every diagnostic code the
+//! analyzer can emit, with its exact source span, asserted from the public
+//! `analyze()` entry point (string in, diagnostics out).
+
+use rumble_core::analyze;
+use rumble_core::semantics::{lints, Diagnostic, Severity};
+use rumble_core::syntax::ast::Span;
+
+fn only(query: &str) -> Diagnostic {
+    let ds = analyze(query);
+    assert_eq!(ds.len(), 1, "expected exactly one diagnostic for {query:?}, got {ds:?}");
+    ds.into_iter().next().unwrap()
+}
+
+#[test]
+fn golden_xpst0003_syntax_error() {
+    let d = only("for $x in");
+    assert_eq!(d.code, "XPST0003");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.span.is_known(), "syntax errors carry a position: {d:?}");
+}
+
+#[test]
+fn golden_xpst0008_undefined_variable() {
+    let d = only("1 + $nope");
+    assert_eq!(d.code, "XPST0008");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span, Span::new(1, 5));
+    assert_eq!(d.message, "undefined variable $nope");
+}
+
+#[test]
+fn golden_xpst0017_undefined_function() {
+    let d = only("mystery(1, 2)");
+    assert_eq!(d.code, "XPST0017");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span, Span::new(1, 1));
+    assert_eq!(d.message, "unknown function mystery#2");
+}
+
+#[test]
+fn golden_rblw0001_unused_binding() {
+    let d = only("let $unused := 1 return 42");
+    assert_eq!(d.code, lints::UNUSED_BINDING);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span, Span::new(1, 5));
+    assert_eq!(d.message, "let binding $unused is never used");
+}
+
+#[test]
+fn golden_rblw0002_unreachable_branch() {
+    let d = only("if (true) then 1 else 2");
+    assert_eq!(d.code, lints::UNREACHABLE_BRANCH);
+    assert_eq!(d.severity, Severity::Warning);
+    // The span points at the dead branch, not the condition.
+    assert_eq!(d.span, Span::new(1, 23));
+    assert!(d.message.contains("else branch"), "{d:?}");
+}
+
+#[test]
+fn golden_rblw0003_constant_predicate() {
+    let d = only("for $x in (1,2) where false return $x");
+    assert_eq!(d.code, lints::CONSTANT_PREDICATE);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span, Span::new(1, 23));
+    assert!(d.message.contains("always false"), "{d:?}");
+}
+
+#[test]
+fn golden_rblw0004_materialization_boundary() {
+    let d = only("let $x := parallelize(1 to 3) return count($x)");
+    assert_eq!(d.code, lints::MATERIALIZATION_BOUNDARY);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span, Span::new(1, 5));
+    assert!(d.message.contains("materializes a parallel sequence"), "{d:?}");
+    assert!(d.help.as_deref().unwrap_or("").contains("10M"), "{d:?}");
+}
+
+#[test]
+fn golden_rblw0005_key_encoding_fallback() {
+    let d = only("for $x in (1,2) order by {\"k\": $x} return $x");
+    assert_eq!(d.code, lints::KEY_ENCODING_FALLBACK);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span, Span::new(1, 26));
+    assert!(d.message.contains("object"), "{d:?}");
+    assert!(d.help.as_deref().unwrap_or("").contains("4.7"), "{d:?}");
+}
+
+#[test]
+fn golden_rblw0006_cardinality_violation() {
+    let d = only("exactly-one(())");
+    assert_eq!(d.code, lints::CARDINALITY_VIOLATION);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span, Span::new(1, 13));
+    assert!(d.help.as_deref().unwrap_or("").contains("FORG0005"), "{d:?}");
+}
+
+/// One `analyze()` call reports errors and warnings together — the
+/// acceptance scenario: undefined variable + undefined function + unused
+/// binding + materialization boundary + key-encoding fallback, all from a
+/// single program, ordered by source position.
+#[test]
+fn golden_one_pass_reports_everything() {
+    let query = "\
+let $dead := parallelize(1 to 3)
+for $x in (1, 2)
+group by $k := {\"v\": $x}
+return mystery($k) + $oops";
+    let ds = analyze(query);
+    let got: Vec<(&str, usize, usize)> =
+        ds.iter().map(|d| (d.code, d.span.line, d.span.column)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (lints::UNUSED_BINDING, 1, 5),           // $dead is never used…
+            (lints::MATERIALIZATION_BOUNDARY, 1, 5), // …and binds a parallel sequence
+            (lints::KEY_ENCODING_FALLBACK, 3, 16),   // object-valued group key
+            ("XPST0017", 4, 8),                      // unknown function mystery#1
+            ("XPST0008", 4, 22),                     // undefined variable $oops
+        ],
+        "diagnostics: {ds:#?}"
+    );
+    // Errors and warnings coexist in one report.
+    assert!(ds.iter().any(|d| d.severity == Severity::Error));
+    assert!(ds.iter().any(|d| d.severity == Severity::Warning));
+}
+
+/// Every emitted code has an `--explain` entry.
+#[test]
+fn golden_every_emitted_code_is_documented() {
+    for query in [
+        "for $x in",
+        "1 + $nope",
+        "mystery(1, 2)",
+        "let $unused := 1 return 42",
+        "if (true) then 1 else 2",
+        "for $x in (1,2) where false return $x",
+        "let $x := parallelize(1 to 3) return count($x)",
+        "for $x in (1,2) order by {\"k\": $x} return $x",
+        "exactly-one(())",
+    ] {
+        for d in analyze(query) {
+            assert!(
+                rumble_core::semantics::explain(d.code).is_some(),
+                "diagnostic {} from {query:?} has no --explain documentation",
+                d.code
+            );
+        }
+    }
+}

@@ -79,7 +79,7 @@ fn objects_and_arrays() {
     assert_eq!(run(r#"keys({"x": 1, "y": 2})"#), r#""x", "y""#);
     assert_eq!(run(r#"size([7, 8, 9])"#), "3");
     assert_eq!(run(r#"{ "k" || "ey": 1 }"#), r#"{"key":1}"#); // computed key
-    // Lookup on non-objects vanishes rather than failing (messy data!).
+                                                              // Lookup on non-objects vanishes rather than failing (messy data!).
     assert_eq!(run(r#"(1, {"a": 2}, "x").a"#), "2");
 }
 
@@ -104,7 +104,7 @@ fn general_vs_value_comparison() {
     assert_eq!(run("(1, 2, 3) = (7, 8)"), "false");
     assert_eq!(run("() = ()"), "false");
     assert_eq!(run("() eq 1"), ""); // value comparison with empty → empty
-    // Incompatible types are simply unequal for (in)equality…
+                                    // Incompatible types are simply unequal for (in)equality…
     assert_eq!(run(r#"1 eq "1""#), "false");
     assert_eq!(run(r#"1 ne "1""#), "true");
     // …but an error for ordering.
@@ -119,27 +119,23 @@ fn flwor_basics() {
     assert_eq!(run("for $x in (1,2,3) return $x * 2"), "2, 4, 6");
     assert_eq!(run("for $x in (1,2,3) where $x ge 2 return $x"), "2, 3");
     assert_eq!(run("let $x := (1,2,3) return count($x)"), "3");
-    assert_eq!(
-        run("for $x in (1,2), $y in (10,20) return $x + $y"),
-        "11, 21, 12, 22"
-    );
+    assert_eq!(run("for $x in (1,2), $y in (10,20) return $x + $y"), "11, 21, 12, 22");
     assert_eq!(run("for $x in (3,1,2) order by $x return $x"), "1, 2, 3");
     assert_eq!(run("for $x in (3,1,2) order by $x descending return $x"), "3, 2, 1");
     assert_eq!(run("for $x in (\"b\",\"a\") count $c return $c"), "1, 2");
     // let sees earlier bindings; redeclaration shadows.
     assert_eq!(run("for $x in (1,2) let $x := $x * 10 return $x"), "10, 20");
     // where between lets.
-    assert_eq!(
-        run("for $x in (1,2,3,4) let $y := $x * $x where $y gt 4 return $y"),
-        "9, 16"
-    );
+    assert_eq!(run("for $x in (1,2,3,4) let $y := $x * $x where $y gt 4 return $y"), "9, 16");
 }
 
 #[test]
 fn flwor_group_by_semantics() {
     // Non-grouping variables become sequences.
     assert_eq!(
-        run(r#"for $x in (1,2,3,4) group by $k := $x mod 2 order by $k return [ $k, count($x), sum($x) ]"#),
+        run(
+            r#"for $x in (1,2,3,4) group by $k := $x mod 2 order by $k return [ $k, count($x), sum($x) ]"#
+        ),
         "[0,2,6], [1,2,4]"
     );
     // Heterogeneous keys group without error (§4.7): 1 and 1.0 unify.
@@ -159,10 +155,7 @@ fn flwor_group_by_semantics() {
         "[5], []"
     );
     // Grouping by an already-bound variable (no :=).
-    assert_eq!(
-        run(r#"for $x in (1,2,1) let $k := $x group by $k order by $k return $k"#),
-        "1, 2"
-    );
+    assert_eq!(run(r#"for $x in (1,2,1) let $k := $x group by $k order by $k return $k"#), "1, 2");
 }
 
 #[test]
@@ -173,13 +166,12 @@ fn flwor_order_by_semantics() {
         "[], [null], [2]"
     );
     assert_eq!(
-        run(r#"for $o in ({"k": 2}, {}, {"k": null}) order by $o.k empty greatest return [ $o.k ]"#),
+        run(
+            r#"for $o in ({"k": 2}, {}, {"k": null}) order by $o.k empty greatest return [ $o.k ]"#
+        ),
         "[null], [2], []"
     );
-    fails_with(
-        r#"for $o in ({"k": 1}, {"k": "a"}) order by $o.k return $o"#,
-        "XPTY0004",
-    );
+    fails_with(r#"for $o in ({"k": 1}, {"k": "a"}) order by $o.k return $o"#, "XPTY0004");
     // Stable multi-key ordering.
     assert_eq!(
         run(r#"for $o in ({"a": 1, "b": "y"}, {"a": 1, "b": "x"}, {"a": 0, "b": "z"})
@@ -192,14 +184,8 @@ fn flwor_order_by_semantics() {
 #[test]
 fn control_flow() {
     assert_eq!(run("if (1 lt 2) then \"y\" else \"n\""), "\"y\"");
-    assert_eq!(
-        run(r#"switch ("b") case "a" return 1 case "b" return 2 default return 0"#),
-        "2"
-    );
-    assert_eq!(
-        run(r#"switch (99) case "a" case "b" return 1 default return 42"#),
-        "42"
-    );
+    assert_eq!(run(r#"switch ("b") case "a" return 1 case "b" return 2 default return 0"#), "2");
+    assert_eq!(run(r#"switch (99) case "a" case "b" return 1 default return 42"#), "42");
     assert_eq!(run(r#"try { error("X", "boom") } catch * { "saved" }"#), "\"saved\"");
     assert_eq!(run(r#"try { 1 + "a" } catch XPTY0004 { "typed" }"#), "\"typed\"");
 }

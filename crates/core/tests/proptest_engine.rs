@@ -61,6 +61,53 @@ proptest! {
     ) {
         let _ = rumble_core::compiler::compile_query(&src);
     }
+
+    /// The analyzer and the compiler agree on static validity: a program
+    /// compiles iff `analyze` reports no errors (warnings never block).
+    #[test]
+    fn analyze_errors_match_compilation(
+        src in "(for|let|return|\\$x|\\$\\$|where|group by|order by|[0-9]|\"a\"|\\{|\\}|\\(|\\)|\\[|\\]|,|\\.|:=| ){0,40}"
+    ) {
+        let has_errors = rumble_core::analyze(&src).iter().any(|d| d.is_error());
+        let compiled = rumble_core::compiler::compile_query(&src);
+        prop_assert_eq!(
+            has_errors,
+            compiled.is_err(),
+            "analyze and compile disagree on {:?}",
+            src
+        );
+    }
+
+    /// Programs that pass analysis with no errors never raise the static
+    /// error codes (undefined variable/function) at runtime — the analyzer
+    /// resolves the same scopes the evaluator walks.
+    #[test]
+    fn analyze_clean_programs_never_raise_static_codes(
+        def in "[xyz]",
+        used in "[wxyz]",
+        f in prop_oneof![Just("count"), Just("sum"), Just("exists"), Just("mystery")],
+        n in 1i64..5,
+        shape in 0usize..5,
+    ) {
+        let q = match shape {
+            0 => format!("let ${def} := {n} return ${used} + 1"),
+            1 => format!("for ${def} in (1 to {n}) return ${used} * 2"),
+            2 => format!("let ${def} := {n} return {f}((${used}, 1))"),
+            3 => format!("for ${def} in (1 to {n}) where ${used} gt 1 return ${def}"),
+            _ => format!("declare variable ${def} := {n}; {f}((${used}, ${def}))"),
+        };
+        let clean = !rumble_core::analyze(&q).iter().any(|d| d.is_error());
+        if clean {
+            let r = Rumble::default_local();
+            if let Err(e) = r.run(&q) {
+                prop_assert!(
+                    e.code != "XPST0008" && e.code != "XPST0017",
+                    "analyze-clean program {:?} raised {} at runtime: {}",
+                    q, e.code, e.message
+                );
+            }
+        }
+    }
 }
 
 proptest! {

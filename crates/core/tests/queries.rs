@@ -167,14 +167,13 @@ fn figure_5_messy_data_keeps_types() {
     let types = r
         .run(r#"for $o in json-file("hdfs:///messy.json") return $o.bar instance of array"#)
         .unwrap();
-    assert_eq!(
-        types,
-        vec![Item::Boolean(false), Item::Boolean(true), Item::Boolean(false)]
-    );
+    assert_eq!(types, vec![Item::Boolean(false), Item::Boolean(true), Item::Boolean(false)]);
     // The defaulting idiom of Figure 7 works on messy fields.
     let coalesced = r
-        .run(r#"for $o in json-file("hdfs:///messy.json")
-                return ($o.bar[], $o.bar, "none")[1]"#)
+        .run(
+            r#"for $o in json-file("hdfs:///messy.json")
+                return ($o.bar[], $o.bar, "none")[1]"#,
+        )
         .unwrap();
     assert_eq!(coalesced.len(), 3);
     assert_eq!(coalesced[1], Item::Integer(4));
@@ -314,23 +313,17 @@ fn try_catch_and_error_codes() {
 fn positional_for_variables() {
     // Listed as unsupported in the paper (§4.4) — implemented here.
     let r = engine();
-    let out = r
-        .run(r#"for $x at $i in ("a", "b", "c") return { pos: $i, val: $x }"#)
-        .unwrap();
+    let out = r.run(r#"for $x at $i in ("a", "b", "c") return { pos: $i, val: $x }"#).unwrap();
     assert_eq!(out[2].as_object().unwrap().get("pos").unwrap().as_i64(), Some(3));
     // Positional on a distributed initial for.
-    let out = r
-        .run(r#"for $x at $i in parallelize(10 to 19) where $i le 3 return $x"#)
-        .unwrap();
+    let out = r.run(r#"for $x at $i in parallelize(10 to 19) where $i le 3 return $x"#).unwrap();
     assert_eq!(out, vec![Item::Integer(10), Item::Integer(11), Item::Integer(12)]);
 }
 
 #[test]
 fn allowing_empty() {
     let r = engine();
-    let out = r
-        .run(r#"for $x allowing empty in () return count($x)"#)
-        .unwrap();
+    let out = r.run(r#"for $x allowing empty in () return count($x)"#).unwrap();
     assert_eq!(out, vec![Item::Integer(0)]);
 }
 
@@ -457,10 +450,7 @@ fn local_file_roundtrip() {
     std::fs::write(&input, "{\"v\": 1}\n{\"v\": 2}\n{\"v\": 3}\n").unwrap();
     let r = engine();
     let q = r
-        .compile(&format!(
-            "for $i in json-file(\"{}\") where $i.v ge 2 return $i",
-            input.display()
-        ))
+        .compile(&format!("for $i in json-file(\"{}\") where $i.v ge 2 return $i", input.display()))
         .unwrap();
     let out_path = dir.join("out.json");
     let n = q.write_json_lines(out_path.to_str().unwrap()).unwrap();

@@ -19,17 +19,52 @@ use std::fmt::Write;
 
 /// The language pool (the real game has 78; the queries only need "many").
 pub const LANGUAGES: &[&str] = &[
-    "French", "German", "Danish", "Swedish", "Norwegian", "Dutch", "Italian", "Spanish",
-    "Portuguese", "Polish", "Czech", "Slovak", "Hungarian", "Romanian", "Bulgarian", "Greek",
-    "Turkish", "Arabic", "Hebrew", "Hindi", "Bengali", "Tamil", "Thai", "Vietnamese", "Khmer",
-    "Mandarin", "Cantonese", "Japanese", "Korean", "Finnish", "Estonian", "Latvian", "Lithuanian",
-    "Russian", "Ukrainian", "Serbian", "Croatian", "Albanian", "Macedonian", "Slovenian",
+    "French",
+    "German",
+    "Danish",
+    "Swedish",
+    "Norwegian",
+    "Dutch",
+    "Italian",
+    "Spanish",
+    "Portuguese",
+    "Polish",
+    "Czech",
+    "Slovak",
+    "Hungarian",
+    "Romanian",
+    "Bulgarian",
+    "Greek",
+    "Turkish",
+    "Arabic",
+    "Hebrew",
+    "Hindi",
+    "Bengali",
+    "Tamil",
+    "Thai",
+    "Vietnamese",
+    "Khmer",
+    "Mandarin",
+    "Cantonese",
+    "Japanese",
+    "Korean",
+    "Finnish",
+    "Estonian",
+    "Latvian",
+    "Lithuanian",
+    "Russian",
+    "Ukrainian",
+    "Serbian",
+    "Croatian",
+    "Albanian",
+    "Macedonian",
+    "Slovenian",
 ];
 
 /// Country codes with a long-tailed popularity.
 pub const COUNTRIES: &[&str] = &[
-    "US", "AU", "GB", "DE", "CA", "NL", "SE", "FR", "NZ", "CH", "NO", "DK", "FI", "BR", "PL",
-    "ES", "IT", "RU", "JP", "IN", "MX", "AR", "CL", "ZA", "SG",
+    "US", "AU", "GB", "DE", "CA", "NL", "SE", "FR", "NZ", "CH", "NO", "DK", "FI", "BR", "PL", "ES",
+    "IT", "RU", "JP", "IN", "MX", "AR", "CL", "ZA", "SG",
 ];
 
 /// Picks an index with a Zipf-ish (1/(k+1)) weight over `n` choices.
@@ -45,11 +80,8 @@ fn zipfish(rng: &mut StdRng, n: usize) -> usize {
 pub fn write_object(out: &mut String, rng: &mut StdRng) {
     let target = LANGUAGES[zipfish(rng, LANGUAGES.len())];
     // 50% correct guesses; wrong guesses cluster on similar languages.
-    let guess = if rng.gen_bool(0.5) {
-        target
-    } else {
-        LANGUAGES[rng.gen_range(0..LANGUAGES.len())]
-    };
+    let guess =
+        if rng.gen_bool(0.5) { target } else { LANGUAGES[rng.gen_range(0..LANGUAGES.len())] };
     let country = COUNTRIES[zipfish(rng, COUNTRIES.len())];
     // Four choices, always containing the target.
     let mut choices = vec![target];
@@ -129,8 +161,9 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         for (_, line) in jsonlite::JsonLines::new(&text) {
             let v = jsonlite::parse_value(line).unwrap();
-            *counts.entry(v.get("target").unwrap().as_str().unwrap().to_string()).or_insert(0u32) +=
-                1;
+            *counts
+                .entry(v.get("target").unwrap().as_str().unwrap().to_string())
+                .or_insert(0u32) += 1;
         }
         let max = counts.values().max().copied().unwrap();
         let min = counts.values().min().copied().unwrap_or(0);

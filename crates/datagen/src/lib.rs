@@ -16,10 +16,7 @@ use sparklite::SparkliteContext;
 /// Writes `lines` (JSON Lines text) into the context's simulated HDFS at
 /// `path`, replacing any previous file.
 pub fn put_dataset(sc: &SparkliteContext, path: &str, lines: &str) -> sparklite::Result<()> {
-    let key = path
-        .strip_prefix("hdfs://")
-        .or_else(|| path.strip_prefix("s3://"))
-        .unwrap_or(path);
+    let key = path.strip_prefix("hdfs://").or_else(|| path.strip_prefix("s3://")).unwrap_or(path);
     sc.hdfs().delete(key);
     sc.hdfs().put_text(key, lines)
 }

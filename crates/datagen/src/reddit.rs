@@ -12,8 +12,21 @@ use rand::{Rng, SeedableRng};
 use std::fmt::Write;
 
 pub const SUBREDDITS: &[&str] = &[
-    "askreddit", "programming", "science", "worldnews", "gaming", "movies", "music", "books",
-    "history", "space", "datasets", "rust", "linux", "cooking", "fitness",
+    "askreddit",
+    "programming",
+    "science",
+    "worldnews",
+    "gaming",
+    "movies",
+    "music",
+    "books",
+    "history",
+    "space",
+    "datasets",
+    "rust",
+    "linux",
+    "cooking",
+    "fitness",
 ];
 
 const WORDS: &[&str] = &[

@@ -82,9 +82,7 @@ impl fmt::Display for JsonError {
             JsonErrorKind::BadUtf8 => "invalid UTF-8".to_string(),
             JsonErrorKind::TooDeep => "nesting too deep".to_string(),
             JsonErrorKind::TrailingContent => "trailing content after value".to_string(),
-            JsonErrorKind::Sink => {
-                self.message.clone().unwrap_or_else(|| "sink error".to_string())
-            }
+            JsonErrorKind::Sink => self.message.clone().unwrap_or_else(|| "sink error".to_string()),
         };
         write!(f, "JSON parse error at line {}, column {}: {what}", self.line, self.column)
     }

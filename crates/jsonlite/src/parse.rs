@@ -55,7 +55,11 @@ pub fn parse<S: JsonSink>(input: &str, sink: &mut S) -> Result<()> {
 }
 
 /// [`parse`] with explicit [`ParseLimits`].
-pub fn parse_with_limits<S: JsonSink>(input: &str, sink: &mut S, limits: ParseLimits) -> Result<()> {
+pub fn parse_with_limits<S: JsonSink>(
+    input: &str,
+    sink: &mut S,
+    limits: ParseLimits,
+) -> Result<()> {
     let mut p = Parser { bytes: input.as_bytes(), input, pos: 0, limits, scratch: String::new() };
     p.skip_ws();
     p.value(sink, 0)?;
@@ -284,7 +288,11 @@ impl<'a> Parser<'a> {
 
     /// The cursor is just past a backslash; decodes one escape into `out`.
     fn unescape_into(&mut self, out: &mut String) -> Result<()> {
-        let b = self.bytes.get(self.pos).copied().ok_or_else(|| self.err(JsonErrorKind::UnexpectedEof))?;
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err(JsonErrorKind::UnexpectedEof))?;
         self.pos += 1;
         match b {
             b'"' => out.push('"'),
@@ -328,7 +336,11 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bytes.get(self.pos).copied().ok_or_else(|| self.err(JsonErrorKind::UnexpectedEof))?;
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| self.err(JsonErrorKind::UnexpectedEof))?;
             let d = match b {
                 b'0'..=b'9' => (b - b'0') as u32,
                 b'a'..=b'f' => (b - b'a' + 10) as u32,

@@ -41,7 +41,6 @@ pub fn write_escaped_str(out: &mut String, s: &str) {
 /// cannot express — serialize to `null`, matching common engine behaviour.
 pub fn format_f64(v: f64) -> String {
     if v.is_finite() {
-        
         v.to_string()
     } else {
         "null".to_string()

@@ -47,7 +47,11 @@ pub enum Expr {
     IsNull(Box<Expr>),
     /// An opaque row function. `uses` lists the columns it reads; `None`
     /// means "unknown — assume all", which blocks pushdown/pruning past it.
-    Udf { name: String, f: Arc<UdfFn>, uses: Option<Vec<String>> },
+    Udf {
+        name: String,
+        f: Arc<UdfFn>,
+        uses: Option<Vec<String>>,
+    },
 }
 
 impl std::fmt::Debug for Expr {
@@ -147,10 +151,18 @@ impl Expr {
         match self {
             Expr::Col(c) => lookup(c).unwrap_or_else(|| self.clone()),
             Expr::Lit(_) | Expr::Udf { .. } => self.clone(),
-            Expr::Cmp(a, op, b) => Expr::Cmp(Box::new(a.substitute(lookup)), *op, Box::new(b.substitute(lookup))),
-            Expr::Num(a, op, b) => Expr::Num(Box::new(a.substitute(lookup)), *op, Box::new(b.substitute(lookup))),
-            Expr::And(a, b) => Expr::And(Box::new(a.substitute(lookup)), Box::new(b.substitute(lookup))),
-            Expr::Or(a, b) => Expr::Or(Box::new(a.substitute(lookup)), Box::new(b.substitute(lookup))),
+            Expr::Cmp(a, op, b) => {
+                Expr::Cmp(Box::new(a.substitute(lookup)), *op, Box::new(b.substitute(lookup)))
+            }
+            Expr::Num(a, op, b) => {
+                Expr::Num(Box::new(a.substitute(lookup)), *op, Box::new(b.substitute(lookup)))
+            }
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.substitute(lookup)), Box::new(b.substitute(lookup)))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(a.substitute(lookup)), Box::new(b.substitute(lookup)))
+            }
             Expr::Not(a) => Expr::Not(Box::new(a.substitute(lookup))),
             Expr::IsNull(a) => Expr::IsNull(Box::new(a.substitute(lookup))),
         }

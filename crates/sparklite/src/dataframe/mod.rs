@@ -265,7 +265,12 @@ impl DataFrame {
 
     /// Extended projection: keeps every existing column and appends one
     /// computed column (the paper's `SELECT a, b, c, EXPR(...) AS d`).
-    pub fn with_column(&self, name: impl Into<String>, expr: Expr, dtype: DataType) -> Result<DataFrame> {
+    pub fn with_column(
+        &self,
+        name: impl Into<String>,
+        expr: Expr,
+        dtype: DataType,
+    ) -> Result<DataFrame> {
         let name = name.into();
         // Redeclaring an existing column replaces it in place; a new name
         // is appended.
@@ -311,7 +316,12 @@ impl DataFrame {
     /// Spark SQL's `EXPLODE`: replaces the list column `col` with one row
     /// per element, duplicating the other columns. Empty lists and NULLs
     /// produce no rows.
-    pub fn explode(&self, col: &str, as_name: impl Into<String>, dtype: DataType) -> Result<DataFrame> {
+    pub fn explode(
+        &self,
+        col: &str,
+        as_name: impl Into<String>,
+        dtype: DataType,
+    ) -> Result<DataFrame> {
         let plan = LogicalPlan::explode(Arc::clone(&self.plan), col, as_name.into(), dtype)?;
         Ok(self.derive(plan))
     }
@@ -353,10 +363,8 @@ impl DataFrame {
     pub fn cache(&self) -> Result<DataFrame> {
         let rdd = self.to_rdd()?;
         let parts = rdd.collect_partitions()?;
-        let cached = Rdd::new(
-            Arc::clone(&self.core),
-            Arc::new(crate::rdd::FromPartitionsRdd::new(parts)),
-        );
+        let cached =
+            Rdd::new(Arc::clone(&self.core), Arc::new(crate::rdd::FromPartitionsRdd::new(parts)));
         Ok(DataFrame::from_rdd(Arc::clone(self.schema()), &cached))
     }
 
@@ -386,10 +394,8 @@ impl DataFrame {
         let rows = self.take(n)?;
         let schema = self.schema();
         let mut widths: Vec<usize> = schema.fields().iter().map(|f| f.name.len()).collect();
-        let rendered: Vec<Vec<String>> = rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>()).collect();
         for r in &rendered {
             for (i, cell) in r.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -430,7 +436,11 @@ mod tests {
             Field::new("tags", DataType::List),
         ]);
         let rows: Vec<Row> = vec![
-            vec![Value::str("ana"), Value::I64(34), Value::list(vec![Value::str("a"), Value::str("b")])],
+            vec![
+                Value::str("ana"),
+                Value::I64(34),
+                Value::list(vec![Value::str("a"), Value::str("b")]),
+            ],
             vec![Value::str("bob"), Value::I64(28), Value::list(vec![])],
             vec![Value::str("cyd"), Value::I64(41), Value::list(vec![Value::str("c")])],
             vec![Value::str("dee"), Value::Null, Value::Null],
@@ -442,8 +452,7 @@ mod tests {
     fn schema_validation_on_from_rows() {
         let ctx = sc();
         let schema = Schema::new(vec![Field::new("a", DataType::I64)]);
-        let err =
-            DataFrame::from_rows(&ctx, schema, vec![vec![Value::I64(1), Value::I64(2)]], 1);
+        let err = DataFrame::from_rows(&ctx, schema, vec![vec![Value::I64(1), Value::I64(2)]], 1);
         assert!(err.is_err());
     }
 
@@ -519,13 +528,10 @@ mod tests {
     #[test]
     fn group_by_counts_and_collects() {
         let ctx = sc();
-        let schema = Schema::new(vec![
-            Field::new("k", DataType::Str),
-            Field::new("v", DataType::I64),
-        ]);
-        let rows: Vec<Row> = (0..100)
-            .map(|i| vec![Value::str(format!("k{}", i % 3)), Value::I64(i)])
-            .collect();
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Str), Field::new("v", DataType::I64)]);
+        let rows: Vec<Row> =
+            (0..100).map(|i| vec![Value::str(format!("k{}", i % 3)), Value::I64(i)]).collect();
         let df = DataFrame::from_rows(&ctx, schema, rows, 5).unwrap();
         let g = df
             .group_by(
@@ -551,10 +557,8 @@ mod tests {
     #[test]
     fn order_by_multiple_keys() {
         let ctx = sc();
-        let schema = Schema::new(vec![
-            Field::new("a", DataType::I64),
-            Field::new("b", DataType::Str),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("a", DataType::I64), Field::new("b", DataType::Str)]);
         let rows: Vec<Row> = vec![
             vec![Value::I64(2), Value::str("x")],
             vec![Value::I64(1), Value::str("z")],
@@ -564,10 +568,7 @@ mod tests {
         ];
         let df = DataFrame::from_rows(&ctx, schema, rows, 3).unwrap();
         let sorted = df
-            .order_by(vec![
-                ("a".to_string(), SortDir::asc()),
-                ("b".to_string(), SortDir::desc()),
-            ])
+            .order_by(vec![("a".to_string(), SortDir::asc()), ("b".to_string(), SortDir::desc())])
             .unwrap()
             .collect_rows()
             .unwrap();

@@ -116,15 +116,11 @@ impl AggState {
             }
             (AggState::Min(a), AggState::Min(b)) => AggState::Min(match (a, b) {
                 (None, x) | (x, None) => x,
-                (Some(x), Some(y)) => {
-                    Some(if value_cmp(&x, &y).is_le() { x } else { y })
-                }
+                (Some(x), Some(y)) => Some(if value_cmp(&x, &y).is_le() { x } else { y }),
             }),
             (AggState::Max(a), AggState::Max(b)) => AggState::Max(match (a, b) {
                 (None, x) | (x, None) => x,
-                (Some(x), Some(y)) => {
-                    Some(if value_cmp(&x, &y).is_ge() { x } else { y })
-                }
+                (Some(x), Some(y)) => Some(if value_cmp(&x, &y).is_ge() { x } else { y }),
             }),
             (AggState::First(a), AggState::First(b)) => AggState::First(a.or(b)),
             (AggState::List(mut a), AggState::List(b)) => {
@@ -154,9 +150,7 @@ impl AggState {
 
 fn add_values(a: &Value, b: &Value) -> Value {
     match (a, b) {
-        (Value::I64(x), Value::I64(y)) => {
-            x.checked_add(*y).map(Value::I64).unwrap_or(Value::Null)
-        }
+        (Value::I64(x), Value::I64(y)) => x.checked_add(*y).map(Value::I64).unwrap_or(Value::Null),
         _ => match (a.as_f64(), b.as_f64()) {
             (Some(x), Some(y)) => Value::F64(x + y),
             _ => Value::Null,
@@ -166,22 +160,48 @@ fn add_values(a: &Value, b: &Value) -> Value {
 
 /// The logical plan tree. Every node caches its output schema.
 pub enum LogicalPlan {
-    FromRdd { schema: Arc<Schema>, rows: Rdd<Row> },
-    Project { input: Arc<LogicalPlan>, exprs: Vec<NamedExpr>, schema: Arc<Schema> },
-    Filter { input: Arc<LogicalPlan>, predicate: Expr },
+    FromRdd {
+        schema: Arc<Schema>,
+        rows: Rdd<Row>,
+    },
+    Project {
+        input: Arc<LogicalPlan>,
+        exprs: Vec<NamedExpr>,
+        schema: Arc<Schema>,
+    },
+    Filter {
+        input: Arc<LogicalPlan>,
+        predicate: Expr,
+    },
     /// Replaces the list column `col` with one output row per element,
     /// renamed to `as_name` (schema otherwise unchanged). Empty/NULL lists
     /// yield no rows — Spark's `EXPLODE`.
-    Explode { input: Arc<LogicalPlan>, col: String, as_name: String, schema: Arc<Schema> },
+    Explode {
+        input: Arc<LogicalPlan>,
+        col: String,
+        as_name: String,
+        schema: Arc<Schema>,
+    },
     GroupBy {
         input: Arc<LogicalPlan>,
         keys: Vec<String>,
         aggs: Vec<(Agg, String)>,
         schema: Arc<Schema>,
     },
-    OrderBy { input: Arc<LogicalPlan>, keys: Vec<(String, SortDir)> },
-    ZipWithIndex { input: Arc<LogicalPlan>, name: String, start: i64, schema: Arc<Schema> },
-    Limit { input: Arc<LogicalPlan>, n: usize },
+    OrderBy {
+        input: Arc<LogicalPlan>,
+        keys: Vec<(String, SortDir)>,
+    },
+    ZipWithIndex {
+        input: Arc<LogicalPlan>,
+        name: String,
+        start: i64,
+        schema: Arc<Schema>,
+    },
+    Limit {
+        input: Arc<LogicalPlan>,
+        n: usize,
+    },
 }
 
 impl LogicalPlan {
@@ -207,7 +227,10 @@ impl LogicalPlan {
         let mut seen = BTreeSet::new();
         for e in &exprs {
             if !seen.insert(&e.name) {
-                return Err(SparkliteError::Schema(format!("duplicate output column '{}'", e.name)));
+                return Err(SparkliteError::Schema(format!(
+                    "duplicate output column '{}'",
+                    e.name
+                )));
             }
             // Binding validates every referenced column.
             e.expr.bind(input.schema())?;
@@ -236,7 +259,9 @@ impl LogicalPlan {
             )));
         }
         if input.schema().index_of(&as_name).is_some_and(|i| i != idx) {
-            return Err(SparkliteError::Schema(format!("output column '{as_name}' already exists")));
+            return Err(SparkliteError::Schema(format!(
+                "output column '{as_name}' already exists"
+            )));
         }
         let fields = input
             .schema()
@@ -245,7 +270,12 @@ impl LogicalPlan {
             .enumerate()
             .map(|(i, f)| if i == idx { Field::new(&as_name, dtype) } else { f.clone() })
             .collect();
-        Ok(LogicalPlan::Explode { input, col: col.to_string(), as_name, schema: Schema::new(fields) })
+        Ok(LogicalPlan::Explode {
+            input,
+            col: col.to_string(),
+            as_name,
+            schema: Schema::new(fields),
+        })
     }
 
     pub fn group_by(
@@ -295,6 +325,142 @@ impl LogicalPlan {
         fields.push(Field::new(&name, DataType::I64));
         Ok(LogicalPlan::ZipWithIndex { input, name, start, schema: Schema::new(fields) })
     }
+
+    // ---- invariant checking ----
+
+    /// Checks the structural invariants of the whole plan tree: every
+    /// referenced column resolves against the child schema, cached schemas
+    /// are consistent with what each node actually produces, and output
+    /// dtypes match. The validating constructors guarantee this for
+    /// user-built plans; `validate` re-checks it after optimizer rewrites
+    /// (run automatically in debug/test builds).
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| Err(SparkliteError::Schema(format!("invalid plan: {msg}")));
+        match self {
+            LogicalPlan::FromRdd { .. } => {}
+            LogicalPlan::Project { input, exprs, schema } => {
+                input.validate()?;
+                if exprs.is_empty() {
+                    return fail("projection with no output columns".into());
+                }
+                let mut seen = BTreeSet::new();
+                for e in exprs {
+                    if !seen.insert(&e.name) {
+                        return fail(format!("duplicate projected column '{}'", e.name));
+                    }
+                    e.expr.bind(input.schema())?;
+                }
+                if schema.fields().len() != exprs.len() {
+                    return fail(format!(
+                        "projection schema has {} fields for {} expressions",
+                        schema.fields().len(),
+                        exprs.len()
+                    ));
+                }
+                for (f, e) in schema.fields().iter().zip(exprs) {
+                    if f.name != e.name || f.dtype != e.dtype {
+                        return fail(format!(
+                            "projection schema field '{}': {:?} does not match expression \
+                             '{}': {:?}",
+                            f.name, f.dtype, e.name, e.dtype
+                        ));
+                    }
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                input.validate()?;
+                predicate.bind(input.schema())?;
+            }
+            LogicalPlan::Explode { input, col, as_name, schema } => {
+                input.validate()?;
+                let idx = input.schema().resolve(col)?;
+                let in_fields = input.schema().fields();
+                if schema.fields().len() != in_fields.len() {
+                    return fail("EXPLODE must preserve the column count".into());
+                }
+                for (i, (f, inf)) in schema.fields().iter().zip(in_fields).enumerate() {
+                    if i == idx {
+                        if f.name != *as_name {
+                            return fail(format!(
+                                "EXPLODE output column is '{}', expected '{as_name}'",
+                                f.name
+                            ));
+                        }
+                    } else if f != inf {
+                        return fail(format!(
+                            "EXPLODE changed unrelated column '{}' into '{}'",
+                            inf.name, f.name
+                        ));
+                    }
+                }
+            }
+            LogicalPlan::GroupBy { input, keys, aggs, schema } => {
+                input.validate()?;
+                if schema.fields().len() != keys.len() + aggs.len() {
+                    return fail(format!(
+                        "GROUP BY schema has {} fields for {} keys + {} aggregates",
+                        schema.fields().len(),
+                        keys.len(),
+                        aggs.len()
+                    ));
+                }
+                for (k, f) in keys.iter().zip(schema.fields()) {
+                    let idx = input.schema().resolve(k)?;
+                    let inf = &input.schema().fields()[idx];
+                    if f.name != *k || f.dtype != inf.dtype {
+                        return fail(format!(
+                            "GROUP BY key '{k}' maps to schema field '{}': {:?}",
+                            f.name, f.dtype
+                        ));
+                    }
+                }
+                for ((agg, name), f) in aggs.iter().zip(&schema.fields()[keys.len()..]) {
+                    if let Some(c) = agg.input_col() {
+                        input.schema().resolve(c)?;
+                    }
+                    if f.name != *name || f.dtype != agg.output_dtype() {
+                        return fail(format!(
+                            "aggregate '{name}' maps to schema field '{}': {:?}",
+                            f.name, f.dtype
+                        ));
+                    }
+                }
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                input.validate()?;
+                for (k, _) in keys {
+                    input.schema().resolve(k)?;
+                }
+            }
+            LogicalPlan::ZipWithIndex { input, name, start: _, schema } => {
+                input.validate()?;
+                if input.schema().index_of(name).is_some() {
+                    return fail(format!("index column '{name}' shadows an input column"));
+                }
+                let in_fields = input.schema().fields();
+                if schema.fields().len() != in_fields.len() + 1 {
+                    return fail("ZIP WITH INDEX must add exactly one column".into());
+                }
+                for (f, inf) in schema.fields().iter().zip(in_fields) {
+                    if f != inf {
+                        return fail(format!(
+                            "ZIP WITH INDEX changed input column '{}' into '{}'",
+                            inf.name, f.name
+                        ));
+                    }
+                }
+                let last = schema.fields().last().expect("non-empty");
+                if last.name != *name || last.dtype != DataType::I64 {
+                    return fail(format!(
+                        "index column is '{}': {:?}, expected '{name}': I64",
+                        last.name, last.dtype
+                    ));
+                }
+            }
+            LogicalPlan::Limit { input, .. } => input.validate()?,
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -319,9 +485,15 @@ pub fn optimize(plan: Arc<LogicalPlan>) -> Arc<LogicalPlan> {
             break;
         }
     }
-    let all: BTreeSet<String> =
-        current.schema().fields().iter().map(|f| f.name.clone()).collect();
-    prune(&current, &all)
+    let all: BTreeSet<String> = current.schema().fields().iter().map(|f| f.name.clone()).collect();
+    let pruned = prune(&current, &all);
+    // In debug/test builds, every optimized plan must still satisfy the
+    // structural invariants the validating constructors established.
+    #[cfg(debug_assertions)]
+    if let Err(e) = pruned.validate() {
+        panic!("optimizer produced an invalid plan: {e}");
+    }
+    pruned
 }
 
 fn rewrite(plan: &Arc<LogicalPlan>) -> (Arc<LogicalPlan>, bool) {
@@ -374,9 +546,7 @@ fn rewrite(plan: &Arc<LogicalPlan>) -> (Arc<LogicalPlan>, bool) {
             {
                 // Rule 2c: push below EXPLODE when the predicate does not
                 // read the exploded column.
-                let safe = predicate
-                    .uses()
-                    .is_some_and(|used| !used.contains(as_name));
+                let safe = predicate.uses().is_some_and(|used| !used.contains(as_name));
                 if safe {
                     changed = true;
                     Arc::new(LogicalPlan::Explode {
@@ -434,9 +604,9 @@ fn rewrite(plan: &Arc<LogicalPlan>) -> (Arc<LogicalPlan>, bool) {
 fn expr_fusable(e: &Expr, inner: &[NamedExpr]) -> bool {
     match e {
         Expr::Udf { uses, .. } => match uses {
-            Some(cols) => cols.iter().all(|c| {
-                inner.iter().any(|ie| ie.name == *c && ie.is_passthrough())
-            }),
+            Some(cols) => {
+                cols.iter().all(|c| inner.iter().any(|ie| ie.name == *c && ie.is_passthrough()))
+            }
             None => false,
         },
         Expr::Col(_) | Expr::Lit(_) => true,
@@ -557,8 +727,7 @@ fn prune(plan: &Arc<LogicalPlan>, required: &BTreeSet<String>) -> Arc<LogicalPla
                 }
             }
             if opaque {
-                child_req =
-                    input.schema().fields().iter().map(|f| f.name.clone()).collect();
+                child_req = input.schema().fields().iter().map(|f| f.name.clone()).collect();
             }
             let new_input = prune(input, &child_req);
             let schema = Schema::new(kept.iter().map(|e| Field::new(&e.name, e.dtype)).collect());
@@ -586,11 +755,21 @@ fn prune(plan: &Arc<LogicalPlan>, required: &BTreeSet<String>) -> Arc<LogicalPla
             let mut child_req: BTreeSet<String> =
                 required.iter().filter(|c| *c != as_name).cloned().collect();
             child_req.insert(col.clone());
+            let new_input = prune(input, &child_req);
+            // The cached schema must be rebuilt from the pruned child — it
+            // may have lost columns.
+            let item_dtype = schema.field(as_name).map(|f| f.dtype).unwrap_or(DataType::Any);
+            let fields = new_input
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| if f.name == *col { Field::new(as_name, item_dtype) } else { f.clone() })
+                .collect();
             Arc::new(LogicalPlan::Explode {
-                input: prune(input, &child_req),
+                input: new_input,
                 col: col.clone(),
                 as_name: as_name.clone(),
-                schema: Arc::clone(schema),
+                schema: Schema::new(fields),
             })
         }
         LogicalPlan::GroupBy { input, keys, aggs, schema } => {
@@ -603,7 +782,7 @@ fn prune(plan: &Arc<LogicalPlan>, required: &BTreeSet<String>) -> Arc<LogicalPla
                 schema: Arc::clone(schema),
             })
         }
-        LogicalPlan::ZipWithIndex { input, name, start, schema } => {
+        LogicalPlan::ZipWithIndex { input, name, start, schema: _ } => {
             let child_req: BTreeSet<String> =
                 required.iter().filter(|c| *c != name).cloned().collect();
             let child_req = if child_req.is_empty() {
@@ -611,11 +790,16 @@ fn prune(plan: &Arc<LogicalPlan>, required: &BTreeSet<String>) -> Arc<LogicalPla
             } else {
                 child_req
             };
+            let new_input = prune(input, &child_req);
+            // Rebuild the cached schema from the pruned child — it may have
+            // lost columns.
+            let mut fields = new_input.schema().fields().to_vec();
+            fields.push(Field::new(name, DataType::I64));
             Arc::new(LogicalPlan::ZipWithIndex {
-                input: prune(input, &child_req),
+                input: new_input,
                 name: name.clone(),
                 start: *start,
-                schema: Arc::clone(schema),
+                schema: Schema::new(fields),
             })
         }
         LogicalPlan::Limit { input, n } => {
@@ -636,10 +820,8 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
         LogicalPlan::FromRdd { rows, .. } => Ok(rows.clone()),
         LogicalPlan::Project { input, exprs, .. } => {
             let rdd = compile(core, input)?;
-            let bound: Vec<BoundExpr> = exprs
-                .iter()
-                .map(|e| e.expr.bind(input.schema()))
-                .collect::<Result<_>>()?;
+            let bound: Vec<BoundExpr> =
+                exprs.iter().map(|e| e.expr.bind(input.schema())).collect::<Result<_>>()?;
             Ok(rdd.map(move |row| bound.iter().map(|b| b.eval(&row)).collect::<Row>()))
         }
         LogicalPlan::Filter { input, predicate } => {
@@ -703,10 +885,8 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
         LogicalPlan::OrderBy { input, keys } => {
             let rdd = compile(core, input)?;
             let schema = input.schema();
-            let sort_spec: Vec<(usize, SortDir)> = keys
-                .iter()
-                .map(|(k, d)| Ok((schema.resolve(k)?, *d)))
-                .collect::<Result<_>>()?;
+            let sort_spec: Vec<(usize, SortDir)> =
+                keys.iter().map(|(k, d)| Ok((schema.resolve(k)?, *d))).collect::<Result<_>>()?;
             Ok(rdd.sort_by(
                 move |row| {
                     sort_spec
@@ -741,10 +921,8 @@ mod tests {
     use crate::{SparkliteConf, SparkliteContext};
 
     fn df(ctx: &SparkliteContext) -> DataFrame {
-        let schema = Schema::new(vec![
-            Field::new("a", DataType::I64),
-            Field::new("b", DataType::I64),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("a", DataType::I64), Field::new("b", DataType::I64)]);
         let rows: Vec<Row> = (0..20).map(|i| vec![Value::I64(i), Value::I64(i * 10)]).collect();
         DataFrame::from_rows(ctx, schema, rows, 3).unwrap()
     }
@@ -772,6 +950,7 @@ mod tests {
             .filter(Expr::cmp(Expr::col("a"), CmpOp::Lt, Expr::lit(Value::I64(15))))
             .unwrap();
         let opt = optimize(Arc::clone(d.plan()));
+        opt.validate().unwrap();
         assert_eq!(count_nodes(&opt, &|p| matches!(p, LogicalPlan::Filter { .. })), 1);
         assert_eq!(d.count().unwrap(), 9);
     }
@@ -785,24 +964,27 @@ mod tests {
             .filter(Expr::cmp(Expr::col("a"), CmpOp::Lt, Expr::lit(Value::I64(3))))
             .unwrap();
         let opt = optimize(Arc::clone(d.plan()));
+        opt.validate().unwrap();
         // The root must now be the sort, with the filter inside.
         assert!(matches!(opt.as_ref(), LogicalPlan::OrderBy { .. }));
         let rows = d.collect_rows().unwrap();
-        assert_eq!(
-            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
-            vec![2, 1, 0]
-        );
+        assert_eq!(rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(), vec![2, 1, 0]);
     }
 
     #[test]
     fn projections_fuse() {
         let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
         let d = df(&ctx)
-            .with_column("c", Expr::num(Expr::col("a"), crate::dataframe::NumOp::Add, Expr::col("b")), DataType::I64)
+            .with_column(
+                "c",
+                Expr::num(Expr::col("a"), crate::dataframe::NumOp::Add, Expr::col("b")),
+                DataType::I64,
+            )
             .unwrap()
             .select(vec![NamedExpr::passthrough("c", DataType::I64)])
             .unwrap();
         let opt = optimize(Arc::clone(d.plan()));
+        opt.validate().unwrap();
         assert_eq!(count_nodes(&opt, &|p| matches!(p, LogicalPlan::Project { .. })), 1);
         let rows = d.collect_rows().unwrap();
         assert_eq!(rows[3][0], Value::I64(33));
@@ -827,6 +1009,7 @@ mod tests {
             .unwrap();
         let grouped = wide.group_by(&["a"], vec![(Agg::Count, "n".into())]).unwrap();
         let opt = optimize(Arc::clone(grouped.plan()));
+        opt.validate().unwrap();
         fn find_project(plan: &Arc<LogicalPlan>) -> Option<usize> {
             match plan.as_ref() {
                 LogicalPlan::Project { exprs, .. } => Some(exprs.len()),
@@ -857,6 +1040,7 @@ mod tests {
             .unwrap()
             .order_by(vec![("c".into(), SortDir::desc())])
             .unwrap();
+        optimize(Arc::clone(d.plan())).validate().unwrap();
         // Compile without optimization.
         let raw = compile(ctx.core(), d.plan()).unwrap().collect().unwrap();
         let opt = d.collect_rows().unwrap();
@@ -865,12 +1049,65 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_hand_built_invalid_plans() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let base = Arc::clone(df(&ctx).plan());
+
+        // A projection whose declared schema disagrees with its expressions.
+        let bad_project = LogicalPlan::Project {
+            input: Arc::clone(&base),
+            exprs: vec![NamedExpr::passthrough("a", DataType::I64)],
+            schema: Schema::new(vec![
+                Field::new("a", DataType::I64),
+                Field::new("phantom", DataType::Str),
+            ]),
+        };
+        let err = bad_project.validate().unwrap_err().to_string();
+        assert!(err.contains("invalid plan"), "unexpected error: {err}");
+
+        // A filter whose predicate references a column the input lacks
+        // (binding errors surface as "unknown column").
+        let bad_filter = LogicalPlan::Filter {
+            input: Arc::clone(&base),
+            predicate: Expr::cmp(Expr::col("missing"), CmpOp::Gt, Expr::lit(Value::I64(0))),
+        };
+        let err = bad_filter.validate().unwrap_err().to_string();
+        assert!(err.contains("unknown column"), "unexpected error: {err}");
+
+        // A sort on a nonexistent key.
+        let bad_sort =
+            LogicalPlan::OrderBy { input: base, keys: vec![("nope".into(), SortDir::asc())] };
+        assert!(bad_sort.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_every_constructor_built_plan() {
+        let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+        let d = df(&ctx)
+            .with_column(
+                "c",
+                Expr::num(Expr::col("a"), crate::dataframe::NumOp::Add, Expr::col("b")),
+                DataType::I64,
+            )
+            .unwrap()
+            .filter(Expr::cmp(Expr::col("c"), CmpOp::Gt, Expr::lit(Value::I64(5))))
+            .unwrap()
+            .zip_with_index("idx", 0)
+            .unwrap()
+            .group_by(&["a"], vec![(Agg::Count, "n".into())])
+            .unwrap()
+            .order_by(vec![("a".into(), SortDir::asc())])
+            .unwrap()
+            .limit(5);
+        d.plan().validate().unwrap();
+        optimize(Arc::clone(d.plan())).validate().unwrap();
+    }
+
+    #[test]
     fn agg_states_cover_sql_semantics() {
         let ctx = SparkliteContext::new(SparkliteConf::default().with_executors(2));
-        let schema = Schema::new(vec![
-            Field::new("k", DataType::I64),
-            Field::new("v", DataType::I64),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::I64), Field::new("v", DataType::I64)]);
         let rows = vec![
             vec![Value::I64(1), Value::I64(10)],
             vec![Value::I64(1), Value::Null],

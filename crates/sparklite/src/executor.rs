@@ -253,11 +253,8 @@ mod tests {
     fn panics_become_errors() {
         let p = pool(2);
         #[allow(clippy::type_complexity)]
-        let tasks: Vec<Box<dyn FnOnce(&TaskContext) -> usize + Send>> = vec![
-            Box::new(|_| 1),
-            Box::new(|_| panic!("boom in partition 1")),
-            Box::new(|_| 3),
-        ];
+        let tasks: Vec<Box<dyn FnOnce(&TaskContext) -> usize + Send>> =
+            vec![Box::new(|_| 1), Box::new(|_| panic!("boom in partition 1")), Box::new(|_| 3)];
         let err = p.run(tasks).unwrap_err();
         match err {
             SparkliteError::TaskFailed { partition, message } => {

@@ -120,7 +120,8 @@ impl<T: Data> Rdd<T> {
 
     /// Bernoulli sampling with a deterministic per-partition stream.
     pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
-        let op = SampleRdd { parent: Arc::clone(&self.op), fraction: fraction.clamp(0.0, 1.0), seed };
+        let op =
+            SampleRdd { parent: Arc::clone(&self.op), fraction: fraction.clamp(0.0, 1.0), seed };
         Rdd::new(Arc::clone(&self.core), Arc::new(op))
     }
 
@@ -413,7 +414,8 @@ impl<T: Data> RddOp<T> for SampleRdd<T> {
         self.parent.num_partitions()
     }
     fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<T> {
-        let mut rng = util::SplitMix64::new(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            util::SplitMix64::new(self.seed ^ (split as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let fraction = self.fraction;
         Box::new(self.parent.compute(split, tc).filter(move |_| rng.next_f64() < fraction))
     }
@@ -584,9 +586,7 @@ mod tests {
         let sc = sc();
         let out = sc
             .parallelize((0..10).collect::<Vec<i32>>(), 3)
-            .map_partitions(|split, iter| {
-                Box::new(iter.map(move |x| (split, x)))
-            })
+            .map_partitions(|split, iter| Box::new(iter.map(move |x| (split, x))))
             .collect()
             .unwrap();
         let splits: std::collections::HashSet<_> = out.iter().map(|(s, _)| *s).collect();
@@ -619,7 +619,11 @@ mod tests {
         let rdd = sc.parallelize((1i64..=100).collect(), 7);
         assert_eq!(rdd.reduce(|a, b| a + b).unwrap(), Some(5050));
         let (sum, cnt) = rdd
-            .aggregate((0i64, 0u64), |(s, c), x| (s + x, c + 1), |(s1, c1), (s2, c2)| (s1 + s2, c1 + c2))
+            .aggregate(
+                (0i64, 0u64),
+                |(s, c), x| (s + x, c + 1),
+                |(s1, c1), (s2, c2)| (s1 + s2, c1 + c2),
+            )
             .unwrap();
         assert_eq!((sum, cnt), (5050, 100));
         let empty = sc.parallelize(Vec::<i64>::new(), 3);

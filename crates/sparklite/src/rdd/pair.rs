@@ -29,12 +29,8 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
 
     /// Hash-partitions by key without combining; duplicates survive.
     pub fn partition_by(&self, num_partitions: usize) -> Rdd<(K, V)> {
-        let op = ShuffledRdd::new(
-            Arc::clone(self.core()),
-            Arc::clone(self.op()),
-            num_partitions,
-            None,
-        );
+        let op =
+            ShuffledRdd::new(Arc::clone(self.core()), Arc::clone(self.op()), num_partitions, None);
         Rdd::new(Arc::clone(self.core()), Arc::new(op))
     }
 
@@ -117,10 +113,8 @@ mod tests {
     #[test]
     fn reduce_by_key_sums() {
         let sc = sc();
-        let data: Vec<(String, i64)> =
-            (0..1000).map(|i| (format!("k{}", i % 10), 1i64)).collect();
-        let mut out =
-            sc.parallelize(data, 8).reduce_by_key(|a, b| a + b, 4).collect().unwrap();
+        let data: Vec<(String, i64)> = (0..1000).map(|i| (format!("k{}", i % 10), 1i64)).collect();
+        let mut out = sc.parallelize(data, 8).reduce_by_key(|a, b| a + b, 4).collect().unwrap();
         out.sort();
         assert_eq!(out.len(), 10);
         for (_, count) in &out {

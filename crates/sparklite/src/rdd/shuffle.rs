@@ -302,10 +302,7 @@ impl<T: Data> RddOp<(T, u64)> for ZipWithIndexRdd<T> {
     fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<(T, u64)> {
         let offset = self.offsets.get().expect("prepare ran before compute")[split];
         Box::new(
-            self.parent
-                .compute(split, tc)
-                .enumerate()
-                .map(move |(i, t)| (t, offset + i as u64)),
+            self.parent.compute(split, tc).enumerate().map(move |(i, t)| (t, offset + i as u64)),
         )
     }
 }

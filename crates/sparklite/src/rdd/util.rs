@@ -205,7 +205,8 @@ mod tests {
         // A trailing newline does not create a phantom empty line.
         assert_eq!(BlockLines::new(Arc::from("x\n")).count(), 1);
         // But interior empty lines are preserved.
-        let lines: Vec<String> = BlockLines::new(Arc::from("a\n\nb")).map(|l| l.to_string()).collect();
+        let lines: Vec<String> =
+            BlockLines::new(Arc::from("a\n\nb")).map(|l| l.to_string()).collect();
         assert_eq!(lines, vec!["a", "", "b"]);
     }
 }

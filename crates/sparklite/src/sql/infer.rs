@@ -82,7 +82,9 @@ pub fn infer_schema(lines: &Rdd<Arc<str>>) -> Result<Vec<(String, Inferred)>> {
                     let t = infer_value(&v);
                     fields
                         .entry(k)
-                        .and_modify(|old| *old = std::mem::replace(old, Inferred::Null).unify(t.clone()))
+                        .and_modify(|old| {
+                            *old = std::mem::replace(old, Inferred::Null).unify(t.clone())
+                        })
                         .or_insert(t);
                 }
             }
@@ -152,8 +154,7 @@ pub fn read_json(ctx: &SparkliteContext, path: &str) -> Result<DataFrame> {
     if inferred.is_empty() {
         return Err(SparkliteError::Data(format!("no JSON objects found in {path}")));
     }
-    let fields: Vec<Field> =
-        inferred.iter().map(|(name, t)| Field::new(name, t.dtype())).collect();
+    let fields: Vec<Field> = inferred.iter().map(|(name, t)| Field::new(name, t.dtype())).collect();
     let schema = Schema::new(fields);
     let inferred = Arc::new(inferred);
     let rows: Rdd<Row> = lines.map(move |line| {

@@ -110,10 +110,7 @@ fn compile_query(q: &SqlQuery, df: DataFrame) -> Result<DataFrame> {
         df = df.filter(to_expr(w)?)?;
     }
 
-    let has_agg = q
-        .select
-        .iter()
-        .any(|item| matches!(item.expr, SqlExpr::AggCall { .. }));
+    let has_agg = q.select.iter().any(|item| matches!(item.expr, SqlExpr::AggCall { .. }));
 
     if !q.group_by.is_empty() || has_agg {
         // Aggregation path. Every select item must be a grouping column or
@@ -149,9 +146,7 @@ fn compile_query(q: &SqlQuery, df: DataFrame) -> Result<DataFrame> {
                     output.push(name);
                 }
                 other => {
-                    return Err(err(format!(
-                        "select item {other:?} is not valid with GROUP BY"
-                    )))
+                    return Err(err(format!("select item {other:?} is not valid with GROUP BY")))
                 }
             }
         }
@@ -160,8 +155,7 @@ fn compile_query(q: &SqlQuery, df: DataFrame) -> Result<DataFrame> {
         let exprs: Vec<NamedExpr> = output
             .iter()
             .map(|name| {
-                let dtype =
-                    df.schema().field(name).map(|f| f.dtype).unwrap_or(DataType::Any);
+                let dtype = df.schema().field(name).map(|f| f.dtype).unwrap_or(DataType::Any);
                 NamedExpr::passthrough(name, dtype)
             })
             .collect();
@@ -258,8 +252,7 @@ mod tests {
     #[test]
     fn aggregate_without_group_by() {
         let (_ctx, sql) = setup();
-        let rows =
-            sql.sql("SELECT COUNT(*) AS n FROM dataset").unwrap().collect_rows().unwrap();
+        let rows = sql.sql("SELECT COUNT(*) AS n FROM dataset").unwrap().collect_rows().unwrap();
         assert_eq!(rows, vec![vec![Value::I64(5)]]);
     }
 
@@ -269,11 +262,8 @@ mod tests {
         ctx.hdfs().put_text("/n.json", "{\"x\": 2}\n{\"x\": 5}\n").unwrap();
         let mut sql = SqlContext::new();
         sql.register("t", read_json(&ctx, "hdfs:///n.json").unwrap());
-        let rows = sql
-            .sql("SELECT x * 10 + 1 AS y FROM t ORDER BY y")
-            .unwrap()
-            .collect_rows()
-            .unwrap();
+        let rows =
+            sql.sql("SELECT x * 10 + 1 AS y FROM t ORDER BY y").unwrap().collect_rows().unwrap();
         assert_eq!(rows, vec![vec![Value::I64(21)], vec![Value::I64(51)]]);
     }
 

@@ -133,10 +133,17 @@ pub enum SqlExpr {
     Null,
     Bin(Box<SqlExpr>, SqlBinOp, Box<SqlExpr>),
     Not(Box<SqlExpr>),
-    IsNull { expr: Box<SqlExpr>, negated: bool },
+    IsNull {
+        expr: Box<SqlExpr>,
+        negated: bool,
+    },
     /// `COUNT(*)`, `COUNT(col)`, `SUM(col)`, … Only allowed at the top of a
     /// select item.
-    AggCall { func: String, arg: Option<String>, star: bool },
+    AggCall {
+        func: String,
+        arg: Option<String>,
+        star: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -398,11 +405,7 @@ impl Parser {
     fn unary_expr(&mut self) -> Result<SqlExpr> {
         if self.symbol('-') {
             let inner = self.unary_expr()?;
-            return Ok(SqlExpr::Bin(
-                Box::new(SqlExpr::Int(0)),
-                SqlBinOp::Sub,
-                Box::new(inner),
-            ));
+            return Ok(SqlExpr::Bin(Box::new(SqlExpr::Int(0)), SqlBinOp::Sub, Box::new(inner)));
         }
         self.primary()
     }
@@ -484,10 +487,8 @@ mod tests {
 
     #[test]
     fn parses_grouping_query() {
-        let q = parse(
-            "SELECT country, target, COUNT(*) AS cnt FROM t GROUP BY country, target",
-        )
-        .unwrap();
+        let q = parse("SELECT country, target, COUNT(*) AS cnt FROM t GROUP BY country, target")
+            .unwrap();
         assert_eq!(q.group_by, vec!["country", "target"]);
         assert_eq!(q.select.len(), 3);
         assert_eq!(q.select[2].alias.as_deref(), Some("cnt"));

@@ -53,7 +53,11 @@ pub struct SimHdfs {
 
 impl SimHdfs {
     pub fn new(block_size: usize, read_latency_us: u64) -> Self {
-        SimHdfs { files: RwLock::new(BTreeMap::new()), block_size: block_size.max(1024), read_latency_us }
+        SimHdfs {
+            files: RwLock::new(BTreeMap::new()),
+            block_size: block_size.max(1024),
+            read_latency_us,
+        }
     }
 
     /// Writes `text` as a new file, splitting into line-aligned blocks of
@@ -113,11 +117,11 @@ impl SimHdfs {
     pub fn read_block(&self, path: &str, block: usize) -> Result<Arc<str>> {
         let b = {
             let files = self.files.read();
-            let f = files.get(path).ok_or_else(|| SparkliteError::FileNotFound(path.to_string()))?;
-            f.blocks
-                .get(block)
-                .cloned()
-                .ok_or_else(|| SparkliteError::Io(format!("block {block} out of range for {path}")))?
+            let f =
+                files.get(path).ok_or_else(|| SparkliteError::FileNotFound(path.to_string()))?;
+            f.blocks.get(block).cloned().ok_or_else(|| {
+                SparkliteError::Io(format!("block {block} out of range for {path}"))
+            })?
         };
         if self.read_latency_us > 0 {
             std::thread::sleep(std::time::Duration::from_micros(self.read_latency_us));
@@ -171,11 +175,10 @@ pub fn split_line_aligned(text: &str, block_size: usize) -> Vec<Arc<str>> {
 /// Reads a local file and splits it into line-aligned in-memory blocks, so
 /// local inputs get the same partitioned scan treatment as simulated HDFS.
 pub fn read_local_blocks(path: &str, block_size: usize) -> Result<Vec<Arc<str>>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::NotFound => SparkliteError::FileNotFound(path.to_string()),
-            _ => SparkliteError::Io(format!("{path}: {e}")),
-        })?;
+    let text = std::fs::read_to_string(path).map_err(|e| match e.kind() {
+        std::io::ErrorKind::NotFound => SparkliteError::FileNotFound(path.to_string()),
+        _ => SparkliteError::Io(format!("{path}: {e}")),
+    })?;
     Ok(split_line_aligned(&text, block_size))
 }
 

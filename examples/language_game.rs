@@ -12,8 +12,7 @@ use rumble_repro::sparklite::{SparkliteConf, SparkliteContext};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let objects: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let objects: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let sc = SparkliteContext::new(SparkliteConf::default());
     println!("generating {objects} confusion objects …");
     put_dataset(&sc, "hdfs:///confusion.json", &confusion::generate(objects, DEFAULT_SEED))?;

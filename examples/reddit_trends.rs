@@ -12,8 +12,7 @@ use rumble_repro::sparklite::{SparkliteConf, SparkliteContext};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let objects: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let objects: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let sc = SparkliteContext::new(SparkliteConf::default());
     println!("generating {objects} reddit comments …");
     put_dataset(&sc, "hdfs:///reddit.json", &reddit::generate(objects, DEFAULT_SEED))?;
@@ -27,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
            return $c"#,
         reddit::NEEDLE
     ))?;
-    println!("comments mentioning {:?}: {} ({:.2?})", reddit::NEEDLE, needles.count()?, t.elapsed());
+    println!(
+        "comments mentioning {:?}: {} ({:.2?})",
+        reddit::NEEDLE,
+        needles.count()?,
+        t.elapsed()
+    );
 
     // Subreddit engagement, robust to the heterogeneous `edited` field:
     // booleans and timestamps both flow through `exists`/`instance of`.

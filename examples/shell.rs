@@ -7,20 +7,102 @@
 //! rumble> for $x in parallelize(1 to 10) where $x mod 2 eq 0 return $x * $x
 //! ```
 //!
+//! Before running a query the shell feeds it through the static analyzer
+//! and prints every diagnostic — errors (which stop execution) and lint
+//! warnings (which do not) — with their codes and source positions.
+//!
+//! Non-interactive modes:
+//!
+//! ```text
+//! cargo run --example shell -- --lint query.jq     # analyze only; exit 1 on errors
+//! cargo run --example shell -- --explain RBLW0004  # document a diagnostic code
+//! ```
+//!
 //! Commands: `:load <path> <file>` copies a local file into the simulated
-//! HDFS, `:quit` exits. Everything else is JSONiq.
+//! HDFS, `:explain CODE` documents a diagnostic code, `:quit` exits.
+//! Everything else is JSONiq.
 
-use rumble_repro::rumble::Rumble;
+use rumble_repro::rumble::semantics::{explain, Severity, CODE_DOCS};
+use rumble_repro::rumble::{analyze, Rumble};
 use std::io::{BufRead, Write};
 
 const MAX_PRINTED: usize = 50;
 
+/// Prints one diagnostic in the `warning[RBLW0001] at 1:5: …` shape, with
+/// its help line when present.
+fn print_diagnostic(d: &rumble_repro::rumble::semantics::Diagnostic) {
+    eprintln!("{d}");
+    if let Some(help) = &d.help {
+        eprintln!("  help: {help}");
+    }
+}
+
+/// Analyzes the query, prints every diagnostic, and reports whether any of
+/// them was an error (in which case execution should be skipped).
+fn lint(query: &str) -> bool {
+    let diagnostics = analyze(query);
+    for d in &diagnostics {
+        print_diagnostic(d);
+    }
+    diagnostics.iter().any(|d| d.severity == Severity::Error)
+}
+
+fn explain_code(code: &str) {
+    let code = code.trim().to_uppercase();
+    match explain(&code) {
+        Some(doc) => println!("{code}: {doc}"),
+        None => {
+            eprintln!("unknown diagnostic code '{code}'; known codes:");
+            for (c, _) in CODE_DOCS {
+                eprintln!("  {c}");
+            }
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--explain") => {
+            match args.get(1) {
+                Some(code) => explain_code(code),
+                None => {
+                    println!("usage: --explain CODE; known codes:");
+                    for (c, doc) in CODE_DOCS {
+                        let summary = doc.split(':').next().unwrap_or(doc);
+                        println!("  {c}  {summary}");
+                    }
+                }
+            }
+            return;
+        }
+        Some("--lint") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: --lint <query-file>");
+                std::process::exit(2);
+            };
+            let query = match std::fs::read_to_string(path) {
+                Ok(q) => q,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let had_errors = lint(&query);
+            std::process::exit(if had_errors { 1 } else { 0 });
+        }
+        Some(other) => {
+            eprintln!("unknown option '{other}' (expected --lint or --explain)");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+
     // The shell runs as a single long-lived application, so executors are
     // set up once (§5.4).
     let rumble = Rumble::default_local();
     println!(
-        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data",
+        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data, :explain CODE to document a diagnostic",
         rumble.sparklite().executors()
     );
     let stdin = std::io::stdin();
@@ -43,6 +125,10 @@ fn main() {
         if line == ":quit" || line == ":q" {
             break;
         }
+        if let Some(code) = line.strip_prefix(":explain ") {
+            explain_code(code);
+            continue;
+        }
         if let Some(rest) = line.strip_prefix(":load ") {
             let mut parts = rest.split_whitespace();
             match (parts.next(), parts.next()) {
@@ -59,6 +145,11 @@ fn main() {
                 },
                 _ => eprintln!("usage: :load <hdfs-path> <local-file>"),
             }
+            continue;
+        }
+        // Static analysis first: print every finding; errors stop the query
+        // before execution, warnings are advisory.
+        if lint(line) {
             continue;
         }
         let started = std::time::Instant::now();

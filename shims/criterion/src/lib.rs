@@ -1,0 +1,198 @@
+//! Vendored stand-in for the `criterion` crate (offline build — see the
+//! note in the `parking_lot` shim). Provides the API surface the bench
+//! targets use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-sample timing loop instead of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(
+        function_name: F,
+        parameter: P,
+    ) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Throughput annotation; reported as elements (or bytes) per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last run.
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup iteration, then timed samples.
+        let _ = routine();
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = started.elapsed() / self.samples.max(1) as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.effective_samples();
+        let mut b = Bencher { samples, mean: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.to_string(), b.mean);
+        self
+    }
+
+    pub fn bench_with_input<N: std::fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.effective_samples();
+        let mut b = Bencher { samples, mean: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.mean);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.min(self.criterion.max_samples).max(1)
+    }
+
+    fn report(&self, id: &str, mean: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {mean:.2?}/iter{rate}", self.name);
+    }
+}
+
+/// Entry point; constructed by `criterion_main!`.
+pub struct Criterion {
+    /// Global cap on per-benchmark samples, so the shim stays quick.
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { max_samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, criterion: self }
+    }
+
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("base", f);
+        self
+    }
+}
+
+/// Declares a group runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut runs = 0usize;
+        g.sample_size(3)
+            .throughput(Throughput::Elements(100))
+            .bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 3, "warmup + samples executed, got {runs}");
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::from_parameter("7"), &7, |b, &input| {
+            b.iter(|| seen = input)
+        });
+        assert_eq!(seen, 7);
+    }
+}

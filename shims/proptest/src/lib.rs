@@ -1,0 +1,638 @@
+//! Vendored stand-in for the `proptest` crate (offline build — see the note
+//! in the `parking_lot` shim). Implements the generation side of the API the
+//! workspace tests use:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_filter` / `prop_recursive` / `boxed`,
+//! * [`any`] for primitives, ranges and tuples as strategies, [`Just`],
+//!   `prop_oneof!`, `prop::collection::vec`, and `&str` regex strategies
+//!   (a pragmatic regex subset — see [`string`]),
+//! * the [`proptest!`] macro expanding to deterministic looping `#[test]`
+//!   functions, plus `prop_assert!` / `prop_assert_eq!`.
+//!
+//! There is **no shrinking**: a failing case reports its deterministic case
+//! number, which is reproducible because seeding is derived from the test
+//! name. `.proptest-regressions` files are ignored.
+
+use std::sync::{Arc, OnceLock};
+
+pub mod string;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// The per-case random source. Seeded from the test name and case index so
+/// failures are reproducible run-to-run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+    /// Remaining recursion budget while inside a `prop_recursive` strategy.
+    depth: Option<u32>,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15, depth: None }
+    }
+
+    /// Seeds a generator for one case of a named test.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64: solid enough for data generation.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Mirror of `proptest::test_runner::Config` for the fields the tests set.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy: Send + Sync {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy behind an `Arc` (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + Send + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retries generation until `pred` accepts a value (bounded; a strategy
+    /// whose filter rejects everything panics instead of looping forever).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + Send + Sync,
+    {
+        Filter { inner: self, reason: reason.into(), pred }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a handle generating
+    /// the whole strategy and returns the non-leaf branch. Recursion is
+    /// bounded by `depth`; the size/branch hints are accepted for API
+    /// compatibility and unused.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let slot: Arc<OnceLock<BoxedStrategy<Self::Value>>> = Arc::new(OnceLock::new());
+        let handle = RecursionHandle { slot: Arc::clone(&slot) };
+        let branch = recurse(BoxedStrategy(Arc::new(handle))).boxed();
+        let full = BoxedStrategy(Arc::new(RecursiveStrategy { leaf, branch, depth }));
+        slot.set(full.clone()).ok();
+        full
+    }
+}
+
+/// Object-safe inner trait for [`BoxedStrategy`].
+trait DynStrategy<T>: Send + Sync {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cheaply-cloneable type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Send + Sync,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Send + Sync,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// `prop_recursive` internals: the handle given to the `recurse` closure
+/// defers to the finished strategy (set after construction).
+struct RecursionHandle<T> {
+    slot: Arc<OnceLock<BoxedStrategy<T>>>,
+}
+
+impl<T> Strategy for RecursionHandle<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.slot.get().expect("recursive strategy fully constructed").generate(rng)
+    }
+}
+
+struct RecursiveStrategy<T> {
+    leaf: BoxedStrategy<T>,
+    branch: BoxedStrategy<T>,
+    depth: u32,
+}
+
+impl<T> Strategy for RecursiveStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let fresh = rng.depth.is_none();
+        if fresh {
+            rng.depth = Some(self.depth);
+        }
+        let budget = rng.depth.unwrap_or(0);
+        // Branch with probability 2/3 while the budget allows, so trees are
+        // usually non-trivial but always bounded.
+        let v = if budget > 0 && rng.below(3) < 2 {
+            *rng.depth.as_mut().expect("budget present") -= 1;
+            let v = self.branch.generate(rng);
+            *rng.depth.as_mut().expect("budget present") += 1;
+            v
+        } else {
+            self.leaf.generate(rng)
+        };
+        if fresh {
+            rng.depth = None;
+        }
+        v
+    }
+}
+
+/// A uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union(branches)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Send + Sync> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() and primitive strategies
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: arbitrary values of `T`, biased toward boundary values.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 boundary values; otherwise uniform bit patterns.
+                if rng.below(8) == 0 {
+                    match rng.below(4) {
+                        0 => 0 as $t,
+                        1 => 1 as $t,
+                        2 => <$t>::MAX,
+                        _ => <$t>::MIN,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.below(8) == 0 {
+            [0.0, -0.0, 1.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE]
+                [rng.below(8) as usize]
+        } else {
+            // Uniform bit patterns cover the full exponent range (and the
+            // occasional NaN), which is what robustness tests want.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        string::printable_char(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// A `&str` is a regex strategy producing matching `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_from_regex(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, lo: size.start, hi: size.end }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails the case (not the
+/// process) with a report naming the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {:?} != {:?}", left, right));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a normal test running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $config:expr;) => {};
+    (cfg = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategies = ($($strategy,)+);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                let ($($arg,)+) =
+                    $crate::Strategy::generate(&__strategies, &mut __rng);
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__message) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), __case, __config.cases, __message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $config; $($rest)* }
+    };
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Vec<Tree>),
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = any::<i64>().prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_nest() {
+        let strat = arb_tree();
+        let mut any_nested = false;
+        for case in 0..200 {
+            let mut rng = TestRng::for_case("recursive", case);
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4, "budget bounds recursion");
+            any_nested |= depth(&t) >= 2;
+        }
+        assert!(any_nested, "some trees actually recurse");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = prop::collection::vec(any::<i32>(), 0..10);
+        let a = strat.generate(&mut TestRng::for_case("det", 5));
+        let b = strat.generate(&mut TestRng::for_case("det", 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let strat = any::<f64>().prop_filter("finite", |v| v.is_finite());
+        for case in 0..500 {
+            assert!(strat.generate(&mut TestRng::for_case("filter", case)).is_finite());
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let strat = (0u8..6, -50i64..50, any::<bool>());
+        for case in 0..500 {
+            let (a, b, _c) = strat.generate(&mut TestRng::for_case("tuple", case));
+            assert!(a < 6);
+            assert!((-50..50).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_works(v in prop::collection::vec(any::<u8>(), 0..5), n in 1usize..4) {
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(n.min(3), n.min(7).min(3), "n was {}", n);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Regex-subset string generation (`proptest::string` stand-in).
+//!
+//! Supports the constructs the workspace's test patterns use: literals,
+//! escapes, alternation, groups, character classes with ranges, the
+//! quantifiers `?`, `*`, `+`, `{m}`, `{m,}`, `{m,n}`, the classes `\d`,
+//! `\w`, `\s`, and `\PC` ("not a control character"). Unsupported syntax
+//! degenerates to literal characters rather than erroring — these are
+//! generators, not matchers.
+
+use crate::TestRng;
+
+/// Generates one string matching the regex-subset `pattern`.
+pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parser = Parser { chars, pos: 0 };
+    let node = parser.parse_alternation();
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+/// A printable (non-control) character: mostly ASCII with a sprinkling of
+/// multi-byte code points, which is what `\PC`-style patterns are after.
+pub fn printable_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '☃', '😀', '\u{00A0}', '\u{2028}', '𝔘'];
+    if rng.below(5) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+    }
+}
+
+enum Node {
+    /// Alternation over branches; each branch is a concatenation.
+    Alt(Vec<Vec<Node>>),
+    Lit(char),
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+    Printable,
+    Digit,
+    Word,
+    Space,
+    Repeat(Box<Node>, u32, u32),
+}
+
+enum ClassItem {
+    Ch(char),
+    Range(char, char),
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alternation(&mut self) -> Node {
+        let mut branches = vec![self.parse_concat()];
+        while self.eat('|') {
+            branches.push(self.parse_concat());
+        }
+        Node::Alt(branches)
+    }
+
+    fn parse_concat(&mut self) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            nodes.push(self.parse_quantifier(atom));
+        }
+        nodes
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump().expect("parse_concat checked peek") {
+            '(' => {
+                // Non-capturing prefix `(?:`, if present, is cosmetic here.
+                if self.peek() == Some('?') {
+                    self.bump();
+                    self.eat(':');
+                }
+                let inner = self.parse_alternation();
+                self.eat(')');
+                inner
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::Printable,
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.bump() {
+            Some('d') => Node::Digit,
+            Some('w') => Node::Word,
+            Some('s') => Node::Space,
+            Some('n') => Node::Lit('\n'),
+            Some('t') => Node::Lit('\t'),
+            Some('r') => Node::Lit('\r'),
+            Some('P') | Some('p') => {
+                // Unicode property; `\PC` (not control) is the only one the
+                // tests use — everything printable satisfies it.
+                if self.eat('{') {
+                    while let Some(c) = self.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                } else {
+                    self.bump();
+                }
+                Node::Printable
+            }
+            Some(c) => Node::Lit(c),
+            None => Node::Lit('\\'),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ']' {
+                self.bump();
+                break;
+            }
+            let lo = self.class_char();
+            // A dash is a range separator unless it ends the class.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self.class_char();
+                items.push(ClassItem::Range(lo, hi));
+            } else {
+                items.push(ClassItem::Ch(lo));
+            }
+        }
+        if items.is_empty() {
+            items.push(ClassItem::Ch('?'));
+        }
+        Node::Class { negated, items }
+    }
+
+    /// One (possibly escaped) character inside a class.
+    fn class_char(&mut self) -> char {
+        match self.bump().expect("class scanned via peek") {
+            '\\' => match self.bump() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some(c) => c,
+                None => '\\',
+            },
+            c => c,
+        }
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 4)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, 4)
+            }
+            Some('{') => {
+                let save = self.pos;
+                self.bump();
+                let lo = self.parse_number();
+                let hi = if self.eat(',') {
+                    if self.peek() == Some('}') {
+                        lo.map(|l| l + 4)
+                    } else {
+                        self.parse_number()
+                    }
+                } else {
+                    lo
+                };
+                match (lo, hi, self.eat('}')) {
+                    (Some(lo), Some(hi), true) if lo <= hi => Node::Repeat(Box::new(atom), lo, hi),
+                    _ => {
+                        // Not a well-formed quantifier: emit `{` literally
+                        // and re-scan what followed it.
+                        self.pos = save + 1;
+                        Node::Alt(vec![vec![atom, Node::Lit('{')]])
+                    }
+                }
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        self.chars[start..self.pos].iter().collect::<String>().parse().ok()
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let branch = &branches[rng.below(branches.len() as u64) as usize];
+            for n in branch {
+                emit(n, rng, out);
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Printable => out.push(printable_char(rng)),
+        Node::Digit => out.push(char::from(b'0' + rng.below(10) as u8)),
+        Node::Word => {
+            const WORD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+            out.push(char::from(WORD[rng.below(WORD.len() as u64) as usize]));
+        }
+        Node::Space => out.push([' ', '\t', '\n'][rng.below(3) as usize]),
+        Node::Class { negated, items } => out.push(class_char(*negated, items, rng)),
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn class_char(negated: bool, items: &[ClassItem], rng: &mut TestRng) -> char {
+    if negated {
+        // Sample printables until one falls outside the class.
+        for _ in 0..100 {
+            let c = printable_char(rng);
+            let inside = items.iter().any(|i| match i {
+                ClassItem::Ch(ch) => *ch == c,
+                ClassItem::Range(lo, hi) => (*lo..=*hi).contains(&c),
+            });
+            if !inside {
+                return c;
+            }
+        }
+        return '?';
+    }
+    match &items[rng.below(items.len() as u64) as usize] {
+        ClassItem::Ch(c) => *c,
+        ClassItem::Range(lo, hi) => {
+            let span = *hi as u32 - *lo as u32 + 1;
+            char::from_u32(*lo as u32 + rng.below(span as u64) as u32).unwrap_or(*lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str, n: u64) -> Vec<String> {
+        (0..n)
+            .map(|case| {
+                let mut rng = TestRng::for_case(pattern, case);
+                generate_from_regex(pattern, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decimal_pattern_produces_parseable_decimals() {
+        for s in gen_many("-?(0|[1-9][0-9]{0,9})\\.[0-9]{1,9}", 200) {
+            assert!(s.parse::<f64>().is_ok(), "not a number: {s:?}");
+            assert!(s.contains('.'), "no dot: {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_ranges_and_counts_hold() {
+        for s in gen_many("[a-z]{1,5}", 200) {
+            assert!((1..=5).contains(&s.chars().count()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad char: {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern_avoids_controls() {
+        for s in gen_many("\\PC{0,80}", 100) {
+            assert!(s.chars().count() <= 80);
+            assert!(!s.chars().any(char::is_control), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_of_keywords() {
+        let pat = "(for|let|return|\\$x|where| ){0,40}";
+        for s in gen_many(pat, 50) {
+            // Every generated string decomposes into the allowed tokens.
+            let mut rest = s.as_str();
+            while !rest.is_empty() {
+                let tok = ["for", "let", "return", "$x", "where", " "]
+                    .iter()
+                    .find(|t| rest.starts_with(**t));
+                match tok {
+                    Some(t) => rest = &rest[t.len()..],
+                    None => panic!("unexpected token start: {rest:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optional_sign_and_escaped_dash_in_class() {
+        let any_signed = gen_many("-?[0-9]{1,2}", 100);
+        assert!(any_signed.iter().any(|s| s.starts_with('-')));
+        assert!(any_signed.iter().any(|s| !s.starts_with('-')));
+        for s in gen_many("[a\\-b]{3}", 50) {
+            assert!(s.chars().all(|c| matches!(c, 'a' | '-' | 'b')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for s in gen_many("[+-]{1}", 50) {
+            assert!(s == "+" || s == "-");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4275a7a72085edbf.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-4275a7a72085edbf: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

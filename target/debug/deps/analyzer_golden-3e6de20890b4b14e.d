@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyzer_golden-3e6de20890b4b14e.d: crates/core/tests/analyzer_golden.rs
+
+/root/repo/target/debug/deps/analyzer_golden-3e6de20890b4b14e: crates/core/tests/analyzer_golden.rs
+
+crates/core/tests/analyzer_golden.rs:

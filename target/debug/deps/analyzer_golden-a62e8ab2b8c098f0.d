@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyzer_golden-a62e8ab2b8c098f0.d: crates/core/tests/analyzer_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyzer_golden-a62e8ab2b8c098f0.rmeta: crates/core/tests/analyzer_golden.rs Cargo.toml
+
+crates/core/tests/analyzer_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-add8e014c5caf153.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-add8e014c5caf153: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_local-0bcb5573eb8b21ab.d: crates/bench/benches/fig11_local.rs
+
+/root/repo/target/debug/deps/fig11_local-0bcb5573eb8b21ab: crates/bench/benches/fig11_local.rs
+
+crates/bench/benches/fig11_local.rs:

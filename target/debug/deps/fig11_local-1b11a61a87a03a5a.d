@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_local-1b11a61a87a03a5a.d: crates/bench/benches/fig11_local.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_local-1b11a61a87a03a5a.rmeta: crates/bench/benches/fig11_local.rs Cargo.toml
+
+crates/bench/benches/fig11_local.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

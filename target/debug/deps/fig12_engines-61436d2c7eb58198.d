@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_engines-61436d2c7eb58198.d: crates/bench/benches/fig12_engines.rs
+
+/root/repo/target/debug/deps/fig12_engines-61436d2c7eb58198: crates/bench/benches/fig12_engines.rs
+
+crates/bench/benches/fig12_engines.rs:

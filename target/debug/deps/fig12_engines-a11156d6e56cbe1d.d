@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_engines-a11156d6e56cbe1d.d: crates/bench/benches/fig12_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_engines-a11156d6e56cbe1d.rmeta: crates/bench/benches/fig12_engines.rs Cargo.toml
+
+crates/bench/benches/fig12_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

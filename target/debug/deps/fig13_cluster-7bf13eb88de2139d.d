@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_cluster-7bf13eb88de2139d.d: crates/bench/benches/fig13_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_cluster-7bf13eb88de2139d.rmeta: crates/bench/benches/fig13_cluster.rs Cargo.toml
+
+crates/bench/benches/fig13_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_cluster-aa29369d2e289ae2.d: crates/bench/benches/fig13_cluster.rs
+
+/root/repo/target/debug/deps/fig13_cluster-aa29369d2e289ae2: crates/bench/benches/fig13_cluster.rs
+
+crates/bench/benches/fig13_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_speedup-6842beda6e5e2d07.d: crates/bench/benches/fig14_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_speedup-6842beda6e5e2d07.rmeta: crates/bench/benches/fig14_speedup.rs Cargo.toml
+
+crates/bench/benches/fig14_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_speedup-a3b0d3e6e939d9e9.d: crates/bench/benches/fig14_speedup.rs
+
+/root/repo/target/debug/deps/fig14_speedup-a3b0d3e6e939d9e9: crates/bench/benches/fig14_speedup.rs
+
+crates/bench/benches/fig14_speedup.rs:

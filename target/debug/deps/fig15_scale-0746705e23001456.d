@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_scale-0746705e23001456.d: crates/bench/benches/fig15_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_scale-0746705e23001456.rmeta: crates/bench/benches/fig15_scale.rs Cargo.toml
+
+crates/bench/benches/fig15_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

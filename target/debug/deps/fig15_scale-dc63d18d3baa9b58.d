@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_scale-dc63d18d3baa9b58.d: crates/bench/benches/fig15_scale.rs
+
+/root/repo/target/debug/deps/fig15_scale-dc63d18d3baa9b58: crates/bench/benches/fig15_scale.rs
+
+crates/bench/benches/fig15_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-59cdc22c16db4277.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-59cdc22c16db4277: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-d5389893519537ad.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-d5389893519537ad: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jsonlite-8d1b09c939a4a4c3.d: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+/root/repo/target/debug/deps/libjsonlite-8d1b09c939a4a4c3.rlib: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+/root/repo/target/debug/deps/libjsonlite-8d1b09c939a4a4c3.rmeta: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+crates/jsonlite/src/lib.rs:
+crates/jsonlite/src/error.rs:
+crates/jsonlite/src/lines.rs:
+crates/jsonlite/src/parse.rs:
+crates/jsonlite/src/ser.rs:
+crates/jsonlite/src/value.rs:

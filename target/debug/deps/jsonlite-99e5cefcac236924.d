@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jsonlite-99e5cefcac236924.d: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsonlite-99e5cefcac236924.rmeta: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs Cargo.toml
+
+crates/jsonlite/src/lib.rs:
+crates/jsonlite/src/error.rs:
+crates/jsonlite/src/lines.rs:
+crates/jsonlite/src/parse.rs:
+crates/jsonlite/src/ser.rs:
+crates/jsonlite/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jsonlite-b9cf32f33e10ccdd.d: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjsonlite-b9cf32f33e10ccdd.rmeta: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs Cargo.toml
+
+crates/jsonlite/src/lib.rs:
+crates/jsonlite/src/error.rs:
+crates/jsonlite/src/lines.rs:
+crates/jsonlite/src/parse.rs:
+crates/jsonlite/src/ser.rs:
+crates/jsonlite/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jsonlite-d53300a28fe5416f.d: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+/root/repo/target/debug/deps/jsonlite-d53300a28fe5416f: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+crates/jsonlite/src/lib.rs:
+crates/jsonlite/src/error.rs:
+crates/jsonlite/src/lines.rs:
+crates/jsonlite/src/parse.rs:
+crates/jsonlite/src/ser.rs:
+crates/jsonlite/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-42b93da5736378d8.d: crates/core/tests/language.rs
+
+/root/repo/target/debug/deps/language-42b93da5736378d8: crates/core/tests/language.rs
+
+crates/core/tests/language.rs:

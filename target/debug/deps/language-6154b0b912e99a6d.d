@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language-6154b0b912e99a6d.d: crates/core/tests/language.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage-6154b0b912e99a6d.rmeta: crates/core/tests/language.rs Cargo.toml
+
+crates/core/tests/language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-cc84fdd220aa3e90.d: crates/core/tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-cc84fdd220aa3e90: crates/core/tests/proptest_engine.rs
+
+crates/core/tests/proptest_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_plan-27df1513e7b4cf83.d: crates/sparklite/tests/proptest_plan.rs
+
+/root/repo/target/debug/deps/proptest_plan-27df1513e7b4cf83: crates/sparklite/tests/proptest_plan.rs
+
+crates/sparklite/tests/proptest_plan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_plan-5c16fa0274d00481.d: crates/sparklite/tests/proptest_plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_plan-5c16fa0274d00481.rmeta: crates/sparklite/tests/proptest_plan.rs Cargo.toml
+
+crates/sparklite/tests/proptest_plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

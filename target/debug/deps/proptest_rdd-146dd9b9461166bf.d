@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rdd-146dd9b9461166bf.d: crates/sparklite/tests/proptest_rdd.rs
+
+/root/repo/target/debug/deps/proptest_rdd-146dd9b9461166bf: crates/sparklite/tests/proptest_rdd.rs
+
+crates/sparklite/tests/proptest_rdd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_rdd-7d226ff3e207da35.d: crates/sparklite/tests/proptest_rdd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_rdd-7d226ff3e207da35.rmeta: crates/sparklite/tests/proptest_rdd.rs Cargo.toml
+
+crates/sparklite/tests/proptest_rdd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

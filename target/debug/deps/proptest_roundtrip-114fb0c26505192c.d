@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-114fb0c26505192c.d: crates/jsonlite/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-114fb0c26505192c: crates/jsonlite/tests/proptest_roundtrip.rs
+
+crates/jsonlite/tests/proptest_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-42296ded58dec495.d: crates/jsonlite/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-42296ded58dec495.rmeta: crates/jsonlite/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/jsonlite/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queries-531290e0a6768f52.d: crates/core/tests/queries.rs
+
+/root/repo/target/debug/deps/queries-531290e0a6768f52: crates/core/tests/queries.rs
+
+crates/core/tests/queries.rs:

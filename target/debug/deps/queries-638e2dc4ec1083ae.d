@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queries-638e2dc4ec1083ae.d: crates/core/tests/queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueries-638e2dc4ec1083ae.rmeta: crates/core/tests/queries.rs Cargo.toml
+
+crates/core/tests/queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rumble_baselines-254d29fc3993b537.d: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+/root/repo/target/debug/deps/librumble_baselines-254d29fc3993b537.rlib: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+/root/repo/target/debug/deps/librumble_baselines-254d29fc3993b537.rmeta: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/handtuned.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/pyspark.rs:
+crates/baselines/src/rawspark.rs:
+crates/baselines/src/sparksql.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rumble_baselines-2e2102776ecc4c77.d: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs Cargo.toml
+
+/root/repo/target/debug/deps/librumble_baselines-2e2102776ecc4c77.rmeta: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/handtuned.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/pyspark.rs:
+crates/baselines/src/rawspark.rs:
+crates/baselines/src/sparksql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rumble_baselines-cb06d2c9ddb2279f.d: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+/root/repo/target/debug/deps/rumble_baselines-cb06d2c9ddb2279f: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/handtuned.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/pyspark.rs:
+crates/baselines/src/rawspark.rs:
+crates/baselines/src/sparksql.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rumble_bench-285712f9590dd6e9.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+/root/repo/target/debug/deps/rumble_bench-285712f9590dd6e9: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/systems.rs:

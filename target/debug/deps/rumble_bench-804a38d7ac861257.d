@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rumble_bench-804a38d7ac861257.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/librumble_bench-804a38d7ac861257.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rumble_bench-9599f5d892ae6fd1.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+/root/repo/target/debug/deps/librumble_bench-9599f5d892ae6fd1.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+/root/repo/target/debug/deps/librumble_bench-9599f5d892ae6fd1.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/systems.rs:

@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/rumble_core-9b3d1105c94723e4.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compiler.rs crates/core/src/error.rs crates/core/src/flwor/mod.rs crates/core/src/flwor/clauses.rs crates/core/src/item/mod.rs crates/core/src/item/codec.rs crates/core/src/item/decimal.rs crates/core/src/item/json.rs crates/core/src/item/ops.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/exprs.rs crates/core/src/runtime/functions.rs crates/core/src/runtime/types.rs crates/core/src/semantics/mod.rs crates/core/src/semantics/diag.rs crates/core/src/semantics/passes.rs crates/core/src/syntax/mod.rs crates/core/src/syntax/ast.rs crates/core/src/syntax/lexer.rs crates/core/src/syntax/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/librumble_core-9b3d1105c94723e4.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/compiler.rs crates/core/src/error.rs crates/core/src/flwor/mod.rs crates/core/src/flwor/clauses.rs crates/core/src/item/mod.rs crates/core/src/item/codec.rs crates/core/src/item/decimal.rs crates/core/src/item/json.rs crates/core/src/item/ops.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/exprs.rs crates/core/src/runtime/functions.rs crates/core/src/runtime/types.rs crates/core/src/semantics/mod.rs crates/core/src/semantics/diag.rs crates/core/src/semantics/passes.rs crates/core/src/syntax/mod.rs crates/core/src/syntax/ast.rs crates/core/src/syntax/lexer.rs crates/core/src/syntax/parser.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/compiler.rs:
+crates/core/src/error.rs:
+crates/core/src/flwor/mod.rs:
+crates/core/src/flwor/clauses.rs:
+crates/core/src/item/mod.rs:
+crates/core/src/item/codec.rs:
+crates/core/src/item/decimal.rs:
+crates/core/src/item/json.rs:
+crates/core/src/item/ops.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/exprs.rs:
+crates/core/src/runtime/functions.rs:
+crates/core/src/runtime/types.rs:
+crates/core/src/semantics/mod.rs:
+crates/core/src/semantics/diag.rs:
+crates/core/src/semantics/passes.rs:
+crates/core/src/syntax/mod.rs:
+crates/core/src/syntax/ast.rs:
+crates/core/src/syntax/lexer.rs:
+crates/core/src/syntax/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

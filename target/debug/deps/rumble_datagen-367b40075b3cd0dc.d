@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rumble_datagen-367b40075b3cd0dc.d: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+/root/repo/target/debug/deps/librumble_datagen-367b40075b3cd0dc.rlib: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+/root/repo/target/debug/deps/librumble_datagen-367b40075b3cd0dc.rmeta: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/confusion.rs:
+crates/datagen/src/heterogeneous.rs:
+crates/datagen/src/reddit.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rumble_datagen-386a08c608a0d0de.d: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs Cargo.toml
+
+/root/repo/target/debug/deps/librumble_datagen-386a08c608a0d0de.rmeta: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/confusion.rs:
+crates/datagen/src/heterogeneous.rs:
+crates/datagen/src/reddit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

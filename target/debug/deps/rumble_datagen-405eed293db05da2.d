@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rumble_datagen-405eed293db05da2.d: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+/root/repo/target/debug/deps/rumble_datagen-405eed293db05da2: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/confusion.rs:
+crates/datagen/src/heterogeneous.rs:
+crates/datagen/src/reddit.rs:

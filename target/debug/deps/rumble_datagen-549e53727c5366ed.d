@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rumble_datagen-549e53727c5366ed.d: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs Cargo.toml
+
+/root/repo/target/debug/deps/librumble_datagen-549e53727c5366ed.rmeta: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/confusion.rs:
+crates/datagen/src/heterogeneous.rs:
+crates/datagen/src/reddit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

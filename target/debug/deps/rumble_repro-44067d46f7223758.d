@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rumble_repro-44067d46f7223758.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librumble_repro-44067d46f7223758.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rumble_repro-5ddb6f6cd79db188.d: src/lib.rs
+
+/root/repo/target/debug/deps/rumble_repro-5ddb6f6cd79db188: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rumble_repro-8c62d3b3177ba37a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librumble_repro-8c62d3b3177ba37a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

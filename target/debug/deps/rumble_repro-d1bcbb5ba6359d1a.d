@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rumble_repro-d1bcbb5ba6359d1a.d: src/lib.rs
+
+/root/repo/target/debug/deps/librumble_repro-d1bcbb5ba6359d1a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librumble_repro-d1bcbb5ba6359d1a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-4c258ba64ba4cd80.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-4c258ba64ba4cd80: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

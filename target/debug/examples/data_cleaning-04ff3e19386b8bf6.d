@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_cleaning-04ff3e19386b8bf6.d: examples/data_cleaning.rs
+
+/root/repo/target/debug/examples/data_cleaning-04ff3e19386b8bf6: examples/data_cleaning.rs
+
+examples/data_cleaning.rs:

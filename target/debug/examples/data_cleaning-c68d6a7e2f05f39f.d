@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_cleaning-c68d6a7e2f05f39f.d: examples/data_cleaning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_cleaning-c68d6a7e2f05f39f.rmeta: examples/data_cleaning.rs Cargo.toml
+
+examples/data_cleaning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/language_game-58451bdb9495c408.d: examples/language_game.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblanguage_game-58451bdb9495c408.rmeta: examples/language_game.rs Cargo.toml
+
+examples/language_game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

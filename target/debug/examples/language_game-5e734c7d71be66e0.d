@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/language_game-5e734c7d71be66e0.d: examples/language_game.rs
+
+/root/repo/target/debug/examples/language_game-5e734c7d71be66e0: examples/language_game.rs
+
+examples/language_game.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-da600279787e1269.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-da600279787e1269: examples/quickstart.rs
+
+examples/quickstart.rs:

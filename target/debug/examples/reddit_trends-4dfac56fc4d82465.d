@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reddit_trends-4dfac56fc4d82465.d: examples/reddit_trends.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreddit_trends-4dfac56fc4d82465.rmeta: examples/reddit_trends.rs Cargo.toml
+
+examples/reddit_trends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reddit_trends-86bd9fc19f32ba93.d: examples/reddit_trends.rs
+
+/root/repo/target/debug/examples/reddit_trends-86bd9fc19f32ba93: examples/reddit_trends.rs
+
+examples/reddit_trends.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shell-63858d57cb640eb0.d: examples/shell.rs
+
+/root/repo/target/debug/examples/shell-63858d57cb640eb0: examples/shell.rs
+
+examples/shell.rs:

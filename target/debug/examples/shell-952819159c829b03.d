@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shell-952819159c829b03.d: examples/shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshell-952819159c829b03.rmeta: examples/shell.rs Cargo.toml
+
+examples/shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

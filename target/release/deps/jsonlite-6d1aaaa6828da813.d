@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/jsonlite-6d1aaaa6828da813.d: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+/root/repo/target/release/deps/libjsonlite-6d1aaaa6828da813.rlib: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+/root/repo/target/release/deps/libjsonlite-6d1aaaa6828da813.rmeta: crates/jsonlite/src/lib.rs crates/jsonlite/src/error.rs crates/jsonlite/src/lines.rs crates/jsonlite/src/parse.rs crates/jsonlite/src/ser.rs crates/jsonlite/src/value.rs
+
+crates/jsonlite/src/lib.rs:
+crates/jsonlite/src/error.rs:
+crates/jsonlite/src/lines.rs:
+crates/jsonlite/src/parse.rs:
+crates/jsonlite/src/ser.rs:
+crates/jsonlite/src/value.rs:

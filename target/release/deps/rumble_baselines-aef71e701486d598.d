@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rumble_baselines-aef71e701486d598.d: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+/root/repo/target/release/deps/librumble_baselines-aef71e701486d598.rlib: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+/root/repo/target/release/deps/librumble_baselines-aef71e701486d598.rmeta: crates/baselines/src/lib.rs crates/baselines/src/handtuned.rs crates/baselines/src/naive.rs crates/baselines/src/pyspark.rs crates/baselines/src/rawspark.rs crates/baselines/src/sparksql.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/handtuned.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/pyspark.rs:
+crates/baselines/src/rawspark.rs:
+crates/baselines/src/sparksql.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rumble_datagen-a2a50f164e06c194.d: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+/root/repo/target/release/deps/librumble_datagen-a2a50f164e06c194.rlib: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+/root/repo/target/release/deps/librumble_datagen-a2a50f164e06c194.rmeta: crates/datagen/src/lib.rs crates/datagen/src/confusion.rs crates/datagen/src/heterogeneous.rs crates/datagen/src/reddit.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/confusion.rs:
+crates/datagen/src/heterogeneous.rs:
+crates/datagen/src/reddit.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rumble_repro-7a326b854b80286b.d: src/lib.rs
+
+/root/repo/target/release/deps/librumble_repro-7a326b854b80286b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librumble_repro-7a326b854b80286b.rmeta: src/lib.rs
+
+src/lib.rs:

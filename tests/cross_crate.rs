@@ -102,7 +102,9 @@ fn naive_engines_match_rumble_until_they_oom() {
     let err = xidel.run_confusion("hdfs:///big.json", ConfusionQuery::Group).unwrap_err();
     assert!(err.message.contains("out of memory"));
     let ok = Rumble::new(sc)
-        .run(r#"count(for $i in json-file("hdfs:///big.json") group by $c := $i.country return $c)"#)
+        .run(
+            r#"count(for $i in json-file("hdfs:///big.json") group by $c := $i.country return $c)"#,
+        )
         .unwrap();
     assert!(ok[0].as_i64().unwrap() > 0);
 }
@@ -110,8 +112,7 @@ fn naive_engines_match_rumble_until_they_oom() {
 #[test]
 fn messy_data_full_pipeline() {
     let sc = cluster(4);
-    put_dataset(&sc, "hdfs:///messy.json", &heterogeneous::generate(3_000, DEFAULT_SEED))
-        .unwrap();
+    put_dataset(&sc, "hdfs:///messy.json", &heterogeneous::generate(3_000, DEFAULT_SEED)).unwrap();
     let rumble = Rumble::new(sc);
     // Clean + write + re-read: the full data-independence loop.
     let q = rumble
