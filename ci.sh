@@ -25,6 +25,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 step "cargo test (workspace)"
 cargo test --workspace --offline -q
 
+# The chaos suite runs as part of the workspace tests above; this explicit
+# pass re-runs every chaos/fault test by name so a failure is attributable
+# at a glance. All injection seeds are fixed inside the tests.
+step "chaos suite (fixed seeds)"
+cargo test --workspace --offline -q chaos
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline

@@ -4,7 +4,7 @@
 //! ```text
 //! harness [figure] [--scale N] [--tries N]
 //!
-//!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned
+//!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos
 //!   --scale   object-count multiplier (default 1 → laptop-sized runs)
 //!   --tries   timed repetitions per measurement (default 3)
 //! ```
@@ -36,7 +36,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--tries needs a positive integer"));
             }
             "--help" | "-h" => {
-                println!("usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned] [--scale N] [--tries N]");
+                println!("usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos] [--scale N] [--tries N]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => args.figure = other.to_string(),
@@ -86,6 +86,10 @@ fn main() {
     if run_fig("handtuned") {
         ran = true;
         println!("{}", figures::handtuned_comparison(200_000 * s).report);
+    }
+    if run_fig("chaos") {
+        ran = true;
+        println!("{}", figures::chaos(50_000 * s, cores, args.tries).report);
     }
     if !ran {
         die(&format!("unknown figure '{}'", args.figure));

@@ -4,9 +4,9 @@
 
 use crate::systems::{run_confusion, run_reddit_filter, System};
 use crate::{fmt_duration, render_table, time};
-use rumble_baselines::ConfusionQuery;
+use rumble_baselines::{ConfusionQuery, QueryOutput};
 use rumble_datagen::{confusion, put_dataset, reddit, DEFAULT_SEED};
-use sparklite::{SparkliteConf, SparkliteContext};
+use sparklite::{FaultPlan, SparkliteConf, SparkliteContext};
 use std::time::Duration;
 
 pub const QUERIES: [ConfusionQuery; 3] =
@@ -277,6 +277,71 @@ pub fn fig15(
     (points, report)
 }
 
+/// **Chaos** — recovery overhead (no paper analogue; exercises the §2/§4.1
+/// resilience claim): the Fig. 11 queries fault-free and under seeded 5% /
+/// 20% fault injection (task kills, lost shuffle outputs, storage faults).
+/// Every plan must return identical results; the timing delta is the price
+/// of task retries plus lineage-based recomputation.
+pub fn chaos(objects: usize, executors: usize, tries: usize) -> FigureReport {
+    const SEED: u64 = 0xC4A0;
+    let text = confusion::generate(objects, DEFAULT_SEED);
+    let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
+    let mut recovery = String::new();
+    let mut baseline: Option<Vec<QueryOutput>> = None;
+    for (label, prob) in [("fault-free", 0.0), ("5% faults", 0.05), ("20% faults", 0.20)] {
+        let plan = if prob > 0.0 { FaultPlan::chaos(SEED, prob) } else { FaultPlan::default() };
+        // A small block size keeps the input split into many partitions so
+        // injection has real scheduling decisions to hit.
+        let sc = SparkliteContext::new(
+            SparkliteConf::default()
+                .with_executors(executors)
+                .with_block_size(16 * 1024)
+                .with_faults(plan),
+        );
+        put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
+        let mut cells = Vec::new();
+        let mut outputs: Vec<QueryOutput> = Vec::new();
+        for query in QUERIES {
+            let mut total = Duration::ZERO;
+            let mut last = None;
+            for _ in 0..tries.max(1) {
+                let (r, d) =
+                    time(|| run_confusion(System::Rumble, &sc, "hdfs:///confusion.json", query));
+                let out = r.unwrap_or_else(|e| panic!("{label} failed on {query:?}: {e}"));
+                total += d;
+                last = Some(out);
+            }
+            outputs.push(last.expect("at least one try ran").normalized());
+            cells.push(Cell::Time(total / tries.max(1) as u32));
+        }
+        let m = sc.metrics();
+        recovery.push_str(&format!(
+            "{label}: {} failed / {} retried / {} recomputed task(s), {} injected fault(s)\n",
+            m.failed_tasks, m.retried_tasks, m.recomputed_tasks, m.injected_faults
+        ));
+        match &baseline {
+            None => baseline = Some(outputs),
+            Some(base) => {
+                for (i, out) in outputs.iter().enumerate() {
+                    assert_eq!(out, &base[i], "{label} changed the answer of {:?}", QUERIES[i]);
+                }
+            }
+        }
+        rows.push((label.to_string(), cells));
+    }
+    let report = format!(
+        "{}\n{recovery}all plans returned identical results; the timing delta is the cost of \
+         task retries and lineage-based recomputation of lost shuffle outputs.\n",
+        render_rows(
+            &format!(
+                "Chaos — recovery overhead, {objects} objects, {executors} cores, seed {SEED:#x}"
+            ),
+            &rows
+        )
+    );
+    FigureReport { rows, report }
+}
+
 /// **§6.3 prose** — the hand-tuned low-level program vs the engines.
 pub fn handtuned_comparison(objects: usize) -> FigureReport {
     let sc = SparkliteContext::new(SparkliteConf::default());
@@ -312,6 +377,16 @@ mod tests {
     fn fig12_smoke_records_cliffs() {
         let r = fig12(&[200, 400], Duration::from_secs(30));
         assert_eq!(r.rows.len(), 6);
+    }
+
+    #[test]
+    fn chaos_smoke_recovers_identically() {
+        // The figure itself asserts that every fault plan returns results
+        // identical to the fault-free run.
+        let r = chaos(2_000, 3, 1);
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.rows.iter().all(|(_, cells)| cells.iter().all(|c| c.seconds().is_some())));
+        assert!(r.report.contains("recomputed"));
     }
 
     #[test]

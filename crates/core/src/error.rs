@@ -75,9 +75,63 @@ impl fmt::Display for RumbleError {
 
 impl std::error::Error for RumbleError {}
 
+/// The codes an application error raised inside a distributed task can
+/// carry. Task failures travel through sparklite as rendered strings
+/// (`"[CODE] dynamic error: …"`); this table recovers the `&'static str`
+/// code so a `FORG0005` raised inside a UDF surfaces as `FORG0005`, not as
+/// a generic cluster failure.
+const RECOVERABLE_CODES: &[&str] = &[
+    codes::TYPE_MISMATCH,
+    codes::DIV_BY_ZERO,
+    codes::NUMERIC_OVERFLOW,
+    codes::INVALID_CAST,
+    codes::CARDINALITY_ZERO_OR_ONE,
+    codes::CARDINALITY_ONE_OR_MORE,
+    codes::CARDINALITY_EXACTLY_ONE,
+    codes::USER_ERROR,
+    codes::BAD_INPUT,
+    codes::UNSUPPORTED,
+    codes::TREAT,
+];
+
+/// Recovers the original spec code (and the bare message after the code and
+/// phase prefix) from a task failure message shaped like
+/// `"[FOAR0001] dynamic error: …"`.
+fn recover_code(message: &str) -> Option<(&'static str, &str)> {
+    let rest = message.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let code = RECOVERABLE_CODES.iter().find(|&&c| c == &rest[..end]).copied()?;
+    let tail = rest[end + 1..].trim_start();
+    let tail = tail
+        .strip_prefix("dynamic error:")
+        .or_else(|| tail.strip_prefix("static error:"))
+        .unwrap_or(tail)
+        .trim_start();
+    Some((code, tail))
+}
+
 impl From<sparklite::SparkliteError> for RumbleError {
     fn from(e: sparklite::SparkliteError) -> Self {
-        RumbleError::dynamic(codes::CLUSTER, e.to_string())
+        match &e {
+            // A deterministic application error raised inside a task (the
+            // recovery layer classified it and skipped retries): surface it
+            // under its original JSONiq code when recognizable.
+            sparklite::SparkliteError::TaskFailed(cause)
+                if cause.kind == sparklite::FailureKind::App =>
+            {
+                match recover_code(&cause.message) {
+                    Some((code, msg)) => RumbleError::dynamic(code, msg.to_string()),
+                    None => RumbleError::dynamic(codes::CLUSTER, e.to_string()),
+                }
+            }
+            // The retry budget ran out: a distinct, typed cluster error so
+            // callers can tell "your query is wrong" from "the cluster kept
+            // failing".
+            sparklite::SparkliteError::TaskRetriesExhausted { .. } => {
+                RumbleError::dynamic(codes::CLUSTER_RETRY, e.to_string())
+            }
+            _ => RumbleError::dynamic(codes::CLUSTER, e.to_string()),
+        }
     }
 }
 
@@ -108,6 +162,8 @@ pub mod codes {
     pub const USER_ERROR: &str = "FOER0000";
     /// Failures bubbling up from the cluster substrate.
     pub const CLUSTER: &str = "RBML0001";
+    /// A task kept failing until its retry budget was exhausted.
+    pub const CLUSTER_RETRY: &str = "RBML0004";
     /// Input data could not be parsed as JSON.
     pub const BAD_INPUT: &str = "RBML0002";
     /// Feature recognized but not implemented by this engine.

@@ -1,6 +1,164 @@
 //! Engine configuration, mirroring the handful of Spark settings the paper's
 //! experiments vary (executor count, parallelism) plus the knobs our
-//! simulated storage layer adds.
+//! simulated storage layer adds and the chaos-injection plan the
+//! fault-tolerance subsystem consumes.
+
+/// Deterministic chaos-injection and recovery configuration.
+///
+/// The "R" in RDD is *resilient*: the paper's data-independence argument
+/// rests on Rumble inheriting Spark's lineage-based fault tolerance by
+/// compiling onto RDDs. A `FaultPlan` drives a seeded fault injector so the
+/// recovery machinery (task retries, lineage recomputation of lost shuffle
+/// outputs, speculative execution) can be exercised — and benchmarked —
+/// reproducibly: every injection decision is a pure hash of
+/// `(seed, fault kind, stage, partition, attempt)`, so the same plan over
+/// the same query produces the same faults on every run.
+///
+/// All probabilities default to zero: a default plan injects nothing and the
+/// recovery layer stays on a near-zero-cost fast path.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Probability that a task attempt is killed right after it starts
+    /// (models an executor JVM dying mid-task).
+    pub task_failure_prob: f64,
+    /// Probability that a map task's shuffle output is lost after the map
+    /// stage completes (models an executor dying *between* stages, taking
+    /// its shuffle files with it). Recovery re-runs only the affected
+    /// parent-stage tasks — Spark's lineage-based recomputation.
+    pub exec_death_prob: f64,
+    /// Probability that a storage block read fails transiently (models an
+    /// HDFS datanode hiccup or an S3 5xx).
+    pub storage_fault_prob: f64,
+    /// Probability that a task attempt is slowed down by
+    /// [`FaultPlan::straggler_delay_us`] (models a degraded node). Paired
+    /// with [`FaultPlan::speculation`] to exercise speculative re-execution.
+    pub straggler_prob: f64,
+    /// Extra latency injected into straggling task attempts, microseconds.
+    pub straggler_delay_us: u64,
+    /// Artificial latency added to each block read, in microseconds. Zero by
+    /// default; the "S3" flavour of the storage layer uses this to model
+    /// remote object-store round trips. (Formerly a standalone
+    /// `SparkliteConf` knob; it shares the plan so storage latency, storage
+    /// faults and task faults come from one seeded source.)
+    pub read_latency_us: u64,
+    /// Maximum attempts per task before the job fails (Spark's
+    /// `spark.task.maxFailures`, default 4). Deterministic application
+    /// errors fail fast regardless of this budget.
+    pub max_task_failures: u32,
+    /// How many times each fault kind may fire per task, so injected chaos
+    /// always converges (a task sees at most one injected kill *and* one
+    /// injected storage fault, which fits inside the default budget of 4).
+    pub max_injected_per_task: u32,
+    /// Enables speculative execution: when most tasks of a stage are done,
+    /// stragglers are re-launched and the first attempt to finish wins.
+    pub speculation: bool,
+    /// A task is speculatable once it has run longer than this multiple of
+    /// the median successful task duration (Spark's
+    /// `spark.speculation.multiplier`).
+    pub speculation_multiplier: f64,
+    /// Fraction of tasks that must be complete before speculation starts
+    /// (Spark's `spark.speculation.quantile`).
+    pub speculation_quantile: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            task_failure_prob: 0.0,
+            exec_death_prob: 0.0,
+            storage_fault_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_delay_us: 50_000,
+            read_latency_us: 0,
+            max_task_failures: 4,
+            max_injected_per_task: 1,
+            speculation: false,
+            speculation_multiplier: 1.5,
+            speculation_quantile: 0.75,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting task kills, lost shuffle outputs and storage faults,
+    /// each with probability `prob`, under `seed`. The usual entry point for
+    /// chaos tests: injection is capped per task so every job still
+    /// converges within the default retry budget.
+    pub fn chaos(seed: u64, prob: f64) -> Self {
+        FaultPlan {
+            seed,
+            task_failure_prob: prob,
+            exec_death_prob: prob,
+            storage_fault_prob: prob,
+            ..FaultPlan::default()
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_task_failures(mut self, prob: f64) -> Self {
+        self.task_failure_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn with_exec_death(mut self, prob: f64) -> Self {
+        self.exec_death_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn with_storage_faults(mut self, prob: f64) -> Self {
+        self.storage_fault_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn with_stragglers(mut self, prob: f64, delay_us: u64) -> Self {
+        self.straggler_prob = prob.clamp(0.0, 1.0);
+        self.straggler_delay_us = delay_us;
+        self
+    }
+
+    pub fn with_read_latency_us(mut self, us: u64) -> Self {
+        self.read_latency_us = us;
+        self
+    }
+
+    /// Sets the per-task attempt budget (clamped to at least 1).
+    pub fn with_max_task_failures(mut self, n: u32) -> Self {
+        self.max_task_failures = n.max(1);
+        self
+    }
+
+    pub fn with_max_injected_per_task(mut self, n: u32) -> Self {
+        self.max_injected_per_task = n;
+        self
+    }
+
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculation = on;
+        self
+    }
+
+    /// Whether any fault kind can fire.
+    pub fn injects(&self) -> bool {
+        self.task_failure_prob > 0.0
+            || self.exec_death_prob > 0.0
+            || self.storage_fault_prob > 0.0
+            || self.straggler_prob > 0.0
+    }
+
+    /// Whether the recovery layer must keep stage inputs re-executable
+    /// (clone instead of consume): any injection, or speculation, can
+    /// schedule a second attempt of a task that already ran.
+    pub fn armed(&self) -> bool {
+        self.injects() || self.speculation
+    }
+}
 
 /// Configuration for a [`crate::SparkliteContext`].
 #[derive(Debug, Clone)]
@@ -15,26 +173,11 @@ pub struct SparkliteConf {
     /// into line-aligned blocks of roughly this size; each block becomes one
     /// input partition (like HDFS blocks feeding Spark input splits).
     pub block_size: usize,
-    /// Artificial latency added to each block read, in microseconds. Zero by
-    /// default; the "S3" flavour of the storage layer uses this to model
-    /// remote object-store round trips.
-    pub read_latency_us: u64,
     /// Number of rows sampled per partition when computing range bounds for
     /// sorts (Spark's `RangePartitioner` sketch size, simplified).
     pub sort_sample_size: usize,
-}
-
-impl Default for SparkliteConf {
-    fn default() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        SparkliteConf {
-            executors: cores,
-            default_parallelism: cores * 2,
-            block_size: 4 * 1024 * 1024,
-            read_latency_us: 0,
-            sort_sample_size: 64,
-        }
-    }
+    /// Chaos injection and recovery tuning; see [`FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 impl SparkliteConf {
@@ -56,10 +199,30 @@ impl SparkliteConf {
         self
     }
 
-    /// Adds per-block read latency, modelling remote storage.
+    /// Adds per-block read latency, modelling remote storage. Forwards into
+    /// [`FaultPlan::read_latency_us`], where the knob now lives.
     pub fn with_read_latency_us(mut self, us: u64) -> Self {
-        self.read_latency_us = us;
+        self.faults.read_latency_us = us;
         self
+    }
+
+    /// Installs a chaos/recovery plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+}
+
+impl Default for SparkliteConf {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        SparkliteConf {
+            executors: cores,
+            default_parallelism: cores * 2,
+            block_size: 4 * 1024 * 1024,
+            sort_sample_size: 64,
+            faults: FaultPlan::default(),
+        }
     }
 }
 
@@ -74,5 +237,23 @@ mod tests {
         assert_eq!(c.default_parallelism, 1);
         let c = SparkliteConf::default().with_block_size(1);
         assert_eq!(c.block_size, 1024);
+    }
+
+    #[test]
+    fn read_latency_forwards_into_fault_plan() {
+        let c = SparkliteConf::default().with_read_latency_us(250);
+        assert_eq!(c.faults.read_latency_us, 250);
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(!p.injects());
+        assert!(!p.armed());
+        assert_eq!(p.max_task_failures, 4);
+        let p = FaultPlan::chaos(7, 0.2);
+        assert!(p.injects() && p.armed());
+        assert!(!FaultPlan::default().with_speculation(true).injects());
+        assert!(FaultPlan::default().with_speculation(true).armed());
     }
 }

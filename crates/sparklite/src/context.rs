@@ -3,7 +3,8 @@
 
 use crate::conf::SparkliteConf;
 use crate::error::Result;
-use crate::executor::{ExecutorPool, Metrics, MetricsSnapshot, TaskContext};
+use crate::executor::{ExecutorPool, Metrics, MetricsSnapshot, TaskContext, TaskFn};
+use crate::faults::FaultInjector;
 use crate::rdd::{BoxIter, ParallelCollectionRdd, Rdd, RddOp, TextFileRdd};
 use crate::storage::SimHdfs;
 use crate::Data;
@@ -17,6 +18,7 @@ pub struct Core {
     pub(crate) pool: ExecutorPool,
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) hdfs: SimHdfs,
+    pub(crate) injector: Arc<FaultInjector>,
 }
 
 impl Core {
@@ -31,15 +33,35 @@ impl Core {
         f: Arc<dyn Fn(BoxIter<T>, &TaskContext) -> U + Send + Sync>,
     ) -> Result<Vec<U>> {
         op.prepare()?;
+        let splits: Vec<usize> = (0..op.num_partitions()).collect();
+        self.run_partition_subset(op, f, &splits)
+    }
+
+    /// Runs tasks for an explicit subset of `op`'s partitions — without
+    /// re-preparing dependencies — and returns results in `splits` order.
+    /// This is the lineage-recovery entry point: when a shuffle loses map
+    /// outputs, only the affected parent partitions are recomputed, and each
+    /// task keeps its original partition index so seeded per-partition
+    /// sampling stays deterministic.
+    #[allow(clippy::type_complexity)] // shares run_partitions' callback signature
+    pub(crate) fn run_partition_subset<T: Data, U: Send + 'static>(
+        self: &Arc<Self>,
+        op: &Arc<dyn RddOp<T>>,
+        f: Arc<dyn Fn(BoxIter<T>, &TaskContext) -> U + Send + Sync>,
+        splits: &[usize],
+    ) -> Result<Vec<U>> {
         self.metrics.stages.fetch_add(1, Ordering::Relaxed);
-        let tasks: Vec<_> = (0..op.num_partitions())
-            .map(|split| {
+        let tasks: Vec<(usize, Arc<TaskFn<U>>)> = splits
+            .iter()
+            .map(|&split| {
                 let op = Arc::clone(op);
                 let f = Arc::clone(&f);
-                move |tc: &TaskContext| f(op.compute(split, tc), tc)
+                let task: Arc<TaskFn<U>> =
+                    Arc::new(move |tc: &TaskContext| f(op.compute(split, tc), tc));
+                (split, task)
             })
             .collect();
-        self.pool.run(tasks)
+        self.pool.run_labeled(tasks)
     }
 }
 
@@ -55,9 +77,10 @@ pub struct SparkliteContext {
 impl SparkliteContext {
     pub fn new(conf: SparkliteConf) -> Self {
         let metrics = Arc::new(Metrics::default());
-        let pool = ExecutorPool::new(conf.executors, Arc::clone(&metrics));
-        let hdfs = SimHdfs::new(conf.block_size, conf.read_latency_us);
-        SparkliteContext { core: Arc::new(Core { conf, pool, metrics, hdfs }) }
+        let injector = Arc::new(FaultInjector::new(conf.faults.clone(), Arc::clone(&metrics)));
+        let pool = ExecutorPool::new(conf.executors, Arc::clone(&metrics), Arc::clone(&injector));
+        let hdfs = SimHdfs::new(conf.block_size, conf.faults.read_latency_us);
+        SparkliteContext { core: Arc::new(Core { conf, pool, metrics, hdfs, injector }) }
     }
 
     /// A context with default configuration.

@@ -1,12 +1,55 @@
-//! Error type shared across the engine.
+//! Error type shared across the engine, including the structured failure
+//! causes the recovery layer classifies retries with.
 
 use std::fmt;
+
+/// Why a task attempt failed — the classification the retry machinery keys
+/// on (see `executor.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A deterministic application error (a JSONiq `err:*`/`FORG*` raised
+    /// inside a UDF via [`crate::rdd::task_bail`]). Re-running the task
+    /// would fail identically, so these fail the job fast, attempt 1.
+    App,
+    /// A fault injected by the chaos plan ([`crate::conf::FaultPlan`]);
+    /// transient by construction, always worth retrying.
+    Injected,
+    /// A raw panic with no classification. Treated like Spark treats an
+    /// executor exception: retried up to the attempt budget.
+    Panic,
+}
+
+/// Structured description of one failed task attempt.
+#[derive(Debug, Clone)]
+pub struct FailureCause {
+    pub kind: FailureKind,
+    /// 0-based attempt number that failed.
+    pub attempt: u32,
+    /// The partition (task) index within its stage.
+    pub task: usize,
+    /// The job/stage id the attempt belonged to.
+    pub stage: u64,
+    /// Best-effort human-readable message (for [`FailureKind::App`], the
+    /// full `[CODE] …` rendering of the original application error).
+    pub message: String,
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task for partition {} failed: {}", self.task, self.message)
+    }
+}
 
 /// Failures surfaced by sparklite jobs and storage operations.
 #[derive(Debug, Clone)]
 pub enum SparkliteError {
-    /// A task panicked or raised; carries the best-effort message.
-    TaskFailed { partition: usize, message: String },
+    /// A task failed and was not retried (deterministic application error)
+    /// or could not be retried. Carries the classified cause.
+    TaskFailed(FailureCause),
+    /// A task kept failing until its attempt budget
+    /// ([`crate::conf::FaultPlan::max_task_failures`]) ran out; carries the
+    /// *first* failure's cause and the number of attempts made.
+    TaskRetriesExhausted { cause: FailureCause, attempts: u32 },
     /// A storage path does not exist.
     FileNotFound(String),
     /// A storage path already exists and overwrite was not requested.
@@ -24,8 +67,15 @@ pub enum SparkliteError {
 impl fmt::Display for SparkliteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparkliteError::TaskFailed { partition, message } => {
-                write!(f, "task for partition {partition} failed: {message}")
+            // Kept format-compatible with the pre-recovery error surface:
+            // "task for partition {p} failed: {message}".
+            SparkliteError::TaskFailed(cause) => write!(f, "{cause}"),
+            SparkliteError::TaskRetriesExhausted { cause, attempts } => {
+                write!(
+                    f,
+                    "task for partition {} failed after {attempts} attempts: {}",
+                    cause.task, cause.message
+                )
             }
             SparkliteError::FileNotFound(p) => write!(f, "file not found: {p}"),
             SparkliteError::FileExists(p) => write!(f, "file already exists: {p}"),
@@ -46,3 +96,21 @@ impl From<std::io::Error> for SparkliteError {
 }
 
 pub type Result<T> = std::result::Result<T, SparkliteError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cause(kind: FailureKind) -> FailureCause {
+        FailureCause { kind, attempt: 0, task: 3, stage: 7, message: "boom".into() }
+    }
+
+    #[test]
+    fn display_is_backward_compatible() {
+        let e = SparkliteError::TaskFailed(cause(FailureKind::App));
+        assert_eq!(e.to_string(), "task for partition 3 failed: boom");
+        let e =
+            SparkliteError::TaskRetriesExhausted { cause: cause(FailureKind::Panic), attempts: 4 };
+        assert_eq!(e.to_string(), "task for partition 3 failed after 4 attempts: boom");
+    }
+}

@@ -1,25 +1,61 @@
-//! The executor pool and task machinery.
+//! The executor pool, task machinery, and the recovery scheduler.
 //!
 //! Each worker thread models one executor core of the paper's clusters; the
 //! scale-out experiments sweep the pool size. Tasks are closures scheduled
-//! one per partition; panics inside a task are caught and surfaced as
-//! [`SparkliteError::TaskFailed`] rather than tearing the process down, the
-//! same contract a Spark driver gets from failed executors.
+//! one per partition. The driver loop in [`ExecutorPool::run_labeled`] is
+//! sparklite's TaskScheduler: it classifies every failed attempt
+//! ([`FailureCause`]), retries injected/transient failures within the
+//! configured attempt budget, fails fast on deterministic application
+//! errors, and — when speculation is enabled — re-launches straggling tasks
+//! and commits whichever attempt finishes first (first-writer-wins), the
+//! same contract a Spark driver gets from its cluster.
 
-use crate::error::{Result, SparkliteError};
-use crossbeam::channel::{unbounded, Sender};
+use crate::error::{FailureCause, FailureKind, Result, SparkliteError};
+use crate::faults::{AppAbort, FaultInjector, InjectedFault};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A re-executable task body. Tasks must be `Fn` (not `FnOnce`) so the
+/// scheduler can retry a failed attempt or launch a speculative copy.
+pub(crate) type TaskFn<R> = dyn Fn(&TaskContext) -> R + Send + Sync;
+
+/// How often the driver wakes to look for straggling tasks when speculation
+/// is enabled.
+const SPECULATION_TICK: Duration = Duration::from_millis(5);
+/// Never speculate a task younger than this, whatever the median says.
+const SPECULATION_MIN_AGE: Duration = Duration::from_millis(10);
 
 thread_local! {
     /// Set while a worker thread executes a task; used to run nested jobs
     /// inline (Spark jobs do not nest — see paper §5.6).
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Depth of task bodies currently unwinding-protected on this thread;
+    /// the process panic hook stays quiet while it is non-zero, because the
+    /// scheduler catches and classifies those panics itself.
+    static TASK_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" stderr noise for panics raised *inside* task bodies —
+/// application aborts and injected faults are normal control flow for the
+/// recovery layer. Panics anywhere else keep the previous hook's behaviour.
+fn install_task_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if TASK_DEPTH.with(|d| d.get()) == 0 {
+                previous(info);
+            }
+        }));
+    });
 }
 
 /// Engine-wide counters. All counters are monotonically increasing; read a
@@ -37,6 +73,20 @@ pub struct Metrics {
     /// Total wall time spent inside tasks, in microseconds — the
     /// "aggregated runtime over the cluster" of the paper's Fig. 14.
     pub task_busy_us: AtomicU64,
+    /// Task attempts that ended in a failure (any [`FailureKind`]).
+    pub failed_tasks: AtomicU64,
+    /// Attempts re-launched after a retryable failure.
+    pub retried_tasks: AtomicU64,
+    /// Parent-stage tasks re-run to regenerate lost shuffle outputs
+    /// (lineage-based recovery).
+    pub recomputed_tasks: AtomicU64,
+    /// Speculative copies launched for straggling tasks.
+    pub speculated_tasks: AtomicU64,
+    /// Speculative copies that finished before the original attempt.
+    pub speculative_wins: AtomicU64,
+    /// Faults injected by the chaos plan (kills, lost outputs, storage
+    /// faults, straggler slowdowns).
+    pub injected_faults: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -51,6 +101,12 @@ pub struct MetricsSnapshot {
     pub shuffle_bytes: u64,
     pub output_records: u64,
     pub task_busy_us: u64,
+    pub failed_tasks: u64,
+    pub retried_tasks: u64,
+    pub recomputed_tasks: u64,
+    pub speculated_tasks: u64,
+    pub speculative_wins: u64,
+    pub injected_faults: u64,
 }
 
 impl Metrics {
@@ -65,6 +121,12 @@ impl Metrics {
             shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
             output_records: self.output_records.load(Ordering::Relaxed),
             task_busy_us: self.task_busy_us.load(Ordering::Relaxed),
+            failed_tasks: self.failed_tasks.load(Ordering::Relaxed),
+            retried_tasks: self.retried_tasks.load(Ordering::Relaxed),
+            recomputed_tasks: self.recomputed_tasks.load(Ordering::Relaxed),
+            speculated_tasks: self.speculated_tasks.load(Ordering::Relaxed),
+            speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
         }
     }
 
@@ -94,8 +156,30 @@ pub enum MetricField {
 pub struct TaskContext {
     /// The partition index this task computes.
     pub partition: usize,
+    /// 0-based attempt number: 0 for the first launch, higher for retries
+    /// and speculative copies. Deterministic partition computations ignore
+    /// it; the fault injector keys its decisions on it.
+    pub attempt: u32,
+    /// The job id this task belongs to (see [`Metrics::jobs`]).
+    pub stage: u64,
     /// Engine metrics, shared with the driver.
     pub metrics: Arc<Metrics>,
+    /// The chaos injector, shared with the driver.
+    pub injector: Arc<FaultInjector>,
+}
+
+/// Per-task recovery bookkeeping in the driver loop.
+struct TaskSlot {
+    /// Failed attempts so far, counted against the budget.
+    failures: u32,
+    /// Next unused attempt number (attempt 0 is launched up front).
+    next_attempt: u32,
+    /// The attempt number of the speculative copy, if one was launched.
+    speculative_attempt: Option<u32>,
+    /// When the most recent attempt was submitted (drives speculation).
+    last_launch: Instant,
+    /// First failure observed, surfaced if the budget runs out.
+    first_cause: Option<FailureCause>,
 }
 
 /// A fixed pool of executor worker threads fed over a crossbeam channel.
@@ -104,10 +188,12 @@ pub struct ExecutorPool {
     handles: Vec<JoinHandle<()>>,
     size: usize,
     metrics: Arc<Metrics>,
+    injector: Arc<FaultInjector>,
 }
 
 impl ExecutorPool {
-    pub fn new(size: usize, metrics: Arc<Metrics>) -> Self {
+    pub fn new(size: usize, metrics: Arc<Metrics>, injector: Arc<FaultInjector>) -> Self {
+        install_task_panic_hook();
         let size = size.max(1);
         let (sender, receiver) = unbounded::<Job>();
         let mut handles = Vec::with_capacity(size);
@@ -124,7 +210,7 @@ impl ExecutorPool {
                 .expect("spawning executor thread");
             handles.push(handle);
         }
-        ExecutorPool { sender: Some(sender), handles, size, metrics }
+        ExecutorPool { sender: Some(sender), handles, size, metrics, injector }
     }
 
     /// Number of executor worker threads.
@@ -133,8 +219,7 @@ impl ExecutorPool {
     }
 
     /// Runs one task per entry of `tasks`, in parallel, and returns results
-    /// in task order. A panicking task fails the whole job (remaining tasks
-    /// may still run; their results are discarded).
+    /// in task order, retrying retryable failures per the fault plan.
     ///
     /// When called from inside a worker thread (a nested job), the tasks run
     /// inline on the calling thread instead, because parking a worker on a
@@ -143,65 +228,250 @@ impl ExecutorPool {
     pub fn run<R, F>(&self, tasks: Vec<F>) -> Result<Vec<R>>
     where
         R: Send + 'static,
-        F: FnOnce(&TaskContext) -> R + Send + 'static,
+        F: Fn(&TaskContext) -> R + Send + Sync + 'static,
     {
-        self.metrics.jobs.fetch_add(1, Ordering::Relaxed);
+        let labeled = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(partition, t)| (partition, Arc::new(t) as Arc<TaskFn<R>>))
+            .collect();
+        self.run_labeled(labeled)
+    }
+
+    /// [`ExecutorPool::run`] with explicit partition labels, so lineage
+    /// recovery can re-run a *subset* of a stage's partitions while every
+    /// task still sees its original partition index (sampling and sort
+    /// reservoirs seed their RNGs from it).
+    pub(crate) fn run_labeled<R: Send + 'static>(
+        &self,
+        tasks: Vec<(usize, Arc<TaskFn<R>>)>,
+    ) -> Result<Vec<R>> {
+        let job = self.metrics.jobs.fetch_add(1, Ordering::Relaxed);
         self.metrics.tasks.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        let budget = self.injector.plan().max_task_failures.max(1);
 
         if IN_WORKER.with(|f| f.get()) {
-            // Nested job: run inline, sequentially.
+            // Nested job: run inline, sequentially, with the same retry
+            // classification (but no speculation — there is no parallelism
+            // to speculate against).
             let mut out = Vec::with_capacity(tasks.len());
-            for (partition, task) in tasks.into_iter().enumerate() {
-                let tc = TaskContext { partition, metrics: Arc::clone(&self.metrics) };
-                out.push(run_caught(task, tc, partition)?);
+            for (partition, task) in &tasks {
+                out.push(self.run_inline(job, budget, *partition, task)?);
             }
             return Ok(out);
         }
 
         let n = tasks.len();
-        let (result_tx, result_rx) = unbounded::<(usize, Result<R>)>();
+        type Report<R> = (usize, u32, Duration, std::result::Result<R, FailureCause>);
+        let (result_tx, result_rx) = unbounded::<Report<R>>();
         let sender = self.sender.as_ref().expect("pool is alive");
-        for (partition, task) in tasks.into_iter().enumerate() {
+        let submit = |index: usize, attempt: u32| {
+            let (partition, task) = &tasks[index];
+            let partition = *partition;
+            let task = Arc::clone(task);
             let tx = result_tx.clone();
             let metrics = Arc::clone(&self.metrics);
-            let job: Job = Box::new(move || {
-                let tc = TaskContext { partition, metrics };
-                let r = run_caught(task, tc, partition);
+            let injector = Arc::clone(&self.injector);
+            let body: Job = Box::new(move || {
+                let tc = TaskContext { partition, attempt, stage: job, metrics, injector };
+                let (elapsed, r) = run_caught(task.as_ref(), tc);
                 // The receiver may already have dropped after a failure;
                 // that is fine.
-                let _ = tx.send((partition, r));
+                let _ = tx.send((index, attempt, elapsed, r));
             });
-            sender.send(job).expect("executor pool is alive");
-        }
-        drop(result_tx);
+            sender.send(body).expect("executor pool is alive");
+        };
 
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (partition, r) = result_rx.recv().expect("all tasks report");
-            slots[partition] = Some(r?);
+        let mut slots: Vec<TaskSlot> = (0..n)
+            .map(|_| TaskSlot {
+                failures: 0,
+                next_attempt: 1,
+                speculative_attempt: None,
+                last_launch: Instant::now(),
+                first_cause: None,
+            })
+            .collect();
+        for (index, slot) in slots.iter_mut().enumerate() {
+            submit(index, 0);
+            slot.last_launch = Instant::now();
         }
-        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+
+        let speculation = self.injector.plan().speculation;
+        let quantile = self.injector.plan().speculation_quantile.clamp(0.0, 1.0);
+        let multiplier = self.injector.plan().speculation_multiplier.max(1.0);
+        let quorum = ((quantile * n as f64).ceil() as usize).clamp(1, n);
+        let mut durations: Vec<Duration> = Vec::with_capacity(n);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut filled = 0usize;
+
+        while filled < n {
+            // Fast path without speculation: block until the next report.
+            // With speculation: wake periodically to look for stragglers.
+            let report = if speculation {
+                match result_rx.recv_timeout(SPECULATION_TICK) {
+                    Ok(r) => Some(r),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("driver holds a sender; reports cannot disconnect")
+                    }
+                }
+            } else {
+                Some(result_rx.recv().expect("all tasks report"))
+            };
+
+            let Some((index, attempt, elapsed, outcome)) = report else {
+                // Speculation tick: once the quorum of tasks has finished,
+                // re-launch any task that has been running for more than
+                // `multiplier ×` the median successful duration.
+                if filled < quorum || durations.is_empty() {
+                    continue;
+                }
+                let mut sorted = durations.clone();
+                sorted.sort();
+                let median = sorted[sorted.len() / 2];
+                let threshold = median.mul_f64(multiplier).max(SPECULATION_MIN_AGE);
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    if results[i].is_none()
+                        && slot.speculative_attempt.is_none()
+                        && slot.last_launch.elapsed() > threshold
+                    {
+                        let a = slot.next_attempt;
+                        slot.next_attempt += 1;
+                        slot.speculative_attempt = Some(a);
+                        self.metrics.speculated_tasks.fetch_add(1, Ordering::Relaxed);
+                        submit(i, a);
+                    }
+                }
+                continue;
+            };
+
+            match outcome {
+                Ok(r) => {
+                    // First-writer-wins: a partition's slot is committed by
+                    // whichever attempt reports success first; later copies
+                    // are discarded.
+                    if results[index].is_none() {
+                        if slots[index].speculative_attempt == Some(attempt) {
+                            self.metrics.speculative_wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        results[index] = Some(r);
+                        filled += 1;
+                        durations.push(elapsed);
+                    }
+                }
+                Err(cause) => {
+                    self.metrics.failed_tasks.fetch_add(1, Ordering::Relaxed);
+                    if results[index].is_some() {
+                        // A losing speculative copy failed after the slot
+                        // was already committed; nothing to recover.
+                        continue;
+                    }
+                    if cause.kind == FailureKind::App {
+                        // Deterministic application error: retrying would
+                        // fail identically. Fail the job fast.
+                        return Err(SparkliteError::TaskFailed(cause));
+                    }
+                    let slot = &mut slots[index];
+                    slot.failures += 1;
+                    if slot.first_cause.is_none() {
+                        slot.first_cause = Some(cause);
+                    }
+                    if slot.failures >= budget {
+                        let cause = slot.first_cause.take().expect("recorded above");
+                        return Err(SparkliteError::TaskRetriesExhausted {
+                            cause,
+                            attempts: slot.failures,
+                        });
+                    }
+                    self.metrics.retried_tasks.fetch_add(1, Ordering::Relaxed);
+                    let a = slot.next_attempt;
+                    slot.next_attempt += 1;
+                    slot.last_launch = Instant::now();
+                    submit(index, a);
+                }
+            }
+        }
+        Ok(results.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+
+    /// The inline (nested-job) variant of the retry loop.
+    fn run_inline<R: Send + 'static>(
+        &self,
+        job: u64,
+        budget: u32,
+        partition: usize,
+        task: &Arc<TaskFn<R>>,
+    ) -> Result<R> {
+        let mut failures = 0u32;
+        let mut first_cause: Option<FailureCause> = None;
+        loop {
+            let tc = TaskContext {
+                partition,
+                attempt: failures,
+                stage: job,
+                metrics: Arc::clone(&self.metrics),
+                injector: Arc::clone(&self.injector),
+            };
+            match run_caught(task.as_ref(), tc).1 {
+                Ok(r) => return Ok(r),
+                Err(cause) => {
+                    self.metrics.failed_tasks.fetch_add(1, Ordering::Relaxed);
+                    if cause.kind == FailureKind::App {
+                        return Err(SparkliteError::TaskFailed(cause));
+                    }
+                    failures += 1;
+                    if first_cause.is_none() {
+                        first_cause = Some(cause);
+                    }
+                    if failures >= budget {
+                        let cause = first_cause.take().expect("recorded above");
+                        return Err(SparkliteError::TaskRetriesExhausted {
+                            cause,
+                            attempts: failures,
+                        });
+                    }
+                    self.metrics.retried_tasks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
-fn run_caught<R, F>(task: F, tc: TaskContext, partition: usize) -> Result<R>
-where
-    F: FnOnce(&TaskContext) -> R,
-{
+/// Executes one task attempt under a panic guard and classifies any failure.
+fn run_caught<R>(
+    task: &TaskFn<R>,
+    tc: TaskContext,
+) -> (Duration, std::result::Result<R, FailureCause>) {
     let metrics = Arc::clone(&tc.metrics);
-    let started = std::time::Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| task(&tc)));
-    metrics.task_busy_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
-    result.map_err(|payload| {
-        let message = if let Some(s) = payload.downcast_ref::<&str>() {
-            s.to_string()
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "task panicked".to_string()
-        };
-        SparkliteError::TaskFailed { partition, message }
-    })
+    let started = Instant::now();
+    TASK_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        tc.injector.on_task_start(&tc);
+        task(&tc)
+    }));
+    TASK_DEPTH.with(|d| d.set(d.get() - 1));
+    let elapsed = started.elapsed();
+    metrics.task_busy_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    (elapsed, result.map_err(|payload| classify(payload, &tc)))
+}
+
+/// Maps a caught panic payload to a [`FailureCause`]. Typed payloads
+/// ([`AppAbort`], [`InjectedFault`]) carry their classification; anything
+/// else is an unclassified panic, retried like Spark retries an executor
+/// exception.
+fn classify(payload: Box<dyn std::any::Any + Send>, tc: &TaskContext) -> FailureCause {
+    let (kind, message) = if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        (FailureKind::Injected, f.0.clone())
+    } else if let Some(a) = payload.downcast_ref::<AppAbort>() {
+        (FailureKind::App, a.0.clone())
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (FailureKind::Panic, (*s).to_string())
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        (FailureKind::Panic, s.clone())
+    } else {
+        (FailureKind::Panic, "task panicked".to_string())
+    };
+    FailureCause { kind, attempt: tc.attempt, task: tc.partition, stage: tc.stage, message }
 }
 
 impl Drop for ExecutorPool {
@@ -217,9 +487,16 @@ impl Drop for ExecutorPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conf::FaultPlan;
+
+    fn pool_with(n: usize, plan: FaultPlan) -> (ExecutorPool, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::default());
+        let injector = Arc::new(FaultInjector::new(plan, Arc::clone(&metrics)));
+        (ExecutorPool::new(n, Arc::clone(&metrics), injector), metrics)
+    }
 
     fn pool(n: usize) -> ExecutorPool {
-        ExecutorPool::new(n, Arc::new(Metrics::default()))
+        pool_with(n, FaultPlan::default()).0
     }
 
     #[test]
@@ -252,23 +529,117 @@ mod tests {
     #[test]
     fn panics_become_errors() {
         let p = pool(2);
-        #[allow(clippy::type_complexity)]
-        let tasks: Vec<Box<dyn FnOnce(&TaskContext) -> usize + Send>> =
-            vec![Box::new(|_| 1), Box::new(|_| panic!("boom in partition 1")), Box::new(|_| 3)];
+        let tasks: Vec<_> = (0..3)
+            .map(|i| {
+                move |_tc: &TaskContext| {
+                    if i == 1 {
+                        panic!("boom in partition 1");
+                    }
+                    i
+                }
+            })
+            .collect();
         let err = p.run(tasks).unwrap_err();
         match err {
-            SparkliteError::TaskFailed { partition, message } => {
-                assert_eq!(partition, 1);
-                assert!(message.contains("boom"));
+            // An unclassified panic is retried to the default budget of 4,
+            // then surfaced with its first cause.
+            SparkliteError::TaskRetriesExhausted { cause, attempts } => {
+                assert_eq!(cause.task, 1);
+                assert_eq!(cause.kind, FailureKind::Panic);
+                assert_eq!(attempts, 4);
+                assert!(cause.message.contains("boom"));
             }
             other => panic!("unexpected error {other:?}"),
         }
     }
 
     #[test]
+    fn app_errors_fail_fast_without_retry() {
+        let (p, metrics) = pool_with(2, FaultPlan::default());
+        let tasks: Vec<_> = (0..3)
+            .map(|i| {
+                move |_tc: &TaskContext| {
+                    if i == 1 {
+                        crate::rdd::task_bail("[FOAR0001] dynamic error: division by zero");
+                    }
+                    i
+                }
+            })
+            .collect();
+        let err = p.run(tasks).unwrap_err();
+        match err {
+            SparkliteError::TaskFailed(cause) => {
+                assert_eq!(cause.kind, FailureKind::App);
+                assert_eq!(cause.attempt, 0, "app errors must not be retried");
+                assert!(cause.message.contains("FOAR0001"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.failed_tasks, 1);
+        assert_eq!(snap.retried_tasks, 0);
+    }
+
+    #[test]
+    fn injected_failures_are_retried_to_success() {
+        let (p, metrics) = pool_with(2, FaultPlan::default().with_task_failures(1.0));
+        // Probability 1.0 with the default per-task cap of 1: every task's
+        // first attempt is killed, every retry succeeds.
+        let tasks: Vec<_> = (0..6).map(|i| move |_tc: &TaskContext| i * 10).collect();
+        let out = p.run(tasks).unwrap();
+        assert_eq!(out, (0..6).map(|i| i * 10).collect::<Vec<_>>());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.failed_tasks, 6);
+        assert_eq!(snap.retried_tasks, 6);
+        assert_eq!(snap.injected_faults, 6);
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_error() {
+        let plan = FaultPlan::default()
+            .with_task_failures(1.0)
+            .with_max_injected_per_task(u32::MAX)
+            .with_max_task_failures(3);
+        let (p, metrics) = pool_with(2, plan);
+        let err = p.run((0..2).map(|_| |_tc: &TaskContext| ()).collect::<Vec<_>>()).unwrap_err();
+        match err {
+            SparkliteError::TaskRetriesExhausted { cause, attempts } => {
+                assert_eq!(cause.kind, FailureKind::Injected);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(metrics.snapshot().failed_tasks >= 3);
+    }
+
+    #[test]
+    fn speculation_rescues_a_straggler() {
+        let plan = FaultPlan::default().with_speculation(true);
+        let (p, metrics) = pool_with(4, plan);
+        // Partition 3's first attempt stalls; the speculative copy (a later
+        // attempt) returns immediately and must win the slot.
+        let tasks: Vec<_> = (0..4)
+            .map(|i| {
+                move |tc: &TaskContext| {
+                    if i == 3 && tc.attempt == 0 {
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    i * 2
+                }
+            })
+            .collect();
+        let out = p.run(tasks).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.speculated_tasks, 1);
+        assert_eq!(snap.speculative_wins, 1);
+    }
+
+    #[test]
     fn nested_jobs_run_inline() {
         let metrics = Arc::new(Metrics::default());
-        let p = Arc::new(ExecutorPool::new(1, Arc::clone(&metrics)));
+        let injector = Arc::new(FaultInjector::new(FaultPlan::default(), Arc::clone(&metrics)));
+        let p = Arc::new(ExecutorPool::new(1, Arc::clone(&metrics), injector));
         // A single worker: a blocking nested job would deadlock if it were
         // scheduled on the pool.
         let inner_pool = Arc::clone(&p);
@@ -284,9 +655,29 @@ mod tests {
     }
 
     #[test]
+    fn nested_jobs_retry_inline() {
+        let metrics = Arc::new(Metrics::default());
+        let plan = FaultPlan::default().with_task_failures(1.0);
+        let injector = Arc::new(FaultInjector::new(plan, Arc::clone(&metrics)));
+        let p = Arc::new(ExecutorPool::new(1, Arc::clone(&metrics), injector));
+        let inner_pool = Arc::clone(&p);
+        let out = p
+            .run(vec![move |_tc: &TaskContext| {
+                let inner: Vec<usize> =
+                    inner_pool.run((0..3).map(|i| move |_tc: &TaskContext| i).collect()).unwrap();
+                inner.iter().sum::<usize>()
+            }])
+            .unwrap();
+        assert_eq!(out, vec![3]);
+        // Outer task + 3 inner tasks each survived one injected kill.
+        assert_eq!(metrics.snapshot().retried_tasks, 4);
+    }
+
+    #[test]
     fn metrics_count_tasks() {
         let metrics = Arc::new(Metrics::default());
-        let p = ExecutorPool::new(2, Arc::clone(&metrics));
+        let injector = Arc::new(FaultInjector::new(FaultPlan::default(), Arc::clone(&metrics)));
+        let p = ExecutorPool::new(2, Arc::clone(&metrics), injector);
         p.run((0..5).map(|_| |_tc: &TaskContext| ()).collect::<Vec<_>>()).unwrap();
         let snap = metrics.snapshot();
         assert_eq!(snap.jobs, 1);

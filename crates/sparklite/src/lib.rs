@@ -22,6 +22,10 @@
 //!   inference used by the Spark-SQL baseline (`read.json`).
 //! * [`storage`] — a simulated HDFS (in-memory block store with partitioned
 //!   scans) and a local-filesystem layer.
+//! * [`faults`] + [`conf::FaultPlan`] — the fault-tolerance subsystem:
+//!   seeded deterministic chaos injection (task kills, lost shuffle outputs,
+//!   storage faults, stragglers) driving a recovery layer with per-task
+//!   retries, lineage-based recomputation, and speculative execution.
 //!
 //! # Quick start
 //!
@@ -39,13 +43,14 @@ pub mod context;
 pub mod dataframe;
 pub mod error;
 pub mod executor;
+pub mod faults;
 pub mod rdd;
 pub mod sql;
 pub mod storage;
 
-pub use conf::SparkliteConf;
+pub use conf::{FaultPlan, SparkliteConf};
 pub use context::SparkliteContext;
-pub use error::{Result, SparkliteError};
+pub use error::{FailureCause, FailureKind, Result, SparkliteError};
 
 /// Everything that flows through an RDD: cheaply cloneable, thread-safe data.
 pub trait Data: Clone + Send + Sync + 'static {}

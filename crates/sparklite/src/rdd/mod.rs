@@ -10,9 +10,11 @@
 //! side once, driver-scheduled, in [`RddOp::prepare`].
 //!
 //! Failures *inside* a task (malformed input, storage errors) surface by
-//! panicking with a message; the executor pool catches the panic and turns
-//! it into [`crate::SparkliteError::TaskFailed`] — the same contract Spark
-//! gives the driver for executor exceptions.
+//! panicking; the executor pool catches the panic, classifies it into a
+//! [`crate::FailureCause`], and either retries it (injected/transient
+//! faults, unclassified panics) or fails the job fast (deterministic
+//! application errors raised via [`task_bail`]) — the same contract Spark's
+//! TaskScheduler gives the driver for executor exceptions.
 
 mod pair;
 mod shuffle;
@@ -30,10 +32,12 @@ use std::sync::Arc;
 /// The iterator type produced by partition computations.
 pub type BoxIter<T> = Box<dyn Iterator<Item = T> + Send>;
 
-/// Aborts the current task with a message; the pool reports it as a
+/// Aborts the current task with a *deterministic application error*; the
+/// pool classifies it as [`crate::FailureKind::App`], skips retries (re-
+/// running would fail identically) and reports it as
 /// [`crate::SparkliteError::TaskFailed`].
 pub fn task_bail(msg: impl std::fmt::Display) -> ! {
-    panic!("{msg}")
+    std::panic::panic_any(crate::faults::AppAbort(msg.to_string()))
 }
 
 /// Driver-side stage preparation. Narrow operators recurse to their
@@ -539,6 +543,9 @@ impl RddOp<Arc<str>> for TextFileRdd {
                 if *num_blocks == 0 {
                     return Box::new(std::iter::empty());
                 }
+                // Chaos hook: may panic with an injected (retryable)
+                // storage fault before the read is attempted.
+                tc.injector.on_storage_read(key, split, tc);
                 match self.core.hdfs.read_block(key, split) {
                     Ok(b) => b,
                     Err(e) => task_bail(e),

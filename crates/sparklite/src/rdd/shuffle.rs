@@ -16,7 +16,34 @@ use crate::error::Result;
 use crate::executor::{MetricField, TaskContext};
 use crate::Data;
 use std::hash::Hash;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Lineage-based recovery of lost shuffle outputs. After a map stage runs,
+/// the chaos injector reports which freshly registered map outputs were
+/// "lost" to simulated executor death; exactly those parent partitions are
+/// recomputed (with their original partition indices, so seeded sampling
+/// replays identically) and patched back in — Spark's partial re-execution
+/// of a parent stage, rather than failing the whole job.
+#[allow(clippy::type_complexity)] // shares run_partitions' callback signature
+fn recover_lost_map_outputs<T: Data, B: Send + 'static>(
+    core: &Arc<Core>,
+    parent: &Arc<dyn RddOp<T>>,
+    map_f: &Arc<dyn Fn(BoxIter<T>, &TaskContext) -> B + Send + Sync>,
+    outputs: &mut [B],
+) -> Result<()> {
+    let shuffle_id = core.injector.next_shuffle_id();
+    let lost = core.injector.lost_map_outputs(shuffle_id, outputs.len());
+    if lost.is_empty() {
+        return Ok(());
+    }
+    core.metrics.recomputed_tasks.fetch_add(lost.len() as u64, Ordering::Relaxed);
+    let recomputed = core.run_partition_subset(parent, Arc::clone(map_f), &lost)?;
+    for (&slot, out) in lost.iter().zip(recomputed) {
+        outputs[slot] = out;
+    }
+    Ok(())
+}
 
 /// A hash-partitioned shuffle producing `num_parts` output partitions.
 ///
@@ -54,45 +81,46 @@ impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
         let num = self.num_parts;
         let merge = self.merge.clone();
         // Map stage: each task splits its partition into per-reducer blocks,
-        // combining on the fly when a merge function is present.
-        let map_outputs = self.core.run_partitions(
-            &self.parent,
-            Arc::new(move |iter: BoxIter<(K, C)>, tc: &TaskContext| {
-                let blocks: Vec<Vec<(K, C)>> = match &merge {
-                    Some(m) => {
-                        let mut maps: Vec<FxHashMap<K, C>> =
-                            (0..num).map(|_| FxHashMap::default()).collect();
-                        for (k, c) in iter {
-                            let b = (fx_hash(&k) % num as u64) as usize;
-                            match maps[b].remove(&k) {
-                                Some(old) => {
-                                    maps[b].insert(k, m(old, c));
-                                }
-                                None => {
-                                    maps[b].insert(k, c);
-                                }
+        // combining on the fly when a merge function is present. The closure
+        // is named so lineage recovery can re-run it for a subset of splits.
+        #[allow(clippy::type_complexity)]
+        let map_f: Arc<
+            dyn Fn(BoxIter<(K, C)>, &TaskContext) -> Vec<Vec<(K, C)>> + Send + Sync,
+        > = Arc::new(move |iter: BoxIter<(K, C)>, tc: &TaskContext| {
+            let blocks: Vec<Vec<(K, C)>> = match &merge {
+                Some(m) => {
+                    let mut maps: Vec<FxHashMap<K, C>> =
+                        (0..num).map(|_| FxHashMap::default()).collect();
+                    for (k, c) in iter {
+                        let b = (fx_hash(&k) % num as u64) as usize;
+                        match maps[b].remove(&k) {
+                            Some(old) => {
+                                maps[b].insert(k, m(old, c));
+                            }
+                            None => {
+                                maps[b].insert(k, c);
                             }
                         }
-                        maps.into_iter().map(|m| m.into_iter().collect()).collect()
                     }
-                    None => {
-                        let mut vecs: Vec<Vec<(K, C)>> = (0..num).map(|_| Vec::new()).collect();
-                        for (k, c) in iter {
-                            let b = (fx_hash(&k) % num as u64) as usize;
-                            vecs[b].push((k, c));
-                        }
-                        vecs
+                    maps.into_iter().map(|m| m.into_iter().collect()).collect()
+                }
+                None => {
+                    let mut vecs: Vec<Vec<(K, C)>> = (0..num).map(|_| Vec::new()).collect();
+                    for (k, c) in iter {
+                        let b = (fx_hash(&k) % num as u64) as usize;
+                        vecs[b].push((k, c));
                     }
-                };
-                let records: usize = blocks.iter().map(|b| b.len()).sum();
-                tc.metrics.add(MetricField::ShuffleRecords, records as u64);
-                tc.metrics.add(
-                    MetricField::ShuffleBytes,
-                    (records * std::mem::size_of::<(K, C)>()) as u64,
-                );
-                blocks
-            }),
-        )?;
+                    vecs
+                }
+            };
+            let records: usize = blocks.iter().map(|b| b.len()).sum();
+            tc.metrics.add(MetricField::ShuffleRecords, records as u64);
+            tc.metrics
+                .add(MetricField::ShuffleBytes, (records * std::mem::size_of::<(K, C)>()) as u64);
+            blocks
+        });
+        let mut map_outputs = self.core.run_partitions(&self.parent, Arc::clone(&map_f))?;
+        recover_lost_map_outputs(&self.core, &self.parent, &map_f, &mut map_outputs)?;
         // Driver-side transpose into per-reducer buckets.
         let mut buckets: Vec<Vec<(K, C)>> = (0..num).map(|_| Vec::new()).collect();
         for mut map_out in map_outputs {
@@ -197,11 +225,12 @@ impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
         });
 
         // Pass 2: range-partition every element (always by ascending key).
+        // Named so lineage recovery can re-run lost map outputs.
         let key_fn = Arc::clone(&self.key_fn);
         let num = self.num_parts;
         let b = Arc::clone(&bounds);
-        let map_outputs = self.core.run_partitions(
-            &self.parent,
+        #[allow(clippy::type_complexity)]
+        let map_f: Arc<dyn Fn(BoxIter<T>, &TaskContext) -> Vec<Vec<T>> + Send + Sync> =
             Arc::new(move |iter: BoxIter<T>, tc: &TaskContext| {
                 let mut blocks: Vec<Vec<T>> = (0..num).map(|_| Vec::new()).collect();
                 let mut records = 0u64;
@@ -215,8 +244,9 @@ impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
                 tc.metrics
                     .add(MetricField::ShuffleBytes, records * std::mem::size_of::<T>() as u64);
                 blocks
-            }),
-        )?;
+            });
+        let mut map_outputs = self.core.run_partitions(&self.parent, Arc::clone(&map_f))?;
+        recover_lost_map_outputs(&self.core, &self.parent, &map_f, &mut map_outputs)?;
         let mut buckets: Vec<Vec<T>> = (0..num).map(|_| Vec::new()).collect();
         for mut out in map_outputs {
             for (r, block) in out.drain(..).enumerate() {
@@ -224,14 +254,33 @@ impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
             }
         }
 
-        // Pass 3: sort each partition in parallel on the pool.
+        // Pass 3: sort each partition in parallel on the pool. Task bodies
+        // must be re-runnable (`Fn`): when the fault plan is armed (chaos or
+        // speculation can launch a second attempt of the same task) each
+        // task *clones* its bucket out of the slot; otherwise it takes it,
+        // keeping the fault-free fast path move-only.
         let key_fn = Arc::clone(&self.key_fn);
         let ascending = self.ascending;
+        let armed = self.core.injector.armed();
         let tasks: Vec<_> = buckets
             .into_iter()
-            .map(|mut bucket| {
+            .map(|bucket| {
                 let key_fn = Arc::clone(&key_fn);
+                let slot = Mutex::new(Some(bucket));
                 move |_tc: &TaskContext| {
+                    let taken = {
+                        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        if armed {
+                            (*guard).clone()
+                        } else {
+                            guard.take()
+                        }
+                    };
+                    let Some(mut bucket) = taken else {
+                        // Only reachable if a disarmed task is somehow
+                        // re-run; deterministic, so fail fast.
+                        super::task_bail("sort bucket already consumed by an earlier attempt")
+                    };
                     bucket.sort_by_cached_key(|t| key_fn(t));
                     if !ascending {
                         bucket.reverse();

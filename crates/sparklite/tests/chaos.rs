@@ -1,0 +1,244 @@
+//! Chaos suite for the fault-tolerance subsystem: golden tests for the
+//! recovery behaviours the design promises (fail-fast app errors, typed
+//! budget exhaustion, lineage recomputation, straggler mitigation) plus
+//! property tests that results under injected faults are byte-identical to
+//! fault-free runs.
+
+use proptest::prelude::*;
+use sparklite::{FailureKind, FaultPlan, SparkliteConf, SparkliteContext, SparkliteError};
+
+fn ctx(plan: FaultPlan) -> SparkliteContext {
+    SparkliteContext::new(SparkliteConf::default().with_executors(3).with_faults(plan))
+}
+
+// ---------------------------------------------------------------------------
+// Golden recovery behaviours
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deterministic_app_error_is_not_retried() {
+    // Even with chaos armed, a task_bail (a deterministic application
+    // error) must fail the job on its first attempt.
+    let sc = ctx(FaultPlan::default());
+    let err = sc
+        .parallelize((0..10).collect::<Vec<i32>>(), 4)
+        .map(|x| {
+            if x == 7 {
+                sparklite::rdd::task_bail("[FORG0001] dynamic error: bad cast")
+            }
+            x
+        })
+        .collect()
+        .unwrap_err();
+    match err {
+        SparkliteError::TaskFailed(cause) => {
+            assert_eq!(cause.kind, FailureKind::App);
+            assert_eq!(cause.attempt, 0, "app error must fail on attempt 0");
+            assert!(cause.message.contains("FORG0001"));
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+    let m = sc.metrics();
+    assert_eq!(m.failed_tasks, 1, "exactly one attempt failed");
+    assert_eq!(m.retried_tasks, 0, "app errors are never retried");
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_typed_error() {
+    // Uncapped injection at probability 1.0: every attempt dies, the budget
+    // runs out, and the error carries the first failure's cause.
+    let plan = FaultPlan::default()
+        .with_task_failures(1.0)
+        .with_max_injected_per_task(u32::MAX)
+        .with_max_task_failures(3);
+    let sc = ctx(plan);
+    let err = sc.parallelize(vec![1, 2, 3], 2).count().unwrap_err();
+    match err {
+        SparkliteError::TaskRetriesExhausted { cause, attempts } => {
+            assert_eq!(cause.kind, FailureKind::Injected);
+            assert_eq!(attempts, 3);
+        }
+        other => panic!("expected TaskRetriesExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_task_kills_retry_to_success() {
+    let sc = ctx(FaultPlan::default().with_task_failures(1.0));
+    let data: Vec<i64> = (0..100).collect();
+    let out = sc.parallelize(data.clone(), 5).map(|x| x * 2).collect().unwrap();
+    assert_eq!(out, data.iter().map(|x| x * 2).collect::<Vec<_>>());
+    let m = sc.metrics();
+    assert_eq!(m.retried_tasks, 5, "each task's first attempt was killed once");
+    assert_eq!(m.failed_tasks, 5);
+    assert!(m.injected_faults >= 5);
+}
+
+#[test]
+fn storage_faults_retry_the_read() {
+    let sc = ctx(FaultPlan::default().with_storage_faults(1.0).with_seed(11));
+    let text: String = (0..300).map(|i| format!("line {i}\n")).collect();
+    sc.hdfs().put_text("/chaos/t.txt", &text).unwrap();
+    let lines = sc.text_file("hdfs:///chaos/t.txt").unwrap().collect().unwrap();
+    assert_eq!(lines.len(), 300);
+    assert_eq!(lines[0].as_ref(), "line 0");
+    let m = sc.metrics();
+    assert!(m.retried_tasks > 0, "every block read fails once and retries");
+    assert!(m.injected_faults > 0);
+}
+
+#[test]
+fn lost_map_outputs_recompute_only_parent_tasks() {
+    // exec_death_prob 1.0: every map output of the shuffle is lost once.
+    // Lineage recovery re-runs exactly the map partitions, not the job.
+    let sc = ctx(FaultPlan::default().with_exec_death(1.0));
+    let pairs: Vec<(u8, i64)> = (0..200).map(|i| ((i % 7) as u8, i as i64)).collect();
+    let mut got =
+        sc.parallelize(pairs.clone(), 6).reduce_by_key(|a, b| a + b, 4).collect().unwrap();
+    got.sort();
+    let mut expect = std::collections::HashMap::new();
+    for (k, v) in pairs {
+        *expect.entry(k).or_insert(0i64) += v;
+    }
+    let mut expect: Vec<(u8, i64)> = expect.into_iter().collect();
+    expect.sort();
+    assert_eq!(got, expect);
+    let m = sc.metrics();
+    assert_eq!(m.recomputed_tasks, 6, "all six map partitions were recomputed once");
+}
+
+#[test]
+fn stragglers_slow_but_do_not_change_results() {
+    let sc = ctx(FaultPlan::default().with_stragglers(0.5, 2_000).with_seed(5));
+    let data: Vec<i32> = (0..500).collect();
+    let out = sc.parallelize(data.clone(), 8).collect().unwrap();
+    assert_eq!(out, data);
+    assert!(sc.metrics().injected_faults > 0, "some attempts straggled");
+}
+
+#[test]
+fn speculation_under_stragglers_preserves_results() {
+    let plan =
+        FaultPlan::default().with_stragglers(0.3, 30_000).with_seed(9).with_speculation(true);
+    let sc = ctx(plan);
+    let data: Vec<i64> = (0..400).collect();
+    let sum = sc.parallelize(data, 8).reduce(|a, b| a + b).unwrap();
+    assert_eq!(sum, Some((0..400).sum::<i64>()));
+}
+
+#[test]
+fn fig11_style_pipeline_survives_20pct_chaos_identically() {
+    // The acceptance-criterion shape at RDD level: filter, group, sort over
+    // the same data, 20% fault probability on every fault kind, fixed seed;
+    // results must match the fault-free run exactly.
+    let data: Vec<(u8, i64)> =
+        (0..1_000).map(|i| ((i % 13) as u8, (i * 7919 % 997) as i64)).collect();
+
+    let run = |plan: FaultPlan| {
+        let sc = ctx(plan);
+        let rdd = sc.parallelize(data.clone(), 7);
+        let filtered = rdd.filter(|(_, v)| v % 2 == 0).collect().unwrap();
+        let mut grouped = rdd.reduce_by_key(|a, b| a + b, 5).collect().unwrap();
+        grouped.sort();
+        let sorted = rdd.sort_by(|(_, v)| *v, false, 4).collect().unwrap();
+        (filtered, grouped, sorted, sc.metrics())
+    };
+
+    let (f0, g0, s0, m0) = run(FaultPlan::default());
+    assert_eq!(m0.failed_tasks, 0, "fault-free run injects nothing");
+    let (f1, g1, s1, m1) = run(FaultPlan::chaos(0xFEED, 0.2));
+    assert_eq!(f1, f0, "filter diverged under chaos");
+    assert_eq!(g1, g0, "group diverged under chaos");
+    assert_eq!(s1, s0, "sort diverged under chaos");
+    assert!(m1.retried_tasks > 0, "20% chaos must exercise retries");
+    assert!(m1.recomputed_tasks > 0, "20% chaos must exercise lineage recovery");
+}
+
+#[test]
+fn chaos_schedule_is_reproducible() {
+    // Same seed → identical injection counts; different seed → (almost
+    // surely) a different schedule.
+    let run = |seed: u64| {
+        let sc = ctx(FaultPlan::chaos(seed, 0.3));
+        sc.parallelize((0..300).collect::<Vec<i32>>(), 9).count().unwrap();
+        sc.metrics().injected_faults
+    };
+    assert_eq!(run(1), run(1));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: chaos never changes answers
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary map/filter/sort pipelines under up-to-20% injected faults
+    /// return byte-identical results to a fault-free run (global `sort_by`
+    /// plays the explicit `order by` making output order well-defined).
+    #[test]
+    fn sorted_pipeline_is_chaos_invariant(
+        data in prop::collection::vec(any::<i32>(), 1..200),
+        parts in 1usize..7,
+        out_parts in 1usize..5,
+        seed in any::<u64>(),
+        prob_pct in 0u8..21,
+    ) {
+        let prob = f64::from(prob_pct) / 100.0;
+        let run = |plan: FaultPlan| {
+            ctx(plan)
+                .parallelize(data.clone(), parts)
+                .map(|x| x as i64)
+                .filter(|x| x % 3 != 0)
+                .sort_by(|x| *x, true, out_parts)
+                .collect()
+                .unwrap()
+        };
+        let clean = run(FaultPlan::default());
+        let chaotic = run(FaultPlan::chaos(seed, prob));
+        prop_assert_eq!(chaotic, clean);
+    }
+
+    /// Shuffles with lineage recovery lose nothing: reduce_by_key under
+    /// chaos equals the sequential fold.
+    #[test]
+    fn shuffle_is_chaos_invariant(
+        data in prop::collection::vec((0u8..15, -100i64..100), 1..200),
+        parts in 1usize..6,
+        reducers in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut got = ctx(FaultPlan::chaos(seed, 0.2))
+            .parallelize(data.clone(), parts)
+            .reduce_by_key(|a, b| a + b, reducers)
+            .collect()
+            .unwrap();
+        got.sort();
+        let mut expect = std::collections::HashMap::new();
+        for (k, v) in data {
+            *expect.entry(k).or_insert(0i64) += v;
+        }
+        let mut expect: Vec<(u8, i64)> = expect.into_iter().collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// zipWithIndex keeps its sequential numbering under chaos — the
+    /// determinism-under-retry caveat the recovery layer must uphold.
+    #[test]
+    fn zip_with_index_is_chaos_invariant(
+        data in prop::collection::vec(any::<u8>(), 1..150),
+        parts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let got = ctx(FaultPlan::chaos(seed, 0.2))
+            .parallelize(data.clone(), parts)
+            .zip_with_index()
+            .collect()
+            .unwrap();
+        for (i, (v, idx)) in got.iter().enumerate() {
+            prop_assert_eq!(*idx, i as u64);
+            prop_assert_eq!(*v, data[i]);
+        }
+    }
+}

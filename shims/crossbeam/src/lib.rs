@@ -46,6 +46,26 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty but connected.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     /// The sending half of an unbounded channel. Cloneable.
     pub struct Sender<T>(Arc<Inner<T>>);
 
@@ -116,6 +136,32 @@ pub mod channel {
         pub fn try_recv(&self) -> Option<T> {
             self.0.state.lock().unwrap_or_else(PoisonError::into_inner).queue.pop_front()
         }
+
+        /// Blocks until a message arrives, every sender is dropped, or
+        /// `timeout` elapses, whichever happens first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .0
+                    .ready
+                    .wait_timeout(st, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -167,6 +213,20 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(7));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            use std::time::Duration;
+            let (tx, rx) = unbounded::<i32>();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-4ea171d6340949ac.d: crates/sparklite/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-4ea171d6340949ac.rmeta: crates/sparklite/tests/chaos.rs Cargo.toml
+
+crates/sparklite/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

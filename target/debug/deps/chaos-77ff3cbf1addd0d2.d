@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-77ff3cbf1addd0d2.d: crates/sparklite/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-77ff3cbf1addd0d2: crates/sparklite/tests/chaos.rs
+
+crates/sparklite/tests/chaos.rs:

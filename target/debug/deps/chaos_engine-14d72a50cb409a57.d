@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_engine-14d72a50cb409a57.d: crates/core/tests/chaos_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_engine-14d72a50cb409a57.rmeta: crates/core/tests/chaos_engine.rs Cargo.toml
+
+crates/core/tests/chaos_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

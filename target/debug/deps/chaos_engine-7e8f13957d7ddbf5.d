@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_engine-7e8f13957d7ddbf5.d: crates/core/tests/chaos_engine.rs
+
+/root/repo/target/debug/deps/chaos_engine-7e8f13957d7ddbf5: crates/core/tests/chaos_engine.rs
+
+crates/core/tests/chaos_engine.rs:

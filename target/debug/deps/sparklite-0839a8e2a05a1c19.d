@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/sparklite-0839a8e2a05a1c19.d: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
+/root/repo/target/debug/deps/sparklite-0839a8e2a05a1c19.d: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/faults.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
 
-/root/repo/target/debug/deps/libsparklite-0839a8e2a05a1c19.rlib: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
+/root/repo/target/debug/deps/libsparklite-0839a8e2a05a1c19.rlib: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/faults.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
 
-/root/repo/target/debug/deps/libsparklite-0839a8e2a05a1c19.rmeta: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
+/root/repo/target/debug/deps/libsparklite-0839a8e2a05a1c19.rmeta: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/faults.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
 
 crates/sparklite/src/lib.rs:
 crates/sparklite/src/conf.rs:
@@ -12,6 +12,7 @@ crates/sparklite/src/dataframe/expr.rs:
 crates/sparklite/src/dataframe/plan.rs:
 crates/sparklite/src/error.rs:
 crates/sparklite/src/executor.rs:
+crates/sparklite/src/faults.rs:
 crates/sparklite/src/rdd/mod.rs:
 crates/sparklite/src/rdd/pair.rs:
 crates/sparklite/src/rdd/shuffle.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/sparklite-d0dafbf0c1c0fedb.d: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
+/root/repo/target/debug/deps/sparklite-d0dafbf0c1c0fedb.d: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/faults.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
 
-/root/repo/target/debug/deps/sparklite-d0dafbf0c1c0fedb: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
+/root/repo/target/debug/deps/sparklite-d0dafbf0c1c0fedb: crates/sparklite/src/lib.rs crates/sparklite/src/conf.rs crates/sparklite/src/context.rs crates/sparklite/src/dataframe/mod.rs crates/sparklite/src/dataframe/expr.rs crates/sparklite/src/dataframe/plan.rs crates/sparklite/src/error.rs crates/sparklite/src/executor.rs crates/sparklite/src/faults.rs crates/sparklite/src/rdd/mod.rs crates/sparklite/src/rdd/pair.rs crates/sparklite/src/rdd/shuffle.rs crates/sparklite/src/rdd/util.rs crates/sparklite/src/sql/mod.rs crates/sparklite/src/sql/infer.rs crates/sparklite/src/sql/parser.rs crates/sparklite/src/storage.rs
 
 crates/sparklite/src/lib.rs:
 crates/sparklite/src/conf.rs:
@@ -10,6 +10,7 @@ crates/sparklite/src/dataframe/expr.rs:
 crates/sparklite/src/dataframe/plan.rs:
 crates/sparklite/src/error.rs:
 crates/sparklite/src/executor.rs:
+crates/sparklite/src/faults.rs:
 crates/sparklite/src/rdd/mod.rs:
 crates/sparklite/src/rdd/pair.rs:
 crates/sparklite/src/rdd/shuffle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-20314cc7fc639aea.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-20314cc7fc639aea: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rumble_bench-95048131b55ceeed.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+/root/repo/target/release/deps/librumble_bench-95048131b55ceeed.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+/root/repo/target/release/deps/librumble_bench-95048131b55ceeed.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/systems.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/systems.rs:
