@@ -31,9 +31,21 @@ cargo test --workspace --offline -q
 step "chaos suite (fixed seeds)"
 cargo test --workspace --offline -q chaos
 
+# Same idea for the persist/cache layer: unit + property suites (LRU
+# eviction, serialized round-trip, cache-vs-lineage equivalence under
+# fixed-seed faults) re-run by name.
+step "cache suite (fixed seeds)"
+cargo test --workspace --offline -q cache
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline
+
+  # Smoke the cache figure end to end: the harness itself dies unless every
+  # fault-free persisted configuration has warm <= cold, cache hits, and
+  # results identical to the unpersisted run (also checked under 20% chaos).
+  step "harness cache smoke"
+  ./target/release/harness cache --tries 2
 fi
 
 step "OK"

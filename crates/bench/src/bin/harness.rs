@@ -1,15 +1,19 @@
 //! The evaluation harness: regenerates every figure of the paper at a
-//! configurable scale.
+//! configurable scale. Each figure prints its human-readable report and
+//! writes a machine-readable `BENCH_<figure>.json` artifact (name, params,
+//! wall-clock milliseconds per cell, engine counters) into the current
+//! directory.
 //!
 //! ```text
 //! harness [figure] [--scale N] [--tries N]
 //!
-//!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos
+//!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos | cache
 //!   --scale   object-count multiplier (default 1 → laptop-sized runs)
 //!   --tries   timed repetitions per measurement (default 3)
 //! ```
 
-use rumble_bench::figures;
+use rumble_bench::figures::{self, Cell, FigureReport};
+use rumble_bench::write_bench_json;
 use std::time::Duration;
 
 struct Args {
@@ -36,7 +40,10 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--tries needs a positive integer"));
             }
             "--help" | "-h" => {
-                println!("usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos] [--scale N] [--tries N]");
+                println!(
+                    "usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos|cache] \
+                     [--scale N] [--tries N]"
+                );
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => args.figure = other.to_string(),
@@ -51,45 +58,140 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Prints a figure's report and writes its `BENCH_<name>.json` artifact.
+fn emit(name: &str, params: &[(&str, u64)], r: &FigureReport) {
+    println!("{}", r.report);
+    let rows: Vec<(String, Vec<Option<f64>>)> = r
+        .rows
+        .iter()
+        .map(|(l, cells)| {
+            (l.clone(), cells.iter().map(|c| c.seconds().map(|s| s * 1000.0)).collect())
+        })
+        .collect();
+    match write_bench_json(name, params, &rows, &r.metrics) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_{name}.json: {e}"),
+    }
+}
+
+/// The warm cells of the cache figure must not be slower than the cold
+/// ones for the fault-free persisted configurations — this is the smoke
+/// assertion CI runs (`ci.sh` invokes `harness cache`).
+fn check_cache_figure(r: &FigureReport) {
+    for (label, cells) in &r.rows {
+        if !label.contains("chaos") && label != "no persist" {
+            let (cold, warm) = match (&cells[0], &cells[1]) {
+                (Cell::Time(c), Cell::Time(w)) => (*c, *w),
+                _ => die(&format!("cache figure row '{label}' failed to measure")),
+            };
+            if warm > cold {
+                die(&format!(
+                    "cache figure: warm run slower than cold for '{label}' \
+                     ({warm:?} > {cold:?})"
+                ));
+            }
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let s = args.scale;
+    let t = args.tries;
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let run_fig = |name: &str| args.figure == "all" || args.figure == name;
     let mut ran = false;
 
     if run_fig("fig11") {
         ran = true;
-        println!("{}", figures::fig11(200_000 * s, 4, args.tries).report);
+        let (n, e) = (200_000 * s, 4);
+        let r = figures::fig11(n, e, t);
+        emit("fig11", &[("objects", n as u64), ("executors", e as u64), ("tries", t as u64)], &r);
     }
     if run_fig("fig12") {
         ran = true;
         let sizes: Vec<usize> =
             [50_000, 100_000, 200_000, 400_000, 800_000].iter().map(|n| n * s).collect();
-        println!("{}", figures::fig12(&sizes, Duration::from_secs(600)).report);
+        let r = figures::fig12(&sizes, Duration::from_secs(600));
+        emit("fig12", &[("max_objects", *sizes.last().unwrap() as u64)], &r);
     }
     if run_fig("fig13") {
         ran = true;
-        println!("{}", figures::fig13(400_000 * s, (cores * 4).max(16), args.tries).report);
+        let (n, e) = (400_000 * s, (cores * 4).max(16));
+        let r = figures::fig13(n, e, t);
+        emit("fig13", &[("objects", n as u64), ("executors", e as u64), ("tries", t as u64)], &r);
     }
     if run_fig("fig14") {
         ran = true;
         let counts = [1usize, 2, 4, 8, 16, 32];
-        let (_, report) = figures::fig14(300_000 * s, &counts, args.tries);
+        let n = 300_000 * s;
+        let (points, report) = figures::fig14(n, &counts, t);
         println!("{report}");
+        let rows: Vec<(String, Vec<Option<f64>>)> = points
+            .iter()
+            .map(|p| {
+                (
+                    format!("{} executors", p.executors),
+                    vec![
+                        Some(p.runtime.as_secs_f64() * 1000.0),
+                        Some(p.aggregated.as_secs_f64() * 1000.0),
+                        Some(p.modeled.as_secs_f64() * 1000.0),
+                    ],
+                )
+            })
+            .collect();
+        match write_bench_json("fig14", &[("objects", n as u64), ("tries", t as u64)], &rows, &[]) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_fig14.json: {e}"),
+        }
     }
     if run_fig("fig15") {
         ran = true;
-        let (_, report) = figures::fig15(100_000 * s, &[1, 2, 4, 8], cores);
+        let n = 100_000 * s;
+        let (points, report) = figures::fig15(n, &[1, 2, 4, 8], cores);
         println!("{report}");
+        let rows: Vec<(String, Vec<Option<f64>>)> = points
+            .iter()
+            .map(|p| {
+                (format!("{} objects", p.objects), vec![Some(p.runtime.as_secs_f64() * 1000.0)])
+            })
+            .collect();
+        match write_bench_json(
+            "fig15",
+            &[("base_objects", n as u64), ("executors", cores as u64)],
+            &rows,
+            &[],
+        ) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_fig15.json: {e}"),
+        }
     }
     if run_fig("handtuned") {
         ran = true;
-        println!("{}", figures::handtuned_comparison(200_000 * s).report);
+        let n = 200_000 * s;
+        let r = figures::handtuned_comparison(n);
+        emit("handtuned", &[("objects", n as u64)], &r);
     }
     if run_fig("chaos") {
         ran = true;
-        println!("{}", figures::chaos(50_000 * s, cores, args.tries).report);
+        let n = 50_000 * s;
+        let r = figures::chaos(n, cores, t);
+        emit(
+            "chaos",
+            &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
+            &r,
+        );
+    }
+    if run_fig("cache") {
+        ran = true;
+        let n = 50_000 * s;
+        let r = figures::cache(n, cores, t);
+        check_cache_figure(&r);
+        emit(
+            "cache",
+            &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
+            &r,
+        );
     }
     if !ran {
         die(&format!("unknown figure '{}'", args.figure));

@@ -2,7 +2,7 @@
 //! evaluation at a configurable scale and returns a rendered report plus
 //! the raw measurements (for EXPERIMENTS.md and the tests).
 
-use crate::systems::{run_confusion, run_reddit_filter, System};
+use crate::systems::{rumble_query, run_confusion, run_reddit_filter, System};
 use crate::{fmt_duration, render_table, time};
 use rumble_baselines::{ConfusionQuery, QueryOutput};
 use rumble_datagen::{confusion, put_dataset, reddit, DEFAULT_SEED};
@@ -41,10 +41,12 @@ impl Cell {
     }
 }
 
-/// A measured figure: rows of labelled cells plus the rendered report.
+/// A measured figure: rows of labelled cells plus the rendered report and
+/// any engine counters worth persisting in the machine-readable artifact.
 pub struct FigureReport {
     pub rows: Vec<(String, Vec<Cell>)>,
     pub report: String,
+    pub metrics: Vec<(String, u64)>,
 }
 
 fn measure_systems(
@@ -101,7 +103,7 @@ pub fn fig11(objects: usize, executors: usize, tries: usize) -> FigureReport {
          group/sort sit between Spark/Spark SQL and PySpark; PySpark always slowest.\n",
         render_rows(&format!("Fig. 11 — local, {objects} objects, {executors} cores"), &rows)
     );
-    FigureReport { rows, report }
+    FigureReport { rows, report, metrics: Vec::new() }
 }
 
 /// **Figure 12** — Rumble vs single-threaded JSONiq engines over growing
@@ -142,7 +144,7 @@ pub fn fig12(sizes: &[usize], timeout: Duration) -> FigureReport {
          Rumble handles the full 16M.\n",
         render_rows("Fig. 12 — JSONiq engines vs input size", &rows)
     );
-    FigureReport { rows, report }
+    FigureReport { rows, report, metrics: Vec::new() }
 }
 
 /// **Figure 13** — "cluster" measurements: the same four systems with more
@@ -159,7 +161,7 @@ pub fn fig13(objects: usize, executors: usize, tries: usize) -> FigureReport {
          Spark for sort, ~2x slower on group; always faster than PySpark.\n",
         render_rows(&format!("Fig. 13 — cluster, {objects} objects, {executors} cores"), &rows)
     );
-    FigureReport { rows, report }
+    FigureReport { rows, report, metrics: Vec::new() }
 }
 
 /// One Fig. 14 measurement point.
@@ -286,6 +288,7 @@ pub fn chaos(objects: usize, executors: usize, tries: usize) -> FigureReport {
     const SEED: u64 = 0xC4A0;
     let text = confusion::generate(objects, DEFAULT_SEED);
     let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
+    let mut metrics: Vec<(String, u64)> = Vec::new();
     let mut recovery = String::new();
     let mut baseline: Option<Vec<QueryOutput>> = None;
     for (label, prob) in [("fault-free", 0.0), ("5% faults", 0.05), ("20% faults", 0.20)] {
@@ -319,6 +322,14 @@ pub fn chaos(objects: usize, executors: usize, tries: usize) -> FigureReport {
             "{label}: {} failed / {} retried / {} recomputed task(s), {} injected fault(s)\n",
             m.failed_tasks, m.retried_tasks, m.recomputed_tasks, m.injected_faults
         ));
+        for (k, v) in [
+            ("failed_tasks", m.failed_tasks),
+            ("retried_tasks", m.retried_tasks),
+            ("recomputed_tasks", m.recomputed_tasks),
+            ("injected_faults", m.injected_faults),
+        ] {
+            metrics.push((format!("{label}.{k}"), v));
+        }
         match &baseline {
             None => baseline = Some(outputs),
             Some(base) => {
@@ -339,7 +350,105 @@ pub fn chaos(objects: usize, executors: usize, tries: usize) -> FigureReport {
             &rows
         )
     );
-    FigureReport { rows, report }
+    FigureReport { rows, report, metrics }
+}
+
+/// **Cache** — cold vs warm runs of the Fig. 11 filter query (a
+/// scan-dominated pipeline) with the partition cache in every
+/// configuration: auto-persist off, both storage levels, and both levels
+/// under seeded 20% fault injection. Every configuration must return
+/// identical results; the cold/warm delta is the JSON parse work the
+/// cache saves, and the chaos rows show that evicted or lost cached
+/// partitions silently fall back to lineage recomputation.
+pub fn cache(objects: usize, executors: usize, tries: usize) -> FigureReport {
+    use sparklite::StorageLevel;
+    const SEED: u64 = 0xCAC4E;
+    let text = confusion::generate(objects, DEFAULT_SEED);
+    let configs: [(&str, Option<StorageLevel>, f64); 5] = [
+        ("no persist", None, 0.0),
+        ("deserialized", Some(StorageLevel::MemoryDeserialized), 0.0),
+        ("serialized", Some(StorageLevel::MemorySerialized), 0.0),
+        ("deserialized + 20% chaos", Some(StorageLevel::MemoryDeserialized), 0.20),
+        ("serialized + 20% chaos", Some(StorageLevel::MemorySerialized), 0.20),
+    ];
+    let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
+    let mut metrics: Vec<(String, u64)> = Vec::new();
+    let mut notes = String::new();
+    let mut baseline: Option<Vec<String>> = None;
+    for (label, level, prob) in configs {
+        let plan = if prob > 0.0 { FaultPlan::chaos(SEED, prob) } else { FaultPlan::default() };
+        // Blocks sized so the input splits into a few dozen partitions:
+        // enough per-partition cache (and fault-injection) decisions to be
+        // interesting, without task-scheduling overhead drowning out the
+        // parse work the cache saves.
+        let sc = SparkliteContext::new(
+            SparkliteConf::default()
+                .with_executors(executors)
+                .with_block_size(256 * 1024)
+                .with_faults(plan),
+        );
+        put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
+        let engine = rumble_core::Rumble::new(sc.clone());
+        engine.set_auto_persist(level);
+        let query = rumble_query("hdfs:///confusion.json", ConfusionQuery::Filter);
+        let prepared = engine.compile(&query).expect("query compiles");
+        // The timed runs are pure pipeline work (count, nothing
+        // materialized on the driver): the first pays the JSON parse and
+        // fills the cache, the warm ones are averaged over `tries`.
+        let run = || prepared.count().expect("query runs");
+        let (cold_n, cold) = time(run);
+        let mut warm_total = Duration::ZERO;
+        for _ in 0..tries.max(1) {
+            let (n, d) = time(run);
+            assert_eq!(n, cold_n, "{label}: warm run diverged from the cold run");
+            warm_total += d;
+        }
+        let warm = warm_total / tries.max(1) as u32;
+        // Identity is checked on the full (untimed) result set, not just
+        // the count: every configuration must produce the same items.
+        let mut out: Vec<String> =
+            prepared.collect().expect("query runs").iter().map(|i| i.serialize()).collect();
+        out.sort();
+        assert_eq!(out.len() as u64, cold_n, "{label}: collect disagreed with count");
+        match &baseline {
+            None => baseline = Some(out),
+            Some(base) => assert_eq!(&out, base, "{label} changed the answer"),
+        }
+        let m = sc.metrics();
+        if level.is_some() {
+            assert!(m.cache_hits > 0, "{label}: warm runs never hit the cache");
+        }
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        notes.push_str(&format!(
+            "{label}: {speedup:.1}x warm speedup, {} hit(s) / {} miss(es) / {} eviction(s), \
+             {} cached byte(s)\n",
+            m.cache_hits, m.cache_misses, m.cache_evictions, m.cached_bytes
+        ));
+        for (k, v) in [
+            ("cache_hits", m.cache_hits),
+            ("cache_misses", m.cache_misses),
+            ("cache_evictions", m.cache_evictions),
+            ("cached_bytes", m.cached_bytes),
+        ] {
+            metrics.push((format!("{label}.{k}"), v));
+        }
+        rows.push((label.to_string(), vec![Cell::Time(cold), Cell::Time(warm)]));
+    }
+    let rendered: Vec<(String, Vec<String>)> = rows
+        .iter()
+        .map(|(l, cells)| (l.clone(), cells.iter().map(Cell::render).collect()))
+        .collect();
+    let report = format!(
+        "{}\n{notes}every configuration returned identical results; with a storage level set, \
+         warm runs serve source partitions from the partition cache instead of re-parsing \
+         JSON, and chaos-hit partitions fall back to lineage recomputation.\n",
+        render_table(
+            &format!("Cache — cold vs warm, {objects} objects, {executors} cores, seed {SEED:#x}"),
+            &["cold", "warm"],
+            &rendered
+        )
+    );
+    FigureReport { rows, report, metrics }
 }
 
 /// **§6.3 prose** — the hand-tuned low-level program vs the engines.
@@ -358,7 +467,7 @@ pub fn handtuned_comparison(objects: usize) -> FigureReport {
          (36s filter / 44s group on half the cores for 16M objects).\n",
         render_rows(&format!("§6.3 — hand-tuned comparison, {objects} objects"), &rows)
     );
-    FigureReport { rows, report }
+    FigureReport { rows, report, metrics: Vec::new() }
 }
 
 #[cfg(test)]
@@ -387,6 +496,18 @@ mod tests {
         assert_eq!(r.rows.len(), 3);
         assert!(r.rows.iter().all(|(_, cells)| cells.iter().all(|c| c.seconds().is_some())));
         assert!(r.report.contains("recomputed"));
+    }
+
+    #[test]
+    fn cache_smoke_hits_and_answers_identically() {
+        // The figure asserts internally that every configuration (both
+        // storage levels, chaos or not) answers identically and that warm
+        // runs actually hit the cache.
+        let r = cache(2_000, 3, 1);
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.rows.iter().all(|(_, cells)| cells.len() == 2));
+        assert!(r.metrics.iter().any(|(k, v)| k == "deserialized.cache_hits" && *v > 0));
+        assert!(r.report.contains("warm speedup"));
     }
 
     #[test]

@@ -47,6 +47,77 @@ pub fn render_table(title: &str, header: &[&str], rows: &[(String, Vec<String>)]
     out
 }
 
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes one figure's measurements as the machine-readable artifact
+/// the harness writes next to its human-readable report. The tree has no
+/// serde, so the document is assembled by hand: a cell of `None` (a failed
+/// or capped measurement) becomes JSON `null`.
+pub fn bench_json(
+    name: &str,
+    params: &[(&str, u64)],
+    rows: &[(String, Vec<Option<f64>>)],
+    metrics: &[(String, u64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"name\": \"{}\",\n  \"params\": {{", json_escape(name)));
+    for (i, (k, v)) in params.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        out.push_str(&format!("{sep}\"{}\": {v}", json_escape(k)));
+    }
+    out.push_str("},\n  \"rows\": [\n");
+    for (i, (label, cells)) in rows.iter().enumerate() {
+        let ms: Vec<String> = cells
+            .iter()
+            .map(|c| match c {
+                Some(ms) => format!("{ms:.3}"),
+                None => "null".to_string(),
+            })
+            .collect();
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"wall_ms\": [{}]}}{sep}\n",
+            json_escape(label),
+            ms.join(", ")
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": {");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        out.push_str(&format!("{sep}\"{}\": {v}", json_escape(k)));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Writes `BENCH_<name>.json` into the current directory (the repo root
+/// when the harness is run through `cargo run`), returning the path.
+pub fn write_bench_json(
+    name: &str,
+    params: &[(&str, u64)],
+    rows: &[(String, Vec<Option<f64>>)],
+    metrics: &[(String, u64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, bench_json(name, params, rows, metrics))?;
+    Ok(path)
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -65,6 +136,21 @@ mod tests {
     fn table_renders() {
         let t = render_table("demo", &["a", "b"], &[("row1".into(), vec!["1".into(), "2".into()])]);
         assert!(t.contains("demo") && t.contains("row1"));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let doc = bench_json(
+            "demo",
+            &[("objects", 100), ("tries", 3)],
+            &[("cold \"run\"".into(), vec![Some(12.5), None])],
+            &[("cache_hits".into(), 7)],
+        );
+        assert!(doc.contains("\"name\": \"demo\""));
+        assert!(doc.contains("\"objects\": 100"));
+        assert!(doc.contains("\"cold \\\"run\\\"\""));
+        assert!(doc.contains("[12.500, null]"));
+        assert!(doc.contains("\"cache_hits\": 7"));
     }
 
     #[test]

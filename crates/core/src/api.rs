@@ -74,16 +74,32 @@ impl Rumble {
     }
 
     /// Registers a named collection backed by a JSON Lines file.
+    /// Re-registering a name drops any auto-persisted RDD for it, so the
+    /// next query reads the new source.
     pub fn register_collection_path(&self, name: impl Into<String>, path: impl Into<String>) {
-        self.engine.collections.write().insert(name.into(), CollectionSource::Path(path.into()));
+        let name = name.into();
+        self.invalidate_collection(&name);
+        self.engine.collections.write().insert(name, CollectionSource::Path(path.into()));
     }
 
     /// Registers a named collection from driver-local items.
+    /// Re-registering a name drops any auto-persisted RDD for it, so the
+    /// next query reads the new source.
     pub fn register_collection_items(&self, name: impl Into<String>, items: Vec<Item>) {
-        self.engine
-            .collections
-            .write()
-            .insert(name.into(), CollectionSource::Items(Arc::new(items)));
+        let name = name.into();
+        self.invalidate_collection(&name);
+        self.engine.collections.write().insert(name, CollectionSource::Items(Arc::new(items)));
+    }
+
+    fn invalidate_collection(&self, name: &str) {
+        let key = format!("collection:{name}");
+        self.engine.persisted_sources.write().retain(|(k, _), _| *k != key);
+    }
+
+    /// Drops every auto-persisted source RDD and its cached partitions.
+    /// Call after rewriting a file out from under a running engine.
+    pub fn clear_persisted_sources(&self) {
+        self.engine.clear_persisted_sources();
     }
 
     /// Sets the maximum number of items the local API materializes from a
@@ -97,6 +113,15 @@ impl Rumble {
     /// the "warning" of §5.5.
     pub fn was_truncated(&self) -> bool {
         self.engine.truncated.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Chooses the storage level at which literal-path sources
+    /// (`json-file`, `collection`) are automatically persisted and reused
+    /// across query runs, or disables auto-persist with `None`. The default
+    /// is `Some(StorageLevel::MemoryDeserialized)`. Changing the level does
+    /// not drop partitions already cached under the previous one.
+    pub fn set_auto_persist(&self, level: Option<sparklite::StorageLevel>) {
+        *self.engine.auto_persist.write() = level;
     }
 
     /// Parses, checks and compiles a query for (repeated) execution.
@@ -187,9 +212,15 @@ impl PreparedQuery {
         let ctx = self.root_ctx()?;
         if self.program.body.is_rdd(&ctx) {
             let rdd = self.program.body.rdd(&ctx)?;
-            let lines = rdd.map(|item| item.serialize());
+            // The serialized lines are consumed twice (count, then save);
+            // persist so the pipeline runs once, then free the partitions.
+            let lines = rdd
+                .map(|item| item.serialize())
+                .persist(sparklite::StorageLevel::MemoryDeserialized);
             let n = lines.count()?;
-            lines.save_as_text_file(path)?;
+            let saved = lines.save_as_text_file(path);
+            lines.unpersist();
+            saved?;
             return Ok(n);
         }
         let items = self.program.body.materialize(&ctx)?;

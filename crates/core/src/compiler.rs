@@ -185,14 +185,28 @@ impl Compiler {
 
     fn function_call(&self, name: &str, args: &[ast::Expr]) -> Result<ExprRef> {
         let compiled: Vec<ExprRef> = args.iter().map(|a| self.expr(a)).collect::<Result<_>>()?;
+        // A source named by a string literal always reads the same data, so
+        // its RDD can be auto-persisted and shared engine-wide under the
+        // `<function>:<literal>` key; a computed path may resolve
+        // differently per evaluation and must not be.
+        let literal_key = match args.first().map(|a| &a.kind) {
+            Some(ast::ExprKind::Literal(ast::Literal::Str(s))) => Some(format!("{name}:{s}")),
+            _ => None,
+        };
+        let auto_persist = |src: ExprRef| -> ExprRef {
+            match literal_key {
+                Some(key) => Arc::new(PersistIter { inner: src, key }),
+                None => src,
+            }
+        };
         // Input functions get dedicated source iterators (§5.7).
         match (name, compiled.len()) {
             ("json-file", 1) | ("json-file", 2) => {
                 let mut it = compiled.into_iter();
-                return Ok(Arc::new(JsonFileIter {
+                return Ok(auto_persist(Arc::new(JsonFileIter {
                     path: it.next().expect("arity"),
                     partitions: it.next(),
-                }));
+                })));
             }
             ("parallelize", 1) | ("parallelize", 2) => {
                 let mut it = compiled.into_iter();
@@ -203,7 +217,9 @@ impl Compiler {
             }
             ("collection", 1) => {
                 let mut it = compiled.into_iter();
-                return Ok(Arc::new(CollectionIter { name: it.next().expect("arity") }));
+                return Ok(auto_persist(Arc::new(CollectionIter {
+                    name: it.next().expect("arity"),
+                })));
             }
             _ => {}
         }

@@ -7,7 +7,9 @@
 //! feeds the optimizer's pruning, §4.7's "does not create the column at
 //! all").
 
-use super::{bin_of, ctx_from_row, ClauseIterator, ClauseRef, Tuple, TupleCursor, TupleFrame};
+use super::{
+    bin_of, ctx_from_row, ClauseIterator, ClauseRef, FusedScan, Tuple, TupleCursor, TupleFrame,
+};
 use crate::error::{codes, Result, RumbleError};
 use crate::item::{decode_items, group_key, seq, Item};
 use crate::runtime::{eval_ebv, DynamicContext, ExprRef};
@@ -172,6 +174,17 @@ impl ClauseIterator for ForClauseIter {
             return true;
         }
         self.parent.as_ref().is_some_and(|p| p.is_unit_var(var))
+    }
+
+    fn fused_scan(&self) -> Option<FusedScan> {
+        if self.parent.is_some() || self.positional.is_some() || self.allowing_empty {
+            return None;
+        }
+        Some(FusedScan {
+            var: Arc::clone(&self.var),
+            source: Arc::clone(&self.expr),
+            predicates: Vec::new(),
+        })
     }
 
     fn tuples(&self, ctx: &DynamicContext) -> Result<TupleCursor> {
@@ -351,6 +364,15 @@ impl ClauseIterator for WhereClauseIter {
 
     fn is_unit_var(&self, var: &str) -> bool {
         self.parent.is_unit_var(var)
+    }
+
+    fn fused_scan(&self) -> Option<FusedScan> {
+        // A `where` over a fused scan stays fused: with only the initial
+        // `for` in scope, the predicate sees exactly `$var` plus the
+        // driver context the filter closure captures.
+        let mut scan = self.parent.fused_scan()?;
+        scan.predicates.push(Arc::clone(&self.predicate));
+        Some(scan)
     }
 
     fn tuples(&self, ctx: &DynamicContext) -> Result<TupleCursor> {

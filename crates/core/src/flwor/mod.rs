@@ -89,9 +89,25 @@ pub trait ClauseIterator: Send + Sync {
     fn is_unit_var(&self, _var: &str) -> bool {
         false
     }
+
+    /// The clause chain as a fused scan — an initial simple `for` over one
+    /// source followed only by `where` filters — if it has that shape.
+    /// Fused pipelines run straight over the item RDD (filter + flatMap)
+    /// without the Bin-column DataFrame detour, so no per-row
+    /// encode/decode happens between the scan and the return clause.
+    fn fused_scan(&self) -> Option<FusedScan> {
+        None
+    }
 }
 
 pub type ClauseRef = Arc<dyn ClauseIterator>;
+
+/// See [`ClauseIterator::fused_scan`]: `for $var in source where p1 …`.
+pub struct FusedScan {
+    pub var: Arc<str>,
+    pub source: ExprRef,
+    pub predicates: Vec<ExprRef>,
+}
 
 // ---------------------------------------------------------------------------
 // Row ↔ context bridging used by every DataFrame-mode UDF
@@ -159,6 +175,52 @@ impl FlworIter {
         ));
         Ok(frame)
     }
+
+    /// Builds the fused (DataFrame-free) RDD for scan-shaped pipelines:
+    /// each `where` becomes a filter and the return expression a flatMap,
+    /// all directly over items.
+    fn fused_rdd(&self, scan: FusedScan, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let mut rdd = scan.source.rdd(ctx)?;
+        let base = ctx.enter_executor();
+        for pred in scan.predicates {
+            // Comparisons over navigation paths on the scan variable compile
+            // to a direct item predicate: no per-item context bind at all.
+            if let Some(p) = pred.item_predicate(&scan.var) {
+                rdd = rdd.filter(move |item| match p(item) {
+                    Ok(b) => b,
+                    Err(e) => task_bail(e),
+                });
+                continue;
+            }
+            let base = base.clone();
+            let var = Arc::clone(&scan.var);
+            rdd = rdd.filter(move |item| {
+                let child = base.bind(Arc::clone(&var), Arc::new(vec![item.clone()]));
+                match pred.ebv(&child) {
+                    Ok(b) => b,
+                    Err(e) => task_bail(e),
+                }
+            });
+        }
+        if let Some(keys) = self.return_expr.key_path(&scan.var) {
+            // `return $v` (or a static path on it) needs no context either.
+            if keys.is_empty() {
+                return Ok(rdd);
+            }
+            return Ok(
+                rdd.flat_map(move |item| crate::runtime::follow_key_path(&item, &keys).cloned())
+            );
+        }
+        let var = scan.var;
+        let ret = Arc::clone(&self.return_expr);
+        Ok(rdd.flat_map(move |item| {
+            let child = base.bind(Arc::clone(&var), Arc::new(vec![item]));
+            match ret.materialize(&child) {
+                Ok(items) => items,
+                Err(e) => task_bail(e),
+            }
+        }))
+    }
 }
 
 impl ExprIterator for FlworIter {
@@ -173,10 +235,21 @@ impl ExprIterator for FlworIter {
     }
 
     fn is_rdd(&self, ctx: &DynamicContext) -> bool {
-        !ctx.in_executor() && matches!(self.frame_for(ctx), Ok(Some(_)))
+        if ctx.in_executor() {
+            return false;
+        }
+        if let Some(scan) = self.last.fused_scan() {
+            return scan.source.is_rdd(ctx);
+        }
+        matches!(self.frame_for(ctx), Ok(Some(_)))
     }
 
     fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        if let Some(scan) = self.last.fused_scan() {
+            if !ctx.in_executor() && scan.source.is_rdd(ctx) {
+                return self.fused_rdd(scan, ctx);
+            }
+        }
         let frame = self.frame_for(ctx)?.ok_or_else(|| {
             crate::error::RumbleError::dynamic(
                 crate::error::codes::CLUSTER,

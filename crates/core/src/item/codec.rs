@@ -7,9 +7,18 @@
 //!
 //! Layout: one tag byte per item, then a type-specific payload.
 //! Variable-length integers use LEB128; strings are length-prefixed UTF-8.
+//!
+//! Repeated strings are dictionary-encoded within one buffer (the same
+//! trick as Kryo's reference tracking): the first occurrence of a short
+//! string is written literally and assigned the next index; later
+//! occurrences are written as a back-reference. Row-oriented data repeats
+//! object keys and low-cardinality values constantly, so this both
+//! shrinks the encoding and turns most of the decode work into table
+//! lookups instead of allocation + UTF-8 validation.
 
 use super::{Dec, Item, Object};
 use crate::error::{codes, Result, RumbleError};
+use sparklite::rdd::util::FxHashMap;
 use std::sync::Arc;
 
 const TAG_NULL: u8 = 0;
@@ -21,6 +30,14 @@ const TAG_DBL: u8 = 5;
 const TAG_STR: u8 = 6;
 const TAG_ARR: u8 = 7;
 const TAG_OBJ: u8 = 8;
+/// A back-reference to an earlier string in the same buffer.
+const TAG_STRREF: u8 = 9;
+
+/// Strings longer than this are never dictionary-tracked (repeats are
+/// unlikely and hashing them is not free).
+const DICT_MAX_LEN: usize = 64;
+/// Caps the per-buffer dictionary, bounding encoder/decoder memory.
+const DICT_MAX_ENTRIES: usize = 1 << 16;
 
 fn write_varu(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -46,13 +63,41 @@ fn write_vari(out: &mut Vec<u8>, v: i64) {
     write_varu(out, zigzag(v));
 }
 
-fn write_str(out: &mut Vec<u8>, s: &str) {
-    write_varu(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
+/// The per-buffer encoder dictionary: string content → assigned index.
+/// Indices are assigned in occurrence order, which the decoder reproduces
+/// exactly, so no table is ever written out.
+type EncDict<'a> = FxHashMap<&'a str, u32>;
+
+/// Looks `s` up in the dictionary, tracking it on a miss. Returns the
+/// back-reference index on a hit.
+fn dict_probe<'a>(dict: &mut EncDict<'a>, s: &'a str) -> Option<u32> {
+    if s.len() > DICT_MAX_LEN {
+        return None;
+    }
+    if let Some(&idx) = dict.get(s) {
+        return Some(idx);
+    }
+    if dict.len() < DICT_MAX_ENTRIES {
+        dict.insert(s, dict.len() as u32);
+    }
+    None
 }
 
-/// Appends the encoding of one item.
-pub fn encode_item(item: &Item, out: &mut Vec<u8>) {
+/// An object key: `0 idx` for a back-reference, `len+1 bytes` otherwise.
+fn write_key<'a>(out: &mut Vec<u8>, s: &'a str, dict: &mut EncDict<'a>) {
+    match dict_probe(dict, s) {
+        Some(idx) => {
+            write_varu(out, 0);
+            write_varu(out, idx as u64);
+        }
+        None => {
+            write_varu(out, s.len() as u64 + 1);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn encode_into<'a>(item: &'a Item, out: &mut Vec<u8>, dict: &mut EncDict<'a>) {
     match item {
         Item::Null => out.push(TAG_NULL),
         Item::Boolean(false) => out.push(TAG_FALSE),
@@ -72,41 +117,112 @@ pub fn encode_item(item: &Item, out: &mut Vec<u8>) {
             out.push(TAG_DBL);
             out.extend_from_slice(&v.to_le_bytes());
         }
-        Item::Str(s) => {
-            out.push(TAG_STR);
-            write_str(out, s);
-        }
+        Item::Str(s) => match dict_probe(dict, s) {
+            Some(idx) => {
+                out.push(TAG_STRREF);
+                write_varu(out, idx as u64);
+            }
+            None => {
+                out.push(TAG_STR);
+                write_varu(out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+        },
         Item::Array(items) => {
             out.push(TAG_ARR);
             write_varu(out, items.len() as u64);
             for i in items.iter() {
-                encode_item(i, out);
+                encode_into(i, out, dict);
             }
         }
         Item::Object(o) => {
             out.push(TAG_OBJ);
             write_varu(out, o.len() as u64);
             for (k, v) in o.pairs() {
-                write_str(out, k);
-                encode_item(v, out);
+                write_key(out, k, dict);
+                encode_into(v, out, dict);
             }
         }
     }
 }
 
-/// Encodes a sequence of items: a count followed by the items.
+/// Appends the encoding of one item (a self-contained buffer: any
+/// dictionary references stay within this one encoding).
+pub fn encode_item(item: &Item, out: &mut Vec<u8>) {
+    let mut dict = EncDict::default();
+    encode_into(item, out, &mut dict);
+}
+
+/// Bridges this codec into sparklite's partition cache: sequences
+/// persisted at `StorageLevel::MemorySerialized` are stored as
+/// [`encode_items`] bytes, so the cache's byte accounting measures the
+/// same encoding the shuffle layer does.
+pub struct ItemCacheCodec;
+
+impl sparklite::CacheCodec<Item> for ItemCacheCodec {
+    fn encode(&self, items: &[Item]) -> Vec<u8> {
+        encode_items(items)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> std::result::Result<Vec<Item>, String> {
+        decode_items(bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// Encodes a sequence of items: a count followed by the items. The whole
+/// sequence shares one dictionary, so strings repeating across rows (keys,
+/// low-cardinality values) are stored once per buffer.
 pub fn encode_items(items: &[Item]) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 * items.len() + 4);
+    let mut dict = EncDict::default();
     write_varu(&mut out, items.len() as u64);
     for i in items {
-        encode_item(i, &mut out);
+        encode_into(i, &mut out, &mut dict);
     }
     out
+}
+
+const INTERN_MAX_LEN: usize = 64;
+const INTERN_MAX_ENTRIES: usize = 8192;
+
+type InternSet = std::collections::HashSet<
+    Arc<str>,
+    std::hash::BuildHasherDefault<sparklite::rdd::util::FxHasher>,
+>;
+
+thread_local! {
+    static STR_INTERN: std::cell::RefCell<InternSet> =
+        std::cell::RefCell::new(InternSet::default());
+}
+
+/// Returns a (probably shared) `Arc<str>` for `s`. Object keys and short
+/// string values repeat heavily in row-oriented data, so each executor
+/// thread keeps a bounded dictionary and hands out clones of the first
+/// allocation instead of fresh copies — decoding a cached partition then
+/// costs one hash probe per string instead of one heap allocation.
+fn intern(s: &str) -> Arc<str> {
+    if s.len() > INTERN_MAX_LEN {
+        return Arc::from(s);
+    }
+    STR_INTERN.with(|cell| {
+        let mut set = cell.borrow_mut();
+        if let Some(hit) = set.get(s) {
+            return Arc::clone(hit);
+        }
+        let fresh: Arc<str> = Arc::from(s);
+        if set.len() < INTERN_MAX_ENTRIES {
+            set.insert(Arc::clone(&fresh));
+        }
+        fresh
+    })
 }
 
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Decoded strings in occurrence order — mirrors the encoder's
+    /// dictionary, resolving back-references.
+    table: Vec<Arc<str>>,
 }
 
 impl<'a> Reader<'a> {
@@ -149,10 +265,35 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Decodes a literal string of `len` bytes and tracks it in the
+    /// reference table under the same rule the encoder uses.
+    fn literal(&mut self, len: usize) -> Result<Arc<str>> {
+        let err = self.corrupt();
+        let bytes = self.bytes(len)?;
+        let s = std::str::from_utf8(bytes).map(intern).map_err(|_| err)?;
+        if s.len() <= DICT_MAX_LEN && self.table.len() < DICT_MAX_ENTRIES {
+            self.table.push(Arc::clone(&s));
+        }
+        Ok(s)
+    }
+
+    fn str_ref(&mut self) -> Result<Arc<str>> {
+        let idx = self.varu()? as usize;
+        self.table.get(idx).cloned().ok_or_else(|| self.corrupt())
+    }
+
     fn str(&mut self) -> Result<Arc<str>> {
         let len = self.varu()? as usize;
-        let bytes = self.bytes(len)?;
-        std::str::from_utf8(bytes).map(Arc::from).map_err(|_| self.corrupt())
+        self.literal(len)
+    }
+
+    /// An object key: `0` introduces a back-reference, otherwise the
+    /// length is stored plus one.
+    fn key(&mut self) -> Result<Arc<str>> {
+        match self.varu()? {
+            0 => self.str_ref(),
+            n => self.literal(n as usize - 1),
+        }
     }
 
     fn item(&mut self) -> Result<Item> {
@@ -170,6 +311,7 @@ impl<'a> Reader<'a> {
                 Item::Double(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
             }
             TAG_STR => Item::Str(self.str()?),
+            TAG_STRREF => Item::Str(self.str_ref()?),
             TAG_ARR => {
                 let n = self.varu()? as usize;
                 if n > self.buf.len() - self.pos.min(self.buf.len()) {
@@ -188,7 +330,7 @@ impl<'a> Reader<'a> {
                 }
                 let mut pairs = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
-                    let k = self.str()?;
+                    let k = self.key()?;
                     pairs.push((k, self.item()?));
                 }
                 Item::Object(Arc::new(Object::new(pairs)))
@@ -200,13 +342,13 @@ impl<'a> Reader<'a> {
 
 /// Decodes one item from the front of `buf`.
 pub fn decode_item(buf: &[u8]) -> Result<Item> {
-    let mut r = Reader { buf, pos: 0 };
+    let mut r = Reader { buf, pos: 0, table: Vec::new() };
     r.item()
 }
 
 /// Decodes a sequence encoded with [`encode_items`].
 pub fn decode_items(buf: &[u8]) -> Result<Vec<Item>> {
-    let mut r = Reader { buf, pos: 0 };
+    let mut r = Reader { buf, pos: 0, table: Vec::new() };
     let n = r.varu()? as usize;
     if n > buf.len() {
         return Err(r.corrupt());

@@ -12,7 +12,7 @@ mod decimal;
 mod json;
 mod ops;
 
-pub use codec::{decode_item, decode_items, encode_item, encode_items};
+pub use codec::{decode_item, decode_items, encode_item, encode_items, ItemCacheCodec};
 pub use decimal::Dec;
 pub use json::{item_from_json, items_from_json_lines, ItemBuilder};
 pub use ops::{

@@ -4,8 +4,8 @@
 
 use super::types::{cast_item, seq_matches, type_to_string};
 use super::{
-    cursor_empty, cursor_of, cursor_one, eval_ebv, eval_one, eval_opt, CollectionSource,
-    DynamicContext, ExprIterator, ExprRef, ItemCursor,
+    cursor_empty, cursor_of, cursor_one, eval_ebv, eval_one, eval_opt, follow_key_path,
+    CollectionSource, DynamicContext, ExprIterator, ExprRef, ItemCursor, ItemPredicate,
 };
 use crate::error::{codes, Result, RumbleError};
 use crate::item::{
@@ -92,6 +92,10 @@ impl ExprIterator for LiteralIter {
     fn open(&self, _ctx: &DynamicContext) -> Result<ItemCursor> {
         Ok(cursor_one(self.0.clone()))
     }
+
+    fn const_item(&self) -> Option<Item> {
+        Some(self.0.clone())
+    }
 }
 
 /// `()`
@@ -113,6 +117,10 @@ impl ExprIterator for VarRefIter {
 
     fn materialize(&self, ctx: &DynamicContext) -> Result<Vec<Item>> {
         Ok(self.resolve(ctx)?.to_vec())
+    }
+
+    fn key_path(&self, var: &str) -> Option<Vec<Arc<str>>> {
+        (self.0.as_ref() == var).then(Vec::new)
     }
 }
 
@@ -199,6 +207,11 @@ impl ExprIterator for AndIter {
     fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
         Ok(cursor_one(Item::Boolean(self.ebv(ctx)?)))
     }
+
+    fn item_predicate(&self, var: &str) -> Option<ItemPredicate> {
+        let (a, b) = (self.0.item_predicate(var)?, self.1.item_predicate(var)?);
+        Some(Arc::new(move |item| Ok(a(item)? && b(item)?)))
+    }
 }
 
 pub struct OrIter(pub ExprRef, pub ExprRef);
@@ -211,6 +224,11 @@ impl ExprIterator for OrIter {
     fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
         Ok(cursor_one(Item::Boolean(self.ebv(ctx)?)))
     }
+
+    fn item_predicate(&self, var: &str) -> Option<ItemPredicate> {
+        let (a, b) = (self.0.item_predicate(var)?, self.1.item_predicate(var)?);
+        Some(Arc::new(move |item| Ok(a(item)? || b(item)?)))
+    }
 }
 
 pub struct NotIter(pub ExprRef);
@@ -222,6 +240,11 @@ impl ExprIterator for NotIter {
 
     fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
         Ok(cursor_one(Item::Boolean(self.ebv(ctx)?)))
+    }
+
+    fn item_predicate(&self, var: &str) -> Option<ItemPredicate> {
+        let inner = self.0.item_predicate(var)?;
+        Some(Arc::new(move |item| Ok(!inner(item)?)))
     }
 }
 
@@ -371,9 +394,53 @@ impl CompareIter {
     }
 }
 
+/// One side of a fused comparison: a navigation path on the scan variable
+/// or a constant.
+enum CompSide {
+    Path(Vec<Arc<str>>),
+    Const(Item),
+}
+
+impl CompSide {
+    fn of(expr: &ExprRef, var: &str) -> Option<CompSide> {
+        if let Some(path) = expr.key_path(var) {
+            return Some(CompSide::Path(path));
+        }
+        expr.const_item().map(CompSide::Const)
+    }
+
+    fn get<'a>(&'a self, item: &'a Item) -> Option<&'a Item> {
+        match self {
+            CompSide::Path(keys) => follow_key_path(item, keys),
+            CompSide::Const(c) => Some(c),
+        }
+    }
+}
+
 impl ExprIterator for CompareIter {
     fn ebv(&self, ctx: &DynamicContext) -> Result<bool> {
         Ok(self.compute(ctx)?.unwrap_or(false))
+    }
+
+    fn item_predicate(&self, var: &str) -> Option<ItemPredicate> {
+        let left = CompSide::of(&self.left, var)?;
+        let right = CompSide::of(&self.right, var)?;
+        let op = self.op;
+        Some(Arc::new(move |item| {
+            // Paths yield at most one item, so an absent side makes the
+            // comparison false under both value and general semantics.
+            let (Some(a), Some(b)) = (left.get(item), right.get(item)) else {
+                return Ok(false);
+            };
+            if !op.is_general() && (!a.is_atomic() || !b.is_atomic()) {
+                return Err(RumbleError::type_err(format!(
+                    "value comparisons need atomics, got {} and {}",
+                    a.type_name(),
+                    b.type_name()
+                )));
+            }
+            apply_value_op(a, op, b)
+        }))
     }
 
     fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
@@ -598,6 +665,13 @@ impl ExprIterator for ObjectLookupIter {
         let key = self.resolve_key(ctx)?;
         // The lookup ships to the cluster as a flatMap closure (§5.6).
         Ok(self.target.rdd(ctx)?.flat_map(move |item| lookup_in(&item, &key)))
+    }
+
+    fn key_path(&self, var: &str) -> Option<Vec<Arc<str>>> {
+        let KeySpec::Static(key) = &self.key else { return None };
+        let mut path = self.target.key_path(var)?;
+        path.push(Arc::clone(key));
+        Some(path)
     }
 }
 
@@ -983,6 +1057,63 @@ impl ExprIterator for CollectionIter {
                 inner.rdd(ctx)
             }
         }
+    }
+}
+
+/// Auto-persist wrapper for RDD-backed sources (§5.6): the compiler wraps
+/// literal-path `json-file`/`collection` calls in one of these, and the
+/// first distributed evaluation persists the source RDD in sparklite's
+/// partition cache. The persisted handle lands in the engine-wide
+/// [`EngineCtx::persisted_sources`](crate::runtime::EngineCtx) map, so
+/// every later run — of this query or any other compile naming the same
+/// source — skips the JSON parse and serves cached partitions. That is
+/// the automatic reuse that makes warm runs fast.
+///
+/// Sharing by source identity is sound only because the wrapped path is a
+/// literal: a binding-dependent path could resolve differently per
+/// evaluation, so the compiler never wraps those.
+pub struct PersistIter {
+    pub inner: ExprRef,
+    /// Engine-wide identity of the source, e.g. `json-file:hdfs:///x.json`.
+    pub key: String,
+}
+
+impl ExprIterator for PersistIter {
+    fn open(&self, ctx: &DynamicContext) -> Result<ItemCursor> {
+        if self.is_rdd(ctx) {
+            return Ok(cursor_of(crate::runtime::collect_rdd_capped(self.rdd(ctx)?, ctx)?));
+        }
+        self.inner.open(ctx)
+    }
+
+    fn is_rdd(&self, ctx: &DynamicContext) -> bool {
+        self.inner.is_rdd(ctx)
+    }
+
+    fn rdd(&self, ctx: &DynamicContext) -> Result<Rdd<Item>> {
+        let engine = ctx.engine();
+        let Some(level) = *engine.auto_persist.read() else {
+            return self.inner.rdd(ctx);
+        };
+        let map_key = (self.key.clone(), level);
+        if let Some(rdd) = engine.persisted_sources.read().get(&map_key) {
+            return Ok(rdd.clone());
+        }
+        let base = self.inner.rdd(ctx)?;
+        let persisted = match level {
+            sparklite::StorageLevel::MemoryDeserialized => base.persist(level),
+            sparklite::StorageLevel::MemorySerialized => {
+                base.persist_with_codec(level, Arc::new(crate::item::ItemCacheCodec))
+            }
+        };
+        // Under a racing first evaluation the earlier insert wins; the
+        // loser's handle drops and frees its (disjoint) cache slots.
+        Ok(engine
+            .persisted_sources
+            .write()
+            .entry(map_key)
+            .or_insert_with(|| persisted.clone())
+            .clone())
     }
 }
 

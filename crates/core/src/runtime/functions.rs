@@ -374,6 +374,30 @@ impl ExprIterator for BuiltinCallIter {
                 Ok(cursor_one(total.unwrap_or(Item::Integer(0))))
             }
             Avg => {
+                if args[0].is_rdd(ctx) {
+                    // Needs both the count and the sum; persist (serialized,
+                    // via the item codec) so the pipeline runs once instead
+                    // of twice, then free the partitions.
+                    let rdd = args[0].rdd(ctx)?.persist_with_codec(
+                        sparklite::StorageLevel::MemorySerialized,
+                        std::sync::Arc::new(crate::item::ItemCacheCodec),
+                    );
+                    let n = rdd.count()?;
+                    if n == 0 {
+                        rdd.unpersist();
+                        return Ok(cursor_empty());
+                    }
+                    let total = rdd.reduce(|a, b| match item_add(&a, &b) {
+                        Ok(v) => v,
+                        Err(e) => sparklite::rdd::task_bail(e),
+                    });
+                    rdd.unpersist();
+                    let total = total?.expect("non-empty rdd has a sum");
+                    return Ok(cursor_one(crate::item::item_div(
+                        &total,
+                        &Item::Integer(n as i64),
+                    )?));
+                }
                 let items = args[0].materialize(ctx)?;
                 if items.is_empty() {
                     return Ok(cursor_empty());

@@ -66,6 +66,14 @@ pub struct EngineCtx {
     pub materialization_cap: std::sync::atomic::AtomicUsize,
     /// Set when a materialization hit the cap, so callers can warn.
     pub truncated: std::sync::atomic::AtomicBool,
+    /// Storage level at which literal-path sources are automatically
+    /// persisted across query runs; `None` disables auto-persist.
+    pub auto_persist: RwLock<Option<sparklite::StorageLevel>>,
+    /// Persisted source RDDs, keyed by source identity (e.g.
+    /// `json-file:hdfs:///x.json`) and storage level. Engine-wide so every
+    /// compile of every query over the same literal source reuses the same
+    /// cached partitions. Dropping an entry releases its partitions.
+    pub persisted_sources: RwLock<HashMap<(String, sparklite::StorageLevel), Rdd<Item>>>,
 }
 
 impl EngineCtx {
@@ -75,7 +83,15 @@ impl EngineCtx {
             collections: RwLock::new(HashMap::new()),
             materialization_cap: std::sync::atomic::AtomicUsize::new(10_000_000),
             truncated: std::sync::atomic::AtomicBool::new(false),
+            auto_persist: RwLock::new(Some(sparklite::StorageLevel::MemoryDeserialized)),
+            persisted_sources: RwLock::new(HashMap::new()),
         })
+    }
+
+    /// Drops every auto-persisted source RDD (and, transitively, its cached
+    /// partitions). Call after rewriting a source out from under the engine.
+    pub fn clear_persisted_sources(&self) {
+        self.persisted_sources.write().clear();
     }
 }
 
@@ -242,6 +258,43 @@ pub trait ExprIterator: Send + Sync {
             self.open(ctx)?.collect()
         }
     }
+
+    /// If this expression is a pure navigation path rooted at `$var` —
+    /// `$var`, `$var.a`, `$var.a.b` — the static key chain (empty for the
+    /// bare variable). Fused scans use this to evaluate navigation directly
+    /// on each item, with no per-item context binding.
+    fn key_path(&self, _var: &str) -> Option<Vec<Arc<str>>> {
+        None
+    }
+
+    /// The constant item this expression always yields, if any.
+    fn const_item(&self) -> Option<Item> {
+        None
+    }
+
+    /// A driver-free predicate equivalent to [`ebv`] when the only FLWOR
+    /// variable in scope is `var`, bound to exactly the item passed in.
+    /// Comparisons over [`key_path`]-shaped operands and their boolean
+    /// combinations compile to one; everything else falls back to the
+    /// context-binding path.
+    ///
+    /// [`ebv`]: ExprIterator::ebv
+    /// [`key_path`]: ExprIterator::key_path
+    fn item_predicate(&self, _var: &str) -> Option<ItemPredicate> {
+        None
+    }
+}
+
+/// A compiled single-item predicate for fused scans.
+pub type ItemPredicate = Arc<dyn Fn(&Item) -> Result<bool> + Send + Sync>;
+
+/// Follows a static key chain on one item; `None` is the empty sequence.
+pub fn follow_key_path<'a>(item: &'a Item, keys: &[Arc<str>]) -> Option<&'a Item> {
+    let mut cur = item;
+    for k in keys {
+        cur = cur.as_object()?.get(k)?;
+    }
+    Some(cur)
 }
 
 /// Reference-counted iterator node.

@@ -176,6 +176,11 @@ pub struct SparkliteConf {
     /// Number of rows sampled per partition when computing range bounds for
     /// sorts (Spark's `RangePartitioner` sketch size, simplified).
     pub sort_sample_size: usize,
+    /// Byte budget for the partition cache (`Rdd::persist`); least-recently
+    /// used partitions are evicted past it and transparently recomputed
+    /// from lineage on the next read (Spark's storage-memory fraction,
+    /// collapsed to one knob).
+    pub cache_budget_bytes: usize,
     /// Chaos injection and recovery tuning; see [`FaultPlan`].
     pub faults: FaultPlan,
 }
@@ -206,6 +211,13 @@ impl SparkliteConf {
         self
     }
 
+    /// Sets the partition-cache byte budget (zero disables caching: every
+    /// persisted read falls back to lineage recomputation).
+    pub fn with_cache_budget_bytes(mut self, bytes: usize) -> Self {
+        self.cache_budget_bytes = bytes;
+        self
+    }
+
     /// Installs a chaos/recovery plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
@@ -221,6 +233,7 @@ impl Default for SparkliteConf {
             default_parallelism: cores * 2,
             block_size: 4 * 1024 * 1024,
             sort_sample_size: 64,
+            cache_budget_bytes: 256 * 1024 * 1024,
             faults: FaultPlan::default(),
         }
     }

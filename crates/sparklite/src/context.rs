@@ -1,6 +1,7 @@
 //! The driver: owns the executor pool, shuffle bookkeeping, storage and
 //! metrics, and hands out RDDs and DataFrames.
 
+use crate::cache::CacheManager;
 use crate::conf::SparkliteConf;
 use crate::error::Result;
 use crate::executor::{ExecutorPool, Metrics, MetricsSnapshot, TaskContext, TaskFn};
@@ -19,6 +20,7 @@ pub struct Core {
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) hdfs: SimHdfs,
     pub(crate) injector: Arc<FaultInjector>,
+    pub(crate) cache: CacheManager,
 }
 
 impl Core {
@@ -80,7 +82,8 @@ impl SparkliteContext {
         let injector = Arc::new(FaultInjector::new(conf.faults.clone(), Arc::clone(&metrics)));
         let pool = ExecutorPool::new(conf.executors, Arc::clone(&metrics), Arc::clone(&injector));
         let hdfs = SimHdfs::new(conf.block_size, conf.faults.read_latency_us);
-        SparkliteContext { core: Arc::new(Core { conf, pool, metrics, hdfs, injector }) }
+        let cache = CacheManager::new(conf.cache_budget_bytes, Arc::clone(&metrics));
+        SparkliteContext { core: Arc::new(Core { conf, pool, metrics, hdfs, injector, cache }) }
     }
 
     /// A context with default configuration.
@@ -105,6 +108,11 @@ impl SparkliteContext {
     /// A point-in-time copy of the engine counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics.snapshot()
+    }
+
+    /// The partition cache backing `Rdd::persist`.
+    pub fn cache(&self) -> &CacheManager {
+        &self.core.cache
     }
 
     #[allow(dead_code)] // exercised by in-crate tests and future callers

@@ -14,10 +14,13 @@
 
 mod expr;
 mod plan;
+mod rowcodec;
 
 pub use expr::{CmpOp, Expr, KeyValue, NumOp, SortDir, SortKey};
 pub use plan::{optimize, Agg, LogicalPlan, NamedExpr};
+pub use rowcodec::RowCodec;
 
+use crate::cache::StorageLevel;
 use crate::context::Core;
 use crate::error::{Result, SparkliteError};
 use crate::rdd::Rdd;
@@ -356,16 +359,42 @@ impl DataFrame {
         self.derive(LogicalPlan::Limit { input: Arc::clone(&self.plan), n })
     }
 
-    /// Materializes the frame once and returns a DataFrame backed by the
-    /// materialized partitions, so several downstream passes (e.g. a type
-    /// discovery pass followed by a sort) do not recompute the pipeline —
-    /// the role Spark's shuffle files / `.cache()` play.
+    /// Persists the frame at [`StorageLevel::MemoryDeserialized`] so that
+    /// several downstream passes (e.g. a type discovery pass followed by a
+    /// sort) do not recompute the pipeline — the role Spark's `.cache()`
+    /// plays. Unlike the historical driver-funnel implementation, rows stay
+    /// on the executors: partitions land in the [`CacheManager`] where the
+    /// task that first computes them runs.
+    ///
+    /// [`CacheManager`]: crate::cache::CacheManager
     pub fn cache(&self) -> Result<DataFrame> {
+        self.persist(StorageLevel::MemoryDeserialized)
+    }
+
+    /// Persists the frame at an explicit storage level and eagerly
+    /// populates the cache (one task per partition; no rows reach the
+    /// driver). `MemorySerialized` stores partitions as compact
+    /// [`RowCodec`] bytes, trading decode CPU on re-read for a smaller
+    /// footprint under the cache byte budget.
+    pub fn persist(&self, level: StorageLevel) -> Result<DataFrame> {
         let rdd = self.to_rdd()?;
-        let parts = rdd.collect_partitions()?;
-        let cached =
-            Rdd::new(Arc::clone(&self.core), Arc::new(crate::rdd::FromPartitionsRdd::new(parts)));
-        Ok(DataFrame::from_rdd(Arc::clone(self.schema()), &cached))
+        let persisted = match level {
+            StorageLevel::MemoryDeserialized => rdd.persist(level),
+            StorageLevel::MemorySerialized => rdd.persist_with_codec(level, Arc::new(RowCodec)),
+        };
+        persisted.foreach(|_| {})?;
+        Ok(DataFrame::from_rdd(Arc::clone(self.schema()), &persisted))
+    }
+
+    /// Drops this frame's cached partitions (a no-op unless the frame came
+    /// from [`cache`]/[`persist`]).
+    ///
+    /// [`cache`]: DataFrame::cache
+    /// [`persist`]: DataFrame::persist
+    pub fn unpersist(&self) {
+        if let LogicalPlan::FromRdd { rows, .. } = self.plan.as_ref() {
+            rows.unpersist();
+        }
     }
 
     // ---- actions ----

@@ -85,8 +85,19 @@ pub struct Metrics {
     /// Speculative copies that finished before the original attempt.
     pub speculative_wins: AtomicU64,
     /// Faults injected by the chaos plan (kills, lost outputs, storage
-    /// faults, straggler slowdowns).
+    /// faults, straggler slowdowns, cached-read faults).
     pub injected_faults: AtomicU64,
+    /// Persisted-partition reads served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Persisted-partition reads that fell back to lineage recomputation
+    /// (cold, evicted, or fault-injected).
+    pub cache_misses: AtomicU64,
+    /// Partitions evicted from the cache under byte-budget pressure.
+    pub cache_evictions: AtomicU64,
+    /// Bytes currently held by the partition cache. Unlike the counters
+    /// above this is a gauge: it moves both ways as blocks are stored,
+    /// evicted and unpersisted.
+    pub cached_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -107,6 +118,10 @@ pub struct MetricsSnapshot {
     pub speculated_tasks: u64,
     pub speculative_wins: u64,
     pub injected_faults: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cached_bytes: u64,
 }
 
 impl Metrics {
@@ -127,6 +142,10 @@ impl Metrics {
             speculated_tasks: self.speculated_tasks.load(Ordering::Relaxed),
             speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
         }
     }
 

@@ -37,6 +37,7 @@ enum Kind {
     ExecDeath,
     StorageFault,
     Straggler,
+    CacheFault,
 }
 
 impl Kind {
@@ -46,6 +47,7 @@ impl Kind {
             Kind::ExecDeath => 0x65786563_64656164,    // "execdead"
             Kind::StorageFault => 0x73746F72_6661696C, // "storfail"
             Kind::Straggler => 0x73747261_67676C65,    // "straggle"
+            Kind::CacheFault => 0x63616368_6C6F7374,   // "cachlost"
         }
     }
 }
@@ -147,6 +149,28 @@ impl FaultInjector {
                 tc.attempt
             )));
         }
+    }
+
+    /// Called before a persisted-partition cache read, keyed like storage
+    /// reads (same probability knob) on `(rdd id, partition, attempt)`.
+    /// Returns `true` when the cached block must be treated as lost.
+    ///
+    /// Unlike [`FaultInjector::on_storage_read`] this does not panic: the
+    /// cache layer's recovery *is* lineage recomputation, which needs no
+    /// task retry — the caller drops the slot and recomputes in place, so
+    /// injected cache faults cost recompute time but no attempt budget.
+    pub(crate) fn on_cached_read(&self, rdd_id: u64, split: usize, tc: &TaskContext) -> bool {
+        if self.fires(
+            self.plan.storage_fault_prob,
+            Kind::CacheFault,
+            rdd_id,
+            split as u64,
+            tc.attempt,
+        ) {
+            self.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 
     /// Which of a shuffle's `n` freshly registered map outputs are lost to

@@ -38,6 +38,7 @@
 //! assert_eq!(sum, 25_500);
 //! ```
 
+pub mod cache;
 pub mod conf;
 pub mod context;
 pub mod dataframe;
@@ -48,6 +49,7 @@ pub mod rdd;
 pub mod sql;
 pub mod storage;
 
+pub use cache::{CacheCodec, StorageLevel};
 pub use conf::{FaultPlan, SparkliteConf};
 pub use context::SparkliteContext;
 pub use error::{FailureCause, FailureKind, Result, SparkliteError};

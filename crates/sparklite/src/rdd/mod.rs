@@ -58,17 +58,20 @@ pub trait RddOp<T: Data>: Preparable + 'static {
 pub struct Rdd<T: Data> {
     core: Arc<Core>,
     op: Arc<dyn RddOp<T>>,
+    /// Set on handles returned by [`Rdd::persist`]; the key `unpersist`
+    /// clears cache slots under.
+    cache_id: Option<u64>,
 }
 
 impl<T: Data> Clone for Rdd<T> {
     fn clone(&self) -> Self {
-        Rdd { core: Arc::clone(&self.core), op: Arc::clone(&self.op) }
+        Rdd { core: Arc::clone(&self.core), op: Arc::clone(&self.op), cache_id: self.cache_id }
     }
 }
 
 impl<T: Data> Rdd<T> {
     pub(crate) fn new(core: Arc<Core>, op: Arc<dyn RddOp<T>>) -> Self {
-        Rdd { core, op }
+        Rdd { core, op, cache_id: None }
     }
 
     pub(crate) fn core(&self) -> &Arc<Core> {
@@ -138,6 +141,57 @@ impl<T: Data> Rdd<T> {
 
     pub fn key_by<K: Data>(&self, f: impl Fn(&T) -> K + Send + Sync + 'static) -> Rdd<(K, T)> {
         self.map(move |t| (f(&t), t))
+    }
+
+    /// Persists this RDD's partitions in the context's byte-budgeted cache
+    /// (Spark's `.persist(StorageLevel)`), returning a handle that serves
+    /// repeated reads from memory.
+    ///
+    /// Population is lazy and distributed: the first task to compute each
+    /// partition stores it, executor-side — no driver round trip. Reads of
+    /// evicted, fault-injected or never-populated partitions transparently
+    /// recompute from lineage, so results are byte-identical to the
+    /// unpersisted RDD under any budget and any fault plan.
+    ///
+    /// [`StorageLevel::MemorySerialized`] needs an element codec; without
+    /// one it falls back to deserialized storage — use
+    /// [`Rdd::persist_with_codec`] for real serialized byte accounting.
+    pub fn persist(&self, level: crate::cache::StorageLevel) -> Rdd<T> {
+        self.persist_impl(level, None)
+    }
+
+    /// [`Rdd::persist`] with an explicit element codec, enabling
+    /// [`StorageLevel::MemorySerialized`]'s encoded storage.
+    pub fn persist_with_codec(
+        &self,
+        level: crate::cache::StorageLevel,
+        codec: Arc<dyn crate::cache::CacheCodec<T>>,
+    ) -> Rdd<T> {
+        self.persist_impl(level, Some(codec))
+    }
+
+    fn persist_impl(
+        &self,
+        level: crate::cache::StorageLevel,
+        codec: Option<Arc<dyn crate::cache::CacheCodec<T>>>,
+    ) -> Rdd<T> {
+        let op = crate::cache::CachedRdd::new(
+            Arc::clone(&self.core),
+            Arc::clone(&self.op),
+            level,
+            codec,
+        );
+        let id = op.id();
+        Rdd { core: Arc::clone(&self.core), op: Arc::new(op), cache_id: Some(id) }
+    }
+
+    /// Drops every cached partition of a persisted handle. Later reads
+    /// recompute from lineage (and re-populate); a handle that was never
+    /// persisted is a no-op.
+    pub fn unpersist(&self) {
+        if let Some(id) = self.cache_id {
+            self.core.cache.unpersist(id);
+        }
     }
 
     /// Globally sorts by a key extracted from each element, using sampled

@@ -142,15 +142,20 @@ impl<K: Data + Hash + Eq, C: Data> RddOp<(K, C)> for ShuffledRdd<K, C> {
         let buckets = Arc::clone(self.buckets.get().expect("prepare ran before compute"));
         match &self.merge {
             Some(m) => {
-                // Reduce-side merge across map tasks.
+                // Reduce-side merge across map tasks. The bucket stays
+                // shared (`compute` must be re-runnable for retries,
+                // speculation, and cache-eviction fallback), so values are
+                // cloned per record — but keys are cloned only once per
+                // *distinct* key: duplicates reuse the owned key pulled
+                // back out of the map via `remove_entry`.
                 let mut merged: FxHashMap<K, C> = FxHashMap::default();
-                for (k, c) in buckets[split].iter().cloned() {
-                    match merged.remove(&k) {
-                        Some(old) => {
-                            merged.insert(k, m(old, c));
+                for (k, c) in buckets[split].iter() {
+                    match merged.remove_entry(k) {
+                        Some((owned_k, old)) => {
+                            merged.insert(owned_k, m(old, c.clone()));
                         }
                         None => {
-                            merged.insert(k, c);
+                            merged.insert(k.clone(), c.clone());
                         }
                     }
                 }
@@ -199,14 +204,19 @@ impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
             Arc::new(move |iter: BoxIter<T>, tc: &TaskContext| {
                 let mut rng = SplitMix64::new(0xC0FFEE ^ tc.partition as u64);
                 let mut reservoir: Vec<K> = Vec::with_capacity(sample_size);
+                // Extract the key only for items that actually enter the
+                // reservoir: once it is full, all but ~sample_size/seen of
+                // the items are rejected by the index draw alone, so eager
+                // extraction would clone a key per input element for
+                // nothing. The RNG consumption is unchanged, so sampled
+                // boundaries stay identical to the eager version.
                 for (seen, item) in iter.enumerate() {
-                    let k = key_fn(&item);
                     if reservoir.len() < sample_size {
-                        reservoir.push(k);
+                        reservoir.push(key_fn(&item));
                     } else {
                         let j = rng.next_below(seen as u64 + 1) as usize;
                         if j < sample_size {
-                            reservoir[j] = k;
+                            reservoir[j] = key_fn(&item);
                         }
                     }
                 }
