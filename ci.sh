@@ -37,6 +37,13 @@ cargo test --workspace --offline -q chaos
 step "cache suite (fixed seeds)"
 cargo test --workspace --offline -q cache
 
+# And the observability layer: event-log golden tests (fixed-seed
+# reproducibility, span pairing, timeline-vs-metrics reconciliation),
+# the reconciliation property suite, and the EXPLAIN ANALYZE tests.
+step "events suite (fixed seeds)"
+cargo test --workspace --offline -q events
+cargo test --workspace --offline -q explain_analyze
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline
@@ -46,6 +53,12 @@ if [[ "$QUICK" -eq 0 ]]; then
   # results identical to the unpersisted run (also checked under 20% chaos).
   step "harness cache smoke"
   ./target/release/harness cache --tries 2
+
+  # Smoke the traced harness figure: the run dies unless the event-derived
+  # timeline reconciles exactly with the metrics snapshot, every JSONL
+  # event-log line passes schema validation, and the Chrome trace parses.
+  step "harness trace smoke"
+  ./target/release/harness trace --tries 2
 fi
 
 step "OK"

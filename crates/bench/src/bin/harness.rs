@@ -7,7 +7,7 @@
 //! ```text
 //! harness [figure] [--scale N] [--tries N]
 //!
-//!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos | cache
+//!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos | cache | trace
 //!   --scale   object-count multiplier (default 1 → laptop-sized runs)
 //!   --tries   timed repetitions per measurement (default 3)
 //! ```
@@ -41,8 +41,8 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos|cache] \
-                     [--scale N] [--tries N]"
+                    "usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos|cache|\
+                     trace] [--scale N] [--tries N]"
                 );
                 std::process::exit(0);
             }
@@ -192,6 +192,25 @@ fn main() {
             &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
             &r,
         );
+    }
+    if run_fig("trace") {
+        ran = true;
+        let n = 50_000 * s;
+        // The figure panics (→ nonzero exit) if the timeline fails to
+        // reconcile or either artifact fails schema validation, so running
+        // `harness trace` doubles as the observability CI check.
+        let (r, jsonl, chrome) = figures::trace(n, cores, t);
+        emit(
+            "trace",
+            &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
+            &r,
+        );
+        for (path, contents) in [("EVENTS_fig11.jsonl", &jsonl), ("TRACE_fig11.json", &chrome)] {
+            match std::fs::write(path, contents) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+        }
     }
     if !ran {
         die(&format!("unknown figure '{}'", args.figure));

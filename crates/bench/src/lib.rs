@@ -118,6 +118,108 @@ pub fn write_bench_json(
     Ok(path)
 }
 
+/// The JSONL event-log fields every event of a given type must carry,
+/// beyond the `{"ev": …, "at_us": …}` envelope — the schema contract the
+/// trace figure checks on every line the harness writes.
+fn required_event_fields(ev: &str) -> Option<&'static [&'static str]> {
+    Some(match ev {
+        "JobStart" => &["job", "stage", "num_tasks"],
+        "JobEnd" => &["job", "ok"],
+        "StageSubmitted" => &["stage", "num_tasks"],
+        "StageCompleted" => &["stage", "ok"],
+        "TaskStart" => &["job", "partition", "attempt", "speculative", "worker"],
+        "TaskEnd" => &[
+            "job",
+            "partition",
+            "attempt",
+            "speculative",
+            "worker",
+            "busy_us",
+            "input_records",
+            "input_bytes",
+            "shuffle_records",
+            "shuffle_bytes",
+            "output_records",
+            "cache_hits",
+            "cache_misses",
+            "failure",
+        ],
+        "TaskResubmitted" => &["job", "partition", "next_attempt"],
+        "SpeculativeLaunch" => &["job", "partition", "attempt"],
+        "SpeculativeWin" => &["job", "partition"],
+        "LineageRecovery" => &["shuffle", "lost"],
+        "ShuffleWrite" | "ShuffleFetch" => &["job", "partition", "records", "bytes"],
+        "CacheRead" => &["rdd", "split", "hit"],
+        "CachePut" | "CacheEvict" => &["rdd", "split", "bytes", "total_bytes"],
+        "CacheRelease" => &["rdd", "splits", "total_bytes"],
+        "ChaosInject" => &["kind", "a", "b", "attempt"],
+        _ => return None,
+    })
+}
+
+/// Validates a JSONL event log: every line parses as a JSON object, names a
+/// known event type, and carries that type's required fields. Returns the
+/// number of events checked.
+pub fn validate_event_log(jsonl: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in jsonl.lines().enumerate() {
+        let lineno = i + 1;
+        let v = jsonlite::parse_value(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let ev = v
+            .get("ev")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| format!("line {lineno}: missing \"ev\""))?;
+        v.get("at_us")
+            .and_then(|x| x.as_i64())
+            .ok_or_else(|| format!("line {lineno}: missing numeric \"at_us\""))?;
+        let fields = required_event_fields(ev)
+            .ok_or_else(|| format!("line {lineno}: unknown event type \"{ev}\""))?;
+        for f in fields {
+            if v.get(f).is_none() {
+                return Err(format!("line {lineno}: {ev} is missing \"{f}\""));
+            }
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Validates a Chrome `trace_event` export: the document parses, holds a
+/// `traceEvents` array, and every entry is either a `thread_name` metadata
+/// row or a complete (`"X"`) slice with timestamps. Returns the number of
+/// task/job slices found.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let v = jsonlite::parse_value(json).map_err(|e| format!("chrome trace: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(|x| x.as_array())
+        .ok_or("chrome trace: missing \"traceEvents\" array")?;
+    let mut slices = 0;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(|x| x.as_str())
+            .ok_or_else(|| format!("traceEvents[{i}]: missing \"ph\""))?;
+        match ph {
+            "M" => {
+                if e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()).is_none() {
+                    return Err(format!("traceEvents[{i}]: metadata row without args.name"));
+                }
+            }
+            "X" => {
+                for f in ["name", "tid", "ts", "dur"] {
+                    if e.get(f).is_none() {
+                        return Err(format!("traceEvents[{i}]: slice missing \"{f}\""));
+                    }
+                }
+                slices += 1;
+            }
+            other => return Err(format!("traceEvents[{i}]: unexpected phase \"{other}\"")),
+        }
+    }
+    Ok(slices)
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -151,6 +253,29 @@ mod tests {
         assert!(doc.contains("\"cold \\\"run\\\"\""));
         assert!(doc.contains("[12.500, null]"));
         assert!(doc.contains("\"cache_hits\": 7"));
+    }
+
+    #[test]
+    fn event_log_validator_accepts_and_rejects() {
+        let good = "{\"ev\":\"JobEnd\",\"at_us\":3,\"job\":1,\"ok\":true}\n\
+                    {\"ev\":\"StageSubmitted\",\"at_us\":5,\"stage\":0,\"num_tasks\":4}\n";
+        assert_eq!(validate_event_log(good), Ok(2));
+        // Missing a required field, unknown type, broken JSON.
+        assert!(validate_event_log("{\"ev\":\"JobEnd\",\"at_us\":3}").is_err());
+        assert!(validate_event_log("{\"ev\":\"Nope\",\"at_us\":3}").is_err());
+        assert!(validate_event_log("not json").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_validator_counts_slices() {
+        let ok = "{\"traceEvents\":[\
+                  {\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\
+                   \"args\":{\"name\":\"driver\"}},\
+                  {\"ph\":\"X\",\"name\":\"job 0\",\"pid\":0,\"tid\":0,\"ts\":1,\"dur\":2,\
+                   \"args\":{}}]}";
+        assert_eq!(validate_chrome_trace(ok), Ok(1));
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"B\"}]}").is_err());
     }
 
     #[test]

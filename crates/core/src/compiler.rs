@@ -12,10 +12,12 @@ use crate::flwor::{ClauseRef, FlworIter};
 use crate::item::{Dec, Item};
 use crate::runtime::exprs::*;
 use crate::runtime::functions::{Builtin, BuiltinCallIter, CompiledFunction, UserCallIter};
+use crate::runtime::profile::{ProfileRegistry, ProfiledIter};
 use crate::runtime::ExprRef;
 use crate::semantics::{check_program, free_variables};
 use crate::syntax::ast::{self, for_each_child, map_children};
 use crate::syntax::parse_program;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -33,9 +35,30 @@ pub fn compile_query(src: &str) -> Result<CompiledProgram> {
     compile_program(&program)
 }
 
+/// Like [`compile_query`], but wraps every runtime iterator in a profiling
+/// decorator recording opens, rows, sampled time and execution mode per
+/// plan node — the compilation behind `EXPLAIN ANALYZE`. Render the
+/// registry after executing the program.
+pub fn compile_query_profiled(src: &str) -> Result<(CompiledProgram, Arc<ProfileRegistry>)> {
+    let program = parse_program(src)?;
+    check_program(&program)?;
+    let registry = Arc::new(ProfileRegistry::new());
+    let c = Compiler {
+        functions: HashMap::new(),
+        profiler: Some(Profiler {
+            registry: Arc::clone(&registry),
+            stack: RefCell::new(Vec::new()),
+        }),
+    };
+    Ok((compile_with(c, &program)?, registry))
+}
+
 /// Compiles a checked AST.
 pub fn compile_program(p: &ast::Program) -> Result<CompiledProgram> {
-    let mut c = Compiler { functions: HashMap::new() };
+    compile_with(Compiler { functions: HashMap::new(), profiler: None }, p)
+}
+
+fn compile_with(mut c: Compiler, p: &ast::Program) -> Result<CompiledProgram> {
     // Pass 1: a slot per declared function, so bodies can call forward and
     // recursively.
     for d in &p.decls {
@@ -66,10 +89,33 @@ pub fn compile_program(p: &ast::Program) -> Result<CompiledProgram> {
 
 struct Compiler {
     functions: HashMap<(String, usize), Arc<OnceLock<CompiledFunction>>>,
+    /// `Some` for profiled compilations (`EXPLAIN ANALYZE`): every node
+    /// built by [`Compiler::expr`] is registered and wrapped.
+    profiler: Option<Profiler>,
+}
+
+struct Profiler {
+    registry: Arc<ProfileRegistry>,
+    /// Registry indices of the enclosing nodes during the (single-threaded,
+    /// recursive) compile — the top is the parent of the next registration.
+    stack: RefCell<Vec<usize>>,
 }
 
 impl Compiler {
+    /// Compiles one expression node. In profiled mode this registers the
+    /// node (under the enclosing node being compiled, if any) and wraps the
+    /// iterator in a [`ProfiledIter`]; otherwise it is [`Compiler::expr_inner`].
     fn expr(&self, e: &ast::Expr) -> Result<ExprRef> {
+        let Some(p) = &self.profiler else { return self.expr_inner(e) };
+        let parent = p.stack.borrow().last().copied();
+        let (id, stats) = p.registry.register(expr_label(e), parent);
+        p.stack.borrow_mut().push(id);
+        let inner = self.expr_inner(e);
+        p.stack.borrow_mut().pop();
+        Ok(Arc::new(ProfiledIter { inner: inner?, stats }))
+    }
+
+    fn expr_inner(&self, e: &ast::Expr) -> Result<ExprRef> {
         Ok(match &e.kind {
             ast::ExprKind::Literal(lit) => Arc::new(LiteralIter(literal_item(lit)?)),
             ast::ExprKind::Empty => Arc::new(EmptySeqIter),
@@ -352,6 +398,85 @@ impl Compiler {
         let last = chain.expect("parser guarantees at least one clause");
         let return_uses = Self::flwor_uses(&ret, Some(&last));
         Ok(Arc::new(FlworIter::new(last, self.expr(&ret)?, return_uses)))
+    }
+}
+
+/// The operator label `EXPLAIN ANALYZE` shows for one AST node.
+fn expr_label(e: &ast::Expr) -> String {
+    match &e.kind {
+        ast::ExprKind::Literal(lit) => {
+            let v = match lit {
+                ast::Literal::Null => "null".to_string(),
+                ast::Literal::Boolean(b) => b.to_string(),
+                ast::Literal::Integer(v) => v.to_string(),
+                ast::Literal::Decimal(raw) => raw.clone(),
+                ast::Literal::Double(v) => v.to_string(),
+                ast::Literal::Str(s) if s.len() <= 18 => format!("\"{s}\""),
+                ast::Literal::Str(s) => format!("\"{}…\"", s.chars().take(15).collect::<String>()),
+            };
+            format!("Literal({v})")
+        }
+        ast::ExprKind::Empty => "EmptySequence".to_string(),
+        ast::ExprKind::VarRef(name) => format!("VarRef(${name})"),
+        ast::ExprKind::ContextItem => "ContextItem".to_string(),
+        ast::ExprKind::Sequence(items) => format!("Comma({})", items.len()),
+        ast::ExprKind::Or(..) => "Or".to_string(),
+        ast::ExprKind::And(..) => "And".to_string(),
+        ast::ExprKind::Not(..) => "Not".to_string(),
+        ast::ExprKind::Compare(_, op, _) => format!("Compare({op:?})"),
+        ast::ExprKind::Arith(_, op, _) => format!("Arith({op:?})"),
+        ast::ExprKind::UnaryMinus(..) => "UnaryMinus".to_string(),
+        ast::ExprKind::StringConcat(..) => "StringConcat".to_string(),
+        ast::ExprKind::Range(..) => "Range".to_string(),
+        ast::ExprKind::If { .. } => "If".to_string(),
+        ast::ExprKind::Switch { .. } => "Switch".to_string(),
+        ast::ExprKind::TryCatch { .. } => "TryCatch".to_string(),
+        ast::ExprKind::Quantified { every, .. } => {
+            format!("Quantified({})", if *every { "every" } else { "some" })
+        }
+        ast::ExprKind::SimpleMap(..) => "SimpleMap".to_string(),
+        ast::ExprKind::InstanceOf(..) => "InstanceOf".to_string(),
+        ast::ExprKind::TreatAs(..) => "TreatAs".to_string(),
+        ast::ExprKind::CastAs(..) => "CastAs".to_string(),
+        ast::ExprKind::CastableAs(..) => "CastableAs".to_string(),
+        ast::ExprKind::ObjectConstructor(pairs) => format!("ObjectConstructor({})", pairs.len()),
+        ast::ExprKind::ArrayConstructor(..) => "ArrayConstructor".to_string(),
+        ast::ExprKind::Postfix(_, ops) => {
+            let mut shape = String::new();
+            for op in ops {
+                match op {
+                    ast::PostfixOp::Lookup(ast::LookupKey::Name(n)) => {
+                        shape.push('.');
+                        shape.push_str(n);
+                    }
+                    ast::PostfixOp::Lookup(ast::LookupKey::Expr(_)) => shape.push_str(".(…)"),
+                    ast::PostfixOp::ArrayUnbox => shape.push_str("[]"),
+                    ast::PostfixOp::ArrayLookup(_) => shape.push_str("[[…]]"),
+                    ast::PostfixOp::Predicate(_) => shape.push_str("[…]"),
+                }
+            }
+            format!("Postfix({shape})")
+        }
+        ast::ExprKind::FunctionCall { name, args } => {
+            format!("FunctionCall({name}#{})", args.len())
+        }
+        ast::ExprKind::Flwor(f) => {
+            let mut shape = String::new();
+            for c in &f.clauses {
+                if !shape.is_empty() {
+                    shape.push(' ');
+                }
+                shape.push_str(match c {
+                    ast::Clause::For(..) => "for",
+                    ast::Clause::Let(..) => "let",
+                    ast::Clause::Where(..) => "where",
+                    ast::Clause::GroupBy(..) => "group-by",
+                    ast::Clause::OrderBy(..) => "order-by",
+                    ast::Clause::Count(..) => "count",
+                });
+            }
+            format!("Flwor({shape} return)")
+        }
     }
 }
 

@@ -272,6 +272,18 @@ impl ExprIterator for FlworIter {
             }
         }))
     }
+
+    fn mode_hint(&self, ctx: &DynamicContext) -> Option<&'static str> {
+        if let Some(scan) = self.last.fused_scan() {
+            if !ctx.in_executor() && scan.source.is_rdd(ctx) {
+                return Some("rdd (fused)");
+            }
+        }
+        if matches!(self.frame_for(ctx), Ok(Some(_))) {
+            return Some("dataframe");
+        }
+        None
+    }
 }
 
 /// Local return: one cursor of items per tuple, streamed.

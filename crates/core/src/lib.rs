@@ -40,6 +40,6 @@ pub mod runtime;
 pub mod semantics;
 pub mod syntax;
 
-pub use api::{analyze, Rumble};
+pub use api::{analyze, ProfileReport, Rumble};
 pub use error::{Result, RumbleError};
 pub use item::{Item, Sequence};

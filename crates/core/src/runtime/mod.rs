@@ -13,6 +13,7 @@
 
 pub mod exprs;
 pub mod functions;
+pub mod profile;
 pub mod types;
 
 use crate::error::{codes, Result, RumbleError};
@@ -281,6 +282,15 @@ pub trait ExprIterator: Send + Sync {
     /// [`ebv`]: ExprIterator::ebv
     /// [`key_path`]: ExprIterator::key_path
     fn item_predicate(&self, _var: &str) -> Option<ItemPredicate> {
+        None
+    }
+
+    /// A short static description of the distributed strategy [`rdd`] would
+    /// use in `ctx`, for `EXPLAIN ANALYZE` — e.g. `"rdd (fused)"` or
+    /// `"dataframe"`. `None` means plain `"rdd"` (or not applicable).
+    ///
+    /// [`rdd`]: ExprIterator::rdd
+    fn mode_hint(&self, _ctx: &DynamicContext) -> Option<&'static str> {
         None
     }
 }

@@ -21,7 +21,8 @@
 
 use crate::context::Core;
 use crate::error::Result;
-use crate::executor::{Metrics, TaskContext};
+use crate::events::{Event, EventBus};
+use crate::executor::TaskContext;
 use crate::rdd::util::ArcRangeIter;
 use crate::rdd::{BoxIter, Preparable, RddOp};
 use crate::Data;
@@ -85,16 +86,16 @@ struct CacheInner {
 pub struct CacheManager {
     inner: Mutex<CacheInner>,
     budget_bytes: usize,
-    metrics: Arc<Metrics>,
+    events: Arc<EventBus>,
     next_id: std::sync::atomic::AtomicU64,
 }
 
 impl CacheManager {
-    pub(crate) fn new(budget_bytes: usize, metrics: Arc<Metrics>) -> Self {
+    pub(crate) fn new(budget_bytes: usize, events: Arc<EventBus>) -> Self {
         CacheManager {
             inner: Mutex::new(CacheInner { slots: HashMap::new(), total_bytes: 0, tick: 0 }),
             budget_bytes,
-            metrics,
+            events,
             next_id: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -110,29 +111,24 @@ impl CacheManager {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Looks up a cached partition, bumping its LRU clock. Counts a hit or
-    /// a miss.
+    /// Looks up a cached partition, bumping its LRU clock. Emits the hit or
+    /// miss as a [`Event::CacheRead`] (which derives the global counters).
     fn lookup(&self, id: u64, split: usize) -> Option<Block> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.slots.get_mut(&(id, split)) {
-            Some(slot) => {
-                slot.last_used = tick;
-                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-                Some(slot.block.clone())
-            }
-            None => {
-                self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        let block = inner.slots.get_mut(&(id, split)).map(|slot| {
+            slot.last_used = tick;
+            slot.block.clone()
+        });
+        self.events.emit(Event::CacheRead { rdd: id, split: split as u64, hit: block.is_some() });
+        block
     }
 
     /// Records a miss without probing (used when an injected fault forces
     /// the fallback path).
-    fn note_miss(&self) {
-        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    fn note_miss(&self, id: u64, split: usize) {
+        self.events.emit(Event::CacheRead { rdd: id, split: split as u64, hit: false });
     }
 
     /// Stores a partition, then evicts least-recently-used slots until the
@@ -149,6 +145,12 @@ impl CacheManager {
             inner.total_bytes -= old.bytes;
         }
         inner.total_bytes += bytes;
+        self.events.emit(Event::CachePut {
+            rdd: id,
+            split: split as u64,
+            bytes: bytes as u64,
+            total_bytes: inner.total_bytes as u64,
+        });
         while inner.total_bytes > self.budget_bytes {
             let victim = inner
                 .slots
@@ -158,9 +160,13 @@ impl CacheManager {
                 .expect("over budget implies at least one slot");
             let evicted = inner.slots.remove(&victim).expect("victim exists");
             inner.total_bytes -= evicted.bytes;
-            self.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+            self.events.emit(Event::CacheEvict {
+                rdd: victim.0,
+                split: victim.1 as u64,
+                bytes: evicted.bytes as u64,
+                total_bytes: inner.total_bytes as u64,
+            });
         }
-        self.metrics.cached_bytes.store(inner.total_bytes as u64, Ordering::Relaxed);
     }
 
     /// Drops one slot (a poisoned or undecodable block).
@@ -168,7 +174,11 @@ impl CacheManager {
         let mut inner = self.lock();
         if let Some(slot) = inner.slots.remove(&(id, split)) {
             inner.total_bytes -= slot.bytes;
-            self.metrics.cached_bytes.store(inner.total_bytes as u64, Ordering::Relaxed);
+            self.events.emit(Event::CacheRelease {
+                rdd: id,
+                splits: 1,
+                total_bytes: inner.total_bytes as u64,
+            });
         }
     }
 
@@ -178,11 +188,16 @@ impl CacheManager {
         let mut inner = self.lock();
         let keys: Vec<(u64, usize)> =
             inner.slots.keys().filter(|(rid, _)| *rid == id).copied().collect();
+        let released = keys.len() as u64;
         for k in keys {
             let slot = inner.slots.remove(&k).expect("key listed above");
             inner.total_bytes -= slot.bytes;
         }
-        self.metrics.cached_bytes.store(inner.total_bytes as u64, Ordering::Relaxed);
+        self.events.emit(Event::CacheRelease {
+            rdd: id,
+            splits: released,
+            total_bytes: inner.total_bytes as u64,
+        });
     }
 
     /// Bytes currently cached (the `cached_bytes` gauge, read directly).
@@ -276,11 +291,20 @@ impl<T: Data> RddOp<T> for CachedRdd<T> {
         // the recovery, so no retry budget is spent.
         if tc.injector.on_cached_read(self.id, split, tc) {
             cache.invalidate(self.id, split);
-            cache.note_miss();
-        } else if let Some(block) = cache.lookup(self.id, split) {
-            match self.serve(block) {
-                Some(iter) => return iter,
-                None => cache.invalidate(self.id, split),
+            cache.note_miss(self.id, split);
+            tc.task_metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            match cache.lookup(self.id, split) {
+                Some(block) => {
+                    tc.task_metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    match self.serve(block) {
+                        Some(iter) => return iter,
+                        None => cache.invalidate(self.id, split),
+                    }
+                }
+                None => {
+                    tc.task_metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         // Miss (cold, evicted, invalidated, or fault-injected): recompute
@@ -319,9 +343,10 @@ fn deserialized_size_estimate<T>(len: usize) -> usize {
 mod tests {
     use super::*;
 
-    fn manager(budget: usize) -> (CacheManager, Arc<Metrics>) {
-        let metrics = Arc::new(Metrics::default());
-        (CacheManager::new(budget, Arc::clone(&metrics)), metrics)
+    fn manager(budget: usize) -> (CacheManager, Arc<crate::executor::Metrics>) {
+        let metrics = Arc::new(crate::executor::Metrics::default());
+        let events = Arc::new(EventBus::new(Arc::clone(&metrics)));
+        (CacheManager::new(budget, events), metrics)
     }
 
     fn items_block(v: Vec<i64>) -> (Block, usize) {

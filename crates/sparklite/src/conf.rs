@@ -183,6 +183,14 @@ pub struct SparkliteConf {
     pub cache_budget_bytes: usize,
     /// Chaos injection and recovery tuning; see [`FaultPlan`].
     pub faults: FaultPlan,
+    /// Attach a bounded [`EventCollector`](crate::events::EventCollector)
+    /// to the context's event bus, enabling timelines, the JSONL event log
+    /// and Chrome-trace export (Spark's `spark.eventLog.enabled`). Off by
+    /// default: without a collector the scheduler skips building purely
+    /// observational events, keeping the fast path within noise.
+    pub collect_events: bool,
+    /// Maximum events the collector retains before counting drops.
+    pub event_capacity: usize,
 }
 
 impl SparkliteConf {
@@ -223,6 +231,18 @@ impl SparkliteConf {
         self.faults = plan;
         self
     }
+
+    /// Enables (or disables) the in-memory event collector.
+    pub fn with_event_collection(mut self, on: bool) -> Self {
+        self.collect_events = on;
+        self
+    }
+
+    /// Sets the event-collector capacity (clamped to at least 1).
+    pub fn with_event_capacity(mut self, n: usize) -> Self {
+        self.event_capacity = n.max(1);
+        self
+    }
 }
 
 impl Default for SparkliteConf {
@@ -235,6 +255,8 @@ impl Default for SparkliteConf {
             sort_sample_size: 64,
             cache_budget_bytes: 256 * 1024 * 1024,
             faults: FaultPlan::default(),
+            collect_events: false,
+            event_capacity: 1 << 16,
         }
     }
 }

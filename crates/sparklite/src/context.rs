@@ -4,12 +4,12 @@
 use crate::cache::CacheManager;
 use crate::conf::SparkliteConf;
 use crate::error::Result;
+use crate::events::{self, Event, EventBus, EventCollector, EventListener, Timeline};
 use crate::executor::{ExecutorPool, Metrics, MetricsSnapshot, TaskContext, TaskFn};
 use crate::faults::FaultInjector;
 use crate::rdd::{BoxIter, ParallelCollectionRdd, Rdd, RddOp, TextFileRdd};
 use crate::storage::SimHdfs;
 use crate::Data;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Shared driver state. RDD operators hold an `Arc<Core>` so that lazily
@@ -21,6 +21,8 @@ pub struct Core {
     pub(crate) hdfs: SimHdfs,
     pub(crate) injector: Arc<FaultInjector>,
     pub(crate) cache: CacheManager,
+    pub(crate) events: Arc<EventBus>,
+    pub(crate) collector: Option<Arc<EventCollector>>,
 }
 
 impl Core {
@@ -52,7 +54,8 @@ impl Core {
         f: Arc<dyn Fn(BoxIter<T>, &TaskContext) -> U + Send + Sync>,
         splits: &[usize],
     ) -> Result<Vec<U>> {
-        self.metrics.stages.fetch_add(1, Ordering::Relaxed);
+        let stage = self.events.next_stage_id();
+        self.events.emit(Event::StageSubmitted { stage, num_tasks: splits.len() as u64 });
         let tasks: Vec<(usize, Arc<TaskFn<U>>)> = splits
             .iter()
             .map(|&split| {
@@ -63,7 +66,11 @@ impl Core {
                 (split, task)
             })
             .collect();
-        self.pool.run_labeled(tasks)
+        let out = events::with_stage(stage, || self.pool.run_labeled(tasks));
+        if self.events.verbose() {
+            self.events.emit(Event::StageCompleted { stage, ok: out.is_ok() });
+        }
+        out
     }
 }
 
@@ -79,11 +86,21 @@ pub struct SparkliteContext {
 impl SparkliteContext {
     pub fn new(conf: SparkliteConf) -> Self {
         let metrics = Arc::new(Metrics::default());
-        let injector = Arc::new(FaultInjector::new(conf.faults.clone(), Arc::clone(&metrics)));
-        let pool = ExecutorPool::new(conf.executors, Arc::clone(&metrics), Arc::clone(&injector));
+        let events = Arc::new(EventBus::new(Arc::clone(&metrics)));
+        let collector = if conf.collect_events {
+            let c = Arc::new(EventCollector::new(conf.event_capacity));
+            events.register(Arc::clone(&c) as Arc<dyn EventListener>);
+            Some(c)
+        } else {
+            None
+        };
+        let injector = Arc::new(FaultInjector::new(conf.faults.clone(), Arc::clone(&events)));
+        let pool = ExecutorPool::new(conf.executors, Arc::clone(&events), Arc::clone(&injector));
         let hdfs = SimHdfs::new(conf.block_size, conf.faults.read_latency_us);
-        let cache = CacheManager::new(conf.cache_budget_bytes, Arc::clone(&metrics));
-        SparkliteContext { core: Arc::new(Core { conf, pool, metrics, hdfs, injector, cache }) }
+        let cache = CacheManager::new(conf.cache_budget_bytes, Arc::clone(&events));
+        SparkliteContext {
+            core: Arc::new(Core { conf, pool, metrics, hdfs, injector, cache, events, collector }),
+        }
     }
 
     /// A context with default configuration.
@@ -113,6 +130,30 @@ impl SparkliteContext {
     /// The partition cache backing `Rdd::persist`.
     pub fn cache(&self) -> &CacheManager {
         &self.core.cache
+    }
+
+    /// The scheduler event bus.
+    pub fn event_bus(&self) -> &Arc<EventBus> {
+        &self.core.events
+    }
+
+    /// Registers an additional scheduler-event listener. Note that this
+    /// enables verbose (observational) event emission for the context's
+    /// remaining lifetime.
+    pub fn add_event_listener(&self, listener: Arc<dyn EventListener>) {
+        self.core.events.register(listener);
+    }
+
+    /// The bounded event collector, when the context was built with
+    /// [`SparkliteConf::collect_events`].
+    pub fn event_collector(&self) -> Option<&Arc<EventCollector>> {
+        self.core.collector.as_ref()
+    }
+
+    /// A [`Timeline`] over the events collected so far; `None` without a
+    /// collector.
+    pub fn timeline(&self) -> Option<Timeline> {
+        self.core.collector.as_ref().map(|c| c.timeline())
     }
 
     #[allow(dead_code)] // exercised by in-crate tests and future callers

@@ -1,0 +1,926 @@
+//! Structured scheduler events: the observability backbone.
+//!
+//! Spark attributes cost to jobs, stages and tasks through its
+//! `SparkListener` bus and event log; this module is sparklite's equivalent.
+//! Every scheduler-visible fact — job and stage boundaries, task attempts
+//! with their per-task counters, shuffle writes and fetches, cache traffic,
+//! injected chaos — is emitted as a typed [`Event`] on a shared
+//! [`EventBus`]. The engine-wide [`Metrics`](crate::Metrics) counters are
+//! *derived* from this stream by [`MetricsListener`]; they are no longer a
+//! separate code path, so a per-stage breakdown and the global snapshot can
+//! never disagree.
+//!
+//! Emission cost: events that feed the global counters are always emitted
+//! (one uncontended `RwLock` read + a few relaxed atomic adds, comparable to
+//! the direct counter increments they replace). Purely observational events
+//! (`TaskStart`, `JobEnd`, `StageCompleted`, `ShuffleFetch`) are gated
+//! behind [`EventBus::verbose`], a single relaxed atomic load that is false
+//! until a collector or user listener registers — so the fault-free fast
+//! path stays within noise (asserted A/B in `tests/events.rs`).
+//!
+//! Determinism: events carry **no timestamps**. For a fixed seed the event
+//! *data* is reproducible; the bounded [`EventCollector`] stamps arrival
+//! times (µs since its epoch) on the side, and only those stamps — plus
+//! `busy_us` — vary run to run. [`Timeline`] turns a collected stream into
+//! per-job summaries (task-time histograms, p50/p95/max skew, retry and
+//! straggler attribution) and exports the JSONL event log and Chrome
+//! `chrome://tracing` trace.
+
+use crate::error::FailureCause;
+use crate::executor::{Metrics, MetricsSnapshot};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Per-task counter totals, snapshotted into [`Event::TaskEnd`] from the
+/// task's scratch [`TaskMetrics`](crate::executor::TaskMetrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskCounters {
+    pub input_records: u64,
+    pub input_bytes: u64,
+    pub shuffle_records: u64,
+    pub shuffle_bytes: u64,
+    pub output_records: u64,
+    /// Persisted-partition reads this task served from cache / recomputed.
+    /// Display-only: the global cache counters are derived from
+    /// [`Event::CacheRead`], not from these.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl TaskCounters {
+    pub fn accumulate(&mut self, other: &TaskCounters) {
+        self.input_records += other.input_records;
+        self.input_bytes += other.input_bytes;
+        self.shuffle_records += other.shuffle_records;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.output_records += other.output_records;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+/// A typed scheduler event. Field conventions: `job` is the scheduler-wide
+/// job id (one per task wave), `stage` the id handed out by the lineage
+/// walker for RDD stage executions, `partition` the task's partition label.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A task wave entered the scheduler. `stage` links the job to the RDD
+    /// stage that submitted it, when one did (driver-side `run_partitions`);
+    /// bare `pool.run` jobs (e.g. sort output passes) have `None`.
+    JobStart {
+        job: u64,
+        stage: Option<u64>,
+        num_tasks: u64,
+    },
+    JobEnd {
+        job: u64,
+        ok: bool,
+    },
+    StageSubmitted {
+        stage: u64,
+        num_tasks: u64,
+    },
+    StageCompleted {
+        stage: u64,
+        ok: bool,
+    },
+    TaskStart {
+        job: u64,
+        partition: u64,
+        attempt: u32,
+        speculative: bool,
+        worker: Option<u64>,
+    },
+    TaskEnd {
+        job: u64,
+        partition: u64,
+        attempt: u32,
+        speculative: bool,
+        /// Executor worker index, `None` for driver/inline execution.
+        worker: Option<u64>,
+        busy_us: u64,
+        counters: TaskCounters,
+        failure: Option<FailureCause>,
+    },
+    /// The driver re-launched a failed task within its retry budget.
+    TaskResubmitted {
+        job: u64,
+        partition: u64,
+        next_attempt: u32,
+    },
+    /// The driver launched a speculative copy of a straggling task.
+    SpeculativeLaunch {
+        job: u64,
+        partition: u64,
+        attempt: u32,
+    },
+    /// A speculative copy committed its slot before the original attempt.
+    SpeculativeWin {
+        job: u64,
+        partition: u64,
+    },
+    /// Lineage recovery re-ran `lost` parent tasks of a shuffle.
+    LineageRecovery {
+        shuffle: u64,
+        lost: u64,
+    },
+    ShuffleWrite {
+        job: u64,
+        partition: u64,
+        records: u64,
+        bytes: u64,
+    },
+    ShuffleFetch {
+        job: u64,
+        partition: u64,
+        records: u64,
+        bytes: u64,
+    },
+    CacheRead {
+        rdd: u64,
+        split: u64,
+        hit: bool,
+    },
+    CachePut {
+        rdd: u64,
+        split: u64,
+        bytes: u64,
+        total_bytes: u64,
+    },
+    CacheEvict {
+        rdd: u64,
+        split: u64,
+        bytes: u64,
+        total_bytes: u64,
+    },
+    /// A persisted RDD (or one split) was dropped; `total_bytes` is the
+    /// cache occupancy after release.
+    CacheRelease {
+        rdd: u64,
+        splits: u64,
+        total_bytes: u64,
+    },
+    /// The chaos layer injected a fault. `a`/`b` are the injector's hash
+    /// keys for the kind (stage/partition, file-hash/block, …).
+    ChaosInject {
+        kind: &'static str,
+        a: u64,
+        b: u64,
+        attempt: u32,
+    },
+}
+
+impl Event {
+    /// The event's type tag, as used in the JSONL `"ev"` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::JobStart { .. } => "JobStart",
+            Event::JobEnd { .. } => "JobEnd",
+            Event::StageSubmitted { .. } => "StageSubmitted",
+            Event::StageCompleted { .. } => "StageCompleted",
+            Event::TaskStart { .. } => "TaskStart",
+            Event::TaskEnd { .. } => "TaskEnd",
+            Event::TaskResubmitted { .. } => "TaskResubmitted",
+            Event::SpeculativeLaunch { .. } => "SpeculativeLaunch",
+            Event::SpeculativeWin { .. } => "SpeculativeWin",
+            Event::LineageRecovery { .. } => "LineageRecovery",
+            Event::ShuffleWrite { .. } => "ShuffleWrite",
+            Event::ShuffleFetch { .. } => "ShuffleFetch",
+            Event::CacheRead { .. } => "CacheRead",
+            Event::CachePut { .. } => "CachePut",
+            Event::CacheEvict { .. } => "CacheEvict",
+            Event::CacheRelease { .. } => "CacheRelease",
+            Event::ChaosInject { .. } => "ChaosInject",
+        }
+    }
+}
+
+/// A consumer of scheduler events. Listeners must be cheap and non-blocking:
+/// they run on the emitting thread (workers included).
+pub trait EventListener: Send + Sync {
+    fn on_event(&self, event: &Event);
+}
+
+thread_local! {
+    /// The RDD stage whose `run_partition_subset` is currently driving the
+    /// executor pool on this thread; links `JobStart` to its stage. Works
+    /// for nested (inline) jobs too, because those run on the same thread.
+    static CURRENT_STAGE: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with `stage` recorded as this thread's submitting stage.
+pub(crate) fn with_stage<R>(stage: u64, f: impl FnOnce() -> R) -> R {
+    CURRENT_STAGE.with(|s| {
+        let prev = s.replace(Some(stage));
+        let r = f();
+        s.set(prev);
+        r
+    })
+}
+
+pub(crate) fn current_stage() -> Option<u64> {
+    CURRENT_STAGE.with(|s| s.get())
+}
+
+/// The shared event bus. Always carries a [`MetricsListener`] (the global
+/// counters are derived from the stream); additional listeners — the
+/// bounded [`EventCollector`], user listeners — flip [`EventBus::verbose`]
+/// so emit sites can skip building purely observational events when nobody
+/// is watching.
+pub struct EventBus {
+    listeners: RwLock<Vec<Arc<dyn EventListener>>>,
+    verbose: AtomicBool,
+    next_job: AtomicU64,
+    next_stage: AtomicU64,
+}
+
+impl EventBus {
+    /// A bus whose only listener derives the global `Metrics` counters.
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        EventBus {
+            listeners: RwLock::new(vec![Arc::new(MetricsListener { metrics })]),
+            verbose: AtomicBool::new(false),
+            next_job: AtomicU64::new(0),
+            next_stage: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a listener and enables verbose (observational) events.
+    pub fn register(&self, listener: Arc<dyn EventListener>) {
+        self.listeners.write().expect("listener lock").push(listener);
+        self.verbose.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any listener beyond the metrics deriver is attached. Emit
+    /// sites use this as the cheap enabled-check for events that feed no
+    /// global counter.
+    #[inline]
+    pub fn verbose(&self) -> bool {
+        self.verbose.load(Ordering::Relaxed)
+    }
+
+    pub fn emit(&self, event: Event) {
+        for l in self.listeners.read().expect("listener lock").iter() {
+            l.on_event(&event);
+        }
+    }
+
+    pub(crate) fn next_job_id(&self) -> u64 {
+        self.next_job.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn next_stage_id(&self) -> u64 {
+        self.next_stage.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Derives every global [`Metrics`] counter from the event stream. The
+/// mapping is one-to-one with the increments the scheduler used to perform
+/// directly, so all existing counter semantics (and tests) are preserved.
+pub struct MetricsListener {
+    metrics: Arc<Metrics>,
+}
+
+impl EventListener for MetricsListener {
+    fn on_event(&self, event: &Event) {
+        let m = &self.metrics;
+        let add = |c: &AtomicU64, n: u64| {
+            c.fetch_add(n, Ordering::Relaxed);
+        };
+        match event {
+            Event::JobStart { num_tasks, .. } => {
+                add(&m.jobs, 1);
+                add(&m.tasks, *num_tasks);
+            }
+            Event::StageSubmitted { .. } => add(&m.stages, 1),
+            Event::TaskEnd { busy_us, counters, failure, .. } => {
+                add(&m.task_busy_us, *busy_us);
+                add(&m.input_records, counters.input_records);
+                add(&m.input_bytes, counters.input_bytes);
+                add(&m.shuffle_records, counters.shuffle_records);
+                add(&m.shuffle_bytes, counters.shuffle_bytes);
+                add(&m.output_records, counters.output_records);
+                if failure.is_some() {
+                    add(&m.failed_tasks, 1);
+                }
+            }
+            Event::TaskResubmitted { .. } => add(&m.retried_tasks, 1),
+            Event::SpeculativeLaunch { .. } => add(&m.speculated_tasks, 1),
+            Event::SpeculativeWin { .. } => add(&m.speculative_wins, 1),
+            Event::LineageRecovery { lost, .. } => add(&m.recomputed_tasks, *lost),
+            Event::ChaosInject { .. } => add(&m.injected_faults, 1),
+            Event::CacheRead { hit, .. } => {
+                add(if *hit { &m.cache_hits } else { &m.cache_misses }, 1)
+            }
+            Event::CachePut { total_bytes, .. } | Event::CacheRelease { total_bytes, .. } => {
+                m.cached_bytes.store(*total_bytes, Ordering::Relaxed)
+            }
+            Event::CacheEvict { total_bytes, .. } => {
+                add(&m.cache_evictions, 1);
+                m.cached_bytes.store(*total_bytes, Ordering::Relaxed);
+            }
+            // Observational only: the write side already landed in TaskEnd
+            // counters; job/stage completion feeds no counter.
+            Event::JobEnd { .. }
+            | Event::StageCompleted { .. }
+            | Event::TaskStart { .. }
+            | Event::ShuffleWrite { .. }
+            | Event::ShuffleFetch { .. } => {}
+        }
+    }
+}
+
+struct CollectorState {
+    events: Vec<(u64, Event)>,
+    dropped: u64,
+}
+
+/// A bounded in-memory event sink. Stamps each event with µs since the
+/// collector's creation; once `capacity` events are held, further events
+/// are counted in [`EventCollector::dropped`] instead of stored (the
+/// derived metrics keep counting regardless — only the timeline truncates).
+pub struct EventCollector {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<CollectorState>,
+}
+
+impl EventCollector {
+    pub fn new(capacity: usize) -> Self {
+        EventCollector {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            state: Mutex::new(CollectorState { events: Vec::new(), dropped: 0 }),
+        }
+    }
+
+    /// All collected `(arrival µs, event)` pairs, in arrival order.
+    pub fn events(&self) -> Vec<(u64, Event)> {
+        self.state.lock().expect("collector lock").events.clone()
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("collector lock").dropped
+    }
+
+    pub fn clear(&self) {
+        let mut s = self.state.lock().expect("collector lock");
+        s.events.clear();
+        s.dropped = 0;
+    }
+
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_events(self.events())
+    }
+}
+
+impl EventListener for EventCollector {
+    fn on_event(&self, event: &Event) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let mut s = self.state.lock().expect("collector lock");
+        if s.events.len() >= self.capacity {
+            s.dropped += 1;
+        } else {
+            s.events.push((at_us, event.clone()));
+        }
+    }
+}
+
+/// Aggregated view of one job (one task wave) in a collected timeline.
+#[derive(Debug, Clone, Default)]
+pub struct JobSummary {
+    pub job: u64,
+    /// The RDD stage that submitted this job, if any.
+    pub stage: Option<u64>,
+    pub num_tasks: u64,
+    /// Task attempts that reported (completed or failed).
+    pub attempts: u64,
+    pub failed: u64,
+    /// Attempts re-launched after retryable failures.
+    pub resubmitted: u64,
+    pub speculated: u64,
+    pub speculative_wins: u64,
+    pub ok: bool,
+    /// Driver wall time from `JobStart` to `JobEnd` arrival.
+    pub wall_us: u64,
+    /// Per-attempt busy times, sorted ascending (the task-time histogram).
+    pub busy_us: Vec<u64>,
+    pub total_busy_us: u64,
+    pub counters: TaskCounters,
+}
+
+impl JobSummary {
+    fn percentile(&self, q: f64) -> u64 {
+        if self.busy_us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.busy_us.len() - 1) as f64 * q).round() as usize;
+        self.busy_us[idx.min(self.busy_us.len() - 1)]
+    }
+
+    pub fn p50_us(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    pub fn p95_us(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.busy_us.last().copied().unwrap_or(0)
+    }
+
+    /// Straggler skew: slowest attempt over median attempt (1.0 = uniform).
+    pub fn skew(&self) -> f64 {
+        let p50 = self.p50_us();
+        if p50 == 0 {
+            return 0.0;
+        }
+        self.max_us() as f64 / p50 as f64
+    }
+}
+
+/// A queryable, exportable view over a collected event stream.
+pub struct Timeline {
+    events: Vec<(u64, Event)>,
+    jobs: Vec<JobSummary>,
+}
+
+impl Timeline {
+    pub fn from_events(events: Vec<(u64, Event)>) -> Self {
+        let mut jobs: Vec<JobSummary> = Vec::new();
+        let mut starts: std::collections::HashMap<u64, (usize, u64)> =
+            std::collections::HashMap::new();
+        for (at, ev) in &events {
+            match ev {
+                Event::JobStart { job, stage, num_tasks } => {
+                    starts.insert(*job, (jobs.len(), *at));
+                    jobs.push(JobSummary {
+                        job: *job,
+                        stage: *stage,
+                        num_tasks: *num_tasks,
+                        ..JobSummary::default()
+                    });
+                }
+                Event::JobEnd { job, ok } => {
+                    if let Some(&(i, started)) = starts.get(job) {
+                        jobs[i].ok = *ok;
+                        jobs[i].wall_us = at.saturating_sub(started);
+                    }
+                }
+                Event::TaskEnd { job, busy_us, counters, failure, .. } => {
+                    if let Some(&(i, _)) = starts.get(job) {
+                        let j = &mut jobs[i];
+                        j.attempts += 1;
+                        j.busy_us.push(*busy_us);
+                        j.total_busy_us += busy_us;
+                        j.counters.accumulate(counters);
+                        if failure.is_some() {
+                            j.failed += 1;
+                        }
+                    }
+                }
+                Event::TaskResubmitted { job, .. } => {
+                    if let Some(&(i, _)) = starts.get(job) {
+                        jobs[i].resubmitted += 1;
+                    }
+                }
+                Event::SpeculativeLaunch { job, .. } => {
+                    if let Some(&(i, _)) = starts.get(job) {
+                        jobs[i].speculated += 1;
+                    }
+                }
+                Event::SpeculativeWin { job, .. } => {
+                    if let Some(&(i, _)) = starts.get(job) {
+                        jobs[i].speculative_wins += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for j in &mut jobs {
+            j.busy_us.sort_unstable();
+        }
+        Timeline { events, jobs }
+    }
+
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    pub fn jobs(&self) -> &[JobSummary] {
+        &self.jobs
+    }
+
+    /// Counter totals summed over every task attempt in the timeline.
+    pub fn totals(&self) -> TaskCounters {
+        let mut t = TaskCounters::default();
+        for j in &self.jobs {
+            t.accumulate(&j.counters);
+        }
+        t
+    }
+
+    /// `(TaskStart, TaskEnd)` counts; equal when every started attempt also
+    /// reported before collection stopped.
+    pub fn task_event_counts(&self) -> (u64, u64) {
+        let mut starts = 0;
+        let mut ends = 0;
+        for (_, ev) in &self.events {
+            match ev {
+                Event::TaskStart { .. } => starts += 1,
+                Event::TaskEnd { .. } => ends += 1,
+                _ => {}
+            }
+        }
+        (starts, ends)
+    }
+
+    fn count(&self, name: &str) -> u64 {
+        self.events.iter().filter(|(_, e)| e.name() == name).count() as u64
+    }
+
+    /// Checks that this timeline's aggregates equal a [`MetricsSnapshot`]
+    /// taken after the run — they are derived from the same stream, so any
+    /// difference means events were dropped or emitted outside collection.
+    /// Returns the first discrepancy as an error string.
+    pub fn reconcile(&self, snap: &MetricsSnapshot) -> Result<(), String> {
+        let check = |what: &str, got: u64, want: u64| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{what}: timeline has {got}, snapshot has {want}"))
+            }
+        };
+        check("jobs", self.jobs.len() as u64, snap.jobs)?;
+        check("stages", self.count("StageSubmitted"), snap.stages)?;
+        check("tasks", self.jobs.iter().map(|j| j.num_tasks).sum(), snap.tasks)?;
+        check("task_busy_us", self.jobs.iter().map(|j| j.total_busy_us).sum(), snap.task_busy_us)?;
+        check("failed_tasks", self.jobs.iter().map(|j| j.failed).sum(), snap.failed_tasks)?;
+        check("retried_tasks", self.jobs.iter().map(|j| j.resubmitted).sum(), snap.retried_tasks)?;
+        check(
+            "speculated_tasks",
+            self.jobs.iter().map(|j| j.speculated).sum(),
+            snap.speculated_tasks,
+        )?;
+        check(
+            "speculative_wins",
+            self.jobs.iter().map(|j| j.speculative_wins).sum(),
+            snap.speculative_wins,
+        )?;
+        let recomputed = self
+            .events
+            .iter()
+            .map(|(_, e)| if let Event::LineageRecovery { lost, .. } = e { *lost } else { 0 })
+            .sum::<u64>();
+        check("recomputed_tasks", recomputed, snap.recomputed_tasks)?;
+        check("injected_faults", self.count("ChaosInject"), snap.injected_faults)?;
+        let totals = self.totals();
+        check("input_records", totals.input_records, snap.input_records)?;
+        check("input_bytes", totals.input_bytes, snap.input_bytes)?;
+        check("shuffle_records", totals.shuffle_records, snap.shuffle_records)?;
+        check("shuffle_bytes", totals.shuffle_bytes, snap.shuffle_bytes)?;
+        check("output_records", totals.output_records, snap.output_records)?;
+        let hits = self
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::CacheRead { hit: true, .. }))
+            .count() as u64;
+        let misses = self
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::CacheRead { hit: false, .. }))
+            .count() as u64;
+        check("cache_hits", hits, snap.cache_hits)?;
+        check("cache_misses", misses, snap.cache_misses)?;
+        check("cache_evictions", self.count("CacheEvict"), snap.cache_evictions)?;
+        let cached = self
+            .events
+            .iter()
+            .rev()
+            .find_map(|(_, e)| match e {
+                Event::CachePut { total_bytes, .. }
+                | Event::CacheEvict { total_bytes, .. }
+                | Event::CacheRelease { total_bytes, .. } => Some(*total_bytes),
+                _ => None,
+            })
+            .unwrap_or(0);
+        check("cached_bytes", cached, snap.cached_bytes)?;
+        Ok(())
+    }
+
+    /// One JSON object per line, in arrival order — the persistent event
+    /// log format (schema-checked by the bench harness).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (at, ev) in &self.events {
+            write_event_json(&mut out, *at, ev);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome `chrome://tracing` / Perfetto `trace_event` JSON: one lane per
+    /// executor worker (lane 0 is the driver, with job spans), one complete
+    /// (`"ph":"X"`) slice per task attempt.
+    pub fn to_chrome_trace(&self) -> String {
+        use std::collections::HashMap;
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String, s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&s);
+        };
+        let mut max_tid = 0u64;
+        let mut open_tasks: HashMap<(u64, u64, u32), u64> = HashMap::new();
+        let mut open_jobs: HashMap<u64, u64> = HashMap::new();
+        let mut slices: Vec<String> = Vec::new();
+        for (at, ev) in &self.events {
+            match ev {
+                Event::TaskStart { job, partition, attempt, .. } => {
+                    open_tasks.insert((*job, *partition, *attempt), *at);
+                }
+                Event::TaskEnd {
+                    job, partition, attempt, speculative, worker, failure, ..
+                } => {
+                    let tid = worker.map_or(0, |w| w + 1);
+                    max_tid = max_tid.max(tid);
+                    let ts = open_tasks.remove(&(*job, *partition, *attempt)).unwrap_or(*at);
+                    let dur = at.saturating_sub(ts).max(1);
+                    let spec = if *speculative { " (spec)" } else { "" };
+                    let status = if failure.is_some() { "failed" } else { "ok" };
+                    slices.push(format!(
+                        "{{\"name\":\"job {job} p{partition} a{attempt}{spec}\",\"ph\":\"X\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+                         \"args\":{{\"status\":\"{status}\"}}}}"
+                    ));
+                }
+                Event::JobStart { job, .. } => {
+                    open_jobs.insert(*job, *at);
+                }
+                Event::JobEnd { job, ok } => {
+                    if let Some(ts) = open_jobs.remove(job) {
+                        let dur = at.saturating_sub(ts).max(1);
+                        slices.push(format!(
+                            "{{\"name\":\"job {job}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
+                             \"ts\":{ts},\"dur\":{dur},\"args\":{{\"ok\":{ok}}}}}"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for tid in 0..=max_tid {
+            let name =
+                if tid == 0 { "driver".to_string() } else { format!("sparklite-exec-{}", tid - 1) };
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for s in slices {
+            push(&mut out, s, &mut first);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// A human-readable per-job breakdown table (used by the harness and
+    /// EXPERIMENTS.md).
+    pub fn render_job_table(&self) -> String {
+        let mut out = String::from(
+            "job   stage  tasks  attempts  failed  retried  spec  busy_ms   p50_ms  p95_ms  max_ms  skew\n",
+        );
+        for j in &self.jobs {
+            let stage = j.stage.map_or("-".to_string(), |s| s.to_string());
+            out.push_str(&format!(
+                "{:<5} {:<6} {:<6} {:<9} {:<7} {:<8} {:<5} {:<9.2} {:<7.2} {:<7.2} {:<7.2} {:.2}\n",
+                j.job,
+                stage,
+                j.num_tasks,
+                j.attempts,
+                j.failed,
+                j.resubmitted,
+                j.speculated,
+                j.total_busy_us as f64 / 1e3,
+                j.p50_us() as f64 / 1e3,
+                j.p95_us() as f64 / 1e3,
+                j.max_us() as f64 / 1e3,
+                j.skew(),
+            ));
+        }
+        out
+    }
+}
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
+    out.push_str(&format!("{{\"ev\":\"{}\",\"at_us\":{at_us}", ev.name()));
+    match ev {
+        Event::JobStart { job, stage, num_tasks } => {
+            out.push_str(&format!(",\"job\":{job}"));
+            match stage {
+                Some(s) => out.push_str(&format!(",\"stage\":{s}")),
+                None => out.push_str(",\"stage\":null"),
+            }
+            out.push_str(&format!(",\"num_tasks\":{num_tasks}"));
+        }
+        Event::JobEnd { job, ok } => out.push_str(&format!(",\"job\":{job},\"ok\":{ok}")),
+        Event::StageSubmitted { stage, num_tasks } => {
+            out.push_str(&format!(",\"stage\":{stage},\"num_tasks\":{num_tasks}"))
+        }
+        Event::StageCompleted { stage, ok } => {
+            out.push_str(&format!(",\"stage\":{stage},\"ok\":{ok}"))
+        }
+        Event::TaskStart { job, partition, attempt, speculative, worker } => {
+            out.push_str(&format!(
+                ",\"job\":{job},\"partition\":{partition},\"attempt\":{attempt},\
+                 \"speculative\":{speculative}"
+            ));
+            match worker {
+                Some(w) => out.push_str(&format!(",\"worker\":{w}")),
+                None => out.push_str(",\"worker\":null"),
+            }
+        }
+        Event::TaskEnd {
+            job,
+            partition,
+            attempt,
+            speculative,
+            worker,
+            busy_us,
+            counters,
+            failure,
+        } => {
+            out.push_str(&format!(
+                ",\"job\":{job},\"partition\":{partition},\"attempt\":{attempt},\
+                 \"speculative\":{speculative}"
+            ));
+            match worker {
+                Some(w) => out.push_str(&format!(",\"worker\":{w}")),
+                None => out.push_str(",\"worker\":null"),
+            }
+            out.push_str(&format!(
+                ",\"busy_us\":{busy_us},\"input_records\":{},\"input_bytes\":{},\
+                 \"shuffle_records\":{},\"shuffle_bytes\":{},\"output_records\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{}",
+                counters.input_records,
+                counters.input_bytes,
+                counters.shuffle_records,
+                counters.shuffle_bytes,
+                counters.output_records,
+                counters.cache_hits,
+                counters.cache_misses,
+            ));
+            match failure {
+                Some(f) => {
+                    out.push_str(&format!(
+                        ",\"failure\":{{\"kind\":\"{:?}\",\"message\":\"",
+                        f.kind
+                    ));
+                    esc(out, &f.message);
+                    out.push_str("\"}");
+                }
+                None => out.push_str(",\"failure\":null"),
+            }
+        }
+        Event::TaskResubmitted { job, partition, next_attempt } => out.push_str(&format!(
+            ",\"job\":{job},\"partition\":{partition},\"next_attempt\":{next_attempt}"
+        )),
+        Event::SpeculativeLaunch { job, partition, attempt } => {
+            out.push_str(&format!(",\"job\":{job},\"partition\":{partition},\"attempt\":{attempt}"))
+        }
+        Event::SpeculativeWin { job, partition } => {
+            out.push_str(&format!(",\"job\":{job},\"partition\":{partition}"))
+        }
+        Event::LineageRecovery { shuffle, lost } => {
+            out.push_str(&format!(",\"shuffle\":{shuffle},\"lost\":{lost}"))
+        }
+        Event::ShuffleWrite { job, partition, records, bytes }
+        | Event::ShuffleFetch { job, partition, records, bytes } => out.push_str(&format!(
+            ",\"job\":{job},\"partition\":{partition},\"records\":{records},\"bytes\":{bytes}"
+        )),
+        Event::CacheRead { rdd, split, hit } => {
+            out.push_str(&format!(",\"rdd\":{rdd},\"split\":{split},\"hit\":{hit}"))
+        }
+        Event::CachePut { rdd, split, bytes, total_bytes }
+        | Event::CacheEvict { rdd, split, bytes, total_bytes } => out.push_str(&format!(
+            ",\"rdd\":{rdd},\"split\":{split},\"bytes\":{bytes},\"total_bytes\":{total_bytes}"
+        )),
+        Event::CacheRelease { rdd, splits, total_bytes } => out
+            .push_str(&format!(",\"rdd\":{rdd},\"splits\":{splits},\"total_bytes\":{total_bytes}")),
+        Event::ChaosInject { kind, a, b, attempt } => {
+            out.push_str(&format!(",\"kind\":\"{kind}\",\"a\":{a},\"b\":{b},\"attempt\":{attempt}"))
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_listener_derives_counters() {
+        let metrics = Arc::new(Metrics::default());
+        let bus = EventBus::new(Arc::clone(&metrics));
+        bus.emit(Event::JobStart { job: 0, stage: None, num_tasks: 3 });
+        bus.emit(Event::StageSubmitted { stage: 0, num_tasks: 3 });
+        bus.emit(Event::TaskEnd {
+            job: 0,
+            partition: 0,
+            attempt: 0,
+            speculative: false,
+            worker: Some(0),
+            busy_us: 42,
+            counters: TaskCounters { input_records: 7, ..TaskCounters::default() },
+            failure: None,
+        });
+        bus.emit(Event::CacheRead { rdd: 1, split: 0, hit: true });
+        bus.emit(Event::CachePut { rdd: 1, split: 0, bytes: 10, total_bytes: 10 });
+        let snap = metrics.snapshot();
+        assert_eq!(snap.jobs, 1);
+        assert_eq!(snap.stages, 1);
+        assert_eq!(snap.tasks, 3);
+        assert_eq!(snap.task_busy_us, 42);
+        assert_eq!(snap.input_records, 7);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cached_bytes, 10);
+    }
+
+    #[test]
+    fn collector_is_bounded() {
+        let c = EventCollector::new(2);
+        for i in 0..5 {
+            c.on_event(&Event::JobEnd { job: i, ok: true });
+        }
+        assert_eq!(c.events().len(), 2);
+        assert_eq!(c.dropped(), 3);
+    }
+
+    #[test]
+    fn verbose_flips_on_registration() {
+        let bus = EventBus::new(Arc::new(Metrics::default()));
+        assert!(!bus.verbose());
+        bus.register(Arc::new(EventCollector::new(16)));
+        assert!(bus.verbose());
+    }
+
+    #[test]
+    fn jsonl_and_trace_are_well_formed() {
+        let c = EventCollector::new(64);
+        c.on_event(&Event::JobStart { job: 0, stage: Some(1), num_tasks: 1 });
+        c.on_event(&Event::TaskStart {
+            job: 0,
+            partition: 0,
+            attempt: 0,
+            speculative: false,
+            worker: Some(2),
+        });
+        c.on_event(&Event::TaskEnd {
+            job: 0,
+            partition: 0,
+            attempt: 0,
+            speculative: false,
+            worker: Some(2),
+            busy_us: 5,
+            counters: TaskCounters::default(),
+            failure: None,
+        });
+        c.on_event(&Event::JobEnd { job: 0, ok: true });
+        let tl = c.timeline();
+        let jsonl = tl.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"ev\":\"") && l.ends_with('}')));
+        let trace = tl.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("sparklite-exec-2"));
+        assert!(trace.contains("\"ph\":\"X\""));
+        let (starts, ends) = tl.task_event_counts();
+        assert_eq!(starts, ends);
+    }
+}

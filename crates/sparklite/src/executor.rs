@@ -11,6 +11,7 @@
 //! same contract a Spark driver gets from its cluster.
 
 use crate::error::{FailureCause, FailureKind, Result, SparkliteError};
+use crate::events::{current_stage, Event, EventBus, TaskCounters};
 use crate::faults::{AppAbort, FaultInjector, InjectedFault};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use std::cell::Cell;
@@ -40,6 +41,9 @@ thread_local! {
     /// the process panic hook stays quiet while it is non-zero, because the
     /// scheduler catches and classifies those panics itself.
     static TASK_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// This executor thread's worker index; `None` on the driver (events
+    /// attribute inline/nested execution to the driver lane).
+    static WORKER_ID: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Installs (once, process-wide) a panic hook that suppresses the default
@@ -58,8 +62,13 @@ fn install_task_panic_hook() {
     });
 }
 
-/// Engine-wide counters. All counters are monotonically increasing; read a
-/// consistent view with [`Metrics::snapshot`].
+/// Engine-wide counters, derived from the scheduler's event stream by
+/// [`MetricsListener`](crate::events::MetricsListener) — every value here
+/// also lands on a per-stage/per-task record in the event log.
+///
+/// Every field except [`Metrics::cached_bytes`] is a monotonically
+/// increasing counter; `cached_bytes` is a **gauge** that moves both ways.
+/// Read a consistent view with [`Metrics::snapshot`].
 #[derive(Default)]
 pub struct Metrics {
     pub jobs: AtomicU64,
@@ -94,8 +103,8 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Partitions evicted from the cache under byte-budget pressure.
     pub cache_evictions: AtomicU64,
-    /// Bytes currently held by the partition cache. Unlike the counters
-    /// above this is a gauge: it moves both ways as blocks are stored,
+    /// Bytes currently held by the partition cache. Unlike every counter
+    /// above this is a **gauge**: it moves both ways as blocks are stored,
     /// evicted and unpersisted.
     pub cached_bytes: AtomicU64,
 }
@@ -148,27 +157,74 @@ impl Metrics {
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
         }
     }
+}
 
-    pub fn add(&self, field: MetricField, n: u64) {
-        let counter = match field {
-            MetricField::InputRecords => &self.input_records,
-            MetricField::InputBytes => &self.input_bytes,
-            MetricField::ShuffleRecords => &self.shuffle_records,
-            MetricField::ShuffleBytes => &self.shuffle_bytes,
-            MetricField::OutputRecords => &self.output_records,
-        };
-        counter.fetch_add(n, Ordering::Relaxed);
+/// Pretty-printer for shell `:metrics` and the bench harness: one counter
+/// per line, gauge separated from the monotonic counters.
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: &[(&str, u64)] = &[
+            ("jobs", self.jobs),
+            ("stages", self.stages),
+            ("tasks", self.tasks),
+            ("input_records", self.input_records),
+            ("input_bytes", self.input_bytes),
+            ("shuffle_records", self.shuffle_records),
+            ("shuffle_bytes", self.shuffle_bytes),
+            ("output_records", self.output_records),
+            ("task_busy_us", self.task_busy_us),
+            ("failed_tasks", self.failed_tasks),
+            ("retried_tasks", self.retried_tasks),
+            ("recomputed_tasks", self.recomputed_tasks),
+            ("speculated_tasks", self.speculated_tasks),
+            ("speculative_wins", self.speculative_wins),
+            ("injected_faults", self.injected_faults),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
+        ];
+        writeln!(f, "counters:")?;
+        for (name, value) in rows {
+            writeln!(f, "  {name:<18} {value}")?;
+        }
+        writeln!(f, "gauges:")?;
+        write!(f, "  {:<18} {}", "cached_bytes", self.cached_bytes)
     }
 }
 
-/// Counter selector for [`Metrics::add`].
-#[derive(Debug, Clone, Copy)]
-pub enum MetricField {
-    InputRecords,
-    InputBytes,
-    ShuffleRecords,
-    ShuffleBytes,
-    OutputRecords,
+/// Per-task scratch counters, reset for every attempt and snapshotted into
+/// [`Event::TaskEnd`] when the attempt finishes. The global [`Metrics`]
+/// totals are folded from these snapshots by the metrics listener, so the
+/// per-task records and the engine-wide counters share one code path.
+#[derive(Default)]
+pub struct TaskMetrics {
+    pub input_records: AtomicU64,
+    pub input_bytes: AtomicU64,
+    pub shuffle_records: AtomicU64,
+    pub shuffle_bytes: AtomicU64,
+    pub output_records: AtomicU64,
+    /// Display-only (see [`TaskCounters::cache_hits`]).
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+}
+
+impl TaskMetrics {
+    pub fn snapshot(&self) -> TaskCounters {
+        TaskCounters {
+            input_records: self.input_records.load(Ordering::Relaxed),
+            input_bytes: self.input_bytes.load(Ordering::Relaxed),
+            shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            output_records: self.output_records.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// Per-task context handed to every partition computation.
@@ -181,8 +237,13 @@ pub struct TaskContext {
     pub attempt: u32,
     /// The job id this task belongs to (see [`Metrics::jobs`]).
     pub stage: u64,
-    /// Engine metrics, shared with the driver.
-    pub metrics: Arc<Metrics>,
+    /// Whether this attempt is a speculative copy of a straggler.
+    pub speculative: bool,
+    /// This attempt's scratch counters (shared with closures the task body
+    /// spawns, hence the `Arc`).
+    pub task_metrics: Arc<TaskMetrics>,
+    /// The scheduler event bus, for shuffle/cache-layer emissions.
+    pub(crate) events: Arc<EventBus>,
     /// The chaos injector, shared with the driver.
     pub injector: Arc<FaultInjector>,
 }
@@ -206,12 +267,12 @@ pub struct ExecutorPool {
     sender: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     size: usize,
-    metrics: Arc<Metrics>,
+    events: Arc<EventBus>,
     injector: Arc<FaultInjector>,
 }
 
 impl ExecutorPool {
-    pub fn new(size: usize, metrics: Arc<Metrics>, injector: Arc<FaultInjector>) -> Self {
+    pub fn new(size: usize, events: Arc<EventBus>, injector: Arc<FaultInjector>) -> Self {
         install_task_panic_hook();
         let size = size.max(1);
         let (sender, receiver) = unbounded::<Job>();
@@ -222,6 +283,7 @@ impl ExecutorPool {
                 .name(format!("sparklite-exec-{worker_id}"))
                 .spawn(move || {
                     IN_WORKER.with(|f| f.set(true));
+                    WORKER_ID.with(|w| w.set(Some(worker_id as u64)));
                     while let Ok(job) = rx.recv() {
                         job();
                     }
@@ -229,7 +291,7 @@ impl ExecutorPool {
                 .expect("spawning executor thread");
             handles.push(handle);
         }
-        ExecutorPool { sender: Some(sender), handles, size, metrics, injector }
+        ExecutorPool { sender: Some(sender), handles, size, events, injector }
     }
 
     /// Number of executor worker threads.
@@ -265,8 +327,25 @@ impl ExecutorPool {
         &self,
         tasks: Vec<(usize, Arc<TaskFn<R>>)>,
     ) -> Result<Vec<R>> {
-        let job = self.metrics.jobs.fetch_add(1, Ordering::Relaxed);
-        self.metrics.tasks.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        let job = self.events.next_job_id();
+        self.events.emit(Event::JobStart {
+            job,
+            stage: current_stage(),
+            num_tasks: tasks.len() as u64,
+        });
+        let out = self.run_job(job, tasks);
+        if self.events.verbose() {
+            self.events.emit(Event::JobEnd { job, ok: out.is_ok() });
+        }
+        out
+    }
+
+    /// The retry/speculation scheduler loop for one job's task wave.
+    fn run_job<R: Send + 'static>(
+        &self,
+        job: u64,
+        tasks: Vec<(usize, Arc<TaskFn<R>>)>,
+    ) -> Result<Vec<R>> {
         let budget = self.injector.plan().max_task_failures.max(1);
 
         if IN_WORKER.with(|f| f.get()) {
@@ -284,15 +363,23 @@ impl ExecutorPool {
         type Report<R> = (usize, u32, Duration, std::result::Result<R, FailureCause>);
         let (result_tx, result_rx) = unbounded::<Report<R>>();
         let sender = self.sender.as_ref().expect("pool is alive");
-        let submit = |index: usize, attempt: u32| {
+        let submit = |index: usize, attempt: u32, speculative: bool| {
             let (partition, task) = &tasks[index];
             let partition = *partition;
             let task = Arc::clone(task);
             let tx = result_tx.clone();
-            let metrics = Arc::clone(&self.metrics);
+            let events = Arc::clone(&self.events);
             let injector = Arc::clone(&self.injector);
             let body: Job = Box::new(move || {
-                let tc = TaskContext { partition, attempt, stage: job, metrics, injector };
+                let tc = TaskContext {
+                    partition,
+                    attempt,
+                    stage: job,
+                    speculative,
+                    task_metrics: Arc::new(TaskMetrics::default()),
+                    events,
+                    injector,
+                };
                 let (elapsed, r) = run_caught(task.as_ref(), tc);
                 // The receiver may already have dropped after a failure;
                 // that is fine.
@@ -311,7 +398,7 @@ impl ExecutorPool {
             })
             .collect();
         for (index, slot) in slots.iter_mut().enumerate() {
-            submit(index, 0);
+            submit(index, 0, false);
             slot.last_launch = Instant::now();
         }
 
@@ -357,8 +444,12 @@ impl ExecutorPool {
                         let a = slot.next_attempt;
                         slot.next_attempt += 1;
                         slot.speculative_attempt = Some(a);
-                        self.metrics.speculated_tasks.fetch_add(1, Ordering::Relaxed);
-                        submit(i, a);
+                        self.events.emit(Event::SpeculativeLaunch {
+                            job,
+                            partition: tasks[i].0 as u64,
+                            attempt: a,
+                        });
+                        submit(i, a, true);
                     }
                 }
                 continue;
@@ -371,7 +462,10 @@ impl ExecutorPool {
                     // are discarded.
                     if results[index].is_none() {
                         if slots[index].speculative_attempt == Some(attempt) {
-                            self.metrics.speculative_wins.fetch_add(1, Ordering::Relaxed);
+                            self.events.emit(Event::SpeculativeWin {
+                                job,
+                                partition: tasks[index].0 as u64,
+                            });
                         }
                         results[index] = Some(r);
                         filled += 1;
@@ -379,7 +473,8 @@ impl ExecutorPool {
                     }
                 }
                 Err(cause) => {
-                    self.metrics.failed_tasks.fetch_add(1, Ordering::Relaxed);
+                    // failed_tasks is counted by the metrics listener from
+                    // the worker-side TaskEnd event.
                     if results[index].is_some() {
                         // A losing speculative copy failed after the slot
                         // was already committed; nothing to recover.
@@ -402,11 +497,15 @@ impl ExecutorPool {
                             attempts: slot.failures,
                         });
                     }
-                    self.metrics.retried_tasks.fetch_add(1, Ordering::Relaxed);
                     let a = slot.next_attempt;
                     slot.next_attempt += 1;
                     slot.last_launch = Instant::now();
-                    submit(index, a);
+                    self.events.emit(Event::TaskResubmitted {
+                        job,
+                        partition: tasks[index].0 as u64,
+                        next_attempt: a,
+                    });
+                    submit(index, a, false);
                 }
             }
         }
@@ -428,13 +527,14 @@ impl ExecutorPool {
                 partition,
                 attempt: failures,
                 stage: job,
-                metrics: Arc::clone(&self.metrics),
+                speculative: false,
+                task_metrics: Arc::new(TaskMetrics::default()),
+                events: Arc::clone(&self.events),
                 injector: Arc::clone(&self.injector),
             };
             match run_caught(task.as_ref(), tc).1 {
                 Ok(r) => return Ok(r),
                 Err(cause) => {
-                    self.metrics.failed_tasks.fetch_add(1, Ordering::Relaxed);
                     if cause.kind == FailureKind::App {
                         return Err(SparkliteError::TaskFailed(cause));
                     }
@@ -449,19 +549,37 @@ impl ExecutorPool {
                             attempts: failures,
                         });
                     }
-                    self.metrics.retried_tasks.fetch_add(1, Ordering::Relaxed);
+                    self.events.emit(Event::TaskResubmitted {
+                        job,
+                        partition: partition as u64,
+                        next_attempt: failures,
+                    });
                 }
             }
         }
     }
 }
 
-/// Executes one task attempt under a panic guard and classifies any failure.
+/// Executes one task attempt under a panic guard, classifies any failure,
+/// and emits the attempt's `TaskStart`/`TaskEnd` events. `TaskEnd` (which
+/// derives `task_busy_us`, `failed_tasks` and the per-task counter totals)
+/// is emitted *before* the result is reported back, so the driver's
+/// post-join metrics snapshot is always consistent with the event stream.
 fn run_caught<R>(
     task: &TaskFn<R>,
     tc: TaskContext,
 ) -> (Duration, std::result::Result<R, FailureCause>) {
-    let metrics = Arc::clone(&tc.metrics);
+    let events = Arc::clone(&tc.events);
+    let worker = WORKER_ID.with(|w| w.get());
+    if events.verbose() {
+        events.emit(Event::TaskStart {
+            job: tc.stage,
+            partition: tc.partition as u64,
+            attempt: tc.attempt,
+            speculative: tc.speculative,
+            worker,
+        });
+    }
     let started = Instant::now();
     TASK_DEPTH.with(|d| d.set(d.get() + 1));
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -470,8 +588,18 @@ fn run_caught<R>(
     }));
     TASK_DEPTH.with(|d| d.set(d.get() - 1));
     let elapsed = started.elapsed();
-    metrics.task_busy_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
-    (elapsed, result.map_err(|payload| classify(payload, &tc)))
+    let outcome = result.map_err(|payload| classify(payload, &tc));
+    events.emit(Event::TaskEnd {
+        job: tc.stage,
+        partition: tc.partition as u64,
+        attempt: tc.attempt,
+        speculative: tc.speculative,
+        worker,
+        busy_us: elapsed.as_micros() as u64,
+        counters: tc.task_metrics.snapshot(),
+        failure: outcome.as_ref().err().cloned(),
+    });
+    (elapsed, outcome)
 }
 
 /// Maps a caught panic payload to a [`FailureCause`]. Typed payloads
@@ -510,8 +638,9 @@ mod tests {
 
     fn pool_with(n: usize, plan: FaultPlan) -> (ExecutorPool, Arc<Metrics>) {
         let metrics = Arc::new(Metrics::default());
-        let injector = Arc::new(FaultInjector::new(plan, Arc::clone(&metrics)));
-        (ExecutorPool::new(n, Arc::clone(&metrics), injector), metrics)
+        let events = Arc::new(EventBus::new(Arc::clone(&metrics)));
+        let injector = Arc::new(FaultInjector::new(plan, Arc::clone(&events)));
+        (ExecutorPool::new(n, events, injector), metrics)
     }
 
     fn pool(n: usize) -> ExecutorPool {
@@ -656,9 +785,8 @@ mod tests {
 
     #[test]
     fn nested_jobs_run_inline() {
-        let metrics = Arc::new(Metrics::default());
-        let injector = Arc::new(FaultInjector::new(FaultPlan::default(), Arc::clone(&metrics)));
-        let p = Arc::new(ExecutorPool::new(1, Arc::clone(&metrics), injector));
+        let (p, metrics) = pool_with(1, FaultPlan::default());
+        let p = Arc::new(p);
         // A single worker: a blocking nested job would deadlock if it were
         // scheduled on the pool.
         let inner_pool = Arc::clone(&p);
@@ -675,10 +803,8 @@ mod tests {
 
     #[test]
     fn nested_jobs_retry_inline() {
-        let metrics = Arc::new(Metrics::default());
-        let plan = FaultPlan::default().with_task_failures(1.0);
-        let injector = Arc::new(FaultInjector::new(plan, Arc::clone(&metrics)));
-        let p = Arc::new(ExecutorPool::new(1, Arc::clone(&metrics), injector));
+        let (p, metrics) = pool_with(1, FaultPlan::default().with_task_failures(1.0));
+        let p = Arc::new(p);
         let inner_pool = Arc::clone(&p);
         let out = p
             .run(vec![move |_tc: &TaskContext| {
@@ -694,9 +820,7 @@ mod tests {
 
     #[test]
     fn metrics_count_tasks() {
-        let metrics = Arc::new(Metrics::default());
-        let injector = Arc::new(FaultInjector::new(FaultPlan::default(), Arc::clone(&metrics)));
-        let p = ExecutorPool::new(2, Arc::clone(&metrics), injector);
+        let (p, metrics) = pool_with(2, FaultPlan::default());
         p.run((0..5).map(|_| |_tc: &TaskContext| ()).collect::<Vec<_>>()).unwrap();
         let snap = metrics.snapshot();
         assert_eq!(snap.jobs, 1);

@@ -17,7 +17,8 @@
 //! a healthy job into a spurious failure.
 
 use crate::conf::FaultPlan;
-use crate::executor::{Metrics, TaskContext};
+use crate::events::{Event, EventBus};
+use crate::executor::TaskContext;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -50,6 +51,17 @@ impl Kind {
             Kind::CacheFault => 0x63616368_6C6F7374,   // "cachlost"
         }
     }
+
+    /// The event-log tag for [`Event::ChaosInject`].
+    fn name(self) -> &'static str {
+        match self {
+            Kind::TaskKill => "task_kill",
+            Kind::ExecDeath => "exec_death",
+            Kind::StorageFault => "storage_fault",
+            Kind::Straggler => "straggler",
+            Kind::CacheFault => "cache_fault",
+        }
+    }
 }
 
 /// SplitMix64 finalizer: a strong 64-bit mixer.
@@ -64,15 +76,21 @@ fn mix64(mut z: u64) -> u64 {
 /// from the plan's seed, so injection is insensitive to scheduling order.
 pub struct FaultInjector {
     plan: FaultPlan,
-    metrics: Arc<Metrics>,
+    events: Arc<EventBus>,
     /// Shuffle ids are handed out in driver-side `prepare` order, which is
     /// deterministic for a fixed query plan.
     shuffle_ids: AtomicU64,
 }
 
 impl FaultInjector {
-    pub fn new(plan: FaultPlan, metrics: Arc<Metrics>) -> Self {
-        FaultInjector { plan, metrics, shuffle_ids: AtomicU64::new(0) }
+    pub fn new(plan: FaultPlan, events: Arc<EventBus>) -> Self {
+        FaultInjector { plan, events, shuffle_ids: AtomicU64::new(0) }
+    }
+
+    /// Records one injected fault on the event stream (which derives the
+    /// `injected_faults` counter).
+    fn inject(&self, kind: Kind, a: u64, b: u64, attempt: u32) {
+        self.events.emit(Event::ChaosInject { kind: kind.name(), a, b, attempt });
     }
 
     pub fn plan(&self) -> &FaultPlan {
@@ -118,11 +136,11 @@ impl FaultInjector {
     pub(crate) fn on_task_start(&self, tc: &TaskContext) {
         let (stage, part, attempt) = (tc.stage, tc.partition as u64, tc.attempt);
         if self.fires(self.plan.straggler_prob, Kind::Straggler, stage, part, attempt) {
-            self.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.inject(Kind::Straggler, stage, part, attempt);
             std::thread::sleep(std::time::Duration::from_micros(self.plan.straggler_delay_us));
         }
         if self.fires(self.plan.task_failure_prob, Kind::TaskKill, stage, part, attempt) {
-            self.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.inject(Kind::TaskKill, stage, part, attempt);
             std::panic::panic_any(InjectedFault(format!(
                 "injected task failure (stage {stage}, partition {part}, attempt {attempt})"
             )));
@@ -143,7 +161,7 @@ impl FaultInjector {
             block as u64,
             tc.attempt,
         ) {
-            self.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.inject(Kind::StorageFault, key, block as u64, tc.attempt);
             std::panic::panic_any(InjectedFault(format!(
                 "injected storage fault reading block {block} of {path} (attempt {})",
                 tc.attempt
@@ -167,7 +185,7 @@ impl FaultInjector {
             split as u64,
             tc.attempt,
         ) {
-            self.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.inject(Kind::CacheFault, rdd_id, split as u64, tc.attempt);
             return true;
         }
         false
@@ -186,7 +204,9 @@ impl FaultInjector {
                 self.fires(self.plan.exec_death_prob, Kind::ExecDeath, shuffle_id, p as u64, 0)
             })
             .collect();
-        self.metrics.injected_faults.fetch_add(lost.len() as u64, Ordering::Relaxed);
+        for &p in &lost {
+            self.inject(Kind::ExecDeath, shuffle_id, p as u64, 0);
+        }
         lost
     }
 }
@@ -196,7 +216,8 @@ mod tests {
     use super::*;
 
     fn injector(plan: FaultPlan) -> FaultInjector {
-        FaultInjector::new(plan, Arc::new(Metrics::default()))
+        let metrics = Arc::new(crate::executor::Metrics::default());
+        FaultInjector::new(plan, Arc::new(EventBus::new(metrics)))
     }
 
     #[test]

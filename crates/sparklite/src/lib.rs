@@ -26,6 +26,10 @@
 //!   seeded deterministic chaos injection (task kills, lost shuffle outputs,
 //!   storage faults, stragglers) driving a recovery layer with per-task
 //!   retries, lineage-based recomputation, and speculative execution.
+//! * [`events`] — the observability subsystem: a typed scheduler event bus
+//!   (Spark's `SparkListener`) from which the global [`Metrics`] are
+//!   derived, with per-job/stage/task timelines, JSONL event logs and
+//!   Chrome-trace export.
 //!
 //! # Quick start
 //!
@@ -43,6 +47,7 @@ pub mod conf;
 pub mod context;
 pub mod dataframe;
 pub mod error;
+pub mod events;
 pub mod executor;
 pub mod faults;
 pub mod rdd;
@@ -53,6 +58,10 @@ pub use cache::{CacheCodec, StorageLevel};
 pub use conf::{FaultPlan, SparkliteConf};
 pub use context::SparkliteContext;
 pub use error::{FailureCause, FailureKind, Result, SparkliteError};
+pub use events::{
+    Event, EventBus, EventCollector, EventListener, JobSummary, TaskCounters, Timeline,
+};
+pub use executor::{Metrics, MetricsSnapshot, TaskMetrics};
 
 /// Everything that flows through an RDD: cheaply cloneable, thread-safe data.
 pub trait Data: Clone + Send + Sync + 'static {}

@@ -24,7 +24,7 @@ pub use shuffle::*;
 
 use crate::context::Core;
 use crate::error::Result;
-use crate::executor::{MetricField, TaskContext};
+use crate::executor::TaskContext;
 use crate::storage::{read_local_blocks, resolve_scheme, PathScheme};
 use crate::Data;
 use std::sync::Arc;
@@ -320,7 +320,7 @@ impl<T: Data + AsRef<str>> Rdd<T> {
                     out.push('\n');
                     n += 1;
                 }
-                tc.metrics.add(MetricField::OutputRecords, n);
+                crate::executor::TaskMetrics::bump(&tc.task_metrics.output_records, n);
                 out
             }),
         )?;
@@ -610,10 +610,10 @@ impl RddOp<Arc<str>> for TextFileRdd {
                 None => return Box::new(std::iter::empty()),
             },
         };
-        tc.metrics.add(MetricField::InputBytes, block.len() as u64);
-        let metrics = Arc::clone(&tc.metrics);
+        crate::executor::TaskMetrics::bump(&tc.task_metrics.input_bytes, block.len() as u64);
+        let task_metrics = Arc::clone(&tc.task_metrics);
         Box::new(util::BlockLines::new(block).inspect(move |_| {
-            metrics.add(MetricField::InputRecords, 1);
+            crate::executor::TaskMetrics::bump(&task_metrics.input_records, 1);
         }))
     }
 }

@@ -13,11 +13,27 @@ use super::util::{fx_hash, ArcPartIter, FxHashMap, SplitMix64};
 use super::{BoxIter, Preparable, RddOp};
 use crate::context::Core;
 use crate::error::Result;
-use crate::executor::{MetricField, TaskContext};
+use crate::events::Event;
+use crate::executor::TaskContext;
 use crate::Data;
 use std::hash::Hash;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Records one map task's shuffle write on its scratch counters and (when a
+/// collector is attached) as a [`Event::ShuffleWrite`].
+fn note_shuffle_write(tc: &TaskContext, records: u64, bytes: u64) {
+    tc.task_metrics.shuffle_records.fetch_add(records, Ordering::Relaxed);
+    tc.task_metrics.shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
+    if tc.events.verbose() {
+        tc.events.emit(Event::ShuffleWrite {
+            job: tc.stage,
+            partition: tc.partition as u64,
+            records,
+            bytes,
+        });
+    }
+}
 
 /// Lineage-based recovery of lost shuffle outputs. After a map stage runs,
 /// the chaos injector reports which freshly registered map outputs were
@@ -37,7 +53,7 @@ fn recover_lost_map_outputs<T: Data, B: Send + 'static>(
     if lost.is_empty() {
         return Ok(());
     }
-    core.metrics.recomputed_tasks.fetch_add(lost.len() as u64, Ordering::Relaxed);
+    core.events.emit(Event::LineageRecovery { shuffle: shuffle_id, lost: lost.len() as u64 });
     let recomputed = core.run_partition_subset(parent, Arc::clone(map_f), &lost)?;
     for (&slot, out) in lost.iter().zip(recomputed) {
         outputs[slot] = out;
@@ -114,9 +130,11 @@ impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
                 }
             };
             let records: usize = blocks.iter().map(|b| b.len()).sum();
-            tc.metrics.add(MetricField::ShuffleRecords, records as u64);
-            tc.metrics
-                .add(MetricField::ShuffleBytes, (records * std::mem::size_of::<(K, C)>()) as u64);
+            note_shuffle_write(
+                tc,
+                records as u64,
+                (records * std::mem::size_of::<(K, C)>()) as u64,
+            );
             blocks
         });
         let mut map_outputs = self.core.run_partitions(&self.parent, Arc::clone(&map_f))?;
@@ -138,8 +156,17 @@ impl<K: Data + Hash + Eq, C: Data> RddOp<(K, C)> for ShuffledRdd<K, C> {
         self.num_parts
     }
 
-    fn compute(&self, split: usize, _tc: &TaskContext) -> BoxIter<(K, C)> {
+    fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<(K, C)> {
         let buckets = Arc::clone(self.buckets.get().expect("prepare ran before compute"));
+        if tc.events.verbose() {
+            let records = buckets[split].len() as u64;
+            tc.events.emit(Event::ShuffleFetch {
+                job: tc.stage,
+                partition: tc.partition as u64,
+                records,
+                bytes: records * std::mem::size_of::<(K, C)>() as u64,
+            });
+        }
         match &self.merge {
             Some(m) => {
                 // Reduce-side merge across map tasks. The bucket stays
@@ -250,9 +277,7 @@ impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
                     blocks[idx].push(item);
                     records += 1;
                 }
-                tc.metrics.add(MetricField::ShuffleRecords, records);
-                tc.metrics
-                    .add(MetricField::ShuffleBytes, records * std::mem::size_of::<T>() as u64);
+                note_shuffle_write(tc, records, records * std::mem::size_of::<T>() as u64);
                 blocks
             });
         let mut map_outputs = self.core.run_partitions(&self.parent, Arc::clone(&map_f))?;

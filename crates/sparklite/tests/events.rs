@@ -1,0 +1,186 @@
+//! Observability suite: golden tests for the structured event log (fixed
+//! seed ⇒ reproducible event counts, start/end pairing, exact reconciliation
+//! of the event-derived timeline against the global metrics snapshot) plus
+//! property tests that the reconciliation holds for arbitrary pipelines
+//! under injected chaos, and an A/B check that event collection does not
+//! blow up the fault-free fast path.
+
+use proptest::prelude::*;
+use sparklite::{Event, FaultPlan, SparkliteConf, SparkliteContext, Timeline};
+use std::collections::BTreeMap;
+
+fn traced_ctx(plan: FaultPlan, executors: usize) -> SparkliteContext {
+    SparkliteContext::new(
+        SparkliteConf::default()
+            .with_executors(executors)
+            .with_faults(plan)
+            .with_event_collection(true),
+    )
+}
+
+/// Event counts per type, the order-insensitive golden signature of a run
+/// (arrival order of concurrent task events is scheduling-dependent; their
+/// multiplicity is not).
+fn counts_by_type(timeline: &Timeline) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for (_, ev) in timeline.events() {
+        *counts.entry(ev.name()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The fig11-style workload (filter, group, sort over one dataset).
+fn fig11_workload(sc: &SparkliteContext) {
+    let data: Vec<(u8, i64)> =
+        (0..1_000).map(|i| ((i % 13) as u8, (i * 7919 % 997) as i64)).collect();
+    let rdd = sc.parallelize(data, 7);
+    rdd.filter(|(_, v)| v % 2 == 0).collect().unwrap();
+    rdd.reduce_by_key(|a, b| a + b, 5).collect().unwrap();
+    rdd.sort_by(|(_, v)| *v, false, 4).collect().unwrap();
+}
+
+#[test]
+fn fixed_seed_run_has_reproducible_event_counts() {
+    let run = || {
+        let sc = traced_ctx(FaultPlan::chaos(0xFEED, 0.2), 3);
+        fig11_workload(&sc);
+        let timeline = sc.timeline().expect("collection is on");
+        (counts_by_type(&timeline), sc.metrics())
+    };
+    let (c0, mut m0) = run();
+    let (c1, mut m1) = run();
+    assert_eq!(c0, c1, "same seed must produce the same event multiset");
+    // Everything except measured wall time is schedule-independent.
+    m0.task_busy_us = 0;
+    m1.task_busy_us = 0;
+    assert_eq!(m0, m1, "same seed must produce the same metrics");
+    assert!(c0.get("TaskResubmitted").copied().unwrap_or(0) > 0, "20% chaos retries: {c0:?}");
+    assert!(c0.get("ChaosInject").copied().unwrap_or(0) > 0, "20% chaos injects: {c0:?}");
+}
+
+#[test]
+fn every_task_start_has_a_matching_end() {
+    let sc = traced_ctx(FaultPlan::chaos(0xBEEF, 0.2), 3);
+    fig11_workload(&sc);
+    let timeline = sc.timeline().unwrap();
+    let (starts, ends) = timeline.task_event_counts();
+    assert!(starts > 0, "verbose events flow once a collector is registered");
+    assert_eq!(starts, ends, "every TaskStart must be closed by a TaskEnd");
+    // Pairing is exact per (job, partition, attempt), not just in total.
+    let mut open: BTreeMap<(u64, u64, u32), u64> = BTreeMap::new();
+    for (_, ev) in timeline.events() {
+        match ev {
+            Event::TaskStart { job, partition, attempt, .. } => {
+                *open.entry((*job, *partition, *attempt)).or_insert(0) += 1;
+            }
+            Event::TaskEnd { job, partition, attempt, .. } => {
+                let slot = open.get_mut(&(*job, *partition, *attempt));
+                let slot = slot.expect("TaskEnd without a TaskStart");
+                *slot -= 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(open.values().all(|&n| n == 0), "unclosed task spans: {open:?}");
+}
+
+#[test]
+fn timeline_reconciles_exactly_with_metrics_under_chaos() {
+    let sc = traced_ctx(FaultPlan::chaos(0xCAFE, 0.2), 3);
+    fig11_workload(&sc);
+    let timeline = sc.timeline().unwrap();
+    assert_eq!(sc.event_collector().unwrap().dropped(), 0, "capacity must hold the run");
+    timeline.reconcile(&sc.metrics()).expect("event totals must equal the global snapshot");
+    // Job summaries cover every job and their per-task busy times add up.
+    let busy: u64 = timeline.jobs().iter().map(|j| j.total_busy_us).sum();
+    assert_eq!(busy, sc.metrics().task_busy_us);
+}
+
+#[test]
+fn collector_off_means_quiet_bus_and_no_timeline() {
+    let sc = SparkliteContext::new(SparkliteConf::default().with_executors(2));
+    fig11_workload(&sc);
+    assert!(sc.timeline().is_none());
+    assert!(sc.event_collector().is_none());
+    assert!(!sc.event_bus().verbose(), "no extra listener ⇒ verbose events stay off");
+    // Metrics still flow through the listener path.
+    assert!(sc.metrics().tasks > 0);
+}
+
+#[test]
+fn jsonl_and_chrome_trace_cover_the_whole_run() {
+    let sc = traced_ctx(FaultPlan::default(), 2);
+    fig11_workload(&sc);
+    let timeline = sc.timeline().unwrap();
+    let jsonl = timeline.to_jsonl();
+    assert_eq!(jsonl.lines().count(), timeline.events().len());
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "bad JSONL line: {line}");
+        assert!(line.contains("\"ev\":") && line.contains("\"at_us\":"), "bad line: {line}");
+    }
+    let trace = timeline.to_chrome_trace();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"ph\":\"X\""), "task slices must be present");
+    assert!(trace.contains("sparklite-exec-0"), "executor lanes must be named");
+}
+
+#[test]
+fn event_collection_overhead_is_bounded() {
+    // A/B the same fault-free workload with and without the collector. The
+    // bound is deliberately loose (CI timing is noisy); the precise number
+    // lives in EXPERIMENTS.md, measured by the bench harness.
+    let work = |collect: bool| {
+        let sc = SparkliteContext::new(
+            SparkliteConf::default().with_executors(3).with_event_collection(collect),
+        );
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            let sum = sc
+                .parallelize((0..200_000i64).collect::<Vec<_>>(), 8)
+                .map(|x| x.wrapping_mul(3) + 1)
+                .filter(|x| x % 5 != 0)
+                .reduce(|a, b| a.wrapping_add(b))
+                .unwrap();
+            assert!(sum.is_some());
+        }
+        t0.elapsed()
+    };
+    let off = (0..3).map(|_| work(false)).min().unwrap();
+    let on = (0..3).map(|_| work(true)).min().unwrap();
+    assert!(
+        on < off * 2 + std::time::Duration::from_millis(20),
+        "event collection cost too much: on={on:?} off={off:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary pipelines under up-to-20% chaos, the event-derived
+    /// timeline reconciles exactly with the global metrics snapshot and
+    /// task spans pair up.
+    #[test]
+    fn timeline_reconciles_for_random_pipelines(
+        data in prop::collection::vec((0u8..11, -500i64..500), 1..250),
+        parts in 1usize..6,
+        reducers in 1usize..5,
+        seed in any::<u64>(),
+        prob_pct in 0u8..21,
+        sort_instead in any::<bool>(),
+    ) {
+        let plan = FaultPlan::chaos(seed, f64::from(prob_pct) / 100.0);
+        let sc = traced_ctx(plan, 1 + (seed % 3) as usize);
+        let rdd = sc.parallelize(data, parts).filter(|(_, v)| v % 3 != 0);
+        if sort_instead {
+            rdd.sort_by(|(_, v)| *v, true, reducers).collect().unwrap();
+        } else {
+            rdd.reduce_by_key(|a, b| a + b, reducers).collect().unwrap();
+        }
+        let timeline = sc.timeline().unwrap();
+        prop_assert_eq!(sc.event_collector().unwrap().dropped(), 0);
+        let (starts, ends) = timeline.task_event_counts();
+        prop_assert_eq!(starts, ends);
+        let reconciled = timeline.reconcile(&sc.metrics());
+        prop_assert!(reconciled.is_ok(), "reconcile failed: {:?}", reconciled);
+    }
+}

@@ -19,8 +19,10 @@
 //! ```
 //!
 //! Commands: `:load <path> <file>` copies a local file into the simulated
-//! HDFS, `:explain CODE` documents a diagnostic code, `:quit` exits.
-//! Everything else is JSONiq.
+//! HDFS, `:explain CODE` documents a diagnostic code, `:profile <query>`
+//! runs the query under `EXPLAIN ANALYZE` and prints the annotated plan
+//! (per-operator execution mode, rows, sampled time), `:metrics` prints the
+//! engine-wide scheduler counters, `:quit` exits. Everything else is JSONiq.
 
 use rumble_repro::rumble::semantics::{explain, Severity, CODE_DOCS};
 use rumble_repro::rumble::{analyze, Rumble};
@@ -102,7 +104,7 @@ fn main() {
     // set up once (§5.4).
     let rumble = Rumble::default_local();
     println!(
-        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data, :explain CODE to document a diagnostic",
+        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data, :explain CODE to document a diagnostic, :profile <query> for EXPLAIN ANALYZE, :metrics for scheduler counters",
         rumble.sparklite().executors()
     );
     let stdin = std::io::stdin();
@@ -127,6 +129,20 @@ fn main() {
         }
         if let Some(code) = line.strip_prefix(":explain ") {
             explain_code(code);
+            continue;
+        }
+        if line == ":metrics" {
+            println!("{}", rumble.sparklite().metrics());
+            continue;
+        }
+        if let Some(query) = line.strip_prefix(":profile ") {
+            if lint(query) {
+                continue;
+            }
+            match rumble.analyze_profile(query) {
+                Ok(report) => print!("{report}"),
+                Err(e) => eprintln!("{e}"),
+            }
             continue;
         }
         if let Some(rest) = line.strip_prefix(":load ") {
