@@ -44,6 +44,15 @@ step "events suite (fixed seeds)"
 cargo test --workspace --offline -q events
 cargo test --workspace --offline -q explain_analyze
 
+# The verified-optimizer gate: per-rule golden plans, the per-site
+# differential equivalence fuzzer, and the mutation suite that proves the
+# property checker and differential executor catch deliberately broken
+# rules. Re-run by name so a rule regression is attributable at a glance.
+step "verify-rules (golden + fuzzer + mutations)"
+cargo test -p sparklite --offline -q --test rules_golden
+cargo test -p sparklite --offline -q --test rule_fuzz
+cargo test --offline -q --test cross_crate every_optimizer_rule
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline

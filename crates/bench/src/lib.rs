@@ -153,6 +153,7 @@ fn required_event_fields(ev: &str) -> Option<&'static [&'static str]> {
         "CachePut" | "CacheEvict" => &["rdd", "split", "bytes", "total_bytes"],
         "CacheRelease" => &["rdd", "splits", "total_bytes"],
         "ChaosInject" => &["kind", "a", "b", "attempt"],
+        "OptimizerRuleFired" => &["rule", "stage"],
         _ => return None,
     })
 }

@@ -96,6 +96,23 @@ pub mod lints {
     pub const CARDINALITY_VIOLATION: &str = "RBLW0006";
 }
 
+/// Optimizer rewrite-rule ids (`RBLO` = Rumble logical optimization). Each
+/// names one verified rewrite in sparklite's rule registry
+/// (`sparklite::dataframe::rules::REGISTRY`); the shell's `--explain` and
+/// `:explain` document them, `--disable-rule=RBLO####` disables one for
+/// bisection, and `OptimizerRuleFired` events carry the id of each firing.
+/// A cross-crate test keeps this list in lockstep with the registry.
+pub mod rules {
+    pub const MERGE_FILTERS: &str = "RBLO0001";
+    pub const PUSH_FILTER_THROUGH_PROJECT: &str = "RBLO0002";
+    pub const PUSH_FILTER_BELOW_SORT: &str = "RBLO0003";
+    pub const PUSH_FILTER_BELOW_EXPLODE: &str = "RBLO0004";
+    pub const FUSE_PROJECTS: &str = "RBLO0005";
+    pub const MERGE_LIMITS: &str = "RBLO0006";
+    pub const DROP_NOOP_FILTER: &str = "RBLO0007";
+    pub const PRUNE_COLUMNS: &str = "RBLO0008";
+}
+
 /// Every code the analyzer can emit, with a short explanation — the
 /// backing store for the shell's `--explain CODE`.
 pub const CODE_DOCS: &[(&str, &str)] = &[
@@ -150,6 +167,53 @@ pub const CODE_DOCS: &[(&str, &str)] = &[
          builtin's signature (e.g. exactly-one() of a provably empty or multi-item sequence) or \
          an operator's singleton requirement, so evaluation will raise FORG0003/4/5 or XPTY0004.",
     ),
+    (
+        "RBLO0001",
+        "Optimizer changed your plan because two adjacent filters collapse into one: \
+         Filter(p) over Filter(q) becomes Filter(q AND p), saving a plan node and a row pass. \
+         Preserves schema, ordering, partitioning, cardinality bounds and constant columns.",
+    ),
+    (
+        "RBLO0002",
+        "Optimizer changed your plan because a filter can run before the projection above it: \
+         the projected expressions are substituted into the predicate so it binds against the \
+         projection's input. Only fires when substitution is sound — predicates with opaque \
+         UDFs stay put unless every column the UDF reads passes through unchanged.",
+    ),
+    (
+        "RBLO0003",
+        "Optimizer changed your plan because filtering before a sort shrinks the sort's \
+         shuffle: Filter over OrderBy becomes OrderBy over Filter. A filter keeps relative \
+         order, so the sorted output is identical.",
+    ),
+    (
+        "RBLO0004",
+        "Optimizer changed your plan because a filter that does not read the exploded column \
+         evaluates identically before EXPLODE, where it sees (and can discard) each source row \
+         once instead of once per list element.",
+    ),
+    (
+        "RBLO0005",
+        "Optimizer changed your plan because two adjacent projections fuse into one by \
+         substituting the inner projection's expressions into the outer one, eliminating an \
+         intermediate row pass. UDFs only fuse across pass-through columns.",
+    ),
+    (
+        "RBLO0006",
+        "Optimizer changed your plan because nested limits collapse to the tighter bound: \
+         Limit(n) over Limit(m) becomes Limit(min(n, m)).",
+    ),
+    (
+        "RBLO0007",
+        "Optimizer changed your plan because a filter whose predicate is literally true keeps \
+         every row and can be removed outright.",
+    ),
+    (
+        "RBLO0008",
+        "Optimizer changed your plan because some projected columns are never read by any \
+         ancestor operator; pruning them means the rows never carry (or compute) those values \
+         — the \"does not create the column at all\" optimization of §4.7.",
+    ),
 ];
 
 /// Looks up the explanation for a diagnostic code.
@@ -181,6 +245,22 @@ mod tests {
             "XPST0003",
             "XPST0008",
             "XPST0017",
+        ] {
+            assert!(explain(code).is_some(), "missing explanation for {code}");
+        }
+    }
+
+    #[test]
+    fn every_optimizer_rule_code_is_documented() {
+        for code in [
+            rules::MERGE_FILTERS,
+            rules::PUSH_FILTER_THROUGH_PROJECT,
+            rules::PUSH_FILTER_BELOW_SORT,
+            rules::PUSH_FILTER_BELOW_EXPLODE,
+            rules::FUSE_PROJECTS,
+            rules::MERGE_LIMITS,
+            rules::DROP_NOOP_FILTER,
+            rules::PRUNE_COLUMNS,
         ] {
             assert!(explain(code).is_some(), "missing explanation for {code}");
         }

@@ -23,7 +23,7 @@
 pub mod diag;
 mod passes;
 
-pub use diag::{explain, lints, Diagnostic, Severity, CODE_DOCS};
+pub use diag::{explain, lints, rules, Diagnostic, Severity, CODE_DOCS};
 
 use crate::error::{codes, Result};
 use crate::runtime::functions::Builtin;

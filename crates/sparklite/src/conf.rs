@@ -160,6 +160,25 @@ impl FaultPlan {
     }
 }
 
+/// Logical-plan optimizer configuration: a global kill switch plus
+/// per-rule disables keyed by `RBLO` id, so a plan-rewrite regression can
+/// be bisected to one named rule from the shell (`--disable-rule=RBLO0005`)
+/// or from tests without rebuilding.
+#[derive(Debug, Clone)]
+pub struct OptimizerConf {
+    /// When false, DataFrame actions compile the raw plan, skipping every
+    /// rewrite (the shell's `--no-opt`).
+    pub enabled: bool,
+    /// `RBLO` ids excluded from the standard rule registry.
+    pub disabled_rules: std::collections::BTreeSet<String>,
+}
+
+impl Default for OptimizerConf {
+    fn default() -> Self {
+        OptimizerConf { enabled: true, disabled_rules: std::collections::BTreeSet::new() }
+    }
+}
+
 /// Configuration for a [`crate::SparkliteContext`].
 #[derive(Debug, Clone)]
 pub struct SparkliteConf {
@@ -191,6 +210,8 @@ pub struct SparkliteConf {
     pub collect_events: bool,
     /// Maximum events the collector retains before counting drops.
     pub event_capacity: usize,
+    /// Logical-plan optimizer switches; see [`OptimizerConf`].
+    pub optimizer: OptimizerConf,
 }
 
 impl SparkliteConf {
@@ -243,6 +264,19 @@ impl SparkliteConf {
         self.event_capacity = n.max(1);
         self
     }
+
+    /// Enables (or disables) the whole logical-plan optimizer.
+    pub fn with_optimizer(mut self, on: bool) -> Self {
+        self.optimizer.enabled = on;
+        self
+    }
+
+    /// Excludes one rewrite rule, by `RBLO` id, from the optimizer.
+    /// Repeatable; unknown ids are ignored (nothing to disable).
+    pub fn with_rule_disabled(mut self, rule_id: impl Into<String>) -> Self {
+        self.optimizer.disabled_rules.insert(rule_id.into());
+        self
+    }
 }
 
 impl Default for SparkliteConf {
@@ -257,6 +291,7 @@ impl Default for SparkliteConf {
             faults: FaultPlan::default(),
             collect_events: false,
             event_capacity: 1 << 16,
+            optimizer: OptimizerConf::default(),
         }
     }
 }

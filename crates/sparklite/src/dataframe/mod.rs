@@ -14,11 +14,15 @@
 
 mod expr;
 mod plan;
+pub mod properties;
 mod rowcodec;
+pub mod rules;
 
 pub use expr::{CmpOp, Expr, KeyValue, NumOp, SortDir, SortKey};
 pub use plan::{optimize, Agg, LogicalPlan, NamedExpr};
+pub use properties::{PlanProperties, Preserved};
 pub use rowcodec::RowCodec;
+pub use rules::{OptimizeTrace, Optimizer, RewriteRule};
 
 use crate::cache::StorageLevel;
 use crate::context::Core;
@@ -254,6 +258,14 @@ impl DataFrame {
         &self.plan
     }
 
+    /// Rebinds this frame to a replacement logical plan over the same driver
+    /// core. The caller is responsible for the plan being well-formed (it is
+    /// still `validate`d before compilation) — this is how the equivalence
+    /// fuzzer executes individually rewritten plans.
+    pub fn with_plan(&self, plan: Arc<LogicalPlan>) -> DataFrame {
+        DataFrame { core: Arc::clone(&self.core), plan }
+    }
+
     fn derive(&self, plan: LogicalPlan) -> DataFrame {
         DataFrame { core: Arc::clone(&self.core), plan: Arc::new(plan) }
     }
@@ -399,9 +411,31 @@ impl DataFrame {
 
     // ---- actions ----
 
-    /// Compiles the optimized plan to an RDD of rows.
+    /// Compiles the optimized plan to an RDD of rows. Optimization honors
+    /// the context's [`crate::conf::OptimizerConf`] (global and per-rule
+    /// disables) and reports every rule firing to the event bus as an
+    /// [`crate::events::Event::OptimizerRuleFired`].
     pub fn to_rdd(&self) -> Result<Rdd<Row>> {
-        let optimized = optimize(Arc::clone(&self.plan));
+        let opt_conf = &self.core.conf.optimizer;
+        let optimized = if opt_conf.enabled {
+            let engine = Optimizer::standard().without_rules(&opt_conf.disabled_rules);
+            let (optimized, trace) = engine.run(Arc::clone(&self.plan));
+            for fire in &trace.fires {
+                self.core.events.emit(crate::events::Event::OptimizerRuleFired {
+                    rule: fire.rule,
+                    stage: fire.pass,
+                });
+            }
+            for v in &trace.violations {
+                eprintln!(
+                    "sparklite optimizer: rejected {} at pass {}: {}",
+                    v.rule, v.pass, v.detail
+                );
+            }
+            optimized
+        } else {
+            Arc::clone(&self.plan)
+        };
         plan::compile(&self.core, &optimized)
     }
 

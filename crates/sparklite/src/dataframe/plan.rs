@@ -23,7 +23,7 @@ impl NamedExpr {
         NamedExpr { name: name.to_string(), expr: Expr::col(name), dtype }
     }
 
-    fn is_passthrough(&self) -> bool {
+    pub(crate) fn is_passthrough(&self) -> bool {
         self.expr.is_col(&self.name)
     }
 }
@@ -48,7 +48,7 @@ pub enum Agg {
 }
 
 impl Agg {
-    fn input_col(&self) -> Option<&str> {
+    pub(crate) fn input_col(&self) -> Option<&str> {
         match self {
             Agg::Count => None,
             Agg::CountCol(c)
@@ -215,6 +215,122 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::OrderBy { input, .. }
             | LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// The node's single input, `None` for leaves. Every operator in this
+    /// plan algebra is unary, so this fully describes the tree shape.
+    pub fn input(&self) -> Option<&Arc<LogicalPlan>> {
+        match self {
+            LogicalPlan::FromRdd { .. } => None,
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Explode { input, .. }
+            | LogicalPlan::GroupBy { input, .. }
+            | LogicalPlan::OrderBy { input, .. }
+            | LogicalPlan::ZipWithIndex { input, .. }
+            | LogicalPlan::Limit { input, .. } => Some(input),
+        }
+    }
+
+    /// Rebuilds this node over a replacement input, keeping every other
+    /// field (cached schemas included — callers must only substitute
+    /// schema-compatible inputs). Panics on leaves.
+    pub fn with_input(&self, new_input: Arc<LogicalPlan>) -> Arc<LogicalPlan> {
+        Arc::new(match self {
+            LogicalPlan::FromRdd { .. } => panic!("FromRdd has no input to replace"),
+            LogicalPlan::Project { exprs, schema, .. } => LogicalPlan::Project {
+                input: new_input,
+                exprs: exprs.clone(),
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::Filter { predicate, .. } => {
+                LogicalPlan::Filter { input: new_input, predicate: predicate.clone() }
+            }
+            LogicalPlan::Explode { col, as_name, schema, .. } => LogicalPlan::Explode {
+                input: new_input,
+                col: col.clone(),
+                as_name: as_name.clone(),
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::GroupBy { keys, aggs, schema, .. } => LogicalPlan::GroupBy {
+                input: new_input,
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::OrderBy { keys, .. } => {
+                LogicalPlan::OrderBy { input: new_input, keys: keys.clone() }
+            }
+            LogicalPlan::ZipWithIndex { name, start, schema, .. } => LogicalPlan::ZipWithIndex {
+                input: new_input,
+                name: name.clone(),
+                start: *start,
+                schema: Arc::clone(schema),
+            },
+            LogicalPlan::Limit { n, .. } => LogicalPlan::Limit { input: new_input, n: *n },
+        })
+    }
+
+    /// Renders the plan as an indented one-node-per-line tree — the stable
+    /// textual form the golden rule tests pin and `EXPLAIN`-style output
+    /// builds on. Two plans render equal iff they are structurally equal
+    /// (UDFs render by name).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            LogicalPlan::FromRdd { schema, .. } => {
+                let cols: Vec<String> =
+                    schema.fields().iter().map(|f| format!("{}: {:?}", f.name, f.dtype)).collect();
+                out.push_str(&format!("FromRdd [{}]\n", cols.join(", ")));
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .map(|e| format!("{} := {:?} as {:?}", e.name, e.expr, e.dtype))
+                    .collect();
+                out.push_str(&format!("Project [{}]\n", cols.join(", ")));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("Filter {predicate:?}\n"));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Explode { input, col, as_name, .. } => {
+                out.push_str(&format!("Explode {col} as {as_name}\n"));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::GroupBy { input, keys, aggs, .. } => {
+                let aggs: Vec<String> =
+                    aggs.iter().map(|(a, name)| format!("{name} := {a:?}")).collect();
+                out.push_str(&format!(
+                    "GroupBy keys=[{}] aggs=[{}]\n",
+                    keys.join(", "),
+                    aggs.join(", ")
+                ));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                let keys: Vec<String> = keys.iter().map(|(k, d)| format!("{k} {d:?}")).collect();
+                out.push_str(&format!("OrderBy [{}]\n", keys.join(", ")));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::ZipWithIndex { input, name, start, .. } => {
+                out.push_str(&format!("ZipWithIndex {name} from {start}\n"));
+                input.render_into(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("Limit {n}\n"));
+                input.render_into(out, depth + 1);
+            }
         }
     }
 
@@ -467,346 +583,25 @@ impl LogicalPlan {
 // Optimizer
 // ---------------------------------------------------------------------------
 
-/// Applies the rewrite rules to a fixpoint (bounded), bottom-up:
+/// Applies the standard rewrite-rule registry (`dataframe::rules`) to a
+/// bounded fixpoint, bottom-up:
 ///
-/// 1. merge adjacent filters;
-/// 2. push filters below projections (with substitution), sorts, explodes
-///    (when the predicate does not touch the exploded column) and
-///    zip-with-index (never — indices would change);
+/// 1. merge adjacent filters (RBLO0001);
+/// 2. push filters below projections (with substitution, RBLO0002), sorts
+///    (RBLO0003), explodes (when the predicate does not touch the exploded
+///    column, RBLO0004) and zip-with-index (never — indices would change);
 /// 3. fuse adjacent projections when safe (UDFs only fuse across
-///    pass-through columns);
-/// 4. prune projection columns that no ancestor reads.
+///    pass-through columns, RBLO0005);
+/// 4. collapse nested limits (RBLO0006) and drop literally-true filters
+///    (RBLO0007);
+/// 5. prune projection columns that no ancestor reads (RBLO0008).
+///
+/// Every individual firing is checked against the rule's declared
+/// [`super::properties::PlanProperties`] contract. This convenience wrapper
+/// discards the fire trace; engine call sites use
+/// [`super::rules::Optimizer`] directly to surface it.
 pub fn optimize(plan: Arc<LogicalPlan>) -> Arc<LogicalPlan> {
-    let mut current = plan;
-    for _ in 0..8 {
-        let (next, changed) = rewrite(&current);
-        current = next;
-        if !changed {
-            break;
-        }
-    }
-    let all: BTreeSet<String> = current.schema().fields().iter().map(|f| f.name.clone()).collect();
-    let pruned = prune(&current, &all);
-    // In debug/test builds, every optimized plan must still satisfy the
-    // structural invariants the validating constructors established.
-    #[cfg(debug_assertions)]
-    if let Err(e) = pruned.validate() {
-        panic!("optimizer produced an invalid plan: {e}");
-    }
-    pruned
-}
-
-fn rewrite(plan: &Arc<LogicalPlan>) -> (Arc<LogicalPlan>, bool) {
-    // Rewrite children first.
-    let (plan, mut changed) = rebuild_with_children(plan);
-
-    let out = match plan.as_ref() {
-        // Rule 1: Filter ∘ Filter → Filter(AND).
-        LogicalPlan::Filter { input, predicate } => {
-            if let LogicalPlan::Filter { input: inner_in, predicate: inner_pred } = input.as_ref() {
-                changed = true;
-                Arc::new(LogicalPlan::Filter {
-                    input: Arc::clone(inner_in),
-                    predicate: Expr::and(inner_pred.clone(), predicate.clone()),
-                })
-            } else if let LogicalPlan::Project { input: proj_in, exprs, schema } = input.as_ref() {
-                // Rule 2a: push the filter below the projection by
-                // substituting projected expressions into the predicate —
-                // only when that substitution is sound: UDFs inside the
-                // predicate read columns by name at runtime, so every column
-                // they touch must pass through the projection unchanged.
-                if expr_fusable(predicate, exprs) {
-                    changed = true;
-                    let substituted = predicate.substitute(&|name| {
-                        exprs.iter().find(|e| e.name == name).map(|e| e.expr.clone())
-                    });
-                    Arc::new(LogicalPlan::Project {
-                        input: Arc::new(LogicalPlan::Filter {
-                            input: Arc::clone(proj_in),
-                            predicate: substituted,
-                        }),
-                        exprs: exprs.clone(),
-                        schema: Arc::clone(schema),
-                    })
-                } else {
-                    plan
-                }
-            } else if let LogicalPlan::OrderBy { input: sort_in, keys } = input.as_ref() {
-                // Rule 2b: filter before sorting.
-                changed = true;
-                Arc::new(LogicalPlan::OrderBy {
-                    input: Arc::new(LogicalPlan::Filter {
-                        input: Arc::clone(sort_in),
-                        predicate: predicate.clone(),
-                    }),
-                    keys: keys.clone(),
-                })
-            } else if let LogicalPlan::Explode { input: ex_in, col, as_name, schema } =
-                input.as_ref()
-            {
-                // Rule 2c: push below EXPLODE when the predicate does not
-                // read the exploded column.
-                let safe = predicate.uses().is_some_and(|used| !used.contains(as_name));
-                if safe {
-                    changed = true;
-                    Arc::new(LogicalPlan::Explode {
-                        input: Arc::new(LogicalPlan::Filter {
-                            input: Arc::clone(ex_in),
-                            predicate: predicate.clone(),
-                        }),
-                        col: col.clone(),
-                        as_name: as_name.clone(),
-                        schema: Arc::clone(schema),
-                    })
-                } else {
-                    plan
-                }
-            } else {
-                plan
-            }
-        }
-        // Rule 3: Project ∘ Project fusion.
-        LogicalPlan::Project { input, exprs, schema } => {
-            if let LogicalPlan::Project { input: inner_in, exprs: inner, .. } = input.as_ref() {
-                let fusable = exprs.iter().all(|e| expr_fusable(&e.expr, inner));
-                if fusable {
-                    changed = true;
-                    let fused: Vec<NamedExpr> = exprs
-                        .iter()
-                        .map(|e| NamedExpr {
-                            name: e.name.clone(),
-                            expr: e.expr.substitute(&|name| {
-                                inner.iter().find(|ie| ie.name == name).map(|ie| ie.expr.clone())
-                            }),
-                            dtype: e.dtype,
-                        })
-                        .collect();
-                    Arc::new(LogicalPlan::Project {
-                        input: Arc::clone(inner_in),
-                        exprs: fused,
-                        schema: Arc::clone(schema),
-                    })
-                } else {
-                    plan
-                }
-            } else {
-                plan
-            }
-        }
-        _ => plan,
-    };
-    (out, changed)
-}
-
-/// A UDF can only fuse across a projection if every column it reads passes
-/// through that projection unchanged (the UDF looks columns up by name at
-/// runtime, so substitution cannot rewrite its body).
-fn expr_fusable(e: &Expr, inner: &[NamedExpr]) -> bool {
-    match e {
-        Expr::Udf { uses, .. } => match uses {
-            Some(cols) => {
-                cols.iter().all(|c| inner.iter().any(|ie| ie.name == *c && ie.is_passthrough()))
-            }
-            None => false,
-        },
-        Expr::Col(_) | Expr::Lit(_) => true,
-        Expr::Cmp(a, _, b) | Expr::Num(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
-            expr_fusable(a, inner) && expr_fusable(b, inner)
-        }
-        Expr::Not(a) | Expr::IsNull(a) => expr_fusable(a, inner),
-    }
-}
-
-fn rebuild_with_children(plan: &Arc<LogicalPlan>) -> (Arc<LogicalPlan>, bool) {
-    match plan.as_ref() {
-        LogicalPlan::FromRdd { .. } => (Arc::clone(plan), false),
-        LogicalPlan::Project { input, exprs, schema } => {
-            let (ni, ch) = rewrite(input);
-            if ch {
-                (
-                    Arc::new(LogicalPlan::Project {
-                        input: ni,
-                        exprs: exprs.clone(),
-                        schema: Arc::clone(schema),
-                    }),
-                    true,
-                )
-            } else {
-                (Arc::clone(plan), false)
-            }
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            let (ni, ch) = rewrite(input);
-            if ch {
-                (Arc::new(LogicalPlan::Filter { input: ni, predicate: predicate.clone() }), true)
-            } else {
-                (Arc::clone(plan), false)
-            }
-        }
-        LogicalPlan::Explode { input, col, as_name, schema } => {
-            let (ni, ch) = rewrite(input);
-            if ch {
-                (
-                    Arc::new(LogicalPlan::Explode {
-                        input: ni,
-                        col: col.clone(),
-                        as_name: as_name.clone(),
-                        schema: Arc::clone(schema),
-                    }),
-                    true,
-                )
-            } else {
-                (Arc::clone(plan), false)
-            }
-        }
-        LogicalPlan::GroupBy { input, keys, aggs, schema } => {
-            let (ni, ch) = rewrite(input);
-            if ch {
-                (
-                    Arc::new(LogicalPlan::GroupBy {
-                        input: ni,
-                        keys: keys.clone(),
-                        aggs: aggs.clone(),
-                        schema: Arc::clone(schema),
-                    }),
-                    true,
-                )
-            } else {
-                (Arc::clone(plan), false)
-            }
-        }
-        LogicalPlan::OrderBy { input, keys } => {
-            let (ni, ch) = rewrite(input);
-            if ch {
-                (Arc::new(LogicalPlan::OrderBy { input: ni, keys: keys.clone() }), true)
-            } else {
-                (Arc::clone(plan), false)
-            }
-        }
-        LogicalPlan::ZipWithIndex { input, name, start, schema } => {
-            let (ni, ch) = rewrite(input);
-            if ch {
-                (
-                    Arc::new(LogicalPlan::ZipWithIndex {
-                        input: ni,
-                        name: name.clone(),
-                        start: *start,
-                        schema: Arc::clone(schema),
-                    }),
-                    true,
-                )
-            } else {
-                (Arc::clone(plan), false)
-            }
-        }
-        LogicalPlan::Limit { input, n } => {
-            let (ni, ch) = rewrite(input);
-            if ch {
-                (Arc::new(LogicalPlan::Limit { input: ni, n: *n }), true)
-            } else {
-                (Arc::clone(plan), false)
-            }
-        }
-    }
-}
-
-/// Column pruning: drops projection outputs that no ancestor requires —
-/// the "does not create the column at all" optimization of §4.7.
-fn prune(plan: &Arc<LogicalPlan>, required: &BTreeSet<String>) -> Arc<LogicalPlan> {
-    match plan.as_ref() {
-        LogicalPlan::Project { input, exprs, .. } => {
-            let kept: Vec<NamedExpr> =
-                exprs.iter().filter(|e| required.contains(&e.name)).cloned().collect();
-            let kept = if kept.is_empty() { vec![exprs[0].clone()] } else { kept };
-            let mut child_req = BTreeSet::new();
-            let mut opaque = false;
-            for e in &kept {
-                match e.expr.uses() {
-                    Some(cols) => child_req.extend(cols),
-                    None => opaque = true,
-                }
-            }
-            if opaque {
-                child_req = input.schema().fields().iter().map(|f| f.name.clone()).collect();
-            }
-            let new_input = prune(input, &child_req);
-            let schema = Schema::new(kept.iter().map(|e| Field::new(&e.name, e.dtype)).collect());
-            Arc::new(LogicalPlan::Project { input: new_input, exprs: kept, schema })
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            let mut child_req = required.clone();
-            match predicate.uses() {
-                Some(cols) => child_req.extend(cols),
-                None => {
-                    child_req.extend(input.schema().fields().iter().map(|f| f.name.clone()));
-                }
-            }
-            Arc::new(LogicalPlan::Filter {
-                input: prune(input, &child_req),
-                predicate: predicate.clone(),
-            })
-        }
-        LogicalPlan::OrderBy { input, keys } => {
-            let mut child_req = required.clone();
-            child_req.extend(keys.iter().map(|(k, _)| k.clone()));
-            Arc::new(LogicalPlan::OrderBy { input: prune(input, &child_req), keys: keys.clone() })
-        }
-        LogicalPlan::Explode { input, col, as_name, schema } => {
-            let mut child_req: BTreeSet<String> =
-                required.iter().filter(|c| *c != as_name).cloned().collect();
-            child_req.insert(col.clone());
-            let new_input = prune(input, &child_req);
-            // The cached schema must be rebuilt from the pruned child — it
-            // may have lost columns.
-            let item_dtype = schema.field(as_name).map(|f| f.dtype).unwrap_or(DataType::Any);
-            let fields = new_input
-                .schema()
-                .fields()
-                .iter()
-                .map(|f| if f.name == *col { Field::new(as_name, item_dtype) } else { f.clone() })
-                .collect();
-            Arc::new(LogicalPlan::Explode {
-                input: new_input,
-                col: col.clone(),
-                as_name: as_name.clone(),
-                schema: Schema::new(fields),
-            })
-        }
-        LogicalPlan::GroupBy { input, keys, aggs, schema } => {
-            let mut child_req: BTreeSet<String> = keys.iter().cloned().collect();
-            child_req.extend(aggs.iter().filter_map(|(a, _)| a.input_col().map(String::from)));
-            Arc::new(LogicalPlan::GroupBy {
-                input: prune(input, &child_req),
-                keys: keys.clone(),
-                aggs: aggs.clone(),
-                schema: Arc::clone(schema),
-            })
-        }
-        LogicalPlan::ZipWithIndex { input, name, start, schema: _ } => {
-            let child_req: BTreeSet<String> =
-                required.iter().filter(|c| *c != name).cloned().collect();
-            let child_req = if child_req.is_empty() {
-                input.schema().fields().iter().map(|f| f.name.clone()).collect()
-            } else {
-                child_req
-            };
-            let new_input = prune(input, &child_req);
-            // Rebuild the cached schema from the pruned child — it may have
-            // lost columns.
-            let mut fields = new_input.schema().fields().to_vec();
-            fields.push(Field::new(name, DataType::I64));
-            Arc::new(LogicalPlan::ZipWithIndex {
-                input: new_input,
-                name: name.clone(),
-                start: *start,
-                schema: Schema::new(fields),
-            })
-        }
-        LogicalPlan::Limit { input, n } => {
-            Arc::new(LogicalPlan::Limit { input: prune(input, required), n: *n })
-        }
-        LogicalPlan::FromRdd { .. } => Arc::clone(plan),
-    }
+    super::rules::Optimizer::standard().run(plan).0
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,313 @@
+//! Static plan-property analysis: a bottom-up abstract interpretation that
+//! computes, for every `LogicalPlan` node, the properties an optimizer
+//! rewrite is obliged to preserve — output schema, a sortedness guarantee,
+//! the physical partitioning discipline, cardinality bounds, and the set of
+//! statically-known constant columns.
+//!
+//! The analysis is deliberately *sound but incomplete*: a property is only
+//! claimed when it provably holds, and "unknown" is always a legal answer.
+//! That makes `check_preserved` a refinement check — a rewrite may teach the
+//! analysis *more* (a tighter cardinality bound, a longer sort prefix) but
+//! must never lose what was already known.
+
+use super::expr::{Expr, SortDir};
+use super::plan::LogicalPlan;
+use super::{Schema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How the rows of a plan node are distributed across partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partitioning {
+    /// No guarantee (source partitioning, or destroyed by a rewrite).
+    Unknown,
+    /// Rows with equal values in these columns share a partition (the
+    /// output of a hash shuffle keyed on them).
+    HashBy(Vec<String>),
+    /// Partitions hold contiguous key ranges in this order (the output of a
+    /// range-partitioned sort).
+    RangeBy(Vec<String>),
+}
+
+/// The abstract state computed for one plan node.
+///
+/// `ordering` is a *guarantee prefix*: the output stream is sorted by these
+/// keys, most significant first; empty means no sortedness is known.
+/// `min_rows`/`max_rows` bound the output cardinality (`max_rows == None`
+/// means unbounded — e.g. below an `EXPLODE`). `constants` maps output
+/// columns to the single value they are statically known to carry in every
+/// row (literal projections, and their survivors through row-preserving
+/// operators).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProperties {
+    pub schema: Arc<Schema>,
+    pub ordering: Vec<(String, SortDir)>,
+    pub partitioning: Partitioning,
+    pub min_rows: u64,
+    pub max_rows: Option<u64>,
+    pub constants: BTreeMap<String, Value>,
+}
+
+/// Which properties a rewrite rule declares it preserves. `check_preserved`
+/// only compares the declared dimensions, so a future rule that trades one
+/// property for another (e.g. a sort-elimination rule) can opt out
+/// honestly instead of lying.
+#[derive(Debug, Clone, Copy)]
+pub struct Preserved {
+    pub schema: bool,
+    pub ordering: bool,
+    pub partitioning: bool,
+    pub cardinality: bool,
+    pub constants: bool,
+}
+
+impl Preserved {
+    /// The contract every current rule makes: everything is preserved.
+    pub const ALL: Preserved = Preserved {
+        schema: true,
+        ordering: true,
+        partitioning: true,
+        cardinality: true,
+        constants: true,
+    };
+
+    /// Renders the declared set as a compact word list for docs and traces.
+    pub fn describe(&self) -> String {
+        let mut out = Vec::new();
+        for (on, word) in [
+            (self.schema, "schema"),
+            (self.ordering, "ordering"),
+            (self.partitioning, "partitioning"),
+            (self.cardinality, "cardinality"),
+            (self.constants, "constants"),
+        ] {
+            if on {
+                out.push(word);
+            }
+        }
+        out.join(", ")
+    }
+}
+
+/// Computes the properties of `plan` bottom-up.
+pub fn derive(plan: &LogicalPlan) -> PlanProperties {
+    match plan {
+        LogicalPlan::FromRdd { schema, .. } => PlanProperties {
+            schema: Arc::clone(schema),
+            ordering: Vec::new(),
+            partitioning: Partitioning::Unknown,
+            min_rows: 0,
+            max_rows: None,
+            constants: BTreeMap::new(),
+        },
+        LogicalPlan::Project { input, exprs, schema } => {
+            let p = derive(input);
+            // An input column survives the projection under its new name if
+            // some output expression passes it through unchanged. When a
+            // column is passed through more than once the *first* output
+            // wins, matching the deterministic choice rules make.
+            let passthrough = |col: &str| -> Option<String> {
+                exprs.iter().find(|e| e.expr.is_col(col)).map(|e| e.name.clone())
+            };
+            let ordering = map_key_prefix(&p.ordering, &passthrough);
+            let partitioning = match &p.partitioning {
+                Partitioning::Unknown => Partitioning::Unknown,
+                Partitioning::HashBy(keys) => map_all_keys(keys, &passthrough)
+                    .map(Partitioning::HashBy)
+                    .unwrap_or(Partitioning::Unknown),
+                Partitioning::RangeBy(keys) => map_all_keys(keys, &passthrough)
+                    .map(Partitioning::RangeBy)
+                    .unwrap_or(Partitioning::Unknown),
+            };
+            let mut constants = BTreeMap::new();
+            for e in exprs {
+                match &e.expr {
+                    Expr::Lit(v) => {
+                        constants.insert(e.name.clone(), v.clone());
+                    }
+                    Expr::Col(c) => {
+                        if let Some(v) = p.constants.get(c) {
+                            constants.insert(e.name.clone(), v.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            PlanProperties {
+                schema: Arc::clone(schema),
+                ordering,
+                partitioning,
+                min_rows: p.min_rows,
+                max_rows: p.max_rows,
+                constants,
+            }
+        }
+        // A filter drops rows but never reorders, repartitions, or rewrites
+        // the survivors, so everything except the lower cardinality bound
+        // passes through.
+        LogicalPlan::Filter { input, .. } => {
+            let p = derive(input);
+            PlanProperties { min_rows: 0, ..p }
+        }
+        LogicalPlan::Explode { input, col, as_name, schema } => {
+            let p = derive(input);
+            // Rows expand in place, so sortedness on columns *before* the
+            // exploded one in the key list survives; the exploded column's
+            // values change, cutting the guarantee there.
+            let mut ordering = Vec::new();
+            for (k, d) in &p.ordering {
+                if k == col {
+                    break;
+                }
+                ordering.push((k.clone(), *d));
+            }
+            let keeps = |keys: &[String]| keys.iter().all(|k| k != col);
+            let partitioning = match &p.partitioning {
+                Partitioning::HashBy(keys) if keeps(keys) => Partitioning::HashBy(keys.clone()),
+                Partitioning::RangeBy(keys) if keeps(keys) => Partitioning::RangeBy(keys.clone()),
+                _ => Partitioning::Unknown,
+            };
+            let mut constants = p.constants;
+            constants.remove(col);
+            constants.remove(as_name);
+            PlanProperties {
+                schema: Arc::clone(schema),
+                ordering,
+                partitioning,
+                min_rows: 0,
+                max_rows: None,
+                constants,
+            }
+        }
+        LogicalPlan::GroupBy { input, keys, aggs: _, schema } => {
+            let p = derive(input);
+            // The hash shuffle destroys sortedness but co-locates equal
+            // keys; every group has at least one source row.
+            let constants = keys
+                .iter()
+                .filter_map(|k| p.constants.get(k).map(|v| (k.clone(), v.clone())))
+                .collect();
+            PlanProperties {
+                schema: Arc::clone(schema),
+                ordering: Vec::new(),
+                partitioning: Partitioning::HashBy(keys.clone()),
+                min_rows: u64::from(p.min_rows > 0),
+                max_rows: p.max_rows,
+                constants,
+            }
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let p = derive(input);
+            PlanProperties {
+                ordering: keys.clone(),
+                partitioning: Partitioning::RangeBy(keys.iter().map(|(k, _)| k.clone()).collect()),
+                ..p
+            }
+        }
+        LogicalPlan::ZipWithIndex { input, name, schema, .. } => {
+            let p = derive(input);
+            let mut constants = p.constants;
+            constants.remove(name);
+            PlanProperties { schema: Arc::clone(schema), constants, ..p }
+        }
+        LogicalPlan::Limit { input, n } => {
+            let p = derive(input);
+            let n = *n as u64;
+            PlanProperties {
+                min_rows: p.min_rows.min(n),
+                max_rows: Some(p.max_rows.map_or(n, |m| m.min(n))),
+                ..p
+            }
+        }
+    }
+}
+
+/// Maps the longest prefix of `keys` that survives a column rename.
+fn map_key_prefix(
+    keys: &[(String, SortDir)],
+    rename: &dyn Fn(&str) -> Option<String>,
+) -> Vec<(String, SortDir)> {
+    let mut out = Vec::new();
+    for (k, d) in keys {
+        match rename(k) {
+            Some(new) => out.push((new, *d)),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Maps every key or reports failure (partitioning guarantees are
+/// all-or-nothing: dropping one hash key breaks co-location).
+fn map_all_keys(keys: &[String], rename: &dyn Fn(&str) -> Option<String>) -> Option<Vec<String>> {
+    keys.iter().map(|k| rename(k)).collect()
+}
+
+/// Checks that `after` preserves every property of `before` that the rule
+/// declared, up to refinement: `after` may know strictly more (longer sort
+/// prefix, tighter cardinality bounds, extra constants) but must not lose
+/// or contradict anything `before` established. Returns a human-readable
+/// description of the first violation.
+pub fn check_preserved(
+    before: &PlanProperties,
+    after: &PlanProperties,
+    declared: Preserved,
+) -> std::result::Result<(), String> {
+    if declared.schema && before.schema.fields() != after.schema.fields() {
+        return Err(format!(
+            "schema changed: {:?} -> {:?}",
+            before.schema.fields(),
+            after.schema.fields()
+        ));
+    }
+    if declared.ordering {
+        let is_prefix = before.ordering.len() <= after.ordering.len()
+            && before.ordering.iter().zip(&after.ordering).all(|(a, b)| a == b);
+        if !is_prefix {
+            return Err(format!(
+                "ordering guarantee lost: {:?} is not a prefix of {:?}",
+                before.ordering, after.ordering
+            ));
+        }
+    }
+    if declared.partitioning
+        && before.partitioning != Partitioning::Unknown
+        && before.partitioning != after.partitioning
+    {
+        return Err(format!(
+            "partitioning changed: {:?} -> {:?}",
+            before.partitioning, after.partitioning
+        ));
+    }
+    if declared.cardinality {
+        if after.min_rows < before.min_rows {
+            return Err(format!(
+                "minimum cardinality lost: {} -> {}",
+                before.min_rows, after.min_rows
+            ));
+        }
+        match (before.max_rows, after.max_rows) {
+            (Some(b), Some(a)) if a > b => {
+                return Err(format!("cardinality bound loosened: {b} -> {a}"));
+            }
+            (Some(b), None) => {
+                return Err(format!("cardinality bound lost: {b} -> unbounded"));
+            }
+            _ => {}
+        }
+    }
+    if declared.constants {
+        for (col, v) in &before.constants {
+            match after.constants.get(col) {
+                Some(w) if w == v => {}
+                Some(w) => {
+                    return Err(format!("constant column '{col}' changed value: {v:?} -> {w:?}"));
+                }
+                None => {
+                    return Err(format!("constant column '{col}' no longer constant ({v:?})"));
+                }
+            }
+        }
+    }
+    Ok(())
+}

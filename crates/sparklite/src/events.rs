@@ -170,6 +170,14 @@ pub enum Event {
         b: u64,
         attempt: u32,
     },
+    /// The logical-plan optimizer applied one named rewrite rule (and its
+    /// property contract held). `rule` is the `RBLO` id; `stage` is the
+    /// optimizer fixpoint pass during which it fired — not a scheduler
+    /// stage id.
+    OptimizerRuleFired {
+        rule: &'static str,
+        stage: u64,
+    },
 }
 
 impl Event {
@@ -193,6 +201,7 @@ impl Event {
             Event::CacheEvict { .. } => "CacheEvict",
             Event::CacheRelease { .. } => "CacheRelease",
             Event::ChaosInject { .. } => "ChaosInject",
+            Event::OptimizerRuleFired { .. } => "OptimizerRuleFired",
         }
     }
 }
@@ -311,6 +320,7 @@ impl EventListener for MetricsListener {
             Event::SpeculativeWin { .. } => add(&m.speculative_wins, 1),
             Event::LineageRecovery { lost, .. } => add(&m.recomputed_tasks, *lost),
             Event::ChaosInject { .. } => add(&m.injected_faults, 1),
+            Event::OptimizerRuleFired { .. } => add(&m.optimizer_rule_fires, 1),
             Event::CacheRead { hit, .. } => {
                 add(if *hit { &m.cache_hits } else { &m.cache_misses }, 1)
             }
@@ -578,6 +588,7 @@ impl Timeline {
             .sum::<u64>();
         check("recomputed_tasks", recomputed, snap.recomputed_tasks)?;
         check("injected_faults", self.count("ChaosInject"), snap.injected_faults)?;
+        check("optimizer_rule_fires", self.count("OptimizerRuleFired"), snap.optimizer_rule_fires)?;
         let totals = self.totals();
         check("input_records", totals.input_records, snap.input_records)?;
         check("input_bytes", totals.input_bytes, snap.input_bytes)?;
@@ -835,6 +846,9 @@ fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
             .push_str(&format!(",\"rdd\":{rdd},\"splits\":{splits},\"total_bytes\":{total_bytes}")),
         Event::ChaosInject { kind, a, b, attempt } => {
             out.push_str(&format!(",\"kind\":\"{kind}\",\"a\":{a},\"b\":{b},\"attempt\":{attempt}"))
+        }
+        Event::OptimizerRuleFired { rule, stage } => {
+            out.push_str(&format!(",\"rule\":\"{rule}\",\"stage\":{stage}"))
         }
     }
     out.push('}');

@@ -96,6 +96,9 @@ pub struct Metrics {
     /// Faults injected by the chaos plan (kills, lost outputs, storage
     /// faults, straggler slowdowns, cached-read faults).
     pub injected_faults: AtomicU64,
+    /// Optimizer rewrite-rule firings whose property contract held (one
+    /// per applied rule per plan compilation).
+    pub optimizer_rule_fires: AtomicU64,
     /// Persisted-partition reads served from the cache.
     pub cache_hits: AtomicU64,
     /// Persisted-partition reads that fell back to lineage recomputation
@@ -127,6 +130,7 @@ pub struct MetricsSnapshot {
     pub speculated_tasks: u64,
     pub speculative_wins: u64,
     pub injected_faults: u64,
+    pub optimizer_rule_fires: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
@@ -151,6 +155,7 @@ impl Metrics {
             speculated_tasks: self.speculated_tasks.load(Ordering::Relaxed),
             speculative_wins: self.speculative_wins.load(Ordering::Relaxed),
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            optimizer_rule_fires: self.optimizer_rule_fires.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
@@ -179,6 +184,7 @@ impl std::fmt::Display for MetricsSnapshot {
             ("speculated_tasks", self.speculated_tasks),
             ("speculative_wins", self.speculative_wins),
             ("injected_faults", self.injected_faults),
+            ("optimizer_rule_fires", self.optimizer_rule_fires),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),

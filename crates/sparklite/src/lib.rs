@@ -55,7 +55,7 @@ pub mod sql;
 pub mod storage;
 
 pub use cache::{CacheCodec, StorageLevel};
-pub use conf::{FaultPlan, SparkliteConf};
+pub use conf::{FaultPlan, OptimizerConf, SparkliteConf};
 pub use context::SparkliteContext;
 pub use error::{FailureCause, FailureKind, Result, SparkliteError};
 pub use events::{

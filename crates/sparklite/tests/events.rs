@@ -184,3 +184,81 @@ proptest! {
         prop_assert!(reconciled.is_ok(), "reconcile failed: {:?}", reconciled);
     }
 }
+
+/// Optimizer firings flow through the event bus like every other scheduler
+/// event: each fired rewrite shows up as an `OptimizerRuleFired` with its
+/// RBLO id, the derived metrics counter matches, and the timeline still
+/// reconciles exactly against the metrics snapshot.
+#[test]
+fn optimizer_rule_fires_are_observable_and_reconcile() {
+    use sparklite::dataframe::{CmpOp, DataFrame, DataType, Expr, Field, Schema, Value};
+
+    let sc = traced_ctx(FaultPlan::default(), 3);
+    let schema = Schema::new(vec![Field::new("a", DataType::I64), Field::new("b", DataType::I64)]);
+    let rows = (0..40i64).map(|i| vec![Value::I64(i % 9), Value::I64(i)]).collect();
+    let d = DataFrame::from_rows(&sc, schema, rows, 3).unwrap();
+    // Two adjacent filters guarantee at least one RBLO0001 firing.
+    let d = d
+        .filter(Expr::cmp(Expr::col("a"), CmpOp::Gt, Expr::lit(Value::I64(1))))
+        .unwrap()
+        .filter(Expr::cmp(Expr::col("a"), CmpOp::Lt, Expr::lit(Value::I64(7))))
+        .unwrap();
+    let n = d.collect_rows().unwrap().len();
+    assert_eq!(n, (0..40).filter(|i| (2..7).contains(&(i % 9))).count());
+
+    let timeline = sc.timeline().expect("collection is on");
+    let fired: Vec<&'static str> = timeline
+        .events()
+        .iter()
+        .filter_map(|(_, ev)| match ev {
+            Event::OptimizerRuleFired { rule, .. } => Some(*rule),
+            _ => None,
+        })
+        .collect();
+    assert!(fired.contains(&"RBLO0001"), "merge-filters must fire: {fired:?}");
+    assert_eq!(fired.len() as u64, sc.metrics().optimizer_rule_fires);
+    timeline.reconcile(&sc.metrics()).unwrap();
+}
+
+/// `OptimizerConf` bisection: a disabled rule never fires (no event carries
+/// its id), and disabling the whole optimizer silences the stream entirely —
+/// in both cases with unchanged results.
+#[test]
+fn disabled_rules_never_fire() {
+    use sparklite::dataframe::{CmpOp, DataFrame, DataType, Expr, Field, Schema, Value};
+
+    let run = |conf: SparkliteConf| {
+        let sc = SparkliteContext::new(conf.with_executors(2).with_event_collection(true));
+        let schema = Schema::new(vec![Field::new("a", DataType::I64)]);
+        let rows = (0..30i64).map(|i| vec![Value::I64(i)]).collect();
+        let d = DataFrame::from_rows(&sc, schema, rows, 2)
+            .unwrap()
+            .filter(Expr::cmp(Expr::col("a"), CmpOp::Gt, Expr::lit(Value::I64(3))))
+            .unwrap()
+            .filter(Expr::cmp(Expr::col("a"), CmpOp::Lt, Expr::lit(Value::I64(20))))
+            .unwrap();
+        let rows = d.collect_rows().unwrap();
+        let fired: Vec<&'static str> = sc
+            .timeline()
+            .unwrap()
+            .events()
+            .iter()
+            .filter_map(|(_, ev)| match ev {
+                Event::OptimizerRuleFired { rule, .. } => Some(*rule),
+                _ => None,
+            })
+            .collect();
+        (rows, fired)
+    };
+
+    let (baseline, fired) = run(SparkliteConf::default());
+    assert!(fired.contains(&"RBLO0001"));
+
+    let (rows, fired) = run(SparkliteConf::default().with_rule_disabled("RBLO0001"));
+    assert_eq!(rows, baseline, "disabling a rule must not change results");
+    assert!(!fired.contains(&"RBLO0001"), "disabled rule fired anyway: {fired:?}");
+
+    let (rows, fired) = run(SparkliteConf::default().with_optimizer(false));
+    assert_eq!(rows, baseline, "disabling the optimizer must not change results");
+    assert!(fired.is_empty(), "optimizer off must mean zero firings: {fired:?}");
+}

@@ -1,0 +1,523 @@
+//! The equivalence fuzzer for the rewrite-rule registry (ruler-style):
+//! random plan shapes over random row data, each registry rule applied *in
+//! isolation at every matching site*, and the before/after plans executed
+//! differentially — results must be equal row-for-row and byte-for-byte
+//! under [`RowCodec`]. A second suite runs the whole standard optimizer
+//! pipeline differentially, and the mutation tests prove the harness bites:
+//! deliberately broken rules are caught either by the plan-property checker
+//! (rejected, with a recorded violation) or by the differential executor
+//! (divergent output).
+//!
+//! The fuzz context disables the conf-driven optimizer so `collect_rows`
+//! executes exactly the plan it is handed.
+
+use sparklite::dataframe::properties::{check_preserved, derive};
+use sparklite::dataframe::rules::{
+    apply_at_each_site, CheckMode, Optimizer, RewriteRule, REGISTRY,
+};
+use sparklite::dataframe::{
+    Agg, CmpOp, DataFrame, DataType, Expr, Field, LogicalPlan, NamedExpr, NumOp, Row, RowCodec,
+    Schema, SortDir, Value,
+};
+use sparklite::{CacheCodec, SparkliteConf, SparkliteContext};
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn ctx() -> SparkliteContext {
+    SparkliteContext::new(SparkliteConf::default().with_executors(3).with_optimizer(false))
+}
+
+/// Messy seed data: `[k: I64, v: I64, s: Str, xs: List, f: F64]` with NULLs
+/// sprinkled into `v`/`s` and 0–3-element lists in `xs`.
+fn seed(ctx: &SparkliteContext) -> DataFrame {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::I64),
+        Field::new("v", DataType::I64),
+        Field::new("s", DataType::Str),
+        Field::new("xs", DataType::List),
+        Field::new("f", DataType::F64),
+    ]);
+    let rows: Vec<Row> = (0..24i64)
+        .map(|i| {
+            let v = if i % 6 == 0 { Value::Null } else { Value::I64(i * 2 - 10) };
+            let s = if i % 7 == 0 { Value::Null } else { Value::str(format!("s{}", i % 3)) };
+            let xs = Value::list((0..(i % 4)).map(|j| Value::I64(i - 2 * j)).collect());
+            vec![Value::I64(i % 5), v, s, xs, Value::F64(i as f64 * 0.5 - 3.0)]
+        })
+        .collect();
+    DataFrame::from_rows(ctx, schema, rows, 3).unwrap()
+}
+
+/// First column of the given type, if any.
+fn col_of(d: &DataFrame, dt: DataType) -> Option<String> {
+    d.schema().fields().iter().find(|f| f.dtype == dt).map(|f| f.name.clone())
+}
+
+/// One randomly chosen pipeline step. Steps the evolving schema cannot
+/// support are skipped; every step keeps at least one I64 column alive so
+/// later steps can always bind.
+#[derive(Debug, Clone)]
+enum Step {
+    FilterGt(i64),
+    FilterLt(i64),
+    /// A literal-true filter — RBLO0007's food.
+    FilterTrue,
+    FilterIsNull,
+    FilterNotNull,
+    /// An opaque UDF predicate with a declared one-column footprint.
+    FilterUdfEven,
+    /// A mixed And/Or/Not predicate.
+    FilterAndOr(i64, i64),
+    WithColumn(i64),
+    /// Shrinks the schema to the first I64 column plus one computed column.
+    SelectCompute(i64),
+    Explode,
+    /// Explodes a list column *onto its own name* — the shape a broken
+    /// explode-pushdown would corrupt.
+    ExplodeSameName,
+    GroupBy,
+    OrderAsc(usize),
+    OrderDesc(usize),
+    Limit(usize),
+    ZipIndex,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-9i64..30).prop_map(Step::FilterGt),
+        (-9i64..30).prop_map(Step::FilterLt),
+        Just(Step::FilterTrue),
+        Just(Step::FilterIsNull),
+        Just(Step::FilterNotNull),
+        Just(Step::FilterUdfEven),
+        ((-9i64..30), (-9i64..30)).prop_map(|(a, b)| Step::FilterAndOr(a, b)),
+        (1i64..9).prop_map(Step::WithColumn),
+        (2i64..5).prop_map(Step::SelectCompute),
+        Just(Step::Explode),
+        Just(Step::ExplodeSameName),
+        Just(Step::GroupBy),
+        (0usize..4).prop_map(Step::OrderAsc),
+        (0usize..4).prop_map(Step::OrderDesc),
+        (1usize..30).prop_map(Step::Limit),
+        Just(Step::ZipIndex),
+    ]
+}
+
+fn apply(d: DataFrame, step: &Step, fresh: &mut u32) -> DataFrame {
+    let i64_col = col_of(&d, DataType::I64).expect("an I64 column is always alive");
+    let gt = |n: i64| Expr::cmp(Expr::col(&i64_col), CmpOp::Gt, Expr::lit(Value::I64(n)));
+    let lt = |n: i64| Expr::cmp(Expr::col(&i64_col), CmpOp::Lt, Expr::lit(Value::I64(n)));
+    match step {
+        Step::FilterGt(n) => d.filter(gt(*n)).unwrap(),
+        Step::FilterLt(n) => d.filter(lt(*n)).unwrap(),
+        Step::FilterTrue => d.filter(Expr::lit(Value::Bool(true))).unwrap(),
+        Step::FilterIsNull => {
+            let any = d.schema().fields()[d.schema().len() - 1].name.clone();
+            d.filter(Expr::is_null(Expr::col(any))).unwrap()
+        }
+        Step::FilterNotNull => {
+            let any = d.schema().fields()[0].name.clone();
+            d.filter(Expr::not(Expr::is_null(Expr::col(any)))).unwrap()
+        }
+        Step::FilterUdfEven => {
+            let c = i64_col.clone();
+            let inner = c.clone();
+            d.filter(Expr::udf("is_even", Some(vec![c]), move |schema: &Schema, row: &[Value]| {
+                let idx = schema.index_of(&inner).expect("declared footprint column");
+                Value::Bool(row[idx].as_i64().is_some_and(|x| x % 2 == 0))
+            }))
+            .unwrap()
+        }
+        Step::FilterAndOr(a, b) => {
+            d.filter(Expr::or(Expr::and(gt(*a), lt(*b)), Expr::not(gt(*a)))).unwrap()
+        }
+        Step::WithColumn(k) => {
+            *fresh += 1;
+            d.with_column(
+                format!("c{fresh}"),
+                Expr::num(Expr::col(&i64_col), NumOp::Mul, Expr::lit(Value::I64(*k))),
+                DataType::I64,
+            )
+            .unwrap()
+        }
+        Step::SelectCompute(k) => {
+            *fresh += 1;
+            d.select(vec![
+                NamedExpr::passthrough(&i64_col, DataType::I64),
+                NamedExpr {
+                    name: format!("c{fresh}"),
+                    expr: Expr::num(Expr::col(&i64_col), NumOp::Add, Expr::lit(Value::I64(*k))),
+                    dtype: DataType::I64,
+                },
+            ])
+            .unwrap()
+        }
+        Step::Explode => match col_of(&d, DataType::List) {
+            Some(list_col) => {
+                *fresh += 1;
+                d.explode(&list_col, format!("x{fresh}"), DataType::Any).unwrap()
+            }
+            None => d,
+        },
+        Step::ExplodeSameName => match col_of(&d, DataType::List) {
+            Some(list_col) => d.explode(&list_col, list_col.clone(), DataType::Any).unwrap(),
+            None => d,
+        },
+        Step::GroupBy => {
+            *fresh += 1;
+            let mut aggs = vec![(Agg::Count, format!("n{fresh}"))];
+            let non_key =
+                d.schema().fields().iter().find(|f| f.name != i64_col).map(|f| f.name.clone());
+            if let Some(c) = non_key {
+                aggs.push((Agg::CollectList(c.clone()), format!("l{fresh}")));
+                aggs.push((Agg::Min(c), format!("m{fresh}")));
+            }
+            d.group_by(&[&i64_col], aggs).unwrap()
+        }
+        Step::OrderAsc(i) => {
+            let key = d.schema().fields()[i % d.schema().len()].name.clone();
+            d.order_by(vec![(key, SortDir::asc())]).unwrap()
+        }
+        Step::OrderDesc(i) => {
+            let key = d.schema().fields()[i % d.schema().len()].name.clone();
+            d.order_by(vec![(key, SortDir::desc().with_nulls_last(false))]).unwrap()
+        }
+        Step::Limit(n) => d.limit(*n),
+        Step::ZipIndex => {
+            *fresh += 1;
+            d.zip_with_index(format!("i{fresh}"), 0).unwrap()
+        }
+    }
+}
+
+fn build(ctx: &SparkliteContext, steps: &[Step]) -> DataFrame {
+    let mut d = seed(ctx);
+    let mut fresh = 0u32;
+    for s in steps {
+        d = apply(d, s, &mut fresh);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core equivalence fuzz: every registry rule, applied in isolation
+    /// at every site where it matches, yields a valid plan that preserves
+    /// its declared properties and executes to byte-identical rows.
+    #[test]
+    fn every_rule_preserves_results_at_every_site(
+        steps in prop::collection::vec(step_strategy(), 0..7),
+    ) {
+        let ctx = ctx();
+        let d = build(&ctx, &steps);
+        d.plan().validate().unwrap();
+        let baseline = d.collect_rows().unwrap();
+        let baseline_bytes = RowCodec.encode(&baseline);
+        for rule in REGISTRY {
+            for (site, rewritten) in apply_at_each_site(*rule, d.plan()).into_iter().enumerate() {
+                prop_assert!(
+                    rewritten.validate().is_ok(),
+                    "{} produced an invalid plan at site {site}:\nbefore:\n{}after:\n{}",
+                    rule.id(), d.plan().render(), rewritten.render()
+                );
+                let before = derive(d.plan());
+                let after = derive(&rewritten);
+                if let Err(e) = check_preserved(&before, &after, rule.preserves()) {
+                    prop_assert!(
+                        false,
+                        "{} broke its property contract at site {site}: {e}\nbefore:\n{}after:\n{}",
+                        rule.id(), d.plan().render(), rewritten.render()
+                    );
+                }
+                let rows = d.with_plan(Arc::clone(&rewritten)).collect_rows().unwrap();
+                prop_assert_eq!(
+                    &rows, &baseline,
+                    "{} changed the result at site {site}:\nbefore:\n{}after:\n{}",
+                    rule.id(), d.plan().render(), rewritten.render()
+                );
+                prop_assert_eq!(RowCodec.encode(&rows), baseline_bytes.clone());
+            }
+        }
+    }
+
+    /// The full standard pipeline (fixpoint + finalize, all rules enabled)
+    /// is also a differential no-op on results.
+    #[test]
+    fn full_optimizer_preserves_results(
+        steps in prop::collection::vec(step_strategy(), 0..8),
+    ) {
+        let ctx = ctx();
+        let d = build(&ctx, &steps);
+        let baseline = d.collect_rows().unwrap();
+        let (optimized, trace) = Optimizer::standard().run(Arc::clone(d.plan()));
+        prop_assert!(trace.violations.is_empty(), "violations: {:?}", trace.violations);
+        optimized.validate().unwrap();
+        let rows = d.with_plan(optimized).collect_rows().unwrap();
+        prop_assert_eq!(
+            RowCodec.encode(&rows),
+            RowCodec.encode(&baseline),
+            "optimized plan diverged; fires: {}",
+            trace.render_fires()
+        );
+    }
+
+    /// Disabling any single rule still yields correct (byte-identical)
+    /// results — the shell's `--disable-rule` bisection flag is always safe.
+    #[test]
+    fn optimizer_with_any_single_rule_disabled_preserves_results(
+        steps in prop::collection::vec(step_strategy(), 0..6),
+        which in 0usize..8,
+    ) {
+        let ctx = ctx();
+        let d = build(&ctx, &steps);
+        let baseline = d.collect_rows().unwrap();
+        let disabled =
+            std::iter::once(REGISTRY[which % REGISTRY.len()].id().to_string()).collect();
+        let (optimized, _) =
+            Optimizer::standard().without_rules(&disabled).run(Arc::clone(d.plan()));
+        let rows = d.with_plan(optimized).collect_rows().unwrap();
+        prop_assert_eq!(RowCodec.encode(&rows), RowCodec.encode(&baseline));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation mode: deliberately broken rules must be caught
+// ---------------------------------------------------------------------------
+
+/// MergeFilters with AND corrupted to OR — semantically wrong but
+/// property-invisible (schema/ordering/cardinality bounds all hold), so the
+/// *differential executor* must be the net that catches it.
+struct BrokenMergeFilters;
+
+impl RewriteRule for BrokenMergeFilters {
+    fn id(&self) -> &'static str {
+        "RBLX0001"
+    }
+    fn name(&self) -> &'static str {
+        "broken-merge-filters"
+    }
+    fn description(&self) -> &'static str {
+        "mutation: merges adjacent filters with OR instead of AND"
+    }
+    fn apply(&self, plan: &Arc<LogicalPlan>) -> Option<Arc<LogicalPlan>> {
+        let LogicalPlan::Filter { input, predicate } = plan.as_ref() else { return None };
+        let LogicalPlan::Filter { input: inner_in, predicate: inner } = input.as_ref() else {
+            return None;
+        };
+        Some(Arc::new(LogicalPlan::Filter {
+            input: Arc::clone(inner_in),
+            predicate: Expr::or(inner.clone(), predicate.clone()),
+        }))
+    }
+}
+
+/// Explode-pushdown without the exploded-column guard: pushes a filter that
+/// reads the exploded column below the EXPLODE (sound only when the
+/// predicate is element-blind). Differentially catchable on `xs as xs`.
+struct BrokenExplodePush;
+
+impl RewriteRule for BrokenExplodePush {
+    fn id(&self) -> &'static str {
+        "RBLX0004"
+    }
+    fn name(&self) -> &'static str {
+        "broken-explode-push"
+    }
+    fn description(&self) -> &'static str {
+        "mutation: pushes a filter below EXPLODE even when it reads the exploded column"
+    }
+    fn apply(&self, plan: &Arc<LogicalPlan>) -> Option<Arc<LogicalPlan>> {
+        let LogicalPlan::Filter { input, predicate } = plan.as_ref() else { return None };
+        let LogicalPlan::Explode { input: ex_in, col, as_name, schema } = input.as_ref() else {
+            return None;
+        };
+        if col != as_name {
+            return None; // keep the mutant well-typed: only fire on self-explodes
+        }
+        Some(Arc::new(LogicalPlan::Explode {
+            input: Arc::new(LogicalPlan::Filter {
+                input: Arc::clone(ex_in),
+                predicate: predicate.clone(),
+            }),
+            col: col.clone(),
+            as_name: as_name.clone(),
+            schema: Arc::clone(schema),
+        }))
+    }
+}
+
+/// MergeLimits with `min` corrupted to `max` — loosens the cardinality
+/// bound, which the property checker must reject.
+struct BrokenMergeLimits;
+
+impl RewriteRule for BrokenMergeLimits {
+    fn id(&self) -> &'static str {
+        "RBLX0006"
+    }
+    fn name(&self) -> &'static str {
+        "broken-merge-limits"
+    }
+    fn description(&self) -> &'static str {
+        "mutation: collapses nested limits to the looser bound"
+    }
+    fn apply(&self, plan: &Arc<LogicalPlan>) -> Option<Arc<LogicalPlan>> {
+        let LogicalPlan::Limit { input, n } = plan.as_ref() else { return None };
+        let LogicalPlan::Limit { input: inner_in, n: m } = input.as_ref() else { return None };
+        Some(Arc::new(LogicalPlan::Limit { input: Arc::clone(inner_in), n: (*n).max(*m) }))
+    }
+}
+
+/// Sort-pushdown that "simplifies" by deleting the sort — breaks the
+/// ordering property, which the checker must reject.
+struct BrokenSortPush;
+
+impl RewriteRule for BrokenSortPush {
+    fn id(&self) -> &'static str {
+        "RBLX0003"
+    }
+    fn name(&self) -> &'static str {
+        "broken-sort-push"
+    }
+    fn description(&self) -> &'static str {
+        "mutation: pushes a filter below a sort and drops the sort"
+    }
+    fn apply(&self, plan: &Arc<LogicalPlan>) -> Option<Arc<LogicalPlan>> {
+        let LogicalPlan::Filter { input, predicate } = plan.as_ref() else { return None };
+        let LogicalPlan::OrderBy { input: sort_in, .. } = input.as_ref() else { return None };
+        Some(Arc::new(LogicalPlan::Filter {
+            input: Arc::clone(sort_in),
+            predicate: predicate.clone(),
+        }))
+    }
+}
+
+/// Column pruning that drops the *last* projected column whether or not it
+/// is required — changes the root schema, which the checker must reject.
+struct BrokenPrune;
+
+impl RewriteRule for BrokenPrune {
+    fn id(&self) -> &'static str {
+        "RBLX0008"
+    }
+    fn name(&self) -> &'static str {
+        "broken-prune"
+    }
+    fn description(&self) -> &'static str {
+        "mutation: prunes a column that is still required"
+    }
+    fn apply(&self, plan: &Arc<LogicalPlan>) -> Option<Arc<LogicalPlan>> {
+        let LogicalPlan::Project { input, exprs, .. } = plan.as_ref() else { return None };
+        if exprs.len() < 2 {
+            return None;
+        }
+        let kept = exprs[..exprs.len() - 1].to_vec();
+        Some(Arc::new(
+            LogicalPlan::project(Arc::clone(input), kept).expect("prefix projection is valid"),
+        ))
+    }
+}
+
+/// Runs `rule` through a Collect-mode optimizer over `plan` and returns
+/// (optimized plan, number of recorded property violations).
+fn run_collect(
+    rule: &'static dyn RewriteRule,
+    plan: &Arc<LogicalPlan>,
+) -> (Arc<LogicalPlan>, usize) {
+    let (out, trace) =
+        Optimizer::with_rules(vec![rule]).check_mode(CheckMode::Collect).run(Arc::clone(plan));
+    (out, trace.violations.len())
+}
+
+#[test]
+fn mutation_or_for_and_is_caught_by_the_differential_executor() {
+    let ctx = ctx();
+    let d = seed(&ctx)
+        .filter(Expr::cmp(Expr::col("k"), CmpOp::Gt, Expr::lit(Value::I64(0))))
+        .unwrap()
+        .filter(Expr::cmp(Expr::col("k"), CmpOp::Lt, Expr::lit(Value::I64(3))))
+        .unwrap();
+    let baseline = d.collect_rows().unwrap();
+    let sites = apply_at_each_site(&BrokenMergeFilters, d.plan());
+    assert!(!sites.is_empty(), "mutant never matched");
+    // The property checker cannot see this one (schema, ordering, and
+    // cardinality *bounds* all survive an OR)…
+    let (_, violations) = run_collect(&BrokenMergeFilters, d.plan());
+    assert_eq!(violations, 0, "OR-for-AND is property-invisible by design");
+    // …but the differential harness catches it at its site.
+    let diverged = sites
+        .iter()
+        .any(|rewritten| d.with_plan(Arc::clone(rewritten)).collect_rows().unwrap() != baseline);
+    assert!(diverged, "differential executor failed to catch OR-for-AND");
+}
+
+#[test]
+fn mutation_unguarded_explode_push_is_caught_by_the_differential_executor() {
+    let ctx = ctx();
+    let d = seed(&ctx)
+        .explode("xs", "xs", DataType::Any)
+        .unwrap()
+        .filter(Expr::cmp(Expr::col("xs"), CmpOp::Gt, Expr::lit(Value::I64(0))))
+        .unwrap();
+    let baseline = d.collect_rows().unwrap();
+    let sites = apply_at_each_site(&BrokenExplodePush, d.plan());
+    assert!(!sites.is_empty(), "mutant never matched");
+    let diverged = sites.iter().any(|rewritten| {
+        rewritten.validate().is_err()
+            || d.with_plan(Arc::clone(rewritten)).collect_rows().unwrap() != baseline
+    });
+    assert!(diverged, "differential executor failed to catch the unguarded explode push");
+}
+
+#[test]
+fn mutation_loosened_limit_is_rejected_by_the_property_checker() {
+    let ctx = ctx();
+    let d = seed(&ctx).limit(7).limit(3);
+    let baseline = d.collect_rows().unwrap();
+    let (out, violations) = run_collect(&BrokenMergeLimits, d.plan());
+    assert!(violations > 0, "cardinality checker missed the loosened limit");
+    // The rejected rewrite leaves the plan semantics intact.
+    assert_eq!(d.with_plan(out).collect_rows().unwrap(), baseline);
+}
+
+#[test]
+fn mutation_dropped_sort_is_rejected_by_the_property_checker() {
+    let ctx = ctx();
+    let d = seed(&ctx)
+        .order_by(vec![("v".into(), SortDir::asc())])
+        .unwrap()
+        .filter(Expr::cmp(Expr::col("k"), CmpOp::Gt, Expr::lit(Value::I64(1))))
+        .unwrap();
+    let baseline = d.collect_rows().unwrap();
+    let (out, violations) = run_collect(&BrokenSortPush, d.plan());
+    assert!(violations > 0, "ordering checker missed the dropped sort");
+    assert_eq!(d.with_plan(out).collect_rows().unwrap(), baseline);
+}
+
+#[test]
+fn mutation_overzealous_prune_is_rejected_by_the_property_checker() {
+    let ctx = ctx();
+    let d = seed(&ctx)
+        .select(vec![
+            NamedExpr::passthrough("k", DataType::I64),
+            NamedExpr::passthrough("v", DataType::I64),
+        ])
+        .unwrap();
+    let baseline = d.collect_rows().unwrap();
+    let (out, violations) = run_collect(&BrokenPrune, d.plan());
+    assert!(violations > 0, "schema checker missed the over-pruned projection");
+    assert_eq!(d.with_plan(out).collect_rows().unwrap(), baseline);
+}
+
+/// In `Panic` mode (the debug default) the same broken rule aborts the
+/// optimizer outright instead of being silently rejected.
+#[test]
+#[should_panic(expected = "broke its property contract")]
+fn mutation_panics_in_debug_check_mode() {
+    let ctx = ctx();
+    let d = seed(&ctx).limit(7).limit(3);
+    let _ = Optimizer::with_rules(vec![&BrokenMergeLimits])
+        .check_mode(CheckMode::Panic)
+        .run(Arc::clone(d.plan()));
+}

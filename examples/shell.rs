@@ -16,16 +16,27 @@
 //! ```text
 //! cargo run --example shell -- --lint query.jq     # analyze only; exit 1 on errors
 //! cargo run --example shell -- --explain RBLW0004  # document a diagnostic code
+//! cargo run --example shell -- --explain RBLO0002  # …or an optimizer rule
 //! ```
 //!
+//! Optimizer bisection flags (before the interactive session starts):
+//! `--no-opt` compiles raw plans with every rewrite disabled;
+//! `--disable-rule=RBLO####` (repeatable) excludes one named rule. Use
+//! them to pin a wrong-result or perf regression on a single rewrite.
+//!
 //! Commands: `:load <path> <file>` copies a local file into the simulated
-//! HDFS, `:explain CODE` documents a diagnostic code, `:profile <query>`
-//! runs the query under `EXPLAIN ANALYZE` and prints the annotated plan
-//! (per-operator execution mode, rows, sampled time), `:metrics` prints the
-//! engine-wide scheduler counters, `:quit` exits. Everything else is JSONiq.
+//! HDFS, `:explain CODE` documents a diagnostic code or optimizer rule,
+//! `:rules` prints the rewrite-rule registry with per-rule fire counts for
+//! this session (the optimizer's fire trace, fed by `OptimizerRuleFired`
+//! events), `:profile <query>` runs the query under `EXPLAIN ANALYZE` and
+//! prints the annotated plan (per-operator execution mode, rows, sampled
+//! time), `:metrics` prints the engine-wide scheduler counters, `:quit`
+//! exits. Everything else is JSONiq.
 
 use rumble_repro::rumble::semantics::{explain, Severity, CODE_DOCS};
 use rumble_repro::rumble::{analyze, Rumble};
+use rumble_repro::sparklite::dataframe::rules::REGISTRY;
+use rumble_repro::sparklite::{Event, SparkliteConf};
 use std::io::{BufRead, Write};
 
 const MAX_PRINTED: usize = 50;
@@ -93,18 +104,49 @@ fn main() {
             let had_errors = lint(&query);
             std::process::exit(if had_errors { 1 } else { 0 });
         }
-        Some(other) => {
-            eprintln!("unknown option '{other}' (expected --lint or --explain)");
-            std::process::exit(2);
+        _ => {}
+    }
+
+    // Remaining (interactive-mode) flags tune the optimizer for bisection.
+    // Event collection is on so `:rules` can derive per-rule fire counts
+    // from the OptimizerRuleFired stream.
+    let mut conf = SparkliteConf::default().with_event_collection(true);
+    for arg in &args {
+        match arg.as_str() {
+            "--no-opt" => conf = conf.with_optimizer(false),
+            a if a.starts_with("--disable-rule=") => {
+                let id = a["--disable-rule=".len()..].trim().to_uppercase();
+                if rumble_repro::sparklite::dataframe::rules::rule_by_id(&id).is_none() {
+                    eprintln!("unknown rewrite rule '{id}'; known rules:");
+                    for rule in REGISTRY {
+                        eprintln!("  {}  {}", rule.id(), rule.name());
+                    }
+                    std::process::exit(2);
+                }
+                conf = conf.with_rule_disabled(id);
+            }
+            other => {
+                eprintln!(
+                    "unknown option '{other}' (expected --lint, --explain, --no-opt, or \
+                     --disable-rule=RBLO####)"
+                );
+                std::process::exit(2);
+            }
         }
-        None => {}
     }
 
     // The shell runs as a single long-lived application, so executors are
     // set up once (§5.4).
-    let rumble = Rumble::default_local();
+    let rumble = Rumble::with_conf(conf);
+    let opt = &rumble.sparklite().conf().optimizer;
+    if !opt.enabled {
+        println!("optimizer disabled (--no-opt): queries compile their raw logical plans");
+    } else if !opt.disabled_rules.is_empty() {
+        let ids: Vec<&str> = opt.disabled_rules.iter().map(String::as_str).collect();
+        println!("optimizer rules disabled: {}", ids.join(", "));
+    }
     println!(
-        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data, :explain CODE to document a diagnostic, :profile <query> for EXPLAIN ANALYZE, :metrics for scheduler counters",
+        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data, :explain CODE to document a diagnostic, :rules for the rewrite-rule registry and fire counts, :profile <query> for EXPLAIN ANALYZE, :metrics for scheduler counters",
         rumble.sparklite().executors()
     );
     let stdin = std::io::stdin();
@@ -133,6 +175,35 @@ fn main() {
         }
         if line == ":metrics" {
             println!("{}", rumble.sparklite().metrics());
+            continue;
+        }
+        if line == ":rules" {
+            // Per-rule fire counts for this session, derived from the
+            // collected OptimizerRuleFired events (the optimizer's trace).
+            let mut fires = std::collections::BTreeMap::<&str, u64>::new();
+            if let Some(collector) = rumble.sparklite().event_collector() {
+                for (_, ev) in collector.events() {
+                    if let Event::OptimizerRuleFired { rule, .. } = ev {
+                        *fires.entry(rule).or_insert(0) += 1;
+                    }
+                }
+            }
+            let opt = &rumble.sparklite().conf().optimizer;
+            for rule in REGISTRY {
+                let status = if !opt.enabled || opt.disabled_rules.contains(rule.id()) {
+                    "off"
+                } else {
+                    "on "
+                };
+                println!(
+                    "{} [{status}] {:<26} fires={:<5} preserves {}",
+                    rule.id(),
+                    rule.name(),
+                    fires.get(rule.id()).copied().unwrap_or(0),
+                    rule.preserves().describe(),
+                );
+                println!("          {}", rule.description());
+            }
             continue;
         }
         if let Some(query) = line.strip_prefix(":profile ") {

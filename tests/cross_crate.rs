@@ -168,3 +168,23 @@ fn collections_registered_from_generators() {
     let n = rumble.run(r#"count(collection("games"))"#).unwrap();
     assert_eq!(n[0].as_i64(), Some(500));
 }
+
+/// The optimizer rule registry (sparklite) and the diagnostics code docs
+/// (rumble-core) must stay in lockstep: every registered rule id is
+/// documented for the shell's `--explain`, and every `RBLO` code in the
+/// docs names a registered rule.
+#[test]
+fn every_optimizer_rule_is_explainable_and_vice_versa() {
+    use rumble_repro::rumble::semantics::{explain, CODE_DOCS};
+    use rumble_repro::sparklite::dataframe::rules::{rule_by_id, REGISTRY};
+
+    for rule in REGISTRY {
+        let doc = explain(rule.id());
+        assert!(doc.is_some(), "rule {} ({}) has no --explain doc", rule.id(), rule.name());
+    }
+    for (code, _) in CODE_DOCS {
+        if code.starts_with("RBLO") {
+            assert!(rule_by_id(code).is_some(), "documented code {code} names no registered rule");
+        }
+    }
+}
