@@ -53,6 +53,14 @@ cargo test -p sparklite --offline -q --test rules_golden
 cargo test -p sparklite --offline -q --test rule_fuzz
 cargo test --offline -q --test cross_crate every_optimizer_rule
 
+# Distributed-mode gate: protocol framing/codec round-trips, thread-mode
+# cluster equivalence + lineage recovery (sparklite), then the real thing —
+# worker *processes* spawned from the harness binary, exchanging shuffle
+# blocks over TCP and surviving a SIGKILL mid-job (rumble-bench).
+step "distributed suite (wire protocol + process executors)"
+cargo test -p sparklite --offline -q --test dist
+cargo test -p rumble-bench --offline -q --test dist_process
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline
@@ -68,6 +76,17 @@ if [[ "$QUICK" -eq 0 ]]; then
   # event-log line passes schema validation, and the Chrome trace parses.
   step "harness trace smoke"
   ./target/release/harness trace --tries 2
+
+  # Smoke distributed mode end to end: the dist figure spawns 1/2/4 executor
+  # processes, runs the Fig. 11 queries through them, and dies unless every
+  # distributed run is byte-identical to the threaded baseline. The chaos
+  # variant SIGKILLs a worker mid-shuffle and requires lineage recovery to
+  # reproduce the baseline output exactly.
+  step "harness dist smoke (process executors)"
+  ./target/release/harness dist --tries 1
+
+  step "harness chaos --kill-executor smoke"
+  ./target/release/harness chaos --kill-executor --tries 1
 fi
 
 step "OK"

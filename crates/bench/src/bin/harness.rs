@@ -5,11 +5,19 @@
 //! directory.
 //!
 //! ```text
-//! harness [figure] [--scale N] [--tries N]
+//! harness [figure] [--scale N] [--tries N] [--kill-executor]
 //!
 //!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos | cache | trace
-//!   --scale   object-count multiplier (default 1 → laptop-sized runs)
-//!   --tries   timed repetitions per measurement (default 3)
+//!           | dist
+//!   --scale          object-count multiplier (default 1 → laptop-sized runs)
+//!   --tries          timed repetitions per measurement (default 3)
+//!   --kill-executor  (chaos only) kill a live executor worker process mid-job
+//!
+//! harness --executor --connect ADDR --worker-id N
+//!
+//!   Executor worker mode: the entry point `dist`-figure drivers spawn as
+//!   separate OS processes. Connects to the driver at ADDR, registers, and
+//!   serves tasks and shuffle blocks until told to shut down.
 //! ```
 
 use rumble_bench::figures::{self, Cell, FigureReport};
@@ -20,13 +28,41 @@ struct Args {
     figure: String,
     scale: usize,
     tries: usize,
+    kill_executor: bool,
 }
 
-fn parse_args() -> Args {
-    let mut args = Args { figure: "all".to_string(), scale: 1, tries: 3 };
+/// The `--executor` entry point: runs this process as an executor worker
+/// with the JSONiq task runtime and exits with the worker's status.
+fn run_executor_mode() -> ! {
+    let mut connect = None;
+    let mut worker_id = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--executor" => {}
+            "--connect" => connect = it.next(),
+            "--worker-id" => worker_id = it.next().and_then(|v| v.parse::<u64>().ok()),
+            other => die(&format!("unknown executor flag {other}")),
+        }
+    }
+    let connect = connect.unwrap_or_else(|| die("--executor needs --connect ADDR"));
+    let worker = worker_id.unwrap_or_else(|| die("--executor needs --worker-id N"));
+    let runtime = std::sync::Arc::new(rumble_core::dist::JsoniqTaskRuntime);
+    match sparklite::dist::run_worker(&connect, worker, runtime) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("executor worker {worker}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { figure: "all".to_string(), scale: 1, tries: 3, kill_executor: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--kill-executor" => args.kill_executor = true,
             "--scale" => {
                 args.scale = it
                     .next()
@@ -42,7 +78,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos|cache|\
-                     trace] [--scale N] [--tries N]"
+                     trace|dist] [--scale N] [--tries N] [--kill-executor]\n\
+                     \x20      harness --executor --connect ADDR --worker-id N"
                 );
                 std::process::exit(0);
             }
@@ -95,6 +132,9 @@ fn check_cache_figure(r: &FigureReport) {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--executor") {
+        run_executor_mode();
+    }
     let args = parse_args();
     let s = args.scale;
     let t = args.tries;
@@ -175,12 +215,17 @@ fn main() {
     if run_fig("chaos") {
         ran = true;
         let n = 50_000 * s;
-        let r = figures::chaos(n, cores, t);
-        emit(
-            "chaos",
-            &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
-            &r,
-        );
+        if args.kill_executor {
+            let r = figures::chaos_kill_executor(n, t, Some(Vec::new()));
+            emit("chaos_kill", &[("objects", n as u64), ("tries", t as u64)], &r);
+        } else {
+            let r = figures::chaos(n, cores, t);
+            emit(
+                "chaos",
+                &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
+                &r,
+            );
+        }
     }
     if run_fig("cache") {
         ran = true;
@@ -211,6 +256,12 @@ fn main() {
                 Err(e) => eprintln!("warning: could not write {path}: {e}"),
             }
         }
+    }
+    if run_fig("dist") {
+        ran = true;
+        let n = 50_000 * s;
+        let r = figures::dist(n, &[1, 2, 4], t, Some(Vec::new()));
+        emit("dist", &[("objects", n as u64), ("tries", t as u64)], &r);
     }
     if !ran {
         die(&format!("unknown figure '{}'", args.figure));

@@ -545,6 +545,207 @@ pub fn trace(objects: usize, executors: usize, tries: usize) -> (FigureReport, S
     (FigureReport { rows, report, metrics }, jsonl, chrome)
 }
 
+/// How a distributed figure deploys its workers: `None` for thread-mode
+/// workers (same wire protocol, no process spawn — what the in-crate smoke
+/// tests use), `Some(cmd)` for worker processes launched as `cmd` (empty →
+/// re-invoke the current executable with `--executor`, which works for the
+/// harness binary; integration tests pass the harness path explicitly
+/// because *their* executable has no worker mode).
+pub type WorkerCmd = Option<Vec<String>>;
+
+/// Builds the context for one distributed-mode row: event collection on
+/// (so the timeline can be reconciled after shutdown) and `workers`
+/// executor workers in the chosen deployment mode.
+fn dist_context(executors: usize, workers: usize, cmd: &WorkerCmd) -> SparkliteContext {
+    let conf = SparkliteConf::default()
+        .with_executors(executors)
+        .with_block_size(64 * 1024)
+        .with_event_collection(true)
+        .with_event_capacity(1 << 20);
+    let conf = match cmd {
+        Some(cmd) => conf.with_dist_workers(workers, cmd.clone()),
+        None => conf.with_dist_threads(workers),
+    };
+    SparkliteContext::new(conf)
+}
+
+/// Runs the Fig. 11 queries on `sc` and returns normalized outputs plus
+/// per-query averaged wall clocks.
+fn run_queries(sc: &SparkliteContext, tries: usize) -> (Vec<QueryOutput>, Vec<Cell>) {
+    let mut outputs = Vec::new();
+    let mut cells = Vec::new();
+    for query in QUERIES {
+        let mut total = Duration::ZERO;
+        let mut last = None;
+        for _ in 0..tries.max(1) {
+            let (r, d) =
+                time(|| run_confusion(System::Rumble, sc, "hdfs:///confusion.json", query));
+            let out = r.unwrap_or_else(|e| panic!("query {query:?} failed: {e}"));
+            total += d;
+            last = Some(out);
+        }
+        outputs.push(last.expect("at least one try ran").normalized());
+        cells.push(Cell::Time(total / tries.max(1) as u32));
+    }
+    (outputs, cells)
+}
+
+/// Drains the cluster and checks the event stream: after
+/// `shutdown_cluster` no more executor events arrive, so the timeline must
+/// reconcile exactly with the metrics snapshot.
+fn reconcile_dist_run(sc: &SparkliteContext, label: &str) -> sparklite::MetricsSnapshot {
+    sc.shutdown_cluster();
+    let m = sc.metrics();
+    let timeline = sc.timeline().expect("event collection is on");
+    timeline
+        .reconcile(&m)
+        .unwrap_or_else(|e| panic!("{label}: timeline does not reconcile with metrics: {e}"));
+    m
+}
+
+/// **Dist** — executor-process scaling (no paper analogue; exercises the
+/// §4.1 architecture claim that the engine runs on a cluster of separate
+/// executor processes): the Fig. 11 queries on the local threaded engine
+/// vs 1/2/4 executor workers exchanging shuffle blocks over TCP. Every
+/// configuration must return byte-identical results; the metrics record
+/// the shuffle traffic (blocks and bytes pushed/fetched) and the
+/// heartbeat overhead of the control plane.
+pub fn dist(objects: usize, worker_counts: &[usize], tries: usize, cmd: WorkerCmd) -> FigureReport {
+    let text = confusion::generate(objects, DEFAULT_SEED);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
+    let mut metrics: Vec<(String, u64)> = Vec::new();
+    let mut notes = String::new();
+
+    let sc = SparkliteContext::new(SparkliteConf::default().with_executors(cores));
+    put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
+    let (baseline, cells) = run_queries(&sc, tries);
+    rows.push(("local threads".to_string(), cells));
+
+    let kind = if cmd.is_some() { "process" } else { "thread" };
+    for &w in worker_counts {
+        let label = format!("{w} {kind} worker(s)");
+        let sc = dist_context(cores, w, &cmd);
+        put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
+        let (outputs, cells) = run_queries(&sc, tries);
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(out, &baseline[i], "{label} changed the answer of {:?}", QUERIES[i]);
+        }
+        let m = reconcile_dist_run(&sc, &label);
+        assert_eq!(m.executors_registered, w as u64, "{label}: registration count");
+        assert!(m.blocks_pushed > 0, "{label}: shuffles never reached the block service");
+        assert!(m.blocks_fetched > 0, "{label}: reducers never fetched remote blocks");
+        notes.push_str(&format!(
+            "{label}: {} block(s) / {} B pushed, {} fetch(es) / {} B served, \
+             {} heartbeat(s)\n",
+            m.blocks_pushed,
+            m.block_bytes_pushed,
+            m.blocks_fetched,
+            m.block_bytes_fetched,
+            m.heartbeats
+        ));
+        for (k, v) in [
+            ("blocks_pushed", m.blocks_pushed),
+            ("block_bytes_pushed", m.block_bytes_pushed),
+            ("blocks_fetched", m.blocks_fetched),
+            ("block_bytes_fetched", m.block_bytes_fetched),
+            ("heartbeats", m.heartbeats),
+        ] {
+            metrics.push((format!("{label}.{k}"), v));
+        }
+        rows.push((label, cells));
+    }
+    let report = format!(
+        "{}\n{notes}every configuration returned results identical to the local threaded \
+         engine, and each distributed timeline reconciled with its metrics snapshot.\n",
+        render_rows(&format!("Dist — executor scaling, {objects} objects, {cores} cores"), &rows)
+    );
+    FigureReport { rows, report, metrics }
+}
+
+/// The `--kill-executor` chaos listener: on the `trigger`-th map-output
+/// push it kills one worker *synchronously* and waits for the cluster to
+/// detect the death, so the reduce phase deterministically finds part of
+/// the shuffle gone and must recover it through lineage.
+struct KillOnPush {
+    cluster: std::sync::Arc<sparklite::dist::Cluster>,
+    pushes: std::sync::atomic::AtomicU64,
+    trigger: u64,
+    fired: std::sync::atomic::AtomicBool,
+}
+
+impl sparklite::EventListener for KillOnPush {
+    fn on_event(&self, event: &sparklite::Event) {
+        use std::sync::atomic::Ordering;
+        if !matches!(event, sparklite::Event::BlockPush { .. }) {
+            return;
+        }
+        let n = self.pushes.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= self.trigger && !self.fired.swap(true, Ordering::SeqCst) {
+            self.cluster.kill_worker(0);
+            assert!(
+                self.cluster.await_death(0, Duration::from_secs(10)),
+                "killed worker 0 was never declared dead"
+            );
+        }
+    }
+}
+
+/// **Chaos / kill-executor** — worker-death recovery: the Fig. 11 queries
+/// with two executor workers, one of which is killed (a real `SIGKILL` in
+/// process mode, an abrupt connection drop in thread mode) right after it
+/// starts receiving map outputs. The survivors must recompute the lost
+/// blocks through lineage and every query must still return the same
+/// answer as the local threaded engine.
+pub fn chaos_kill_executor(objects: usize, tries: usize, cmd: WorkerCmd) -> FigureReport {
+    let text = confusion::generate(objects, DEFAULT_SEED);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    let sc = SparkliteContext::new(SparkliteConf::default().with_executors(cores));
+    put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
+    let (baseline, base_cells) = run_queries(&sc, tries);
+
+    let kind = if cmd.is_some() { "process" } else { "thread" };
+    let sc = dist_context(cores, 2, &cmd);
+    put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
+    let cluster = std::sync::Arc::clone(sc.cluster().expect("distributed mode is on"));
+    sc.add_event_listener(std::sync::Arc::new(KillOnPush {
+        cluster,
+        pushes: std::sync::atomic::AtomicU64::new(0),
+        trigger: 2,
+        fired: std::sync::atomic::AtomicBool::new(false),
+    }));
+    let (outputs, kill_cells) = run_queries(&sc, tries);
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(out, &baseline[i], "worker death changed the answer of {:?}", QUERIES[i]);
+    }
+    let m = reconcile_dist_run(&sc, "kill-executor");
+    assert!(m.executors_lost >= 1, "the killed worker was never declared lost");
+    assert!(
+        m.recomputed_tasks >= 1,
+        "worker death never forced a lineage recomputation (lost no blocks?)"
+    );
+
+    let rows =
+        vec![("local threads".to_string(), base_cells), ("1 of 2 killed".to_string(), kill_cells)];
+    let metrics = vec![
+        ("executors_registered".to_string(), m.executors_registered),
+        ("executors_lost".to_string(), m.executors_lost),
+        ("recomputed_tasks".to_string(), m.recomputed_tasks),
+        ("blocks_pushed".to_string(), m.blocks_pushed),
+        ("blocks_fetched".to_string(), m.blocks_fetched),
+    ];
+    let report = format!(
+        "{}\nkilled 1 of 2 {kind} worker(s) after its first map outputs arrived: \
+         {} executor(s) lost, {} task(s) recomputed through lineage; all queries \
+         returned results identical to the local threaded engine.\n",
+        render_rows(&format!("Chaos — kill-executor, {objects} objects"), &rows),
+        m.executors_lost,
+        m.recomputed_tasks
+    );
+    FigureReport { rows, report, metrics }
+}
+
 /// **§6.3 prose** — the hand-tuned low-level program vs the engines.
 pub fn handtuned_comparison(objects: usize) -> FigureReport {
     let sc = SparkliteContext::new(SparkliteConf::default());
@@ -615,6 +816,27 @@ mod tests {
         assert!(r.report.contains("instrumentation overhead"));
         assert!(jsonl.lines().count() > 10);
         assert!(chrome.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn dist_smoke_matches_local() {
+        // Thread-mode workers run the same wire protocol as processes;
+        // the figure asserts identity with the local engine, reconciles
+        // the timeline, and checks real block traffic internally.
+        let r = dist(2_000, &[2], 1, None);
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.metrics.iter().any(|(k, v)| k.ends_with(".blocks_pushed") && *v > 0));
+        assert!(r.report.contains("identical"));
+    }
+
+    #[test]
+    fn chaos_kill_executor_smoke_recovers() {
+        // The figure kills 1 of 2 workers after its first map outputs
+        // land and asserts identity + lineage recomputation internally.
+        let r = chaos_kill_executor(2_000, 1, None);
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.metrics.iter().any(|(k, v)| k == "executors_lost" && *v >= 1));
+        assert!(r.metrics.iter().any(|(k, v)| k == "recomputed_tasks" && *v >= 1));
     }
 
     #[test]

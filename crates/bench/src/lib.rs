@@ -154,6 +154,11 @@ fn required_event_fields(ev: &str) -> Option<&'static [&'static str]> {
         "CacheRelease" => &["rdd", "splits", "total_bytes"],
         "ChaosInject" => &["kind", "a", "b", "attempt"],
         "OptimizerRuleFired" => &["rule", "stage"],
+        "ExecutorRegistered" => &["worker", "pid"],
+        "ExecutorHeartbeat" => &["worker", "seq"],
+        "ExecutorLost" => &["worker", "reason"],
+        "BlockPush" => &["shuffle", "map_part", "blocks", "bytes"],
+        "BlockFetch" => &["shuffle", "map_part", "reduce_part", "bytes"],
         _ => return None,
     })
 }

@@ -1,0 +1,112 @@
+//! JSONiq-aware pieces of the distributed executor layer.
+//!
+//! Sparklite's cluster ships *data*, never closures: shuffle blocks cross
+//! the wire as codec-encoded bytes, and remotely-executed tasks are named
+//! kinds resolved against a [`TaskRuntime`] compiled into the worker
+//! binary. This module supplies both halves for the JSONiq engine:
+//!
+//! - [`JsoniqTaskRuntime`] — the runtime registered by `--executor`
+//!   workers, which understands the `parse-json` task kind (parse a batch
+//!   of JSON-lines text into items and return them as one encoded block).
+//! - [`DistinctPairCodec`] — the wire codec for the `distinct-values`
+//!   shuffle, which reuses the item codec ([`encode_items`]) as the block
+//!   format instead of inventing a second byte layout: only the items are
+//!   encoded, and grouping keys are recomputed on decode (they are a pure
+//!   function of the item).
+
+use crate::item::{decode_items, encode_items, group_key, items_from_json_lines, GroupKey, Item};
+use sparklite::dist::{TaskDesc, TaskRuntime};
+
+/// Task runtime for JSONiq executor workers. See the module docs.
+pub struct JsoniqTaskRuntime;
+
+impl TaskRuntime for JsoniqTaskRuntime {
+    fn run(&self, task: &TaskDesc) -> Result<Vec<(u64, Vec<u8>)>, String> {
+        match task.kind.as_str() {
+            "parse-json" => {
+                let text = std::str::from_utf8(&task.payload)
+                    .map_err(|e| format!("parse-json payload is not UTF-8: {e}"))?;
+                let items = items_from_json_lines(text).map_err(|e| e.to_string())?;
+                Ok(vec![(0, encode_items(&items))])
+            }
+            other => Err(format!("jsoniq runtime has no task kind {other:?}")),
+        }
+    }
+}
+
+/// Wire codec for the `(GroupKey, Item)` pairs the `distinct-values`
+/// shuffle exchanges. Blocks are plain [`encode_items`] sequences; the key
+/// half of each pair is derived from the item on decode.
+pub struct DistinctPairCodec;
+
+impl sparklite::CacheCodec<(GroupKey, Item)> for DistinctPairCodec {
+    fn encode(&self, pairs: &[(GroupKey, Item)]) -> Vec<u8> {
+        let items: Vec<Item> = pairs.iter().map(|(_, i)| i.clone()).collect();
+        encode_items(&items)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Vec<(GroupKey, Item)>, String> {
+        decode_items(bytes)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|i| {
+                let k = group_key(std::slice::from_ref(&i)).map_err(|e| e.to_string())?;
+                Ok((k, i))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklite::CacheCodec;
+    use std::sync::Arc;
+
+    #[test]
+    fn distinct_pair_codec_round_trips_and_recomputes_keys() {
+        let items = [
+            Item::Integer(42),
+            Item::Str(Arc::from("hello")),
+            Item::Boolean(true),
+            Item::Null,
+            Item::Double(2.5),
+        ];
+        let pairs: Vec<(GroupKey, Item)> = items
+            .iter()
+            .map(|i| (group_key(std::slice::from_ref(i)).unwrap(), i.clone()))
+            .collect();
+        let codec = DistinctPairCodec;
+        let bytes = codec.encode(&pairs);
+        let back = codec.decode(&bytes).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn parse_json_task_parses_lines_into_one_block() {
+        let task = TaskDesc {
+            id: 1,
+            shuffle: 7,
+            map_part: 0,
+            kind: "parse-json".to_string(),
+            payload: b"{\"a\":1}\n{\"a\":2}\n".to_vec(),
+        };
+        let blocks = JsoniqTaskRuntime.run(&task).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].0, 0);
+        let items = decode_items(&blocks[0].1).unwrap();
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn unknown_task_kind_is_an_error() {
+        let task = TaskDesc {
+            id: 1,
+            shuffle: 0,
+            map_part: 0,
+            kind: "no-such-kind".to_string(),
+            payload: Vec::new(),
+        };
+        assert!(JsoniqTaskRuntime.run(&task).is_err());
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod api;
 pub mod compiler;
+pub mod dist;
 pub mod error;
 pub mod flwor;
 pub mod item;

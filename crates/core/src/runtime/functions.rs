@@ -504,7 +504,13 @@ impl ExprIterator for BuiltinCallIter {
                             Err(e) => sparklite::rdd::task_bail(e),
                         });
                     let parts = ctx.engine().sc.conf().default_parallelism;
-                    let distinct = pairs.reduce_by_key(|a, _| a, parts).values();
+                    let distinct = pairs
+                        .reduce_by_key_with_codec(
+                            |a, _| a,
+                            parts,
+                            Arc::new(crate::dist::DistinctPairCodec),
+                        )
+                        .values();
                     return Ok(cursor_of(distinct.collect()?));
                 }
                 let items = args[0].materialize(ctx)?;

@@ -51,6 +51,34 @@ proptest! {
     }
 
     #[test]
+    fn shuffle_block_codec_roundtrips_atomic_pairs(
+        items in prop::collection::vec(
+            prop_oneof![
+                Just(Item::Null),
+                any::<bool>().prop_map(Item::Boolean),
+                any::<i64>().prop_map(Item::Integer),
+                "[a-zA-Z0-9 _\\-\u{e9}]{0,12}".prop_map(Item::str),
+            ],
+            0..32,
+        ),
+    ) {
+        // The distinct-values shuffle ships `(GroupKey, Item)` pairs as
+        // plain item-codec blocks (satellite: one codec, no second wire
+        // format); decode must recover both the items and their keys.
+        use rumble_core::dist::DistinctPairCodec;
+        use rumble_core::item::{group_key, GroupKey};
+        use sparklite::CacheCodec;
+
+        let pairs: Vec<(GroupKey, Item)> = items
+            .iter()
+            .map(|i| (group_key(std::slice::from_ref(i)).unwrap(), i.clone()))
+            .collect();
+        let bytes = DistinctPairCodec.encode(&pairs);
+        let back = DistinctPairCodec.decode(&bytes).unwrap();
+        prop_assert_eq!(back, pairs);
+    }
+
+    #[test]
     fn front_end_never_panics(src in "\\PC{0,80}") {
         let _ = rumble_core::syntax::parse_program(&src);
     }

@@ -179,6 +179,42 @@ impl Default for OptimizerConf {
     }
 }
 
+/// How the distribution layer deploys executor workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistMode {
+    /// No cluster: the pure in-process thread pool, byte-identical to every
+    /// release before the distribution layer existed. The default.
+    Off,
+    /// Workers are in-process threads speaking the full TCP protocol
+    /// (registration, heartbeats, block service). Same wire path as
+    /// `Processes`, without process-spawn cost — the test and CI mode.
+    Threads,
+    /// Workers are separate OS processes, spawned and supervised by the
+    /// driver. `cmd` is the worker command line (program + args); when
+    /// empty, the driver re-executes its own binary with `--executor`.
+    /// The driver appends `--connect <addr> --worker-id <n>` either way.
+    Processes { cmd: Vec<String> },
+}
+
+/// Distribution-layer configuration; see [`DistMode`].
+#[derive(Debug, Clone)]
+pub struct DistConf {
+    pub mode: DistMode,
+    /// Number of executor workers to spawn (distinct from
+    /// [`SparkliteConf::executors`], the driver-side task threads).
+    pub workers: usize,
+    /// Heartbeat cadence workers are told at registration.
+    pub heartbeat_ms: u64,
+    /// A worker whose last heartbeat is older than this is declared lost.
+    pub heartbeat_timeout_ms: u64,
+}
+
+impl Default for DistConf {
+    fn default() -> Self {
+        DistConf { mode: DistMode::Off, workers: 2, heartbeat_ms: 100, heartbeat_timeout_ms: 3000 }
+    }
+}
+
 /// Configuration for a [`crate::SparkliteContext`].
 #[derive(Debug, Clone)]
 pub struct SparkliteConf {
@@ -212,6 +248,9 @@ pub struct SparkliteConf {
     pub event_capacity: usize,
     /// Logical-plan optimizer switches; see [`OptimizerConf`].
     pub optimizer: OptimizerConf,
+    /// Distribution layer: off (pure threads), thread workers over TCP, or
+    /// real executor processes; see [`DistConf`].
+    pub dist: DistConf,
 }
 
 impl SparkliteConf {
@@ -277,6 +316,42 @@ impl SparkliteConf {
         self.optimizer.disabled_rules.insert(rule_id.into());
         self
     }
+
+    /// Spawns `n` in-process thread workers speaking the full distribution
+    /// protocol over local TCP (clamped to at least 1).
+    pub fn with_dist_threads(mut self, n: usize) -> Self {
+        self.dist.mode = DistMode::Threads;
+        self.dist.workers = n.max(1);
+        self
+    }
+
+    /// Spawns `n` executor worker *processes* by re-executing the current
+    /// binary with `--executor` (clamped to at least 1). The binary must
+    /// handle that flag by calling
+    /// [`dist::run_worker`](crate::dist::run_worker).
+    pub fn with_dist_processes(mut self, n: usize) -> Self {
+        self.dist.mode = DistMode::Processes { cmd: Vec::new() };
+        self.dist.workers = n.max(1);
+        self
+    }
+
+    /// Spawns `n` executor worker processes with an explicit command line
+    /// (program + args); the driver appends `--connect`/`--worker-id`.
+    pub fn with_dist_workers(mut self, n: usize, cmd: Vec<String>) -> Self {
+        self.dist.mode = DistMode::Processes { cmd };
+        self.dist.workers = n.max(1);
+        self
+    }
+
+    /// Tunes the heartbeat cadence and death-detection deadline (both
+    /// clamped to at least 1 ms). A deadline shorter than the cadence is
+    /// honored but guarantees false-positive deaths — useful only to drive
+    /// the deadline monitor in tests.
+    pub fn with_dist_heartbeat(mut self, heartbeat_ms: u64, timeout_ms: u64) -> Self {
+        self.dist.heartbeat_ms = heartbeat_ms.max(1);
+        self.dist.heartbeat_timeout_ms = timeout_ms.max(1);
+        self
+    }
 }
 
 impl Default for SparkliteConf {
@@ -292,6 +367,7 @@ impl Default for SparkliteConf {
             collect_events: false,
             event_capacity: 1 << 16,
             optimizer: OptimizerConf::default(),
+            dist: DistConf::default(),
         }
     }
 }

@@ -2,7 +2,8 @@
 //! metrics, and hands out RDDs and DataFrames.
 
 use crate::cache::CacheManager;
-use crate::conf::SparkliteConf;
+use crate::conf::{DistMode, SparkliteConf};
+use crate::dist::Cluster;
 use crate::error::Result;
 use crate::events::{self, Event, EventBus, EventCollector, EventListener, Timeline};
 use crate::executor::{ExecutorPool, Metrics, MetricsSnapshot, TaskContext, TaskFn};
@@ -23,6 +24,9 @@ pub struct Core {
     pub(crate) cache: CacheManager,
     pub(crate) events: Arc<EventBus>,
     pub(crate) collector: Option<Arc<EventCollector>>,
+    /// The distribution layer's executor cluster; `None` in local threaded
+    /// mode, which keeps that path byte-identical to pre-cluster releases.
+    pub(crate) cluster: Option<Arc<Cluster>>,
 }
 
 impl Core {
@@ -72,6 +76,11 @@ impl Core {
         }
         out
     }
+
+    /// The executor cluster, when the context runs distributed.
+    pub(crate) fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.cluster.as_ref()
+    }
 }
 
 /// The user-facing entry point, analogous to `SparkContext`.
@@ -98,8 +107,25 @@ impl SparkliteContext {
         let pool = ExecutorPool::new(conf.executors, Arc::clone(&events), Arc::clone(&injector));
         let hdfs = SimHdfs::new(conf.block_size, conf.faults.read_latency_us);
         let cache = CacheManager::new(conf.cache_budget_bytes, Arc::clone(&events));
+        let cluster = match conf.dist.mode {
+            DistMode::Off => None,
+            _ => Some(
+                Cluster::start(&conf.dist, Arc::clone(&events))
+                    .expect("failed to start executor cluster"),
+            ),
+        };
         SparkliteContext {
-            core: Arc::new(Core { conf, pool, metrics, hdfs, injector, cache, events, collector }),
+            core: Arc::new(Core {
+                conf,
+                pool,
+                metrics,
+                hdfs,
+                injector,
+                cache,
+                events,
+                collector,
+                cluster,
+            }),
         }
     }
 
@@ -159,6 +185,24 @@ impl SparkliteContext {
     #[allow(dead_code)] // exercised by in-crate tests and future callers
     pub(crate) fn core(&self) -> &Arc<Core> {
         &self.core
+    }
+
+    /// The executor cluster, when this context was configured with a
+    /// [`DistMode`] other than `Off`.
+    pub fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.core.cluster.as_ref()
+    }
+
+    /// Gracefully stops the executor cluster (no-op in local mode).
+    ///
+    /// Heartbeats and block events arrive on supervisor threads, so a
+    /// distributed run that wants an exact [`Timeline::reconcile`] must
+    /// quiesce the cluster *before* snapshotting metrics — this is that
+    /// barrier. Jobs run after shutdown fall back to driver-local shuffles.
+    pub fn shutdown_cluster(&self) {
+        if let Some(cluster) = &self.core.cluster {
+            cluster.shutdown();
+        }
     }
 
     /// Distributes a local collection over `num_partitions` slices

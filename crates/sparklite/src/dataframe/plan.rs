@@ -2,7 +2,7 @@
 //! and compilation onto the RDD substrate.
 
 use super::expr::{BoundExpr, Expr, KeyValue, SortDir, SortKey};
-use super::{DataType, Field, Row, Schema, Value};
+use super::{DataType, Field, Row, RowCodec, Schema, Value};
 use crate::context::Core;
 use crate::error::{Result, SparkliteError};
 use crate::rdd::{FromPartitionsRdd, Rdd};
@@ -155,6 +155,96 @@ fn add_values(a: &Value, b: &Value) -> Value {
             (Some(x), Some(y)) => Value::F64(x + y),
             _ => Value::Null,
         },
+    }
+}
+
+/// Wire codec for GROUP BY shuffle pairs, composed over [`RowCodec`] rather
+/// than introducing a second byte format: each `(keys, states)` pair maps
+/// to a two-column row `[List(keys), List(encoded states)]`, and each
+/// [`AggState`] to a small tagged `Value` list. `Option<Value>` payloads
+/// encode presence by arity (`[tag]` vs `[tag, v]`), so `None` and
+/// `Some(Null)` — which `Sum` can produce on overflow — stay distinct.
+struct GroupPairCodec;
+
+impl GroupPairCodec {
+    fn state_to_value(state: &AggState) -> Value {
+        let opt = |tag: i64, v: &Option<Value>| {
+            let mut items = vec![Value::I64(tag)];
+            items.extend(v.clone());
+            Value::list(items)
+        };
+        match state {
+            AggState::Count(n) => Value::list(vec![Value::I64(0), Value::I64(*n)]),
+            AggState::Sum(v) => opt(1, v),
+            AggState::Avg { sum, n } => {
+                Value::list(vec![Value::I64(2), Value::F64(*sum), Value::I64(*n)])
+            }
+            AggState::Min(v) => opt(3, v),
+            AggState::Max(v) => opt(4, v),
+            AggState::First(v) => opt(5, v),
+            AggState::List(items) => {
+                Value::list(vec![Value::I64(6), Value::List(Arc::new(items.clone()))])
+            }
+        }
+    }
+
+    fn state_from_value(value: &Value) -> std::result::Result<AggState, String> {
+        let Value::List(items) = value else {
+            return Err("agg state is not a list".to_string());
+        };
+        let tag = match items.first() {
+            Some(Value::I64(t)) => *t,
+            _ => return Err("agg state has no tag".to_string()),
+        };
+        let opt = || items.get(1).cloned();
+        Ok(match (tag, items.get(1), items.get(2)) {
+            (0, Some(Value::I64(n)), _) => AggState::Count(*n),
+            (1, _, _) => AggState::Sum(opt()),
+            (2, Some(Value::F64(sum)), Some(Value::I64(n))) => AggState::Avg { sum: *sum, n: *n },
+            (3, _, _) => AggState::Min(opt()),
+            (4, _, _) => AggState::Max(opt()),
+            (5, _, _) => AggState::First(opt()),
+            (6, Some(Value::List(vs)), _) => AggState::List(vs.as_ref().clone()),
+            _ => return Err(format!("malformed agg state with tag {tag}")),
+        })
+    }
+}
+
+impl crate::CacheCodec<(Vec<KeyValue>, Vec<AggState>)> for GroupPairCodec {
+    fn encode(&self, items: &[(Vec<KeyValue>, Vec<AggState>)]) -> Vec<u8> {
+        let rows: Vec<Row> = items
+            .iter()
+            .map(|(keys, states)| {
+                vec![
+                    Value::list(keys.iter().map(|k| k.0.clone()).collect()),
+                    Value::list(states.iter().map(Self::state_to_value).collect()),
+                ]
+            })
+            .collect();
+        RowCodec.encode(&rows)
+    }
+
+    fn decode(
+        &self,
+        bytes: &[u8],
+    ) -> std::result::Result<Vec<(Vec<KeyValue>, Vec<AggState>)>, String> {
+        RowCodec
+            .decode(bytes)?
+            .into_iter()
+            .map(|row| {
+                let (Some(Value::List(keys)), Some(Value::List(states))) =
+                    (row.first(), row.get(1))
+                else {
+                    return Err("malformed group pair row".to_string());
+                };
+                let keys: Vec<KeyValue> = keys.iter().map(|v| KeyValue(v.clone())).collect();
+                let states = states
+                    .iter()
+                    .map(Self::state_from_value)
+                    .collect::<std::result::Result<Vec<_>, String>>()?;
+                Ok((keys, states))
+            })
+            .collect()
     }
 }
 
@@ -664,9 +754,10 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
                     .collect();
                 (key, states)
             });
-            let merged = paired.reduce_by_key(
+            let merged = paired.reduce_by_key_with_codec(
                 |a, b| a.into_iter().zip(b).map(|(x, y)| x.merge(y)).collect(),
                 num_parts,
+                Arc::new(GroupPairCodec),
             );
             let nkeys = keys.len();
             let _ = specs2; // specs2 kept alive for clarity; states carry everything
@@ -682,7 +773,7 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
             let schema = input.schema();
             let sort_spec: Vec<(usize, SortDir)> =
                 keys.iter().map(|(k, d)| Ok((schema.resolve(k)?, *d))).collect::<Result<_>>()?;
-            Ok(rdd.sort_by(
+            Ok(rdd.sort_by_with_codec(
                 move |row| {
                     sort_spec
                         .iter()
@@ -691,6 +782,7 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
                 },
                 true,
                 num_parts,
+                Arc::new(RowCodec),
             ))
         }
         LogicalPlan::ZipWithIndex { input, start, .. } => {

@@ -1,0 +1,57 @@
+//! In-memory shuffle block store held by each worker.
+//!
+//! Blocks are keyed by `(shuffle, map partition, reduce partition)` and are
+//! immutable once stored; the block service answers `FetchBlock` requests
+//! straight out of this map.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// `(shuffle, map partition, reduce partition)`.
+type BlockKey = (u64, u64, u64);
+
+#[derive(Default)]
+pub struct BlockStore {
+    inner: Mutex<HashMap<BlockKey, Arc<Vec<u8>>>>,
+}
+
+impl BlockStore {
+    pub fn new() -> BlockStore {
+        BlockStore::default()
+    }
+
+    pub fn put(&self, shuffle: u64, map_part: u64, reduce_part: u64, bytes: Vec<u8>) {
+        let mut inner = self.inner.lock().expect("block store poisoned");
+        inner.insert((shuffle, map_part, reduce_part), Arc::new(bytes));
+    }
+
+    pub fn get(&self, shuffle: u64, map_part: u64, reduce_part: u64) -> Option<Arc<Vec<u8>>> {
+        let inner = self.inner.lock().expect("block store poisoned");
+        inner.get(&(shuffle, map_part, reduce_part)).cloned()
+    }
+
+    /// Releases every block belonging to a finished shuffle.
+    pub fn drop_shuffle(&self, shuffle: u64) {
+        let mut inner = self.inner.lock().expect("block store poisoned");
+        inner.retain(|&(s, _, _), _| s != shuffle);
+    }
+
+    /// Drops everything — used by the chaos `Die` path so a "killed" thread
+    /// worker really loses its blocks.
+    pub fn clear(&self) {
+        self.inner.lock().expect("block store poisoned").clear();
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        let inner = self.inner.lock().expect("block store poisoned");
+        inner.values().map(|b| b.len() as u64).sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("block store poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,609 @@
+//! The driver-side cluster control plane.
+//!
+//! A [`Cluster`] spawns N executor workers (threads or real OS processes,
+//! per [`DistMode`]), runs the registration handshake, supervises each
+//! worker through a dedicated reader thread plus a heartbeat-deadline
+//! monitor, dispatches serialized tasks, places and fetches shuffle blocks,
+//! and emits the executor lifecycle onto the shared [`EventBus`] —
+//! `ExecutorRegistered`, `ExecutorHeartbeat`, `ExecutorLost`, `BlockPush`,
+//! `BlockFetch` — so distributed runs reconcile in the same timeline
+//! machinery as local ones.
+//!
+//! Death detection is three-way, and any of the three paths funnels into
+//! [`Cluster::declare_dead`] exactly once per worker:
+//! 1. the supervisor reader sees EOF or an I/O error on the control
+//!    connection (a killed process, or a thread worker honouring `Die`);
+//! 2. the monitor sees a heartbeat deadline lapse;
+//! 3. a reducer's block fetch fails at the socket level.
+
+use super::proto::{self, Msg, TaskDesc};
+use super::worker::{run_worker, NoRuntime};
+use crate::conf::{DistConf, DistMode};
+use crate::events::{Event, EventBus};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long the driver waits for all workers to register at startup.
+const REGISTER_DEADLINE: Duration = Duration::from_secs(10);
+/// How long a task dispatch waits for `TaskDone`/`TaskFailed`.
+const DISPATCH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a block fetch could not return bytes.
+#[derive(Debug)]
+pub enum FetchError {
+    /// The block's holder is dead or no longer has it; recoverable by
+    /// recomputing the map output from lineage and re-pushing.
+    Lost,
+    /// A non-recoverable error (protocol corruption, driver bug).
+    Other(String),
+}
+
+type TaskReply = Result<(u64, u64), String>;
+
+struct WorkerState {
+    index: usize,
+    pid: AtomicU64,
+    alive: AtomicBool,
+    /// Write half of the control connection (reads happen on the
+    /// supervisor thread's own clone).
+    control: Mutex<Option<TcpStream>>,
+    block_addr: Mutex<String>,
+    /// Pooled connection to the worker's block service.
+    block_conn: Mutex<Option<TcpStream>>,
+    /// Last heartbeat arrival, µs since the cluster epoch.
+    last_beat_us: AtomicU64,
+    child: Mutex<Option<Child>>,
+    worker_thread: Mutex<Option<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl WorkerState {
+    fn new(index: usize) -> WorkerState {
+        WorkerState {
+            index,
+            pid: AtomicU64::new(0),
+            alive: AtomicBool::new(false),
+            control: Mutex::new(None),
+            block_addr: Mutex::new(String::new()),
+            block_conn: Mutex::new(None),
+            last_beat_us: AtomicU64::new(0),
+            child: Mutex::new(None),
+            worker_thread: Mutex::new(None),
+            supervisor: Mutex::new(None),
+        }
+    }
+
+    fn send(&self, msg: &Msg) -> std::io::Result<()> {
+        let mut control = self.control.lock().expect("control lock");
+        match control.as_mut() {
+            Some(stream) => proto::send_msg(stream, msg),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "worker control connection closed",
+            )),
+        }
+    }
+}
+
+/// The driver's handle to its executor workers.
+pub struct Cluster {
+    events: Arc<EventBus>,
+    epoch: Instant,
+    heartbeat_ms: u64,
+    heartbeat_timeout_ms: u64,
+    next_task: AtomicU64,
+    workers: Vec<Arc<WorkerState>>,
+    /// Which worker holds each map output: `(shuffle, map_part) → worker`.
+    locations: Mutex<HashMap<(u64, u64), usize>>,
+    /// In-flight task dispatches awaiting completion, by task id.
+    pending: Mutex<HashMap<u64, (usize, mpsc::Sender<TaskReply>)>>,
+    shutting_down: AtomicBool,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Spawns and registers every worker, then starts supervision. Fails if
+    /// any worker does not complete the handshake within the deadline.
+    pub fn start(dist: &DistConf, events: Arc<EventBus>) -> Result<Arc<Cluster>, String> {
+        let n = dist.workers.max(1);
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind control: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| format!("control addr: {e}"))?.to_string();
+        listener.set_nonblocking(true).map_err(|e| format!("control nonblocking: {e}"))?;
+
+        let cluster = Arc::new(Cluster {
+            events,
+            epoch: Instant::now(),
+            heartbeat_ms: dist.heartbeat_ms.max(1),
+            heartbeat_timeout_ms: dist.heartbeat_timeout_ms.max(1),
+            next_task: AtomicU64::new(0),
+            workers: (0..n).map(|i| Arc::new(WorkerState::new(i))).collect(),
+            locations: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            monitor: Mutex::new(None),
+        });
+
+        for (i, w) in cluster.workers.iter().enumerate() {
+            match &dist.mode {
+                DistMode::Off => return Err("cluster start with DistMode::Off".to_string()),
+                DistMode::Threads => {
+                    let addr = addr.clone();
+                    let handle = thread::spawn(move || {
+                        // A worker error after `Die`/driver loss is expected;
+                        // startup errors surface via the registration deadline.
+                        let _ = run_worker(&addr, i as u64, Arc::new(NoRuntime));
+                    });
+                    *w.worker_thread.lock().expect("worker thread lock") = Some(handle);
+                }
+                DistMode::Processes { cmd } => {
+                    let mut command = if cmd.is_empty() {
+                        let exe = std::env::current_exe()
+                            .map_err(|e| format!("current_exe for worker spawn: {e}"))?;
+                        let mut c = Command::new(exe);
+                        c.arg("--executor");
+                        c
+                    } else {
+                        let mut c = Command::new(&cmd[0]);
+                        c.args(&cmd[1..]);
+                        c
+                    };
+                    let child = command
+                        .arg("--connect")
+                        .arg(&addr)
+                        .arg("--worker-id")
+                        .arg(i.to_string())
+                        .stdin(Stdio::null())
+                        .stdout(Stdio::null())
+                        .spawn()
+                        .map_err(|e| {
+                            cluster.abort_spawned();
+                            format!("spawn worker {i}: {e}")
+                        })?;
+                    *w.child.lock().expect("child lock") = Some(child);
+                }
+            }
+        }
+
+        if let Err(e) = cluster.accept_registrations(&listener, n) {
+            cluster.abort_spawned();
+            return Err(e);
+        }
+
+        let monitor = {
+            let cluster = Arc::clone(&cluster);
+            thread::spawn(move || cluster.monitor_heartbeats())
+        };
+        *cluster.monitor.lock().expect("monitor lock") = Some(monitor);
+        Ok(cluster)
+    }
+
+    /// Accepts control connections until every worker has registered.
+    fn accept_registrations(
+        self: &Arc<Self>,
+        listener: &TcpListener,
+        n: usize,
+    ) -> Result<(), String> {
+        let deadline = Instant::now() + REGISTER_DEADLINE;
+        let mut registered = 0usize;
+        while registered < n {
+            if Instant::now() > deadline {
+                return Err(format!("only {registered}/{n} workers registered in time"));
+            }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(e) => return Err(format!("accept worker: {e}")),
+            };
+            stream.set_nonblocking(false).map_err(|e| format!("worker stream mode: {e}"))?;
+            proto::tune_stream(&stream);
+            stream
+                .set_read_timeout(Some(REGISTER_DEADLINE))
+                .map_err(|e| format!("registration timeout: {e}"))?;
+            let mut read_half =
+                stream.try_clone().map_err(|e| format!("clone worker stream: {e}"))?;
+            let (worker, pid) = match proto::recv_msg(&mut read_half) {
+                Ok(Some(Msg::Register { worker, pid, block_addr })) => {
+                    let state = self
+                        .workers
+                        .get(worker as usize)
+                        .ok_or_else(|| format!("registration from unknown worker {worker}"))?;
+                    *state.block_addr.lock().expect("block addr lock") = block_addr;
+                    (worker, pid)
+                }
+                other => return Err(format!("expected Register, got {other:?}")),
+            };
+            read_half.set_read_timeout(None).map_err(|e| format!("clear timeout: {e}"))?;
+            let state = &self.workers[worker as usize];
+            state.pid.store(pid, Ordering::Relaxed);
+            state.last_beat_us.store(self.now_us(), Ordering::Relaxed);
+            {
+                let mut control = state.control.lock().expect("control lock");
+                let mut stream = stream;
+                proto::send_msg(&mut stream, &Msg::RegisterAck { heartbeat_ms: self.heartbeat_ms })
+                    .map_err(|e| format!("ack worker {worker}: {e}"))?;
+                *control = Some(stream);
+            }
+            state.alive.store(true, Ordering::SeqCst);
+            self.events.emit(Event::ExecutorRegistered { worker, pid });
+            let supervisor = {
+                let cluster = Arc::clone(self);
+                let state = Arc::clone(state);
+                thread::spawn(move || cluster.supervise(&state, read_half))
+            };
+            *state.supervisor.lock().expect("supervisor lock") = Some(supervisor);
+            registered += 1;
+        }
+        Ok(())
+    }
+
+    /// Per-worker reader: heartbeats, task completions, and — on EOF or
+    /// error — death detection.
+    fn supervise(&self, state: &WorkerState, mut read_half: TcpStream) {
+        loop {
+            match proto::recv_msg(&mut read_half) {
+                Ok(Some(Msg::Heartbeat { worker, seq })) => {
+                    state.last_beat_us.store(self.now_us(), Ordering::Relaxed);
+                    self.events.emit(Event::ExecutorHeartbeat { worker, seq });
+                }
+                Ok(Some(Msg::TaskDone { task, blocks, bytes })) => {
+                    self.reply_pending(task, Ok((blocks, bytes)));
+                }
+                Ok(Some(Msg::TaskFailed { task, error })) => {
+                    self.reply_pending(task, Err(error));
+                }
+                Ok(Some(_)) | Ok(None) | Err(_) => break,
+            }
+        }
+        if !self.shutting_down.load(Ordering::SeqCst) {
+            self.declare_dead(state.index, "control connection closed");
+        }
+    }
+
+    /// Deadline-based death detection: a worker whose last heartbeat is
+    /// older than the timeout is declared lost.
+    fn monitor_heartbeats(&self) {
+        let tick = Duration::from_millis((self.heartbeat_timeout_ms / 4).clamp(5, 250));
+        while !self.shutting_down.load(Ordering::SeqCst) {
+            thread::sleep(tick);
+            let now = self.now_us();
+            for w in &self.workers {
+                if w.alive.load(Ordering::SeqCst) {
+                    let age_ms = now.saturating_sub(w.last_beat_us.load(Ordering::Relaxed)) / 1000;
+                    if age_ms > self.heartbeat_timeout_ms {
+                        self.declare_dead(w.index, "heartbeat timeout");
+                    }
+                }
+            }
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn reply_pending(&self, task: u64, reply: TaskReply) {
+        let entry = self.pending.lock().expect("pending lock").remove(&task);
+        if let Some((_, tx)) = entry {
+            let _ = tx.send(reply);
+        }
+    }
+
+    /// Marks a worker dead (idempotently), severs its connections, fails
+    /// its in-flight tasks, and emits `ExecutorLost`.
+    fn declare_dead(&self, worker: usize, reason: &str) {
+        let state = &self.workers[worker];
+        if !state.alive.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.events.emit(Event::ExecutorLost { worker: worker as u64, reason: reason.to_string() });
+        if let Some(stream) = self.workers[worker].control.lock().expect("control lock").take() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(conn) = state.block_conn.lock().expect("block conn lock").take() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(child) = state.child.lock().expect("child lock").as_mut() {
+            let _ = child.kill();
+        }
+        let mut pending = self.pending.lock().expect("pending lock");
+        let orphaned: Vec<u64> =
+            pending.iter().filter(|(_, (w, _))| *w == worker).map(|(id, _)| *id).collect();
+        for id in orphaned {
+            if let Some((_, tx)) = pending.remove(&id) {
+                let _ = tx.send(Err(format!("executor {worker} lost: {reason}")));
+            }
+        }
+    }
+
+    /// Worker indices currently alive, ascending.
+    pub fn live_workers(&self) -> Vec<usize> {
+        self.workers.iter().filter(|w| w.alive.load(Ordering::SeqCst)).map(|w| w.index).collect()
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// False once shutdown has begun: new shuffles stay driver-local.
+    pub fn is_active(&self) -> bool {
+        !self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Sends one serialized task to a worker and waits for its completion.
+    /// Returns the worker-reported `(blocks stored, bytes stored)`. A task
+    /// that stored blocks makes the worker the holder of the task's
+    /// `(shuffle, map_part)` label, so [`fetch`](Self::fetch) can find them.
+    pub fn dispatch(
+        &self,
+        worker: usize,
+        kind: &str,
+        shuffle: u64,
+        map_part: u64,
+        payload: Vec<u8>,
+    ) -> Result<(u64, u64), String> {
+        let state = self.workers.get(worker).ok_or_else(|| format!("no such worker {worker}"))?;
+        if !state.alive.load(Ordering::SeqCst) {
+            return Err(format!("executor {worker} is dead"));
+        }
+        let id = self.next_task.fetch_add(1, Ordering::Relaxed);
+        let task = TaskDesc { id, shuffle, map_part, kind: kind.to_string(), payload };
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().expect("pending lock").insert(id, (worker, tx));
+        if let Err(e) = state.send(&Msg::LaunchTask { task }) {
+            self.pending.lock().expect("pending lock").remove(&id);
+            self.declare_dead(worker, "control write failed");
+            return Err(format!("dispatch to executor {worker}: {e}"));
+        }
+        let reply = match rx.recv_timeout(DISPATCH_TIMEOUT) {
+            Ok(reply) => reply,
+            Err(_) => {
+                self.pending.lock().expect("pending lock").remove(&id);
+                Err(format!("task {id} on executor {worker} timed out"))
+            }
+        };
+        if let Ok((blocks, _)) = &reply {
+            if *blocks > 0 {
+                self.locations.lock().expect("locations lock").insert((shuffle, map_part), worker);
+            }
+        }
+        reply
+    }
+
+    /// Stores one map task's per-reducer blocks on a live worker, preferring
+    /// the part's existing holder, falling back deterministically to
+    /// `live[map_part % live]`, and retrying on other live workers if the
+    /// target dies mid-push. Records the placement and emits `BlockPush`.
+    pub fn push_map_output(
+        &self,
+        shuffle: u64,
+        map_part: u64,
+        blocks: &[(u64, Vec<u8>)],
+    ) -> Result<(), String> {
+        let nblocks = blocks.len() as u64;
+        let bytes: u64 = blocks.iter().map(|(_, b)| b.len() as u64).sum();
+        let payload = proto::encode_store_payload(blocks);
+        for _ in 0..self.workers.len() * 2 {
+            let live = self.live_workers();
+            if live.is_empty() {
+                return Err("no live executors to hold shuffle output".to_string());
+            }
+            let preferred = self
+                .locations
+                .lock()
+                .expect("locations lock")
+                .get(&(shuffle, map_part))
+                .copied()
+                .filter(|&w| self.workers[w].alive.load(Ordering::SeqCst));
+            let target = preferred.unwrap_or(live[map_part as usize % live.len()]);
+            match self.dispatch(target, "store-blocks", shuffle, map_part, payload.clone()) {
+                Ok(_) => {
+                    self.locations
+                        .lock()
+                        .expect("locations lock")
+                        .insert((shuffle, map_part), target);
+                    self.events.emit(Event::BlockPush {
+                        shuffle,
+                        map_part,
+                        blocks: nblocks,
+                        bytes,
+                    });
+                    return Ok(());
+                }
+                Err(e) => {
+                    if self.workers[target].alive.load(Ordering::SeqCst) {
+                        // The worker is fine; the task itself failed —
+                        // that's a driver bug, not a recoverable death.
+                        return Err(e);
+                    }
+                    // Dead target: loop and re-place on a survivor.
+                }
+            }
+        }
+        Err("could not place shuffle output on any live executor".to_string())
+    }
+
+    /// Fetches one map-output block from its holder. `Lost` means the holder
+    /// is dead or no longer has the block; callers recover via lineage.
+    pub fn fetch(
+        &self,
+        shuffle: u64,
+        map_part: u64,
+        reduce_part: u64,
+    ) -> Result<Vec<u8>, FetchError> {
+        let worker = match self.locations.lock().expect("locations lock").get(&(shuffle, map_part))
+        {
+            Some(&w) => w,
+            None => return Err(FetchError::Lost),
+        };
+        let state = &self.workers[worker];
+        if !state.alive.load(Ordering::SeqCst) {
+            return Err(FetchError::Lost);
+        }
+        let reply = {
+            let mut conn = state.block_conn.lock().expect("block conn lock");
+            if conn.is_none() {
+                let addr = state.block_addr.lock().expect("block addr lock").clone();
+                match TcpStream::connect(&addr) {
+                    Ok(c) => {
+                        proto::tune_stream(&c);
+                        *conn = Some(c);
+                    }
+                    Err(_) => {
+                        drop(conn);
+                        self.declare_dead(worker, "block service unreachable");
+                        return Err(FetchError::Lost);
+                    }
+                }
+            }
+            let stream = conn.as_mut().expect("pooled connection");
+            let io = proto::send_msg(stream, &Msg::FetchBlock { shuffle, map_part, reduce_part })
+                .and_then(|()| proto::recv_msg(stream));
+            match io {
+                Ok(Some(msg)) => msg,
+                Ok(None) | Err(_) => {
+                    *conn = None;
+                    drop(conn);
+                    self.declare_dead(worker, "block fetch failed");
+                    return Err(FetchError::Lost);
+                }
+            }
+        };
+        match reply {
+            Msg::BlockData { bytes } => {
+                self.events.emit(Event::BlockFetch {
+                    shuffle,
+                    map_part,
+                    reduce_part,
+                    bytes: bytes.len() as u64,
+                });
+                Ok(bytes)
+            }
+            Msg::BlockMissing { .. } => {
+                // The worker restarted or dropped the shuffle: the location
+                // record is stale. Forget it so recovery re-places the part.
+                self.locations.lock().expect("locations lock").remove(&(shuffle, map_part));
+                Err(FetchError::Lost)
+            }
+            other => Err(FetchError::Other(format!("unexpected block reply {other:?}"))),
+        }
+    }
+
+    /// Map partitions of `shuffle` whose blocks are no longer reachable
+    /// (holder dead, or never/no-longer placed), ascending.
+    pub fn lost_parts(&self, shuffle: u64, num_maps: usize) -> Vec<usize> {
+        let locations = self.locations.lock().expect("locations lock");
+        (0..num_maps)
+            .filter(|&p| match locations.get(&(shuffle, p as u64)) {
+                Some(&w) => !self.workers[w].alive.load(Ordering::SeqCst),
+                None => true,
+            })
+            .collect()
+    }
+
+    /// Releases a finished shuffle's blocks cluster-wide.
+    pub fn drop_shuffle(&self, shuffle: u64) {
+        self.locations.lock().expect("locations lock").retain(|&(s, _), _| s != shuffle);
+        for w in &self.workers {
+            if w.alive.load(Ordering::SeqCst) {
+                let _ = w.send(&Msg::DropShuffle { shuffle });
+            }
+        }
+    }
+
+    /// Kills one worker for chaos testing: a real `SIGKILL` for process
+    /// workers, the protocol `Die` (drop blocks, sever abruptly) for thread
+    /// workers. Death is *detected*, not assumed: the supervisor or monitor
+    /// declares the loss, exactly as for an organic crash.
+    pub fn kill_worker(&self, worker: usize) {
+        let Some(state) = self.workers.get(worker) else { return };
+        let mut child = state.child.lock().expect("child lock");
+        if let Some(child) = child.as_mut() {
+            let _ = child.kill();
+        } else {
+            let _ = state.send(&Msg::Die);
+        }
+    }
+
+    /// Blocks until a previously killed worker has been declared dead, so
+    /// chaos tests can sequence kill → recovery deterministically.
+    pub fn await_death(&self, worker: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if !self.workers[worker].alive.load(Ordering::SeqCst) {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Graceful teardown: stop supervision, tell every live worker to exit,
+    /// and reap threads and processes. Idempotent; called by `Drop` and by
+    /// [`SparkliteContext::shutdown_cluster`](crate::SparkliteContext::shutdown_cluster).
+    /// After this returns no further executor events are emitted, so a
+    /// metrics snapshot taken now reconciles exactly against the timeline.
+    pub fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for w in &self.workers {
+            if w.alive.load(Ordering::SeqCst) {
+                let _ = w.send(&Msg::Shutdown);
+            }
+        }
+        if let Some(monitor) = self.monitor.lock().expect("monitor lock").take() {
+            let _ = monitor.join();
+        }
+        for w in &self.workers {
+            if let Some(stream) = w.control.lock().expect("control lock").take() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            if let Some(supervisor) = w.supervisor.lock().expect("supervisor lock").take() {
+                let _ = supervisor.join();
+            }
+            if let Some(conn) = w.block_conn.lock().expect("block conn lock").take() {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+            if let Some(mut child) = w.child.lock().expect("child lock").take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            if let Some(handle) = w.worker_thread.lock().expect("worker thread lock").take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Best-effort cleanup of half-started workers when `start` fails.
+    fn abort_spawned(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for w in &self.workers {
+            if let Some(stream) = w.control.lock().expect("control lock").take() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            if let Some(mut child) = w.child.lock().expect("child lock").take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            // Thread workers exit on their own once the control socket (or
+            // the listener) goes away; detach rather than join so a worker
+            // stuck in `connect` cannot hang the error path.
+            drop(w.worker_thread.lock().expect("worker thread lock").take());
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,24 @@
+//! The distribution layer: multi-process executors and the shuffle block
+//! service.
+//!
+//! Local threaded mode remains the default and is untouched by this module
+//! — with [`DistMode::Off`](crate::DistMode) no socket is ever opened. With
+//! a cluster configured, the driver spawns N executor workers (threads for
+//! tests, real OS processes for deployment), and shuffle map outputs are
+//! *pushed* to worker block stores as encoded blocks, then *fetched* back
+//! by reduce tasks over TCP — the serialization boundary that makes
+//! executor death a recoverable, observable event rather than a simulated
+//! one. See DESIGN.md §12 for the protocol and the recovery state machine.
+
+mod blocks;
+mod cluster;
+mod proto;
+mod worker;
+
+pub use blocks::BlockStore;
+pub use cluster::{Cluster, FetchError};
+pub use proto::{
+    decode_store_payload, encode_store_payload, read_frame, recv_msg, send_msg, write_frame,
+    FrameDecoder, Msg, TaskDesc, MAX_FRAME,
+};
+pub use worker::{run_worker, NoRuntime, TaskRuntime};

@@ -1,0 +1,199 @@
+//! The executor worker: the `--executor` half of the distribution layer.
+//!
+//! A worker connects to the driver's control address, registers (announcing
+//! the address of its block service), then loops over control messages —
+//! running serialized tasks, storing their output blocks, and answering
+//! shutdown. Two background threads run per worker: a heartbeat sender and
+//! a block-service accept loop that serves `FetchBlock` requests from
+//! reducers on dedicated per-connection handler threads.
+//!
+//! The same function backs both deployment modes: spawned as a thread by
+//! [`Cluster`](super::Cluster) in [`DistMode::Threads`](crate::DistMode),
+//! or called from the binary's `--executor` entry point in
+//! [`DistMode::Processes`](crate::DistMode) — the protocol is identical, so
+//! in-process tests exercise the exact wire path the process mode uses.
+
+use super::blocks::BlockStore;
+use super::proto::{self, Msg, TaskDesc};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Executes non-built-in task kinds on a worker. The driver names a kind in
+/// each [`TaskDesc`]; the runtime maps it to code compiled into the worker
+/// binary — tasks carry *data*, never closures. Returns the task's output
+/// as `(reduce partition, encoded block)` pairs, which the worker stores
+/// under the task's `(shuffle, map_part)` label.
+pub trait TaskRuntime: Send + Sync {
+    fn run(&self, task: &TaskDesc) -> Result<Vec<(u64, Vec<u8>)>, String>;
+}
+
+/// A runtime that knows no task kinds: every dispatch fails with a clear
+/// error. Sufficient for pure shuffle serving (`store-blocks` is built in).
+pub struct NoRuntime;
+
+impl TaskRuntime for NoRuntime {
+    fn run(&self, task: &TaskDesc) -> Result<Vec<(u64, Vec<u8>)>, String> {
+        Err(format!("worker has no runtime for task kind {:?}", task.kind))
+    }
+}
+
+fn send_locked(stream: &Mutex<TcpStream>, msg: &Msg) -> std::io::Result<()> {
+    let mut s = stream.lock().expect("control stream poisoned");
+    proto::send_msg(&mut *s, msg)
+}
+
+/// Serves one block-service connection until the peer hangs up.
+fn serve_blocks(store: &BlockStore, mut conn: TcpStream) {
+    while let Ok(Some(msg)) = proto::recv_msg(&mut conn) {
+        let reply = match msg {
+            Msg::FetchBlock { shuffle, map_part, reduce_part } => {
+                match store.get(shuffle, map_part, reduce_part) {
+                    Some(bytes) => Msg::BlockData { bytes: bytes.as_ref().clone() },
+                    None => Msg::BlockMissing { shuffle, map_part, reduce_part },
+                }
+            }
+            // Anything else on a block connection is a protocol error;
+            // drop the connection and let the peer's read fail.
+            _ => return,
+        };
+        if proto::send_msg(&mut conn, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs one executor worker to completion: connect, register, serve. Returns
+/// when the driver sends `Shutdown`/`Die` or the control connection drops.
+pub fn run_worker(connect: &str, worker: u64, runtime: Arc<dyn TaskRuntime>) -> Result<(), String> {
+    let control = TcpStream::connect(connect)
+        .map_err(|e| format!("worker {worker}: connect {connect}: {e}"))?;
+    proto::tune_stream(&control);
+    let mut control_read =
+        control.try_clone().map_err(|e| format!("worker {worker}: clone control: {e}"))?;
+    let control_write = Arc::new(Mutex::new(control));
+
+    let store = Arc::new(BlockStore::new());
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| format!("worker {worker}: bind block service: {e}"))?;
+    let block_addr = listener
+        .local_addr()
+        .map_err(|e| format!("worker {worker}: block service addr: {e}"))?
+        .to_string();
+
+    send_locked(
+        &control_write,
+        &Msg::Register { worker, pid: std::process::id() as u64, block_addr: block_addr.clone() },
+    )
+    .map_err(|e| format!("worker {worker}: register: {e}"))?;
+    let heartbeat_ms = match proto::recv_msg(&mut control_read) {
+        Ok(Some(Msg::RegisterAck { heartbeat_ms })) => heartbeat_ms,
+        other => return Err(format!("worker {worker}: expected RegisterAck, got {other:?}")),
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Block service: accept loop + one handler thread per reducer connection.
+    let accept_handle = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Ok(conn) = conn {
+                    proto::tune_stream(&conn);
+                    let store = Arc::clone(&store);
+                    thread::spawn(move || serve_blocks(&store, conn));
+                }
+            }
+        })
+    };
+
+    // Heartbeats: periodic beats on the shared control write-half. A send
+    // failure means the driver is gone; the control read loop will see the
+    // same condition and exit.
+    let beat_handle = {
+        let control_write = Arc::clone(&control_write);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut seq = 0u64;
+            loop {
+                // Sleep one cadence in small slices so a long cadence never
+                // delays shutdown by more than ~25 ms.
+                let mut slept = 0u64;
+                while slept < heartbeat_ms {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let step = (heartbeat_ms - slept).min(25);
+                    thread::sleep(Duration::from_millis(step));
+                    slept += step;
+                }
+                if stop.load(Ordering::Relaxed)
+                    || send_locked(&control_write, &Msg::Heartbeat { worker, seq }).is_err()
+                {
+                    return;
+                }
+                seq += 1;
+            }
+        })
+    };
+
+    // Control loop: tasks, shuffle drops, shutdown. The loop also ends on
+    // clean EOF or a read error — either way the driver is gone.
+    let mut abrupt = false;
+    while let Ok(Some(msg)) = proto::recv_msg(&mut control_read) {
+        match msg {
+            Msg::LaunchTask { task } => {
+                let result = if task.kind == "store-blocks" {
+                    proto::decode_store_payload(&task.payload)
+                } else {
+                    runtime.run(&task)
+                };
+                let reply = match result {
+                    Ok(blocks) => {
+                        let (n, bytes) =
+                            (blocks.len() as u64, blocks.iter().map(|(_, b)| b.len() as u64).sum());
+                        for (reduce, block) in blocks {
+                            store.put(task.shuffle, task.map_part, reduce, block);
+                        }
+                        Msg::TaskDone { task: task.id, blocks: n, bytes }
+                    }
+                    Err(error) => Msg::TaskFailed { task: task.id, error },
+                };
+                if send_locked(&control_write, &reply).is_err() {
+                    break;
+                }
+            }
+            Msg::DropShuffle { shuffle } => store.drop_shuffle(shuffle),
+            Msg::Shutdown => break,
+            Msg::Die => {
+                // Chaos path for thread-mode workers: lose every block and
+                // vanish without a goodbye, like a SIGKILLed process.
+                store.clear();
+                abrupt = true;
+                break;
+            }
+            _ => break, // protocol error on the control plane
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    if abrupt {
+        // Sever the control connection immediately so the driver's
+        // supervisor sees EOF even though this (thread) worker can't
+        // actually exit the process.
+        if let Ok(s) = control_write.lock() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    // Wake the accept loop with a no-op connection so it observes `stop`.
+    let _ = TcpStream::connect(&block_addr);
+    let _ = beat_handle.join();
+    let _ = accept_handle.join();
+    Ok(())
+}

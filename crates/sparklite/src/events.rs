@@ -178,6 +178,40 @@ pub enum Event {
         rule: &'static str,
         stage: u64,
     },
+    /// An executor worker (process or in-process thread) completed the
+    /// registration handshake with the driver's cluster control plane.
+    ExecutorRegistered {
+        worker: u64,
+        pid: u64,
+    },
+    /// A heartbeat arrived from a live executor worker. `seq` is the
+    /// worker's monotonically increasing beat number.
+    ExecutorHeartbeat {
+        worker: u64,
+        seq: u64,
+    },
+    /// The driver declared an executor dead (connection loss, heartbeat
+    /// deadline lapse, or a failed block fetch).
+    ExecutorLost {
+        worker: u64,
+        reason: String,
+    },
+    /// The driver pushed one map task's output blocks to an executor's
+    /// block store.
+    BlockPush {
+        shuffle: u64,
+        map_part: u64,
+        blocks: u64,
+        bytes: u64,
+    },
+    /// A reducer fetched one map-output block from an executor's block
+    /// service.
+    BlockFetch {
+        shuffle: u64,
+        map_part: u64,
+        reduce_part: u64,
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -202,6 +236,11 @@ impl Event {
             Event::CacheRelease { .. } => "CacheRelease",
             Event::ChaosInject { .. } => "ChaosInject",
             Event::OptimizerRuleFired { .. } => "OptimizerRuleFired",
+            Event::ExecutorRegistered { .. } => "ExecutorRegistered",
+            Event::ExecutorHeartbeat { .. } => "ExecutorHeartbeat",
+            Event::ExecutorLost { .. } => "ExecutorLost",
+            Event::BlockPush { .. } => "BlockPush",
+            Event::BlockFetch { .. } => "BlockFetch",
         }
     }
 }
@@ -330,6 +369,17 @@ impl EventListener for MetricsListener {
             Event::CacheEvict { total_bytes, .. } => {
                 add(&m.cache_evictions, 1);
                 m.cached_bytes.store(*total_bytes, Ordering::Relaxed);
+            }
+            Event::ExecutorRegistered { .. } => add(&m.executors_registered, 1),
+            Event::ExecutorHeartbeat { .. } => add(&m.heartbeats, 1),
+            Event::ExecutorLost { .. } => add(&m.executors_lost, 1),
+            Event::BlockPush { blocks, bytes, .. } => {
+                add(&m.blocks_pushed, *blocks);
+                add(&m.block_bytes_pushed, *bytes);
+            }
+            Event::BlockFetch { bytes, .. } => {
+                add(&m.blocks_fetched, 1);
+                add(&m.block_bytes_fetched, *bytes);
             }
             // Observational only: the write side already landed in TaskEnd
             // counters; job/stage completion feeds no counter.
@@ -608,6 +658,26 @@ impl Timeline {
         check("cache_hits", hits, snap.cache_hits)?;
         check("cache_misses", misses, snap.cache_misses)?;
         check("cache_evictions", self.count("CacheEvict"), snap.cache_evictions)?;
+        check("executors_registered", self.count("ExecutorRegistered"), snap.executors_registered)?;
+        check("executors_lost", self.count("ExecutorLost"), snap.executors_lost)?;
+        check("heartbeats", self.count("ExecutorHeartbeat"), snap.heartbeats)?;
+        let (blocks_pushed, block_bytes_pushed) = self
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::BlockPush { blocks, bytes, .. } => Some((*blocks, *bytes)),
+                _ => None,
+            })
+            .fold((0u64, 0u64), |(b, by), (db, dby)| (b + db, by + dby));
+        check("blocks_pushed", blocks_pushed, snap.blocks_pushed)?;
+        check("block_bytes_pushed", block_bytes_pushed, snap.block_bytes_pushed)?;
+        check("blocks_fetched", self.count("BlockFetch"), snap.blocks_fetched)?;
+        let block_bytes_fetched = self
+            .events
+            .iter()
+            .map(|(_, e)| if let Event::BlockFetch { bytes, .. } = e { *bytes } else { 0 })
+            .sum::<u64>();
+        check("block_bytes_fetched", block_bytes_fetched, snap.block_bytes_fetched)?;
         let cached = self
             .events
             .iter()
@@ -850,6 +920,24 @@ fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
         Event::OptimizerRuleFired { rule, stage } => {
             out.push_str(&format!(",\"rule\":\"{rule}\",\"stage\":{stage}"))
         }
+        Event::ExecutorRegistered { worker, pid } => {
+            out.push_str(&format!(",\"worker\":{worker},\"pid\":{pid}"))
+        }
+        Event::ExecutorHeartbeat { worker, seq } => {
+            out.push_str(&format!(",\"worker\":{worker},\"seq\":{seq}"))
+        }
+        Event::ExecutorLost { worker, reason } => {
+            out.push_str(&format!(",\"worker\":{worker},\"reason\":\""));
+            esc(out, reason);
+            out.push('"');
+        }
+        Event::BlockPush { shuffle, map_part, blocks, bytes } => out.push_str(&format!(
+            ",\"shuffle\":{shuffle},\"map_part\":{map_part},\"blocks\":{blocks},\"bytes\":{bytes}"
+        )),
+        Event::BlockFetch { shuffle, map_part, reduce_part, bytes } => out.push_str(&format!(
+            ",\"shuffle\":{shuffle},\"map_part\":{map_part},\"reduce_part\":{reduce_part},\
+             \"bytes\":{bytes}"
+        )),
     }
     out.push('}');
 }

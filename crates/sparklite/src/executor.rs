@@ -106,6 +106,21 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Partitions evicted from the cache under byte-budget pressure.
     pub cache_evictions: AtomicU64,
+    /// Executor workers that completed the registration handshake.
+    pub executors_registered: AtomicU64,
+    /// Executor workers declared dead (connection loss, heartbeat deadline,
+    /// or failed block fetch).
+    pub executors_lost: AtomicU64,
+    /// Heartbeats received from live executors.
+    pub heartbeats: AtomicU64,
+    /// Shuffle blocks pushed to executor block stores.
+    pub blocks_pushed: AtomicU64,
+    /// Total bytes of shuffle blocks pushed to executors.
+    pub block_bytes_pushed: AtomicU64,
+    /// Shuffle blocks fetched back from executor block services.
+    pub blocks_fetched: AtomicU64,
+    /// Total bytes of shuffle blocks fetched from executors.
+    pub block_bytes_fetched: AtomicU64,
     /// Bytes currently held by the partition cache. Unlike every counter
     /// above this is a **gauge**: it moves both ways as blocks are stored,
     /// evicted and unpersisted.
@@ -134,6 +149,13 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
+    pub executors_registered: u64,
+    pub executors_lost: u64,
+    pub heartbeats: u64,
+    pub blocks_pushed: u64,
+    pub block_bytes_pushed: u64,
+    pub blocks_fetched: u64,
+    pub block_bytes_fetched: u64,
     pub cached_bytes: u64,
 }
 
@@ -159,6 +181,13 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            executors_registered: self.executors_registered.load(Ordering::Relaxed),
+            executors_lost: self.executors_lost.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            blocks_pushed: self.blocks_pushed.load(Ordering::Relaxed),
+            block_bytes_pushed: self.block_bytes_pushed.load(Ordering::Relaxed),
+            blocks_fetched: self.blocks_fetched.load(Ordering::Relaxed),
+            block_bytes_fetched: self.block_bytes_fetched.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
         }
     }
@@ -188,6 +217,13 @@ impl std::fmt::Display for MetricsSnapshot {
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),
+            ("executors_registered", self.executors_registered),
+            ("executors_lost", self.executors_lost),
+            ("heartbeats", self.heartbeats),
+            ("blocks_pushed", self.blocks_pushed),
+            ("block_bytes_pushed", self.block_bytes_pushed),
+            ("blocks_fetched", self.blocks_fetched),
+            ("block_bytes_fetched", self.block_bytes_fetched),
         ];
         writeln!(f, "counters:")?;
         for (name, value) in rows {

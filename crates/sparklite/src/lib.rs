@@ -46,6 +46,7 @@ pub mod cache;
 pub mod conf;
 pub mod context;
 pub mod dataframe;
+pub mod dist;
 pub mod error;
 pub mod events;
 pub mod executor;
@@ -55,7 +56,7 @@ pub mod sql;
 pub mod storage;
 
 pub use cache::{CacheCodec, StorageLevel};
-pub use conf::{FaultPlan, OptimizerConf, SparkliteConf};
+pub use conf::{DistConf, DistMode, FaultPlan, OptimizerConf, SparkliteConf};
 pub use context::SparkliteContext;
 pub use error::{FailureCause, FailureKind, Result, SparkliteError};
 pub use events::{

@@ -213,6 +213,28 @@ impl<T: Data> Rdd<T> {
         Rdd::new(Arc::clone(&self.core), Arc::new(op))
     }
 
+    /// [`sort_by`](Self::sort_by) with a wire codec for the elements,
+    /// routing the range shuffle through the distributed block service when
+    /// the context runs with executor workers. Identical to the plain
+    /// variant in local mode.
+    pub fn sort_by_with_codec<K: Data + Ord>(
+        &self,
+        key_fn: impl Fn(&T) -> K + Send + Sync + 'static,
+        ascending: bool,
+        num_partitions: usize,
+        codec: Arc<dyn crate::CacheCodec<T>>,
+    ) -> Rdd<T> {
+        let op = SortedRdd::new(
+            Arc::clone(&self.core),
+            Arc::clone(&self.op),
+            Arc::new(key_fn),
+            ascending,
+            num_partitions.max(1),
+        )
+        .with_codec(codec);
+        Rdd::new(Arc::clone(&self.core), Arc::new(op))
+    }
+
     // ---- actions (eager) ----
 
     /// Materializes the whole RDD on the driver, in partition order.

@@ -49,6 +49,26 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
         Rdd::new(Arc::clone(self.core()), Arc::new(op))
     }
 
+    /// [`reduce_by_key`](Self::reduce_by_key) with a wire codec for the
+    /// pairs, routing the shuffle through the distributed block service
+    /// when the context runs with executor workers. Identical to the plain
+    /// variant in local mode.
+    pub fn reduce_by_key_with_codec(
+        &self,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+        num_partitions: usize,
+        codec: Arc<dyn crate::CacheCodec<(K, V)>>,
+    ) -> Rdd<(K, V)> {
+        let op = ShuffledRdd::new(
+            Arc::clone(self.core()),
+            Arc::clone(self.op()),
+            num_partitions,
+            Some(Arc::new(f)),
+        )
+        .with_codec(codec);
+        Rdd::new(Arc::clone(self.core()), Arc::new(op))
+    }
+
     /// Collects all values per key into a vector. Values arrive in an
     /// unspecified order (they cross a shuffle), like Spark's `groupByKey`.
     pub fn group_by_key(&self, num_partitions: usize) -> Rdd<(K, Vec<V>)> {

@@ -10,9 +10,11 @@
 //! the byte accounting in the metrics stands in for that traffic).
 
 use super::util::{fx_hash, ArcPartIter, FxHashMap, SplitMix64};
-use super::{BoxIter, Preparable, RddOp};
+use super::{task_bail, BoxIter, Preparable, RddOp};
+use crate::cache::CacheCodec;
 use crate::context::Core;
-use crate::error::Result;
+use crate::dist::{Cluster, FetchError};
+use crate::error::{Result, SparkliteError};
 use crate::events::Event;
 use crate::executor::TaskContext;
 use crate::Data;
@@ -47,18 +49,109 @@ fn recover_lost_map_outputs<T: Data, B: Send + 'static>(
     parent: &Arc<dyn RddOp<T>>,
     map_f: &Arc<dyn Fn(BoxIter<T>, &TaskContext) -> B + Send + Sync>,
     outputs: &mut [B],
-) -> Result<()> {
+) -> Result<u64> {
     let shuffle_id = core.injector.next_shuffle_id();
     let lost = core.injector.lost_map_outputs(shuffle_id, outputs.len());
     if lost.is_empty() {
-        return Ok(());
+        return Ok(shuffle_id);
     }
     core.events.emit(Event::LineageRecovery { shuffle: shuffle_id, lost: lost.len() as u64 });
     let recomputed = core.run_partition_subset(parent, Arc::clone(map_f), &lost)?;
     for (&slot, out) in lost.iter().zip(recomputed) {
         outputs[slot] = out;
     }
-    Ok(())
+    Ok(shuffle_id)
+}
+
+/// The distribution cluster to shuffle through, when one is configured,
+/// running, and the operator has a wire codec. Codec-less shuffles (plain
+/// in-memory key types with no registered encoding) stay driver-local even
+/// in distributed mode.
+fn active_cluster(core: &Core) -> Option<Arc<Cluster>> {
+    core.cluster().filter(|c| c.is_active()).map(Arc::clone)
+}
+
+/// Encodes one map task's per-reducer blocks with the shuffle's wire codec
+/// and stores them on a live executor.
+fn push_blocks<P: Data>(
+    cluster: &Cluster,
+    codec: &dyn CacheCodec<P>,
+    shuffle: u64,
+    map_part: usize,
+    blocks: &[Vec<P>],
+) -> Result<()> {
+    let encoded: Vec<(u64, Vec<u8>)> =
+        blocks.iter().enumerate().map(|(r, b)| (r as u64, codec.encode(b))).collect();
+    cluster
+        .push_map_output(shuffle, map_part as u64, &encoded)
+        .map_err(|e| SparkliteError::Io(format!("shuffle {shuffle} push: {e}")))
+}
+
+/// Lineage-recovery callback: recompute the given lost map partitions and
+/// re-push their blocks to surviving executors.
+type Repush = Arc<dyn Fn(&[usize]) -> Result<()> + Send + Sync>;
+
+/// Map outputs living in executor block stores instead of driver memory:
+/// the distributed half of a wide operator. Reduce tasks fetch each map
+/// part's block for their partition over TCP, in map-part order — the same
+/// concatenation order as the driver-local transpose, which is what keeps
+/// distributed results byte-identical to threaded ones.
+struct RemoteShuffle<P: Data> {
+    shuffle: u64,
+    num_maps: usize,
+    codec: Arc<dyn CacheCodec<P>>,
+    cluster: Arc<Cluster>,
+    repush: Repush,
+    /// Single-flight guard: when an executor dies, many reduce tasks see
+    /// `Lost` at once; one runs recovery, the rest wait and re-fetch.
+    recovery: Mutex<()>,
+}
+
+impl<P: Data> RemoteShuffle<P> {
+    /// Fetches one block, recovering lost map outputs from lineage (bounded
+    /// attempts); aborts the task deterministically if recovery cannot win.
+    fn fetch_block(&self, map_part: usize, reduce_part: usize) -> Vec<u8> {
+        for _ in 0..4 {
+            match self.cluster.fetch(self.shuffle, map_part as u64, reduce_part as u64) {
+                Ok(bytes) => return bytes,
+                Err(FetchError::Lost) => {
+                    let _flight = self.recovery.lock().unwrap_or_else(PoisonError::into_inner);
+                    // A concurrent reducer may have recovered while we
+                    // waited on the guard; re-probe before recomputing.
+                    if let Ok(bytes) =
+                        self.cluster.fetch(self.shuffle, map_part as u64, reduce_part as u64)
+                    {
+                        return bytes;
+                    }
+                    let lost = self.cluster.lost_parts(self.shuffle, self.num_maps);
+                    if !lost.is_empty() {
+                        if let Err(e) = (self.repush)(&lost) {
+                            task_bail(format!("shuffle {} recovery failed: {e}", self.shuffle));
+                        }
+                    }
+                }
+                Err(FetchError::Other(e)) => task_bail(format!("shuffle fetch: {e}")),
+            }
+        }
+        task_bail(format!(
+            "shuffle {} block ({map_part}, {reduce_part}) unrecoverable after retries",
+            self.shuffle
+        ))
+    }
+
+    /// All map outputs for one reduce partition, concatenated in map-part
+    /// order — the distributed equivalent of one transposed bucket.
+    fn fetch_concat(&self, reduce_part: usize) -> Vec<P> {
+        let mut out = Vec::new();
+        for map_part in 0..self.num_maps {
+            let bytes = self.fetch_block(map_part, reduce_part);
+            match self.codec.decode(&bytes) {
+                Ok(items) => out.extend(items),
+                Err(e) => task_bail(format!("shuffle {} block decode: {e}", self.shuffle)),
+            }
+        }
+        out
+    }
 }
 
 /// A hash-partitioned shuffle producing `num_parts` output partitions.
@@ -72,10 +165,17 @@ pub struct ShuffledRdd<K: Data + Hash + Eq, C: Data> {
     parent: Arc<dyn RddOp<(K, C)>>,
     num_parts: usize,
     merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
+    /// Wire codec for the pairs; required for the distributed path (blocks
+    /// must cross a process boundary as bytes). `None` keeps the shuffle
+    /// driver-local regardless of cluster mode.
+    codec: Option<Arc<dyn CacheCodec<(K, C)>>>,
     /// Transposed shuffle output: `buckets[reduce_partition]` holds the
     /// concatenated map outputs for that partition.
     #[allow(clippy::type_complexity)] // Vec-of-buckets-of-pairs, named right here
     buckets: OnceLock<Arc<Vec<Vec<(K, C)>>>>,
+    /// Distributed shuffle state, when the map outputs were pushed to
+    /// executor block stores instead of transposed driver-side.
+    remote: OnceLock<Arc<RemoteShuffle<(K, C)>>>,
 }
 
 impl<K: Data + Hash + Eq, C: Data> ShuffledRdd<K, C> {
@@ -85,13 +185,28 @@ impl<K: Data + Hash + Eq, C: Data> ShuffledRdd<K, C> {
         num_parts: usize,
         merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
     ) -> Self {
-        ShuffledRdd { core, parent, num_parts: num_parts.max(1), merge, buckets: OnceLock::new() }
+        ShuffledRdd {
+            core,
+            parent,
+            num_parts: num_parts.max(1),
+            merge,
+            codec: None,
+            buckets: OnceLock::new(),
+            remote: OnceLock::new(),
+        }
+    }
+
+    /// Attaches a wire codec, making this shuffle eligible for the
+    /// distributed block-service path.
+    pub(crate) fn with_codec(mut self, codec: Arc<dyn CacheCodec<(K, C)>>) -> Self {
+        self.codec = Some(codec);
+        self
     }
 }
 
 impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
     fn prepare(&self) -> Result<()> {
-        if self.buckets.get().is_some() {
+        if self.buckets.get().is_some() || self.remote.get().is_some() {
             return Ok(());
         }
         let num = self.num_parts;
@@ -138,7 +253,44 @@ impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
             blocks
         });
         let mut map_outputs = self.core.run_partitions(&self.parent, Arc::clone(&map_f))?;
-        recover_lost_map_outputs(&self.core, &self.parent, &map_f, &mut map_outputs)?;
+        let shuffle_id =
+            recover_lost_map_outputs(&self.core, &self.parent, &map_f, &mut map_outputs)?;
+        if let (Some(cluster), Some(codec)) = (active_cluster(&self.core), self.codec.clone()) {
+            // Distributed path: map outputs become encoded blocks in
+            // executor block stores; reduce tasks fetch them back over TCP.
+            let num_maps = map_outputs.len();
+            for (map_part, blocks) in map_outputs.iter().enumerate() {
+                push_blocks(&cluster, codec.as_ref(), shuffle_id, map_part, blocks)?;
+            }
+            let repush: Repush = {
+                let core = Arc::clone(&self.core);
+                let parent = Arc::clone(&self.parent);
+                let map_f = Arc::clone(&map_f);
+                let codec = Arc::clone(&codec);
+                let cluster = Arc::clone(&cluster);
+                Arc::new(move |lost: &[usize]| {
+                    core.events.emit(Event::LineageRecovery {
+                        shuffle: shuffle_id,
+                        lost: lost.len() as u64,
+                    });
+                    let recomputed =
+                        core.run_partition_subset(&parent, Arc::clone(&map_f), lost)?;
+                    for (&map_part, blocks) in lost.iter().zip(&recomputed) {
+                        push_blocks(&cluster, codec.as_ref(), shuffle_id, map_part, blocks)?;
+                    }
+                    Ok(())
+                })
+            };
+            let _ = self.remote.set(Arc::new(RemoteShuffle {
+                shuffle: shuffle_id,
+                num_maps,
+                codec,
+                cluster,
+                repush,
+                recovery: Mutex::new(()),
+            }));
+            return Ok(());
+        }
         // Driver-side transpose into per-reducer buckets.
         let mut buckets: Vec<Vec<(K, C)>> = (0..num).map(|_| Vec::new()).collect();
         for mut map_out in map_outputs {
@@ -157,6 +309,38 @@ impl<K: Data + Hash + Eq, C: Data> RddOp<(K, C)> for ShuffledRdd<K, C> {
     }
 
     fn compute(&self, split: usize, tc: &TaskContext) -> BoxIter<(K, C)> {
+        if let Some(remote) = self.remote.get() {
+            // Distributed reduce: fetch and decode every map part's block
+            // for this partition — same content, same order as the local
+            // transpose, so the merge below behaves identically.
+            let pairs = remote.fetch_concat(split);
+            if tc.events.verbose() {
+                let records = pairs.len() as u64;
+                tc.events.emit(Event::ShuffleFetch {
+                    job: tc.stage,
+                    partition: tc.partition as u64,
+                    records,
+                    bytes: records * std::mem::size_of::<(K, C)>() as u64,
+                });
+            }
+            return match &self.merge {
+                Some(m) => {
+                    let mut merged: FxHashMap<K, C> = FxHashMap::default();
+                    for (k, c) in pairs {
+                        match merged.remove(&k) {
+                            Some(old) => {
+                                merged.insert(k, m(old, c));
+                            }
+                            None => {
+                                merged.insert(k, c);
+                            }
+                        }
+                    }
+                    Box::new(merged.into_iter())
+                }
+                None => Box::new(pairs.into_iter()),
+            };
+        }
         let buckets = Arc::clone(self.buckets.get().expect("prepare ran before compute"));
         if tc.events.verbose() {
             let records = buckets[split].len() as u64;
@@ -202,6 +386,9 @@ pub struct SortedRdd<T: Data, K: Data + Ord> {
     key_fn: Arc<dyn Fn(&T) -> K + Send + Sync>,
     ascending: bool,
     num_parts: usize,
+    /// Wire codec for the elements; enables the distributed range-shuffle
+    /// (pass 2 pushes blocks to executors, pass 3 fetches them back).
+    codec: Option<Arc<dyn CacheCodec<T>>>,
     sorted: OnceLock<Arc<Vec<Vec<T>>>>,
 }
 
@@ -213,7 +400,22 @@ impl<T: Data, K: Data + Ord> SortedRdd<T, K> {
         ascending: bool,
         num_parts: usize,
     ) -> Self {
-        SortedRdd { core, parent, key_fn, ascending, num_parts, sorted: OnceLock::new() }
+        SortedRdd {
+            core,
+            parent,
+            key_fn,
+            ascending,
+            num_parts,
+            codec: None,
+            sorted: OnceLock::new(),
+        }
+    }
+
+    /// Attaches a wire codec, making this sort's range shuffle eligible for
+    /// the distributed block-service path.
+    pub(crate) fn with_codec(mut self, codec: Arc<dyn CacheCodec<T>>) -> Self {
+        self.codec = Some(codec);
+        self
     }
 }
 
@@ -281,7 +483,71 @@ impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
                 blocks
             });
         let mut map_outputs = self.core.run_partitions(&self.parent, Arc::clone(&map_f))?;
-        recover_lost_map_outputs(&self.core, &self.parent, &map_f, &mut map_outputs)?;
+        let shuffle_id =
+            recover_lost_map_outputs(&self.core, &self.parent, &map_f, &mut map_outputs)?;
+        if let (Some(cluster), Some(codec)) = (active_cluster(&self.core), self.codec.clone()) {
+            // Distributed range shuffle: push pass-2 blocks to executors,
+            // have each pass-3 sort task fetch its range bucket back. The
+            // fetched concatenation matches the local transpose order, and
+            // the sort is stable, so output stays byte-identical.
+            let num_maps = map_outputs.len();
+            for (map_part, blocks) in map_outputs.iter().enumerate() {
+                push_blocks(&cluster, codec.as_ref(), shuffle_id, map_part, blocks)?;
+            }
+            let repush: Repush = {
+                let core = Arc::clone(&self.core);
+                let parent = Arc::clone(&self.parent);
+                let map_f = Arc::clone(&map_f);
+                let codec = Arc::clone(&codec);
+                let cluster = Arc::clone(&cluster);
+                Arc::new(move |lost: &[usize]| {
+                    core.events.emit(Event::LineageRecovery {
+                        shuffle: shuffle_id,
+                        lost: lost.len() as u64,
+                    });
+                    let recomputed =
+                        core.run_partition_subset(&parent, Arc::clone(&map_f), lost)?;
+                    for (&map_part, blocks) in lost.iter().zip(&recomputed) {
+                        push_blocks(&cluster, codec.as_ref(), shuffle_id, map_part, blocks)?;
+                    }
+                    Ok(())
+                })
+            };
+            let remote = Arc::new(RemoteShuffle {
+                shuffle: shuffle_id,
+                num_maps,
+                codec,
+                cluster: Arc::clone(&cluster),
+                repush,
+                recovery: Mutex::new(()),
+            });
+            let key_fn = Arc::clone(&self.key_fn);
+            let ascending = self.ascending;
+            let tasks: Vec<_> = (0..num)
+                .map(|r| {
+                    let remote = Arc::clone(&remote);
+                    let key_fn = Arc::clone(&key_fn);
+                    // Naturally re-runnable: a retry just fetches again.
+                    move |_tc: &TaskContext| {
+                        let mut bucket: Vec<T> = remote.fetch_concat(r);
+                        bucket.sort_by_cached_key(|t| key_fn(t));
+                        if !ascending {
+                            bucket.reverse();
+                        }
+                        bucket
+                    }
+                })
+                .collect();
+            let mut sorted = self.core.pool.run(tasks)?;
+            if !self.ascending {
+                sorted.reverse();
+            }
+            let _ = self.sorted.set(Arc::new(sorted));
+            // The sorted output is driver-local; the shuffle's blocks are
+            // no longer needed anywhere.
+            cluster.drop_shuffle(shuffle_id);
+            return Ok(());
+        }
         let mut buckets: Vec<Vec<T>> = (0..num).map(|_| Vec::new()).collect();
         for mut out in map_outputs {
             for (r, block) in out.drain(..).enumerate() {

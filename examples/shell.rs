@@ -24,6 +24,11 @@
 //! `--disable-rule=RBLO####` (repeatable) excludes one named rule. Use
 //! them to pin a wrong-result or perf regression on a single rewrite.
 //!
+//! Distributed mode: `--executors N` spawns N executor worker *processes*
+//! (this binary re-invoked with `--executor`) and routes shuffle blocks
+//! through their TCP block services; queries return the same answers as
+//! the default in-process threaded mode.
+//!
 //! Commands: `:load <path> <file>` copies a local file into the simulated
 //! HDFS, `:explain CODE` documents a diagnostic code or optimizer rule,
 //! `:rules` prints the rewrite-rule registry with per-rule fire counts for
@@ -73,8 +78,42 @@ fn explain_code(code: &str) {
     }
 }
 
+/// The `--executor` entry point: this process is an executor worker spawned
+/// by a driver shell's `--executors N`; serve it and exit.
+fn run_executor_mode(args: &[String]) -> ! {
+    let mut connect = None;
+    let mut worker_id = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--executor" => {}
+            "--connect" => connect = it.next().cloned(),
+            "--worker-id" => worker_id = it.next().and_then(|v| v.parse::<u64>().ok()),
+            other => {
+                eprintln!("unknown executor flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(connect), Some(worker)) = (connect, worker_id) else {
+        eprintln!("usage: --executor --connect ADDR --worker-id N");
+        std::process::exit(2);
+    };
+    let runtime = std::sync::Arc::new(rumble_repro::rumble::dist::JsoniqTaskRuntime);
+    match rumble_repro::sparklite::dist::run_worker(&connect, worker, runtime) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("executor worker {worker}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--executor") {
+        run_executor_mode(&args);
+    }
     match args.first().map(String::as_str) {
         Some("--explain") => {
             match args.get(1) {
@@ -111,9 +150,21 @@ fn main() {
     // Event collection is on so `:rules` can derive per-rule fire counts
     // from the OptimizerRuleFired stream.
     let mut conf = SparkliteConf::default().with_event_collection(true);
-    for arg in &args {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-opt" => conf = conf.with_optimizer(false),
+            "--executors" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--executors needs a positive worker count");
+                        std::process::exit(2);
+                    });
+                conf = conf.with_dist_processes(n);
+            }
             a if a.starts_with("--disable-rule=") => {
                 let id = a["--disable-rule=".len()..].trim().to_uppercase();
                 if rumble_repro::sparklite::dataframe::rules::rule_by_id(&id).is_none() {
@@ -127,8 +178,8 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown option '{other}' (expected --lint, --explain, --no-opt, or \
-                     --disable-rule=RBLO####)"
+                    "unknown option '{other}' (expected --lint, --explain, --no-opt, \
+                     --executors N, or --disable-rule=RBLO####)"
                 );
                 std::process::exit(2);
             }
@@ -138,6 +189,12 @@ fn main() {
     // The shell runs as a single long-lived application, so executors are
     // set up once (§5.4).
     let rumble = Rumble::with_conf(conf);
+    if let Some(cluster) = rumble.sparklite().cluster() {
+        println!(
+            "distributed mode: {} executor worker process(es) serving shuffle blocks over TCP",
+            cluster.num_workers()
+        );
+    }
     let opt = &rumble.sparklite().conf().optimizer;
     if !opt.enabled {
         println!("optimizer disabled (--no-opt): queries compile their raw logical plans");
