@@ -55,6 +55,14 @@ struct WorkerState {
     block_addr: Mutex<String>,
     /// Pooled connection to the worker's block service.
     block_conn: Mutex<Option<TcpStream>>,
+    /// Duplicate handles (`try_clone`) of `control` and `block_conn`, under
+    /// their own locks so [`Cluster::declare_dead`] can sever a hung
+    /// worker's sockets without touching the I/O mutexes — those may be
+    /// held across a blocking send/recv to the very worker being declared
+    /// dead (a SIGSTOPped process heartbeats nothing but keeps its sockets
+    /// open, so the reducer parked in `recv` holds `block_conn` forever).
+    control_sever: Mutex<Option<TcpStream>>,
+    block_sever: Mutex<Option<TcpStream>>,
     /// Last heartbeat arrival, µs since the cluster epoch.
     last_beat_us: AtomicU64,
     child: Mutex<Option<Child>>,
@@ -71,6 +79,8 @@ impl WorkerState {
             control: Mutex::new(None),
             block_addr: Mutex::new(String::new()),
             block_conn: Mutex::new(None),
+            control_sever: Mutex::new(None),
+            block_sever: Mutex::new(None),
             last_beat_us: AtomicU64::new(0),
             child: Mutex::new(None),
             worker_thread: Mutex::new(None),
@@ -86,6 +96,21 @@ impl WorkerState {
                 std::io::ErrorKind::NotConnected,
                 "worker control connection closed",
             )),
+        }
+    }
+
+    /// Shuts down both of the worker's sockets via the duplicate handles.
+    /// Deliberately never takes `control` or `block_conn`: a thread blocked
+    /// in I/O on either keeps holding its mutex until this very shutdown
+    /// unblocks it, so taking them here would deadlock the caller.
+    fn sever(&self) {
+        let control = self.control_sever.lock().expect("control sever lock").take();
+        if let Some(stream) = control {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let block = self.block_sever.lock().expect("block sever lock").take();
+        if let Some(stream) = block {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
@@ -192,7 +217,8 @@ impl Cluster {
         let deadline = Instant::now() + REGISTER_DEADLINE;
         let mut registered = 0usize;
         while registered < n {
-            if Instant::now() > deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
                 return Err(format!("only {registered}/{n} workers registered in time"));
             }
             let stream = match listener.accept() {
@@ -203,33 +229,45 @@ impl Cluster {
                 }
                 Err(e) => return Err(format!("accept worker: {e}")),
             };
-            stream.set_nonblocking(false).map_err(|e| format!("worker stream mode: {e}"))?;
+            // Anything can connect to the loopback control port, so a
+            // handshake that goes wrong — garbage instead of `Register`, an
+            // immediate hangup, a peer that sends nothing until the
+            // (remaining) deadline — drops that one connection and keeps
+            // accepting, rather than aborting startup for every worker.
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
             proto::tune_stream(&stream);
-            stream
-                .set_read_timeout(Some(REGISTER_DEADLINE))
-                .map_err(|e| format!("registration timeout: {e}"))?;
-            let mut read_half =
-                stream.try_clone().map_err(|e| format!("clone worker stream: {e}"))?;
-            let (worker, pid) = match proto::recv_msg(&mut read_half) {
-                Ok(Some(Msg::Register { worker, pid, block_addr })) => {
-                    let state = self
-                        .workers
-                        .get(worker as usize)
-                        .ok_or_else(|| format!("registration from unknown worker {worker}"))?;
-                    *state.block_addr.lock().expect("block addr lock") = block_addr;
-                    (worker, pid)
-                }
-                other => return Err(format!("expected Register, got {other:?}")),
+            if stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1)))).is_err() {
+                continue;
+            }
+            let Ok(mut read_half) = stream.try_clone() else { continue };
+            let (worker, pid, block_addr) = match proto::recv_msg(&mut read_half) {
+                Ok(Some(Msg::Register { worker, pid, block_addr })) => (worker, pid, block_addr),
+                _ => continue,
             };
-            read_half.set_read_timeout(None).map_err(|e| format!("clear timeout: {e}"))?;
-            let state = &self.workers[worker as usize];
+            let Some(state) = self.workers.get(worker as usize) else { continue };
+            if state.alive.load(Ordering::SeqCst) {
+                continue; // this worker index already registered
+            }
+            if read_half.set_read_timeout(None).is_err() {
+                continue;
+            }
+            *state.block_addr.lock().expect("block addr lock") = block_addr;
             state.pid.store(pid, Ordering::Relaxed);
             state.last_beat_us.store(self.now_us(), Ordering::Relaxed);
             {
                 let mut control = state.control.lock().expect("control lock");
                 let mut stream = stream;
-                proto::send_msg(&mut stream, &Msg::RegisterAck { heartbeat_ms: self.heartbeat_ms })
-                    .map_err(|e| format!("ack worker {worker}: {e}"))?;
+                if proto::send_msg(
+                    &mut stream,
+                    &Msg::RegisterAck { heartbeat_ms: self.heartbeat_ms },
+                )
+                .is_err()
+                {
+                    continue; // worker gone before the ack; the deadline reports it
+                }
+                *state.control_sever.lock().expect("control sever lock") = stream.try_clone().ok();
                 *control = Some(stream);
             }
             state.alive.store(true, Ordering::SeqCst);
@@ -305,12 +343,13 @@ impl Cluster {
             return;
         }
         self.events.emit(Event::ExecutorLost { worker: worker as u64, reason: reason.to_string() });
-        if let Some(stream) = self.workers[worker].control.lock().expect("control lock").take() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-        if let Some(conn) = state.block_conn.lock().expect("block conn lock").take() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-        }
+        // Sever through the duplicate handles only: the `control` and
+        // `block_conn` mutexes may be held by a thread blocked in I/O on
+        // this very worker (a silent hang), and taking them here would
+        // wedge the single monitor thread — stopping death detection for
+        // every other worker too. The shutdown unblocks that thread, which
+        // then observes the error and clears its side of the pool itself.
+        state.sever();
         if let Some(child) = state.child.lock().expect("child lock").as_mut() {
             let _ = child.kill();
         }
@@ -360,7 +399,11 @@ impl Cluster {
         self.pending.lock().expect("pending lock").insert(id, (worker, tx));
         if let Err(e) = state.send(&Msg::LaunchTask { task }) {
             self.pending.lock().expect("pending lock").remove(&id);
-            self.declare_dead(worker, "control write failed");
+            // `InvalidInput` is `write_frame` refusing an oversized frame —
+            // a driver-local encoding failure, not evidence the worker died.
+            if e.kind() != std::io::ErrorKind::InvalidInput {
+                self.declare_dead(worker, "control write failed");
+            }
             return Err(format!("dispatch to executor {worker}: {e}"));
         }
         let reply = match rx.recv_timeout(DISPATCH_TIMEOUT) {
@@ -391,6 +434,20 @@ impl Cluster {
         let nblocks = blocks.len() as u64;
         let bytes: u64 = blocks.iter().map(|(_, b)| b.len() as u64).sum();
         let payload = proto::encode_store_payload(blocks);
+        // A payload the frame layer cannot carry fails here, with the size
+        // in the error, before any dispatch: the `LaunchTask` envelope adds
+        // a tag, three varints, and the kind string (< 64 bytes), and
+        // `write_frame` would reject the whole frame locally — an error
+        // that must not read as a worker death and cascade through the
+        // cluster killing healthy executors one retry at a time.
+        if payload.len() + 64 > proto::MAX_FRAME {
+            return Err(format!(
+                "map output for shuffle {shuffle} part {map_part} encodes to {} bytes, \
+                 over the {} byte frame limit; repartition the map side into smaller parts",
+                payload.len(),
+                proto::MAX_FRAME,
+            ));
+        }
         for _ in 0..self.workers.len() * 2 {
             let live = self.live_workers();
             if live.is_empty() {
@@ -455,6 +512,17 @@ impl Cluster {
                 match TcpStream::connect(&addr) {
                     Ok(c) => {
                         proto::tune_stream(&c);
+                        // Stash the duplicate handle *before* re-checking
+                        // liveness: if the worker was declared dead in the
+                        // window since the check above, its sever pass may
+                        // already have run and found nothing — in which
+                        // case nobody would ever unblock a read on `c`, so
+                        // bail out here instead of pooling it.
+                        *state.block_sever.lock().expect("block sever lock") = c.try_clone().ok();
+                        if !state.alive.load(Ordering::SeqCst) {
+                            state.sever();
+                            return Err(FetchError::Lost);
+                        }
                         *conn = Some(c);
                     }
                     Err(_) => {
@@ -564,6 +632,10 @@ impl Cluster {
             let _ = monitor.join();
         }
         for w in &self.workers {
+            // Duplicate-handle sever first: it unblocks any thread still
+            // parked in I/O on this worker without touching the I/O locks,
+            // which that thread may be holding.
+            w.sever();
             if let Some(stream) = w.control.lock().expect("control lock").take() {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             }
@@ -587,6 +659,7 @@ impl Cluster {
     fn abort_spawned(&self) {
         self.shutting_down.store(true, Ordering::SeqCst);
         for w in &self.workers {
+            w.sever();
             if let Some(stream) = w.control.lock().expect("control lock").take() {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             }
@@ -605,5 +678,109 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Metrics;
+    use std::io::Write;
+
+    /// A bare cluster with `n` unregistered workers and no monitor thread —
+    /// the scaffolding for driving registration and death paths directly.
+    fn bare_cluster(n: usize) -> Arc<Cluster> {
+        Arc::new(Cluster {
+            events: Arc::new(EventBus::new(Arc::new(Metrics::default()))),
+            epoch: Instant::now(),
+            heartbeat_ms: 50,
+            heartbeat_timeout_ms: 3000,
+            next_task: AtomicU64::new(0),
+            workers: (0..n).map(|i| Arc::new(WorkerState::new(i))).collect(),
+            locations: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            monitor: Mutex::new(None),
+        })
+    }
+
+    /// The silent-hang shape (a SIGSTOPped worker): the block service
+    /// accepts a fetch, never answers, and keeps the socket open. The
+    /// reducer parks in `recv` holding the `block_conn` mutex, and
+    /// `declare_dead` (as the heartbeat monitor would call it) must sever
+    /// the socket and return without blocking on that mutex.
+    #[test]
+    fn declare_dead_severs_a_hung_block_fetch_without_deadlocking() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake block service");
+        let addr = listener.local_addr().expect("block addr").to_string();
+        let (got_request, request_seen) = mpsc::channel();
+        let service = thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("reducer connects");
+            let _ = proto::recv_msg(&mut conn); // swallow the FetchBlock
+            got_request.send(()).expect("test alive");
+            let _ = proto::recv_msg(&mut conn); // park until the driver severs
+        });
+
+        let cluster = bare_cluster(1);
+        cluster.workers[0].alive.store(true, Ordering::SeqCst);
+        *cluster.workers[0].block_addr.lock().expect("block addr lock") = addr;
+        cluster.locations.lock().expect("locations lock").insert((7, 0), 0);
+
+        let fetcher = {
+            let cluster = Arc::clone(&cluster);
+            thread::spawn(move || cluster.fetch(7, 0, 0))
+        };
+        request_seen
+            .recv_timeout(Duration::from_secs(10))
+            .expect("fetch request never reached the block service");
+
+        let start = Instant::now();
+        cluster.declare_dead(0, "test: silent hang");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "declare_dead blocked behind the hung fetch's lock"
+        );
+        let fetched = fetcher.join().expect("fetcher thread");
+        assert!(
+            matches!(fetched, Err(FetchError::Lost)),
+            "hung fetch should resolve to Lost, got {fetched:?}"
+        );
+        let _ = service.join();
+    }
+
+    /// Stray processes poking the loopback control port — connect-and-hang-up,
+    /// garbage bytes, a `Register` for a worker index that doesn't exist —
+    /// must each be dropped without aborting startup for the real worker.
+    #[test]
+    fn stray_connections_do_not_abort_registration() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind control");
+        let addr = listener.local_addr().expect("control addr").to_string();
+        listener.set_nonblocking(true).expect("control nonblocking");
+
+        let cluster = bare_cluster(1);
+        let worker = {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                drop(TcpStream::connect(&addr).expect("stray connects"));
+                let mut garbage = TcpStream::connect(&addr).expect("stray connects");
+                // An oversized length prefix: rejected at the frame layer.
+                let _ = garbage.write_all(&[0xFF; 8]);
+                drop(garbage);
+                let mut impostor = TcpStream::connect(&addr).expect("stray connects");
+                let _ = proto::send_msg(
+                    &mut impostor,
+                    &Msg::Register { worker: 99, pid: 1, block_addr: "nowhere:0".to_string() },
+                );
+                drop(impostor);
+                let _ = run_worker(&addr, 0, Arc::new(NoRuntime));
+            })
+        };
+
+        cluster
+            .accept_registrations(&listener, 1)
+            .expect("stray connections must not abort registration");
+        assert_eq!(cluster.live_workers(), vec![0]);
+        cluster.shutdown();
+        let _ = worker.join();
     }
 }

@@ -96,6 +96,11 @@ type Repush = Arc<dyn Fn(&[usize]) -> Result<()> + Send + Sync>;
 /// part's block for their partition over TCP, in map-part order — the same
 /// concatenation order as the driver-local transpose, which is what keeps
 /// distributed results byte-identical to threaded ones.
+///
+/// Blocks stay on the executors only as long as `compute` could still
+/// re-fetch them: dropping the last handle (the operator, or a sort task's
+/// clone) releases the shuffle cluster-wide, so a long-lived context (the
+/// shell) doesn't grow executor memory by one dead shuffle per query.
 struct RemoteShuffle<P: Data> {
     shuffle: u64,
     num_maps: usize,
@@ -151,6 +156,12 @@ impl<P: Data> RemoteShuffle<P> {
             }
         }
         out
+    }
+}
+
+impl<P: Data> Drop for RemoteShuffle<P> {
+    fn drop(&mut self) {
+        self.cluster.drop_shuffle(self.shuffle);
     }
 }
 
@@ -543,9 +554,8 @@ impl<T: Data, K: Data + Ord> Preparable for SortedRdd<T, K> {
                 sorted.reverse();
             }
             let _ = self.sorted.set(Arc::new(sorted));
-            // The sorted output is driver-local; the shuffle's blocks are
-            // no longer needed anywhere.
-            cluster.drop_shuffle(shuffle_id);
+            // The sorted output is driver-local, so `remote` dies here and
+            // its Drop releases the shuffle's blocks cluster-wide.
             return Ok(());
         }
         let mut buckets: Vec<Vec<T>> = (0..num).map(|_| Vec::new()).collect();

@@ -195,6 +195,54 @@ fn jobs_after_cluster_shutdown_fall_back_to_local_shuffles() {
 }
 
 #[test]
+fn oversized_map_output_fails_without_killing_workers() {
+    let sc = dist_ctx(2);
+    let cluster = sc.cluster().expect("distributed mode on");
+    // One block over MAX_FRAME: the push must fail with the size in the
+    // error — not read as a worker death and cascade-kill the cluster.
+    let huge = vec![0u8; MAX_FRAME + 1];
+    let err = cluster.push_map_output(7, 0, &[(0, huge)]).expect_err("cannot fit a frame");
+    assert!(err.contains("frame limit"), "unclear oversized-payload error: {err}");
+    assert_eq!(cluster.live_workers().len(), 2, "oversized payload declared workers dead");
+    assert_eq!(sc.metrics().executors_lost, 0);
+    // The cluster must still be fully usable afterwards.
+    let local = {
+        let sc = SparkliteContext::new(SparkliteConf::default().with_executors(4));
+        sum_by_key(&sc, false)
+    };
+    assert_eq!(sum_by_key(&sc, true), local);
+}
+
+#[test]
+fn dropping_a_shuffled_rdd_releases_its_blocks() {
+    let sc = dist_ctx(2);
+    let data: Vec<(i64, i64)> = (0..1_000).map(|i| (i % 11, i)).collect();
+    let rdd =
+        sc.parallelize(data, 6).reduce_by_key_with_codec(|a, b| a + b, 4, Arc::new(PairCodec));
+    rdd.collect().expect("job runs");
+    let cluster = sc.cluster().expect("distributed mode on");
+    // The run's single shuffle is the one with every map part placed.
+    let shuffle = (0..8)
+        .find(|&s| cluster.lost_parts(s, 6).is_empty())
+        .expect("a fully placed shuffle after the job");
+    drop(rdd);
+    // Dropping the operator must release the shuffle cluster-wide — in a
+    // long-lived context the executors would otherwise accumulate one dead
+    // shuffle's blocks per query, forever. The release can trail `collect`
+    // by an instant (a pool thread drops its task closure, which holds the
+    // last operator handle, just after reporting its result), so poll.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.lost_parts(shuffle, 6).len() != 6 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        cluster.lost_parts(shuffle, 6).len(),
+        6,
+        "dropping the RDD left its shuffle blocks placed"
+    );
+}
+
+#[test]
 fn oversized_frames_are_rejected() {
     let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
     let mut dec = FrameDecoder::new();
