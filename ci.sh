@@ -61,6 +61,14 @@ step "distributed suite (wire protocol + process executors)"
 cargo test -p sparklite --offline -q --test dist
 cargo test -p rumble-bench --offline -q --test dist_process
 
+# Columnar-execution gate: the row-vs-columnar differential battery (200+
+# random pipelines, both physical paths byte-compared through RowCodec)
+# plus the batch kernel property suites (validity bitmaps, string arenas,
+# gather under arbitrary selection vectors).
+step "columnar suite (differential battery + kernel proptests)"
+cargo test -p sparklite --offline -q --test columnar_diff
+cargo test -p sparklite --offline -q --lib batch::tests
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline
@@ -87,6 +95,13 @@ if [[ "$QUICK" -eq 0 ]]; then
 
   step "harness chaos --kill-executor smoke"
   ./target/release/harness chaos --kill-executor --tries 1
+
+  # Smoke the columnar A/B end to end: the harness dies unless the fused
+  # batch pipeline is no slower than the row-major walk of the same plan
+  # and both paths return byte-identical rows (BENCH_columnar.json records
+  # the measured A/B).
+  step "harness columnar smoke"
+  ./target/release/harness columnar --tries 2
 fi
 
 step "OK"

@@ -8,7 +8,7 @@
 //! harness [figure] [--scale N] [--tries N] [--kill-executor]
 //!
 //!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos | cache | trace
-//!           | dist
+//!           | dist | columnar
 //!   --scale          object-count multiplier (default 1 → laptop-sized runs)
 //!   --tries          timed repetitions per measurement (default 3)
 //!   --kill-executor  (chaos only) kill a live executor worker process mid-job
@@ -78,7 +78,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos|cache|\
-                     trace|dist] [--scale N] [--tries N] [--kill-executor]\n\
+                     trace|dist|columnar] [--scale N] [--tries N] [--kill-executor]\n\
                      \x20      harness --executor --connect ADDR --worker-id N"
                 );
                 std::process::exit(0);
@@ -125,6 +125,27 @@ fn check_cache_figure(r: &FigureReport) {
                 die(&format!(
                     "cache figure: warm run slower than cold for '{label}' \
                      ({warm:?} > {cold:?})"
+                ));
+            }
+        }
+    }
+}
+
+/// The columnar A/B must show the fused batch pipeline no slower than the
+/// row-major walk of the same plan — the smoke assertion CI runs
+/// (`ci.sh` invokes `harness columnar`). Group/sort rows are
+/// shuffle-dominated and may tie, so only the fused row is load-bearing.
+fn check_columnar_figure(r: &FigureReport) {
+    for (label, cells) in &r.rows {
+        if label.contains("fused") {
+            let (row_major, columnar) = match (&cells[0], &cells[1]) {
+                (Cell::Time(r), Cell::Time(c)) => (*r, *c),
+                _ => die(&format!("columnar figure row '{label}' failed to measure")),
+            };
+            if columnar > row_major {
+                die(&format!(
+                    "columnar figure: batch execution slower than row-major for '{label}' \
+                     ({columnar:?} > {row_major:?})"
                 ));
             }
         }
@@ -262,6 +283,17 @@ fn main() {
         let n = 50_000 * s;
         let r = figures::dist(n, &[1, 2, 4], t, Some(Vec::new()));
         emit("dist", &[("objects", n as u64), ("tries", t as u64)], &r);
+    }
+    if run_fig("columnar") {
+        ran = true;
+        let n = 50_000 * s;
+        let r = figures::columnar(n, cores, t);
+        check_columnar_figure(&r);
+        emit(
+            "columnar",
+            &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
+            &r,
+        );
     }
     if !ran {
         die(&format!("unknown figure '{}'", args.figure));

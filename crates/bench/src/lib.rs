@@ -159,6 +159,7 @@ fn required_event_fields(ev: &str) -> Option<&'static [&'static str]> {
         "ExecutorLost" => &["worker", "reason"],
         "BlockPush" => &["shuffle", "map_part", "blocks", "bytes"],
         "BlockFetch" => &["shuffle", "map_part", "reduce_part", "bytes"],
+        "ColumnarBatch" => &["fused_ops", "batches", "rows"],
         _ => return None,
     })
 }

@@ -336,6 +336,9 @@ mod tests {
         assert!(report.plan.contains("FunctionCall(json-file#1)"), "plan:\n{}", report.plan);
         assert!(report.plan.contains("rows=60"), "plan:\n{}", report.plan);
         assert!(report.plan.contains("time="), "plan:\n{}", report.plan);
+        // The comparison operands are compiled away into the fused item
+        // predicate — their subtrees never open and the plan says so.
+        assert!(report.plan.contains("[not executed]"), "plan:\n{}", report.plan);
         assert!(report.to_string().starts_with("EXPLAIN ANALYZE"), "{report}");
 
         // A group-by FLWOR goes through the DataFrame mapping and says so.
@@ -354,6 +357,34 @@ mod tests {
         assert_eq!(local.items, vec![Item::Integer(1275)]);
         assert!(local.plan.contains("mode=local"), "plan:\n{}", local.plan);
         assert!(local.plan.contains("rows=50"), "plan:\n{}", local.plan);
+    }
+
+    #[test]
+    fn explain_analyze_reports_fused_dataframe_pipelines() {
+        let r = Rumble::default_local();
+        let lines: String =
+            (0..40).map(|i| format!("{{\"country\": \"c{}\", \"pop\": {}}}\n", i % 4, i)).collect();
+        r.hdfs_put("/fused.json", &lines).unwrap();
+        // let + where cannot take the fused-RDD shortcut (the let breaks the
+        // scan shape), so this runs through the DataFrame mapping where the
+        // columnar compiler collapses the adjacent project + filter into one
+        // batch pass — and the profile says so.
+        let q = "for $e in json-file(\"hdfs:///fused.json\")
+                 let $c := $e.country
+                 where $c eq \"c1\"
+                 return $c";
+        let report = r.analyze_profile(q).unwrap();
+        assert_eq!(report.items.len(), 10);
+        assert_eq!(report.items, r.run(q).unwrap());
+        assert!(report.plan.contains("mode=dataframe (fused)"), "plan:\n{}", report.plan);
+
+        // Row-major execution disables fusion: same query, plain mode.
+        let row_major = Rumble::with_conf(SparkliteConf::default().with_row_major(true));
+        row_major.hdfs_put("/fused.json", &lines).unwrap();
+        let plain = row_major.analyze_profile(q).unwrap();
+        assert_eq!(plain.items, report.items);
+        assert!(plain.plan.contains("mode=dataframe"), "plan:\n{}", plain.plan);
+        assert!(!plain.plan.contains("mode=dataframe (fused)"), "plan:\n{}", plain.plan);
     }
 
     #[test]

@@ -279,7 +279,13 @@ impl ExprIterator for FlworIter {
                 return Some("rdd (fused)");
             }
         }
-        if matches!(self.frame_for(ctx), Ok(Some(_))) {
+        if let Ok(Some(frame)) = self.frame_for(ctx) {
+            // §4.7/§4.9: DataFrame execution is columnar; report whether the
+            // physical compiler will fuse adjacent batch operators so the
+            // observed-mode surface stays truthful.
+            if frame.df.fused_pipeline() {
+                return Some("dataframe (fused)");
+            }
             return Some("dataframe");
         }
         None

@@ -286,8 +286,10 @@ pub trait ExprIterator: Send + Sync {
     }
 
     /// A short static description of the distributed strategy [`rdd`] would
-    /// use in `ctx`, for `EXPLAIN ANALYZE` — e.g. `"rdd (fused)"` or
-    /// `"dataframe"`. `None` means plain `"rdd"` (or not applicable).
+    /// use in `ctx`, for `EXPLAIN ANALYZE` — e.g. `"rdd (fused)"`,
+    /// `"dataframe"` (columnar batch execution) or `"dataframe (fused)"`
+    /// (columnar with adjacent operators collapsed into one pass). `None`
+    /// means plain `"rdd"` (or not applicable).
     ///
     /// [`rdd`]: ExprIterator::rdd
     fn mode_hint(&self, _ctx: &DynamicContext) -> Option<&'static str> {

@@ -4,7 +4,8 @@
 //! wraps every runtime iterator in a [`ProfiledIter`] that records, per plan
 //! node: how many times it was opened, how many items it produced, a sampled
 //! wall-time estimate, and which execution mode actually ran (local cursor,
-//! RDD, fused RDD scan, or DataFrame). The [`ProfileRegistry`] collects one
+//! RDD, fused RDD scan, columnar DataFrame, or fused columnar DataFrame
+//! pipeline). The [`ProfileRegistry`] collects one
 //! [`NodeStats`] per node at compile time and renders the annotated plan
 //! tree after execution.
 //!
@@ -33,6 +34,7 @@ const MODE_LOCAL: u8 = 1;
 const MODE_RDD: u8 = 2;
 const MODE_RDD_FUSED: u8 = 3;
 const MODE_DATAFRAME: u8 = 4;
+const MODE_DATAFRAME_FUSED: u8 = 5;
 
 fn mode_code(name: &str) -> u8 {
     match name {
@@ -40,6 +42,7 @@ fn mode_code(name: &str) -> u8 {
         "rdd" => MODE_RDD,
         "rdd (fused)" => MODE_RDD_FUSED,
         "dataframe" => MODE_DATAFRAME,
+        "dataframe (fused)" => MODE_DATAFRAME_FUSED,
         _ => MODE_NONE,
     }
 }
@@ -50,6 +53,7 @@ fn mode_name(code: u8) -> &'static str {
         MODE_RDD => "rdd",
         MODE_RDD_FUSED => "rdd (fused)",
         MODE_DATAFRAME => "dataframe",
+        MODE_DATAFRAME_FUSED => "dataframe (fused)",
         _ => "-",
     }
 }
@@ -336,9 +340,10 @@ mod tests {
 
     #[test]
     fn mode_codes_round_trip_and_order() {
-        for m in ["local", "rdd", "rdd (fused)", "dataframe"] {
+        for m in ["local", "rdd", "rdd (fused)", "dataframe", "dataframe (fused)"] {
             assert_eq!(mode_name(mode_code(m)), m);
         }
+        assert!(mode_code("dataframe (fused)") > mode_code("dataframe"));
         assert!(mode_code("dataframe") > mode_code("rdd (fused)"));
         assert!(mode_code("rdd (fused)") > mode_code("rdd"));
         assert!(mode_code("rdd") > mode_code("local"));

@@ -179,6 +179,26 @@ impl Default for OptimizerConf {
     }
 }
 
+/// Physical DataFrame execution configuration: columnar batch size and the
+/// row-major escape hatch the differential test battery compares against.
+#[derive(Debug, Clone)]
+pub struct ExecConf {
+    /// When true, DataFrame plans compile to the legacy row-at-a-time
+    /// interpreter instead of columnar batch kernels. Kept exactly for the
+    /// row-vs-columnar differential tests and A/B benchmarks — results must
+    /// be byte-identical either way.
+    pub row_major: bool,
+    /// Rows per [`ColumnBatch`](crate::dataframe::batch::ColumnBatch) in the
+    /// vectorized pipeline (clamped to at least 1).
+    pub batch_size: usize,
+}
+
+impl Default for ExecConf {
+    fn default() -> Self {
+        ExecConf { row_major: false, batch_size: 1024 }
+    }
+}
+
 /// How the distribution layer deploys executor workers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DistMode {
@@ -251,6 +271,8 @@ pub struct SparkliteConf {
     /// Distribution layer: off (pure threads), thread workers over TCP, or
     /// real executor processes; see [`DistConf`].
     pub dist: DistConf,
+    /// Physical DataFrame execution knobs; see [`ExecConf`].
+    pub exec: ExecConf,
 }
 
 impl SparkliteConf {
@@ -343,6 +365,19 @@ impl SparkliteConf {
         self
     }
 
+    /// Selects the legacy row-at-a-time DataFrame interpreter instead of
+    /// columnar batch execution (the differential-test escape hatch).
+    pub fn with_row_major(mut self, on: bool) -> Self {
+        self.exec.row_major = on;
+        self
+    }
+
+    /// Sets the columnar batch size in rows (clamped to at least 1).
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.exec.batch_size = rows.max(1);
+        self
+    }
+
     /// Tunes the heartbeat cadence and death-detection deadline (both
     /// clamped to at least 1 ms). A deadline shorter than the cadence is
     /// honored but guarantees false-positive deaths — useful only to drive
@@ -368,6 +403,7 @@ impl Default for SparkliteConf {
             event_capacity: 1 << 16,
             optimizer: OptimizerConf::default(),
             dist: DistConf::default(),
+            exec: ExecConf::default(),
         }
     }
 }
@@ -383,6 +419,10 @@ mod tests {
         assert_eq!(c.default_parallelism, 1);
         let c = SparkliteConf::default().with_block_size(1);
         assert_eq!(c.block_size, 1024);
+        let c = SparkliteConf::default().with_batch_size(0);
+        assert_eq!(c.exec.batch_size, 1);
+        assert!(!c.exec.row_major);
+        assert!(SparkliteConf::default().with_row_major(true).exec.row_major);
     }
 
     #[test]

@@ -1,0 +1,1005 @@
+//! Columnar batches and vectorized operator kernels.
+//!
+//! A [`ColumnBatch`] stores a slice of rows column-major: `I64`/`F64`
+//! columns as native vectors, booleans as bitsets, strings as a byte arena
+//! with an offset array, and everything else (lists, binaries, mixed-type
+//! columns) as boxed [`Value`]s — each paired with a validity bitmap marking
+//! non-NULL slots. Kernels evaluate [`BoundExpr`]s over whole batches with
+//! typed fast paths, filter through selection vectors, and materialize the
+//! §4.7 group/sort key encodings per batch. The physical plan
+//! ([`super::plan::compile`]) converts rows to batches after every shuffle
+//! or RDD boundary and back before the next one, so [`super::RowCodec`]
+//! stays the only wire/persist format.
+//!
+//! Every kernel replicates the row interpreter's semantics *exactly* — the
+//! shared primitives (`truth`, `eval_cmp`, `eval_num`) live in
+//! [`super::expr`] and the row-vs-columnar differential battery
+//! (`tests/columnar_diff.rs`) pins byte-identical results.
+//!
+//! Invariant threaded through everything: a slot's validity bit is clear
+//! **iff** its logical value is `NULL`. `Column::get` reconstructs `NULL`
+//! from a clear bit, so typed storage never needs a NULL sentinel.
+
+use super::expr::{self, BoundExpr, CmpOp, KeyValue, NumOp, SortDir, SortKey};
+use super::{Row, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A packed bitset; doubles as validity bitmap and boolean column storage.
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn with_capacity(bits: usize) -> Bitmap {
+        Bitmap { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    /// A bitmap of `len` identical bits.
+    pub fn filled(len: usize, bit: bool) -> Bitmap {
+        let word = if bit { u64::MAX } else { 0 };
+        Bitmap { words: vec![word; len.div_ceil(64)], len }
+    }
+
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of bounds ({})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn count_ones(&self) -> usize {
+        let mut n: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        // Mask out garbage bits `filled(len, true)` leaves past `len`.
+        if !self.len.is_multiple_of(64) {
+            if let Some(last) = self.words.last() {
+                n -= (last >> (self.len % 64)).count_ones() as usize;
+            }
+        }
+        n
+    }
+}
+
+/// A byte arena of UTF-8 strings with an offset array: `offsets[i]..
+/// offsets[i+1]` delimits string `i`. One allocation per column instead of
+/// one `Arc<str>` per cell.
+#[derive(Debug, Clone)]
+pub struct StrArena {
+    bytes: Vec<u8>,
+    offsets: Vec<usize>,
+}
+
+impl Default for StrArena {
+    fn default() -> Self {
+        StrArena { bytes: Vec::new(), offsets: vec![0] }
+    }
+}
+
+impl StrArena {
+    pub fn push(&mut self, s: &str) {
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.bytes.len());
+    }
+
+    pub fn get(&self, i: usize) -> &str {
+        let slice = &self.bytes[self.offsets[i]..self.offsets[i + 1]];
+        std::str::from_utf8(slice).expect("arena bytes come from &str pushes")
+    }
+
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// The offset array, exposed so tests can check its integrity.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+/// Physical storage of one column's non-NULL slots. Invalid (NULL) slots
+/// hold an arbitrary placeholder in typed storage and `Value::Null` in
+/// boxed storage.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Bitmap),
+    Str(StrArena),
+    /// Fallback for lists, binaries and mixed-type columns.
+    Boxed(Vec<Value>),
+}
+
+/// One column of a batch: typed storage plus a validity bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    validity: Bitmap,
+    data: ColumnData,
+}
+
+/// Typed storage being grown one value at a time; [`BuilderState::Empty`]
+/// means only NULLs have been seen so far.
+enum BuilderState {
+    Empty,
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Bitmap),
+    Str(StrArena),
+    Boxed(Vec<Value>),
+}
+
+impl BuilderState {
+    /// Rebuilds every slot pushed so far as a boxed value (the degrade path
+    /// when a column turns out to be mixed-type).
+    fn reconstruct(self, validity: &Bitmap) -> Vec<Value> {
+        let n = validity.len();
+        let mut out = Vec::with_capacity(n + 1);
+        let valid = |i: usize| validity.get(i);
+        match self {
+            BuilderState::Empty => out.extend((0..n).map(|_| Value::Null)),
+            BuilderState::I64(v) => {
+                out.extend((0..n).map(|i| if valid(i) { Value::I64(v[i]) } else { Value::Null }))
+            }
+            BuilderState::F64(v) => {
+                out.extend((0..n).map(|i| if valid(i) { Value::F64(v[i]) } else { Value::Null }))
+            }
+            BuilderState::Bool(b) => {
+                out.extend(
+                    (0..n).map(|i| if valid(i) { Value::Bool(b.get(i)) } else { Value::Null }),
+                )
+            }
+            BuilderState::Str(a) => {
+                out.extend(
+                    (0..n).map(|i| if valid(i) { Value::str(a.get(i)) } else { Value::Null }),
+                )
+            }
+            BuilderState::Boxed(v) => return v,
+        }
+        out
+    }
+}
+
+/// Single-pass adaptive column builder: the first non-NULL value picks the
+/// typed storage, every later value takes one match, and a type mismatch
+/// degrades the column to boxed storage at most once. This is the hot path
+/// of the row→columnar boundary, so it never buffers values or rescans.
+pub struct ColumnBuilder {
+    validity: Bitmap,
+    state: BuilderState,
+}
+
+impl ColumnBuilder {
+    pub fn with_capacity(n: usize) -> ColumnBuilder {
+        ColumnBuilder { validity: Bitmap::with_capacity(n), state: BuilderState::Empty }
+    }
+
+    pub fn push(&mut self, v: Value) {
+        if v.is_null() {
+            match &mut self.state {
+                BuilderState::Empty => {}
+                BuilderState::I64(o) => o.push(0),
+                BuilderState::F64(o) => o.push(0.0),
+                BuilderState::Bool(o) => o.push(false),
+                BuilderState::Str(o) => o.push(""),
+                BuilderState::Boxed(o) => o.push(Value::Null),
+            }
+            self.validity.push(false);
+            return;
+        }
+        // Fast path: the value matches the storage already chosen.
+        let v = match (&mut self.state, v) {
+            (BuilderState::I64(o), Value::I64(x)) => {
+                o.push(x);
+                self.validity.push(true);
+                return;
+            }
+            (BuilderState::F64(o), Value::F64(x)) => {
+                o.push(x);
+                self.validity.push(true);
+                return;
+            }
+            (BuilderState::Bool(o), Value::Bool(x)) => {
+                o.push(x);
+                self.validity.push(true);
+                return;
+            }
+            (BuilderState::Str(o), Value::Str(s)) => {
+                o.push(&s);
+                self.validity.push(true);
+                return;
+            }
+            (BuilderState::Boxed(o), v) => {
+                o.push(v);
+                self.validity.push(true);
+                return;
+            }
+            (_, v) => v,
+        };
+        // Slow path, at most twice per column: the first non-NULL value
+        // initializes typed storage (backfilling placeholders for leading
+        // NULLs), and a mismatched value degrades the column to boxed.
+        let nulls = self.validity.len();
+        self.state = match (std::mem::replace(&mut self.state, BuilderState::Empty), v) {
+            (BuilderState::Empty, Value::I64(x)) => {
+                let mut o = vec![0i64; nulls];
+                o.push(x);
+                BuilderState::I64(o)
+            }
+            (BuilderState::Empty, Value::F64(x)) => {
+                let mut o = vec![0.0f64; nulls];
+                o.push(x);
+                BuilderState::F64(o)
+            }
+            (BuilderState::Empty, Value::Bool(x)) => {
+                let mut o = Bitmap::filled(nulls, false);
+                o.push(x);
+                BuilderState::Bool(o)
+            }
+            (BuilderState::Empty, Value::Str(s)) => {
+                let mut o = StrArena::default();
+                for _ in 0..nulls {
+                    o.push("");
+                }
+                o.push(&s);
+                BuilderState::Str(o)
+            }
+            (BuilderState::Empty, v) => {
+                let mut o = vec![Value::Null; nulls];
+                o.push(v);
+                BuilderState::Boxed(o)
+            }
+            (state, v) => {
+                let mut o = state.reconstruct(&self.validity);
+                o.push(v);
+                BuilderState::Boxed(o)
+            }
+        };
+        self.validity.push(true);
+    }
+
+    pub fn finish(self) -> Column {
+        let n = self.validity.len();
+        let data = match self.state {
+            // All-NULL (or empty) columns take the cheapest typed layout.
+            BuilderState::Empty => ColumnData::I64(vec![0; n]),
+            BuilderState::I64(o) => ColumnData::I64(o),
+            BuilderState::F64(o) => ColumnData::F64(o),
+            BuilderState::Bool(o) => ColumnData::Bool(o),
+            BuilderState::Str(o) => ColumnData::Str(o),
+            BuilderState::Boxed(o) => ColumnData::Boxed(o),
+        };
+        Column { validity: self.validity, data }
+    }
+}
+
+impl Column {
+    /// Builds a column from row values, choosing the densest representation
+    /// the actual data admits: a column whose non-NULL values are all one
+    /// scalar type gets native storage; anything else falls back to boxed.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        let mut b = ColumnBuilder::with_capacity(values.len());
+        for v in values {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// A column repeating `v` for `n` rows (literal broadcast).
+    pub fn broadcast(v: &Value, n: usize) -> Column {
+        let (validity, data) = match v {
+            Value::Null => (Bitmap::filled(n, false), ColumnData::I64(vec![0; n])),
+            Value::I64(x) => (Bitmap::filled(n, true), ColumnData::I64(vec![*x; n])),
+            Value::F64(x) => (Bitmap::filled(n, true), ColumnData::F64(vec![*x; n])),
+            Value::Bool(b) => (Bitmap::filled(n, true), ColumnData::Bool(Bitmap::filled(n, *b))),
+            Value::Str(s) => {
+                let mut arena = StrArena::default();
+                for _ in 0..n {
+                    arena.push(s);
+                }
+                (Bitmap::filled(n, true), ColumnData::Str(arena))
+            }
+            other => (Bitmap::filled(n, true), ColumnData::Boxed(vec![other.clone(); n])),
+        };
+        Column { validity, data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.get(i)
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Reconstructs the logical value of slot `i`.
+    pub fn get(&self, i: usize) -> Value {
+        if !self.validity.get(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::I64(v) => Value::I64(v[i]),
+            ColumnData::F64(v) => Value::F64(v[i]),
+            ColumnData::Bool(b) => Value::Bool(b.get(i)),
+            ColumnData::Str(a) => Value::str(a.get(i)),
+            ColumnData::Boxed(v) => v[i].clone(),
+        }
+    }
+
+    /// Copies the selected slots, in selection order, into a new column —
+    /// the materialization half of a selection vector.
+    pub fn gather(&self, sel: &[u32]) -> Column {
+        let mut validity = Bitmap::with_capacity(sel.len());
+        for &i in sel {
+            validity.push(self.validity.get(i as usize));
+        }
+        let data = match &self.data {
+            ColumnData::I64(v) => ColumnData::I64(sel.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::F64(v) => ColumnData::F64(sel.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Bool(b) => {
+                let mut out = Bitmap::with_capacity(sel.len());
+                for &i in sel {
+                    out.push(b.get(i as usize));
+                }
+                ColumnData::Bool(out)
+            }
+            ColumnData::Str(a) => {
+                let mut out = StrArena::default();
+                for &i in sel {
+                    out.push(a.get(i as usize));
+                }
+                ColumnData::Str(out)
+            }
+            ColumnData::Boxed(v) => {
+                ColumnData::Boxed(sel.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        };
+        Column { validity, data }
+    }
+}
+
+/// A column-major slice of rows: the unit of vectorized execution.
+///
+/// Columns are reference-counted so operators share rather than copy them:
+/// a projection that passes a column through untouched (`with_column` keeps
+/// every existing column) is a pointer bump, not a data copy. Kernels always
+/// build fresh columns, so the sharing is copy-on-write by construction.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    len: usize,
+    columns: Vec<Arc<Column>>,
+}
+
+impl ColumnBatch {
+    /// Transposes rows into columns in a single pass. `width` fixes the
+    /// column count (rows may be empty); every row must have exactly
+    /// `width` values.
+    pub fn from_rows(width: usize, rows: Vec<Row>) -> ColumnBatch {
+        let len = rows.len();
+        let mut builders: Vec<ColumnBuilder> =
+            (0..width).map(|_| ColumnBuilder::with_capacity(len)).collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), width, "row arity does not match batch width");
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v);
+            }
+        }
+        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+        ColumnBatch { len, columns }
+    }
+
+    pub fn from_columns(columns: Vec<Column>) -> ColumnBatch {
+        let len = columns.first().map(|c| c.len()).unwrap_or(0);
+        debug_assert!(columns.iter().all(|c| c.len() == len), "ragged batch");
+        ColumnBatch { len, columns: columns.into_iter().map(Arc::new).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Reconstructs row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Transposes back to rows (the shuffle/RDD boundary conversion).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Transposes only the selected slots back to rows, in selection order —
+    /// lets a fused pipeline emit a filtered batch without first gathering
+    /// every column.
+    pub fn to_rows_sel(&self, sel: &[u32]) -> Vec<Row> {
+        sel.iter().map(|&i| self.row(i as usize)).collect()
+    }
+
+    /// Applies a selection vector to every column.
+    pub fn gather(&self, sel: &[u32]) -> ColumnBatch {
+        ColumnBatch {
+            len: sel.len(),
+            columns: self.columns.iter().map(|c| Arc::new(c.gather(sel))).collect(),
+        }
+    }
+
+    /// The first `n` rows (the per-partition half of LIMIT).
+    pub fn head(&self, n: usize) -> ColumnBatch {
+        if n >= self.len {
+            return self.clone();
+        }
+        let sel: Vec<u32> = (0..n as u32).collect();
+        self.gather(&sel)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression kernels
+// ---------------------------------------------------------------------------
+
+/// The SQL truth value of slot `i` — `Some(bool)` only for valid booleans,
+/// mirroring [`expr::truth`] on the reconstructed value.
+fn truth_at(c: &Column, i: usize) -> Option<bool> {
+    if !c.validity.get(i) {
+        return None;
+    }
+    match &c.data {
+        ColumnData::Bool(b) => Some(b.get(i)),
+        ColumnData::Boxed(v) => expr::truth(&v[i]),
+        _ => None,
+    }
+}
+
+/// Builder for boolean result columns where some slots are NULL.
+struct BoolBuilder {
+    validity: Bitmap,
+    bits: Bitmap,
+}
+
+impl BoolBuilder {
+    fn with_capacity(n: usize) -> BoolBuilder {
+        BoolBuilder { validity: Bitmap::with_capacity(n), bits: Bitmap::with_capacity(n) }
+    }
+
+    fn push(&mut self, v: Option<bool>) {
+        self.validity.push(v.is_some());
+        self.bits.push(v.unwrap_or(false));
+    }
+
+    /// Pushes a `Value` known to be `Bool` or `Null` (what `eval_cmp` and
+    /// the three-valued connectives produce).
+    fn push_value(&mut self, v: Value) {
+        self.push(match v {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    fn finish(self) -> Column {
+        Column { validity: self.validity, data: ColumnData::Bool(self.bits) }
+    }
+}
+
+fn ord_to_bool(o: Ordering, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => o == Ordering::Equal,
+        CmpOp::Ne => o != Ordering::Equal,
+        CmpOp::Lt => o == Ordering::Less,
+        CmpOp::Le => o != Ordering::Greater,
+        CmpOp::Gt => o == Ordering::Greater,
+        CmpOp::Ge => o != Ordering::Less,
+    }
+}
+
+fn cmp_kernel(a: &Column, op: CmpOp, b: &Column) -> Column {
+    let n = a.len();
+    let mut out = BoolBuilder::with_capacity(n);
+    let both = |i: usize| a.validity.get(i) && b.validity.get(i);
+    match (&a.data, &b.data) {
+        (ColumnData::I64(x), ColumnData::I64(y)) => {
+            for i in 0..n {
+                out.push(both(i).then(|| ord_to_bool(x[i].cmp(&y[i]), op)));
+            }
+        }
+        (ColumnData::F64(x), ColumnData::F64(y)) => {
+            for i in 0..n {
+                let o = if both(i) { x[i].partial_cmp(&y[i]) } else { None };
+                out.push(o.map(|o| ord_to_bool(o, op)));
+            }
+        }
+        (ColumnData::I64(x), ColumnData::F64(y)) => {
+            for i in 0..n {
+                let o = if both(i) { (x[i] as f64).partial_cmp(&y[i]) } else { None };
+                out.push(o.map(|o| ord_to_bool(o, op)));
+            }
+        }
+        (ColumnData::F64(x), ColumnData::I64(y)) => {
+            for i in 0..n {
+                let o = if both(i) { x[i].partial_cmp(&(y[i] as f64)) } else { None };
+                out.push(o.map(|o| ord_to_bool(o, op)));
+            }
+        }
+        (ColumnData::Str(x), ColumnData::Str(y)) => {
+            for i in 0..n {
+                out.push(both(i).then(|| ord_to_bool(x.get(i).cmp(y.get(i)), op)));
+            }
+        }
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => {
+            for i in 0..n {
+                out.push(both(i).then(|| ord_to_bool(x.get(i).cmp(&y.get(i)), op)));
+            }
+        }
+        // Boxed or cross-representation operands: defer to the row
+        // primitive slot by slot (identical semantics by construction).
+        _ => {
+            for i in 0..n {
+                out.push_value(expr::eval_cmp(&a.get(i), op, &b.get(i)));
+            }
+        }
+    }
+    out.finish()
+}
+
+fn num_kernel(a: &Column, op: NumOp, b: &Column) -> Column {
+    let n = a.len();
+    let both = |i: usize| a.validity.get(i) && b.validity.get(i);
+    match (&a.data, &b.data) {
+        // Integer arithmetic stays integer (checked — overflow and x % 0
+        // become NULL), except division, which always yields a double.
+        (ColumnData::I64(x), ColumnData::I64(y)) if op != NumOp::Div => {
+            let mut validity = Bitmap::with_capacity(n);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let r = if both(i) {
+                    match op {
+                        NumOp::Add => x[i].checked_add(y[i]),
+                        NumOp::Sub => x[i].checked_sub(y[i]),
+                        NumOp::Mul => x[i].checked_mul(y[i]),
+                        NumOp::Mod => {
+                            if y[i] == 0 {
+                                None
+                            } else {
+                                x[i].checked_rem(y[i])
+                            }
+                        }
+                        NumOp::Div => unreachable!(),
+                    }
+                } else {
+                    None
+                };
+                validity.push(r.is_some());
+                out.push(r.unwrap_or(0));
+            }
+            Column { validity, data: ColumnData::I64(out) }
+        }
+        (ColumnData::I64(_) | ColumnData::F64(_), ColumnData::I64(_) | ColumnData::F64(_)) => {
+            let as_f64 = |data: &ColumnData, i: usize| match data {
+                ColumnData::I64(v) => v[i] as f64,
+                ColumnData::F64(v) => v[i],
+                _ => unreachable!(),
+            };
+            let mut validity = Bitmap::with_capacity(n);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if both(i) {
+                    let (x, y) = (as_f64(&a.data, i), as_f64(&b.data, i));
+                    validity.push(true);
+                    out.push(match op {
+                        NumOp::Add => x + y,
+                        NumOp::Sub => x - y,
+                        NumOp::Mul => x * y,
+                        NumOp::Div => x / y,
+                        NumOp::Mod => x % y,
+                    });
+                } else {
+                    validity.push(false);
+                    out.push(0.0);
+                }
+            }
+            Column { validity, data: ColumnData::F64(out) }
+        }
+        // Non-numeric or mixed-representation operands: slot-by-slot via
+        // the row primitive; results may mix I64/F64/NULL, so rebuild.
+        _ => {
+            let results = (0..n).map(|i| expr::eval_num(&a.get(i), op, &b.get(i))).collect();
+            Column::from_values(results)
+        }
+    }
+}
+
+/// Evaluates a bound expression over a whole batch, producing one column.
+/// Typed columns take vectorized fast paths; UDFs and mixed-type columns
+/// fall back to per-slot evaluation with identical semantics. A bare column
+/// reference shares the input column instead of copying it.
+pub fn eval(e: &BoundExpr, batch: &ColumnBatch) -> Arc<Column> {
+    let n = batch.len();
+    match e {
+        BoundExpr::Col(i) => Arc::clone(&batch.columns[*i]),
+        BoundExpr::Lit(v) => Arc::new(Column::broadcast(v, n)),
+        BoundExpr::Cmp(a, op, b) => Arc::new(cmp_kernel(&eval(a, batch), *op, &eval(b, batch))),
+        BoundExpr::Num(a, op, b) => Arc::new(num_kernel(&eval(a, batch), *op, &eval(b, batch))),
+        BoundExpr::And(a, b) => {
+            let (ca, cb) = (eval(a, batch), eval(b, batch));
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                out.push(match (truth_at(&ca, i), truth_at(&cb, i)) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                });
+            }
+            Arc::new(out.finish())
+        }
+        BoundExpr::Or(a, b) => {
+            let (ca, cb) = (eval(a, batch), eval(b, batch));
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                out.push(match (truth_at(&ca, i), truth_at(&cb, i)) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                });
+            }
+            Arc::new(out.finish())
+        }
+        BoundExpr::Not(a) => {
+            let ca = eval(a, batch);
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                out.push(truth_at(&ca, i).map(|b| !b));
+            }
+            Arc::new(out.finish())
+        }
+        BoundExpr::IsNull(a) => {
+            let ca = eval(a, batch);
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                out.push(Some(!ca.validity.get(i)));
+            }
+            Arc::new(out.finish())
+        }
+        // Opaque row functions force the scalar path: materialize each row.
+        BoundExpr::Udf { f, schema } => {
+            let results = (0..n).map(|i| f(schema, &batch.row(i))).collect();
+            Arc::new(Column::from_values(results))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator kernels
+// ---------------------------------------------------------------------------
+
+/// Evaluates a filter predicate over the batch and returns the selection
+/// vector of surviving row indices (only a definite `TRUE` keeps a row).
+pub fn selection(pred: &BoundExpr, batch: &ColumnBatch) -> Vec<u32> {
+    refine(pred, batch, None)
+}
+
+/// Refines a selection vector through a filter predicate *without*
+/// materializing the batch: the predicate is evaluated over every slot
+/// once, then only already-selected slots whose truth value is a definite
+/// `TRUE` survive. `None` means "all slots selected". The order (ascending)
+/// of the selection is preserved, so consecutive filters compose into one
+/// final gather. Callers must not pass UDF predicates here with a narrowed
+/// selection — built-in operators are pure and total on every value, but a
+/// UDF may only observe rows that logically reach it.
+pub fn refine(pred: &BoundExpr, batch: &ColumnBatch, sel: Option<Vec<u32>>) -> Vec<u32> {
+    let c = eval(pred, batch);
+    match sel {
+        Some(s) => s.into_iter().filter(|&i| truth_at(&c, i as usize) == Some(true)).collect(),
+        None => {
+            (0..batch.len).filter(|&i| truth_at(&c, i) == Some(true)).map(|i| i as u32).collect()
+        }
+    }
+}
+
+/// Projects the batch through `exprs` (one output column per expression).
+pub fn project(exprs: &[BoundExpr], batch: &ColumnBatch) -> ColumnBatch {
+    ColumnBatch { len: batch.len, columns: exprs.iter().map(|e| eval(e, batch)).collect() }
+}
+
+/// EXPLODE over column `col`: one output row per list element, the list
+/// column replaced by the element. NULLs and non-lists yield no rows. The
+/// other columns replicate through a selection vector with repetition.
+pub fn explode(batch: &ColumnBatch, col: usize) -> ColumnBatch {
+    let mut parents: Vec<u32> = Vec::new();
+    let mut elems: Vec<Value> = Vec::new();
+    let c = &batch.columns[col];
+    for i in 0..batch.len {
+        if let Value::List(items) = c.get(i) {
+            for v in items.iter() {
+                parents.push(i as u32);
+                elems.push(v.clone());
+            }
+        }
+    }
+    let mut out = batch.gather(&parents);
+    out.columns[col] = Arc::new(Column::from_values(elems));
+    out
+}
+
+/// Materializes §4.7 grouping keys for every row of the batch: one
+/// [`KeyValue`] vector per row, hashable/equatable by exact representation.
+pub fn group_keys(batch: &ColumnBatch, key_cols: &[usize]) -> Vec<Vec<KeyValue>> {
+    (0..batch.len)
+        .map(|i| key_cols.iter().map(|&c| KeyValue(batch.columns[c].get(i))).collect())
+        .collect()
+}
+
+/// Materializes sort keys for every row of the batch: one [`SortKey`]
+/// vector per row, ordered so a plain ascending sort realizes the requested
+/// multi-key order.
+pub fn sort_keys(batch: &ColumnBatch, spec: &[(usize, SortDir)]) -> Vec<Vec<SortKey>> {
+    (0..batch.len)
+        .map(|i| spec.iter().map(|&(c, d)| SortKey::new(batch.columns[c].get(i), d)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn mixed_values() -> Vec<Value> {
+        vec![
+            Value::I64(1),
+            Value::Null,
+            Value::str("hello"),
+            Value::F64(2.5),
+            Value::Bool(true),
+            Value::list(vec![Value::I64(1), Value::Null]),
+            Value::Bin(Arc::from(&b"\x00\xFF"[..])),
+        ]
+    }
+
+    #[test]
+    fn bitmap_push_get_count() {
+        let mut b = Bitmap::with_capacity(3);
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_ones(), (0..130).filter(|i| i % 3 == 0).count());
+        assert_eq!(Bitmap::filled(70, true).count_ones(), 70);
+        assert_eq!(Bitmap::filled(70, false).count_ones(), 0);
+    }
+
+    #[test]
+    fn arena_offsets_stay_consistent() {
+        let mut a = StrArena::default();
+        let strs = ["", "a", "héllo", "", "—wide—"];
+        for s in strs {
+            a.push(s);
+        }
+        assert_eq!(a.len(), strs.len());
+        for (i, s) in strs.iter().enumerate() {
+            assert_eq!(a.get(i), *s);
+        }
+        // Offsets are monotone and bracket the byte buffer exactly.
+        let offs = a.offsets();
+        assert_eq!(offs.len(), strs.len() + 1);
+        assert_eq!(offs[0], 0);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*offs.last().unwrap(), strs.iter().map(|s| s.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn column_representation_adapts_to_data() {
+        let ints = Column::from_values(vec![Value::I64(1), Value::Null, Value::I64(3)]);
+        assert!(matches!(ints.data(), ColumnData::I64(_)));
+        assert!(!ints.is_valid(1));
+
+        let strs = Column::from_values(vec![Value::str("x"), Value::Null]);
+        assert!(matches!(strs.data(), ColumnData::Str(_)));
+
+        let bools = Column::from_values(vec![Value::Bool(true), Value::Bool(false)]);
+        assert!(matches!(bools.data(), ColumnData::Bool(_)));
+
+        // Mixed scalar types and compound values fall back to boxed.
+        let mixed = Column::from_values(vec![Value::I64(1), Value::str("x")]);
+        assert!(matches!(mixed.data(), ColumnData::Boxed(_)));
+        let lists = Column::from_values(vec![Value::list(vec![])]);
+        assert!(matches!(lists.data(), ColumnData::Boxed(_)));
+    }
+
+    #[test]
+    fn batch_round_trips_mixed_rows() {
+        let rows: Vec<Row> =
+            vec![mixed_values(), mixed_values().into_iter().rev().collect(), vec![Value::Null; 7]];
+        let batch = ColumnBatch::from_rows(7, rows.clone());
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.width(), 7);
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn empty_and_single_row_batches() {
+        let empty = ColumnBatch::from_rows(2, vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_rows(), Vec::<Row>::new());
+        let one = ColumnBatch::from_rows(1, vec![vec![Value::F64(f64::NAN)]]);
+        let back = one.to_rows();
+        // NaN round-trips by bit pattern.
+        match &back[0][0] {
+            Value::F64(x) => assert!(x.is_nan()),
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_vector_filters_only_definite_true() {
+        let rows: Vec<Row> = vec![
+            vec![Value::I64(5)],
+            vec![Value::Null],
+            vec![Value::I64(50)],
+            vec![Value::str("not a number")],
+        ];
+        let batch = ColumnBatch::from_rows(1, rows);
+        // col0 > 10 — NULL and the incompatible string both drop.
+        let pred = BoundExpr::Cmp(
+            Box::new(BoundExpr::Col(0)),
+            CmpOp::Gt,
+            Box::new(BoundExpr::Lit(Value::I64(10))),
+        );
+        assert_eq!(selection(&pred, &batch), vec![2]);
+        let kept = batch.gather(&selection(&pred, &batch));
+        assert_eq!(kept.to_rows(), vec![vec![Value::I64(50)]]);
+    }
+
+    #[test]
+    fn explode_kernel_matches_row_semantics() {
+        let rows: Vec<Row> = vec![
+            vec![Value::I64(1), Value::list(vec![Value::str("a"), Value::str("b")])],
+            vec![Value::I64(2), Value::list(vec![])],
+            vec![Value::I64(3), Value::Null],
+            vec![Value::I64(4), Value::str("not a list")],
+            vec![Value::I64(5), Value::list(vec![Value::Null])],
+        ];
+        let batch = ColumnBatch::from_rows(2, rows);
+        let out = explode(&batch, 1);
+        assert_eq!(
+            out.to_rows(),
+            vec![
+                vec![Value::I64(1), Value::str("a")],
+                vec![Value::I64(1), Value::str("b")],
+                vec![Value::I64(5), Value::Null],
+            ]
+        );
+    }
+
+    #[test]
+    fn key_kernels_encode_rows() {
+        let rows: Vec<Row> =
+            vec![vec![Value::I64(2), Value::str("b")], vec![Value::Null, Value::str("a")]];
+        let batch = ColumnBatch::from_rows(2, rows);
+        let gk = group_keys(&batch, &[0, 1]);
+        assert_eq!(gk.len(), 2);
+        assert_eq!(gk[0][0], KeyValue(Value::I64(2)));
+        assert_eq!(gk[1][0], KeyValue(Value::Null));
+        let sk = sort_keys(&batch, &[(0, SortDir::asc())]);
+        // NULL sorts first under ascending nulls-first.
+        assert!(sk[1][0] < sk[0][0]);
+    }
+
+    #[test]
+    fn validity_carries_across_batch_seams() {
+        // Split one logical column at an awkward seam (mid-word for the
+        // bitmaps) and check both halves agree with the whole.
+        let values: Vec<Value> =
+            (0..100).map(|i| if i % 7 == 0 { Value::Null } else { Value::I64(i) }).collect();
+        let whole = Column::from_values(values.clone());
+        let first = Column::from_values(values[..37].to_vec());
+        let second = Column::from_values(values[37..].to_vec());
+        for i in 0..100 {
+            let got = if i < 37 { first.get(i) } else { second.get(i - 37) };
+            assert_eq!(got, whole.get(i), "slot {i}");
+        }
+        assert_eq!(
+            first.validity.count_ones() + second.validity.count_ones(),
+            whole.validity.count_ones()
+        );
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::I64),
+            any::<f64>().prop_map(Value::F64),
+            "[a-z]{0,12}".prop_map(Value::str),
+            prop::collection::vec(any::<u8>(), 0..8)
+                .prop_map(|b| Value::Bin(Arc::from(b.as_slice()))),
+            prop::collection::vec(any::<i64>(), 0..4)
+                .prop_map(|v| Value::list(v.into_iter().map(Value::I64).collect())),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Any column of arbitrary values — homogeneous or mixed, with NULLs,
+        // NaNs and compound values — round-trips row→columnar→row
+        // losslessly (f64 by bit pattern).
+        #[test]
+        fn any_column_round_trips(values in prop::collection::vec(arb_value(), 0..50)) {
+            let col = Column::from_values(values.clone());
+            prop_assert_eq!(col.len(), values.len());
+            for (i, v) in values.iter().enumerate() {
+                let got = col.get(i);
+                let same = match (&got, v) {
+                    (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+                    (a, b) => a == b,
+                };
+                prop_assert!(same, "slot {} changed: {:?} vs {:?}", i, got, v);
+                prop_assert_eq!(col.is_valid(i), !v.is_null());
+            }
+        }
+
+        // Gather preserves values under any selection vector (with
+        // repetition and reordering).
+        #[test]
+        fn gather_preserves_values(
+            values in prop::collection::vec(arb_value(), 1..40),
+            picks in prop::collection::vec(any::<u32>(), 0..60),
+        ) {
+            let col = Column::from_values(values.clone());
+            let sel: Vec<u32> = picks.iter().map(|p| p % values.len() as u32).collect();
+            let gathered = col.gather(&sel);
+            prop_assert_eq!(gathered.len(), sel.len());
+            for (out, &src) in sel.iter().enumerate() {
+                let (a, b) = (gathered.get(out), col.get(src as usize));
+                let same = match (&a, &b) {
+                    (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+                    (x, y) => x == y,
+                };
+                prop_assert!(same, "gathered slot {} differs", out);
+            }
+        }
+    }
+}

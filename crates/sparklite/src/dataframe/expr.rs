@@ -212,6 +212,23 @@ pub enum BoundExpr {
 }
 
 impl BoundExpr {
+    /// Whether the tree contains an opaque row function. The fused columnar
+    /// loop composes filter selections only for UDF-free predicates:
+    /// built-in operators are pure and total on every value, so evaluating
+    /// them over slots an earlier filter already dropped is harmless, while
+    /// a UDF may only observe rows that logically reach it.
+    pub fn has_udf(&self) -> bool {
+        match self {
+            BoundExpr::Col(_) | BoundExpr::Lit(_) => false,
+            BoundExpr::Cmp(a, _, b)
+            | BoundExpr::Num(a, _, b)
+            | BoundExpr::And(a, b)
+            | BoundExpr::Or(a, b) => a.has_udf() || b.has_udf(),
+            BoundExpr::Not(a) | BoundExpr::IsNull(a) => a.has_udf(),
+            BoundExpr::Udf { .. } => true,
+        }
+    }
+
     /// Evaluates against one row. NULL propagates SQL-style.
     pub fn eval(&self, row: &[Value]) -> Value {
         match self {
@@ -244,14 +261,16 @@ impl BoundExpr {
     }
 }
 
-fn truth(v: &Value) -> Option<bool> {
+/// SQL truth value: `Some(b)` only for booleans, everything else is
+/// "unknown" (the columnar kernels share this with the row interpreter).
+pub(crate) fn truth(v: &Value) -> Option<bool> {
     match v {
         Value::Bool(b) => Some(*b),
         _ => None,
     }
 }
 
-fn eval_cmp(a: &Value, op: CmpOp, b: &Value) -> Value {
+pub(crate) fn eval_cmp(a: &Value, op: CmpOp, b: &Value) -> Value {
     if a.is_null() || b.is_null() {
         return Value::Null;
     }
@@ -292,7 +311,7 @@ fn eval_cmp(a: &Value, op: CmpOp, b: &Value) -> Value {
     }
 }
 
-fn eval_num(a: &Value, op: NumOp, b: &Value) -> Value {
+pub(crate) fn eval_num(a: &Value, op: NumOp, b: &Value) -> Value {
     if a.is_null() || b.is_null() {
         return Value::Null;
     }

@@ -12,14 +12,15 @@
 //! Execution compiles the optimized logical plan onto the RDD substrate, so
 //! DataFrames inherit its parallel scheduling, shuffles and metrics.
 
+pub mod batch;
 mod expr;
 mod plan;
 pub mod properties;
 mod rowcodec;
 pub mod rules;
 
-pub use expr::{CmpOp, Expr, KeyValue, NumOp, SortDir, SortKey};
-pub use plan::{optimize, Agg, LogicalPlan, NamedExpr};
+pub use expr::{BoundExpr, CmpOp, Expr, KeyValue, NumOp, SortDir, SortKey};
+pub use plan::{fused_pipeline_ops, optimize, Agg, LogicalPlan, NamedExpr};
 pub use properties::{PlanProperties, Preserved};
 pub use rowcodec::RowCodec;
 pub use rules::{OptimizeTrace, Optimizer, RewriteRule};
@@ -437,6 +438,31 @@ impl DataFrame {
             Arc::clone(&self.plan)
         };
         plan::compile(&self.core, &optimized)
+    }
+
+    /// Whether compiling this frame (under the context's optimizer and
+    /// execution configuration) produces at least one fused multi-operator
+    /// columnar pipeline segment. Always `false` under
+    /// [`crate::conf::ExecConf::row_major`]. This is the signal behind
+    /// EXPLAIN ANALYZE's `dataframe (fused)` mode hint, so it mirrors
+    /// [`to_rdd`] exactly — including running the optimizer (silently — no
+    /// rule-fire events are emitted for this read-only preview).
+    ///
+    /// [`to_rdd`]: DataFrame::to_rdd
+    pub fn fused_pipeline(&self) -> bool {
+        if self.core.conf.exec.row_major {
+            return false;
+        }
+        let opt_conf = &self.core.conf.optimizer;
+        let plan = if opt_conf.enabled {
+            Optimizer::standard()
+                .without_rules(&opt_conf.disabled_rules)
+                .run(Arc::clone(&self.plan))
+                .0
+        } else {
+            Arc::clone(&self.plan)
+        };
+        fused_pipeline_ops(&plan) >= 2
     }
 
     pub fn collect_rows(&self) -> Result<Vec<Row>> {

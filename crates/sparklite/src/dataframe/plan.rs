@@ -1,11 +1,13 @@
 //! The DataFrame logical plan, its rule-based optimizer (Catalyst-lite),
 //! and compilation onto the RDD substrate.
 
+use super::batch::{self, ColumnBatch};
 use super::expr::{BoundExpr, Expr, KeyValue, SortDir, SortKey};
 use super::{DataType, Field, Row, RowCodec, Schema, Value};
 use crate::context::Core;
 use crate::error::{Result, SparkliteError};
-use crate::rdd::{FromPartitionsRdd, Rdd};
+use crate::events::Event;
+use crate::rdd::{BoxIter, FromPartitionsRdd, Rdd};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -699,23 +701,40 @@ pub fn optimize(plan: Arc<LogicalPlan>) -> Arc<LogicalPlan> {
 // ---------------------------------------------------------------------------
 
 /// Compiles a (normally optimized) plan to an RDD of rows.
+///
+/// The default physical layer is columnar: pipeline segments of
+/// Project/Filter/Explode/Limit execute as vectorized kernels over
+/// [`ColumnBatch`]es, fused into a single pass per segment, with rows
+/// materialized only at shuffle and RDD boundaries ([`RowCodec`] stays the
+/// only wire/persist format). [`crate::conf::ExecConf::row_major`] selects
+/// the historical row-at-a-time interpreter instead — kept as the reference
+/// implementation the columnar differential test battery compares against.
 pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
+    if core.conf.exec.row_major {
+        compile_row_major(core, plan)
+    } else {
+        compile_columnar(core, plan)
+    }
+}
+
+/// Row-at-a-time reference compiler (`ExecConf::row_major`).
+fn compile_row_major(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
     let num_parts = core.conf.default_parallelism;
     match plan.as_ref() {
         LogicalPlan::FromRdd { rows, .. } => Ok(rows.clone()),
         LogicalPlan::Project { input, exprs, .. } => {
-            let rdd = compile(core, input)?;
+            let rdd = compile_row_major(core, input)?;
             let bound: Vec<BoundExpr> =
                 exprs.iter().map(|e| e.expr.bind(input.schema())).collect::<Result<_>>()?;
             Ok(rdd.map(move |row| bound.iter().map(|b| b.eval(&row)).collect::<Row>()))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let rdd = compile(core, input)?;
+            let rdd = compile_row_major(core, input)?;
             let bound = predicate.bind(input.schema())?;
             Ok(rdd.filter(move |row| bound.eval_predicate(row)))
         }
         LogicalPlan::Explode { input, col, .. } => {
-            let rdd = compile(core, input)?;
+            let rdd = compile_row_major(core, input)?;
             let idx = input.schema().resolve(col)?;
             Ok(rdd.flat_map(move |row| {
                 let items: Vec<Row> = match &row[idx] {
@@ -733,18 +752,11 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
             }))
         }
         LogicalPlan::GroupBy { input, keys, aggs, .. } => {
-            let rdd = compile(core, input)?;
+            let rdd = compile_row_major(core, input)?;
             let schema = input.schema();
             let key_idx: Vec<usize> =
                 keys.iter().map(|k| schema.resolve(k)).collect::<Result<_>>()?;
-            let agg_specs: Vec<(Agg, Option<usize>)> = aggs
-                .iter()
-                .map(|(a, _)| {
-                    Ok((a.clone(), a.input_col().map(|c| schema.resolve(c)).transpose()?))
-                })
-                .collect::<Result<_>>()?;
-            let specs = Arc::new(agg_specs);
-            let specs2 = Arc::clone(&specs);
+            let specs = Arc::new(agg_specs(schema, aggs)?);
             let paired = rdd.map(move |row| {
                 let key: Vec<KeyValue> =
                     key_idx.iter().map(|&i| KeyValue(row[i].clone())).collect();
@@ -754,39 +766,14 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
                     .collect();
                 (key, states)
             });
-            let merged = paired.reduce_by_key_with_codec(
-                |a, b| a.into_iter().zip(b).map(|(x, y)| x.merge(y)).collect(),
-                num_parts,
-                Arc::new(GroupPairCodec),
-            );
-            let nkeys = keys.len();
-            let _ = specs2; // specs2 kept alive for clarity; states carry everything
-            Ok(merged.map(move |(key, states)| {
-                let mut row: Row = Vec::with_capacity(nkeys + states.len());
-                row.extend(key.into_iter().map(|k| k.0));
-                row.extend(states.into_iter().map(|s| s.finish()));
-                row
-            }))
+            Ok(finish_group_by(paired, keys.len(), num_parts))
         }
         LogicalPlan::OrderBy { input, keys } => {
-            let rdd = compile(core, input)?;
-            let schema = input.schema();
-            let sort_spec: Vec<(usize, SortDir)> =
-                keys.iter().map(|(k, d)| Ok((schema.resolve(k)?, *d))).collect::<Result<_>>()?;
-            Ok(rdd.sort_by_with_codec(
-                move |row| {
-                    sort_spec
-                        .iter()
-                        .map(|(i, d)| SortKey::new(row[*i].clone(), *d))
-                        .collect::<Vec<SortKey>>()
-                },
-                true,
-                num_parts,
-                Arc::new(RowCodec),
-            ))
+            let rdd = compile_row_major(core, input)?;
+            compile_order_by(rdd, input.schema(), keys, num_parts)
         }
         LogicalPlan::ZipWithIndex { input, start, .. } => {
-            let rdd = compile(core, input)?;
+            let rdd = compile_row_major(core, input)?;
             let start = *start;
             Ok(rdd.zip_with_index().map(move |(mut row, i)| {
                 row.push(Value::I64(start + i as i64));
@@ -794,11 +781,354 @@ pub fn compile(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
             }))
         }
         LogicalPlan::Limit { input, n } => {
-            let rdd = compile(core, input)?;
+            let rdd = compile_row_major(core, input)?;
             let rows = rdd.take(*n)?;
             Ok(Rdd::new(Arc::clone(core), Arc::new(FromPartitionsRdd::new(vec![rows]))))
         }
     }
+}
+
+/// Resolves aggregate input columns once, at compile time.
+fn agg_specs(schema: &Arc<Schema>, aggs: &[(Agg, String)]) -> Result<Vec<(Agg, Option<usize>)>> {
+    aggs.iter()
+        .map(|(a, _)| Ok((a.clone(), a.input_col().map(|c| schema.resolve(c)).transpose()?)))
+        .collect()
+}
+
+/// The shuffle + finish half of GROUP BY, shared by both physical paths
+/// (the map sides differ; the wire format and merge logic must not).
+fn finish_group_by(
+    paired: Rdd<(Vec<KeyValue>, Vec<AggState>)>,
+    nkeys: usize,
+    num_parts: usize,
+) -> Rdd<Row> {
+    let merged = paired.reduce_by_key_with_codec(
+        |a, b| a.into_iter().zip(b).map(|(x, y)| x.merge(y)).collect(),
+        num_parts,
+        Arc::new(GroupPairCodec),
+    );
+    merged.map(move |(key, states)| {
+        let mut row: Row = Vec::with_capacity(nkeys + states.len());
+        row.extend(key.into_iter().map(|k| k.0));
+        row.extend(states.into_iter().map(|s| s.finish()));
+        row
+    })
+}
+
+/// Range-partitioned ORDER BY — identical in both physical paths: sort keys
+/// are materialized per row at the shuffle boundary either way, because the
+/// sort itself is row-oriented (the `sort_keys` batch kernel covers the
+/// encoding for callers that sort batches locally).
+fn compile_order_by(
+    rdd: Rdd<Row>,
+    schema: &Arc<Schema>,
+    keys: &[(String, SortDir)],
+    num_parts: usize,
+) -> Result<Rdd<Row>> {
+    let sort_spec: Vec<(usize, SortDir)> =
+        keys.iter().map(|(k, d)| Ok((schema.resolve(k)?, *d))).collect::<Result<_>>()?;
+    Ok(rdd.sort_by_with_codec(
+        move |row| {
+            sort_spec
+                .iter()
+                .map(|(i, d)| SortKey::new(row[*i].clone(), *d))
+                .collect::<Vec<SortKey>>()
+        },
+        true,
+        num_parts,
+        Arc::new(RowCodec),
+    ))
+}
+
+/// One operator of a fused columnar pipeline segment.
+enum FusedOp {
+    Project(Vec<BoundExpr>),
+    Filter(BoundExpr),
+    Explode {
+        idx: usize,
+    },
+    /// The per-partition half of LIMIT: stop producing (and stop *pulling
+    /// input*) once `n` rows have left this partition. The global cut
+    /// happens after the segment via `take`.
+    LocalLimit(usize),
+}
+
+/// Columnar compiler: peels the maximal fusable suffix of the plan
+/// (Project/Filter/Explode chains, plus a segment-leading Limit), compiles
+/// whatever is below it as a boundary, and executes the suffix as one fused
+/// pass over [`ColumnBatch`]es of `ExecConf::batch_size` rows.
+/// Collapses a pending selection vector into the batch (one gather), for
+/// operators that need positionally dense columns.
+fn materialize(batch: &mut ColumnBatch, sel: &mut Option<Vec<u32>>) {
+    if let Some(s) = sel.take() {
+        *batch = batch.gather(&s);
+    }
+}
+
+fn compile_columnar(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
+    let mut ops_rev: Vec<FusedOp> = Vec::new();
+    let mut global_limit: Option<usize> = None;
+    let mut node = plan;
+    loop {
+        match node.as_ref() {
+            LogicalPlan::Project { input, exprs, .. } => {
+                let bound: Vec<BoundExpr> =
+                    exprs.iter().map(|e| e.expr.bind(input.schema())).collect::<Result<_>>()?;
+                ops_rev.push(FusedOp::Project(bound));
+                node = input;
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                ops_rev.push(FusedOp::Filter(predicate.bind(input.schema())?));
+                node = input;
+            }
+            LogicalPlan::Explode { input, col, .. } => {
+                ops_rev.push(FusedOp::Explode { idx: input.schema().resolve(col)? });
+                node = input;
+            }
+            // A limit fuses only at the head of a segment: below other
+            // fused ops its global cut would have to materialize anyway, so
+            // it becomes a boundary instead (handled in compile_boundary).
+            LogicalPlan::Limit { input, n } if ops_rev.is_empty() => {
+                global_limit = Some(*n);
+                ops_rev.push(FusedOp::LocalLimit(*n));
+                node = input;
+            }
+            _ => break,
+        }
+    }
+    let source = compile_boundary(core, node)?;
+    if ops_rev.is_empty() {
+        return Ok(source);
+    }
+    ops_rev.reverse();
+    let ops: Arc<Vec<FusedOp>> = Arc::new(ops_rev);
+    let width = node.schema().len();
+    let batch_size = core.conf.exec.batch_size;
+    let events = Arc::clone(&core.events);
+    let fused = source.map_partitions(move |_part, mut input: BoxIter<Row>| {
+        let ops = Arc::clone(&ops);
+        let events = Arc::clone(&events);
+        // Per-call state (fresh on retries): the pending output rows of the
+        // last batch, the remaining local-limit budget, and the counters
+        // reported once per partition when the input is exhausted.
+        let mut out: std::vec::IntoIter<Row> = Vec::new().into_iter();
+        let mut remaining: Option<usize> = ops.iter().find_map(|op| match op {
+            FusedOp::LocalLimit(n) => Some(*n),
+            _ => None,
+        });
+        let mut batches: u64 = 0;
+        let mut rows_out: u64 = 0;
+        let mut done = false;
+        let iter = std::iter::from_fn(move || loop {
+            if let Some(row) = out.next() {
+                return Some(row);
+            }
+            if done {
+                return None;
+            }
+            let mut buf: Vec<Row> = Vec::with_capacity(batch_size);
+            if remaining != Some(0) {
+                while buf.len() < batch_size {
+                    match input.next() {
+                        Some(r) => buf.push(r),
+                        None => break,
+                    }
+                }
+            }
+            if buf.is_empty() {
+                // Input exhausted (or limit satisfied): report the
+                // partition's batch work exactly once.
+                done = true;
+                if batches > 0 {
+                    events.emit(Event::ColumnarBatch {
+                        fused_ops: ops.len() as u64,
+                        batches,
+                        rows: rows_out,
+                    });
+                }
+                return None;
+            }
+            let mut batch = ColumnBatch::from_rows(width, buf);
+            // Filters narrow a lazy selection vector instead of gathering
+            // (copying) every column per filter; the batch materializes only
+            // when a downstream operator needs positional storage, and the
+            // final row emission reads straight through the selection.
+            let mut sel: Option<Vec<u32>> = None;
+            for op in ops.iter() {
+                match op {
+                    FusedOp::Project(exprs) => {
+                        materialize(&mut batch, &mut sel);
+                        batch = batch::project(exprs, &batch);
+                    }
+                    FusedOp::Filter(p) => {
+                        if p.has_udf() {
+                            materialize(&mut batch, &mut sel);
+                        }
+                        sel = Some(batch::refine(p, &batch, sel.take()));
+                    }
+                    FusedOp::Explode { idx } => {
+                        materialize(&mut batch, &mut sel);
+                        batch = batch::explode(&batch, *idx);
+                    }
+                    FusedOp::LocalLimit(_) => {
+                        materialize(&mut batch, &mut sel);
+                        if let Some(rem) = remaining.as_mut() {
+                            batch = batch.head(*rem);
+                            *rem -= batch.len();
+                        }
+                    }
+                }
+                if sel.as_ref().map(|s| s.len()).unwrap_or(batch.len()) == 0 {
+                    break;
+                }
+            }
+            batches += 1;
+            let out_rows = match sel {
+                Some(s) => batch.to_rows_sel(&s),
+                None => batch.to_rows(),
+            };
+            rows_out += out_rows.len() as u64;
+            out = out_rows.into_iter();
+        });
+        Box::new(iter) as BoxIter<Row>
+    });
+    match global_limit {
+        Some(n) => {
+            let rows = fused.take(n)?;
+            Ok(Rdd::new(Arc::clone(core), Arc::new(FromPartitionsRdd::new(vec![rows]))))
+        }
+        None => Ok(fused),
+    }
+}
+
+/// Compiles a node that terminates a fused segment: sources, shuffles, and
+/// operators whose row machinery is inherently row-ordered. Inputs recurse
+/// through [`compile_columnar`], so every pipeline segment of the plan
+/// fuses independently.
+fn compile_boundary(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
+    let num_parts = core.conf.default_parallelism;
+    match plan.as_ref() {
+        LogicalPlan::FromRdd { rows, .. } => Ok(rows.clone()),
+        LogicalPlan::GroupBy { input, keys, aggs, .. } => {
+            let rdd = compile_columnar(core, input)?;
+            let schema = input.schema();
+            let key_idx: Vec<usize> =
+                keys.iter().map(|k| schema.resolve(k)).collect::<Result<_>>()?;
+            let specs = Arc::new(agg_specs(schema, aggs)?);
+            let width = schema.len();
+            let batch_size = core.conf.exec.batch_size;
+            let events = Arc::clone(&core.events);
+            // Columnar map side: batch the partition and materialize the
+            // §4.7 key encoding per batch; the shuffle pair format and the
+            // merge/finish phases are shared with the row-major path.
+            let paired = rdd.map_partitions(move |_part, mut input: BoxIter<Row>| {
+                let specs = Arc::clone(&specs);
+                let key_idx = key_idx.clone();
+                let events = Arc::clone(&events);
+                let mut out: std::vec::IntoIter<(Vec<KeyValue>, Vec<AggState>)> =
+                    Vec::new().into_iter();
+                let mut batches: u64 = 0;
+                let mut rows_in: u64 = 0;
+                let mut done = false;
+                let iter = std::iter::from_fn(move || loop {
+                    if let Some(pair) = out.next() {
+                        return Some(pair);
+                    }
+                    if done {
+                        return None;
+                    }
+                    let mut buf: Vec<Row> = Vec::with_capacity(batch_size);
+                    while buf.len() < batch_size {
+                        match input.next() {
+                            Some(r) => buf.push(r),
+                            None => break,
+                        }
+                    }
+                    if buf.is_empty() {
+                        done = true;
+                        if batches > 0 {
+                            events.emit(Event::ColumnarBatch {
+                                fused_ops: 1,
+                                batches,
+                                rows: rows_in,
+                            });
+                        }
+                        return None;
+                    }
+                    let batch = ColumnBatch::from_rows(width, buf);
+                    let keys = batch::group_keys(&batch, &key_idx);
+                    batches += 1;
+                    rows_in += batch.len() as u64;
+                    let pairs: Vec<(Vec<KeyValue>, Vec<AggState>)> = keys
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, key)| {
+                            let states: Vec<AggState> = specs
+                                .iter()
+                                .map(|(a, idx)| {
+                                    let v = idx.map(|c| batch.column(c).get(i));
+                                    AggState::create(a, v.as_ref())
+                                })
+                                .collect();
+                            (key, states)
+                        })
+                        .collect();
+                    out = pairs.into_iter();
+                });
+                Box::new(iter) as BoxIter<(Vec<KeyValue>, Vec<AggState>)>
+            });
+            Ok(finish_group_by(paired, keys.len(), num_parts))
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let rdd = compile_columnar(core, input)?;
+            compile_order_by(rdd, input.schema(), keys, num_parts)
+        }
+        LogicalPlan::ZipWithIndex { input, start, .. } => {
+            let rdd = compile_columnar(core, input)?;
+            let start = *start;
+            Ok(rdd.zip_with_index().map(move |(mut row, i)| {
+                row.push(Value::I64(start + i as i64));
+                row
+            }))
+        }
+        // A limit below other fused ops: re-enter the columnar compiler,
+        // which peels it as the head of its own (fresh) segment.
+        LogicalPlan::Limit { .. } => compile_columnar(core, plan),
+        LogicalPlan::Project { .. } | LogicalPlan::Filter { .. } | LogicalPlan::Explode { .. } => {
+            unreachable!("fusable operators are peeled before compile_boundary")
+        }
+    }
+}
+
+/// The length of the longest fused pipeline segment compilation would
+/// produce for this plan: Project/Filter/Explode chains count one op each,
+/// and a Limit always heads a fresh segment. `>= 2` means at least one
+/// genuinely fused (multi-operator single-pass) segment exists — the signal
+/// behind EXPLAIN ANALYZE's `dataframe (fused)` mode hint.
+pub fn fused_pipeline_ops(plan: &Arc<LogicalPlan>) -> usize {
+    fn walk(node: &Arc<LogicalPlan>, run: usize, best: &mut usize) {
+        match node.as_ref() {
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Explode { input, .. } => {
+                *best = (*best).max(run + 1);
+                walk(input, run + 1, best);
+            }
+            LogicalPlan::Limit { input, .. } => {
+                // Mid-chain limits become boundaries and restart the
+                // segment at themselves (see compile_columnar).
+                *best = (*best).max(1);
+                walk(input, 1, best);
+            }
+            LogicalPlan::FromRdd { .. } => {}
+            LogicalPlan::GroupBy { input, .. }
+            | LogicalPlan::OrderBy { input, .. }
+            | LogicalPlan::ZipWithIndex { input, .. } => walk(input, 0, best),
+        }
+    }
+    let mut best = 0;
+    walk(plan, 0, &mut best);
+    best
 }
 
 #[cfg(test)]

@@ -212,6 +212,18 @@ pub enum Event {
         reduce_part: u64,
         bytes: u64,
     },
+    /// A columnar pipeline segment drained one partition: `fused_ops`
+    /// operators executed as a single vectorized pass over `batches`
+    /// [`ColumnBatch`](crate::dataframe::batch::ColumnBatch)es, emitting
+    /// `rows` rows. `fused_ops >= 2` marks a genuinely fused (multi-operator)
+    /// pipeline. Emitted once per partition per execution, at input
+    /// exhaustion — a re-executed (retried) partition reports again, in
+    /// lockstep with the task counters.
+    ColumnarBatch {
+        fused_ops: u64,
+        batches: u64,
+        rows: u64,
+    },
 }
 
 impl Event {
@@ -241,6 +253,7 @@ impl Event {
             Event::ExecutorLost { .. } => "ExecutorLost",
             Event::BlockPush { .. } => "BlockPush",
             Event::BlockFetch { .. } => "BlockFetch",
+            Event::ColumnarBatch { .. } => "ColumnarBatch",
         }
     }
 }
@@ -380,6 +393,12 @@ impl EventListener for MetricsListener {
             Event::BlockFetch { bytes, .. } => {
                 add(&m.blocks_fetched, 1);
                 add(&m.block_bytes_fetched, *bytes);
+            }
+            Event::ColumnarBatch { fused_ops, batches, .. } => {
+                add(&m.columnar_batches, *batches);
+                if *fused_ops >= 2 {
+                    add(&m.fused_pipelines, 1);
+                }
             }
             // Observational only: the write side already landed in TaskEnd
             // counters; job/stage completion feeds no counter.
@@ -678,6 +697,16 @@ impl Timeline {
             .map(|(_, e)| if let Event::BlockFetch { bytes, .. } = e { *bytes } else { 0 })
             .sum::<u64>();
         check("block_bytes_fetched", block_bytes_fetched, snap.block_bytes_fetched)?;
+        let (columnar_batches, fused_pipelines) = self
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::ColumnarBatch { fused_ops, batches, .. } => Some((*batches, *fused_ops)),
+                _ => None,
+            })
+            .fold((0u64, 0u64), |(cb, fp), (batches, ops)| (cb + batches, fp + (ops >= 2) as u64));
+        check("columnar_batches", columnar_batches, snap.columnar_batches)?;
+        check("fused_pipelines", fused_pipelines, snap.fused_pipelines)?;
         let cached = self
             .events
             .iter()
@@ -938,6 +967,8 @@ fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
             ",\"shuffle\":{shuffle},\"map_part\":{map_part},\"reduce_part\":{reduce_part},\
              \"bytes\":{bytes}"
         )),
+        Event::ColumnarBatch { fused_ops, batches, rows } => out
+            .push_str(&format!(",\"fused_ops\":{fused_ops},\"batches\":{batches},\"rows\":{rows}")),
     }
     out.push('}');
 }

@@ -121,6 +121,11 @@ pub struct Metrics {
     pub blocks_fetched: AtomicU64,
     /// Total bytes of shuffle blocks fetched from executors.
     pub block_bytes_fetched: AtomicU64,
+    /// ColumnBatches processed by vectorized DataFrame pipeline segments.
+    pub columnar_batches: AtomicU64,
+    /// Per-partition executions of fused (multi-operator, single-pass)
+    /// columnar pipeline segments.
+    pub fused_pipelines: AtomicU64,
     /// Bytes currently held by the partition cache. Unlike every counter
     /// above this is a **gauge**: it moves both ways as blocks are stored,
     /// evicted and unpersisted.
@@ -156,6 +161,8 @@ pub struct MetricsSnapshot {
     pub block_bytes_pushed: u64,
     pub blocks_fetched: u64,
     pub block_bytes_fetched: u64,
+    pub columnar_batches: u64,
+    pub fused_pipelines: u64,
     pub cached_bytes: u64,
 }
 
@@ -188,6 +195,8 @@ impl Metrics {
             block_bytes_pushed: self.block_bytes_pushed.load(Ordering::Relaxed),
             blocks_fetched: self.blocks_fetched.load(Ordering::Relaxed),
             block_bytes_fetched: self.block_bytes_fetched.load(Ordering::Relaxed),
+            columnar_batches: self.columnar_batches.load(Ordering::Relaxed),
+            fused_pipelines: self.fused_pipelines.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
         }
     }
@@ -224,6 +233,8 @@ impl std::fmt::Display for MetricsSnapshot {
             ("block_bytes_pushed", self.block_bytes_pushed),
             ("blocks_fetched", self.blocks_fetched),
             ("block_bytes_fetched", self.block_bytes_fetched),
+            ("columnar_batches", self.columnar_batches),
+            ("fused_pipelines", self.fused_pipelines),
         ];
         writeln!(f, "counters:")?;
         for (name, value) in rows {
@@ -667,8 +678,18 @@ impl Drop for ExecutorPool {
     fn drop(&mut self) {
         // Closing the channel lets every worker's recv() fail and exit.
         self.sender.take();
+        let current = std::thread::current().id();
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            // A worker can itself drop the last reference to the pool: a
+            // task closure owning the context is dropped on the worker just
+            // after its result is reported. Joining the current thread
+            // would deadlock (EDEADLK), so that worker is detached instead
+            // and exits on its own through the closed channel.
+            if h.thread().id() == current {
+                drop(h);
+            } else {
+                let _ = h.join();
+            }
         }
     }
 }

@@ -155,6 +155,65 @@ fn fig11_style_pipeline_survives_20pct_chaos_identically() {
 }
 
 #[test]
+fn columnar_group_and_sort_survive_20pct_chaos_identically() {
+    // The DataFrame-level acceptance shape: a columnar fused scan feeding a
+    // group-by and a sort, 20% fault probability on every fault kind, fixed
+    // seed. Results must be byte-identical (RowCodec) to the fault-free
+    // columnar run AND to the row-major path under the same chaos — retried
+    // partitions re-run their batch pipelines from lineage without
+    // duplicating or dropping rows.
+    use sparklite::dataframe::{
+        Agg, CmpOp, DataFrame, DataType, Expr, Field, Row, RowCodec, Schema, SortDir, Value,
+    };
+    use sparklite::CacheCodec;
+
+    let frame = |sc: &SparkliteContext| {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::new("v", DataType::I64),
+            Field::new("s", DataType::Str),
+        ]);
+        let rows: Vec<Row> = (0..600i64)
+            .map(|i| {
+                let v = if i % 9 == 0 { Value::Null } else { Value::I64(i * 7919 % 997) };
+                vec![Value::I64(i % 13), v, Value::str(format!("s{}", i % 5))]
+            })
+            .collect();
+        DataFrame::from_rows(sc, schema, rows, 6).unwrap()
+    };
+    let run = |plan: FaultPlan, row_major: bool| {
+        let sc = SparkliteContext::new(
+            SparkliteConf::default()
+                .with_executors(3)
+                .with_faults(plan)
+                .with_row_major(row_major)
+                .with_batch_size(64),
+        );
+        let out = frame(&sc)
+            .filter(Expr::cmp(Expr::col("v"), CmpOp::Gt, Expr::lit(Value::I64(100))))
+            .unwrap()
+            .with_column("w", Expr::col("v"), DataType::I64)
+            .unwrap()
+            .group_by(&["k"], vec![(Agg::Count, "n".into()), (Agg::Min("w".into()), "m".into())])
+            .unwrap()
+            .order_by(vec![("k".into(), SortDir::asc())])
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        (RowCodec.encode(&out), sc.metrics())
+    };
+
+    let (clean, m0) = run(FaultPlan::default(), false);
+    assert_eq!(m0.failed_tasks, 0, "fault-free run injects nothing");
+    let (chaotic, m1) = run(FaultPlan::chaos(0xBA7C4, 0.2), false);
+    assert_eq!(chaotic, clean, "columnar pipeline diverged under chaos");
+    assert!(m1.injected_faults > 0, "20% chaos must inject faults");
+    assert!(m1.retried_tasks > 0, "20% chaos must exercise retries");
+    let (row_major, _) = run(FaultPlan::chaos(0xBA7C4, 0.2), true);
+    assert_eq!(row_major, clean, "row-major path diverged under chaos");
+}
+
+#[test]
 fn chaos_schedule_is_reproducible() {
     // Same seed → identical injection counts; different seed → (almost
     // surely) a different schedule.

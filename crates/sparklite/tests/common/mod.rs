@@ -1,0 +1,200 @@
+//! Shared test support: the random DataFrame-pipeline generator introduced
+//! with the rewrite-rule equivalence fuzzer (rule_fuzz.rs) and reused by the
+//! row-vs-columnar differential battery (columnar_diff.rs). Each consumer
+//! builds its own contexts; the generator only knows how to grow a pipeline
+//! over the messy seed frame.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use sparklite::dataframe::{
+    Agg, CmpOp, DataFrame, DataType, Expr, Field, NamedExpr, NumOp, Row, Schema, SortDir, Value,
+};
+use sparklite::{SparkliteConf, SparkliteContext};
+
+/// The fuzz context: a few executors, conf-driven optimizer off so
+/// `collect_rows` executes exactly the plan it is handed.
+pub fn ctx() -> SparkliteContext {
+    SparkliteContext::new(SparkliteConf::default().with_executors(3).with_optimizer(false))
+}
+
+/// Messy seed data: `[k: I64, v: I64, s: Str, xs: List, f: F64]` with NULLs
+/// sprinkled into `v`/`s` and 0–3-element lists in `xs`.
+pub fn seed(ctx: &SparkliteContext) -> DataFrame {
+    seed_n(ctx, 24)
+}
+
+/// The same messy shape with a caller-chosen row count, for batch-boundary
+/// and empty-input coverage.
+pub fn seed_n(ctx: &SparkliteContext, n: i64) -> DataFrame {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::I64),
+        Field::new("v", DataType::I64),
+        Field::new("s", DataType::Str),
+        Field::new("xs", DataType::List),
+        Field::new("f", DataType::F64),
+    ]);
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let v = if i % 6 == 0 { Value::Null } else { Value::I64(i * 2 - 10) };
+            let s = if i % 7 == 0 { Value::Null } else { Value::str(format!("s{}", i % 3)) };
+            let xs = Value::list((0..(i % 4)).map(|j| Value::I64(i - 2 * j)).collect());
+            vec![Value::I64(i % 5), v, s, xs, Value::F64(i as f64 * 0.5 - 3.0)]
+        })
+        .collect();
+    DataFrame::from_rows(ctx, schema, rows, 3).unwrap()
+}
+
+/// First column of the given type, if any.
+pub fn col_of(d: &DataFrame, dt: DataType) -> Option<String> {
+    d.schema().fields().iter().find(|f| f.dtype == dt).map(|f| f.name.clone())
+}
+
+/// One randomly chosen pipeline step. Steps the evolving schema cannot
+/// support are skipped; every step keeps at least one I64 column alive so
+/// later steps can always bind.
+#[derive(Debug, Clone)]
+pub enum Step {
+    FilterGt(i64),
+    FilterLt(i64),
+    /// A literal-true filter — RBLO0007's food.
+    FilterTrue,
+    FilterIsNull,
+    FilterNotNull,
+    /// An opaque UDF predicate with a declared one-column footprint.
+    FilterUdfEven,
+    /// A mixed And/Or/Not predicate.
+    FilterAndOr(i64, i64),
+    WithColumn(i64),
+    /// Shrinks the schema to the first I64 column plus one computed column.
+    SelectCompute(i64),
+    Explode,
+    /// Explodes a list column *onto its own name* — the shape a broken
+    /// explode-pushdown would corrupt.
+    ExplodeSameName,
+    GroupBy,
+    OrderAsc(usize),
+    OrderDesc(usize),
+    Limit(usize),
+    ZipIndex,
+}
+
+pub fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-9i64..30).prop_map(Step::FilterGt),
+        (-9i64..30).prop_map(Step::FilterLt),
+        Just(Step::FilterTrue),
+        Just(Step::FilterIsNull),
+        Just(Step::FilterNotNull),
+        Just(Step::FilterUdfEven),
+        ((-9i64..30), (-9i64..30)).prop_map(|(a, b)| Step::FilterAndOr(a, b)),
+        (1i64..9).prop_map(Step::WithColumn),
+        (2i64..5).prop_map(Step::SelectCompute),
+        Just(Step::Explode),
+        Just(Step::ExplodeSameName),
+        Just(Step::GroupBy),
+        (0usize..4).prop_map(Step::OrderAsc),
+        (0usize..4).prop_map(Step::OrderDesc),
+        (1usize..30).prop_map(Step::Limit),
+        Just(Step::ZipIndex),
+    ]
+}
+
+pub fn apply(d: DataFrame, step: &Step, fresh: &mut u32) -> DataFrame {
+    let i64_col = col_of(&d, DataType::I64).expect("an I64 column is always alive");
+    let gt = |n: i64| Expr::cmp(Expr::col(&i64_col), CmpOp::Gt, Expr::lit(Value::I64(n)));
+    let lt = |n: i64| Expr::cmp(Expr::col(&i64_col), CmpOp::Lt, Expr::lit(Value::I64(n)));
+    match step {
+        Step::FilterGt(n) => d.filter(gt(*n)).unwrap(),
+        Step::FilterLt(n) => d.filter(lt(*n)).unwrap(),
+        Step::FilterTrue => d.filter(Expr::lit(Value::Bool(true))).unwrap(),
+        Step::FilterIsNull => {
+            let any = d.schema().fields()[d.schema().len() - 1].name.clone();
+            d.filter(Expr::is_null(Expr::col(any))).unwrap()
+        }
+        Step::FilterNotNull => {
+            let any = d.schema().fields()[0].name.clone();
+            d.filter(Expr::not(Expr::is_null(Expr::col(any)))).unwrap()
+        }
+        Step::FilterUdfEven => {
+            let c = i64_col.clone();
+            let inner = c.clone();
+            d.filter(Expr::udf("is_even", Some(vec![c]), move |schema: &Schema, row: &[Value]| {
+                let idx = schema.index_of(&inner).expect("declared footprint column");
+                Value::Bool(row[idx].as_i64().is_some_and(|x| x % 2 == 0))
+            }))
+            .unwrap()
+        }
+        Step::FilterAndOr(a, b) => {
+            d.filter(Expr::or(Expr::and(gt(*a), lt(*b)), Expr::not(gt(*a)))).unwrap()
+        }
+        Step::WithColumn(k) => {
+            *fresh += 1;
+            d.with_column(
+                format!("c{fresh}"),
+                Expr::num(Expr::col(&i64_col), NumOp::Mul, Expr::lit(Value::I64(*k))),
+                DataType::I64,
+            )
+            .unwrap()
+        }
+        Step::SelectCompute(k) => {
+            *fresh += 1;
+            d.select(vec![
+                NamedExpr::passthrough(&i64_col, DataType::I64),
+                NamedExpr {
+                    name: format!("c{fresh}"),
+                    expr: Expr::num(Expr::col(&i64_col), NumOp::Add, Expr::lit(Value::I64(*k))),
+                    dtype: DataType::I64,
+                },
+            ])
+            .unwrap()
+        }
+        Step::Explode => match col_of(&d, DataType::List) {
+            Some(list_col) => {
+                *fresh += 1;
+                d.explode(&list_col, format!("x{fresh}"), DataType::Any).unwrap()
+            }
+            None => d,
+        },
+        Step::ExplodeSameName => match col_of(&d, DataType::List) {
+            Some(list_col) => d.explode(&list_col, list_col.clone(), DataType::Any).unwrap(),
+            None => d,
+        },
+        Step::GroupBy => {
+            *fresh += 1;
+            let mut aggs = vec![(Agg::Count, format!("n{fresh}"))];
+            let non_key =
+                d.schema().fields().iter().find(|f| f.name != i64_col).map(|f| f.name.clone());
+            if let Some(c) = non_key {
+                aggs.push((Agg::CollectList(c.clone()), format!("l{fresh}")));
+                aggs.push((Agg::Min(c), format!("m{fresh}")));
+            }
+            d.group_by(&[&i64_col], aggs).unwrap()
+        }
+        Step::OrderAsc(i) => {
+            let key = d.schema().fields()[i % d.schema().len()].name.clone();
+            d.order_by(vec![(key, SortDir::asc())]).unwrap()
+        }
+        Step::OrderDesc(i) => {
+            let key = d.schema().fields()[i % d.schema().len()].name.clone();
+            d.order_by(vec![(key, SortDir::desc().with_nulls_last(false))]).unwrap()
+        }
+        Step::Limit(n) => d.limit(*n),
+        Step::ZipIndex => {
+            *fresh += 1;
+            d.zip_with_index(format!("i{fresh}"), 0).unwrap()
+        }
+    }
+}
+
+/// Applies `steps` on top of an existing frame.
+pub fn build_on(mut d: DataFrame, steps: &[Step]) -> DataFrame {
+    let mut fresh = 0u32;
+    for s in steps {
+        d = apply(d, s, &mut fresh);
+    }
+    d
+}
+
+pub fn build(ctx: &SparkliteContext, steps: &[Step]) -> DataFrame {
+    build_on(seed(ctx), steps)
+}
