@@ -69,6 +69,16 @@ step "columnar suite (differential battery + kernel proptests)"
 cargo test -p sparklite --offline -q --test columnar_diff
 cargo test -p sparklite --offline -q --lib batch::tests
 
+# Vectorized-aggregation gate: the three-way (row-major / batched fold /
+# hash-kernel) group-by and normalized-key sort differentials plus the
+# key-encoding property suites (order-equivalence to SortKey, group
+# identity round-trips, kernel-vs-reference state equality).
+step "agg suite (three-way differentials + key-encoding proptests)"
+cargo test -p sparklite --offline -q --test columnar_diff group
+cargo test -p sparklite --offline -q --lib batch::tests::sort
+cargo test -p sparklite --offline -q --lib batch::tests::group
+cargo test -p sparklite --offline -q --lib batch::tests::bucket_merge
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release --offline
@@ -102,6 +112,15 @@ if [[ "$QUICK" -eq 0 ]]; then
   # the measured A/B).
   step "harness columnar smoke"
   ./target/release/harness columnar --tries 2
+
+  # Smoke the vectorized-aggregation A/B end to end: the harness dies
+  # unless the hash-kernel path beats the batched fold >= 1.5x on the
+  # high-cardinality group-by, never loses anywhere else (unique keys,
+  # skew, NULLs, the normalized-key sort), and all three physical paths —
+  # plus the 20% chaos re-run and the two-process executor run — return
+  # byte-identical rows (BENCH_agg.json records the measured A/B).
+  step "harness agg smoke"
+  ./target/release/harness agg --tries 2
 fi
 
 step "OK"

@@ -8,7 +8,7 @@
 //! harness [figure] [--scale N] [--tries N] [--kill-executor]
 //!
 //!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos | cache | trace
-//!           | dist | columnar
+//!           | dist | columnar | agg
 //!   --scale          object-count multiplier (default 1 → laptop-sized runs)
 //!   --tries          timed repetitions per measurement (default 3)
 //!   --kill-executor  (chaos only) kill a live executor worker process mid-job
@@ -78,7 +78,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos|cache|\
-                     trace|dist|columnar] [--scale N] [--tries N] [--kill-executor]\n\
+                     trace|dist|columnar|agg] [--scale N] [--tries N] [--kill-executor]\n\
                      \x20      harness --executor --connect ADDR --worker-id N"
                 );
                 std::process::exit(0);
@@ -148,6 +148,39 @@ fn check_columnar_figure(r: &FigureReport) {
                      ({columnar:?} > {row_major:?})"
                 ));
             }
+        }
+    }
+}
+
+/// The agg A/B must show the vectorized kernels beating the PR 8 columnar
+/// per-batch fold — the smoke assertion CI runs (`ci.sh` invokes `harness
+/// agg`): at least 1.5x on the high-cardinality group-by (the shape where
+/// per-row key materialization and state merging dominate), and no more
+/// than a 10% loss anywhere else (low-cardinality shapes are
+/// shuffle-dominated and may tie). Dies otherwise.
+fn check_agg_figure(r: &FigureReport) {
+    for (label, cells) in &r.rows {
+        let (columnar, vectorized) = match (&cells[1], &cells[2]) {
+            (Cell::Time(c), Cell::Time(v)) => (c.as_secs_f64(), v.as_secs_f64()),
+            _ => die(&format!("agg figure row '{label}' failed to measure")),
+        };
+        if label.contains("high cardinality") {
+            if vectorized * 1.5 > columnar {
+                die(&format!(
+                    "agg figure: vectorized group-by below 1.5x over the columnar fold for \
+                     '{label}' ({:.1}ms vs {:.1}ms, {:.2}x)",
+                    columnar * 1e3,
+                    vectorized * 1e3,
+                    columnar / vectorized
+                ));
+            }
+        } else if vectorized > columnar * 1.10 {
+            die(&format!(
+                "agg figure: vectorized execution lost to the columnar fold for '{label}' \
+                 ({:.1}ms vs {:.1}ms)",
+                columnar * 1e3,
+                vectorized * 1e3
+            ));
         }
     }
 }
@@ -294,6 +327,13 @@ fn main() {
             &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
             &r,
         );
+    }
+    if run_fig("agg") {
+        ran = true;
+        let n = 50_000 * s;
+        let r = figures::agg(n, cores, t, Some(Vec::new()));
+        check_agg_figure(&r);
+        emit("agg", &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)], &r);
     }
     if !ran {
         die(&format!("unknown figure '{}'", args.figure));

@@ -160,6 +160,7 @@ fn required_event_fields(ev: &str) -> Option<&'static [&'static str]> {
         "BlockPush" => &["shuffle", "map_part", "blocks", "bytes"],
         "BlockFetch" => &["shuffle", "map_part", "reduce_part", "bytes"],
         "ColumnarBatch" => &["fused_ops", "batches", "rows"],
+        "AggBatch" => &["batches", "rows_in", "groups_out"],
         _ => return None,
     })
 }

@@ -20,8 +20,10 @@
 //! **iff** its logical value is `NULL`. `Column::get` reconstructs `NULL`
 //! from a clear bit, so typed storage never needs a NULL sentinel.
 
-use super::expr::{self, BoundExpr, CmpOp, KeyValue, NumOp, SortDir, SortKey};
+use super::expr::{self, value_cmp, BoundExpr, CmpOp, KeyValue, NumOp, SortDir, SortKey};
+use super::plan::{Agg, AggState};
 use super::{Row, Value};
+use crate::rdd::util::{fx_hash, fx_hash_bytes};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -770,11 +772,951 @@ pub fn group_keys(batch: &ColumnBatch, key_cols: &[usize]) -> Vec<Vec<KeyValue>>
 
 /// Materializes sort keys for every row of the batch: one [`SortKey`]
 /// vector per row, ordered so a plain ascending sort realizes the requested
-/// multi-key order.
+/// multi-key order. The reference the normalized-key encoding
+/// ([`sort_key_bytes`]) is proven equivalent to.
 pub fn sort_keys(batch: &ColumnBatch, spec: &[(usize, SortDir)]) -> Vec<Vec<SortKey>> {
     (0..batch.len)
         .map(|i| spec.iter().map(|&(c, d)| SortKey::new(batch.columns[c].get(i), d)).collect())
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// §4.7 normalized key encodings
+// ---------------------------------------------------------------------------
+//
+// Two distinct byte encodings, because grouping and sorting need different
+// equivalences: the *sort* encoding is order-equivalent to `SortKey` (so
+// `I64(1)` and `F64(1.0)` encode as numeric ties, disambiguated only by a
+// type-rank byte), while the *group* encoding is equality-faithful to
+// `KeyValue` (`I64(1)`, `F64(1.0)` and `Str("1")` are three distinct keys,
+// floats identified by bit pattern). Both are built column-at-a-time so the
+// shuffle boundary never materializes per-row `Vec<SortKey>`/`Vec<KeyValue>`
+// scratch values.
+
+/// Iterates `(dense position, batch row index)` pairs of a selection
+/// (`None` selects every row) — the driving loop shared by the
+/// column-at-a-time key encoders and accumulators.
+fn for_each_row(len: usize, sel: Option<&[u32]>, mut f: impl FnMut(usize, usize)) {
+    match sel {
+        Some(s) => {
+            for (p, &i) in s.iter().enumerate() {
+                f(p, i as usize);
+            }
+        }
+        None => {
+            for i in 0..len {
+                f(i, i);
+            }
+        }
+    }
+}
+
+// Sort-encoding alphabet. A NULL cell is a single placement byte (below or
+// above every non-null first byte in both directions); non-null cells start
+// with a type tag matching the `value_cmp` bucket order. `SORT_TAG_NULL`
+// appears only *inside* lists, where NULL elements compare like any value.
+const SORT_NULL_FIRST: u8 = 0x00;
+const SORT_NULL_LAST: u8 = 0xFF;
+const SORT_TAG_NULL: u8 = 0x01;
+const SORT_TAG_BOOL: u8 = 0x02;
+const SORT_TAG_NUM: u8 = 0x03;
+const SORT_TAG_STR: u8 = 0x04;
+const SORT_TAG_BIN: u8 = 0x05;
+const SORT_TAG_LIST: u8 = 0x06;
+/// Terminates a list body; orders below every element tag, realizing
+/// "elementwise, then by length".
+const SORT_LIST_END: u8 = 0x00;
+/// Numeric type ranks after the shared 8-byte magnitude key: an `I64` that
+/// widens to the same double as an `F64` orders first (the `value_cmp`
+/// totalization tiebreak).
+const SORT_NUM_I64: u8 = 0x00;
+const SORT_NUM_F64: u8 = 0x01;
+
+/// Maps an `f64` to a `u64` whose unsigned order equals `f64::total_cmp`:
+/// flip the sign bit of positives, complement negatives.
+fn ordered_f64(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1u64 << 63)
+    }
+}
+
+/// Maps an `i64` to a `u64` whose unsigned order equals the signed order.
+fn ordered_i64(x: i64) -> u64 {
+    (x as u64) ^ (1u64 << 63)
+}
+
+/// Appends a variable-length byte string, order-preserving and prefix-free:
+/// `0x00` escapes to `(0x00, 0xFF)`, and `(0x00, 0x00)` terminates.
+fn push_terminated(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        if b == 0x00 {
+            out.extend_from_slice(&[0x00, 0xFF]);
+        } else {
+            out.push(b);
+        }
+    }
+    out.extend_from_slice(&[0x00, 0x00]);
+}
+
+fn sort_canonical_i64(out: &mut Vec<u8>, x: i64) {
+    out.push(SORT_TAG_NUM);
+    out.extend_from_slice(&ordered_f64(x as f64).to_be_bytes());
+    out.push(SORT_NUM_I64);
+    // The widening above loses precision past 2^53; the exact payload
+    // breaks those ties so the encoding stays a total order on integers.
+    out.extend_from_slice(&ordered_i64(x).to_be_bytes());
+}
+
+fn sort_canonical_f64(out: &mut Vec<u8>, x: f64) {
+    out.push(SORT_TAG_NUM);
+    out.extend_from_slice(&ordered_f64(x).to_be_bytes());
+    out.push(SORT_NUM_F64);
+}
+
+fn sort_canonical_str(out: &mut Vec<u8>, s: &str) {
+    out.push(SORT_TAG_STR);
+    push_terminated(out, s.as_bytes());
+}
+
+/// The ascending canonical encoding of a non-null value: memcmp order over
+/// these byte strings equals `value_cmp`, byte equality equals
+/// `value_cmp == Equal`, and every encoding is prefix-free (so cells
+/// concatenate into multi-key rows, and bytewise complement reverses the
+/// order exactly).
+fn sort_canonical(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(SORT_TAG_NULL),
+        Value::Bool(b) => {
+            out.push(SORT_TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::I64(x) => sort_canonical_i64(out, *x),
+        Value::F64(x) => sort_canonical_f64(out, *x),
+        Value::Str(s) => sort_canonical_str(out, s),
+        Value::Bin(b) => {
+            out.push(SORT_TAG_BIN);
+            push_terminated(out, b);
+        }
+        Value::List(l) => {
+            out.push(SORT_TAG_LIST);
+            for e in l.iter() {
+                sort_canonical(out, e);
+            }
+            out.push(SORT_LIST_END);
+        }
+    }
+}
+
+fn complement(bytes: &mut [u8]) {
+    for b in bytes {
+        *b = !*b;
+    }
+}
+
+/// Appends the normalized sort encoding of one cell: bytewise comparison of
+/// the result equals [`SortKey`] comparison. NULL placement is applied
+/// before direction (a single un-complemented placement byte), descending
+/// cells complement the canonical encoding.
+pub fn encode_sort_cell(out: &mut Vec<u8>, v: &Value, dir: SortDir) {
+    if v.is_null() {
+        out.push(if dir.nulls_last { SORT_NULL_LAST } else { SORT_NULL_FIRST });
+        return;
+    }
+    let start = out.len();
+    sort_canonical(out, v);
+    if !dir.ascending {
+        complement(&mut out[start..]);
+    }
+}
+
+/// Encodes one row's sort key as a single flat byte string — the per-row
+/// closure of the normalized-key ORDER BY, sharing the cell encoders with
+/// the [`sort_key_bytes`] batch kernel.
+pub fn encode_row_sort_key(row: &[Value], spec: &[(usize, SortDir)]) -> Vec<u8> {
+    // 19 bytes covers the widest fixed-size cell (I64: tag + magnitude +
+    // rank + exact payload), so typical keys encode without a mid-key
+    // realloc; only string/binary/list cells can overflow the guess.
+    let mut out = Vec::with_capacity(spec.len() * 19);
+    for &(i, d) in spec {
+        encode_sort_cell(&mut out, &row[i], d);
+    }
+    out
+}
+
+/// Materializes normalized sort keys for every row of the batch,
+/// column-at-a-time with typed fast paths: bytewise order over the results
+/// equals lexicographic [`SortKey`] order (see [`sort_keys`]).
+pub fn sort_key_bytes(batch: &ColumnBatch, spec: &[(usize, SortDir)]) -> Vec<Vec<u8>> {
+    let mut keys: Vec<Vec<u8>> = vec![Vec::with_capacity(spec.len() * 19); batch.len];
+    for &(c, dir) in spec {
+        encode_sort_column(&batch.columns[c], batch.len, None, dir, &mut keys);
+    }
+    keys
+}
+
+/// Appends column `col`'s sort cells to the per-row key buffers.
+fn encode_sort_column(
+    col: &Column,
+    len: usize,
+    sel: Option<&[u32]>,
+    dir: SortDir,
+    bufs: &mut [Vec<u8>],
+) {
+    let null_byte = if dir.nulls_last { SORT_NULL_LAST } else { SORT_NULL_FIRST };
+    let desc = !dir.ascending;
+    match &col.data {
+        ColumnData::I64(xs) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if !col.validity.get(i) {
+                return out.push(null_byte);
+            }
+            let start = out.len();
+            sort_canonical_i64(out, xs[i]);
+            if desc {
+                complement(&mut out[start..]);
+            }
+        }),
+        ColumnData::F64(xs) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if !col.validity.get(i) {
+                return out.push(null_byte);
+            }
+            let start = out.len();
+            sort_canonical_f64(out, xs[i]);
+            if desc {
+                complement(&mut out[start..]);
+            }
+        }),
+        ColumnData::Bool(bits) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if !col.validity.get(i) {
+                return out.push(null_byte);
+            }
+            let (tag, payload) = (SORT_TAG_BOOL, bits.get(i) as u8);
+            if desc {
+                out.extend_from_slice(&[!tag, !payload]);
+            } else {
+                out.extend_from_slice(&[tag, payload]);
+            }
+        }),
+        ColumnData::Str(arena) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if !col.validity.get(i) {
+                return out.push(null_byte);
+            }
+            let start = out.len();
+            sort_canonical_str(out, arena.get(i));
+            if desc {
+                complement(&mut out[start..]);
+            }
+        }),
+        ColumnData::Boxed(vs) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if !col.validity.get(i) {
+                return out.push(null_byte);
+            }
+            encode_sort_cell(out, &vs[i], dir);
+        }),
+    }
+}
+
+// Group-identity alphabet: tag + exact payload, mirroring `KeyValue`'s
+// `Hash`/`Eq` (floats by bit pattern, no cross-type identification).
+const GK_NULL: u8 = 0;
+const GK_BOOL: u8 = 1;
+const GK_I64: u8 = 2;
+const GK_F64: u8 = 3;
+const GK_STR: u8 = 4;
+const GK_BIN: u8 = 5;
+const GK_LIST: u8 = 6;
+
+/// Appends the group-identity encoding of one value: two values encode to
+/// the same bytes **iff** they are equal as [`KeyValue`]s. Strings,
+/// binaries and lists are length-prefixed (u32 LE), so the encoding is
+/// self-delimiting and round-trips through [`decode_group_value`].
+pub fn encode_group_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(GK_NULL),
+        Value::Bool(b) => {
+            out.push(GK_BOOL);
+            out.push(*b as u8);
+        }
+        Value::I64(x) => {
+            out.push(GK_I64);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(GK_F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(GK_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bin(b) => {
+            out.push(GK_BIN);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        Value::List(l) => {
+            out.push(GK_LIST);
+            out.extend_from_slice(&(l.len() as u32).to_le_bytes());
+            for e in l.iter() {
+                encode_group_value(out, e);
+            }
+        }
+    }
+}
+
+fn split8(b: &[u8]) -> Option<([u8; 8], &[u8])> {
+    if b.len() < 8 {
+        return None;
+    }
+    let (a, rest) = b.split_at(8);
+    Some((a.try_into().expect("8 bytes"), rest))
+}
+
+fn split_len(b: &[u8]) -> Option<(usize, &[u8])> {
+    if b.len() < 4 {
+        return None;
+    }
+    let (a, rest) = b.split_at(4);
+    Some((u32::from_le_bytes(a.try_into().expect("4 bytes")) as usize, rest))
+}
+
+/// Decodes one group-identity value off the front of `bytes`, returning the
+/// value and the remaining suffix (`None` on malformed input). The inverse
+/// of [`encode_group_value`], bit-exact for floats.
+pub fn decode_group_value(bytes: &[u8]) -> Option<(Value, &[u8])> {
+    let (&tag, rest) = bytes.split_first()?;
+    Some(match tag {
+        GK_NULL => (Value::Null, rest),
+        GK_BOOL => {
+            let (&b, rest) = rest.split_first()?;
+            (Value::Bool(b != 0), rest)
+        }
+        GK_I64 => {
+            let (a, rest) = split8(rest)?;
+            (Value::I64(i64::from_le_bytes(a)), rest)
+        }
+        GK_F64 => {
+            let (a, rest) = split8(rest)?;
+            (Value::F64(f64::from_bits(u64::from_le_bytes(a))), rest)
+        }
+        GK_STR => {
+            let (len, rest) = split_len(rest)?;
+            if rest.len() < len {
+                return None;
+            }
+            let (s, rest) = rest.split_at(len);
+            (Value::str(std::str::from_utf8(s).ok()?), rest)
+        }
+        GK_BIN => {
+            let (len, rest) = split_len(rest)?;
+            if rest.len() < len {
+                return None;
+            }
+            let (b, rest) = rest.split_at(len);
+            (Value::Bin(Arc::from(b)), rest)
+        }
+        GK_LIST => {
+            let (len, mut rest) = split_len(rest)?;
+            let mut items = Vec::with_capacity(len.min(64));
+            for _ in 0..len {
+                let (v, r) = decode_group_value(rest)?;
+                items.push(v);
+                rest = r;
+            }
+            (Value::list(items), rest)
+        }
+        _ => return None,
+    })
+}
+
+/// Appends column `col`'s group-identity cells to the per-row key buffers,
+/// typed column-at-a-time (no `Value` materialization on scalar columns).
+fn encode_group_column(col: &Column, len: usize, sel: Option<&[u32]>, bufs: &mut [Vec<u8>]) {
+    match &col.data {
+        ColumnData::I64(xs) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if col.validity.get(i) {
+                out.push(GK_I64);
+                out.extend_from_slice(&xs[i].to_le_bytes());
+            } else {
+                out.push(GK_NULL);
+            }
+        }),
+        ColumnData::F64(xs) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if col.validity.get(i) {
+                out.push(GK_F64);
+                out.extend_from_slice(&xs[i].to_bits().to_le_bytes());
+            } else {
+                out.push(GK_NULL);
+            }
+        }),
+        ColumnData::Bool(bits) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if col.validity.get(i) {
+                out.extend_from_slice(&[GK_BOOL, bits.get(i) as u8]);
+            } else {
+                out.push(GK_NULL);
+            }
+        }),
+        ColumnData::Str(arena) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if col.validity.get(i) {
+                let s = arena.get(i);
+                out.push(GK_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            } else {
+                out.push(GK_NULL);
+            }
+        }),
+        ColumnData::Boxed(vs) => for_each_row(len, sel, |p, i| {
+            let out = &mut bufs[p];
+            if col.validity.get(i) {
+                encode_group_value(out, &vs[i]);
+            } else {
+                out.push(GK_NULL);
+            }
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized group-by kernel
+// ---------------------------------------------------------------------------
+
+/// Partial SUM state, replicating the row path's `AggState::Sum` fold
+/// (`create` then left-to-right `merge` via `add_values`) with typed
+/// storage. `Poison` is the absorbing `Some(Null)` state that integer
+/// overflow or a non-numeric addend produces; it is distinct from `Empty`
+/// (`None`, no non-null value seen), which the wire codec keeps separate.
+#[derive(Clone)]
+enum SumState {
+    Empty,
+    I64(i64),
+    F64(f64),
+    Poison,
+    /// A single non-numeric first value (`SUM` of one string row returns
+    /// that string, like the row path); any further addend poisons it.
+    Other(Value),
+}
+
+fn sum_push_i64(s: &mut SumState, x: i64) {
+    match s {
+        SumState::Empty => *s = SumState::I64(x),
+        SumState::I64(a) => match a.checked_add(x) {
+            Some(r) => *a = r,
+            None => *s = SumState::Poison,
+        },
+        SumState::F64(a) => *a += x as f64,
+        SumState::Poison => {}
+        SumState::Other(_) => *s = SumState::Poison,
+    }
+}
+
+fn sum_push_f64(s: &mut SumState, x: f64) {
+    match s {
+        SumState::Empty => *s = SumState::F64(x),
+        SumState::I64(a) => *s = SumState::F64(*a as f64 + x),
+        SumState::F64(a) => *a += x,
+        SumState::Poison => {}
+        SumState::Other(_) => *s = SumState::Poison,
+    }
+}
+
+/// Generic (boxed-column) SUM transition for a non-null value.
+fn sum_push(s: &mut SumState, v: Value) {
+    match v {
+        Value::I64(x) => sum_push_i64(s, x),
+        Value::F64(x) => sum_push_f64(s, x),
+        v => match s {
+            SumState::Empty => *s = SumState::Other(v),
+            _ => *s = SumState::Poison,
+        },
+    }
+}
+
+impl SumState {
+    fn finish(self) -> AggState {
+        AggState::Sum(match self {
+            SumState::Empty => None,
+            SumState::I64(x) => Some(Value::I64(x)),
+            SumState::F64(x) => Some(Value::F64(x)),
+            SumState::Poison => Some(Value::Null),
+            SumState::Other(v) => Some(v),
+        })
+    }
+}
+
+/// MIN/MAX transition: keep the accumulated value on ties (the row path's
+/// `merge` keeps its left operand when `value_cmp` says equal).
+fn minmax_push(slot: &mut Option<Value>, v: Value, want_max: bool) {
+    match slot {
+        None => *slot = Some(v),
+        Some(acc) => {
+            let o = value_cmp(acc, &v);
+            let keep = if want_max { o.is_ge() } else { o.is_le() };
+            if !keep {
+                *slot = Some(v);
+            }
+        }
+    }
+}
+
+/// One aggregate's per-group state column: typed vectors indexed by group
+/// id, each update a column-at-a-time pass over the batch. Every transition
+/// replicates `AggState::create` + left-fold `AggState::merge` over the
+/// partition's rows in row order, so the emitted states are byte-identical
+/// (under `GroupPairCodec`) to the row path's map-side combine output.
+enum Accumulator {
+    Count(Vec<i64>),
+    CountCol {
+        col: usize,
+        counts: Vec<i64>,
+    },
+    Sum {
+        col: usize,
+        states: Vec<SumState>,
+    },
+    /// `seen` marks groups whose first row has landed: the row fold *sets*
+    /// the first row's contribution (keeping `-0.0` / NaN payload bits) and
+    /// *adds* every later one — including `+ 0.0` for NULL or non-numeric
+    /// rows, which flips `-0.0` sums to `+0.0`. Both behaviours must be
+    /// replicated bit-for-bit.
+    Avg {
+        col: usize,
+        sums: Vec<f64>,
+        ns: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    MinMax {
+        col: usize,
+        want_max: bool,
+        states: Vec<Option<Value>>,
+    },
+    First {
+        col: usize,
+        states: Vec<Option<Value>>,
+    },
+    List {
+        col: usize,
+        lists: Vec<Vec<Value>>,
+    },
+}
+
+impl Accumulator {
+    fn new(agg: &Agg, col: Option<usize>) -> Accumulator {
+        let col = || col.expect("column aggregate resolved at compile time");
+        match agg {
+            Agg::Count => Accumulator::Count(Vec::new()),
+            Agg::CountCol(_) => Accumulator::CountCol { col: col(), counts: Vec::new() },
+            Agg::Sum(_) => Accumulator::Sum { col: col(), states: Vec::new() },
+            Agg::Avg(_) => {
+                Accumulator::Avg { col: col(), sums: Vec::new(), ns: Vec::new(), seen: Vec::new() }
+            }
+            Agg::Min(_) => Accumulator::MinMax { col: col(), want_max: false, states: Vec::new() },
+            Agg::Max(_) => Accumulator::MinMax { col: col(), want_max: true, states: Vec::new() },
+            Agg::First(_) => Accumulator::First { col: col(), states: Vec::new() },
+            Agg::CollectList(_) => Accumulator::List { col: col(), lists: Vec::new() },
+        }
+    }
+
+    /// Appends the initial state of a freshly inserted group.
+    fn push_group(&mut self) {
+        match self {
+            Accumulator::Count(v) => v.push(0),
+            Accumulator::CountCol { counts, .. } => counts.push(0),
+            Accumulator::Sum { states, .. } => states.push(SumState::Empty),
+            Accumulator::Avg { sums, ns, seen, .. } => {
+                sums.push(0.0);
+                ns.push(0);
+                seen.push(false);
+            }
+            Accumulator::MinMax { states, .. } | Accumulator::First { states, .. } => {
+                states.push(None)
+            }
+            Accumulator::List { lists, .. } => lists.push(Vec::new()),
+        }
+    }
+
+    /// Folds the batch's (selected) rows into the group states, `gids[p]`
+    /// naming row `p`'s group.
+    fn update(&mut self, gids: &[u32], batch: &ColumnBatch, sel: Option<&[u32]>) {
+        let len = batch.len;
+        match self {
+            Accumulator::Count(v) => {
+                for &g in gids {
+                    v[g as usize] += 1;
+                }
+            }
+            Accumulator::CountCol { col, counts } => {
+                let c = &batch.columns[*col];
+                for_each_row(len, sel, |p, i| {
+                    if c.validity.get(i) {
+                        counts[gids[p] as usize] += 1;
+                    }
+                });
+            }
+            Accumulator::Sum { col, states } => {
+                let c = &batch.columns[*col];
+                match &c.data {
+                    ColumnData::I64(xs) => for_each_row(len, sel, |p, i| {
+                        if c.validity.get(i) {
+                            sum_push_i64(&mut states[gids[p] as usize], xs[i]);
+                        }
+                    }),
+                    ColumnData::F64(xs) => for_each_row(len, sel, |p, i| {
+                        if c.validity.get(i) {
+                            sum_push_f64(&mut states[gids[p] as usize], xs[i]);
+                        }
+                    }),
+                    _ => for_each_row(len, sel, |p, i| {
+                        if c.validity.get(i) {
+                            sum_push(&mut states[gids[p] as usize], c.get(i));
+                        }
+                    }),
+                }
+            }
+            Accumulator::Avg { col, sums, ns, seen } => {
+                let c = &batch.columns[*col];
+                let mut push = |g: usize, x: Option<f64>| {
+                    let contrib = match x {
+                        Some(x) => {
+                            ns[g] += 1;
+                            x
+                        }
+                        None => 0.0,
+                    };
+                    if seen[g] {
+                        sums[g] += contrib;
+                    } else {
+                        sums[g] = contrib;
+                        seen[g] = true;
+                    }
+                };
+                match &c.data {
+                    ColumnData::I64(xs) => for_each_row(len, sel, |p, i| {
+                        let g = gids[p] as usize;
+                        push(g, c.validity.get(i).then(|| xs[i] as f64));
+                    }),
+                    ColumnData::F64(xs) => for_each_row(len, sel, |p, i| {
+                        let g = gids[p] as usize;
+                        push(g, c.validity.get(i).then(|| xs[i]));
+                    }),
+                    _ => for_each_row(len, sel, |p, i| {
+                        let g = gids[p] as usize;
+                        push(g, if c.validity.get(i) { c.get(i).as_f64() } else { None });
+                    }),
+                }
+            }
+            Accumulator::MinMax { col, want_max, states } => {
+                let c = &batch.columns[*col];
+                let want_max = *want_max;
+                match &c.data {
+                    ColumnData::Str(arena) => for_each_row(len, sel, |p, i| {
+                        if !c.validity.get(i) {
+                            return;
+                        }
+                        let s = arena.get(i);
+                        let slot = &mut states[gids[p] as usize];
+                        // Compare without allocating; only a new extreme
+                        // materializes an `Arc<str>`.
+                        if let Some(Value::Str(acc)) = slot {
+                            let replace =
+                                if want_max { s > acc.as_ref() } else { s < acc.as_ref() };
+                            if replace {
+                                *slot = Some(Value::str(s));
+                            }
+                        } else {
+                            minmax_push(slot, Value::str(s), want_max);
+                        }
+                    }),
+                    _ => for_each_row(len, sel, |p, i| {
+                        if c.validity.get(i) {
+                            minmax_push(&mut states[gids[p] as usize], c.get(i), want_max);
+                        }
+                    }),
+                }
+            }
+            Accumulator::First { col, states } => {
+                let c = &batch.columns[*col];
+                for_each_row(len, sel, |p, i| {
+                    let slot = &mut states[gids[p] as usize];
+                    if slot.is_none() && c.validity.get(i) {
+                        *slot = Some(c.get(i));
+                    }
+                });
+            }
+            Accumulator::List { col, lists } => {
+                let c = &batch.columns[*col];
+                for_each_row(len, sel, |p, i| {
+                    if c.validity.get(i) {
+                        lists[gids[p] as usize].push(c.get(i));
+                    }
+                });
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<AggState> {
+        match self {
+            Accumulator::Count(v) | Accumulator::CountCol { counts: v, .. } => {
+                v.into_iter().map(AggState::Count).collect()
+            }
+            Accumulator::Sum { states, .. } => states.into_iter().map(SumState::finish).collect(),
+            Accumulator::Avg { sums, ns, .. } => {
+                sums.into_iter().zip(ns).map(|(sum, n)| AggState::Avg { sum, n }).collect()
+            }
+            Accumulator::MinMax { want_max, states, .. } => states
+                .into_iter()
+                .map(|v| if want_max { AggState::Max(v) } else { AggState::Min(v) })
+                .collect(),
+            Accumulator::First { states, .. } => states.into_iter().map(AggState::First).collect(),
+            Accumulator::List { lists, .. } => lists.into_iter().map(AggState::List).collect(),
+        }
+    }
+}
+
+/// SplitMix64's output mixer: bijective, avalanches all 64 bits. FxHash is
+/// multiplicative-only, so its low bits — exactly the ones the open-addressed
+/// table masks off — barely mix; on sequential integer keys the raw hashes
+/// form a lattice that linear probing amplifies into huge primary clusters
+/// (probe chains thousands of slots long). One extra mix makes the masked
+/// bits uniform and keeps inserts O(1).
+#[inline]
+fn splitmix_finish(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    h
+}
+
+/// Reduce-side merge for the vectorized aggregation path: folds the
+/// shuffle's concatenated `(key, states)` bucket into first-occurrence key
+/// order, merging duplicates in stream order — exactly what
+/// [`ShuffledRdd`](crate::rdd) does reduce-side when built with a merge
+/// function, so output is byte-identical. The difference is mechanical: an
+/// open-addressed table probed with a mixed 64-bit hash instead of a
+/// `HashMap<Vec<KeyValue>, _>` whose unmixed multiplicative hashes cluster
+/// badly on sequential keys — and the bucket is read *borrowed*, so only
+/// each group's first occurrence is cloned ([`AggState::merge_ref`] folds
+/// the duplicates in place) rather than every incoming pair.
+pub(crate) fn merge_group_pairs(
+    pairs: &[(Vec<KeyValue>, Vec<AggState>)],
+) -> Vec<(Vec<KeyValue>, Vec<AggState>)> {
+    let hint = pairs.len();
+    let mut cap = 16usize;
+    while cap * 7 < hint.saturating_mul(8) {
+        cap *= 2;
+    }
+    let mut slots: Vec<u32> = vec![0; cap];
+    let mut mask = (cap - 1) as u64;
+    let mut hashes: Vec<u64> = Vec::with_capacity(hint);
+    let mut out: Vec<(Vec<KeyValue>, Vec<AggState>)> = Vec::with_capacity(hint);
+    for (k, states) in pairs {
+        let h = splitmix_finish(fx_hash(k));
+        let mut idx = (h & mask) as usize;
+        loop {
+            let slot = slots[idx];
+            if slot == 0 {
+                slots[idx] = out.len() as u32 + 1;
+                hashes.push(h);
+                out.push((k.clone(), states.clone()));
+                break;
+            }
+            let g = (slot - 1) as usize;
+            if hashes[g] == h && out[g].0 == *k {
+                for (a, b) in out[g].1.iter_mut().zip(states) {
+                    a.merge_ref(b);
+                }
+                break;
+            }
+            idx = (idx + 1) & mask as usize;
+        }
+        // Same 7/8 growth discipline as [`GroupByKernel`].
+        if (out.len() + 1) * 8 > slots.len() * 7 {
+            let grown = slots.len() * 2;
+            slots.clear();
+            slots.resize(grown, 0);
+            mask = (grown - 1) as u64;
+            for (g, &h) in hashes.iter().enumerate() {
+                let mut idx = (h & mask) as usize;
+                while slots[idx] != 0 {
+                    idx = (idx + 1) & mask as usize;
+                }
+                slots[idx] = g as u32 + 1;
+            }
+        }
+    }
+    out
+}
+
+/// The per-partition vectorized hash group-by: batches stream in (with an
+/// optional selection vector, so a fused filter needs no gather), groups
+/// accumulate in typed state columns, and one `(key, states)` pair per
+/// **distinct group** streams out — in first-occurrence row order, which is
+/// exactly the order the row path's insertion-ordered map-side combine
+/// produces, keeping all physical paths byte-identical.
+///
+/// Group identity is an open-addressed table over the encoded key bytes
+/// (arena-backed, linear probing, power-of-two capacity): one probe per
+/// row against a flat `Vec<u32>` slot array replaces the row path's
+/// per-row `Vec<KeyValue>` allocation + `HashMap` rehash.
+pub(crate) struct GroupByKernel {
+    key_cols: Vec<usize>,
+    /// `group id + 1` per slot; 0 = empty.
+    slots: Vec<u32>,
+    mask: u64,
+    /// Per-group probe hashes (for rehashing and fast inequality).
+    hashes: Vec<u64>,
+    /// Encoded key bytes, arena-packed: group `g` owns
+    /// `key_arena[key_offsets[g]..key_offsets[g + 1]]`.
+    key_offsets: Vec<usize>,
+    key_arena: Vec<u8>,
+    /// Materialized keys in first-occurrence order (the emission order and
+    /// the shuffle partitioning input).
+    keys: Vec<Vec<KeyValue>>,
+    accs: Vec<Accumulator>,
+    rows_in: u64,
+    /// Per-row scratch, reused across batches (capacity retained).
+    bufs: Vec<Vec<u8>>,
+    gids: Vec<u32>,
+}
+
+impl GroupByKernel {
+    pub(crate) fn new(key_cols: Vec<usize>, specs: &[(Agg, Option<usize>)]) -> GroupByKernel {
+        GroupByKernel {
+            key_cols,
+            slots: vec![0; 16],
+            mask: 15,
+            hashes: Vec::new(),
+            key_offsets: vec![0],
+            key_arena: Vec::new(),
+            keys: Vec::new(),
+            accs: specs.iter().map(|(a, c)| Accumulator::new(a, *c)).collect(),
+            rows_in: 0,
+            bufs: Vec::new(),
+            gids: Vec::new(),
+        }
+    }
+
+    /// Grows the slot array (rebuilding from the stored hashes) until
+    /// `additional` more groups would keep occupancy under 7/8. Called once
+    /// per batch with the batch's row count — the worst case of every row
+    /// starting a group — so the probe loop carries no growth check and the
+    /// table always probes below the threshold load.
+    fn reserve(&mut self, additional: usize) {
+        let needed = self.hashes.len() + additional;
+        let mut cap = self.slots.len();
+        while (needed + 1) * 8 > cap * 7 {
+            cap *= 2;
+        }
+        if cap == self.slots.len() {
+            return;
+        }
+        self.slots.clear();
+        self.slots.resize(cap, 0);
+        self.mask = (cap - 1) as u64;
+        for (g, &h) in self.hashes.iter().enumerate() {
+            let mut idx = (h & self.mask) as usize;
+            while self.slots[idx] != 0 {
+                idx = (idx + 1) & self.mask as usize;
+            }
+            self.slots[idx] = g as u32 + 1;
+        }
+    }
+
+    /// Folds one batch (optionally filtered by `sel`) into the group table.
+    pub(crate) fn push_batch(&mut self, batch: &ColumnBatch, sel: Option<&[u32]>) {
+        let n = sel.map_or(batch.len, |s| s.len());
+        if n == 0 {
+            return;
+        }
+        self.rows_in += n as u64;
+        // Encode group keys column-at-a-time into the per-row scratch.
+        if self.bufs.len() < n {
+            self.bufs.resize_with(n, Vec::new);
+        }
+        for b in &mut self.bufs[..n] {
+            b.clear();
+        }
+        for &c in &self.key_cols {
+            encode_group_column(&batch.columns[c], batch.len, sel, &mut self.bufs[..n]);
+        }
+        // Probe/insert each row, recording its group id.
+        self.reserve(n);
+        self.gids.resize(n, 0);
+        for p in 0..n {
+            let key = &self.bufs[p];
+            let h = splitmix_finish(fx_hash_bytes(key));
+            let mut idx = (h & self.mask) as usize;
+            let gid = loop {
+                let slot = self.slots[idx];
+                if slot == 0 {
+                    let g = self.hashes.len() as u32;
+                    self.hashes.push(h);
+                    self.key_arena.extend_from_slice(key);
+                    self.key_offsets.push(self.key_arena.len());
+                    let row = match sel {
+                        Some(s) => s[p] as usize,
+                        None => p,
+                    };
+                    self.keys.push(
+                        self.key_cols
+                            .iter()
+                            .map(|&c| KeyValue(batch.columns[c].get(row)))
+                            .collect(),
+                    );
+                    for acc in &mut self.accs {
+                        acc.push_group();
+                    }
+                    self.slots[idx] = g + 1;
+                    break g;
+                }
+                let g = (slot - 1) as usize;
+                if self.hashes[g] == h
+                    && self.key_arena[self.key_offsets[g]..self.key_offsets[g + 1]] == key[..]
+                {
+                    break g as u32;
+                }
+                idx = (idx + 1) & self.mask as usize;
+            };
+            self.gids[p] = gid;
+        }
+        // Accumulate column-at-a-time.
+        let gids = &self.gids[..n];
+        for acc in &mut self.accs {
+            acc.update(gids, batch, sel);
+        }
+    }
+
+    pub(crate) fn rows_in(&self) -> u64 {
+        self.rows_in
+    }
+
+    pub(crate) fn groups_out(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// Emits one pair per distinct group, in first-occurrence order.
+    pub(crate) fn finish(self) -> Vec<(Vec<KeyValue>, Vec<AggState>)> {
+        let GroupByKernel { keys, accs, .. } = self;
+        let mut cols: Vec<std::vec::IntoIter<AggState>> =
+            accs.into_iter().map(|a| a.finish().into_iter()).collect();
+        keys.into_iter()
+            .map(|k| (k, cols.iter_mut().map(|it| it.next().expect("state per group")).collect()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -1001,5 +1943,318 @@ mod tests {
                 prop_assert!(same, "gathered slot {} differs", out);
             }
         }
+    }
+
+    // --- normalized-key sort encoding ---
+
+    /// Values with nested lists (lists of lists, lists of mixed scalars) on
+    /// top of [`arb_value`]'s flat shapes.
+    fn arb_deep_value() -> impl Strategy<Value = Value> {
+        arb_value().prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Value::list)
+        })
+    }
+
+    /// All four direction × null-placement combinations.
+    fn sort_dirs() -> [SortDir; 4] {
+        [
+            SortDir::asc(),
+            SortDir::asc().with_nulls_last(true),
+            SortDir::desc(),
+            SortDir::desc().with_nulls_last(false),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // memcmp on encoded keys realizes exactly the comparator the row
+        // path uses — same order AND same ties (equal bytes iff the
+        // `SortKey`s compare Equal), under every direction/null placement.
+        #[test]
+        fn sort_encoding_matches_sort_key_order(a in arb_deep_value(), b in arb_deep_value()) {
+            for dir in sort_dirs() {
+                let (mut ka, mut kb) = (Vec::new(), Vec::new());
+                encode_sort_cell(&mut ka, &a, dir);
+                encode_sort_cell(&mut kb, &b, dir);
+                let by_bytes = ka.cmp(&kb);
+                let by_key = SortKey::new(a.clone(), dir).cmp(&SortKey::new(b.clone(), dir));
+                prop_assert_eq!(by_bytes, by_key, "dir {:?}: {:?} vs {:?}", dir, &a, &b);
+            }
+        }
+
+        // Per-cell encodings are prefix-free, so the concatenated row key
+        // compares like the lexicographic `Vec<SortKey>` comparison even
+        // when an early key of one row is a byte-prefix of the other's.
+        #[test]
+        fn multi_key_row_encoding_is_lexicographic(
+            ra in prop::collection::vec(arb_value(), 3..4),
+            rb in prop::collection::vec(arb_value(), 3..4),
+            dirs in prop::collection::vec(0usize..4, 3..4),
+        ) {
+            let spec: Vec<(usize, SortDir)> =
+                dirs.iter().enumerate().map(|(i, &d)| (i, sort_dirs()[d])).collect();
+            let keys = |row: &[Value]| -> Vec<SortKey> {
+                spec.iter().map(|&(i, d)| SortKey::new(row[i].clone(), d)).collect()
+            };
+            prop_assert_eq!(
+                encode_row_sort_key(&ra, &spec).cmp(&encode_row_sort_key(&rb, &spec)),
+                keys(&ra).cmp(&keys(&rb))
+            );
+        }
+
+        // The batch kernel produces byte-for-byte the same encoding as the
+        // per-row encoder the sort pipeline uses at shuffle boundaries.
+        #[test]
+        fn sort_key_bytes_kernel_matches_row_encoder(
+            rows in prop::collection::vec(prop::collection::vec(arb_value(), 2..3), 0..30),
+            dirs in prop::collection::vec(0usize..4, 2..3),
+        ) {
+            let spec: Vec<(usize, SortDir)> =
+                dirs.iter().enumerate().map(|(i, &d)| (i, sort_dirs()[d])).collect();
+            let batch = ColumnBatch::from_rows(2, rows.clone());
+            let got = sort_key_bytes(&batch, &spec);
+            prop_assert_eq!(got.len(), rows.len());
+            for (row, key) in rows.iter().zip(&got) {
+                prop_assert_eq!(key, &encode_row_sort_key(row, &spec));
+            }
+        }
+
+        // --- group identity encoding ---
+
+        // Group-key bytes are equality-faithful: equal bytes exactly when
+        // the `KeyValue`s are equal (I64(1), F64(1.0), Str("1") and
+        // Bool(true) all stay distinct; F64 compares by bit pattern).
+        #[test]
+        fn group_encoding_is_equality_faithful(a in arb_deep_value(), b in arb_deep_value()) {
+            let (mut ka, mut kb) = (Vec::new(), Vec::new());
+            encode_group_value(&mut ka, &a);
+            encode_group_value(&mut kb, &b);
+            prop_assert_eq!(ka == kb, KeyValue(a.clone()) == KeyValue(b.clone()));
+        }
+
+        // Every value round-trips through the group encoding bit-exactly
+        // with no trailing bytes.
+        #[test]
+        fn group_encoding_round_trips(v in arb_deep_value()) {
+            let mut bytes = Vec::new();
+            encode_group_value(&mut bytes, &v);
+            let (decoded, rest) = decode_group_value(&bytes).expect("well-formed encoding");
+            prop_assert!(rest.is_empty());
+            prop_assert_eq!(KeyValue(decoded), KeyValue(v));
+        }
+    }
+
+    #[test]
+    fn group_encoding_keeps_numeric_twins_distinct() {
+        let twins = [
+            Value::I64(1),
+            Value::F64(1.0),
+            Value::str("1"),
+            Value::Bool(true),
+            Value::Null,
+            Value::list(vec![Value::I64(1)]),
+        ];
+        let encs: Vec<Vec<u8>> = twins
+            .iter()
+            .map(|v| {
+                let mut b = Vec::new();
+                encode_group_value(&mut b, v);
+                b
+            })
+            .collect();
+        for i in 0..encs.len() {
+            for j in i + 1..encs.len() {
+                assert_ne!(encs[i], encs[j], "{:?} vs {:?}", twins[i], twins[j]);
+            }
+        }
+    }
+
+    // --- vectorized group-by kernel ---
+
+    /// Low-cardinality keys that force collisions across *types* too:
+    /// `I64(1)` and `F64(1.0)` land in the pool together, so a kernel that
+    /// conflated numerically-equal keys of different types would fail.
+    fn arb_group_key() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            (0i64..4).prop_map(Value::I64),
+            (0i64..3).prop_map(|i| Value::F64(i as f64)),
+            "[ab]{0,2}".prop_map(Value::str),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    /// Aggregation payloads: everything [`arb_value`] makes, plus the i64
+    /// extremes so `SUM` overflow (the `Some(Null)` poison state) occurs.
+    fn arb_agg_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            arb_value(),
+            arb_value(),
+            arb_value(),
+            Just(Value::I64(i64::MAX)),
+            Just(Value::I64(i64::MIN)),
+        ]
+    }
+
+    /// One spec per aggregate kind, all over the value column `vi`.
+    fn all_agg_specs(vi: usize) -> Vec<(Agg, Option<usize>)> {
+        vec![
+            (Agg::Count, None),
+            (Agg::CountCol("v".into()), Some(vi)),
+            (Agg::Sum("v".into()), Some(vi)),
+            (Agg::Avg("v".into()), Some(vi)),
+            (Agg::Min("v".into()), Some(vi)),
+            (Agg::Max("v".into()), Some(vi)),
+            (Agg::First("v".into()), Some(vi)),
+            (Agg::CollectList("v".into()), Some(vi)),
+        ]
+    }
+
+    /// The row path's map-side combine, verbatim: create one state per row,
+    /// merge into the first-occurrence slot.
+    fn reference_group_by(
+        rows: &[Row],
+        key_cols: &[usize],
+        specs: &[(Agg, Option<usize>)],
+    ) -> Vec<(Vec<KeyValue>, Vec<AggState>)> {
+        let mut index: std::collections::HashMap<Vec<KeyValue>, usize> = Default::default();
+        let mut out: Vec<(Vec<KeyValue>, Vec<AggState>)> = Vec::new();
+        for row in rows {
+            let keys: Vec<KeyValue> = key_cols.iter().map(|&i| KeyValue(row[i].clone())).collect();
+            let states: Vec<AggState> =
+                specs.iter().map(|(a, idx)| AggState::create(a, idx.map(|i| &row[i]))).collect();
+            match index.get(&keys) {
+                Some(&g) => {
+                    let old = std::mem::take(&mut out[g].1);
+                    out[g].1 = old.into_iter().zip(states).map(|(a, b)| a.merge(b)).collect();
+                }
+                None => {
+                    index.insert(keys.clone(), out.len());
+                    out.push((keys, states));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compares group-by outputs through the shuffle wire codec, which is
+    /// sensitive to everything that must match: group order, key identity,
+    /// f64 bits, and `Sum`'s `None` vs `Some(Null)` distinction.
+    fn wire_bytes(pairs: &[(Vec<KeyValue>, Vec<AggState>)]) -> Vec<u8> {
+        use crate::CacheCodec;
+        super::super::plan::GroupPairCodec.encode(pairs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // The vectorized kernel produces wire-identical output to the row
+        // path's fold — all eight aggregate kinds, two mixed-type key
+        // columns, any batching seam.
+        #[test]
+        fn group_kernel_matches_row_fold(
+            rows in prop::collection::vec((arb_group_key(), arb_group_key(), arb_agg_value()), 0..120),
+            chunk_sel in 0usize..3,
+        ) {
+            let chunk = [1usize, 3, 1024][chunk_sel];
+            let rows: Vec<Row> = rows.into_iter().map(|(a, b, v)| vec![a, b, v]).collect();
+            let specs = all_agg_specs(2);
+            let expect = reference_group_by(&rows, &[0, 1], &specs);
+            let mut kernel = GroupByKernel::new(vec![0, 1], &specs);
+            for c in rows.chunks(chunk) {
+                kernel.push_batch(&ColumnBatch::from_rows(3, c.to_vec()), None);
+            }
+            prop_assert_eq!(kernel.rows_in(), rows.len() as u64);
+            prop_assert_eq!(kernel.groups_out(), expect.len() as u64);
+            prop_assert_eq!(wire_bytes(&kernel.finish()), wire_bytes(&expect));
+        }
+
+        // A selection vector restricts the kernel to exactly the selected
+        // rows, in batch order.
+        #[test]
+        fn group_kernel_respects_selection_vectors(
+            rows in prop::collection::vec((arb_group_key(), arb_agg_value(), any::<bool>()), 0..80),
+        ) {
+            let specs = all_agg_specs(1);
+            let kept: Vec<Row> = rows
+                .iter()
+                .filter(|(_, _, keep)| *keep)
+                .map(|(k, v, _)| vec![k.clone(), v.clone()])
+                .collect();
+            let expect = reference_group_by(&kept, &[0], &specs);
+            let mut kernel = GroupByKernel::new(vec![0], &specs);
+            for c in rows.chunks(7) {
+                let batch = ColumnBatch::from_rows(
+                    2,
+                    c.iter().map(|(k, v, _)| vec![k.clone(), v.clone()]).collect(),
+                );
+                let sel: Vec<u32> = c
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, _, keep))| *keep)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                kernel.push_batch(&batch, Some(&sel));
+            }
+            prop_assert_eq!(wire_bytes(&kernel.finish()), wire_bytes(&expect));
+        }
+
+        // The reduce-side bucket merge — open-addressed probing plus the
+        // in-place `AggState::merge_ref` — is wire-identical to the
+        // insertion-ordered fold over owned `AggState::merge`, which is
+        // what `ShuffledRdd`'s generic reduce merge computes. All eight
+        // aggregate kinds, duplicate keys in arbitrary stream positions.
+        #[test]
+        fn bucket_merge_matches_owned_merge_fold(
+            rows in prop::collection::vec((arb_group_key(), arb_agg_value()), 0..120),
+        ) {
+            let specs = all_agg_specs(1);
+            let rows: Vec<Row> = rows.into_iter().map(|(k, v)| vec![k, v]).collect();
+            let expect = reference_group_by(&rows, &[0], &specs);
+            let pairs: Vec<(Vec<KeyValue>, Vec<AggState>)> = rows
+                .iter()
+                .map(|row| {
+                    let keys = vec![KeyValue(row[0].clone())];
+                    let states = specs
+                        .iter()
+                        .map(|(a, idx)| AggState::create(a, idx.map(|i| &row[i])))
+                        .collect();
+                    (keys, states)
+                })
+                .collect();
+            prop_assert_eq!(wire_bytes(&merge_group_pairs(&pairs)), wire_bytes(&expect));
+        }
+    }
+
+    #[test]
+    fn group_kernel_emits_first_occurrence_order() {
+        let rows: Vec<Row> = vec![
+            vec![Value::str("b"), Value::I64(1)],
+            vec![Value::str("a"), Value::I64(2)],
+            vec![Value::str("b"), Value::I64(3)],
+            vec![Value::Null, Value::I64(4)],
+        ];
+        let specs = vec![(Agg::Sum("v".into()), Some(1))];
+        let mut kernel = GroupByKernel::new(vec![0], &specs);
+        kernel.push_batch(&ColumnBatch::from_rows(2, rows), None);
+        let keys: Vec<Value> = kernel.finish().into_iter().map(|(k, _)| k[0].0.clone()).collect();
+        assert_eq!(keys, vec![Value::str("b"), Value::str("a"), Value::Null]);
+    }
+
+    #[test]
+    fn group_kernel_grows_past_initial_capacity() {
+        let specs = vec![(Agg::Count, None)];
+        let mut kernel = GroupByKernel::new(vec![0], &specs);
+        let rows: Vec<Row> = (0..5000).map(|i| vec![Value::I64(i % 2500)]).collect();
+        for c in rows.chunks(97) {
+            kernel.push_batch(&ColumnBatch::from_rows(1, c.to_vec()), None);
+        }
+        assert_eq!((kernel.rows_in(), kernel.groups_out()), (5000, 2500));
+        let got = kernel.finish();
+        assert_eq!(got.len(), 2500);
+        // First-occurrence order survives the table rebuilds on growth.
+        assert_eq!(got[17].0[0], KeyValue(Value::I64(17)));
+        assert!(got.iter().all(|(_, s)| matches!(s[0], AggState::Count(2))));
     }
 }

@@ -350,7 +350,13 @@ pub(crate) fn eval_num(a: &Value, op: NumOp, b: &Value) -> Value {
 
 /// A total, type-bucketed order over [`Value`], used for sorting:
 /// `NULL < booleans < numbers < strings < binaries < lists`. Numbers
-/// compare numerically across `I64`/`F64` (NaN greatest).
+/// compare numerically across `I64`/`F64` (NaN greatest); when an `I64`
+/// and an `F64` are numerically equal after widening, the `I64` orders
+/// first. That tiebreak makes the relation a genuine total order (plain
+/// `total_cmp` after an `as f64` widening is not transitive once |i64|
+/// exceeds 2^53) and is exactly what the normalized-key byte encoding in
+/// [`batch`](super::batch) realizes: the comparison key is the triple
+/// (value as f64 under `total_cmp`, type rank I64 < F64, i64 payload).
 pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
     fn bucket(v: &Value) -> u8 {
         match v {
@@ -366,8 +372,8 @@ pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
         (Value::Null, Value::Null) => Ordering::Equal,
         (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
         (Value::I64(x), Value::I64(y)) => x.cmp(y),
-        (Value::I64(x), Value::F64(y)) => (*x as f64).total_cmp(y),
-        (Value::F64(x), Value::I64(y)) => x.total_cmp(&(*y as f64)),
+        (Value::I64(x), Value::F64(y)) => (*x as f64).total_cmp(y).then(Ordering::Less),
+        (Value::F64(x), Value::I64(y)) => x.total_cmp(&(*y as f64)).then(Ordering::Greater),
         (Value::F64(x), Value::F64(y)) => x.total_cmp(y),
         (Value::Str(x), Value::Str(y)) => x.as_ref().cmp(y.as_ref()),
         (Value::Bin(x), Value::Bin(y)) => x.as_ref().cmp(y.as_ref()),

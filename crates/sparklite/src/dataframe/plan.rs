@@ -75,7 +75,7 @@ impl Agg {
 
 /// Partial aggregate state, mergeable across shuffle blocks.
 #[derive(Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     Sum(Option<Value>),
     Avg { sum: f64, n: i64 },
@@ -86,7 +86,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn create(agg: &Agg, v: Option<&Value>) -> AggState {
+    pub(crate) fn create(agg: &Agg, v: Option<&Value>) -> AggState {
         let non_null = v.filter(|v| !v.is_null());
         match agg {
             Agg::Count => AggState::Count(1),
@@ -105,7 +105,7 @@ impl AggState {
         }
     }
 
-    fn merge(self, other: AggState) -> AggState {
+    pub(crate) fn merge(self, other: AggState) -> AggState {
         use super::expr::value_cmp;
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => AggState::Count(a + b),
@@ -133,7 +133,55 @@ impl AggState {
         }
     }
 
-    fn finish(self) -> Value {
+    /// [`merge`](Self::merge) against a borrowed right-hand state, cloning
+    /// only what the merged result actually keeps (the winning MIN/MAX
+    /// value, list elements) — the reduce side of the vectorized path
+    /// merges straight out of the shared shuffle bucket, so per-pair
+    /// clones of the losing side would be pure waste. Must stay
+    /// result-identical to `a.merge(b.clone())`, including `Avg`'s
+    /// left-to-right addition order (float addition is not associative).
+    pub(crate) fn merge_ref(&mut self, other: &AggState) {
+        use super::expr::value_cmp;
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => match (&a, b) {
+                (_, None) => {}
+                (None, Some(_)) => *a = b.clone(),
+                (Some(x), Some(y)) => *a = Some(add_values(x, y)),
+            },
+            (AggState::Avg { sum, n }, AggState::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (AggState::Min(a), AggState::Min(b)) => match (&a, b) {
+                (_, None) => {}
+                (None, Some(_)) => *a = b.clone(),
+                (Some(x), Some(y)) => {
+                    if value_cmp(x, y).is_gt() {
+                        *a = Some(y.clone());
+                    }
+                }
+            },
+            (AggState::Max(a), AggState::Max(b)) => match (&a, b) {
+                (_, None) => {}
+                (None, Some(_)) => *a = b.clone(),
+                (Some(x), Some(y)) => {
+                    if value_cmp(x, y).is_lt() {
+                        *a = Some(y.clone());
+                    }
+                }
+            },
+            (AggState::First(a), AggState::First(b)) => {
+                if a.is_none() {
+                    *a = b.clone();
+                }
+            }
+            (AggState::List(a), AggState::List(b)) => a.extend(b.iter().cloned()),
+            _ => unreachable!("aggregate states of one column always match"),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::I64(n),
             AggState::Sum(v) => v.unwrap_or(Value::Null),
@@ -166,7 +214,7 @@ fn add_values(a: &Value, b: &Value) -> Value {
 /// [`AggState`] to a small tagged `Value` list. `Option<Value>` payloads
 /// encode presence by arity (`[tag]` vs `[tag, v]`), so `None` and
 /// `Some(Null)` — which `Sum` can produce on overflow — stay distinct.
-struct GroupPairCodec;
+pub(crate) struct GroupPairCodec;
 
 impl GroupPairCodec {
     fn state_to_value(state: &AggState) -> Value {
@@ -766,11 +814,14 @@ fn compile_row_major(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Ro
                     .collect();
                 (key, states)
             });
-            Ok(finish_group_by(paired, keys.len(), num_parts))
+            Ok(finish_group_by(paired, keys.len(), num_parts, false))
         }
         LogicalPlan::OrderBy { input, keys } => {
             let rdd = compile_row_major(core, input)?;
-            compile_order_by(rdd, input.schema(), keys, num_parts)
+            // The row-major reference path always sorts on materialized
+            // `SortKey`s — the baseline the normalized-key encoding's
+            // differential battery compares against.
+            compile_order_by(rdd, input.schema(), keys, num_parts, false)
         }
         LogicalPlan::ZipWithIndex { input, start, .. } => {
             let rdd = compile_row_major(core, input)?;
@@ -795,18 +846,38 @@ fn agg_specs(schema: &Arc<Schema>, aggs: &[(Agg, String)]) -> Result<Vec<(Agg, O
         .collect()
 }
 
-/// The shuffle + finish half of GROUP BY, shared by both physical paths
+/// The shuffle + finish half of GROUP BY, shared by all physical paths
 /// (the map sides differ; the wire format and merge logic must not).
+///
+/// `map_side_combined` declares the map side already aggregated per
+/// partition (the vectorized kernel). The shuffle then skips both of its
+/// combine passes — the map-side one (which would only re-hash every
+/// already-unique key, the dominant cost at high key cardinality) *and*
+/// the generic clone-heavy reduce-side merge, replaced by the
+/// whole-bucket [`batch::merge_group_pairs`] reduce, which borrows the
+/// bucket and clones one pair per distinct group instead of one per
+/// record. Partitioning (`fx_hash` of the key), the
+/// wire format, and the insertion-ordered merge semantics are identical on
+/// every path, so output bytes are too.
 fn finish_group_by(
     paired: Rdd<(Vec<KeyValue>, Vec<AggState>)>,
     nkeys: usize,
     num_parts: usize,
+    map_side_combined: bool,
 ) -> Rdd<Row> {
-    let merged = paired.reduce_by_key_with_codec(
-        |a, b| a.into_iter().zip(b).map(|(x, y)| x.merge(y)).collect(),
-        num_parts,
-        Arc::new(GroupPairCodec),
-    );
+    let merged = if map_side_combined {
+        paired.partition_reduce_with_codec(
+            num_parts,
+            Arc::new(GroupPairCodec),
+            Arc::new(batch::merge_group_pairs),
+        )
+    } else {
+        paired.reduce_by_key_with_codec(
+            |a, b| a.into_iter().zip(b).map(|(x, y)| x.merge(y)).collect(),
+            num_parts,
+            Arc::new(GroupPairCodec),
+        )
+    };
     merged.map(move |(key, states)| {
         let mut row: Row = Vec::with_capacity(nkeys + states.len());
         row.extend(key.into_iter().map(|k| k.0));
@@ -815,18 +886,30 @@ fn finish_group_by(
     })
 }
 
-/// Range-partitioned ORDER BY — identical in both physical paths: sort keys
-/// are materialized per row at the shuffle boundary either way, because the
-/// sort itself is row-oriented (the `sort_keys` batch kernel covers the
-/// encoding for callers that sort batches locally).
+/// Range-partitioned ORDER BY. `vectorized` selects the sort key
+/// representation: the §4.7 normalized byte encoding
+/// ([`batch::encode_row_sort_key`] — one flat memcmp-comparable buffer per
+/// row, descending via complement, shared with the [`batch::sort_key_bytes`]
+/// kernel), or the materialized per-row `Vec<SortKey>` reference. Both are
+/// proven order- and tie-equivalent, so the range partitioner's sampling,
+/// cut selection, and the stable local sort behave identically.
 fn compile_order_by(
     rdd: Rdd<Row>,
     schema: &Arc<Schema>,
     keys: &[(String, SortDir)],
     num_parts: usize,
+    vectorized: bool,
 ) -> Result<Rdd<Row>> {
     let sort_spec: Vec<(usize, SortDir)> =
         keys.iter().map(|(k, d)| Ok((schema.resolve(k)?, *d))).collect::<Result<_>>()?;
+    if vectorized {
+        return Ok(rdd.sort_by_with_codec(
+            move |row| batch::encode_row_sort_key(row, &sort_spec),
+            true,
+            num_parts,
+            Arc::new(RowCodec),
+        ));
+    }
     Ok(rdd.sort_by_with_codec(
         move |row| {
             sort_spec
@@ -853,10 +936,6 @@ enum FusedOp {
     LocalLimit(usize),
 }
 
-/// Columnar compiler: peels the maximal fusable suffix of the plan
-/// (Project/Filter/Explode chains, plus a segment-leading Limit), compiles
-/// whatever is below it as a boundary, and executes the suffix as one fused
-/// pass over [`ColumnBatch`]es of `ExecConf::batch_size` rows.
 /// Collapses a pending selection vector into the batch (one gather), for
 /// operators that need positionally dense columns.
 fn materialize(batch: &mut ColumnBatch, sel: &mut Option<Vec<u32>>) {
@@ -865,7 +944,12 @@ fn materialize(batch: &mut ColumnBatch, sel: &mut Option<Vec<u32>>) {
     }
 }
 
-fn compile_columnar(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
+/// Peels the maximal fusable suffix of a plan: the operator chain (returned
+/// in execution order), the global LIMIT cut if one heads the segment, and
+/// the boundary node left below the chain. Pure analysis — the boundary is
+/// *not* compiled here, so each caller compiles it exactly once, in
+/// whatever shape (row source or kernel feed) it needs.
+fn peel_ops(plan: &Arc<LogicalPlan>) -> Result<(Vec<FusedOp>, Option<usize>, &Arc<LogicalPlan>)> {
     let mut ops_rev: Vec<FusedOp> = Vec::new();
     let mut global_limit: Option<usize> = None;
     let mut node = plan;
@@ -896,26 +980,88 @@ fn compile_columnar(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row
             _ => break,
         }
     }
-    let source = compile_boundary(core, node)?;
-    if ops_rev.is_empty() {
-        return Ok(source);
-    }
     ops_rev.reverse();
-    let ops: Arc<Vec<FusedOp>> = Arc::new(ops_rev);
-    let width = node.schema().len();
+    Ok((ops_rev, global_limit, node))
+}
+
+/// A compiled fused pipeline segment: the operator chain plus the width of
+/// the rows entering it. Shared between [`segment_rows`] (row-out
+/// execution) and the vectorized GROUP BY map side, which keeps the
+/// segment's output columnar and feeds it — selection vector and all —
+/// straight into the aggregation kernel.
+struct SegmentPlan {
+    ops: Vec<FusedOp>,
+    width: usize,
+}
+
+impl SegmentPlan {
+    fn local_limit(&self) -> Option<usize> {
+        self.ops.iter().find_map(|op| match op {
+            FusedOp::LocalLimit(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Runs every operator over one batch, returning the surviving batch
+    /// and, if the trailing operators left one pending, a selection vector.
+    ///
+    /// Filters narrow a lazy selection vector instead of gathering
+    /// (copying) every column per filter; the batch materializes only when
+    /// a downstream operator needs positional storage, and the final
+    /// emission reads straight through the selection.
+    fn apply(
+        &self,
+        mut batch: ColumnBatch,
+        remaining: &mut Option<usize>,
+    ) -> (ColumnBatch, Option<Vec<u32>>) {
+        let mut sel: Option<Vec<u32>> = None;
+        for op in &self.ops {
+            match op {
+                FusedOp::Project(exprs) => {
+                    materialize(&mut batch, &mut sel);
+                    batch = batch::project(exprs, &batch);
+                }
+                FusedOp::Filter(p) => {
+                    if p.has_udf() {
+                        materialize(&mut batch, &mut sel);
+                    }
+                    sel = Some(batch::refine(p, &batch, sel.take()));
+                }
+                FusedOp::Explode { idx } => {
+                    materialize(&mut batch, &mut sel);
+                    batch = batch::explode(&batch, *idx);
+                }
+                FusedOp::LocalLimit(_) => {
+                    materialize(&mut batch, &mut sel);
+                    if let Some(rem) = remaining.as_mut() {
+                        batch = batch.head(*rem);
+                        *rem -= batch.len();
+                    }
+                }
+            }
+            if sel.as_ref().map(|s| s.len()).unwrap_or(batch.len()) == 0 {
+                break;
+            }
+        }
+        (batch, sel)
+    }
+}
+
+/// Executes a fused segment over a row source, emitting rows: batches of
+/// `ExecConf::batch_size` rows stream lazily through
+/// [`SegmentPlan::apply`], and each partition reports its batch work once
+/// when exhausted.
+fn segment_rows(core: &Arc<Core>, source: Rdd<Row>, seg: Arc<SegmentPlan>) -> Rdd<Row> {
     let batch_size = core.conf.exec.batch_size;
     let events = Arc::clone(&core.events);
-    let fused = source.map_partitions(move |_part, mut input: BoxIter<Row>| {
-        let ops = Arc::clone(&ops);
+    source.map_partitions(move |_part, mut input: BoxIter<Row>| {
+        let seg = Arc::clone(&seg);
         let events = Arc::clone(&events);
         // Per-call state (fresh on retries): the pending output rows of the
         // last batch, the remaining local-limit budget, and the counters
         // reported once per partition when the input is exhausted.
         let mut out: std::vec::IntoIter<Row> = Vec::new().into_iter();
-        let mut remaining: Option<usize> = ops.iter().find_map(|op| match op {
-            FusedOp::LocalLimit(n) => Some(*n),
-            _ => None,
-        });
+        let mut remaining = seg.local_limit();
         let mut batches: u64 = 0;
         let mut rows_out: u64 = 0;
         let mut done = false;
@@ -941,47 +1087,14 @@ fn compile_columnar(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row
                 done = true;
                 if batches > 0 {
                     events.emit(Event::ColumnarBatch {
-                        fused_ops: ops.len() as u64,
+                        fused_ops: seg.ops.len() as u64,
                         batches,
                         rows: rows_out,
                     });
                 }
                 return None;
             }
-            let mut batch = ColumnBatch::from_rows(width, buf);
-            // Filters narrow a lazy selection vector instead of gathering
-            // (copying) every column per filter; the batch materializes only
-            // when a downstream operator needs positional storage, and the
-            // final row emission reads straight through the selection.
-            let mut sel: Option<Vec<u32>> = None;
-            for op in ops.iter() {
-                match op {
-                    FusedOp::Project(exprs) => {
-                        materialize(&mut batch, &mut sel);
-                        batch = batch::project(exprs, &batch);
-                    }
-                    FusedOp::Filter(p) => {
-                        if p.has_udf() {
-                            materialize(&mut batch, &mut sel);
-                        }
-                        sel = Some(batch::refine(p, &batch, sel.take()));
-                    }
-                    FusedOp::Explode { idx } => {
-                        materialize(&mut batch, &mut sel);
-                        batch = batch::explode(&batch, *idx);
-                    }
-                    FusedOp::LocalLimit(_) => {
-                        materialize(&mut batch, &mut sel);
-                        if let Some(rem) = remaining.as_mut() {
-                            batch = batch.head(*rem);
-                            *rem -= batch.len();
-                        }
-                    }
-                }
-                if sel.as_ref().map(|s| s.len()).unwrap_or(batch.len()) == 0 {
-                    break;
-                }
-            }
+            let (batch, sel) = seg.apply(ColumnBatch::from_rows(seg.width, buf), &mut remaining);
             batches += 1;
             let out_rows = match sel {
                 Some(s) => batch.to_rows_sel(&s),
@@ -991,13 +1104,83 @@ fn compile_columnar(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row
             out = out_rows.into_iter();
         });
         Box::new(iter) as BoxIter<Row>
-    });
+    })
+}
+
+/// Columnar compiler: peels the maximal fusable suffix of the plan
+/// (Project/Filter/Explode chains, plus a segment-leading Limit), compiles
+/// whatever is below it as a boundary, and executes the suffix as one fused
+/// pass over [`ColumnBatch`]es of `ExecConf::batch_size` rows. With
+/// `ExecConf::adaptive` on, a single-operator segment falls back to the row
+/// interpreter once observed batch statistics say transposition costs more
+/// than the kernel saves.
+fn compile_columnar(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row>> {
+    let (ops, global_limit, node) = peel_ops(plan)?;
+    let source = compile_boundary(core, node)?;
+    if ops.is_empty() {
+        return Ok(source);
+    }
+    if global_limit.is_none() && ops.len() == 1 && adaptive_prefers_rows(core) {
+        let op = ops.into_iter().next().expect("one fused op");
+        return Ok(apply_op_row(source, op));
+    }
+    let seg = Arc::new(SegmentPlan { ops, width: node.schema().len() });
+    let fused = segment_rows(core, source, seg);
     match global_limit {
         Some(n) => {
             let rows = fused.take(n)?;
             Ok(Rdd::new(Arc::clone(core), Arc::new(FromPartitionsRdd::new(vec![rows]))))
         }
         None => Ok(fused),
+    }
+}
+
+/// Whether the adaptive heuristic currently prefers the row interpreter for
+/// *short* (single-operator) pipeline segments: once enough batches have
+/// flowed through this context to trust the statistics (`>= 16`), a mean
+/// batch occupancy under 8 rows means the row↔column transposition
+/// dominates whatever the kernel saves. Multi-operator fusion and the
+/// pre-aggregating GROUP BY kernel always stay columnar — their win does
+/// not hinge on occupancy the same way. Derived from the [`Event`] stream's
+/// `columnar_batches` / `columnar_rows` counters, so the heuristic works
+/// with or without an event collector attached.
+fn adaptive_prefers_rows(core: &Arc<Core>) -> bool {
+    use std::sync::atomic::Ordering;
+    if !core.conf.exec.adaptive {
+        return false;
+    }
+    let batches = core.metrics.columnar_batches.load(Ordering::Relaxed);
+    if batches < 16 {
+        return false;
+    }
+    core.metrics.columnar_rows.load(Ordering::Relaxed) / batches < 8
+}
+
+/// Executes one fused operator with the row interpreter — the adaptive
+/// fallback target for segments too short to amortize transposition.
+fn apply_op_row(rdd: Rdd<Row>, op: FusedOp) -> Rdd<Row> {
+    match op {
+        FusedOp::Project(bound) => {
+            rdd.map(move |row| bound.iter().map(|b| b.eval(&row)).collect::<Row>())
+        }
+        FusedOp::Filter(p) => rdd.filter(move |row| p.eval_predicate(row)),
+        FusedOp::Explode { idx } => rdd.flat_map(move |row| {
+            let items: Vec<Row> = match &row[idx] {
+                Value::List(l) => l
+                    .iter()
+                    .map(|v| {
+                        let mut r = row.clone();
+                        r[idx] = v.clone();
+                        r
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            items
+        }),
+        // LocalLimit is only ever peeled together with a global limit,
+        // which routes around the adaptive fallback.
+        FusedOp::LocalLimit(_) => unreachable!("a lone LocalLimit implies a global limit"),
     }
 }
 
@@ -1010,78 +1193,20 @@ fn compile_boundary(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row
     match plan.as_ref() {
         LogicalPlan::FromRdd { rows, .. } => Ok(rows.clone()),
         LogicalPlan::GroupBy { input, keys, aggs, .. } => {
-            let rdd = compile_columnar(core, input)?;
-            let schema = input.schema();
-            let key_idx: Vec<usize> =
-                keys.iter().map(|k| schema.resolve(k)).collect::<Result<_>>()?;
-            let specs = Arc::new(agg_specs(schema, aggs)?);
-            let width = schema.len();
-            let batch_size = core.conf.exec.batch_size;
-            let events = Arc::clone(&core.events);
-            // Columnar map side: batch the partition and materialize the
-            // §4.7 key encoding per batch; the shuffle pair format and the
-            // merge/finish phases are shared with the row-major path.
-            let paired = rdd.map_partitions(move |_part, mut input: BoxIter<Row>| {
-                let specs = Arc::clone(&specs);
-                let key_idx = key_idx.clone();
-                let events = Arc::clone(&events);
-                let mut out: std::vec::IntoIter<(Vec<KeyValue>, Vec<AggState>)> =
-                    Vec::new().into_iter();
-                let mut batches: u64 = 0;
-                let mut rows_in: u64 = 0;
-                let mut done = false;
-                let iter = std::iter::from_fn(move || loop {
-                    if let Some(pair) = out.next() {
-                        return Some(pair);
-                    }
-                    if done {
-                        return None;
-                    }
-                    let mut buf: Vec<Row> = Vec::with_capacity(batch_size);
-                    while buf.len() < batch_size {
-                        match input.next() {
-                            Some(r) => buf.push(r),
-                            None => break,
-                        }
-                    }
-                    if buf.is_empty() {
-                        done = true;
-                        if batches > 0 {
-                            events.emit(Event::ColumnarBatch {
-                                fused_ops: 1,
-                                batches,
-                                rows: rows_in,
-                            });
-                        }
-                        return None;
-                    }
-                    let batch = ColumnBatch::from_rows(width, buf);
-                    let keys = batch::group_keys(&batch, &key_idx);
-                    batches += 1;
-                    rows_in += batch.len() as u64;
-                    let pairs: Vec<(Vec<KeyValue>, Vec<AggState>)> = keys
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, key)| {
-                            let states: Vec<AggState> = specs
-                                .iter()
-                                .map(|(a, idx)| {
-                                    let v = idx.map(|c| batch.column(c).get(i));
-                                    AggState::create(a, v.as_ref())
-                                })
-                                .collect();
-                            (key, states)
-                        })
-                        .collect();
-                    out = pairs.into_iter();
-                });
-                Box::new(iter) as BoxIter<(Vec<KeyValue>, Vec<AggState>)>
-            });
-            Ok(finish_group_by(paired, keys.len(), num_parts))
+            let vectorized = core.conf.exec.vectorized;
+            let paired = if vectorized {
+                compile_group_by_vectorized(core, input, keys, aggs)?
+            } else {
+                compile_group_by_batched(core, input, keys, aggs)?
+            };
+            // Only the vectorized kernel pre-aggregates its partition; the
+            // batched path emits one pair per row and *needs* the shuffle's
+            // map-side combine.
+            Ok(finish_group_by(paired, keys.len(), num_parts, vectorized))
         }
         LogicalPlan::OrderBy { input, keys } => {
             let rdd = compile_columnar(core, input)?;
-            compile_order_by(rdd, input.schema(), keys, num_parts)
+            compile_order_by(rdd, input.schema(), keys, num_parts, core.conf.exec.vectorized)
         }
         LogicalPlan::ZipWithIndex { input, start, .. } => {
             let rdd = compile_columnar(core, input)?;
@@ -1098,6 +1223,167 @@ fn compile_boundary(core: &Arc<Core>, plan: &Arc<LogicalPlan>) -> Result<Rdd<Row
             unreachable!("fusable operators are peeled before compile_boundary")
         }
     }
+}
+
+/// PR 8's batched GROUP BY map side (`ExecConf::vectorized` off): batches
+/// the partition, materializes one `(Vec<KeyValue>, Vec<AggState>)` pair
+/// per *row*, and leaves per-partition aggregation to the shuffle's
+/// map-side combine. Kept as the mid-point of the three-way aggregation
+/// differential (row-major / batched / vectorized).
+fn compile_group_by_batched(
+    core: &Arc<Core>,
+    input: &Arc<LogicalPlan>,
+    keys: &[String],
+    aggs: &[(Agg, String)],
+) -> Result<Rdd<(Vec<KeyValue>, Vec<AggState>)>> {
+    let rdd = compile_columnar(core, input)?;
+    let schema = input.schema();
+    let key_idx: Vec<usize> = keys.iter().map(|k| schema.resolve(k)).collect::<Result<_>>()?;
+    let specs = Arc::new(agg_specs(schema, aggs)?);
+    let width = schema.len();
+    let batch_size = core.conf.exec.batch_size;
+    let events = Arc::clone(&core.events);
+    // Columnar map side: batch the partition and materialize the keys per
+    // batch; the shuffle pair format and the merge/finish phases are shared
+    // with the row-major path.
+    Ok(rdd.map_partitions(move |_part, mut input: BoxIter<Row>| {
+        let specs = Arc::clone(&specs);
+        let key_idx = key_idx.clone();
+        let events = Arc::clone(&events);
+        let mut out: std::vec::IntoIter<(Vec<KeyValue>, Vec<AggState>)> = Vec::new().into_iter();
+        let mut batches: u64 = 0;
+        let mut rows_in: u64 = 0;
+        let mut done = false;
+        let iter = std::iter::from_fn(move || loop {
+            if let Some(pair) = out.next() {
+                return Some(pair);
+            }
+            if done {
+                return None;
+            }
+            let mut buf: Vec<Row> = Vec::with_capacity(batch_size);
+            while buf.len() < batch_size {
+                match input.next() {
+                    Some(r) => buf.push(r),
+                    None => break,
+                }
+            }
+            if buf.is_empty() {
+                done = true;
+                if batches > 0 {
+                    events.emit(Event::ColumnarBatch { fused_ops: 1, batches, rows: rows_in });
+                }
+                return None;
+            }
+            let batch = ColumnBatch::from_rows(width, buf);
+            let keys = batch::group_keys(&batch, &key_idx);
+            batches += 1;
+            rows_in += batch.len() as u64;
+            let pairs: Vec<(Vec<KeyValue>, Vec<AggState>)> = keys
+                .into_iter()
+                .enumerate()
+                .map(|(i, key)| {
+                    let states: Vec<AggState> = specs
+                        .iter()
+                        .map(|(a, idx)| {
+                            let v = idx.map(|c| batch.column(c).get(i));
+                            AggState::create(a, v.as_ref())
+                        })
+                        .collect();
+                    (key, states)
+                })
+                .collect();
+            out = pairs.into_iter();
+        });
+        Box::new(iter) as BoxIter<(Vec<KeyValue>, Vec<AggState>)>
+    }))
+}
+
+/// The vectorized GROUP BY map side: the fused segment below the
+/// aggregation (if any) stays columnar — its output batch plus selection
+/// vector feeds [`batch::GroupByKernel`] directly, one transposition
+/// instead of two — and the kernel pre-aggregates the whole partition, so
+/// one pair per **distinct group** reaches the shuffle, in first-occurrence
+/// order (exactly what the row path's insertion-ordered map-side combine
+/// emits, keeping all physical paths byte-identical).
+fn compile_group_by_vectorized(
+    core: &Arc<Core>,
+    input: &Arc<LogicalPlan>,
+    keys: &[String],
+    aggs: &[(Agg, String)],
+) -> Result<Rdd<(Vec<KeyValue>, Vec<AggState>)>> {
+    let schema = input.schema();
+    let key_idx: Vec<usize> = keys.iter().map(|k| schema.resolve(k)).collect::<Result<_>>()?;
+    let specs = Arc::new(agg_specs(schema, aggs)?);
+    let (ops, global_limit, node) = peel_ops(input)?;
+    // A global LIMIT below the aggregation cannot be absorbed into the
+    // kernel pass (its cut is cross-partition), so that segment compiles as
+    // its own pipeline; otherwise the peeled segment is handed to the
+    // kernel loop uncompiled and its output never becomes rows.
+    let (rdd, seg) = if ops.is_empty() || global_limit.is_some() {
+        (compile_columnar(core, input)?, None)
+    } else {
+        let width = node.schema().len();
+        (compile_boundary(core, node)?, Some(Arc::new(SegmentPlan { ops, width })))
+    };
+    if seg.is_none() && adaptive_prefers_rows(core) {
+        // Adaptive fallback: tiny batches make even the kernel's single
+        // transposition a loss; pair per row and let the shuffle's map-side
+        // combine aggregate, as the row-major reference does.
+        return Ok(rdd.map(move |row| {
+            let key: Vec<KeyValue> = key_idx.iter().map(|&i| KeyValue(row[i].clone())).collect();
+            let states: Vec<AggState> =
+                specs.iter().map(|(a, idx)| AggState::create(a, idx.map(|i| &row[i]))).collect();
+            (key, states)
+        }));
+    }
+    let width = seg.as_ref().map(|s| s.width).unwrap_or(schema.len());
+    let batch_size = core.conf.exec.batch_size;
+    let events = Arc::clone(&core.events);
+    Ok(rdd.map_partitions(move |_part, mut input: BoxIter<Row>| {
+        // Eager per-partition aggregation (a fresh kernel per call, so task
+        // retries restart cleanly): every batch folds into the group table,
+        // and the partition emits one pair per distinct group at the end.
+        let mut kernel = batch::GroupByKernel::new(key_idx.clone(), &specs);
+        let mut batches: u64 = 0;
+        loop {
+            let mut buf: Vec<Row> = Vec::with_capacity(batch_size);
+            while buf.len() < batch_size {
+                match input.next() {
+                    Some(r) => buf.push(r),
+                    None => break,
+                }
+            }
+            if buf.is_empty() {
+                break;
+            }
+            batches += 1;
+            let batch = ColumnBatch::from_rows(width, buf);
+            match &seg {
+                Some(seg) => {
+                    // LocalLimit never appears in a handed-off segment (it
+                    // is only peeled together with a global limit, routed
+                    // above), so there is no limit budget to thread.
+                    let (batch, sel) = seg.apply(batch, &mut None);
+                    kernel.push_batch(&batch, sel.as_deref());
+                }
+                None => kernel.push_batch(&batch, None),
+            }
+        }
+        if batches > 0 {
+            events.emit(Event::ColumnarBatch {
+                fused_ops: seg.as_ref().map(|s| s.ops.len() as u64).unwrap_or(1),
+                batches,
+                rows: kernel.rows_in(),
+            });
+            events.emit(Event::AggBatch {
+                batches,
+                rows_in: kernel.rows_in(),
+                groups_out: kernel.groups_out(),
+            });
+        }
+        Box::new(kernel.finish().into_iter()) as BoxIter<(Vec<KeyValue>, Vec<AggState>)>
+    }))
 }
 
 /// The length of the longest fused pipeline segment compilation would

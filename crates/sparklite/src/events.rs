@@ -224,6 +224,16 @@ pub enum Event {
         batches: u64,
         rows: u64,
     },
+    /// The vectorized GROUP BY kernel drained one partition: `rows_in` rows
+    /// (post-filter, across `batches` batches) collapsed into `groups_out`
+    /// distinct groups before the shuffle. The `rows_in / groups_out` ratio
+    /// is the map-side pre-aggregation factor; like `ColumnarBatch`, the
+    /// event fires once per partition per execution.
+    AggBatch {
+        batches: u64,
+        rows_in: u64,
+        groups_out: u64,
+    },
 }
 
 impl Event {
@@ -254,6 +264,7 @@ impl Event {
             Event::BlockPush { .. } => "BlockPush",
             Event::BlockFetch { .. } => "BlockFetch",
             Event::ColumnarBatch { .. } => "ColumnarBatch",
+            Event::AggBatch { .. } => "AggBatch",
         }
     }
 }
@@ -394,11 +405,16 @@ impl EventListener for MetricsListener {
                 add(&m.blocks_fetched, 1);
                 add(&m.block_bytes_fetched, *bytes);
             }
-            Event::ColumnarBatch { fused_ops, batches, .. } => {
+            Event::ColumnarBatch { fused_ops, batches, rows } => {
                 add(&m.columnar_batches, *batches);
+                add(&m.columnar_rows, *rows);
                 if *fused_ops >= 2 {
                     add(&m.fused_pipelines, 1);
                 }
+            }
+            Event::AggBatch { rows_in, groups_out, .. } => {
+                add(&m.agg_rows_in, *rows_in);
+                add(&m.agg_groups_out, *groups_out);
             }
             // Observational only: the write side already landed in TaskEnd
             // counters; job/stage completion feeds no counter.
@@ -697,16 +713,31 @@ impl Timeline {
             .map(|(_, e)| if let Event::BlockFetch { bytes, .. } = e { *bytes } else { 0 })
             .sum::<u64>();
         check("block_bytes_fetched", block_bytes_fetched, snap.block_bytes_fetched)?;
-        let (columnar_batches, fused_pipelines) = self
+        let (columnar_batches, columnar_rows, fused_pipelines) = self
             .events
             .iter()
             .filter_map(|(_, e)| match e {
-                Event::ColumnarBatch { fused_ops, batches, .. } => Some((*batches, *fused_ops)),
+                Event::ColumnarBatch { fused_ops, batches, rows } => {
+                    Some((*batches, *rows, *fused_ops))
+                }
                 _ => None,
             })
-            .fold((0u64, 0u64), |(cb, fp), (batches, ops)| (cb + batches, fp + (ops >= 2) as u64));
+            .fold((0u64, 0u64, 0u64), |(cb, cr, fp), (batches, rows, ops)| {
+                (cb + batches, cr + rows, fp + (ops >= 2) as u64)
+            });
         check("columnar_batches", columnar_batches, snap.columnar_batches)?;
+        check("columnar_rows", columnar_rows, snap.columnar_rows)?;
         check("fused_pipelines", fused_pipelines, snap.fused_pipelines)?;
+        let (agg_rows_in, agg_groups_out) = self
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::AggBatch { rows_in, groups_out, .. } => Some((*rows_in, *groups_out)),
+                _ => None,
+            })
+            .fold((0u64, 0u64), |(ri, go), (rows_in, groups_out)| (ri + rows_in, go + groups_out));
+        check("agg_rows_in", agg_rows_in, snap.agg_rows_in)?;
+        check("agg_groups_out", agg_groups_out, snap.agg_groups_out)?;
         let cached = self
             .events
             .iter()
@@ -969,6 +1000,9 @@ fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
         )),
         Event::ColumnarBatch { fused_ops, batches, rows } => out
             .push_str(&format!(",\"fused_ops\":{fused_ops},\"batches\":{batches},\"rows\":{rows}")),
+        Event::AggBatch { batches, rows_in, groups_out } => out.push_str(&format!(
+            ",\"batches\":{batches},\"rows_in\":{rows_in},\"groups_out\":{groups_out}"
+        )),
     }
     out.push('}');
 }

@@ -123,9 +123,19 @@ pub struct Metrics {
     pub block_bytes_fetched: AtomicU64,
     /// ColumnBatches processed by vectorized DataFrame pipeline segments.
     pub columnar_batches: AtomicU64,
+    /// Rows emitted by vectorized DataFrame pipeline segments; paired with
+    /// `columnar_batches`, the mean batch occupancy the adaptive
+    /// row-vs-batch heuristic reads.
+    pub columnar_rows: AtomicU64,
     /// Per-partition executions of fused (multi-operator, single-pass)
     /// columnar pipeline segments.
     pub fused_pipelines: AtomicU64,
+    /// Rows folded into the vectorized GROUP BY kernel (post-filter).
+    pub agg_rows_in: AtomicU64,
+    /// Distinct groups the vectorized GROUP BY kernel emitted to the
+    /// shuffle; `agg_rows_in / agg_groups_out` is the map-side
+    /// pre-aggregation factor.
+    pub agg_groups_out: AtomicU64,
     /// Bytes currently held by the partition cache. Unlike every counter
     /// above this is a **gauge**: it moves both ways as blocks are stored,
     /// evicted and unpersisted.
@@ -162,7 +172,10 @@ pub struct MetricsSnapshot {
     pub blocks_fetched: u64,
     pub block_bytes_fetched: u64,
     pub columnar_batches: u64,
+    pub columnar_rows: u64,
     pub fused_pipelines: u64,
+    pub agg_rows_in: u64,
+    pub agg_groups_out: u64,
     pub cached_bytes: u64,
 }
 
@@ -196,7 +209,10 @@ impl Metrics {
             blocks_fetched: self.blocks_fetched.load(Ordering::Relaxed),
             block_bytes_fetched: self.block_bytes_fetched.load(Ordering::Relaxed),
             columnar_batches: self.columnar_batches.load(Ordering::Relaxed),
+            columnar_rows: self.columnar_rows.load(Ordering::Relaxed),
             fused_pipelines: self.fused_pipelines.load(Ordering::Relaxed),
+            agg_rows_in: self.agg_rows_in.load(Ordering::Relaxed),
+            agg_groups_out: self.agg_groups_out.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
         }
     }
@@ -234,7 +250,10 @@ impl std::fmt::Display for MetricsSnapshot {
             ("blocks_fetched", self.blocks_fetched),
             ("block_bytes_fetched", self.block_bytes_fetched),
             ("columnar_batches", self.columnar_batches),
+            ("columnar_rows", self.columnar_rows),
             ("fused_pipelines", self.fused_pipelines),
+            ("agg_rows_in", self.agg_rows_in),
+            ("agg_groups_out", self.agg_groups_out),
         ];
         writeln!(f, "counters:")?;
         for (name, value) in rows {

@@ -35,6 +35,11 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
     }
 
     /// Merges all values per key with `f`, combining map-side first.
+    ///
+    /// Output order is deterministic: within each reduce partition, keys
+    /// appear in first-occurrence order over the map partitions in index
+    /// order (see [`ShuffledRdd`]) — the same order on every run and on
+    /// every execution path (row-major, columnar, threaded, multi-process).
     pub fn reduce_by_key(
         &self,
         f: impl Fn(V, V) -> V + Send + Sync + 'static,
@@ -69,8 +74,35 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
         Rdd::new(Arc::clone(self.core()), Arc::new(op))
     }
 
-    /// Collects all values per key into a vector. Values arrive in an
-    /// unspecified order (they cross a shuffle), like Spark's `groupByKey`.
+    /// Hash-partitions the pairs *without* the shuffle's per-key combine,
+    /// then folds each reduce partition's concatenated stream through
+    /// `reduce` — the shuffle for callers that already combined per map
+    /// partition (the vectorized aggregation kernel), where the generic
+    /// combine passes would only re-hash already-unique keys and clone
+    /// every pair out of the shared bucket. `reduce` borrows the bucket,
+    /// must be pure (it re-runs on retries), and must emit keys in
+    /// first-occurrence stream order to keep shuffle output deterministic.
+    /// The codec routes the shuffle through the distributed block service
+    /// when the context runs with executor workers.
+    #[allow(clippy::type_complexity)] // a named slice-to-vec fold, right here
+    pub fn partition_reduce_with_codec(
+        &self,
+        num_partitions: usize,
+        codec: Arc<dyn crate::CacheCodec<(K, V)>>,
+        reduce: Arc<dyn Fn(&[(K, V)]) -> Vec<(K, V)> + Send + Sync>,
+    ) -> Rdd<(K, V)> {
+        let op =
+            ShuffledRdd::new(Arc::clone(self.core()), Arc::clone(self.op()), num_partitions, None)
+                .with_codec(codec)
+                .with_reduce(reduce);
+        Rdd::new(Arc::clone(self.core()), Arc::new(op))
+    }
+
+    /// Collects all values per key into a vector, like Spark's
+    /// `groupByKey`. Unlike Spark, the result is deterministic: keys come
+    /// out in first-occurrence order (see
+    /// [`reduce_by_key`](Self::reduce_by_key)) and each key's values keep
+    /// the order of their source rows, map partition by map partition.
     pub fn group_by_key(&self, num_partitions: usize) -> Rdd<(K, Vec<V>)> {
         let listed = self.map_values(|v| vec![v]);
         let op = ShuffledRdd::new(

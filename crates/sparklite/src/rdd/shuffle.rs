@@ -170,12 +170,25 @@ impl<P: Data> Drop for RemoteShuffle<P> {
 /// With a `merge` function the shuffle combines values per key — on the map
 /// side (within each map task) *and* on the reduce side (across map tasks),
 /// like Spark's `reduceByKey`. Without one, duplicates are preserved
-/// (`partitionBy`).
+/// (`partitionBy`). Both combines are insertion-ordered: a reduce partition
+/// emits keys in first occurrence order of its (deterministic) input
+/// stream, so merged shuffle output is reproducible across runs, physical
+/// paths and deployment modes — never hash-table iteration order.
 pub struct ShuffledRdd<K: Data + Hash + Eq, C: Data> {
     core: Arc<Core>,
     parent: Arc<dyn RddOp<(K, C)>>,
     num_parts: usize,
     merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
+    /// Whole-bucket reduce for map-side pre-combined shuffles (only
+    /// meaningful with `merge: None`): runs once over each reduce
+    /// partition's concatenated pairs, *borrowed* from the shared bucket,
+    /// and its output becomes the partition. Lets a caller that already
+    /// combined per map task (the vectorized aggregation kernel) fold
+    /// cross-map duplicates without the per-pair clone the generic
+    /// reduce-side merge pays. Must be pure and insertion-order
+    /// deterministic — `compute` re-runs it on retries.
+    #[allow(clippy::type_complexity)] // a named slice-to-vec fold, right here
+    reduce: Option<Arc<dyn Fn(&[(K, C)]) -> Vec<(K, C)> + Send + Sync>>,
     /// Wire codec for the pairs; required for the distributed path (blocks
     /// must cross a process boundary as bytes). `None` keeps the shuffle
     /// driver-local regardless of cluster mode.
@@ -201,6 +214,7 @@ impl<K: Data + Hash + Eq, C: Data> ShuffledRdd<K, C> {
             parent,
             num_parts: num_parts.max(1),
             merge,
+            reduce: None,
             codec: None,
             buckets: OnceLock::new(),
             remote: OnceLock::new(),
@@ -213,6 +227,16 @@ impl<K: Data + Hash + Eq, C: Data> ShuffledRdd<K, C> {
         self.codec = Some(codec);
         self
     }
+
+    /// Attaches a whole-bucket reduce (see the field docs).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn with_reduce(
+        mut self,
+        reduce: Arc<dyn Fn(&[(K, C)]) -> Vec<(K, C)> + Send + Sync>,
+    ) -> Self {
+        self.reduce = Some(reduce);
+        self
+    }
 }
 
 impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
@@ -222,6 +246,12 @@ impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
         }
         let num = self.num_parts;
         let merge = self.merge.clone();
+        // Scratch pool for the map-side combine: per-target key→slot index
+        // tables, returned (cleared, capacity kept) after each partition so
+        // later tasks of the stage start with pre-grown tables instead of
+        // rehash-growing from empty every time.
+        #[allow(clippy::type_complexity)]
+        let scratch: Arc<Mutex<Vec<Vec<FxHashMap<K, u32>>>>> = Arc::new(Mutex::new(Vec::new()));
         // Map stage: each task splits its partition into per-reducer blocks,
         // combining on the fly when a merge function is present. The closure
         // is named so lineage recovery can re-run it for a subset of splits.
@@ -231,23 +261,58 @@ impl<K: Data + Hash + Eq, C: Data> Preparable for ShuffledRdd<K, C> {
         > = Arc::new(move |iter: BoxIter<(K, C)>, tc: &TaskContext| {
             let blocks: Vec<Vec<(K, C)>> = match &merge {
                 Some(m) => {
-                    let mut maps: Vec<FxHashMap<K, C>> =
-                        (0..num).map(|_| FxHashMap::default()).collect();
+                    // Insertion-ordered combine: combined values live in
+                    // per-target vectors in first-occurrence key order (the
+                    // index maps keys to slots), so block content never
+                    // depends on hash-table iteration history — every
+                    // physical path and every retry emits identical blocks.
+                    use std::collections::hash_map::Entry;
+                    let mut indexes: Vec<FxHashMap<K, u32>> = scratch
+                        .lock()
+                        .expect("combine scratch pool")
+                        .pop()
+                        .unwrap_or_else(|| (0..num).map(|_| FxHashMap::default()).collect());
+                    let hint = iter.size_hint().0 / num + 1;
+                    for idx in &mut indexes {
+                        idx.reserve(hint);
+                    }
+                    let mut ordered: Vec<Vec<(K, Option<C>)>> =
+                        (0..num).map(|_| Vec::with_capacity(hint)).collect();
                     for (k, c) in iter {
                         let b = (fx_hash(&k) % num as u64) as usize;
-                        match maps[b].remove(&k) {
-                            Some(old) => {
-                                maps[b].insert(k, m(old, c));
+                        match indexes[b].entry(k) {
+                            Entry::Occupied(e) => {
+                                let slot = &mut ordered[b][*e.get() as usize].1;
+                                let old = slot.take().expect("combine slot filled");
+                                *slot = Some(m(old, c));
                             }
-                            None => {
-                                maps[b].insert(k, c);
+                            Entry::Vacant(e) => {
+                                let i = ordered[b].len() as u32;
+                                ordered[b].push((e.key().clone(), Some(c)));
+                                e.insert(i);
                             }
                         }
                     }
-                    maps.into_iter().map(|m| m.into_iter().collect()).collect()
+                    for idx in &mut indexes {
+                        idx.clear();
+                    }
+                    scratch.lock().expect("combine scratch pool").push(indexes);
+                    ordered
+                        .into_iter()
+                        .map(|ord| {
+                            ord.into_iter()
+                                .map(|(k, c)| (k, c.expect("combine slot filled")))
+                                .collect()
+                        })
+                        .collect()
                 }
                 None => {
-                    let mut vecs: Vec<Vec<(K, C)>> = (0..num).map(|_| Vec::new()).collect();
+                    // Same capacity hint as the combine branch: blocks grow
+                    // to ~1/num of the input, so pre-size them instead of
+                    // doubling-and-moving pairs several times over.
+                    let hint = iter.size_hint().0 / num + 1;
+                    let mut vecs: Vec<Vec<(K, C)>> =
+                        (0..num).map(|_| Vec::with_capacity(hint)).collect();
                     for (k, c) in iter {
                         let b = (fx_hash(&k) % num as u64) as usize;
                         vecs[b].push((k, c));
@@ -336,20 +401,34 @@ impl<K: Data + Hash + Eq, C: Data> RddOp<(K, C)> for ShuffledRdd<K, C> {
             }
             return match &self.merge {
                 Some(m) => {
-                    let mut merged: FxHashMap<K, C> = FxHashMap::default();
+                    // Insertion-ordered reduce merge (see the map-side
+                    // combine): output order is the fetched stream's
+                    // first-occurrence key order, never hash-iteration
+                    // order, and one key clone per distinct key.
+                    use std::collections::hash_map::Entry;
+                    let mut index: FxHashMap<K, u32> = FxHashMap::default();
+                    index.reserve(pairs.len());
+                    let mut ordered: Vec<(K, Option<C>)> = Vec::with_capacity(pairs.len());
                     for (k, c) in pairs {
-                        match merged.remove(&k) {
-                            Some(old) => {
-                                merged.insert(k, m(old, c));
+                        match index.entry(k) {
+                            Entry::Occupied(e) => {
+                                let slot = &mut ordered[*e.get() as usize].1;
+                                let old = slot.take().expect("merge slot filled");
+                                *slot = Some(m(old, c));
                             }
-                            None => {
-                                merged.insert(k, c);
+                            Entry::Vacant(e) => {
+                                let i = ordered.len() as u32;
+                                ordered.push((e.key().clone(), Some(c)));
+                                e.insert(i);
                             }
                         }
                     }
-                    Box::new(merged.into_iter())
+                    Box::new(ordered.into_iter().map(|(k, c)| (k, c.expect("merge slot filled"))))
                 }
-                None => Box::new(pairs.into_iter()),
+                None => match &self.reduce {
+                    Some(r) => Box::new(r(&pairs).into_iter()),
+                    None => Box::new(pairs.into_iter()),
+                },
             };
         }
         let buckets = Arc::clone(self.buckets.get().expect("prepare ran before compute"));
@@ -364,26 +443,38 @@ impl<K: Data + Hash + Eq, C: Data> RddOp<(K, C)> for ShuffledRdd<K, C> {
         }
         match &self.merge {
             Some(m) => {
-                // Reduce-side merge across map tasks. The bucket stays
-                // shared (`compute` must be re-runnable for retries,
-                // speculation, and cache-eviction fallback), so values are
-                // cloned per record — but keys are cloned only once per
-                // *distinct* key: duplicates reuse the owned key pulled
-                // back out of the map via `remove_entry`.
-                let mut merged: FxHashMap<K, C> = FxHashMap::default();
-                for (k, c) in buckets[split].iter() {
-                    match merged.remove_entry(k) {
-                        Some((owned_k, old)) => {
-                            merged.insert(owned_k, m(old, c.clone()));
+                // Insertion-ordered reduce merge across map tasks: output
+                // order is the bucket's first-occurrence key order, never
+                // hash-iteration order. The bucket stays shared (`compute`
+                // must be re-runnable for retries, speculation, and
+                // cache-eviction fallback), so values are cloned per record
+                // — keys twice per *distinct* key (index + output slot).
+                let bucket = &buckets[split];
+                let mut index: FxHashMap<K, u32> = FxHashMap::default();
+                index.reserve(bucket.len());
+                let mut ordered: Vec<(K, Option<C>)> = Vec::with_capacity(bucket.len());
+                for (k, c) in bucket.iter() {
+                    match index.get(k) {
+                        Some(&i) => {
+                            let slot = &mut ordered[i as usize].1;
+                            let old = slot.take().expect("merge slot filled");
+                            *slot = Some(m(old, c.clone()));
                         }
                         None => {
-                            merged.insert(k.clone(), c.clone());
+                            index.insert(k.clone(), ordered.len() as u32);
+                            ordered.push((k.clone(), Some(c.clone())));
                         }
                     }
                 }
-                Box::new(merged.into_iter())
+                Box::new(ordered.into_iter().map(|(k, c)| (k, c.expect("merge slot filled"))))
             }
-            None => Box::new(ArcPartIter { data: buckets, part: split, i: 0 }),
+            None => match &self.reduce {
+                // The whole-bucket reduce reads the shared bucket borrowed
+                // — the bucket survives for retries — and clones only what
+                // its output keeps.
+                Some(r) => Box::new(r(&buckets[split]).into_iter()),
+                None => Box::new(ArcPartIter { data: buckets, part: split, i: 0 }),
+            },
         }
     }
 }

@@ -51,6 +51,13 @@ impl<T: Data> Iterator for ArcPartIter<T> {
             None
         }
     }
+
+    /// Exact: downstream sinks (e.g. the vectorized aggregation merge) use
+    /// this to size hash tables and output vectors in one shot.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.data[self.part].len() - self.i;
+        (left, Some(left))
+    }
 }
 
 /// Iterates the lines of a text block as freshly allocated `Arc<str>`s.
@@ -135,6 +142,15 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<Fx
 pub fn fx_hash<T: Hash>(v: &T) -> u64 {
     let mut h = FxHasher::default();
     v.hash(&mut h);
+    h.finish()
+}
+
+/// Hashes a raw byte string with FxHash, without the `Hash` trait's length
+/// prefixing — the probe hash of the vectorized group-by kernel, whose keys
+/// are already self-delimiting encoded byte strings.
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
     h.finish()
 }
 

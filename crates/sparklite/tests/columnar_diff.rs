@@ -1,10 +1,14 @@
-//! The row-vs-columnar differential battery: every random pipeline the PR 6
+//! The physical-path differential battery: every random pipeline the PR 6
 //! generator can produce must collect to byte-identical rows (under
-//! [`RowCodec`]) whether the physical compiler runs the legacy row-at-a-time
-//! operators (`ExecConf::row_major`) or the columnar batch kernels with
-//! pipeline fusion. Batch sizes are fuzzed too, so batch seams land inside,
-//! on, and around partition boundaries; dedicated cases pin the empty /
-//! one-row / N−1 / N / N+1 input sizes and null-heavy mixed-type columns.
+//! [`RowCodec`]) on **every** physical path — the legacy row-at-a-time
+//! operators (`ExecConf::row_major`), the PR 8 columnar batch kernels
+//! (`with_vectorized(false)`), the vectorized hash-aggregation /
+//! normalized-key-sort path, and the shipping default with the adaptive
+//! row fallback armed. Batch sizes are fuzzed too, so batch seams land
+//! inside, on, and around partition boundaries; dedicated cases pin the
+//! empty / one-row / N−1 / N / N+1 input sizes, null-heavy mixed-type
+//! columns, and group/sort-heavy shapes (high-cardinality, skewed,
+//! all-NULL, and mixed-type keys).
 
 mod common;
 
@@ -15,24 +19,64 @@ use sparklite::dataframe::{
 };
 use sparklite::{CacheCodec, SparkliteConf, SparkliteContext};
 
-fn ctx_with(row_major: bool, batch: usize) -> SparkliteContext {
-    SparkliteContext::new(
-        SparkliteConf::default()
-            .with_executors(3)
-            .with_optimizer(false)
-            .with_row_major(row_major)
-            .with_batch_size(batch),
-    )
+/// The physical execution paths under differential test.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Legacy row-at-a-time operators.
+    RowMajor,
+    /// Columnar batch kernels with the per-batch group/sort fold (PR 8),
+    /// vectorized aggregation and adaptivity forced off.
+    Batched,
+    /// Vectorized hash aggregation and normalized-key sort, adaptivity
+    /// forced off so the kernels always run.
+    Vectorized,
+    /// The shipping default: vectorized with the adaptive row fallback.
+    Adaptive,
 }
 
-/// Runs the same pipeline over the same seed on both physical paths and
-/// returns both results, RowCodec-encoded.
-fn diff(steps: &[Step], rows: i64, batch: usize) -> (Vec<u8>, Vec<u8>) {
-    let row_ctx = ctx_with(true, batch);
-    let col_ctx = ctx_with(false, batch);
-    let row_out = build_on(seed_n(&row_ctx, rows), steps).collect_rows().unwrap();
-    let col_out = build_on(seed_n(&col_ctx, rows), steps).collect_rows().unwrap();
-    (RowCodec.encode(&row_out), RowCodec.encode(&col_out))
+const MODES: [Mode; 4] = [Mode::RowMajor, Mode::Batched, Mode::Vectorized, Mode::Adaptive];
+
+fn ctx_mode(mode: Mode, batch: usize) -> SparkliteContext {
+    let conf =
+        SparkliteConf::default().with_executors(3).with_optimizer(false).with_batch_size(batch);
+    SparkliteContext::new(match mode {
+        Mode::RowMajor => conf.with_row_major(true),
+        Mode::Batched => conf.with_vectorized(false).with_adaptive(false),
+        Mode::Vectorized => conf.with_vectorized(true).with_adaptive(false),
+        Mode::Adaptive => conf,
+    })
+}
+
+/// Runs the same pipeline over the same seed on every physical path and
+/// returns each path's result, RowCodec-encoded.
+fn diff_all(steps: &[Step], rows: i64, batch: usize) -> Vec<(Mode, Vec<u8>)> {
+    MODES
+        .iter()
+        .map(|&mode| {
+            let ctx = ctx_mode(mode, batch);
+            let out = build_on(seed_n(&ctx, rows), steps).collect_rows().unwrap();
+            (mode, RowCodec.encode(&out))
+        })
+        .collect()
+}
+
+fn assert_all_agree(results: &[(Mode, Vec<u8>)], what: &str) {
+    let (_, baseline) = &results[0];
+    for (mode, bytes) in &results[1..] {
+        assert_eq!(bytes, baseline, "{mode:?} diverged from RowMajor on {what}");
+    }
+}
+
+/// [`step_strategy`] re-weighted toward shuffle boundaries: three in four
+/// steps are a GROUP BY or an ORDER BY, so pipelines hammer the hash
+/// aggregation kernel and the normalized-key sort (often stacked).
+fn group_sort_heavy_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        step_strategy(),
+        Just(Step::GroupBy),
+        (0usize..4).prop_map(Step::OrderAsc),
+        (0usize..4).prop_map(Step::OrderDesc),
+    ]
 }
 
 proptest! {
@@ -40,17 +84,45 @@ proptest! {
 
     /// The core battery: random up-to-16-step pipelines over the messy seed
     /// (NULLs in two columns, lists, floats), random batch sizes straddling
-    /// the 24-row / 3-partition seed, byte-identical output on both paths.
+    /// the 24-row / 3-partition seed, byte-identical output on all paths.
     #[test]
-    fn row_major_and_columnar_agree_on_random_pipelines(
+    fn all_physical_paths_agree_on_random_pipelines(
         steps in prop::collection::vec(step_strategy(), 0..16),
         batch in prop_oneof![
             Just(1usize), Just(2), Just(3), Just(5), Just(7),
             Just(8), Just(9), Just(23), Just(24), Just(25), Just(1024),
         ],
     ) {
-        let (row_bytes, col_bytes) = diff(&steps, 24, batch);
-        prop_assert_eq!(row_bytes, col_bytes, "steps: {:?}, batch: {}", steps, batch);
+        let results = diff_all(&steps, 24, batch);
+        let (_, baseline) = &results[0];
+        for (mode, bytes) in &results[1..] {
+            prop_assert_eq!(
+                bytes, baseline,
+                "{:?} diverged: steps {:?}, batch {}", mode, &steps, batch
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Group/sort-heavy pipelines: stacked aggregations and orderings over
+    /// the messy seed, where the hash kernel's group identity and the
+    /// memcmp sort keys must reproduce the row comparators exactly.
+    #[test]
+    fn group_and_sort_heavy_pipelines_agree(
+        steps in prop::collection::vec(group_sort_heavy_step(), 1..10),
+        batch in prop_oneof![Just(1usize), Just(3), Just(8), Just(24), Just(1024)],
+    ) {
+        let results = diff_all(&steps, 24, batch);
+        let (_, baseline) = &results[0];
+        for (mode, bytes) in &results[1..] {
+            prop_assert_eq!(
+                bytes, baseline,
+                "{:?} diverged: steps {:?}, batch {}", mode, &steps, batch
+            );
+        }
     }
 }
 
@@ -69,14 +141,100 @@ fn size_edges_agree_at_batch_boundaries() {
         Step::Limit(9),
     ];
     for rows in [0i64, 1, 7, 8, 9, 16, 17, 24] {
-        let (row_bytes, col_bytes) = diff(&pipeline, rows, batch);
-        assert_eq!(row_bytes, col_bytes, "paths diverged at rows={rows} batch={batch}");
+        assert_all_agree(&diff_all(&pipeline, rows, batch), &format!("rows={rows}"));
+    }
+}
+
+/// Key distributions that stress the aggregation kernel from four angles:
+/// every key distinct (table growth), one dominant key (slot contention),
+/// all keys NULL (single group via the NULL tag), and keys mixing types
+/// whose values compare numerically equal (`I64(1)` vs `F64(1.0)` vs
+/// `Str("1")` vs `Bool(true)` must stay distinct groups). Every aggregate
+/// kind runs over payloads with NULLs, i64 extremes (SUM overflow), NaN and
+/// negative zero; the result is then sorted through the normalized-key
+/// encoder on a float column.
+#[test]
+fn grouping_stress_shapes_agree_on_all_paths() {
+    let frame = |ctx: &SparkliteContext, shape: &str| {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Any),
+            Field::new("v", DataType::I64),
+            Field::new("f", DataType::F64),
+        ]);
+        let rows: Vec<Row> = (0..240i64)
+            .map(|i| {
+                let k = match shape {
+                    "high" => Value::I64(i),
+                    "skewed" => Value::I64(if i % 10 == 0 { i } else { 0 }),
+                    "null" => Value::Null,
+                    _ => match i % 6 {
+                        0 => Value::I64(1),
+                        1 => Value::F64(1.0),
+                        2 => Value::str("1"),
+                        3 => Value::Bool(true),
+                        4 => Value::Null,
+                        _ => Value::I64(i % 3),
+                    },
+                };
+                let v = match i % 7 {
+                    0 => Value::Null,
+                    1 => Value::I64(i64::MAX - 2),
+                    _ => Value::I64(i * 11 - 80),
+                };
+                let f = match i % 5 {
+                    0 => Value::F64(f64::NAN),
+                    1 => Value::F64(-0.0),
+                    2 => Value::Null,
+                    _ => Value::F64(i as f64 * 0.25 - 7.0),
+                };
+                vec![k, v, f]
+            })
+            .collect();
+        DataFrame::from_rows(ctx, schema, rows, 3).unwrap()
+    };
+    let run = |mode: Mode, batch: usize, shape: &str| {
+        let ctx = ctx_mode(mode, batch);
+        let out = frame(&ctx, shape)
+            .group_by(
+                &["k"],
+                vec![
+                    (Agg::Count, "n".into()),
+                    (Agg::CountCol("v".into()), "nv".into()),
+                    (Agg::Sum("v".into()), "sv".into()),
+                    (Agg::Avg("f".into()), "af".into()),
+                    (Agg::Min("v".into()), "mn".into()),
+                    (Agg::Max("f".into()), "mx".into()),
+                    (Agg::First("f".into()), "ff".into()),
+                    (Agg::CollectList("v".into()), "lv".into()),
+                ],
+            )
+            .unwrap()
+            .order_by(vec![
+                ("af".into(), SortDir::desc().with_nulls_last(false)),
+                ("k".into(), SortDir::asc().with_nulls_last(true)),
+            ])
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        RowCodec.encode(&out)
+    };
+    for shape in ["high", "skewed", "null", "mixed"] {
+        for batch in [1usize, 7, 64, 1024] {
+            let baseline = run(Mode::RowMajor, batch, shape);
+            for mode in [Mode::Batched, Mode::Vectorized, Mode::Adaptive] {
+                assert_eq!(
+                    run(mode, batch, shape),
+                    baseline,
+                    "{mode:?} diverged on shape={shape} batch={batch}"
+                );
+            }
+        }
     }
 }
 
 /// A column whose cells mix I64 / F64 / Str / Bool / List / NULL (DataType::
 /// Any falls back to boxed storage in the columnar layout) must survive
-/// filters, projection, grouping, and ordering identically on both paths.
+/// filters, projection, grouping, and ordering identically on all paths.
 #[test]
 fn null_heavy_and_mixed_type_columns_agree() {
     let messy = |ctx: &SparkliteContext| {
@@ -101,8 +259,8 @@ fn null_heavy_and_mixed_type_columns_agree() {
             .collect();
         DataFrame::from_rows(ctx, schema, rows, 3).unwrap()
     };
-    let run = |row_major: bool, batch: usize| {
-        let ctx = ctx_with(row_major, batch);
+    let run = |mode: Mode, batch: usize| {
+        let ctx = ctx_mode(mode, batch);
         let out = messy(&ctx)
             .filter(Expr::not(Expr::is_null(Expr::col("s"))))
             .unwrap()
@@ -126,9 +284,11 @@ fn null_heavy_and_mixed_type_columns_agree() {
             .unwrap();
         RowCodec.encode(&out)
     };
-    let baseline = run(true, 1024);
+    let baseline = run(Mode::RowMajor, 1024);
     for batch in [1usize, 4, 19, 20, 21, 1024] {
-        assert_eq!(run(false, batch), baseline, "columnar diverged at batch={batch}");
+        for mode in [Mode::Batched, Mode::Vectorized, Mode::Adaptive] {
+            assert_eq!(run(mode, batch), baseline, "{mode:?} diverged at batch={batch}");
+        }
     }
 }
 
@@ -151,8 +311,8 @@ fn float_payloads_survive_bit_exactly() {
         ];
         DataFrame::from_rows(ctx, schema, rows, 2).unwrap()
     };
-    let run = |row_major: bool| {
-        let ctx = ctx_with(row_major, 3);
+    let run = |mode: Mode| {
+        let ctx = ctx_mode(mode, 3);
         let out = frame(&ctx)
             .filter(Expr::not(Expr::is_null(Expr::col("k"))))
             .unwrap()
@@ -165,5 +325,40 @@ fn float_payloads_survive_bit_exactly() {
             .unwrap();
         RowCodec.encode(&out)
     };
-    assert_eq!(run(true), run(false));
+    let baseline = run(Mode::RowMajor);
+    for mode in [Mode::Batched, Mode::Vectorized, Mode::Adaptive] {
+        assert_eq!(run(mode), baseline, "{mode:?} diverged");
+    }
+}
+
+/// The adaptive heuristic: once enough tiny batches have flowed (≥ 16
+/// batches averaging < 8 rows), single-operator pipelines fall back to the
+/// row interpreter, so the `columnar_batches` counter plateaus. With
+/// adaptivity off the counter keeps growing — and both variants return the
+/// same rows throughout.
+#[test]
+fn adaptive_execution_plateaus_on_tiny_batches() {
+    let tiny_query = |ctx: &SparkliteContext| {
+        seed_n(ctx, 6)
+            .filter(Expr::cmp(Expr::col("k"), CmpOp::Gt, Expr::lit(Value::I64(-1))))
+            .unwrap()
+            .collect_rows()
+            .unwrap()
+    };
+    let conf = || SparkliteConf::default().with_executors(3).with_optimizer(false);
+    let adaptive = SparkliteContext::new(conf());
+    let forced = SparkliteContext::new(conf().with_adaptive(false));
+    let mut outputs = (Vec::new(), Vec::new());
+    for _ in 0..12 {
+        outputs = (tiny_query(&adaptive), tiny_query(&forced));
+    }
+    let (a1, f1) = (adaptive.metrics().columnar_batches, forced.metrics().columnar_batches);
+    for _ in 0..6 {
+        assert_eq!(tiny_query(&adaptive), outputs.0, "fallback changed the rows");
+        assert_eq!(tiny_query(&forced), outputs.1);
+    }
+    let (a2, f2) = (adaptive.metrics().columnar_batches, forced.metrics().columnar_batches);
+    assert!(a1 >= 16, "adaptive context never crossed the batch threshold: {a1}");
+    assert_eq!(a2, a1, "adaptive context kept batching after the heuristic tripped");
+    assert!(f2 > f1, "forced-columnar context should keep producing batches");
 }
