@@ -61,6 +61,18 @@ step "distributed suite (wire protocol + process executors)"
 cargo test -p sparklite --offline -q --test dist
 cargo test -p rumble-bench --offline -q --test dist_process
 
+# Cluster-observability gate: executor stream-merge ordering (seq wins
+# over skewed clocks, gaps and ring drops counted as lost), the
+# interleaved/batched/clock-skewed merge property suite, the merged
+# two-executor golden timeline (job table, :top lanes, worker process
+# lanes in the Chrome trace), and the killed worker's cut-stream
+# accounting. Re-run by name so a stream regression is attributable.
+step "obs-dist suite (executor event streams + merged timelines)"
+cargo test -p sparklite --offline -q --lib events::tests::stream_merge
+cargo test -p sparklite --offline -q --test events skewed_executor_streams
+cargo test -p sparklite --offline -q --test events merged_dist_timeline
+cargo test -p sparklite --offline -q --test dist killed_worker
+
 # Columnar-execution gate: the row-vs-columnar differential battery (200+
 # random pipelines, both physical paths byte-compared through RowCodec)
 # plus the batch kernel property suites (validity bitmaps, string arenas,
@@ -105,6 +117,15 @@ if [[ "$QUICK" -eq 0 ]]; then
 
   step "harness chaos --kill-executor smoke"
   ./target/release/harness chaos --kill-executor --tries 1
+
+  # Smoke the cluster-observability A/B end to end: two executor processes
+  # stream their events back to the driver; the harness dies unless the
+  # merged timeline reconciles exactly with the metrics snapshot, both
+  # streams drain with zero lost events, the Chrome trace shows both
+  # worker process lanes, and the measured overhead stays within the 3%
+  # budget once it clears the run's own A/A noise floor.
+  step "harness obs smoke (executor event streams)"
+  ./target/release/harness obs --tries 2
 
   # Smoke the columnar A/B end to end: the harness dies unless the fused
   # batch pipeline is no slower than the row-major walk of the same plan

@@ -8,7 +8,7 @@
 //! harness [figure] [--scale N] [--tries N] [--kill-executor]
 //!
 //!   figure: all | fig11 | fig12 | fig13 | fig14 | fig15 | handtuned | chaos | cache | trace
-//!           | dist | columnar | agg
+//!           | dist | columnar | agg | obs
 //!   --scale          object-count multiplier (default 1 → laptop-sized runs)
 //!   --tries          timed repetitions per measurement (default 3)
 //!   --kill-executor  (chaos only) kill a live executor worker process mid-job
@@ -78,7 +78,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: harness [all|fig11|fig12|fig13|fig14|fig15|handtuned|chaos|cache|\
-                     trace|dist|columnar|agg] [--scale N] [--tries N] [--kill-executor]\n\
+                     trace|dist|columnar|agg|obs] [--scale N] [--tries N] [--kill-executor]\n\
                      \x20      harness --executor --connect ADDR --worker-id N"
                 );
                 std::process::exit(0);
@@ -182,6 +182,33 @@ fn check_agg_figure(r: &FigureReport) {
                 vectorized * 1e3
             ));
         }
+    }
+}
+
+/// The obs A/B must show the cross-process event stream costing at most 3%
+/// wall clock — the smoke assertion CI runs (`ci.sh` invokes `harness
+/// obs`). An A/B cannot resolve a difference smaller than the difference
+/// between *identical* runs, so the percentage gate only binds once the
+/// delta clears the figure's measured A/A noise floor (within-arm spread)
+/// plus 10 ms: on a quiet multicore machine that floor is a few ms and 3%
+/// has full teeth; on a loaded single-core box scheduler jitter is not
+/// turned into a verdict. The reconciliation, lost-event, and worker-lane
+/// gates have no such slack: the figure itself panics if any of them
+/// fails.
+fn check_obs_figure(r: &FigureReport) {
+    let get = |k: &str| r.metrics.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+    let overhead_bp = get("overhead_bp").unwrap_or_else(|| die("obs figure lost overhead_bp"));
+    let delta_us =
+        get("overhead_delta_us").unwrap_or_else(|| die("obs figure lost overhead_delta_us"));
+    let floor_us = get("noise_floor_us").unwrap_or_else(|| die("obs figure lost noise_floor_us"));
+    if overhead_bp > 300 && delta_us > floor_us + 10_000 {
+        die(&format!(
+            "obs figure: event-stream overhead {:.1}% (+{:.1} ms, above the {:.1} ms A/A \
+             noise floor) exceeds the 3% budget",
+            overhead_bp as f64 / 100.0,
+            delta_us as f64 / 1000.0,
+            floor_us as f64 / 1000.0
+        ));
     }
 }
 
@@ -327,6 +354,21 @@ fn main() {
             &[("objects", n as u64), ("executors", cores as u64), ("tries", t as u64)],
             &r,
         );
+    }
+    if run_fig("obs") {
+        ran = true;
+        let n = 50_000 * s;
+        // The figure panics (→ nonzero exit) if the merged timeline fails
+        // to reconcile, an executor stream loses events, or the Chrome
+        // trace is missing worker process lanes; the harness adds the
+        // overhead budget on top.
+        let (r, chrome) = figures::obs(n, t, Some(Vec::new()));
+        check_obs_figure(&r);
+        emit("obs", &[("objects", n as u64), ("tries", t as u64)], &r);
+        match std::fs::write("TRACE_obs.json", &chrome) {
+            Ok(()) => println!("wrote TRACE_obs.json"),
+            Err(e) => eprintln!("warning: could not write TRACE_obs.json: {e}"),
+        }
     }
     if run_fig("agg") {
         ran = true;

@@ -553,14 +553,20 @@ pub fn trace(objects: usize, executors: usize, tries: usize) -> (FigureReport, S
 /// because *their* executable has no worker mode).
 pub type WorkerCmd = Option<Vec<String>>;
 
-/// Builds the context for one distributed-mode row: event collection on
-/// (so the timeline can be reconciled after shutdown) and `workers`
-/// executor workers in the chosen deployment mode.
-fn dist_context(executors: usize, workers: usize, cmd: &WorkerCmd) -> SparkliteContext {
+/// Builds the context for one distributed-mode row: `workers` executor
+/// workers in the chosen deployment mode, with event collection on (so the
+/// timeline can be reconciled after shutdown) or off (the baseline arm of
+/// the obs overhead A/B).
+fn dist_context(
+    executors: usize,
+    workers: usize,
+    cmd: &WorkerCmd,
+    collect: bool,
+) -> SparkliteContext {
     let conf = SparkliteConf::default()
         .with_executors(executors)
         .with_block_size(64 * 1024)
-        .with_event_collection(true)
+        .with_event_collection(collect)
         .with_event_capacity(1 << 20)
         // Fast heartbeat cadence (generous deadline): the smoke-scale runs
         // finish in tens of milliseconds since aggregation vectorized, and
@@ -629,7 +635,7 @@ pub fn dist(objects: usize, worker_counts: &[usize], tries: usize, cmd: WorkerCm
     let kind = if cmd.is_some() { "process" } else { "thread" };
     for &w in worker_counts {
         let label = format!("{w} {kind} worker(s)");
-        let sc = dist_context(cores, w, &cmd);
+        let sc = dist_context(cores, w, &cmd, true);
         put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
         let (outputs, cells) = run_queries(&sc, tries);
         for (i, out) in outputs.iter().enumerate() {
@@ -665,6 +671,199 @@ pub fn dist(objects: usize, worker_counts: &[usize], tries: usize, cmd: WorkerCm
         render_rows(&format!("Dist — executor scaling, {objects} objects, {cores} cores"), &rows)
     );
     FigureReport { rows, report, metrics }
+}
+
+fn min_f64(v: &[f64]) -> f64 {
+    v.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// The median of an unsorted sample (mean of the middle two when even).
+fn median_f64(v: &[f64]) -> f64 {
+    let mut s = v.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+/// Counts the distinct executor worker process lanes (synthetic pids in
+/// the 1000+ range) that contribute at least one complete (`"X"`) slice to
+/// a Chrome trace — the "did executor-side spans actually cross the
+/// process boundary" check of the obs figure.
+fn worker_lane_count(chrome: &str) -> usize {
+    let v = jsonlite::parse_value(chrome).expect("chrome trace parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(|x| x.as_array())
+        .expect("chrome trace has a traceEvents array");
+    let mut pids = std::collections::BTreeSet::new();
+    for e in events {
+        if e.get("ph").and_then(|x| x.as_str()) == Some("X") {
+            if let Some(pid) = e.get("pid").and_then(|x| x.as_i64()) {
+                if pid >= 1000 {
+                    pids.insert(pid);
+                }
+            }
+        }
+    }
+    pids.len()
+}
+
+/// **Obs** — cluster-wide observability A/B (no paper analogue; exercises
+/// the executor event-stream subsystem): the Fig. 11 queries on two
+/// executor workers with event collection off vs on. The traced arm must
+/// reconcile its merged multi-process timeline exactly with the metrics
+/// snapshot, lose zero events, drain both executor streams, and export a
+/// Chrome trace whose slices span at least two distinct worker process
+/// lanes; the A/B delta is the cross-process instrumentation overhead.
+/// Both arms stay alive and alternate run by run, cells are
+/// best-of-`tries` (minimum wall clock), and the figure also reports the
+/// within-arm spread as the box's A/A noise floor — the resolution limit
+/// below which the harness's overhead gate refuses to rule. Returns the
+/// figure plus the traced run's Chrome trace for the harness to write.
+pub fn obs(objects: usize, tries: usize, cmd: WorkerCmd) -> (FigureReport, String) {
+    const WORKERS: usize = 2;
+    let text = confusion::generate(objects, DEFAULT_SEED);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let kind = if cmd.is_some() { "process" } else { "thread" };
+
+    // Both arms stay alive for the whole measurement and alternate within
+    // each try, so slow drift in machine load lands on both equally — with
+    // sequential arms the A/B would measure "was the box busier later",
+    // which at this scale is far larger than the instrumentation cost.
+    // Arm A: collection off — the executor protocol still flows
+    // (heartbeats, event batches), but the driver has no collector
+    // listening. Arm B: collection on — the arm whose timeline must hold
+    // up.
+    let sc_off = dist_context(cores, WORKERS, &cmd, false);
+    put_dataset(&sc_off, "hdfs:///confusion.json", &text).expect("dataset fits");
+    let sc = dist_context(cores, WORKERS, &cmd, true);
+    put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
+    // One untimed warm-up pass per arm and query: the first run pays
+    // process spawn, page-cache, and allocator warm-up — cold-start cost,
+    // not instrumentation cost, and bigger than the effect being measured.
+    for arm in [&sc_off, &sc] {
+        for query in QUERIES {
+            run_confusion(System::Rumble, arm, "hdfs:///confusion.json", query)
+                .unwrap_or_else(|e| panic!("obs warm-up failed on {query:?}: {e}"));
+        }
+    }
+    let mut base_runs = vec![Vec::new(); QUERIES.len()];
+    let mut traced_runs = vec![Vec::new(); QUERIES.len()];
+    for t in 0..tries.max(1) {
+        for (qi, query) in QUERIES.iter().enumerate() {
+            // Alternate which arm goes first: whichever runs second gets
+            // the same query's data hot in cache, and that bias must not
+            // consistently favor one arm.
+            let mut pair = [(&sc_off, &mut base_runs), (&sc, &mut traced_runs)];
+            if (t + qi) % 2 == 1 {
+                pair.reverse();
+            }
+            for (arm, runs) in pair {
+                let (r, d) =
+                    time(|| run_confusion(System::Rumble, arm, "hdfs:///confusion.json", *query));
+                r.unwrap_or_else(|e| panic!("obs run failed on {query:?}: {e}"));
+                runs[qi].push(d.as_secs_f64());
+            }
+        }
+    }
+    sc_off.shutdown_cluster();
+    let base_walls: Vec<Duration> =
+        base_runs.iter().map(|v| Duration::from_secs_f64(min_f64(v))).collect();
+    let traced_walls: Vec<Duration> =
+        traced_runs.iter().map(|v| Duration::from_secs_f64(min_f64(v))).collect();
+    let m = reconcile_dist_run(&sc, "obs"); // exact or panic
+    assert_eq!(m.executors_registered, WORKERS as u64, "obs: registration count");
+    assert_eq!(m.events_lost, 0, "obs: a clean run must not lose executor events");
+
+    // Both executor streams must have drained cleanly at shutdown, with
+    // their registration-time clock offsets on record.
+    let cluster = sc.cluster().expect("distributed mode is on");
+    let mut metrics: Vec<(String, u64)> = Vec::new();
+    let mut stream_notes = String::new();
+    for w in 0..WORKERS {
+        let st = cluster.forward_stats(w).expect("worker exists");
+        assert!(st.drained, "obs: worker {w} event stream never drained");
+        assert_eq!(st.lost, 0, "obs: worker {w} lost events in a clean run");
+        metrics.push((format!("worker{w}.last_seq"), st.last_seq));
+        stream_notes.push_str(&format!(
+            "worker {w}: drained at seq {} (clock offset {:+} µs)\n",
+            st.last_seq, st.offset_us
+        ));
+    }
+
+    let timeline = sc.timeline().expect("collection is on");
+    let jsonl = timeline.to_jsonl();
+    let events_checked = crate::validate_event_log(&jsonl)
+        .unwrap_or_else(|e| panic!("obs: JSONL event log failed schema validation: {e}"));
+    let chrome = timeline.to_chrome_trace();
+    let slices = crate::validate_chrome_trace(&chrome)
+        .unwrap_or_else(|e| panic!("obs: Chrome trace failed validation: {e}"));
+    let lanes = worker_lane_count(&chrome);
+    assert!(
+        lanes >= 2,
+        "obs: Chrome trace has spans from only {lanes} worker process lane(s), need 2"
+    );
+
+    // The overhead estimate is best-of vs best-of: the sum of per-query
+    // minima is the classic noise-free-time estimate, since scheduler
+    // noise only ever adds time. Alongside it, the within-arm spread
+    // (median − min of the *same* configuration's runs) measures the A/A
+    // repeatability of this box right now: an A/B difference smaller than
+    // the difference between identical runs is unresolvable, so the
+    // harness's percentage gate only binds once the delta clears this
+    // floor. On a quiet multicore machine the spread is a few ms and the
+    // gate has its full 3% teeth; on a loaded single-core box it refuses
+    // to turn scheduler jitter into a verdict.
+    let best_base: f64 = base_runs.iter().map(|v| min_f64(v)).sum();
+    let best_traced: f64 = traced_runs.iter().map(|v| min_f64(v)).sum();
+    let delta_secs = best_traced - best_base;
+    let overhead_pct = delta_secs / best_base.max(1e-9) * 100.0;
+    let noise_floor_secs: f64 = base_runs
+        .iter()
+        .zip(&traced_runs)
+        .map(|(b, t)| (median_f64(b) - min_f64(b)).max(median_f64(t) - min_f64(t)))
+        .sum();
+    let delta = Duration::from_secs_f64(delta_secs.max(0.0));
+    metrics.extend([
+        ("events".to_string(), events_checked as u64),
+        ("trace_slices".to_string(), slices as u64),
+        ("worker_lanes".to_string(), lanes as u64),
+        ("events_lost".to_string(), m.events_lost),
+        ("heartbeats".to_string(), m.heartbeats),
+        ("overhead_bp".to_string(), (overhead_pct * 100.0).max(0.0).round() as u64),
+        ("overhead_delta_us".to_string(), delta.as_micros() as u64),
+        ("noise_floor_us".to_string(), (noise_floor_secs * 1e6).max(0.0).round() as u64),
+    ]);
+
+    let rows: Vec<(String, Vec<Cell>)> = QUERIES
+        .iter()
+        .zip(base_walls.iter().zip(&traced_walls))
+        .map(|(q, (b, t))| (format!("{q:?}").to_lowercase(), vec![Cell::Time(*b), Cell::Time(*t)]))
+        .collect();
+    let report = format!(
+        "{}\n{stream_notes}cross-process instrumentation overhead: {overhead_pct:+.1}% wall \
+         clock (best of {} interleaved tries per arm, A/A noise floor {:.1} ms, collection \
+         on vs off, {WORKERS} {kind} workers); \
+         {events_checked} events merged, {slices} trace slices across {lanes} worker process \
+         lanes; the merged timeline reconciled exactly with the metrics snapshot.\n",
+        render_table(
+            &format!(
+                "Obs — executor event streams A/B, {objects} objects, {WORKERS} {kind} workers"
+            ),
+            &["events off", "events on"],
+            &rows
+                .iter()
+                .map(|(l, cells)| (l.clone(), cells.iter().map(Cell::render).collect()))
+                .collect::<Vec<_>>(),
+        ),
+        tries.max(1),
+        noise_floor_secs * 1e3,
+    );
+    (FigureReport { rows, report, metrics }, chrome)
 }
 
 /// The `--kill-executor` chaos listener: on the `trigger`-th map-output
@@ -710,7 +909,7 @@ pub fn chaos_kill_executor(objects: usize, tries: usize, cmd: WorkerCmd) -> Figu
     let (baseline, base_cells) = run_queries(&sc, tries);
 
     let kind = if cmd.is_some() { "process" } else { "thread" };
-    let sc = dist_context(cores, 2, &cmd);
+    let sc = dist_context(cores, 2, &cmd, true);
     put_dataset(&sc, "hdfs:///confusion.json", &text).expect("dataset fits");
     let cluster = std::sync::Arc::clone(sc.cluster().expect("distributed mode is on"));
     sc.add_event_listener(std::sync::Arc::new(KillOnPush {
@@ -729,6 +928,12 @@ pub fn chaos_kill_executor(objects: usize, tries: usize, cmd: WorkerCmd) -> Figu
         m.recomputed_tasks >= 1,
         "worker death never forced a lineage recomputation (lost no blocks?)"
     );
+    // Lost-event accounting: the killed worker's stream must have been
+    // finalized (marked cut, not silently dropped), with its last forwarded
+    // sequence number and known-lost count on record.
+    let killed =
+        sc.cluster().expect("distributed mode is on").forward_stats(0).expect("worker 0 exists");
+    assert!(killed.drained, "the killed worker's event stream was never finalized");
 
     let rows =
         vec![("local threads".to_string(), base_cells), ("1 of 2 killed".to_string(), kill_cells)];
@@ -738,14 +943,20 @@ pub fn chaos_kill_executor(objects: usize, tries: usize, cmd: WorkerCmd) -> Figu
         ("recomputed_tasks".to_string(), m.recomputed_tasks),
         ("blocks_pushed".to_string(), m.blocks_pushed),
         ("blocks_fetched".to_string(), m.blocks_fetched),
+        ("killed_last_seq".to_string(), killed.last_seq),
+        ("killed_lost_events".to_string(), killed.lost),
+        ("events_lost".to_string(), m.events_lost),
     ];
     let report = format!(
         "{}\nkilled 1 of 2 {kind} worker(s) after its first map outputs arrived: \
-         {} executor(s) lost, {} task(s) recomputed through lineage; all queries \
+         {} executor(s) lost, {} task(s) recomputed through lineage; the dead worker's \
+         event stream was cut at seq {} with {} event(s) known lost; all queries \
          returned results identical to the local threaded engine.\n",
         render_rows(&format!("Chaos — kill-executor, {objects} objects"), &rows),
         m.executors_lost,
-        m.recomputed_tasks
+        m.recomputed_tasks,
+        killed.last_seq,
+        killed.lost,
     );
     FigureReport { rows, report, metrics }
 }
@@ -1114,7 +1325,7 @@ pub fn agg(objects: usize, executors: usize, tries: usize, cmd: WorkerCmd) -> Fi
     let local = SparkliteContext::new(SparkliteConf::default().with_executors(executors));
     put_dataset(&local, "hdfs:///confusion.json", &text).expect("dataset fits");
     let (baseline, _) = run_queries(&local, 1);
-    let dist = dist_context(executors, 2, &cmd);
+    let dist = dist_context(executors, 2, &cmd, true);
     put_dataset(&dist, "hdfs:///confusion.json", &text).expect("dataset fits");
     let (outputs, _) = run_queries(&dist, 1);
     for (i, out) in outputs.iter().enumerate() {

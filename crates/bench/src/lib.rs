@@ -135,6 +135,7 @@ fn required_event_fields(ev: &str) -> Option<&'static [&'static str]> {
             "speculative",
             "worker",
             "busy_us",
+            "queue_us",
             "input_records",
             "input_bytes",
             "shuffle_records",
@@ -157,8 +158,9 @@ fn required_event_fields(ev: &str) -> Option<&'static [&'static str]> {
         "ExecutorRegistered" => &["worker", "pid"],
         "ExecutorHeartbeat" => &["worker", "seq"],
         "ExecutorLost" => &["worker", "reason"],
-        "BlockPush" => &["shuffle", "map_part", "blocks", "bytes"],
-        "BlockFetch" => &["shuffle", "map_part", "reduce_part", "bytes"],
+        "BlockPush" => &["shuffle", "map_part", "blocks", "bytes", "worker", "dur_us"],
+        "BlockFetch" => &["shuffle", "map_part", "reduce_part", "bytes", "worker", "dur_us"],
+        "ExecutorEventsLost" => &["worker", "last_seq", "lost"],
         "ColumnarBatch" => &["fused_ops", "batches", "rows"],
         "AggBatch" => &["batches", "rows_in", "groups_out"],
         _ => return None,

@@ -97,7 +97,9 @@ impl SparkliteContext {
         let metrics = Arc::new(Metrics::default());
         let events = Arc::new(EventBus::new(Arc::clone(&metrics)));
         let collector = if conf.collect_events {
-            let c = Arc::new(EventCollector::new(conf.event_capacity));
+            // Share the bus epoch so merged executor event timestamps land
+            // on the same µs axis as locally collected ones.
+            let c = Arc::new(EventCollector::with_epoch(conf.event_capacity, events.epoch()));
             events.register(Arc::clone(&c) as Arc<dyn EventListener>);
             Some(c)
         } else {

@@ -4,10 +4,16 @@
 //! per [`DistMode`]), runs the registration handshake, supervises each
 //! worker through a dedicated reader thread plus a heartbeat-deadline
 //! monitor, dispatches serialized tasks, places and fetches shuffle blocks,
-//! and emits the executor lifecycle onto the shared [`EventBus`] —
-//! `ExecutorRegistered`, `ExecutorHeartbeat`, `ExecutorLost`, `BlockPush`,
-//! `BlockFetch` — so distributed runs reconcile in the same timeline
-//! machinery as local ones.
+//! and merges each worker's forwarded event stream onto the shared
+//! [`EventBus`] — `ExecutorRegistered`, `ExecutorHeartbeat`, `BlockPush`,
+//! `BlockFetch` are *executor-side observations*, emitted by the worker
+//! that did the work, sequence-numbered, batched onto the control
+//! connection, and replayed here through a per-worker
+//! [`ExecutorStreamMerge`] — so distributed runs reconcile in the same
+//! timeline machinery as local ones, and the dist counters are derived
+//! from what the executors saw, not from what the driver asked for. Only
+//! `ExecutorLost` and `ExecutorEventsLost` stay driver-emitted: a dead
+//! worker cannot report its own death or its un-forwarded tail.
 //!
 //! Death detection is three-way, and any of the three paths funnels into
 //! [`Cluster::declare_dead`] exactly once per worker:
@@ -19,7 +25,7 @@
 use super::proto::{self, Msg, TaskDesc};
 use super::worker::{run_worker, NoRuntime};
 use crate::conf::{DistConf, DistMode};
-use crate::events::{Event, EventBus};
+use crate::events::{Event, EventBus, ExecutorStreamMerge};
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
@@ -45,6 +51,23 @@ pub enum FetchError {
 
 type TaskReply = Result<(u64, u64), String>;
 
+/// What the driver knows about one worker's forwarded event stream: the
+/// last sequence number it has seen, the loss it can account for, whether
+/// the stream ended completely (goodbye received or merge finalized), and
+/// the handshake-measured clock offset. Chaos figures report these so a
+/// killed executor's events are accounted for, not silently dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardStats {
+    /// Highest event sequence number received from the worker.
+    pub last_seq: u64,
+    /// Events known lost: worker-reported ring drops plus sequence gaps.
+    pub lost: u64,
+    /// True once the stream was finalized (clean goodbye or declared dead).
+    pub drained: bool,
+    /// Driver-clock minus worker-clock, µs, measured at registration.
+    pub offset_us: i64,
+}
+
 struct WorkerState {
     index: usize,
     pid: AtomicU64,
@@ -65,6 +88,12 @@ struct WorkerState {
     block_sever: Mutex<Option<TcpStream>>,
     /// Last heartbeat arrival, µs since the cluster epoch.
     last_beat_us: AtomicU64,
+    /// Reassembly state for the worker's forwarded event stream.
+    merge: Mutex<ExecutorStreamMerge>,
+    /// True once the stream has been finalized — by a clean `Goodbye` or by
+    /// [`Cluster::finalize_stream`] on death/shutdown. Guards against a
+    /// double finalization double-counting loss.
+    drained: AtomicBool,
     child: Mutex<Option<Child>>,
     worker_thread: Mutex<Option<JoinHandle<()>>>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
@@ -82,6 +111,8 @@ impl WorkerState {
             control_sever: Mutex::new(None),
             block_sever: Mutex::new(None),
             last_beat_us: AtomicU64::new(0),
+            merge: Mutex::new(ExecutorStreamMerge::new(0)),
+            drained: AtomicBool::new(false),
             child: Mutex::new(None),
             worker_thread: Mutex::new(None),
             supervisor: Mutex::new(None),
@@ -121,6 +152,8 @@ pub struct Cluster {
     epoch: Instant,
     heartbeat_ms: u64,
     heartbeat_timeout_ms: u64,
+    /// Capacity handed to each worker's bounded event forward buffer.
+    event_capacity: u64,
     next_task: AtomicU64,
     workers: Vec<Arc<WorkerState>>,
     /// Which worker holds each map output: `(shuffle, map_part) → worker`.
@@ -141,11 +174,15 @@ impl Cluster {
         let addr = listener.local_addr().map_err(|e| format!("control addr: {e}"))?.to_string();
         listener.set_nonblocking(true).map_err(|e| format!("control nonblocking: {e}"))?;
 
+        // Share the bus's epoch so merged executor timestamps and
+        // driver-collected stamps are on the same µs axis.
+        let epoch = events.epoch();
         let cluster = Arc::new(Cluster {
             events,
-            epoch: Instant::now(),
+            epoch,
             heartbeat_ms: dist.heartbeat_ms.max(1),
             heartbeat_timeout_ms: dist.heartbeat_timeout_ms.max(1),
+            event_capacity: dist.event_capacity.max(1) as u64,
             next_task: AtomicU64::new(0),
             workers: (0..n).map(|i| Arc::new(WorkerState::new(i))).collect(),
             locations: Mutex::new(HashMap::new()),
@@ -242,26 +279,35 @@ impl Cluster {
                 continue;
             }
             let Ok(mut read_half) = stream.try_clone() else { continue };
-            let (worker, pid, block_addr) = match proto::recv_msg(&mut read_half) {
-                Ok(Some(Msg::Register { worker, pid, block_addr })) => (worker, pid, block_addr),
+            let (worker, pid, block_addr, clock_us) = match proto::recv_msg(&mut read_half) {
+                Ok(Some(Msg::Register { worker, pid, block_addr, clock_us })) => {
+                    (worker, pid, block_addr, clock_us)
+                }
                 _ => continue,
             };
             let Some(state) = self.workers.get(worker as usize) else { continue };
             if state.alive.load(Ordering::SeqCst) {
                 continue; // this worker index already registered
             }
-            if read_half.set_read_timeout(None).is_err() {
-                continue;
-            }
             *state.block_addr.lock().expect("block addr lock") = block_addr;
             state.pid.store(pid, Ordering::Relaxed);
             state.last_beat_us.store(self.now_us(), Ordering::Relaxed);
+            // Clock-offset handshake: the worker stamped `clock_us` against
+            // its own epoch just before sending `Register`, so driver-now
+            // minus worker-then over-estimates the offset by the one-way
+            // trip (loopback: microseconds). Recorded for timestamp
+            // translation, never trusted for ordering — sequence numbers
+            // order the stream.
+            let offset_us = self.now_us() as i64 - clock_us as i64;
             {
                 let mut control = state.control.lock().expect("control lock");
                 let mut stream = stream;
                 if proto::send_msg(
                     &mut stream,
-                    &Msg::RegisterAck { heartbeat_ms: self.heartbeat_ms },
+                    &Msg::RegisterAck {
+                        heartbeat_ms: self.heartbeat_ms,
+                        event_capacity: self.event_capacity,
+                    },
                 )
                 .is_err()
                 {
@@ -270,8 +316,29 @@ impl Cluster {
                 *state.control_sever.lock().expect("control sever lock") = stream.try_clone().ok();
                 *control = Some(stream);
             }
+            // The worker flushes its `ExecutorRegistered` event eagerly
+            // right after the ack; fold that first batch in *before*
+            // reporting the worker registered, so `executors_registered`
+            // is already correct when `start` returns — even if the worker
+            // dies immediately after (the read timeout from above is still
+            // armed, so a wedged worker cannot hang startup).
+            match proto::recv_msg(&mut read_half) {
+                Ok(Some(Msg::Events { first_seq, dropped, events, .. })) => {
+                    let released = {
+                        let mut merge = state.merge.lock().expect("merge lock");
+                        *merge = ExecutorStreamMerge::new(offset_us);
+                        merge.push_batch(first_seq, dropped, events)
+                    };
+                    for (at, ev) in released {
+                        self.events.emit_remote(at, &ev);
+                    }
+                }
+                _ => continue, // worker gone before its first flush
+            }
+            if read_half.set_read_timeout(None).is_err() {
+                continue;
+            }
             state.alive.store(true, Ordering::SeqCst);
-            self.events.emit(Event::ExecutorRegistered { worker, pid });
             let supervisor = {
                 let cluster = Arc::clone(self);
                 let state = Arc::clone(state);
@@ -288,9 +355,29 @@ impl Cluster {
     fn supervise(&self, state: &WorkerState, mut read_half: TcpStream) {
         loop {
             match proto::recv_msg(&mut read_half) {
-                Ok(Some(Msg::Heartbeat { worker, seq })) => {
+                Ok(Some(Msg::Heartbeat { .. })) => {
+                    // The beat event itself arrives in the `Events` batch
+                    // the worker flushes just before this message; here the
+                    // beat only feeds the liveness deadline.
                     state.last_beat_us.store(self.now_us(), Ordering::Relaxed);
-                    self.events.emit(Event::ExecutorHeartbeat { worker, seq });
+                }
+                Ok(Some(Msg::Events { first_seq, dropped, events, .. })) => {
+                    // Forwarded traffic is proof of life too — a worker
+                    // busy serving blocks may batch faster than it beats.
+                    state.last_beat_us.store(self.now_us(), Ordering::Relaxed);
+                    let released = state
+                        .merge
+                        .lock()
+                        .expect("merge lock")
+                        .push_batch(first_seq, dropped, events);
+                    for (at, ev) in released {
+                        self.events.emit_remote(at, &ev);
+                    }
+                }
+                Ok(Some(Msg::Goodbye { .. })) => {
+                    // Clean end of stream: everything the worker buffered
+                    // has been flushed; only ring drops (if any) are loss.
+                    self.finalize_stream(state, true);
                 }
                 Ok(Some(Msg::TaskDone { task, blocks, bytes })) => {
                     self.reply_pending(task, Ok((blocks, bytes)));
@@ -304,6 +391,45 @@ impl Cluster {
         if !self.shutting_down.load(Ordering::SeqCst) {
             self.declare_dead(state.index, "control connection closed");
         }
+    }
+
+    /// Finalizes a worker's forwarded event stream exactly once: releases
+    /// anything still pending in the merge and accounts for loss. A stream
+    /// that ended without a goodbye (`complete == false`) gets an
+    /// [`Event::ExecutorEventsLost`] even when the quantifiable loss is
+    /// zero — the un-forwarded tail of a killed worker is unknowable, and
+    /// the event marks the stream as cut rather than silently short.
+    fn finalize_stream(&self, state: &WorkerState, complete: bool) {
+        if state.drained.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let (released, last_seq, lost) = {
+            let mut merge = state.merge.lock().expect("merge lock");
+            let released = merge.flush();
+            (released, merge.last_seq(), merge.lost())
+        };
+        for (at, ev) in released {
+            self.events.emit_remote(at, &ev);
+        }
+        if lost > 0 || !complete {
+            self.events.emit(Event::ExecutorEventsLost {
+                worker: state.index as u64,
+                last_seq,
+                lost,
+            });
+        }
+    }
+
+    /// Forwarding stats for one worker's event stream (chaos accounting).
+    pub fn forward_stats(&self, worker: usize) -> Option<ForwardStats> {
+        let state = self.workers.get(worker)?;
+        let merge = state.merge.lock().expect("merge lock");
+        Some(ForwardStats {
+            last_seq: merge.last_seq(),
+            lost: merge.lost(),
+            drained: state.drained.load(Ordering::SeqCst),
+            offset_us: merge.offset_us(),
+        })
     }
 
     /// Deadline-based death detection: a worker whose last heartbeat is
@@ -343,6 +469,9 @@ impl Cluster {
             return;
         }
         self.events.emit(Event::ExecutorLost { worker: worker as u64, reason: reason.to_string() });
+        // The stream died with the worker: release what arrived, mark the
+        // rest lost.
+        self.finalize_stream(state, false);
         // Sever through the duplicate handles only: the `control` and
         // `block_conn` mutexes may be held by a thread blocked in I/O on
         // this very worker (a silent hang), and taking them here would
@@ -431,8 +560,6 @@ impl Cluster {
         map_part: u64,
         blocks: &[(u64, Vec<u8>)],
     ) -> Result<(), String> {
-        let nblocks = blocks.len() as u64;
-        let bytes: u64 = blocks.iter().map(|(_, b)| b.len() as u64).sum();
         let payload = proto::encode_store_payload(blocks);
         // A payload the frame layer cannot carry fails here, with the size
         // in the error, before any dispatch: the `LaunchTask` envelope adds
@@ -463,16 +590,13 @@ impl Cluster {
             let target = preferred.unwrap_or(live[map_part as usize % live.len()]);
             match self.dispatch(target, "store-blocks", shuffle, map_part, payload.clone()) {
                 Ok(_) => {
+                    // The `BlockPush` event is executor-emitted: the worker
+                    // forwards it just before its `TaskDone`, so it is
+                    // already merged by the time this dispatch returned.
                     self.locations
                         .lock()
                         .expect("locations lock")
                         .insert((shuffle, map_part), target);
-                    self.events.emit(Event::BlockPush {
-                        shuffle,
-                        map_part,
-                        blocks: nblocks,
-                        bytes,
-                    });
                     return Ok(());
                 }
                 Err(e) => {
@@ -546,15 +670,9 @@ impl Cluster {
             }
         };
         match reply {
-            Msg::BlockData { bytes } => {
-                self.events.emit(Event::BlockFetch {
-                    shuffle,
-                    map_part,
-                    reduce_part,
-                    bytes: bytes.len() as u64,
-                });
-                Ok(bytes)
-            }
+            // The `BlockFetch` event is executor-emitted: the serving
+            // worker forwards it on its control connection after answering.
+            Msg::BlockData { bytes } => Ok(bytes),
             Msg::BlockMissing { .. } => {
                 // The worker restarted or dropped the shuffle: the location
                 // record is stale. Forget it so recovery re-places the part.
@@ -631,7 +749,23 @@ impl Cluster {
         if let Some(monitor) = self.monitor.lock().expect("monitor lock").take() {
             let _ = monitor.join();
         }
+        // Drain wait: give each live worker a bounded window to answer the
+        // `Shutdown` with its final event flush and goodbye before the
+        // connections are severed. A healthy worker drains within one
+        // control round trip; a wedged one is finalized as incomplete below.
+        let drain_deadline = Instant::now() + Duration::from_secs(2);
         for w in &self.workers {
+            while w.alive.load(Ordering::SeqCst)
+                && !w.drained.load(Ordering::SeqCst)
+                && Instant::now() < drain_deadline
+            {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        for w in &self.workers {
+            // A worker that is still alive but never said goodbye (wedged,
+            // or slower than the drain window) has an incomplete stream.
+            let cut = w.alive.load(Ordering::SeqCst) && !w.drained.load(Ordering::SeqCst);
             // Duplicate-handle sever first: it unblocks any thread still
             // parked in I/O on this worker without touching the I/O locks,
             // which that thread may be holding.
@@ -641,6 +775,12 @@ impl Cluster {
             }
             if let Some(supervisor) = w.supervisor.lock().expect("supervisor lock").take() {
                 let _ = supervisor.join();
+            }
+            if cut {
+                // The supervisor has been joined, so this runs after the
+                // last batch was merged (and no-ops if a late goodbye
+                // finalized the stream first).
+                self.finalize_stream(w, false);
             }
             if let Some(conn) = w.block_conn.lock().expect("block conn lock").take() {
                 let _ = conn.shutdown(std::net::Shutdown::Both);
@@ -695,6 +835,7 @@ mod tests {
             epoch: Instant::now(),
             heartbeat_ms: 50,
             heartbeat_timeout_ms: 3000,
+            event_capacity: 1 << 16,
             next_task: AtomicU64::new(0),
             workers: (0..n).map(|i| Arc::new(WorkerState::new(i))).collect(),
             locations: Mutex::new(HashMap::new()),
@@ -769,7 +910,12 @@ mod tests {
                 let mut impostor = TcpStream::connect(&addr).expect("stray connects");
                 let _ = proto::send_msg(
                     &mut impostor,
-                    &Msg::Register { worker: 99, pid: 1, block_addr: "nowhere:0".to_string() },
+                    &Msg::Register {
+                        worker: 99,
+                        pid: 1,
+                        block_addr: "nowhere:0".to_string(),
+                        clock_us: 0,
+                    },
                 );
                 drop(impostor);
                 let _ = run_worker(&addr, 0, Arc::new(NoRuntime));

@@ -16,7 +16,7 @@ mod proto;
 mod worker;
 
 pub use blocks::BlockStore;
-pub use cluster::{Cluster, FetchError};
+pub use cluster::{Cluster, FetchError, ForwardStats};
 pub use proto::{
     decode_store_payload, encode_store_payload, read_frame, recv_msg, send_msg, write_frame,
     FrameDecoder, Msg, TaskDesc, MAX_FRAME,

@@ -18,6 +18,7 @@
 //!   that exercise partial reads and oversized-frame rejection without a
 //!   socket in the loop.
 
+use crate::events::Event;
 use std::io::{self, Read, Write};
 
 /// Upper bound on one frame's body, in bytes. Large enough for any shuffle
@@ -275,6 +276,75 @@ const TAG_BLOCK_MISSING: u8 = 8;
 const TAG_DROP_SHUFFLE: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
 const TAG_DIE: u8 = 11;
+const TAG_EVENTS: u8 = 12;
+const TAG_GOODBYE: u8 = 13;
+
+// Wire tags for the forwardable [`Event`] subset carried by `Msg::Events`.
+// Only events a worker actually emits cross the wire; variants carrying
+// `&'static str` or driver-only context are not forwardable and the codec
+// rejects them rather than inventing a lossy encoding.
+const EV_EXECUTOR_REGISTERED: u8 = 0;
+const EV_EXECUTOR_HEARTBEAT: u8 = 1;
+const EV_BLOCK_PUSH: u8 = 2;
+const EV_BLOCK_FETCH: u8 = 3;
+
+fn encode_event(out: &mut Vec<u8>, ev: &Event) {
+    match ev {
+        Event::ExecutorRegistered { worker, pid } => {
+            out.push(EV_EXECUTOR_REGISTERED);
+            write_varu(out, *worker);
+            write_varu(out, *pid);
+        }
+        Event::ExecutorHeartbeat { worker, seq } => {
+            out.push(EV_EXECUTOR_HEARTBEAT);
+            write_varu(out, *worker);
+            write_varu(out, *seq);
+        }
+        Event::BlockPush { shuffle, map_part, blocks, bytes, worker, dur_us } => {
+            out.push(EV_BLOCK_PUSH);
+            write_varu(out, *shuffle);
+            write_varu(out, *map_part);
+            write_varu(out, *blocks);
+            write_varu(out, *bytes);
+            write_varu(out, *worker);
+            write_varu(out, *dur_us);
+        }
+        Event::BlockFetch { shuffle, map_part, reduce_part, bytes, worker, dur_us } => {
+            out.push(EV_BLOCK_FETCH);
+            write_varu(out, *shuffle);
+            write_varu(out, *map_part);
+            write_varu(out, *reduce_part);
+            write_varu(out, *bytes);
+            write_varu(out, *worker);
+            write_varu(out, *dur_us);
+        }
+        other => unreachable!("event {} is not wire-forwardable", other.name()),
+    }
+}
+
+fn decode_event(w: &mut Wire<'_>) -> Result<Event, String> {
+    Ok(match w.byte()? {
+        EV_EXECUTOR_REGISTERED => Event::ExecutorRegistered { worker: w.varu()?, pid: w.varu()? },
+        EV_EXECUTOR_HEARTBEAT => Event::ExecutorHeartbeat { worker: w.varu()?, seq: w.varu()? },
+        EV_BLOCK_PUSH => Event::BlockPush {
+            shuffle: w.varu()?,
+            map_part: w.varu()?,
+            blocks: w.varu()?,
+            bytes: w.varu()?,
+            worker: w.varu()?,
+            dur_us: w.varu()?,
+        },
+        EV_BLOCK_FETCH => Event::BlockFetch {
+            shuffle: w.varu()?,
+            map_part: w.varu()?,
+            reduce_part: w.varu()?,
+            bytes: w.varu()?,
+            worker: w.varu()?,
+            dur_us: w.varu()?,
+        },
+        other => return Err(format!("unknown forwarded-event tag {other}")),
+    })
+}
 
 /// A protocol message. Control-plane messages (registration, heartbeats,
 /// task dispatch/completion, shutdown) flow on the driver↔worker control
@@ -283,10 +353,15 @@ const TAG_DIE: u8 = 11;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     /// Worker → driver, first message on the control connection. The worker
-    /// advertises the address of its block service.
-    Register { worker: u64, pid: u64, block_addr: String },
-    /// Driver → worker: registration accepted; heartbeat cadence to honour.
-    RegisterAck { heartbeat_ms: u64 },
+    /// advertises the address of its block service and its monotonic clock
+    /// reading (µs since its event epoch) so the driver can measure a clock
+    /// offset for merging forwarded event timestamps. The offset is
+    /// *recorded*, never trusted for ordering — sequence numbers order the
+    /// stream.
+    Register { worker: u64, pid: u64, block_addr: String, clock_us: u64 },
+    /// Driver → worker: registration accepted; heartbeat cadence to honour
+    /// and the capacity of the worker's bounded event forward buffer.
+    RegisterAck { heartbeat_ms: u64, event_capacity: u64 },
     /// Worker → driver, every `heartbeat_ms`; the driver declares a worker
     /// lost when its deadline (`heartbeat_timeout_ms`) lapses.
     Heartbeat { worker: u64, seq: u64 },
@@ -313,21 +388,34 @@ pub enum Msg {
     /// without a goodbye — simulates a killed executor for in-process
     /// (thread-mode) workers, where a real `SIGKILL` is not available.
     Die,
+    /// Worker → driver: a batch of forwarded executor events. `first_seq`
+    /// is the sequence number of `events[0]` (consecutive within the
+    /// batch); `dropped` is the cumulative count the worker's bounded
+    /// forward buffer has discarded so far, so the driver can account for
+    /// loss instead of silently missing events. Each entry pairs the
+    /// worker-clock timestamp (µs since the worker's epoch) with the event.
+    Events { worker: u64, first_seq: u64, dropped: u64, events: Vec<(u64, Event)> },
+    /// Worker → driver, last message before a clean shutdown exit: every
+    /// buffered event has been flushed. A worker that dies without a
+    /// goodbye had its un-forwarded tail marked lost.
+    Goodbye { worker: u64 },
 }
 
 impl Msg {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
         match self {
-            Msg::Register { worker, pid, block_addr } => {
+            Msg::Register { worker, pid, block_addr, clock_us } => {
                 out.push(TAG_REGISTER);
                 write_varu(&mut out, *worker);
                 write_varu(&mut out, *pid);
                 write_str(&mut out, block_addr);
+                write_varu(&mut out, *clock_us);
             }
-            Msg::RegisterAck { heartbeat_ms } => {
+            Msg::RegisterAck { heartbeat_ms, event_capacity } => {
                 out.push(TAG_REGISTER_ACK);
                 write_varu(&mut out, *heartbeat_ms);
+                write_varu(&mut out, *event_capacity);
             }
             Msg::Heartbeat { worker, seq } => {
                 out.push(TAG_HEARTBEAT);
@@ -374,6 +462,21 @@ impl Msg {
             }
             Msg::Shutdown => out.push(TAG_SHUTDOWN),
             Msg::Die => out.push(TAG_DIE),
+            Msg::Events { worker, first_seq, dropped, events } => {
+                out.push(TAG_EVENTS);
+                write_varu(&mut out, *worker);
+                write_varu(&mut out, *first_seq);
+                write_varu(&mut out, *dropped);
+                write_varu(&mut out, events.len() as u64);
+                for (at_us, ev) in events {
+                    write_varu(&mut out, *at_us);
+                    encode_event(&mut out, ev);
+                }
+            }
+            Msg::Goodbye { worker } => {
+                out.push(TAG_GOODBYE);
+                write_varu(&mut out, *worker);
+            }
         }
         out
     }
@@ -381,10 +484,15 @@ impl Msg {
     pub fn decode(buf: &[u8]) -> Result<Msg, String> {
         let mut w = Wire::new(buf);
         let msg = match w.byte()? {
-            TAG_REGISTER => {
-                Msg::Register { worker: w.varu()?, pid: w.varu()?, block_addr: w.string()? }
+            TAG_REGISTER => Msg::Register {
+                worker: w.varu()?,
+                pid: w.varu()?,
+                block_addr: w.string()?,
+                clock_us: w.varu()?,
+            },
+            TAG_REGISTER_ACK => {
+                Msg::RegisterAck { heartbeat_ms: w.varu()?, event_capacity: w.varu()? }
             }
-            TAG_REGISTER_ACK => Msg::RegisterAck { heartbeat_ms: w.varu()? },
             TAG_HEARTBEAT => Msg::Heartbeat { worker: w.varu()?, seq: w.varu()? },
             TAG_LAUNCH_TASK => Msg::LaunchTask {
                 task: TaskDesc {
@@ -409,6 +517,22 @@ impl Msg {
             TAG_DROP_SHUFFLE => Msg::DropShuffle { shuffle: w.varu()? },
             TAG_SHUTDOWN => Msg::Shutdown,
             TAG_DIE => Msg::Die,
+            TAG_EVENTS => {
+                let worker = w.varu()?;
+                let first_seq = w.varu()?;
+                let dropped = w.varu()?;
+                let n = w.varu()? as usize;
+                if n > buf.len() {
+                    return Err("corrupt event batch: impossible event count".to_string());
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let at_us = w.varu()?;
+                    events.push((at_us, decode_event(&mut w)?));
+                }
+                Msg::Events { worker, first_seq, dropped, events }
+            }
+            TAG_GOODBYE => Msg::Goodbye { worker: w.varu()? },
             other => return Err(format!("unknown message tag {other}")),
         };
         w.done()?;
@@ -473,8 +597,13 @@ mod tests {
     #[test]
     fn message_roundtrip() {
         let msgs = vec![
-            Msg::Register { worker: 3, pid: 4242, block_addr: "127.0.0.1:5555".to_string() },
-            Msg::RegisterAck { heartbeat_ms: 25 },
+            Msg::Register {
+                worker: 3,
+                pid: 4242,
+                block_addr: "127.0.0.1:5555".to_string(),
+                clock_us: 987654,
+            },
+            Msg::RegisterAck { heartbeat_ms: 25, event_capacity: 65536 },
             Msg::Heartbeat { worker: 3, seq: 17 },
             Msg::LaunchTask {
                 task: TaskDesc {
@@ -493,12 +622,52 @@ mod tests {
             Msg::DropShuffle { shuffle: 2 },
             Msg::Shutdown,
             Msg::Die,
+            Msg::Events {
+                worker: 3,
+                first_seq: 40,
+                dropped: 2,
+                events: vec![
+                    (10, Event::ExecutorRegistered { worker: 3, pid: 4242 }),
+                    (20, Event::ExecutorHeartbeat { worker: 3, seq: 1 }),
+                    (
+                        30,
+                        Event::BlockPush {
+                            shuffle: 2,
+                            map_part: 5,
+                            blocks: 4,
+                            bytes: 1024,
+                            worker: 3,
+                            dur_us: 7,
+                        },
+                    ),
+                    (
+                        40,
+                        Event::BlockFetch {
+                            shuffle: 2,
+                            map_part: 5,
+                            reduce_part: 1,
+                            bytes: 256,
+                            worker: 3,
+                            dur_us: 9,
+                        },
+                    ),
+                ],
+            },
+            Msg::Events { worker: 0, first_seq: 0, dropped: 0, events: Vec::new() },
+            Msg::Goodbye { worker: 3 },
         ];
         for m in msgs {
             assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
         }
         assert!(Msg::decode(&[200]).is_err());
         assert!(Msg::decode(&[]).is_err());
+        // A forwarded-event batch with an unknown event tag is rejected.
+        let mut bad = vec![TAG_EVENTS];
+        for v in [0u64, 0, 0, 1, 5] {
+            write_varu(&mut bad, v);
+        }
+        bad.push(200);
+        assert!(Msg::decode(&bad).is_err());
     }
 
     #[test]

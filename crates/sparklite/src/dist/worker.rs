@@ -15,11 +15,12 @@
 
 use super::blocks::BlockStore;
 use super::proto::{self, Msg, TaskDesc};
+use crate::events::Event;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Executes non-built-in task kinds on a worker. The driver names a kind in
 /// each [`TaskDesc`]; the runtime maps it to code compiled into the worker
@@ -45,14 +46,95 @@ fn send_locked(stream: &Mutex<TcpStream>, msg: &Msg) -> std::io::Result<()> {
     proto::send_msg(&mut *s, msg)
 }
 
-/// Serves one block-service connection until the peer hangs up.
-fn serve_blocks(store: &BlockStore, mut conn: TcpStream) {
+/// The worker's bounded executor-side event collector: events emitted by
+/// the worker's own threads are stamped against the worker clock, given a
+/// sequence number, and buffered until the next forward opportunity (each
+/// heartbeat, each task reply, and the final flush at shutdown). When the
+/// buffer is full the event is counted in `dropped` instead of buffered —
+/// drops never consume sequence numbers, so the batches the driver sees
+/// stay seq-contiguous and loss is reported explicitly, not inferred.
+struct ForwardBuf {
+    worker: u64,
+    /// Worker clock epoch; `Register.clock_us` was measured against it, so
+    /// the driver can translate these stamps into driver time.
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<ForwardState>,
+}
+
+#[derive(Default)]
+struct ForwardState {
+    /// Sequence number the next *buffered* event will take.
+    next_seq: u64,
+    /// Cumulative events discarded because the buffer was full.
+    dropped: u64,
+    buf: Vec<(u64, Event)>,
+}
+
+impl ForwardBuf {
+    fn new(worker: u64, epoch: Instant, capacity: usize) -> ForwardBuf {
+        ForwardBuf { worker, epoch, capacity: capacity.max(1), state: Mutex::default() }
+    }
+
+    fn push(&self, ev: Event) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let mut st = self.state.lock().expect("forward buffer poisoned");
+        if st.buf.len() >= self.capacity {
+            st.dropped += 1;
+        } else {
+            st.buf.push((at_us, ev));
+            st.next_seq += 1;
+        }
+    }
+
+    /// Takes the buffered batch as an `Events` message, or `None` when
+    /// there is nothing new to report.
+    fn drain(&self) -> Option<Msg> {
+        let mut st = self.state.lock().expect("forward buffer poisoned");
+        if st.buf.is_empty() && st.dropped == 0 {
+            return None;
+        }
+        let events = std::mem::take(&mut st.buf);
+        let first_seq = st.next_seq - events.len() as u64;
+        Some(Msg::Events { worker: self.worker, first_seq, dropped: st.dropped, events })
+    }
+
+    /// Pushes one event and immediately forwards everything buffered.
+    fn forward(&self, control: &Mutex<TcpStream>, ev: Event) {
+        self.push(ev);
+        self.flush(control);
+    }
+
+    fn flush(&self, control: &Mutex<TcpStream>) {
+        if let Some(batch) = self.drain() {
+            // A send failure means the driver is gone; the control loop
+            // will observe the same condition and wind the worker down.
+            let _ = send_locked(control, &batch);
+        }
+    }
+}
+
+/// Serves one block-service connection until the peer hangs up, forwarding
+/// one `BlockFetch` event per block served.
+fn serve_blocks(
+    store: &BlockStore,
+    mut conn: TcpStream,
+    control: &Mutex<TcpStream>,
+    buf: &ForwardBuf,
+) {
     while let Ok(Some(msg)) = proto::recv_msg(&mut conn) {
-        let reply = match msg {
+        let (reply, served) = match msg {
             Msg::FetchBlock { shuffle, map_part, reduce_part } => {
+                let started = Instant::now();
                 match store.get(shuffle, map_part, reduce_part) {
-                    Some(bytes) => Msg::BlockData { bytes: bytes.as_ref().clone() },
-                    None => Msg::BlockMissing { shuffle, map_part, reduce_part },
+                    Some(bytes) => {
+                        let n = bytes.len() as u64;
+                        (
+                            Msg::BlockData { bytes: bytes.as_ref().clone() },
+                            Some((shuffle, map_part, reduce_part, n, started)),
+                        )
+                    }
+                    None => (Msg::BlockMissing { shuffle, map_part, reduce_part }, None),
                 }
             }
             // Anything else on a block connection is a protocol error;
@@ -61,6 +143,19 @@ fn serve_blocks(store: &BlockStore, mut conn: TcpStream) {
         };
         if proto::send_msg(&mut conn, &reply).is_err() {
             return;
+        }
+        if let Some((shuffle, map_part, reduce_part, bytes, started)) = served {
+            buf.forward(
+                control,
+                Event::BlockFetch {
+                    shuffle,
+                    map_part,
+                    reduce_part,
+                    bytes,
+                    worker: buf.worker,
+                    dur_us: started.elapsed().as_micros() as u64,
+                },
+            );
         }
     }
 }
@@ -83,15 +178,30 @@ pub fn run_worker(connect: &str, worker: u64, runtime: Arc<dyn TaskRuntime>) -> 
         .map_err(|e| format!("worker {worker}: block service addr: {e}"))?
         .to_string();
 
+    // Worker clock epoch: `Register.clock_us` is measured against it, so
+    // the driver's offset math covers the full registration round trip.
+    let epoch = Instant::now();
+    let pid = std::process::id() as u64;
     send_locked(
         &control_write,
-        &Msg::Register { worker, pid: std::process::id() as u64, block_addr: block_addr.clone() },
+        &Msg::Register {
+            worker,
+            pid,
+            block_addr: block_addr.clone(),
+            clock_us: epoch.elapsed().as_micros() as u64,
+        },
     )
     .map_err(|e| format!("worker {worker}: register: {e}"))?;
-    let heartbeat_ms = match proto::recv_msg(&mut control_read) {
-        Ok(Some(Msg::RegisterAck { heartbeat_ms })) => heartbeat_ms,
+    let (heartbeat_ms, event_capacity) = match proto::recv_msg(&mut control_read) {
+        Ok(Some(Msg::RegisterAck { heartbeat_ms, event_capacity })) => {
+            (heartbeat_ms, event_capacity)
+        }
         other => return Err(format!("worker {worker}: expected RegisterAck, got {other:?}")),
     };
+    let buf = Arc::new(ForwardBuf::new(worker, epoch, event_capacity as usize));
+    // Eagerly flushed so the driver's registration handler can fold the
+    // event in before it reports the worker as registered.
+    buf.forward(&control_write, Event::ExecutorRegistered { worker, pid });
 
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -99,6 +209,8 @@ pub fn run_worker(connect: &str, worker: u64, runtime: Arc<dyn TaskRuntime>) -> 
     let accept_handle = {
         let store = Arc::clone(&store);
         let stop = Arc::clone(&stop);
+        let control_write = Arc::clone(&control_write);
+        let buf = Arc::clone(&buf);
         thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop.load(Ordering::Relaxed) {
@@ -107,7 +219,9 @@ pub fn run_worker(connect: &str, worker: u64, runtime: Arc<dyn TaskRuntime>) -> 
                 if let Ok(conn) = conn {
                     proto::tune_stream(&conn);
                     let store = Arc::clone(&store);
-                    thread::spawn(move || serve_blocks(&store, conn));
+                    let control_write = Arc::clone(&control_write);
+                    let buf = Arc::clone(&buf);
+                    thread::spawn(move || serve_blocks(&store, conn, &control_write, &buf));
                 }
             }
         })
@@ -119,6 +233,7 @@ pub fn run_worker(connect: &str, worker: u64, runtime: Arc<dyn TaskRuntime>) -> 
     let beat_handle = {
         let control_write = Arc::clone(&control_write);
         let stop = Arc::clone(&stop);
+        let buf = Arc::clone(&buf);
         thread::spawn(move || {
             let mut seq = 0u64;
             loop {
@@ -133,9 +248,14 @@ pub fn run_worker(connect: &str, worker: u64, runtime: Arc<dyn TaskRuntime>) -> 
                     thread::sleep(Duration::from_millis(step));
                     slept += step;
                 }
-                if stop.load(Ordering::Relaxed)
-                    || send_locked(&control_write, &Msg::Heartbeat { worker, seq }).is_err()
-                {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Each beat piggybacks the buffered event batch: the beat's
+                // own event first, then the batch, then the heartbeat.
+                buf.push(Event::ExecutorHeartbeat { worker, seq });
+                buf.flush(&control_write);
+                if send_locked(&control_write, &Msg::Heartbeat { worker, seq }).is_err() {
                     return;
                 }
                 seq += 1;
@@ -156,21 +276,40 @@ pub fn run_worker(connect: &str, worker: u64, runtime: Arc<dyn TaskRuntime>) -> 
                 };
                 let reply = match result {
                     Ok(blocks) => {
+                        let started = Instant::now();
                         let (n, bytes) =
                             (blocks.len() as u64, blocks.iter().map(|(_, b)| b.len() as u64).sum());
                         for (reduce, block) in blocks {
                             store.put(task.shuffle, task.map_part, reduce, block);
                         }
+                        buf.push(Event::BlockPush {
+                            shuffle: task.shuffle,
+                            map_part: task.map_part,
+                            blocks: n,
+                            bytes,
+                            worker,
+                            dur_us: started.elapsed().as_micros() as u64,
+                        });
                         Msg::TaskDone { task: task.id, blocks: n, bytes }
                     }
                     Err(error) => Msg::TaskFailed { task: task.id, error },
                 };
+                // The event batch goes out *before* the task reply so the
+                // driver's counters are already updated when the dispatch
+                // call returns.
+                buf.flush(&control_write);
                 if send_locked(&control_write, &reply).is_err() {
                     break;
                 }
             }
             Msg::DropShuffle { shuffle } => store.drop_shuffle(shuffle),
-            Msg::Shutdown => break,
+            Msg::Shutdown => {
+                // Final flush: everything still buffered, then a goodbye so
+                // the driver knows the stream is complete (vs. lost).
+                buf.flush(&control_write);
+                let _ = send_locked(&control_write, &Msg::Goodbye { worker });
+                break;
+            }
             Msg::Die => {
                 // Chaos path for thread-mode workers: lose every block and
                 // vanish without a goodbye, like a SIGKILLed process.

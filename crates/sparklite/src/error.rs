@@ -20,7 +20,7 @@ pub enum FailureKind {
 }
 
 /// Structured description of one failed task attempt.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureCause {
     pub kind: FailureKind,
     /// 0-based attempt number that failed.

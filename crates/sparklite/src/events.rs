@@ -27,8 +27,9 @@
 //! `chrome://tracing` trace.
 
 use crate::error::FailureCause;
-use crate::executor::{Metrics, MetricsSnapshot};
+use crate::executor::{bucket_of, Metrics, MetricsSnapshot, HIST_BUCKETS};
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -64,7 +65,7 @@ impl TaskCounters {
 /// A typed scheduler event. Field conventions: `job` is the scheduler-wide
 /// job id (one per task wave), `stage` the id handed out by the lineage
 /// walker for RDD stage executions, `partition` the task's partition label.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// A task wave entered the scheduler. `stage` links the job to the RDD
     /// stage that submitted it, when one did (driver-side `run_partitions`);
@@ -101,6 +102,9 @@ pub enum Event {
         /// Executor worker index, `None` for driver/inline execution.
         worker: Option<u64>,
         busy_us: u64,
+        /// Submit→start queueing delay: how long the attempt waited in the
+        /// pool channel before a worker picked it up (0 for inline runs).
+        queue_us: u64,
         counters: TaskCounters,
         failure: Option<FailureCause>,
     },
@@ -196,21 +200,36 @@ pub enum Event {
         worker: u64,
         reason: String,
     },
-    /// The driver pushed one map task's output blocks to an executor's
-    /// block store.
+    /// One map task's output blocks landed in an executor's block store.
+    /// Emitted *by the worker* that stored them and forwarded to the
+    /// driver; `dur_us` is the worker-side store time.
     BlockPush {
         shuffle: u64,
         map_part: u64,
         blocks: u64,
         bytes: u64,
+        worker: u64,
+        dur_us: u64,
     },
     /// A reducer fetched one map-output block from an executor's block
-    /// service.
+    /// service. Emitted *by the serving worker*; `dur_us` is the
+    /// worker-side decode+serve time.
     BlockFetch {
         shuffle: u64,
         map_part: u64,
         reduce_part: u64,
         bytes: u64,
+        worker: u64,
+        dur_us: u64,
+    },
+    /// Executor-side events are known to be missing from the stream: the
+    /// worker died (or was killed) with `lost` events unaccounted for —
+    /// gaps in its forwarded sequence plus drops its bounded buffer
+    /// reported. `last_seq` is the last sequence number that did arrive.
+    ExecutorEventsLost {
+        worker: u64,
+        last_seq: u64,
+        lost: u64,
     },
     /// A columnar pipeline segment drained one partition: `fused_ops`
     /// operators executed as a single vectorized pass over `batches`
@@ -263,6 +282,7 @@ impl Event {
             Event::ExecutorLost { .. } => "ExecutorLost",
             Event::BlockPush { .. } => "BlockPush",
             Event::BlockFetch { .. } => "BlockFetch",
+            Event::ExecutorEventsLost { .. } => "ExecutorEventsLost",
             Event::ColumnarBatch { .. } => "ColumnarBatch",
             Event::AggBatch { .. } => "AggBatch",
         }
@@ -273,6 +293,16 @@ impl Event {
 /// they run on the emitting thread (workers included).
 pub trait EventListener: Send + Sync {
     fn on_event(&self, event: &Event);
+
+    /// An event forwarded from another process, carrying the arrival stamp
+    /// the merge layer assigned (worker-side stamp plus the handshake clock
+    /// offset). Counter-deriving listeners treat it exactly like a local
+    /// event; timestamp-storing listeners override this to keep the given
+    /// stamp instead of reading their own clock.
+    fn on_remote_event(&self, at_us: u64, event: &Event) {
+        let _ = at_us;
+        self.on_event(event);
+    }
 }
 
 thread_local! {
@@ -306,6 +336,10 @@ pub struct EventBus {
     verbose: AtomicBool,
     next_job: AtomicU64,
     next_stage: AtomicU64,
+    /// The context-wide time origin: the collector's arrival stamps, the
+    /// cluster's heartbeat deadlines and the worker clock offsets are all
+    /// measured against this one instant, so they compose into one timeline.
+    epoch: Instant,
 }
 
 impl EventBus {
@@ -316,7 +350,13 @@ impl EventBus {
             verbose: AtomicBool::new(false),
             next_job: AtomicU64::new(0),
             next_stage: AtomicU64::new(0),
+            epoch: Instant::now(),
         }
+    }
+
+    /// The shared time origin (see the `epoch` field).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// Registers a listener and enables verbose (observational) events.
@@ -336,6 +376,15 @@ impl EventBus {
     pub fn emit(&self, event: Event) {
         for l in self.listeners.read().expect("listener lock").iter() {
             l.on_event(&event);
+        }
+    }
+
+    /// Emits an event forwarded from an executor process, preserving the
+    /// merge layer's arrival stamp (see
+    /// [`EventListener::on_remote_event`]).
+    pub fn emit_remote(&self, at_us: u64, event: &Event) {
+        for l in self.listeners.read().expect("listener lock").iter() {
+            l.on_remote_event(at_us, event);
         }
     }
 
@@ -367,8 +416,10 @@ impl EventListener for MetricsListener {
                 add(&m.tasks, *num_tasks);
             }
             Event::StageSubmitted { .. } => add(&m.stages, 1),
-            Event::TaskEnd { busy_us, counters, failure, .. } => {
+            Event::TaskEnd { busy_us, queue_us, counters, failure, .. } => {
                 add(&m.task_busy_us, *busy_us);
+                m.task_duration_hist.record(*busy_us);
+                m.queue_wait_hist.record(*queue_us);
                 add(&m.input_records, counters.input_records);
                 add(&m.input_bytes, counters.input_bytes);
                 add(&m.shuffle_records, counters.shuffle_records);
@@ -401,10 +452,12 @@ impl EventListener for MetricsListener {
                 add(&m.blocks_pushed, *blocks);
                 add(&m.block_bytes_pushed, *bytes);
             }
-            Event::BlockFetch { bytes, .. } => {
+            Event::BlockFetch { bytes, dur_us, .. } => {
                 add(&m.blocks_fetched, 1);
                 add(&m.block_bytes_fetched, *bytes);
+                m.block_fetch_hist.record(*dur_us);
             }
+            Event::ExecutorEventsLost { lost, .. } => add(&m.events_lost, *lost),
             Event::ColumnarBatch { fused_ops, batches, rows } => {
                 add(&m.columnar_batches, *batches);
                 add(&m.columnar_rows, *rows);
@@ -444,8 +497,15 @@ pub struct EventCollector {
 
 impl EventCollector {
     pub fn new(capacity: usize) -> Self {
+        Self::with_epoch(capacity, Instant::now())
+    }
+
+    /// A collector stamping arrival times against a shared `epoch`; the
+    /// context passes [`EventBus::epoch`] so local stamps and forwarded
+    /// worker stamps land on one timeline.
+    pub fn with_epoch(capacity: usize, epoch: Instant) -> Self {
         EventCollector {
-            epoch: Instant::now(),
+            epoch,
             capacity: capacity.max(1),
             state: Mutex::new(CollectorState { events: Vec::new(), dropped: 0 }),
         }
@@ -472,15 +532,126 @@ impl EventCollector {
     }
 }
 
-impl EventListener for EventCollector {
-    fn on_event(&self, event: &Event) {
-        let at_us = self.epoch.elapsed().as_micros() as u64;
+impl EventCollector {
+    fn store(&self, at_us: u64, event: &Event) {
         let mut s = self.state.lock().expect("collector lock");
         if s.events.len() >= self.capacity {
             s.dropped += 1;
         } else {
             s.events.push((at_us, event.clone()));
         }
+    }
+}
+
+impl EventListener for EventCollector {
+    fn on_event(&self, event: &Event) {
+        self.store(self.epoch.elapsed().as_micros() as u64, event);
+    }
+
+    /// Forwarded executor events keep the stamp the merge layer assigned
+    /// (the worker's clock mapped through the handshake offset) instead of
+    /// this collector's arrival clock.
+    fn on_remote_event(&self, at_us: u64, event: &Event) {
+        self.store(at_us, event);
+    }
+}
+
+/// Reassembles one executor worker's batched, sequence-numbered event
+/// stream into emission order, on the driver's clock.
+///
+/// Workers number every event they emit with a per-worker sequence and ship
+/// them in batches (piggybacked on heartbeats, plus eager flushes). Batches
+/// can in principle arrive out of order or with gaps (a killed worker's
+/// tail never arrives); the merge buffers out-of-order events and releases
+/// contiguous runs — **sequence numbers win over timestamps**, which are
+/// skewed worker clocks mapped through the handshake-measured offset and
+/// recorded for rendering, never trusted for ordering.
+pub struct ExecutorStreamMerge {
+    /// Driver-epoch µs minus worker-epoch µs at the registration handshake.
+    offset_us: i64,
+    /// The next sequence number the contiguous prefix is waiting for.
+    next_seq: u64,
+    /// Out-of-order events buffered until their predecessors arrive.
+    pending: BTreeMap<u64, (u64, Event)>,
+    /// Highest sequence number observed so far (0 before any arrive).
+    last_seq: u64,
+    /// Cumulative events the worker itself reported dropping (its bounded
+    /// forward buffer overflowed before a flush).
+    dropped: u64,
+    /// Events known lost at finalization: sequence gaps plus `dropped`.
+    lost: u64,
+}
+
+impl ExecutorStreamMerge {
+    pub fn new(offset_us: i64) -> Self {
+        ExecutorStreamMerge {
+            offset_us,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            last_seq: 0,
+            dropped: 0,
+            lost: 0,
+        }
+    }
+
+    /// The handshake-measured clock offset (driver µs − worker µs).
+    pub fn offset_us(&self) -> i64 {
+        self.offset_us
+    }
+
+    /// Highest sequence number that has arrived.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Events known lost (valid after [`ExecutorStreamMerge::flush`]).
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Ingests one batch: events numbered `first_seq..`, with `dropped` the
+    /// worker's cumulative drop count. Returns the events that became
+    /// contiguous with everything already released, in sequence order, with
+    /// their stamps mapped onto the driver clock.
+    pub fn push_batch(
+        &mut self,
+        first_seq: u64,
+        dropped: u64,
+        events: Vec<(u64, Event)>,
+    ) -> Vec<(u64, Event)> {
+        self.dropped = self.dropped.max(dropped);
+        for (i, (at_worker_us, event)) in events.into_iter().enumerate() {
+            let seq = first_seq + i as u64;
+            if seq < self.next_seq {
+                continue; // duplicate delivery of an already-released event
+            }
+            self.last_seq = self.last_seq.max(seq);
+            let at_us = (at_worker_us as i64).saturating_add(self.offset_us).max(0) as u64;
+            self.pending.insert(seq, (at_us, event));
+        }
+        let mut released = Vec::new();
+        while let Some(entry) = self.pending.remove(&self.next_seq) {
+            released.push(entry);
+            self.next_seq += 1;
+        }
+        released
+    }
+
+    /// Finalizes the stream (worker death or shutdown): releases everything
+    /// still buffered in sequence order, counting the gaps — plus the
+    /// worker-reported drops — as lost events.
+    pub fn flush(&mut self) -> Vec<(u64, Event)> {
+        let mut released = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for (seq, entry) in pending {
+            self.lost += seq.saturating_sub(self.next_seq);
+            self.next_seq = seq + 1;
+            released.push(entry);
+        }
+        // Fold the worker-reported drops in exactly once, even if the
+        // stream is finalized twice (death racing shutdown).
+        self.lost += std::mem::take(&mut self.dropped);
+        released
     }
 }
 
@@ -522,6 +693,10 @@ impl JobSummary {
 
     pub fn p95_us(&self) -> u64 {
         self.percentile(0.95)
+    }
+
+    pub fn p99_us(&self) -> u64 {
+        self.percentile(0.99)
     }
 
     pub fn max_us(&self) -> u64 {
@@ -713,6 +888,37 @@ impl Timeline {
             .map(|(_, e)| if let Event::BlockFetch { bytes, .. } = e { *bytes } else { 0 })
             .sum::<u64>();
         check("block_bytes_fetched", block_bytes_fetched, snap.block_bytes_fetched)?;
+        let events_lost = self
+            .events
+            .iter()
+            .map(|(_, e)| if let Event::ExecutorEventsLost { lost, .. } = e { *lost } else { 0 })
+            .sum::<u64>();
+        check("events_lost", events_lost, snap.events_lost)?;
+        // The latency histograms are derived from the same stream, so the
+        // recomputed buckets must match the snapshot exactly, bucket by
+        // bucket — including buckets filled by forwarded executor events.
+        let mut task_hist = [0u64; HIST_BUCKETS];
+        let mut queue_hist = [0u64; HIST_BUCKETS];
+        let mut fetch_hist = [0u64; HIST_BUCKETS];
+        for (_, e) in &self.events {
+            match e {
+                Event::TaskEnd { busy_us, queue_us, .. } => {
+                    task_hist[bucket_of(*busy_us)] += 1;
+                    queue_hist[bucket_of(*queue_us)] += 1;
+                }
+                Event::BlockFetch { dur_us, .. } => fetch_hist[bucket_of(*dur_us)] += 1,
+                _ => {}
+            }
+        }
+        for (what, got, want) in [
+            ("task_duration_hist", task_hist, snap.task_duration_hist),
+            ("queue_wait_hist", queue_hist, snap.queue_wait_hist),
+            ("block_fetch_hist", fetch_hist, snap.block_fetch_hist),
+        ] {
+            if got != want {
+                return Err(format!("{what}: timeline has {got:?}, snapshot has {want:?}"));
+            }
+        }
         let (columnar_batches, columnar_rows, fused_pipelines) = self
             .events
             .iter()
@@ -764,11 +970,29 @@ impl Timeline {
         out
     }
 
-    /// Chrome `chrome://tracing` / Perfetto `trace_event` JSON: one lane per
-    /// executor worker (lane 0 is the driver, with job spans), one complete
-    /// (`"ph":"X"`) slice per task attempt.
+    /// Chrome `chrome://tracing` / Perfetto `trace_event` JSON. The driver
+    /// is pid 0 — tid 0 the driver lane (job spans), tid `w+1` the executor
+    /// pool thread lanes (task spans, `dur` from the matched
+    /// `TaskStart`/`TaskEnd` pair). Each executor *worker* gets its own
+    /// process lane at the synthetic pid `1000 + worker` (thread-mode
+    /// workers share the driver's OS pid, so the real pid from registration
+    /// is recorded in the `process_name` text instead) with `store`/`serve`
+    /// thread lanes carrying block push and block serve slices. Every task
+    /// slice carries its hierarchical span id `job/stage/partition/attempt`
+    /// in `args.span`.
     pub fn to_chrome_trace(&self) -> String {
         use std::collections::HashMap;
+        /// The trace pid of an executor worker's process lane.
+        const WORKER_PID_BASE: u64 = 1000;
+        let mut job_stage: HashMap<u64, Option<u64>> = HashMap::new();
+        for (_, ev) in &self.events {
+            if let Event::JobStart { job, stage, .. } = ev {
+                job_stage.insert(*job, *stage);
+            }
+        }
+        let stage_of = |job: u64| -> String {
+            job_stage.get(&job).copied().flatten().map_or("-".to_string(), |s| s.to_string())
+        };
         let mut out = String::from("{\"traceEvents\":[");
         let mut first = true;
         let push = |out: &mut String, s: String, first: &mut bool| {
@@ -782,6 +1006,9 @@ impl Timeline {
         let mut max_tid = 0u64;
         let mut open_tasks: HashMap<(u64, u64, u32), u64> = HashMap::new();
         let mut open_jobs: HashMap<u64, u64> = HashMap::new();
+        // Dist worker index → OS pid from its registration event (0 until
+        // one arrives; block slices still get a lane either way).
+        let mut worker_pids: BTreeMap<u64, u64> = BTreeMap::new();
         let mut slices: Vec<String> = Vec::new();
         for (at, ev) in &self.events {
             match ev {
@@ -797,10 +1024,11 @@ impl Timeline {
                     let dur = at.saturating_sub(ts).max(1);
                     let spec = if *speculative { " (spec)" } else { "" };
                     let status = if failure.is_some() { "failed" } else { "ok" };
+                    let span = format!("{job}/{}/{partition}/{attempt}", stage_of(*job));
                     slices.push(format!(
                         "{{\"name\":\"job {job} p{partition} a{attempt}{spec}\",\"ph\":\"X\",\
                          \"pid\":0,\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
-                         \"args\":{{\"status\":\"{status}\"}}}}"
+                         \"args\":{{\"status\":\"{status}\",\"span\":\"{span}\"}}}}"
                     ));
                 }
                 Event::JobStart { job, .. } => {
@@ -809,15 +1037,51 @@ impl Timeline {
                 Event::JobEnd { job, ok } => {
                     if let Some(ts) = open_jobs.remove(job) {
                         let dur = at.saturating_sub(ts).max(1);
+                        let span = format!("{job}/{}", stage_of(*job));
                         slices.push(format!(
                             "{{\"name\":\"job {job}\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
-                             \"ts\":{ts},\"dur\":{dur},\"args\":{{\"ok\":{ok}}}}}"
+                             \"ts\":{ts},\"dur\":{dur},\
+                             \"args\":{{\"ok\":{ok},\"span\":\"{span}\"}}}}"
                         ));
                     }
+                }
+                Event::ExecutorRegistered { worker, pid } => {
+                    worker_pids.insert(*worker, *pid);
+                }
+                Event::BlockPush { shuffle, map_part, blocks, bytes, worker, dur_us } => {
+                    worker_pids.entry(*worker).or_insert(0);
+                    let pid = WORKER_PID_BASE + worker;
+                    let ts = at.saturating_sub(*dur_us);
+                    let dur = (*dur_us).max(1);
+                    slices.push(format!(
+                        "{{\"name\":\"store s{shuffle} m{map_part}\",\"ph\":\"X\",\
+                         \"pid\":{pid},\"tid\":0,\"ts\":{ts},\"dur\":{dur},\
+                         \"args\":{{\"blocks\":{blocks},\"bytes\":{bytes},\
+                         \"span\":\"s{shuffle}/m{map_part}\"}}}}"
+                    ));
+                }
+                Event::BlockFetch { shuffle, map_part, reduce_part, bytes, worker, dur_us } => {
+                    worker_pids.entry(*worker).or_insert(0);
+                    let pid = WORKER_PID_BASE + worker;
+                    let ts = at.saturating_sub(*dur_us);
+                    let dur = (*dur_us).max(1);
+                    slices.push(format!(
+                        "{{\"name\":\"serve s{shuffle} m{map_part} r{reduce_part}\",\"ph\":\"X\",\
+                         \"pid\":{pid},\"tid\":1,\"ts\":{ts},\"dur\":{dur},\
+                         \"args\":{{\"bytes\":{bytes},\
+                         \"span\":\"s{shuffle}/m{map_part}/r{reduce_part}\"}}}}"
+                    ));
                 }
                 _ => {}
             }
         }
+        push(
+            &mut out,
+            "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"driver\"}}"
+                .to_string(),
+            &mut first,
+        );
         for tid in 0..=max_tid {
             let name =
                 if tid == 0 { "driver".to_string() } else { format!("sparklite-exec-{}", tid - 1) };
@@ -830,6 +1094,27 @@ impl Timeline {
                 &mut first,
             );
         }
+        for (worker, os_pid) in &worker_pids {
+            let pid = WORKER_PID_BASE + worker;
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"executor-{worker} (pid {os_pid})\"}}}}"
+                ),
+                &mut first,
+            );
+            for (tid, name) in [(0, "store"), (1, "serve")] {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"{name}\"}}}}"
+                    ),
+                    &mut first,
+                );
+            }
+        }
         for s in slices {
             push(&mut out, s, &mut first);
         }
@@ -841,12 +1126,12 @@ impl Timeline {
     /// EXPERIMENTS.md).
     pub fn render_job_table(&self) -> String {
         let mut out = String::from(
-            "job   stage  tasks  attempts  failed  retried  spec  busy_ms   p50_ms  p95_ms  max_ms  skew\n",
+            "job   stage  tasks  attempts  failed  retried  spec  busy_ms   p50_ms  p95_ms  p99_ms  max_ms  skew\n",
         );
         for j in &self.jobs {
             let stage = j.stage.map_or("-".to_string(), |s| s.to_string());
             out.push_str(&format!(
-                "{:<5} {:<6} {:<6} {:<9} {:<7} {:<8} {:<5} {:<9.2} {:<7.2} {:<7.2} {:<7.2} {:.2}\n",
+                "{:<5} {:<6} {:<6} {:<9} {:<7} {:<8} {:<5} {:<9.2} {:<7.2} {:<7.2} {:<7.2} {:<7.2} {:.2}\n",
                 j.job,
                 stage,
                 j.num_tasks,
@@ -857,9 +1142,84 @@ impl Timeline {
                 j.total_busy_us as f64 / 1e3,
                 j.p50_us() as f64 / 1e3,
                 j.p95_us() as f64 / 1e3,
+                j.p99_us() as f64 / 1e3,
                 j.max_us() as f64 / 1e3,
                 j.skew(),
             ));
+        }
+        out
+    }
+
+    /// A per-worker activity table (the shell's `:top` view): one row per
+    /// executor worker lane seen in the timeline, plus a `driver` row for
+    /// task attempts that ran in-process.
+    pub fn render_top(&self) -> String {
+        #[derive(Default)]
+        struct Lane {
+            pid: u64,
+            tasks: u64,
+            busy_us: u64,
+            heartbeats: u64,
+            pushes: u64,
+            push_bytes: u64,
+            serves: u64,
+            serve_bytes: u64,
+            lost: u64,
+        }
+        let mut driver = Lane { pid: std::process::id() as u64, ..Default::default() };
+        let mut lanes: BTreeMap<u64, Lane> = BTreeMap::new();
+        for (_, ev) in &self.events {
+            match ev {
+                Event::TaskEnd { worker, busy_us, .. } => {
+                    // `worker` on a task is the executor *pool thread*, not a
+                    // dist worker; every task attempt runs on the driver.
+                    let _ = worker;
+                    driver.tasks += 1;
+                    driver.busy_us += busy_us;
+                }
+                Event::ExecutorRegistered { worker, pid } => {
+                    lanes.entry(*worker).or_default().pid = *pid;
+                }
+                Event::ExecutorHeartbeat { worker, .. } => {
+                    lanes.entry(*worker).or_default().heartbeats += 1;
+                }
+                Event::BlockPush { worker, blocks, bytes, .. } => {
+                    let l = lanes.entry(*worker).or_default();
+                    l.pushes += blocks;
+                    l.push_bytes += bytes;
+                }
+                Event::BlockFetch { worker, bytes, .. } => {
+                    let l = lanes.entry(*worker).or_default();
+                    l.serves += 1;
+                    l.serve_bytes += bytes;
+                }
+                Event::ExecutorEventsLost { worker, lost, .. } => {
+                    lanes.entry(*worker).or_default().lost += lost;
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::from(
+            "lane        pid     tasks  busy_ms   beats  pushes  push_kb   serves  serve_kb  lost\n",
+        );
+        let row = |out: &mut String, name: &str, l: &Lane| {
+            out.push_str(&format!(
+                "{:<11} {:<7} {:<6} {:<9.2} {:<6} {:<7} {:<9.1} {:<7} {:<9.1} {}\n",
+                name,
+                l.pid,
+                l.tasks,
+                l.busy_us as f64 / 1e3,
+                l.heartbeats,
+                l.pushes,
+                l.push_bytes as f64 / 1e3,
+                l.serves,
+                l.serve_bytes as f64 / 1e3,
+                l.lost,
+            ));
+        };
+        row(&mut out, "driver", &driver);
+        for (worker, lane) in &lanes {
+            row(&mut out, &format!("executor-{worker}"), lane);
         }
         out
     }
@@ -914,6 +1274,7 @@ fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
             speculative,
             worker,
             busy_us,
+            queue_us,
             counters,
             failure,
         } => {
@@ -926,7 +1287,8 @@ fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
                 None => out.push_str(",\"worker\":null"),
             }
             out.push_str(&format!(
-                ",\"busy_us\":{busy_us},\"input_records\":{},\"input_bytes\":{},\
+                ",\"busy_us\":{busy_us},\"queue_us\":{queue_us},\
+                 \"input_records\":{},\"input_bytes\":{},\
                  \"shuffle_records\":{},\"shuffle_bytes\":{},\"output_records\":{},\
                  \"cache_hits\":{},\"cache_misses\":{}",
                 counters.input_records,
@@ -991,13 +1353,20 @@ fn write_event_json(out: &mut String, at_us: u64, ev: &Event) {
             esc(out, reason);
             out.push('"');
         }
-        Event::BlockPush { shuffle, map_part, blocks, bytes } => out.push_str(&format!(
-            ",\"shuffle\":{shuffle},\"map_part\":{map_part},\"blocks\":{blocks},\"bytes\":{bytes}"
-        )),
-        Event::BlockFetch { shuffle, map_part, reduce_part, bytes } => out.push_str(&format!(
-            ",\"shuffle\":{shuffle},\"map_part\":{map_part},\"reduce_part\":{reduce_part},\
-             \"bytes\":{bytes}"
-        )),
+        Event::BlockPush { shuffle, map_part, blocks, bytes, worker, dur_us } => {
+            out.push_str(&format!(
+                ",\"shuffle\":{shuffle},\"map_part\":{map_part},\"blocks\":{blocks},\
+                 \"bytes\":{bytes},\"worker\":{worker},\"dur_us\":{dur_us}"
+            ))
+        }
+        Event::BlockFetch { shuffle, map_part, reduce_part, bytes, worker, dur_us } => out
+            .push_str(&format!(
+                ",\"shuffle\":{shuffle},\"map_part\":{map_part},\"reduce_part\":{reduce_part},\
+                 \"bytes\":{bytes},\"worker\":{worker},\"dur_us\":{dur_us}"
+            )),
+        Event::ExecutorEventsLost { worker, last_seq, lost } => {
+            out.push_str(&format!(",\"worker\":{worker},\"last_seq\":{last_seq},\"lost\":{lost}"))
+        }
         Event::ColumnarBatch { fused_ops, batches, rows } => out
             .push_str(&format!(",\"fused_ops\":{fused_ops},\"batches\":{batches},\"rows\":{rows}")),
         Event::AggBatch { batches, rows_in, groups_out } => out.push_str(&format!(
@@ -1024,6 +1393,7 @@ mod tests {
             speculative: false,
             worker: Some(0),
             busy_us: 42,
+            queue_us: 9,
             counters: TaskCounters { input_records: 7, ..TaskCounters::default() },
             failure: None,
         });
@@ -1075,19 +1445,87 @@ mod tests {
             speculative: false,
             worker: Some(2),
             busy_us: 5,
+            queue_us: 1,
             counters: TaskCounters::default(),
             failure: None,
+        });
+        c.on_event(&Event::BlockPush {
+            shuffle: 0,
+            map_part: 0,
+            blocks: 2,
+            bytes: 64,
+            worker: 1,
+            dur_us: 3,
         });
         c.on_event(&Event::JobEnd { job: 0, ok: true });
         let tl = c.timeline();
         let jsonl = tl.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 4);
+        assert_eq!(jsonl.lines().count(), 5);
         assert!(jsonl.lines().all(|l| l.starts_with("{\"ev\":\"") && l.ends_with('}')));
         let trace = tl.to_chrome_trace();
         assert!(trace.starts_with("{\"traceEvents\":["));
         assert!(trace.contains("sparklite-exec-2"));
         assert!(trace.contains("\"ph\":\"X\""));
+        // The task slice carries its span id, the worker its process lane.
+        assert!(trace.contains("\"span\":\"0/1/0/0\""));
+        assert!(trace.contains("\"name\":\"executor-1 (pid 0)\""));
+        assert!(trace.contains("\"pid\":1001"));
         let (starts, ends) = tl.task_event_counts();
         assert_eq!(starts, ends);
+        let top = tl.render_top();
+        assert!(top.contains("driver"));
+        assert!(top.contains("executor-1"));
+    }
+
+    fn beat(worker: u64, seq: u64) -> Event {
+        Event::ExecutorHeartbeat { worker, seq }
+    }
+
+    #[test]
+    fn stream_merge_releases_in_seq_order_and_applies_offset() {
+        let mut m = ExecutorStreamMerge::new(500);
+        // Batch arrives with a gap: seq 0 and 2, seq 1 missing.
+        let got = m.push_batch(0, 0, vec![(100, beat(0, 0))]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 600); // worker clock + offset
+        let got = m.push_batch(2, 0, vec![(300, beat(0, 2))]);
+        assert!(got.is_empty(), "seq 2 must wait for seq 1");
+        let got = m.push_batch(1, 0, vec![(200, beat(0, 1))]);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 700);
+        assert_eq!(got[1].0, 800);
+        assert_eq!(m.last_seq(), 2);
+        assert_eq!(m.lost(), 0);
+    }
+
+    #[test]
+    fn stream_merge_counts_gaps_and_drops_as_lost() {
+        let mut m = ExecutorStreamMerge::new(0);
+        m.push_batch(0, 0, vec![(1, beat(0, 0))]);
+        // The worker ring dropped 3 events, and seq 1..=4 never arrive.
+        m.push_batch(5, 3, vec![(6, beat(0, 5))]);
+        let released = m.flush();
+        assert_eq!(released.len(), 1);
+        assert_eq!(m.lost(), 4 + 3);
+        // Finalizing twice (death racing shutdown) must not double-count.
+        assert!(m.flush().is_empty());
+        assert_eq!(m.lost(), 7);
+    }
+
+    #[test]
+    fn stream_merge_ignores_duplicate_batches() {
+        let mut m = ExecutorStreamMerge::new(0);
+        assert_eq!(m.push_batch(0, 0, vec![(1, beat(0, 0)), (2, beat(0, 1))]).len(), 2);
+        // A re-send of an already-released range is a no-op.
+        assert!(m.push_batch(0, 0, vec![(1, beat(0, 0)), (2, beat(0, 1))]).is_empty());
+        assert_eq!(m.last_seq(), 1);
+        assert_eq!(m.lost() + m.flush().len() as u64, 0);
+    }
+
+    #[test]
+    fn stream_merge_negative_offset_clamps_at_zero() {
+        let mut m = ExecutorStreamMerge::new(-1000);
+        let got = m.push_batch(0, 0, vec![(400, beat(0, 0))]);
+        assert_eq!(got[0].0, 0);
     }
 }

@@ -62,6 +62,59 @@ fn install_task_panic_hook() {
     });
 }
 
+/// Number of fixed log2 latency buckets in a [`Histogram`].
+pub const HIST_BUCKETS: usize = 24;
+
+/// The bucket index for a microsecond latency: bucket `i` covers
+/// `[2^i, 2^(i+1))` µs, bucket 0 also absorbs 0, and the last bucket is
+/// open-ended (≥ ~8.4 s). Fixed buckets keep merging across processes a
+/// plain element-wise add.
+#[inline]
+pub fn bucket_of(us: u64) -> usize {
+    ((63 - (us | 1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// A fixed-bucket log2 latency histogram with lock-free recording; the
+/// engine keeps one per tracked latency (task duration, block fetch,
+/// queue wait) inside [`Metrics`].
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// The `q`-quantile (0.0–1.0) of a bucketed histogram, reported as the
+/// lower edge of the bucket holding that rank (0 for an empty histogram).
+pub fn histogram_percentile(buckets: &[u64; HIST_BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return if i == 0 { 0 } else { 1u64 << i };
+        }
+    }
+    1u64 << (HIST_BUCKETS - 1)
+}
+
 /// Engine-wide counters, derived from the scheduler's event stream by
 /// [`MetricsListener`](crate::events::MetricsListener) — every value here
 /// also lands on a per-stage/per-task record in the event log.
@@ -136,10 +189,19 @@ pub struct Metrics {
     /// shuffle; `agg_rows_in / agg_groups_out` is the map-side
     /// pre-aggregation factor.
     pub agg_groups_out: AtomicU64,
+    /// Executor-side events known to have been lost: gaps in a dead
+    /// worker's forwarded sequence plus drops its bounded buffer reported.
+    pub events_lost: AtomicU64,
     /// Bytes currently held by the partition cache. Unlike every counter
     /// above this is a **gauge**: it moves both ways as blocks are stored,
     /// evicted and unpersisted.
     pub cached_bytes: AtomicU64,
+    /// Task attempt wall time, log2 µs buckets (from `TaskEnd.busy_us`).
+    pub task_duration_hist: Histogram,
+    /// Block-service serve latency (from `BlockFetch.dur_us`).
+    pub block_fetch_hist: Histogram,
+    /// Submit→start queueing delay (from `TaskEnd.queue_us`).
+    pub queue_wait_hist: Histogram,
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -176,7 +238,11 @@ pub struct MetricsSnapshot {
     pub fused_pipelines: u64,
     pub agg_rows_in: u64,
     pub agg_groups_out: u64,
+    pub events_lost: u64,
     pub cached_bytes: u64,
+    pub task_duration_hist: [u64; HIST_BUCKETS],
+    pub block_fetch_hist: [u64; HIST_BUCKETS],
+    pub queue_wait_hist: [u64; HIST_BUCKETS],
 }
 
 impl Metrics {
@@ -213,7 +279,11 @@ impl Metrics {
             fused_pipelines: self.fused_pipelines.load(Ordering::Relaxed),
             agg_rows_in: self.agg_rows_in.load(Ordering::Relaxed),
             agg_groups_out: self.agg_groups_out.load(Ordering::Relaxed),
+            events_lost: self.events_lost.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
+            task_duration_hist: self.task_duration_hist.snapshot(),
+            block_fetch_hist: self.block_fetch_hist.snapshot(),
+            queue_wait_hist: self.queue_wait_hist.snapshot(),
         }
     }
 }
@@ -254,10 +324,26 @@ impl std::fmt::Display for MetricsSnapshot {
             ("fused_pipelines", self.fused_pipelines),
             ("agg_rows_in", self.agg_rows_in),
             ("agg_groups_out", self.agg_groups_out),
+            ("events_lost", self.events_lost),
         ];
         writeln!(f, "counters:")?;
         for (name, value) in rows {
             writeln!(f, "  {name:<18} {value}")?;
+        }
+        writeln!(f, "latency (µs):")?;
+        let hists: &[(&str, &[u64; HIST_BUCKETS])] = &[
+            ("task_duration", &self.task_duration_hist),
+            ("block_fetch", &self.block_fetch_hist),
+            ("queue_wait", &self.queue_wait_hist),
+        ];
+        for (name, hist) in hists {
+            writeln!(
+                f,
+                "  {name:<18} p50={} p95={} p99={}",
+                histogram_percentile(hist, 0.50),
+                histogram_percentile(hist, 0.95),
+                histogram_percentile(hist, 0.99),
+            )?;
         }
         writeln!(f, "gauges:")?;
         write!(f, "  {:<18} {}", "cached_bytes", self.cached_bytes)
@@ -442,6 +528,7 @@ impl ExecutorPool {
             let tx = result_tx.clone();
             let events = Arc::clone(&self.events);
             let injector = Arc::clone(&self.injector);
+            let queued = Instant::now();
             let body: Job = Box::new(move || {
                 let tc = TaskContext {
                     partition,
@@ -452,7 +539,7 @@ impl ExecutorPool {
                     events,
                     injector,
                 };
-                let (elapsed, r) = run_caught(task.as_ref(), tc);
+                let (elapsed, r) = run_caught(task.as_ref(), tc, queued);
                 // The receiver may already have dropped after a failure;
                 // that is fine.
                 let _ = tx.send((index, attempt, elapsed, r));
@@ -604,7 +691,7 @@ impl ExecutorPool {
                 events: Arc::clone(&self.events),
                 injector: Arc::clone(&self.injector),
             };
-            match run_caught(task.as_ref(), tc).1 {
+            match run_caught(task.as_ref(), tc, Instant::now()).1 {
                 Ok(r) => return Ok(r),
                 Err(cause) => {
                     if cause.kind == FailureKind::App {
@@ -640,9 +727,11 @@ impl ExecutorPool {
 fn run_caught<R>(
     task: &TaskFn<R>,
     tc: TaskContext,
+    queued: Instant,
 ) -> (Duration, std::result::Result<R, FailureCause>) {
     let events = Arc::clone(&tc.events);
     let worker = WORKER_ID.with(|w| w.get());
+    let queue_us = queued.elapsed().as_micros() as u64;
     if events.verbose() {
         events.emit(Event::TaskStart {
             job: tc.stage,
@@ -668,6 +757,7 @@ fn run_caught<R>(
         speculative: tc.speculative,
         worker,
         busy_us: elapsed.as_micros() as u64,
+        queue_us,
         counters: tc.task_metrics.snapshot(),
         failure: outcome.as_ref().err().cloned(),
     });
@@ -898,6 +988,34 @@ mod tests {
         assert_eq!(out, vec![3]);
         // Outer task + 3 inner tasks each survived one injected kill.
         assert_eq!(metrics.snapshot().retried_tasks, 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let h = Histogram::default();
+        for us in [1, 5, 5, 5, 1_000_000] {
+            h.record(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.iter().sum::<u64>(), 5);
+        assert_eq!(histogram_percentile(&snap, 0.50), 1 << 2);
+        assert_eq!(histogram_percentile(&snap, 0.99), 1 << 19);
+        assert_eq!(histogram_percentile(&[0; HIST_BUCKETS], 0.5), 0);
+    }
+
+    #[test]
+    fn tasks_record_duration_and_queue_histograms() {
+        let (p, metrics) = pool_with(2, FaultPlan::default());
+        p.run((0..5).map(|_| |_tc: &TaskContext| ()).collect::<Vec<_>>()).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.task_duration_hist.iter().sum::<u64>(), 5);
+        assert_eq!(snap.queue_wait_hist.iter().sum::<u64>(), 5);
     }
 
     #[test]

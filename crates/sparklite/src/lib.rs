@@ -60,9 +60,10 @@ pub use conf::{DistConf, DistMode, FaultPlan, OptimizerConf, SparkliteConf};
 pub use context::SparkliteContext;
 pub use error::{FailureCause, FailureKind, Result, SparkliteError};
 pub use events::{
-    Event, EventBus, EventCollector, EventListener, JobSummary, TaskCounters, Timeline,
+    Event, EventBus, EventCollector, EventListener, ExecutorStreamMerge, JobSummary, TaskCounters,
+    Timeline,
 };
-pub use executor::{Metrics, MetricsSnapshot, TaskMetrics};
+pub use executor::{histogram_percentile, Metrics, MetricsSnapshot, TaskMetrics, HIST_BUCKETS};
 
 /// Everything that flows through an RDD: cheaply cloneable, thread-safe data.
 pub trait Data: Clone + Send + Sync + 'static {}

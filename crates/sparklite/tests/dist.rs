@@ -72,6 +72,10 @@ fn distributed_reduce_matches_local() {
     let sc = dist_ctx(2);
     let dist = sum_by_key(&sc, true);
     assert_eq!(dist, local, "remote shuffle changed the answer");
+    // `BlockFetch` events are forwarded by the *serving* worker on its own
+    // control connection, racing this thread; the shutdown drain is the
+    // barrier that makes the fetch counters exact.
+    sc.shutdown_cluster();
     let m = sc.metrics();
     assert_eq!(m.executors_registered, 2);
     assert!(m.blocks_pushed > 0, "shuffle never used the block service");
@@ -186,14 +190,28 @@ fn killed_worker_recovers_through_lineage() {
     assert_eq!(m.executors_lost, 1, "exactly one worker declared lost");
     assert!(m.recomputed_tasks >= 1, "no lineage recomputation after block loss");
 
-    let lost_events = sc
-        .timeline()
-        .expect("event collection on")
+    let tl = sc.timeline().expect("event collection on");
+    let lost_events =
+        tl.events().iter().filter(|(_, e)| matches!(e, Event::ExecutorLost { .. })).count();
+    assert_eq!(lost_events, 1);
+    // The killed worker's event stream must be *accounted for*, not
+    // silently truncated: exactly one `ExecutorEventsLost` marks the cut,
+    // and the chaos accounting can read the last forwarded seq from it.
+    let cut: Vec<_> = tl
         .events()
         .iter()
-        .filter(|(_, e)| matches!(e, Event::ExecutorLost { .. }))
-        .count();
-    assert_eq!(lost_events, 1);
+        .filter_map(|(_, e)| match e {
+            Event::ExecutorEventsLost { worker, last_seq, lost } => {
+                Some((*worker, *last_seq, *lost))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cut.len(), 1, "killed worker's stream not marked cut: {cut:?}");
+    assert_eq!(cut[0].0, 0, "wrong worker marked lost");
+    let stats = cluster.forward_stats(0).expect("worker 0 exists");
+    assert!(stats.drained, "killed worker's stream never finalized");
+    assert_eq!(stats.last_seq, cut[0].1);
 }
 
 #[test]
@@ -333,8 +351,8 @@ proptest! {
         text in "[ -~]{0,60}",
     ) {
         let msgs = vec![
-            Msg::Register { worker, pid: part, block_addr: text.clone() },
-            Msg::RegisterAck { heartbeat_ms: worker },
+            Msg::Register { worker, pid: part, block_addr: text.clone(), clock_us: shuffle },
+            Msg::RegisterAck { heartbeat_ms: worker, event_capacity: part },
             Msg::Heartbeat { worker, seq: shuffle },
             Msg::LaunchTask {
                 task: TaskDesc {
@@ -353,6 +371,38 @@ proptest! {
             Msg::DropShuffle { shuffle },
             Msg::Shutdown,
             Msg::Die,
+            Msg::Events {
+                worker,
+                first_seq: shuffle,
+                dropped: part,
+                events: vec![
+                    (shuffle, Event::ExecutorRegistered { worker, pid: part }),
+                    (part, Event::ExecutorHeartbeat { worker, seq: shuffle }),
+                    (
+                        worker,
+                        Event::BlockPush {
+                            shuffle,
+                            map_part: part,
+                            blocks: worker,
+                            bytes: shuffle,
+                            worker,
+                            dur_us: part,
+                        },
+                    ),
+                    (
+                        0,
+                        Event::BlockFetch {
+                            shuffle,
+                            map_part: part,
+                            reduce_part: worker,
+                            bytes: part,
+                            worker,
+                            dur_us: shuffle,
+                        },
+                    ),
+                ],
+            },
+            Msg::Goodbye { worker },
         ];
         let mut stream: Vec<u8> = Vec::new();
         for m in &msgs {

@@ -6,8 +6,11 @@
 //! blow up the fault-free fast path.
 
 use proptest::prelude::*;
-use sparklite::{Event, FaultPlan, SparkliteConf, SparkliteContext, Timeline};
+use sparklite::{
+    CacheCodec, Event, ExecutorStreamMerge, FaultPlan, SparkliteConf, SparkliteContext, Timeline,
+};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn traced_ctx(plan: FaultPlan, executors: usize) -> SparkliteContext {
     SparkliteContext::new(
@@ -50,9 +53,15 @@ fn fixed_seed_run_has_reproducible_event_counts() {
     let (c0, mut m0) = run();
     let (c1, mut m1) = run();
     assert_eq!(c0, c1, "same seed must produce the same event multiset");
-    // Everything except measured wall time is schedule-independent.
-    m0.task_busy_us = 0;
-    m1.task_busy_us = 0;
+    // Everything except measured wall time is schedule-independent: the
+    // latency histograms bucket real durations, so they vary run to run
+    // exactly like `task_busy_us` does.
+    for m in [&mut m0, &mut m1] {
+        m.task_busy_us = 0;
+        m.task_duration_hist = Default::default();
+        m.queue_wait_hist = Default::default();
+        m.block_fetch_hist = Default::default();
+    }
     assert_eq!(m0, m1, "same seed must produce the same metrics");
     assert!(c0.get("TaskResubmitted").copied().unwrap_or(0) > 0, "20% chaos retries: {c0:?}");
     assert!(c0.get("ChaosInject").copied().unwrap_or(0) > 0, "20% chaos injects: {c0:?}");
@@ -155,6 +164,59 @@ fn event_collection_overhead_is_bounded() {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A randomly batched, arbitrarily clock-skewed, out-of-order-delivered
+    /// executor event stream merges back into exactly the single-process
+    /// (emission) ordering: sequence numbers win over timestamps, the
+    /// handshake offset translates stamps without reordering anything, and
+    /// nothing is counted lost when nothing was.
+    #[test]
+    fn skewed_executor_streams_merge_in_sequence_order(
+        n in 1usize..60,
+        offset_us in -2_000_000i64..2_000_000,
+        stamps in prop::collection::vec(0u32..4_000_000, 60..61),
+        cuts in prop::collection::vec(1usize..6, 0..40),
+        rotate in 0usize..8,
+    ) {
+        // The single-process ordering: each event carries its own emission
+        // index, and the worker-clock stamps are arbitrary — even going
+        // backwards — because a skewed clock must never reorder the merge.
+        let events: Vec<(u64, Event)> = (0..n)
+            .map(|i| (u64::from(stamps[i]), Event::ExecutorHeartbeat { worker: 0, seq: i as u64 }))
+            .collect();
+        // Cut the stream into random batches…
+        let mut batches: Vec<(u64, Vec<(u64, Event)>)> = Vec::new();
+        let mut next = 0usize;
+        let mut cuts = cuts.into_iter();
+        while next < n {
+            let len = cuts.next().unwrap_or(3).min(n - next);
+            batches.push((next as u64, events[next..next + len].to_vec()));
+            next += len;
+        }
+        // …and deliver them rotated (a lagging connection reordering whole
+        // batches), which the seq-keyed reassembly must absorb.
+        let k = rotate % batches.len().max(1);
+        batches.rotate_left(k);
+        let mut merge = ExecutorStreamMerge::new(offset_us);
+        let mut got = Vec::new();
+        for (first_seq, batch) in batches {
+            got.extend(merge.push_batch(first_seq, 0, batch));
+        }
+        got.extend(merge.flush());
+        prop_assert_eq!(merge.lost(), 0, "a complete stream must not count loss");
+        let seqs: Vec<u64> = got
+            .iter()
+            .map(|(_, e)| match e {
+                Event::ExecutorHeartbeat { seq, .. } => *seq,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(seqs, (0..n as u64).collect::<Vec<_>>(), "merge must follow seq order");
+        for (i, (at, _)) in got.iter().enumerate() {
+            let want = i64::from(stamps[i]).saturating_add(offset_us).max(0) as u64;
+            prop_assert_eq!(*at, want, "offset must translate stamps verbatim");
+        }
+    }
 
     /// For arbitrary pipelines under up-to-20% chaos, the event-derived
     /// timeline reconciles exactly with the global metrics snapshot and
@@ -261,4 +323,64 @@ fn disabled_rules_never_fire() {
     let (rows, fired) = run(SparkliteConf::default().with_optimizer(false));
     assert_eq!(rows, baseline, "disabling the optimizer must not change results");
     assert!(fired.is_empty(), "optimizer off must mean zero firings: {fired:?}");
+}
+
+/// Golden structure of the merged multi-process timeline under two
+/// executors: the job table renders one row per job with the full latency
+/// column set, the per-worker `:top` view has one lane per executor, the
+/// Chrome trace carries two distinct worker process lanes, and the merged
+/// stream still reconciles exactly against the post-shutdown snapshot.
+#[test]
+fn merged_dist_timeline_renders_tables_and_worker_lanes() {
+    struct PairCodec;
+    impl CacheCodec<(i64, i64)> for PairCodec {
+        fn encode(&self, items: &[(i64, i64)]) -> Vec<u8> {
+            items.iter().flat_map(|(a, b)| [a.to_le_bytes(), b.to_le_bytes()].concat()).collect()
+        }
+        fn decode(&self, bytes: &[u8]) -> Result<Vec<(i64, i64)>, String> {
+            Ok(bytes
+                .chunks_exact(16)
+                .map(|c| {
+                    let a = i64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
+                    let b = i64::from_le_bytes(c[8..].try_into().expect("8 bytes"));
+                    (a, b)
+                })
+                .collect())
+        }
+    }
+
+    let sc = SparkliteContext::new(
+        SparkliteConf::default().with_executors(2).with_dist_threads(2).with_event_collection(true),
+    );
+    let data: Vec<(i64, i64)> = (0..2_000).map(|i| (i % 13, i)).collect();
+    sc.parallelize(data, 6)
+        .reduce_by_key_with_codec(|a, b| a + b, 4, Arc::new(PairCodec))
+        .collect()
+        .expect("distributed shuffle runs");
+    sc.shutdown_cluster();
+    let m = sc.metrics();
+    let tl = sc.timeline().expect("collection is on");
+    tl.reconcile(&m).expect("merged timeline reconciles exactly after shutdown");
+
+    let table = tl.render_job_table();
+    let header = table.lines().next().expect("header line");
+    for col in ["job", "tasks", "p50_ms", "p95_ms", "p99_ms", "max_ms", "skew"] {
+        assert!(header.contains(col), "job table header missing {col}: {header}");
+    }
+    assert_eq!(table.lines().count(), 1 + tl.jobs().len(), "one row per job");
+
+    let top = tl.render_top();
+    assert!(top.lines().next().expect("header").contains("lane"), "top header: {top}");
+    for lane in ["driver", "executor-0", "executor-1"] {
+        assert!(top.contains(lane), ":top missing the {lane} lane:\n{top}");
+    }
+
+    let trace = tl.to_chrome_trace();
+    for meta in ["\"name\":\"executor-0", "\"name\":\"executor-1", "\"pid\":1000", "\"pid\":1001"] {
+        assert!(trace.contains(meta), "chrome trace missing worker lane {meta}");
+    }
+    assert!(
+        trace.contains("\"pid\":1000,\"tid\":0,\"ts\""),
+        "worker 0 process lane carries no block slices"
+    );
 }

@@ -35,8 +35,12 @@
 //! this session (the optimizer's fire trace, fed by `OptimizerRuleFired`
 //! events), `:profile <query>` runs the query under `EXPLAIN ANALYZE` and
 //! prints the annotated plan (per-operator execution mode, rows, sampled
-//! time), `:metrics` prints the engine-wide scheduler counters, `:quit`
-//! exits. Everything else is JSONiq.
+//! time), `:metrics` prints the engine-wide scheduler counters,
+//! `:timeline` prints the per-job breakdown table (tasks, busy time,
+//! latency percentiles, skew) from the collected event timeline, `:top`
+//! prints one activity lane per process — the driver plus every executor
+//! worker that has forwarded events — and `:quit` exits. Everything else
+//! is JSONiq.
 
 use rumble_repro::rumble::semantics::{explain, Severity, CODE_DOCS};
 use rumble_repro::rumble::{analyze, Rumble};
@@ -203,7 +207,7 @@ fn main() {
         println!("optimizer rules disabled: {}", ids.join(", "));
     }
     println!(
-        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data, :explain CODE to document a diagnostic, :rules for the rewrite-rule registry and fire counts, :profile <query> for EXPLAIN ANALYZE, :metrics for scheduler counters",
+        "rumble-rs shell — {} executor cores; :quit to exit, :load <hdfs-path> <local-file> to stage data, :explain CODE to document a diagnostic, :rules for the rewrite-rule registry and fire counts, :profile <query> for EXPLAIN ANALYZE, :metrics for scheduler counters, :timeline for the per-job breakdown, :top for per-process activity lanes",
         rumble.sparklite().executors()
     );
     let stdin = std::io::stdin();
@@ -232,6 +236,22 @@ fn main() {
         }
         if line == ":metrics" {
             println!("{}", rumble.sparklite().metrics());
+            continue;
+        }
+        if line == ":timeline" {
+            // Per-job breakdown from the collected scheduler events; in
+            // distributed mode this includes executor-forwarded streams.
+            match rumble.sparklite().timeline() {
+                Some(t) => print!("{}", t.render_job_table()),
+                None => eprintln!("event collection is off"),
+            }
+            continue;
+        }
+        if line == ":top" {
+            match rumble.sparklite().timeline() {
+                Some(t) => print!("{}", t.render_top()),
+                None => eprintln!("event collection is off"),
+            }
             continue;
         }
         if line == ":rules" {
